@@ -1,0 +1,92 @@
+//! Criterion bench for the hybrid-systems application: transmission guard
+//! synthesis (Eq. 3), its dwell variant (Eq. 4), and the Fig. 10
+//! closed-loop simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_hybrid::transmission::{guard_seeds, initial_guards, modes, transmission};
+use sciduction_hybrid::{
+    simulate_hybrid_with_policy, synthesize_switching, Grid, ReachConfig, SwitchPolicy,
+    SwitchSynthConfig,
+};
+use std::hint::black_box;
+
+fn config(min_dwell: f64) -> SwitchSynthConfig {
+    SwitchSynthConfig {
+        grid: Grid::new(0.01),
+        reach: ReachConfig {
+            dt: 0.01,
+            horizon: 200.0,
+            min_dwell,
+            equilibrium_eps: 1e-9,
+        },
+        max_rounds: 8,
+        seed_budget: 512,
+    }
+}
+
+fn bench_eq3(c: &mut Criterion) {
+    let mds = transmission();
+    let seeds = guard_seeds(&mds);
+    c.bench_function("fig10/eq3_guard_synthesis", |b| {
+        b.iter(|| {
+            let out =
+                synthesize_switching(&mds, initial_guards(&mds), &seeds, &config(0.0));
+            assert!(out.converged);
+            black_box(out.oracle_queries)
+        })
+    });
+}
+
+fn bench_eq4(c: &mut Criterion) {
+    let mds = transmission();
+    let seeds = guard_seeds(&mds);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("eq4_dwell_guard_synthesis", |b| {
+        b.iter(|| {
+            let out =
+                synthesize_switching(&mds, initial_guards(&mds), &seeds, &config(5.0));
+            assert!(out.converged);
+            black_box(out.oracle_queries)
+        })
+    });
+    g.finish();
+}
+
+fn bench_trajectory(c: &mut Criterion) {
+    let mds = transmission();
+    let seeds = guard_seeds(&mds);
+    let logic = synthesize_switching(&mds, initial_guards(&mds), &seeds, &config(0.0)).logic;
+    let seq = [
+        modes::N,
+        modes::G1U,
+        modes::G2U,
+        modes::G3U,
+        modes::G3D,
+        modes::G2D,
+        modes::G1D,
+    ];
+    let reach = ReachConfig {
+        dt: 0.01,
+        horizon: 120.0,
+        min_dwell: 5.0,
+        equilibrium_eps: 1e-9,
+    };
+    c.bench_function("fig10/closed_loop_simulation", |b| {
+        b.iter(|| {
+            let (samples, safe) = simulate_hybrid_with_policy(
+                &mds,
+                &logic,
+                &seq,
+                &[0.0, 0.0],
+                &reach,
+                SwitchPolicy::LatestSafe,
+            );
+            assert!(safe);
+            black_box(samples.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_eq3, bench_eq4, bench_trajectory);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for the Fig. 6 pipeline: GameTime analysis of `modexp`
+//! (basis extraction + measurement + fit) and the per-path prediction
+//! cost, against the exhaustive-measurement baseline the basis approach
+//! replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_cfg::{check_path, Dag};
+use sciduction_gametime::{analyze, GameTimeConfig, MicroarchPlatform, Platform};
+use sciduction_ir::programs;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let f = programs::modexp();
+    c.bench_function("fig6/gametime_analyze_modexp", |b| {
+        b.iter(|| {
+            let mut platform = MicroarchPlatform::new(f.clone());
+            let a = analyze(&f, &mut platform, &GameTimeConfig::default()).unwrap();
+            black_box(a.basis.rank())
+        })
+    });
+}
+
+fn bench_prediction_vs_exhaustive(c: &mut Criterion) {
+    let f = programs::modexp();
+    let mut platform = MicroarchPlatform::new(f.clone());
+    let analysis = analyze(&f, &mut platform, &GameTimeConfig::default()).unwrap();
+    // Cost of predicting all 256 paths from the model…
+    c.bench_function("fig6/predict_all_paths", |b| {
+        b.iter(|| {
+            let d = analysis.predict_distribution(300);
+            black_box(d.len())
+        })
+    });
+    // …vs the baseline: exhaustively generating tests and measuring each.
+    c.bench_function("fig6/exhaustive_measure_all_paths", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for p in analysis.dag.enumerate_paths(300) {
+                if let Some(t) = check_path(&analysis.dag, &p) {
+                    total += platform.measure(&t);
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_dag_construction(c: &mut Criterion) {
+    let f = programs::modexp();
+    c.bench_function("fig6/unroll_simplify_dag", |b| {
+        b.iter(|| {
+            let dag = Dag::from_function(&f, 8).unwrap();
+            black_box(dag.num_edges())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_analysis,
+    bench_prediction_vs_exhaustive,
+    bench_dag_construction
+);
+criterion_main!(benches);

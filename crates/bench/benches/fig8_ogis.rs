@@ -1,0 +1,57 @@
+//! Criterion bench for the Fig. 8 deobfuscation benchmarks (P1, P2) at a
+//! bench-friendly width (8 bits; the `fig8` binary reports the 16/32-bit
+//! wall-clock numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_ogis::{benchmarks, synthesize, SynthesisConfig, SynthesisOutcome};
+use std::hint::black_box;
+
+fn bench_p1(c: &mut Criterion) {
+    c.bench_function("fig8/p1_interchange_w8", |b| {
+        b.iter(|| {
+            let (lib, mut oracle) = benchmarks::p1_with_width(8);
+            let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
+            assert!(matches!(out, SynthesisOutcome::Synthesized { .. }));
+            black_box(())
+        })
+    });
+}
+
+fn bench_p2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("p2_multiply45_w8", |b| {
+        b.iter(|| {
+            let (lib, mut oracle) = benchmarks::p2_with_width(8);
+            let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
+            assert!(matches!(out, SynthesisOutcome::Synthesized { .. }));
+            black_box(())
+        })
+    });
+    g.finish();
+}
+
+fn bench_extras(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_extras");
+    g.sample_size(10);
+    g.bench_function("turn_off_rightmost_one_w8", |b| {
+        b.iter(|| {
+            let (lib, mut oracle) = benchmarks::extra::turn_off_rightmost_one(8);
+            let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
+            assert!(matches!(out, SynthesisOutcome::Synthesized { .. }));
+            black_box(())
+        })
+    });
+    g.bench_function("isolate_rightmost_one_w8", |b| {
+        b.iter(|| {
+            let (lib, mut oracle) = benchmarks::extra::isolate_rightmost_one(8);
+            let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
+            assert!(matches!(out, SynthesisOutcome::Synthesized { .. }));
+            black_box(())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_p1, bench_p2, bench_extras);
+criterion_main!(benches);

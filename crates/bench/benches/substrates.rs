@@ -1,0 +1,95 @@
+//! Microbenchmarks of the substrates every application rides on: the CDCL
+//! SAT core, the bit-vector SMT layer, basis-path extraction, and the
+//! micro-architectural simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_cfg::{extract_basis, BasisConfig, Dag, SmtOracle};
+use sciduction_ir::{programs, Memory};
+use sciduction_microarch::{Machine, MachineState};
+use sciduction_sat::{Lit, SolveResult, Solver};
+use sciduction_smt::{CheckResult, Solver as SmtSolver};
+use std::hint::black_box;
+
+/// Pigeonhole principle: n+1 pigeons into n holes (UNSAT, resolution-hard).
+fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Lit>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| Lit::positive(s.new_var())).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row.clone());
+    }
+    for j in 0..n {
+        for i1 in 0..n + 1 {
+            for i2 in (i1 + 1)..n + 1 {
+                s.add_clause([!p[i1][j], !p[i2][j]]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_sat(c: &mut Criterion) {
+    c.bench_function("substrates/sat_pigeonhole_7", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(7);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            black_box(s.stats().conflicts)
+        })
+    });
+}
+
+fn bench_smt_factoring(c: &mut Criterion) {
+    c.bench_function("substrates/smt_factor_16bit", |b| {
+        b.iter(|| {
+            let mut s = SmtSolver::new();
+            let p = s.terms_mut();
+            let x = p.var("x", 16);
+            let y = p.var("y", 16);
+            let prod = p.bv_mul(x, y);
+            let k = p.bv(58687, 16); // 251 · 233 + overflow-free in 16 bits
+            let one = p.bv(1, 16);
+            let c0 = p.eq(prod, k);
+            let c1 = p.bv_ugt(x, one);
+            let c2 = p.bv_ugt(y, one);
+            s.assert_term(c0);
+            s.assert_term(c1);
+            s.assert_term(c2);
+            assert_eq!(s.check(), CheckResult::Sat);
+            black_box(s.sat_stats().conflicts)
+        })
+    });
+}
+
+fn bench_basis_extraction(c: &mut Criterion) {
+    let f = programs::crc8();
+    let dag = Dag::from_function(&f, 8).unwrap();
+    c.bench_function("substrates/basis_extraction_crc8", |b| {
+        b.iter(|| {
+            let mut oracle = SmtOracle::new();
+            let basis = extract_basis(&dag, &mut oracle, BasisConfig::default());
+            black_box(basis.rank())
+        })
+    });
+}
+
+fn bench_microarch(c: &mut Criterion) {
+    let f = programs::modexp();
+    let machine = Machine::new();
+    c.bench_function("substrates/microarch_modexp_run", |b| {
+        b.iter(|| {
+            let mut st = MachineState::cold(machine.config());
+            let r = machine.run(&f, &[7, 255], Memory::new(), &mut st).unwrap();
+            black_box(r.cycles)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sat,
+    bench_smt_factoring,
+    bench_basis_extraction,
+    bench_microarch
+);
+criterion_main!(benches);

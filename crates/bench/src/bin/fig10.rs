@@ -1,0 +1,116 @@
+//! Reproduces **Fig. 10** of the paper: transmission efficiency and speed
+//! while the synthesized hybrid system shifts N → G1U → G2U → G3U → G3D →
+//! G2D → G1D → N.
+//!
+//! Run with `cargo run --release -p sciduction-bench --bin fig10`.
+
+use sciduction_bench::write_csv;
+use sciduction_hybrid::transmission::{
+    eta, gear_of_mode, guard_seeds, initial_guards, modes, transmission,
+};
+use sciduction_hybrid::{
+    simulate_hybrid_with_policy, synthesize_switching, Grid, ReachConfig, SwitchPolicy,
+    SwitchSynthConfig,
+};
+
+fn main() {
+    let mds = transmission();
+    let config = SwitchSynthConfig {
+        grid: Grid::new(0.01),
+        reach: ReachConfig {
+            dt: 0.01,
+            horizon: 200.0,
+            min_dwell: 0.0,
+            equilibrium_eps: 1e-9,
+        },
+        max_rounds: 8,
+        seed_budget: 512,
+    };
+    let synth = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &config);
+    assert!(synth.converged, "guard synthesis must converge");
+
+    let seq = [
+        modes::N,
+        modes::G1U,
+        modes::G2U,
+        modes::G3U,
+        modes::G3D,
+        modes::G2D,
+        modes::G1D,
+    ];
+    let reach = ReachConfig {
+        dt: 0.01,
+        horizon: 120.0,
+        min_dwell: 5.0, // Fig. 10 caption: ≥ 5 s per gear mode
+        equilibrium_eps: 1e-9,
+    };
+    let (samples, safe) = simulate_hybrid_with_policy(
+        &mds,
+        &synth.logic,
+        &seq,
+        &[0.0, 0.0],
+        &reach,
+        SwitchPolicy::LatestSafe,
+    );
+
+    println!("== Fig. 10: closed-loop trajectory of the synthesized transmission ==");
+    println!("φS satisfied throughout: {safe}");
+    let peak = samples.iter().map(|s| s.state[1]).fold(0.0, f64::max);
+    let last = samples.last().expect("non-empty");
+    println!(
+        "peak speed {:.2} (paper ≈ 36.7); final: mode {}, θ = {:.1}, ω = {:.3}",
+        peak, mds.modes[last.mode].name, last.state[0], last.state[1]
+    );
+
+    // CSV series (t, mode, θ, ω, η) — the two curves of the figure.
+    let mut csv = vec![vec![
+        "t".to_string(),
+        "mode".to_string(),
+        "theta".to_string(),
+        "omega".to_string(),
+        "eta".to_string(),
+    ]];
+    for s in samples.iter().step_by(10) {
+        let e = gear_of_mode(s.mode).map(|g| eta(g, s.state[1])).unwrap_or(0.0);
+        csv.push(vec![
+            format!("{:.2}", s.time),
+            mds.modes[s.mode].name.clone(),
+            format!("{:.2}", s.state[0]),
+            format!("{:.3}", s.state[1]),
+            format!("{:.4}", e),
+        ]);
+    }
+    let p = write_csv("fig10_trajectory", &csv);
+    println!("series written to {}", p.display());
+
+    // Terminal sparkline of ω and η over time (the figure's two curves).
+    println!("\n time   mode  ω                                   η");
+    let n = samples.len();
+    for i in (0..n).step_by((n / 40).max(1)) {
+        let s = &samples[i];
+        let e = gear_of_mode(s.mode).map(|g| eta(g, s.state[1])).unwrap_or(0.0);
+        let wbar = "▒".repeat((s.state[1] / 40.0 * 30.0) as usize);
+        let ebar = "█".repeat((e * 12.0) as usize);
+        println!(
+            "{:6.1}  {:4} {:5.1} {wbar:<31} {e:4.2} {ebar}",
+            s.time, mds.modes[s.mode].name, s.state[1]
+        );
+    }
+    // Gear-change log (where η dips toward 0.5 in the paper's figure).
+    println!("\nmode changes:");
+    for w in samples.windows(2) {
+        if w[0].mode != w[1].mode {
+            let g = gear_of_mode(w[1].mode)
+                .map(|g| eta(g, w[1].state[1]))
+                .unwrap_or(0.0);
+            println!(
+                "  t = {:6.2}: {} → {} at ω = {:.2} (entering η = {:.3})",
+                w[1].time,
+                mds.modes[w[0].mode].name,
+                mds.modes[w[1].mode].name,
+                w[1].state[1],
+                g,
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Reproduces **Fig. 6** of the paper: predicted vs. measured distribution
+//! of execution times of `modexp` (8-bit exponent, 256 paths), with the
+//! prediction built from measurements of only the basis paths.
+//!
+//! Run with `cargo run --release -p sciduction-bench --bin fig6`.
+
+use sciduction_bench::{bar, histogram, print_table, write_csv};
+use sciduction_cfg::check_path;
+use sciduction_gametime::{analyze, GameTimeConfig, MicroarchPlatform, Platform};
+use sciduction_ir::programs;
+
+fn main() {
+    let f = programs::modexp();
+    let mut platform = MicroarchPlatform::new(f.clone());
+    let config = GameTimeConfig {
+        unroll_bound: 8,
+        trials: 90,
+        ..GameTimeConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let analysis = analyze(&f, &mut platform, &config).expect("analysis succeeds");
+    let analysis_time = t0.elapsed();
+
+    println!("== Fig. 6: GameTime on modexp (8-bit exponent) ==");
+    println!(
+        "paths: {} feasible; basis: {} paths (paper: 256 paths, 9 basis paths)",
+        analysis.dag.count_paths(),
+        analysis.basis.rank(),
+    );
+    println!(
+        "SMT feasibility queries: {}; end-to-end measurements: {}; analysis took {:?}",
+        analysis.smt_queries, analysis.measurements, analysis_time
+    );
+
+    // Predicted time for every feasible path, and ground truth by
+    // exhaustive measurement (the paper's "measured distribution").
+    let mut predicted = Vec::new();
+    let mut measured = Vec::new();
+    let mut worst_measured = 0u64;
+    let mut worst_exp = 0u64;
+    let mut rows = vec![vec![
+        "exponent".to_string(),
+        "predicted_cycles".to_string(),
+        "measured_cycles".to_string(),
+    ]];
+    for p in analysis.dag.enumerate_paths(4096) {
+        let Some(test) = check_path(&analysis.dag, &p) else { continue };
+        let pred = analysis.model.predict_f64(&analysis.dag, &p);
+        let meas = platform.measure(&test);
+        if meas > worst_measured {
+            worst_measured = meas;
+            worst_exp = test.args[1] & 0xFF;
+        }
+        rows.push(vec![
+            (test.args[1] & 0xFF).to_string(),
+            format!("{pred:.1}"),
+            meas.to_string(),
+        ]);
+        predicted.push(pred);
+        measured.push(meas as f64);
+    }
+    let csv = write_csv("fig6_modexp_distribution", &rows);
+    println!("per-path series written to {}", csv.display());
+
+    // The paper's figure: two histograms over cycle counts.
+    let bin = 20.0;
+    let hp = histogram(&predicted, bin);
+    let hm = histogram(&measured, bin);
+    let max = hp
+        .iter()
+        .chain(&hm)
+        .map(|&(_, c)| c)
+        .max()
+        .unwrap_or(1);
+    println!("\npredicted (P) vs measured (M) distribution, bin = {bin} cycles:");
+    let lo = hp
+        .first()
+        .map(|&(b, _)| b)
+        .unwrap_or(0.0)
+        .min(hm.first().map(|&(b, _)| b).unwrap_or(0.0));
+    let hi = hp
+        .last()
+        .map(|&(b, _)| b)
+        .unwrap_or(0.0)
+        .max(hm.last().map(|&(b, _)| b).unwrap_or(0.0));
+    let count_at = |h: &[(f64, usize)], b: f64| {
+        h.iter()
+            .find(|&&(x, _)| (x - b).abs() < 1e-9)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    };
+    let mut b = lo;
+    while b <= hi {
+        let cp = count_at(&hp, b);
+        let cm = count_at(&hm, b);
+        println!("{b:7.0}  P {:3} {}", cp, bar(cp, max, 30));
+        println!("         M {:3} {}", cm, bar(cm, max, 30));
+        b += bin;
+    }
+
+    // Prediction accuracy.
+    let mut max_err: f64 = 0.0;
+    let mut mean_err = 0.0;
+    for (p, m) in predicted.iter().zip(&measured) {
+        let e = (p - m).abs();
+        max_err = max_err.max(e);
+        mean_err += e;
+    }
+    mean_err /= predicted.len() as f64;
+    println!("\nprediction error: mean {mean_err:.2} cycles, max {max_err:.2} cycles");
+
+    // WCET: the paper reports the tool finds exponent 255.
+    let wcet = analysis.predict_wcet().expect("wcet exists");
+    let wcet_measured = platform.measure(&wcet.test);
+    print_table(
+        &["quantity", "value", "paper"],
+        &[
+            vec![
+                "WCET test case (exponent)".into(),
+                format!("{}", wcet.test.args[1] & 0xFF),
+                "255".into(),
+            ],
+            vec![
+                "ground-truth worst exponent".into(),
+                worst_exp.to_string(),
+                "255".into(),
+            ],
+            vec![
+                "predicted WCET (cycles)".into(),
+                format!("{:.1}", wcet.predicted_cycles),
+                "—".into(),
+            ],
+            vec![
+                "measured WCET (cycles)".into(),
+                wcet_measured.to_string(),
+                "—".into(),
+            ],
+            vec![
+                "basis paths measured".into(),
+                analysis.basis.rank().to_string(),
+                "9".into(),
+            ],
+        ],
+    );
+}

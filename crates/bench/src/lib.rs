@@ -1,0 +1,130 @@
+//! # sciduction-bench — experiment harness for the paper's figures/tables
+//!
+//! Shared plumbing for the reproduction binaries (`fig4`, `fig6`, `fig8`,
+//! `eq3_eq4`, `fig10`, `table1`) and the Criterion benches. Each binary
+//! regenerates the data series behind one artifact of the paper's
+//! evaluation and writes a CSV under `target/experiments/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes CSV rows (first row = header) to `target/experiments/<name>.csv`
+/// and returns the path.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write csv");
+    }
+    path
+}
+
+/// A fixed-width text table printer for terminal output.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let line = |sep: &str| {
+        let parts: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+        println!("+{}+", parts.join(sep));
+    };
+    line("+");
+    let cells: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    println!("|{}|", cells.join("|"));
+    line("+");
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| {
+                let pad = w.saturating_sub(c.chars().count());
+                format!(" {c}{} ", " ".repeat(pad))
+            })
+            .collect();
+        println!("|{}|", cells.join("|"));
+    }
+    line("+");
+}
+
+/// Builds a histogram over `values` with the given bin width; returns
+/// `(bin_start, count)` pairs covering the value range.
+pub fn histogram(values: &[f64], bin_width: f64) -> Vec<(f64, usize)> {
+    if values.is_empty() {
+        return vec![];
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let first = (min / bin_width).floor() * bin_width;
+    let nbins = ((max - first) / bin_width).floor() as usize + 1;
+    let mut bins = vec![0usize; nbins];
+    for &v in values {
+        let i = ((v - first) / bin_width).floor() as usize;
+        bins[i.min(nbins - 1)] += 1;
+    }
+    bins.iter()
+        .enumerate()
+        .map(|(i, &c)| (first + i as f64 * bin_width, c))
+        .collect()
+}
+
+/// Renders a unicode bar for terminal histograms.
+pub fn bar(count: usize, max: usize, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let n = count * width / max;
+    "█".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_cover_range() {
+        let h = histogram(&[1.0, 1.5, 2.0, 4.9], 1.0);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0], (1.0, 2)); // 1.0 and 1.5
+        assert_eq!(h[1], (2.0, 1));
+        assert_eq!(h[3], (4.0, 1));
+        assert!(histogram(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5, 10, 10), "█████");
+        assert_eq!(bar(0, 10, 10), "");
+        assert_eq!(bar(3, 0, 10), "");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "unit_test_tmp",
+            &[
+                vec!["a".into(), "b".into()],
+                vec!["1".into(), "2".into()],
+            ],
+        );
+        let text = std::fs::read_to_string(p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,764 @@
+//! Control-flow DAGs: loop unrolling, the single-source/single-sink edge
+//! graph, and program paths.
+//!
+//! GameTime (paper Sec. 3.2, Fig. 5) operates on the CFG of the task
+//! "where all loops have been unrolled to a maximum iteration bound, and
+//! all function calls have been inlined", with dummy source/sink nodes
+//! added if needed. [`unroll`] performs the unrolling (the IR has no calls,
+//! so inlining is a no-op of the frontend); [`Dag`] adds the virtual sink
+//! and exposes the edge structure that path vectors are defined over.
+
+use crate::linalg::Rat;
+use sciduction_ir::{Block, BlockId, Function, Terminator};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An edge identifier within a [`Dag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Dense index of the edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The provenance of a DAG edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// Unconditional jump.
+    Jump,
+    /// Taken (non-zero) side of a branch.
+    BranchThen,
+    /// Fall-through (zero) side of a branch.
+    BranchElse,
+    /// Virtual edge from a returning block to the dummy sink.
+    ToSink,
+}
+
+/// A directed edge between DAG nodes. Nodes are block indices, with one
+/// extra virtual sink node at index [`Dag::sink`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Provenance.
+    pub kind: EdgeKind,
+}
+
+/// Errors from DAG construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DagError {
+    /// The function still contains a cycle (unroll bound too small or the
+    /// function was not unrolled).
+    Cyclic,
+    /// The function has no return block.
+    NoReturn,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Cyclic => write!(f, "control-flow graph is cyclic"),
+            DagError::NoReturn => write!(f, "function never returns"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Result of loop unrolling: an acyclic function plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Unrolled {
+    /// The acyclic function.
+    pub func: Function,
+    /// Block that absorbs back-jumps beyond the bound; any path through it
+    /// corresponds to iterating past the unroll bound and is excluded from
+    /// enumeration (for an exact bound such paths are infeasible anyway).
+    pub overflow: Option<BlockId>,
+    /// For each block of `func`, the block of the original function it was
+    /// copied from (`None` for the overflow block).
+    pub origin: Vec<Option<BlockId>>,
+}
+
+/// Finds DFS back edges `(block, successor-slot)` of `f`.
+fn back_edges(f: &Function) -> Vec<(usize, usize)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = f.blocks.len();
+    let mut color = vec![Color::White; n];
+    let mut back = Vec::new();
+    // Iterative DFS with explicit post-processing.
+    let mut stack: Vec<(usize, usize)> = vec![(f.entry.index(), 0)];
+    color[f.entry.index()] = Color::Gray;
+    while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+        let succs = f.blocks[u].terminator.successors();
+        if *next < succs.len() {
+            let slot = *next;
+            *next += 1;
+            let v = succs[slot].index();
+            match color[v] {
+                Color::Gray => back.push((u, slot)),
+                Color::White => {
+                    color[v] = Color::Gray;
+                    stack.push((v, 0));
+                }
+                Color::Black => {}
+            }
+        } else {
+            color[u] = Color::Black;
+            stack.pop();
+        }
+    }
+    back
+}
+
+fn retarget(t: &Terminator, map: impl Fn(usize, BlockId) -> BlockId) -> Terminator {
+    match t {
+        Terminator::Jump(b) => Terminator::Jump(map(0, *b)),
+        Terminator::Branch { cond, then_to, else_to } => Terminator::Branch {
+            cond: *cond,
+            then_to: map(0, *then_to),
+            else_to: map(1, *else_to),
+        },
+        Terminator::Return(v) => Terminator::Return(*v),
+    }
+}
+
+/// Unrolls all loops of `f` so that at most `max_back_jumps` traversals of
+/// DFS back edges are possible; the result is acyclic.
+///
+/// The bound counts *total* back-edge traversals, so for a single loop it
+/// is the iteration bound; for nested loops it must cover the total trip
+/// count. Executions that would exceed the bound are routed into the
+/// `overflow` block.
+///
+/// Unreachable copies are pruned. If `f` is already acyclic it is returned
+/// unchanged (modulo clone).
+pub fn unroll(f: &Function, max_back_jumps: usize) -> Unrolled {
+    let back = back_edges(f);
+    if back.is_empty() {
+        return Unrolled {
+            origin: (0..f.blocks.len())
+                .map(|i| Some(BlockId::from_index(i)))
+                .collect(),
+            func: f.clone(),
+            overflow: None,
+        };
+    }
+    let nb = f.blocks.len();
+    let layers = max_back_jumps + 1;
+    let overflow_raw = layers * nb;
+    let is_back = |b: usize, slot: usize| back.contains(&(b, slot));
+
+    // Build raw (unpruned) block list: layer l, block b → l*nb + b.
+    let mut raw: Vec<Block> = Vec::with_capacity(layers * nb + 1);
+    for l in 0..layers {
+        for (bi, blk) in f.blocks.iter().enumerate() {
+            let term = retarget(&blk.terminator, |slot, target| {
+                let tl = if is_back(bi, slot) { l + 1 } else { l };
+                if tl >= layers {
+                    BlockId::from_index(overflow_raw)
+                } else {
+                    BlockId::from_index(tl * nb + target.index())
+                }
+            });
+            raw.push(Block {
+                instrs: blk.instrs.clone(),
+                terminator: term,
+            });
+        }
+    }
+    // Overflow block: return 0. Paths through it are pruned by enumeration.
+    raw.push(Block {
+        instrs: vec![],
+        terminator: Terminator::Return(sciduction_ir::Operand::Imm(0)),
+    });
+
+    // Prune unreachable blocks (BFS from the entry copy in layer 0).
+    let entry_raw = f.entry.index();
+    let mut new_index = vec![usize::MAX; raw.len()];
+    let mut order: Vec<usize> = Vec::new();
+    let mut queue = VecDeque::from([entry_raw]);
+    new_index[entry_raw] = 0;
+    order.push(entry_raw);
+    while let Some(u) = queue.pop_front() {
+        for s in raw[u].terminator.successors() {
+            let v = s.index();
+            if new_index[v] == usize::MAX {
+                new_index[v] = order.len();
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    let blocks: Vec<Block> = order
+        .iter()
+        .map(|&old| Block {
+            instrs: raw[old].instrs.clone(),
+            terminator: retarget(&raw[old].terminator, |_, t| {
+                BlockId::from_index(new_index[t.index()])
+            }),
+        })
+        .collect();
+    let origin: Vec<Option<BlockId>> = order
+        .iter()
+        .map(|&old| {
+            if old == overflow_raw {
+                None
+            } else {
+                Some(BlockId::from_index(old % nb))
+            }
+        })
+        .collect();
+    let overflow = order
+        .iter()
+        .position(|&old| old == overflow_raw)
+        .map(BlockId::from_index);
+    let func = Function {
+        name: format!("{}_unrolled", f.name),
+        num_params: f.num_params,
+        num_regs: f.num_regs,
+        width: f.width,
+        blocks,
+        entry: BlockId::from_index(0),
+        };
+    debug_assert!(func.validate().is_ok());
+    Unrolled { func, overflow, origin }
+}
+
+/// A control-flow DAG with a unique source and a unique (virtual) sink.
+#[derive(Clone, Debug)]
+pub struct Dag {
+    /// The underlying acyclic function.
+    pub func: Function,
+    /// Overflow block to exclude from path enumeration, if any.
+    pub overflow: Option<BlockId>,
+    /// For each block, the original (pre-unroll) block it copies.
+    pub origin: Vec<Option<BlockId>>,
+    edges: Vec<Edge>,
+    out: Vec<Vec<EdgeId>>,
+    source: usize,
+    sink: usize,
+    topo: Vec<usize>,
+}
+
+impl Dag {
+    /// Builds the edge graph of an unrolled (acyclic) function.
+    ///
+    /// # Errors
+    ///
+    /// [`DagError::Cyclic`] if the function still has cycles;
+    /// [`DagError::NoReturn`] if no block returns.
+    pub fn build(u: Unrolled) -> Result<Dag, DagError> {
+        let f = &u.func;
+        let nb = f.blocks.len();
+        let sink = nb; // virtual node
+        let mut edges = Vec::new();
+        let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); nb + 1];
+        let mut any_return = false;
+        for (bi, blk) in f.blocks.iter().enumerate() {
+            let push = |from: usize, to: usize, kind: EdgeKind,
+                            edges: &mut Vec<Edge>, out: &mut Vec<Vec<EdgeId>>| {
+                let id = EdgeId(edges.len() as u32);
+                edges.push(Edge { from, to, kind });
+                out[from].push(id);
+            };
+            match &blk.terminator {
+                Terminator::Jump(t) => {
+                    push(bi, t.index(), EdgeKind::Jump, &mut edges, &mut out)
+                }
+                Terminator::Branch { then_to, else_to, .. } => {
+                    push(bi, then_to.index(), EdgeKind::BranchThen, &mut edges, &mut out);
+                    push(bi, else_to.index(), EdgeKind::BranchElse, &mut edges, &mut out);
+                }
+                Terminator::Return(_) => {
+                    any_return = true;
+                    push(bi, sink, EdgeKind::ToSink, &mut edges, &mut out);
+                }
+            }
+        }
+        if !any_return {
+            return Err(DagError::NoReturn);
+        }
+        // Topological sort (Kahn) to verify acyclicity.
+        let mut indeg = vec![0usize; nb + 1];
+        for e in &edges {
+            indeg[e.to] += 1;
+        }
+        let mut queue: VecDeque<usize> = (0..=nb).filter(|&v| indeg[v] == 0).collect();
+        let mut topo = Vec::with_capacity(nb + 1);
+        while let Some(v) = queue.pop_front() {
+            topo.push(v);
+            for &eid in &out[v] {
+                let t = edges[eid.index()].to;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        if topo.len() != nb + 1 {
+            return Err(DagError::Cyclic);
+        }
+        Ok(Dag {
+            source: f.entry.index(),
+            sink,
+            edges,
+            out,
+            topo,
+            func: u.func,
+            overflow: u.overflow,
+            origin: u.origin,
+        })
+    }
+
+    /// Convenience: unroll, simplify (constant-propagate and fold the
+    /// unrolled loop-counter branches), and build in one step.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dag::build`].
+    pub fn from_function(f: &Function, max_back_jumps: usize) -> Result<Dag, DagError> {
+        Dag::build(crate::optim::simplify(unroll(f, max_back_jumps)))
+    }
+
+    /// Number of nodes (blocks plus the virtual sink).
+    pub fn num_nodes(&self) -> usize {
+        self.func.blocks.len() + 1
+    }
+
+    /// Number of edges (including virtual sink edges).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, node: usize) -> &[EdgeId] {
+        &self.out[node]
+    }
+
+    /// The source node (entry block index).
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The virtual sink node.
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// Nodes in topological order.
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// The dimension `m − n + 2` of the path space of a single-source,
+    /// single-sink DAG — the number of basis paths (paper Sec. 3.2: "9
+    /// basis paths" for 256-path `modexp`).
+    pub fn path_space_dim(&self) -> usize {
+        self.num_edges() + 2 - self.num_nodes()
+    }
+
+    fn is_overflow_node(&self, node: usize) -> bool {
+        self.overflow.is_some_and(|b| b.index() == node)
+    }
+
+    /// The lexicographically-first source→sink path (skipping the overflow
+    /// block), used as the baseline for candidate generation. `None` when
+    /// every route passes through the overflow block (unroll bound smaller
+    /// than the loop's trip count).
+    pub fn first_path(&self) -> Option<Path> {
+        self.first_path_from(self.source)
+    }
+
+    /// First path from `node` to the sink avoiding the overflow block.
+    pub fn first_path_from(&self, node: usize) -> Option<Path> {
+        let mut edges = Vec::new();
+        let mut cur = node;
+        while cur != self.sink {
+            let mut advanced = false;
+            for &eid in &self.out[cur] {
+                let to = self.edges[eid.index()].to;
+                if self.is_overflow_node(to) {
+                    continue;
+                }
+                // Must be able to reach sink without overflow; greedy works
+                // because every non-overflow node reaches the sink (returns
+                // exist in every layer), but guard with reachability check.
+                if self.reaches_sink_avoiding_overflow(to) {
+                    edges.push(eid);
+                    cur = to;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return None;
+            }
+        }
+        Some(Path { edges })
+    }
+
+    fn reaches_sink_avoiding_overflow(&self, node: usize) -> bool {
+        if node == self.sink {
+            return true;
+        }
+        // Memoization-free DFS; graphs are small.
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![node];
+        while let Some(u) = stack.pop() {
+            if u == self.sink {
+                return true;
+            }
+            if seen[u] || self.is_overflow_node(u) {
+                continue;
+            }
+            seen[u] = true;
+            for &eid in &self.out[u] {
+                stack.push(self.edges[eid.index()].to);
+            }
+        }
+        false
+    }
+
+    /// A source→sink path through the given edge, avoiding the overflow
+    /// block, or `None` if impossible.
+    pub fn path_through_edge(&self, eid: EdgeId) -> Option<Path> {
+        let e = self.edges[eid.index()];
+        if self.is_overflow_node(e.to) || self.is_overflow_node(e.from) {
+            return None;
+        }
+        let prefix = self.path_to_node(e.from)?;
+        let suffix = self.first_path_from(e.to)?;
+        let mut edges = prefix;
+        edges.push(eid);
+        edges.extend(suffix.edges);
+        Some(Path { edges })
+    }
+
+    /// Some path source→`node` avoiding the overflow block (BFS by edges).
+    fn path_to_node(&self, node: usize) -> Option<Vec<EdgeId>> {
+        if node == self.source {
+            return Some(vec![]);
+        }
+        let mut pred: Vec<Option<EdgeId>> = vec![None; self.num_nodes()];
+        let mut seen = vec![false; self.num_nodes()];
+        let mut queue = VecDeque::from([self.source]);
+        seen[self.source] = true;
+        while let Some(u) = queue.pop_front() {
+            for &eid in &self.out[u] {
+                let v = self.edges[eid.index()].to;
+                if seen[v] || self.is_overflow_node(v) {
+                    continue;
+                }
+                seen[v] = true;
+                pred[v] = Some(eid);
+                if v == node {
+                    // Reconstruct.
+                    let mut path = Vec::new();
+                    let mut cur = node;
+                    while let Some(e) = pred[cur] {
+                        path.push(e);
+                        cur = self.edges[e.index()].from;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+        None
+    }
+
+    /// Enumerates all source→sink paths avoiding the overflow block, up to
+    /// `limit` (DFS, lexicographic in successor order).
+    pub fn enumerate_paths(&self, limit: usize) -> Vec<Path> {
+        let mut out = Vec::new();
+        let mut stack: Vec<EdgeId> = Vec::new();
+        self.enum_rec(self.source, &mut stack, &mut out, limit);
+        out
+    }
+
+    fn enum_rec(
+        &self,
+        node: usize,
+        stack: &mut Vec<EdgeId>,
+        out: &mut Vec<Path>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if node == self.sink {
+            out.push(Path { edges: stack.clone() });
+            return;
+        }
+        for &eid in &self.out[node] {
+            let to = self.edges[eid.index()].to;
+            if self.is_overflow_node(to) {
+                continue;
+            }
+            stack.push(eid);
+            self.enum_rec(to, stack, out, limit);
+            stack.pop();
+        }
+    }
+
+    /// Total number of source→sink paths avoiding the overflow block
+    /// (exact count by topological DP; no enumeration).
+    pub fn count_paths(&self) -> u128 {
+        let mut count = vec![0u128; self.num_nodes()];
+        count[self.sink] = 1;
+        for &v in self.topo.iter().rev() {
+            if v == self.sink || self.is_overflow_node(v) {
+                continue;
+            }
+            let mut c = 0u128;
+            for &eid in &self.out[v] {
+                let to = self.edges[eid.index()].to;
+                if !self.is_overflow_node(to) {
+                    c += count[to];
+                }
+            }
+            count[v] = c;
+        }
+        count[self.source]
+    }
+
+    /// Longest source→sink path under the given per-edge weights
+    /// (fractional weights allowed; the DAG structure makes this a simple
+    /// topological DP). Returns `(weight, path)`.
+    pub fn longest_path(&self, weights: &[Rat]) -> (Rat, Path) {
+        assert_eq!(weights.len(), self.num_edges());
+        let neg_inf = Rat::from(i64::MIN / 4);
+        let mut best: Vec<Rat> = vec![neg_inf; self.num_nodes()];
+        let mut best_edge: Vec<Option<EdgeId>> = vec![None; self.num_nodes()];
+        best[self.sink] = Rat::ZERO;
+        for &v in self.topo.iter().rev() {
+            if v == self.sink || self.is_overflow_node(v) {
+                continue;
+            }
+            for &eid in &self.out[v] {
+                let e = self.edges[eid.index()];
+                if self.is_overflow_node(e.to) || best[e.to] == neg_inf {
+                    continue;
+                }
+                let cand = best[e.to] + weights[eid.index()];
+                if cand > best[v] {
+                    best[v] = cand;
+                    best_edge[v] = Some(eid);
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        let mut cur = self.source;
+        while cur != self.sink {
+            let e = best_edge[cur].expect("sink reachable");
+            edges.push(e);
+            cur = self.edges[e.index()].to;
+        }
+        (best[self.source], Path { edges })
+    }
+}
+
+/// A source→sink path, as a sequence of edge ids.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Path {
+    /// The edges, in order from source to sink.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// The blocks visited (excludes the virtual sink).
+    pub fn blocks(&self, dag: &Dag) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(self.edges.len());
+        for (i, &eid) in self.edges.iter().enumerate() {
+            let e = dag.edges[eid.index()];
+            if i == 0 {
+                out.push(BlockId::from_index(e.from));
+            }
+            if e.to != dag.sink {
+                out.push(BlockId::from_index(e.to));
+            }
+        }
+        if self.edges.is_empty() {
+            out.push(BlockId::from_index(dag.source));
+        }
+        out
+    }
+
+    /// The 0/1 edge-incidence vector over all DAG edges.
+    pub fn edge_vector(&self, dag: &Dag) -> Vec<Rat> {
+        let mut v = vec![Rat::ZERO; dag.num_edges()];
+        for &e in &self.edges {
+            v[e.index()] = Rat::ONE;
+        }
+        v
+    }
+
+    /// Builds the path taken by a concrete execution, from its block trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not a valid path of the DAG.
+    pub fn from_block_trace(dag: &Dag, trace: &[BlockId]) -> Path {
+        let mut edges = Vec::new();
+        for w in trace.windows(2) {
+            let (a, b) = (w[0].index(), w[1].index());
+            let eid = dag.out[a]
+                .iter()
+                .copied()
+                .find(|&e| dag.edges[e.index()].to == b)
+                .expect("trace edge must exist in DAG");
+            edges.push(eid);
+        }
+        // Final edge to the virtual sink.
+        let last = trace.last().expect("non-empty trace").index();
+        let eid = dag.out[last]
+            .iter()
+            .copied()
+            .find(|&e| dag.edges[e.index()].to == dag.sink)
+            .expect("trace must end in a returning block");
+        edges.push(eid);
+        Path { edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciduction_ir::{programs, CmpOp, FunctionBuilder};
+
+    #[test]
+    fn acyclic_function_untouched() {
+        let f = programs::fig4_toy();
+        let u = unroll(&f, 4);
+        assert!(u.overflow.is_none());
+        assert_eq!(u.func.blocks.len(), f.blocks.len());
+        let dag = Dag::build(u).unwrap();
+        assert_eq!(dag.count_paths(), 2);
+        assert_eq!(dag.enumerate_paths(100).len(), 2);
+    }
+
+    #[test]
+    fn modexp_unrolls_to_256_paths() {
+        let f = programs::modexp();
+        // Raw unroll keeps the constant loop-counter tests: Σ_{i=0..8} 2^i
+        // = 511 structural paths.
+        let raw = Dag::build(unroll(&f, 8)).unwrap();
+        assert_eq!(raw.count_paths(), 511);
+        // The full pipeline folds them: 2^8 = 256 paths, 9 basis paths
+        // (paper Sec. 3.3 / Fig. 6).
+        let dag = Dag::from_function(&f, 8).unwrap();
+        assert_eq!(dag.count_paths(), 256);
+        assert_eq!(dag.path_space_dim(), 9);
+    }
+
+    #[test]
+    fn unroll_bound_too_small_still_acyclic() {
+        let f = programs::modexp();
+        let dag = Dag::from_function(&f, 3).unwrap();
+        // With a bound of 3 every route hits the overflow block (the loop
+        // needs 8 back jumps): no usable paths, but still a valid DAG.
+        assert_eq!(dag.count_paths(), 0);
+        assert!(dag.first_path().is_none());
+    }
+
+    #[test]
+    fn first_path_and_edge_paths_are_valid() {
+        let f = programs::crc8();
+        let dag = Dag::from_function(&f, 8).unwrap();
+        let p = dag.first_path().expect("crc8 DAG has paths");
+        check_path(&dag, &p);
+        for i in 0..dag.num_edges() {
+            if let Some(q) = dag.path_through_edge(EdgeId(i as u32)) {
+                check_path(&dag, &q);
+                assert!(q.edges.contains(&EdgeId(i as u32)));
+            }
+        }
+    }
+
+    fn check_path(dag: &Dag, p: &Path) {
+        assert!(!p.edges.is_empty());
+        assert_eq!(dag.edges[p.edges[0].index()].from, dag.source());
+        for w in p.edges.windows(2) {
+            assert_eq!(
+                dag.edges[w[0].index()].to,
+                dag.edges[w[1].index()].from,
+                "path edges must chain"
+            );
+        }
+        assert_eq!(dag.edges[p.edges.last().unwrap().index()].to, dag.sink());
+    }
+
+    #[test]
+    fn edge_vector_and_block_trace_roundtrip() {
+        let f = programs::fig4_toy();
+        let dag = Dag::from_function(&f, 1).unwrap();
+        for p in dag.enumerate_paths(10) {
+            let v = p.edge_vector(&dag);
+            let ones = v.iter().filter(|r| **r == Rat::ONE).count();
+            assert_eq!(ones, p.edges.len());
+            let blocks = p.blocks(&dag);
+            let q = Path::from_block_trace(&dag, &blocks);
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn longest_path_dp() {
+        // Diamond: source → {a (w=5), b (w=1)} → sink
+        let mut fb = FunctionBuilder::new("d", 1, 32);
+        let x = fb.param(0);
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let c = fb.cmp(CmpOp::Ult, x, 5u64);
+        fb.branch(c, a, b);
+        fb.switch_to(a);
+        fb.ret(1u64);
+        fb.switch_to(b);
+        fb.ret(2u64);
+        let f = fb.finish().unwrap();
+        let dag = Dag::from_function(&f, 0).unwrap();
+        // Weight the then-edge high.
+        let mut w = vec![Rat::ZERO; dag.num_edges()];
+        for (i, e) in dag.edges().iter().enumerate() {
+            if e.kind == EdgeKind::BranchThen {
+                w[i] = Rat::from(5i64);
+            } else if e.kind == EdgeKind::BranchElse {
+                w[i] = Rat::ONE;
+            }
+        }
+        let (wt, p) = dag.longest_path(&w);
+        assert_eq!(wt, Rat::from(5i64));
+        assert!(p
+            .edges
+            .iter()
+            .any(|e| dag.edges()[e.index()].kind == EdgeKind::BranchThen));
+    }
+
+    #[test]
+    fn path_space_dimension_formula() {
+        let f = programs::fig4_toy();
+        let dag = Dag::from_function(&f, 1).unwrap();
+        // fig4: 3 blocks + sink = 4 nodes; edges: entry→loop, entry→after,
+        // loop→after, after→sink = 4; dim = 4 - 4 + 2 = 2 = #paths.
+        assert_eq!(dag.num_nodes(), 4);
+        assert_eq!(dag.num_edges(), 4);
+        assert_eq!(dag.path_space_dim(), 2);
+    }
+}

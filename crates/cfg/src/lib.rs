@@ -1,0 +1,50 @@
+//! # sciduction-cfg — control-flow DAGs, basis paths, symbolic execution
+//!
+//! The graph-and-logic substrate of the GameTime reproduction (Seshia,
+//! *Sciduction*, DAC 2012, Sec. 3). It provides the pipeline of the paper's
+//! Fig. 5 up to test generation:
+//!
+//! 1. [`unroll`] — loops unrolled to a bound, giving an acyclic function;
+//! 2. [`Dag`] — the single-source/single-sink edge graph, path enumeration
+//!    and counting, longest-path queries;
+//! 3. [`extract_basis`] — feasible basis paths (linear-algebra basis of the
+//!    path space, exact rational arithmetic in [`Rat`]/[`Matrix`]), with
+//!    feasibility discharged by
+//! 4. the symbolic executor ([`path_formula`]/[`check_path`]) which encodes
+//!    a path into `sciduction-smt` and extracts driving [`TestCase`]s from
+//!    models.
+//!
+//! # Examples
+//!
+//! Extract basis paths and test cases for the paper's `modexp` workload:
+//!
+//! ```
+//! use sciduction_cfg::{Dag, extract_basis, BasisConfig, SmtOracle};
+//! use sciduction_ir::programs;
+//!
+//! let f = programs::fig4_toy();
+//! let dag = Dag::from_function(&f, 1)?;
+//! let mut oracle = SmtOracle::new();
+//! let basis = extract_basis(&dag, &mut oracle, BasisConfig::default());
+//! assert_eq!(basis.rank(), 2); // two feasible paths, dimension two
+//! for bp in &basis.paths {
+//!     println!("path of {} edges, args {:?}", bp.path.edges.len(), bp.test.args);
+//! }
+//! # Ok::<(), sciduction_cfg::DagError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod basis;
+mod dag;
+mod linalg;
+mod optim;
+mod symexec;
+
+pub use basis::{
+    extract_basis, Basis, BasisConfig, BasisPath, FeasibilityOracle, SmtOracle,
+};
+pub use dag::{unroll, Dag, DagError, Edge, EdgeId, EdgeKind, Path, Unrolled};
+pub use linalg::{Matrix, RankTracker, Rat};
+pub use optim::simplify;
+pub use symexec::{check_path, path_formula, PathFormula, TestCase};

@@ -1,0 +1,506 @@
+//! Exact rational arithmetic and Gaussian elimination over ℚ.
+//!
+//! Basis-path extraction (GameTime, paper Sec. 3.2) needs exact linear
+//! algebra over path edge-vectors: rank maintenance, coordinate solving,
+//! and the minimum-norm weight estimate `w = Bᵀ(BBᵀ)⁻¹t`. Floating point
+//! would mis-judge independence; `i128` rationals are exact and ample for
+//! the dimensions involved (tens of edges).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number backed by `i128`, always kept in lowest terms
+/// with a positive denominator.
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_cfg::Rat;
+/// let a = Rat::new(1, 3);
+/// let b = Rat::new(1, 6);
+/// assert_eq!(a + b, Rat::new(1, 2));
+/// assert_eq!((a / b), Rat::from(2i64));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den);
+        let (mut n, mut d) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if d < 0 {
+            n = -n;
+            d = -d;
+        }
+        Rat { num: n, den: d }
+    }
+
+    /// The numerator (lowest terms, sign carried here).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// True when the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Approximate `f64` value (for reporting only).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Rat { num: self.num.abs(), den: self.den }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat { num: v as i128, den: 1 }
+    }
+}
+
+impl From<u64> for Rat {
+    fn from(v: u64) -> Self {
+        Rat { num: v as i128, den: 1 }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        assert!(rhs.num != 0, "division by zero");
+        Rat::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A dense row-major matrix over ℚ.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rat>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rat::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<Rat>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] = out[(i, j)] + a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[Rat]) -> Vec<Rat> {
+        assert_eq!(self.cols, v.len());
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * v[j])
+                    .fold(Rat::ZERO, Rat::add)
+            })
+            .collect()
+    }
+
+    /// The rank, by Gaussian elimination on a copy.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.row_echelon()
+    }
+
+    fn row_echelon(&mut self) -> usize {
+        let mut rank = 0;
+        for col in 0..self.cols {
+            if rank == self.rows {
+                break;
+            }
+            // Find pivot.
+            let pivot = (rank..self.rows).find(|&r| !self[(r, col)].is_zero());
+            let Some(p) = pivot else { continue };
+            self.swap_rows(rank, p);
+            let inv = self[(rank, col)].recip();
+            for j in col..self.cols {
+                self[(rank, j)] = self[(rank, j)] * inv;
+            }
+            for r in 0..self.rows {
+                if r != rank && !self[(r, col)].is_zero() {
+                    let f = self[(r, col)];
+                    for j in col..self.cols {
+                        let sub = f * self[(rank, j)];
+                        self[(r, j)] = self[(r, j)] - sub;
+                    }
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let t = self[(a, j)];
+            self[(a, j)] = self[(b, j)];
+            self[(b, j)] = t;
+        }
+    }
+
+    /// Solves `A x = b` for square invertible `A` by Gauss–Jordan.
+    /// Returns `None` when `A` is singular.
+    pub fn solve(&self, b: &[Rat]) -> Option<Vec<Rat>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        // Augmented matrix.
+        let mut aug = Matrix::zeros(n, n + 1);
+        for i in 0..n {
+            for j in 0..n {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, n)] = b[i];
+        }
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !aug[(r, col)].is_zero())?;
+            aug.swap_rows(col, pivot);
+            let inv = aug[(col, col)].recip();
+            for j in col..=n {
+                aug[(col, j)] = aug[(col, j)] * inv;
+            }
+            for r in 0..n {
+                if r != col && !aug[(r, col)].is_zero() {
+                    let f = aug[(r, col)];
+                    for j in col..=n {
+                        let sub = f * aug[(col, j)];
+                        aug[(r, j)] = aug[(r, j)] - sub;
+                    }
+                }
+            }
+        }
+        Some((0..n).map(|i| aug[(i, n)]).collect())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Rat;
+    fn index(&self, (i, j): (usize, usize)) -> &Rat {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rat {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Incremental rank tracker: maintains a reduced set of row vectors and
+/// answers "does this vector increase the rank?" — the inner loop of basis
+/// selection.
+#[derive(Clone, Debug, Default)]
+pub struct RankTracker {
+    /// Reduced (row-echelon) rows with their pivot columns.
+    reduced: Vec<(usize, Vec<Rat>)>,
+}
+
+impl RankTracker {
+    /// An empty tracker (rank 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> usize {
+        self.reduced.len()
+    }
+
+    /// Reduces `v` against the tracked rows; returns the residual and its
+    /// pivot column if the vector is independent.
+    fn reduce(&self, v: &[Rat]) -> Option<(usize, Vec<Rat>)> {
+        let mut v = v.to_vec();
+        for (pivot, row) in &self.reduced {
+            if !v[*pivot].is_zero() {
+                let f = v[*pivot];
+                for (x, r) in v.iter_mut().zip(row) {
+                    *x = *x - f * *r;
+                }
+            }
+        }
+        let pivot = v.iter().position(|x| !x.is_zero())?;
+        let inv = v[pivot].recip();
+        for x in &mut v {
+            *x = *x * inv;
+        }
+        Some((pivot, v))
+    }
+
+    /// True if `v` is linearly independent of the tracked rows.
+    pub fn is_independent(&self, v: &[Rat]) -> bool {
+        self.reduce(v).is_some()
+    }
+
+    /// Adds `v` if independent; returns whether the rank grew.
+    pub fn insert(&mut self, v: &[Rat]) -> bool {
+        match self.reduce(v) {
+            Some(entry) => {
+                self.reduced.push(entry);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::new(n, 1)
+    }
+
+    #[test]
+    fn rational_arithmetic() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(1, -2), Rat::new(-1, 2));
+        assert_eq!(Rat::new(1, 2) + Rat::new(1, 3), Rat::new(5, 6));
+        assert_eq!(Rat::new(1, 2) * Rat::new(2, 3), Rat::new(1, 3));
+        assert_eq!(Rat::new(3, 4) - Rat::new(1, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(1, 2) / Rat::new(1, 4), r(2));
+        assert_eq!(-Rat::new(1, 2), Rat::new(-1, 2));
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert_eq!(Rat::new(-3, 6).abs(), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, 3).recip(), Rat::new(3, 2));
+        assert_eq!(format!("{}", Rat::new(5, 10)), "1/2");
+        assert_eq!(format!("{}", r(7)), "7");
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = Matrix::from_rows(&[
+            vec![r(1), r(0), r(1)],
+            vec![r(0), r(1), r(1)],
+            vec![r(1), r(1), r(2)], // sum of the first two
+        ]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn solve_3x3() {
+        // x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 → x=5, y=3, z=-2
+        let a = Matrix::from_rows(&[
+            vec![r(1), r(1), r(1)],
+            vec![r(0), r(2), r(5)],
+            vec![r(2), r(5), r(-1)],
+        ]);
+        let x = a.solve(&[r(6), r(-4), r(27)]).unwrap();
+        assert_eq!(x, vec![r(5), r(3), r(-2)]);
+        // Verify by multiplication.
+        assert_eq!(a.matvec(&x), vec![r(6), r(-4), r(27)]);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = Matrix::from_rows(&[vec![r(1), r(2)], vec![r(2), r(4)]]);
+        assert!(a.solve(&[r(1), r(2)]).is_none());
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![r(1), r(2)], vec![r(3), r(4)]]);
+        let at = a.transpose();
+        let p = a.matmul(&at);
+        assert_eq!(p[(0, 0)], r(5));
+        assert_eq!(p[(0, 1)], r(11));
+        assert_eq!(p[(1, 0)], r(11));
+        assert_eq!(p[(1, 1)], r(25));
+    }
+
+    #[test]
+    fn rank_tracker_incremental() {
+        let mut t = RankTracker::new();
+        assert!(t.insert(&[r(1), r(0), r(1)]));
+        assert!(t.insert(&[r(0), r(1), r(1)]));
+        assert!(!t.insert(&[r(1), r(1), r(2)]));
+        assert_eq!(t.rank(), 2);
+        assert!(t.is_independent(&[r(0), r(0), r(1)]));
+        assert!(t.insert(&[r(0), r(0), r(1)]));
+        assert_eq!(t.rank(), 3);
+        assert!(!t.is_independent(&[r(4), r(5), r(6)]));
+    }
+
+    #[test]
+    fn min_norm_solution_roundtrip() {
+        // w = Bᵀ(BBᵀ)⁻¹ t reproduces t on the basis rows: B w == t.
+        let b = Matrix::from_rows(&[
+            vec![r(1), r(1), r(0), r(0)],
+            vec![r(0), r(1), r(1), r(0)],
+            vec![r(0), r(0), r(1), r(1)],
+        ]);
+        let t = vec![r(10), r(7), r(9)];
+        let bbt = b.matmul(&b.transpose());
+        let y = bbt.solve(&t).unwrap();
+        let w = b.transpose().matvec(&y);
+        assert_eq!(b.matvec(&w), t);
+    }
+}

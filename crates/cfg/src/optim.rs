@@ -1,0 +1,288 @@
+//! Post-unroll simplification: forward constant propagation on the acyclic
+//! function, folding branches whose conditions are compile-time constants
+//! (typically the unrolled loop-counter tests) into jumps, then pruning
+//! unreachable blocks.
+//!
+//! This mirrors what GameTime's C frontend obtains for counted loops: after
+//! unrolling `for (i = 0; i < 8; i++)`, the eight `i < 8` tests are
+//! constant and disappear, leaving only the data-dependent branches. For
+//! `modexp` this is what makes the structural path count equal the feasible
+//! count (256) and the basis dimension small (9).
+
+use sciduction_ir::{BlockId, Function, Instr, Operand, Terminator};
+use std::collections::VecDeque;
+
+use crate::dag::Unrolled;
+
+/// Constant lattice: `None` = unknown (⊤ meet result), `Some(c)` = constant.
+type State = Vec<Option<u64>>;
+
+fn meet(a: &State, b: &State) -> State {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| match (x, y) {
+            (Some(u), Some(v)) if u == v => Some(*u),
+            _ => None,
+        })
+        .collect()
+}
+
+fn eval_operand(st: &State, o: Operand, width: u32) -> Option<u64> {
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    match o {
+        Operand::Imm(v) => Some(v & mask),
+        Operand::Reg(r) => st[r.index()],
+    }
+}
+
+fn transfer(st: &mut State, ins: &Instr, width: u32) {
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    match ins {
+        Instr::Const { dst, value } => st[dst.index()] = Some(value & mask),
+        Instr::Bin { dst, op, a, b } => {
+            st[dst.index()] = match (eval_operand(st, *a, width), eval_operand(st, *b, width)) {
+                (Some(x), Some(y)) => Some(op.apply(x, y, width)),
+                _ => None,
+            }
+        }
+        Instr::Cmp { dst, op, a, b } => {
+            st[dst.index()] = match (eval_operand(st, *a, width), eval_operand(st, *b, width)) {
+                (Some(x), Some(y)) => Some(op.apply(x, y, width) as u64),
+                _ => None,
+            }
+        }
+        Instr::Select { dst, cond, then, els } => {
+            st[dst.index()] = match eval_operand(st, *cond, width) {
+                Some(0) => eval_operand(st, *els, width),
+                Some(_) => eval_operand(st, *then, width),
+                None => None,
+            }
+        }
+        Instr::Load { dst, .. } => st[dst.index()] = None,
+        Instr::Store { .. } => {}
+    }
+}
+
+/// Topological order of an acyclic function's blocks (entry first).
+fn topo_blocks(f: &Function) -> Vec<usize> {
+    let n = f.blocks.len();
+    let mut indeg = vec![0usize; n];
+    for b in &f.blocks {
+        for s in b.terminator.successors() {
+            indeg[s.index()] += 1;
+        }
+    }
+    // Entry may have indeg > 0 only in cyclic graphs; caller guarantees DAG.
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for s in f.blocks[u].terminator.successors() {
+            let v = s.index();
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// One round of constant propagation + branch folding. Returns the number
+/// of branches folded.
+fn fold_constant_branches(f: &mut Function) -> usize {
+    let n = f.blocks.len();
+    let order = topo_blocks(f);
+    debug_assert_eq!(order.len(), n, "function must be acyclic");
+    let top: State = vec![None; f.num_regs];
+    let mut entry_state: State = vec![None; f.num_regs];
+    // Parameters are unknown; everything else starts unknown too (the
+    // lattice refines via instruction transfer only).
+    for x in entry_state.iter_mut() {
+        *x = None;
+    }
+    let mut in_states: Vec<Option<State>> = vec![None; n];
+    in_states[f.entry.index()] = Some(entry_state);
+    let mut folded = 0;
+    for &u in &order {
+        let st_in = in_states[u].clone().unwrap_or_else(|| top.clone());
+        let mut st = st_in;
+        // Clone the instruction list to appease the borrow checker; blocks
+        // are small.
+        let instrs = f.blocks[u].instrs.clone();
+        for ins in &instrs {
+            transfer(&mut st, ins, f.width);
+        }
+        // Fold branch if condition is constant.
+        let term = f.blocks[u].terminator.clone();
+        let succs: Vec<BlockId> = match term {
+            Terminator::Branch { cond, then_to, else_to } => {
+                match eval_operand(&st, cond, f.width) {
+                    Some(0) => {
+                        f.blocks[u].terminator = Terminator::Jump(else_to);
+                        folded += 1;
+                        vec![else_to]
+                    }
+                    Some(_) => {
+                        f.blocks[u].terminator = Terminator::Jump(then_to);
+                        folded += 1;
+                        vec![then_to]
+                    }
+                    None => vec![then_to, else_to],
+                }
+            }
+            t => t.successors(),
+        };
+        for s in succs {
+            let si = s.index();
+            in_states[si] = Some(match &in_states[si] {
+                None => st.clone(),
+                Some(prev) => meet(prev, &st),
+            });
+        }
+    }
+    folded
+}
+
+/// Removes blocks unreachable from the entry, preserving the origin map.
+fn prune_unreachable(u: &mut Unrolled) {
+    let f = &u.func;
+    let n = f.blocks.len();
+    let mut new_index = vec![usize::MAX; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::from([f.entry.index()]);
+    new_index[f.entry.index()] = 0;
+    order.push(f.entry.index());
+    while let Some(x) = queue.pop_front() {
+        for s in f.blocks[x].terminator.successors() {
+            let v = s.index();
+            if new_index[v] == usize::MAX {
+                new_index[v] = order.len();
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        return; // nothing to prune
+    }
+    let remap = |t: &Terminator| -> Terminator {
+        match t {
+            Terminator::Jump(b) => Terminator::Jump(BlockId::from_index(new_index[b.index()])),
+            Terminator::Branch { cond, then_to, else_to } => Terminator::Branch {
+                cond: *cond,
+                then_to: BlockId::from_index(new_index[then_to.index()]),
+                else_to: BlockId::from_index(new_index[else_to.index()]),
+            },
+            Terminator::Return(v) => Terminator::Return(*v),
+        }
+    };
+    let blocks = order
+        .iter()
+        .map(|&old| sciduction_ir::Block {
+            instrs: f.blocks[old].instrs.clone(),
+            terminator: remap(&f.blocks[old].terminator),
+        })
+        .collect();
+    let origin = order.iter().map(|&old| u.origin[old]).collect();
+    let overflow = u.overflow.and_then(|b| {
+        let ni = new_index[b.index()];
+        (ni != usize::MAX).then(|| BlockId::from_index(ni))
+    });
+    u.func = Function {
+        name: f.name.clone(),
+        num_params: f.num_params,
+        num_regs: f.num_regs,
+        width: f.width,
+        blocks,
+        entry: BlockId::from_index(0),
+    };
+    u.origin = origin;
+    u.overflow = overflow;
+}
+
+/// Simplifies an unrolled function to fixpoint: constant propagation,
+/// branch folding, unreachable-block pruning.
+pub fn simplify(mut u: Unrolled) -> Unrolled {
+    loop {
+        let folded = fold_constant_branches(&mut u.func);
+        prune_unreachable(&mut u);
+        if folded == 0 {
+            break;
+        }
+    }
+    debug_assert!(u.func.validate().is_ok());
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{unroll, Dag};
+    use sciduction_ir::{programs, run, InterpConfig, Memory};
+
+    #[test]
+    fn modexp_simplifies_to_256_structural_paths() {
+        let f = programs::modexp();
+        let u = simplify(unroll(&f, 8));
+        let dag = Dag::build(u).unwrap();
+        assert_eq!(dag.count_paths(), 256);
+        assert_eq!(dag.path_space_dim(), 9, "paper: 9 basis paths for modexp");
+    }
+
+    #[test]
+    fn simplified_function_is_semantically_equivalent() {
+        let f = programs::modexp();
+        let u = simplify(unroll(&f, 8));
+        for exp in [0u64, 1, 5, 37, 128, 200, 255] {
+            for base in [2u64, 3, 17] {
+                let a = run(&f, &[base, exp], Memory::new(), InterpConfig::default())
+                    .unwrap()
+                    .ret;
+                let b = run(&u.func, &[base, exp], Memory::new(), InterpConfig::default())
+                    .unwrap()
+                    .ret;
+                assert_eq!(a, b, "base={base} exp={exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc8_simplifies_like_modexp() {
+        let f = programs::crc8();
+        let u = simplify(unroll(&f, 8));
+        let dag = Dag::build(u.clone()).unwrap();
+        assert_eq!(dag.count_paths(), 256);
+        for b in [0u64, 0x5A, 0xFF] {
+            let out = run(&u.func, &[b], Memory::new(), InterpConfig::default())
+                .unwrap()
+                .ret;
+            assert_eq!(out, programs::crc8_reference(b));
+        }
+    }
+
+    #[test]
+    fn acyclic_branchy_function_untouched_when_data_dependent() {
+        let f = programs::fig4_toy();
+        let u = simplify(unroll(&f, 1));
+        let dag = Dag::build(u).unwrap();
+        assert_eq!(dag.count_paths(), 2, "data-dependent branch must remain");
+    }
+
+    #[test]
+    fn fir_collapses_to_single_path() {
+        let f = programs::fir4();
+        let u = simplify(unroll(&f, 4));
+        let dag = Dag::build(u).unwrap();
+        assert_eq!(dag.count_paths(), 1);
+        assert_eq!(dag.path_space_dim(), 1);
+    }
+}

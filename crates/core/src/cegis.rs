@@ -1,0 +1,212 @@
+//! Generic counterexample-guided inductive synthesis (CEGIS).
+//!
+//! Paper Sec. 2.4.1 identifies CEGIS (Solar-Lezama et al.) as an instance
+//! of sciduction: a structure hypothesis (the sketch / candidate space), an
+//! inductive engine (synthesize a candidate consistent with the examples),
+//! and a deductive engine (a verifier that either certifies the candidate
+//! or returns a counterexample that becomes a new example). This module is
+//! the loop itself, abstracted over both engines; the OGIS application
+//! (Sec. 4) uses a refinement of it where the verifier is replaced by
+//! distinguishing-input search against an I/O oracle.
+
+/// Proposes candidates consistent with all examples seen so far —
+/// the inductive side of CEGIS.
+pub trait Synthesizer {
+    /// Candidate artifacts.
+    type Candidate;
+    /// Counterexamples / observations constraining candidates.
+    type Example;
+
+    /// A candidate consistent with `examples`, or `None` when the
+    /// candidate space is exhausted (unrealizable under the hypothesis).
+    fn propose(&mut self, examples: &[Self::Example]) -> Option<Self::Candidate>;
+}
+
+/// Checks candidates, producing a counterexample on failure — the
+/// deductive side of CEGIS.
+pub trait Verifier {
+    /// Candidate artifacts.
+    type Candidate;
+    /// Counterexamples.
+    type Example;
+
+    /// `None` if the candidate is correct; otherwise a counterexample.
+    fn find_counterexample(&mut self, candidate: &Self::Candidate) -> Option<Self::Example>;
+}
+
+/// Outcome of a CEGIS run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CegisResult<C, E> {
+    /// A verified candidate, with the examples that pinned it down.
+    Synthesized {
+        /// The verified artifact.
+        candidate: C,
+        /// CEGIS iterations used.
+        iterations: usize,
+        /// The accumulated examples.
+        examples: Vec<E>,
+    },
+    /// No candidate in the hypothesis class is consistent with the
+    /// accumulated examples (cf. Fig. 7's "infeasibility reported").
+    Unrealizable {
+        /// Iterations used before exhaustion.
+        iterations: usize,
+        /// The examples that rule the class out.
+        examples: Vec<E>,
+    },
+    /// The iteration budget ran out first.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        iterations: usize,
+    },
+}
+
+/// Runs the CEGIS loop: propose → verify → add counterexample → repeat.
+///
+/// `initial_examples` seeds the loop (often empty or a few random I/O
+/// pairs); `max_iterations` bounds the number of propose/verify rounds.
+pub fn cegis<S, V, C, E>(
+    synthesizer: &mut S,
+    verifier: &mut V,
+    initial_examples: Vec<E>,
+    max_iterations: usize,
+) -> CegisResult<C, E>
+where
+    S: Synthesizer<Candidate = C, Example = E>,
+    V: Verifier<Candidate = C, Example = E>,
+{
+    let mut examples = initial_examples;
+    for iteration in 1..=max_iterations {
+        let Some(candidate) = synthesizer.propose(&examples) else {
+            return CegisResult::Unrealizable { iterations: iteration, examples };
+        };
+        match verifier.find_counterexample(&candidate) {
+            None => {
+                return CegisResult::Synthesized {
+                    candidate,
+                    iterations: iteration,
+                    examples,
+                }
+            }
+            Some(cex) => examples.push(cex),
+        }
+    }
+    CegisResult::BudgetExhausted { iterations: max_iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy: learn a hidden affine function f(x) = (a·x + b) mod 256 from
+    /// counterexamples. Candidate = (a, b); example = (x, f(x)).
+    struct AffineSynth;
+
+    impl Synthesizer for AffineSynth {
+        type Candidate = (u8, u8);
+        type Example = (u8, u8);
+        fn propose(&mut self, examples: &[(u8, u8)]) -> Option<(u8, u8)> {
+            // Enumerate candidates consistent with all examples.
+            for a in 0..=255u8 {
+                for b in 0..=255u8 {
+                    if examples
+                        .iter()
+                        .all(|&(x, y)| a.wrapping_mul(x).wrapping_add(b) == y)
+                    {
+                        return Some((a, b));
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    struct AffineVerifier {
+        secret: (u8, u8),
+    }
+
+    impl Verifier for AffineVerifier {
+        type Candidate = (u8, u8);
+        type Example = (u8, u8);
+        fn find_counterexample(&mut self, c: &(u8, u8)) -> Option<(u8, u8)> {
+            let (sa, sb) = self.secret;
+            (0..=255u8)
+                .find(|&x| {
+                    c.0.wrapping_mul(x).wrapping_add(c.1)
+                        != sa.wrapping_mul(x).wrapping_add(sb)
+                })
+                .map(|x| (x, sa.wrapping_mul(x).wrapping_add(sb)))
+        }
+    }
+
+    #[test]
+    fn cegis_learns_affine_function() {
+        let mut s = AffineSynth;
+        let mut v = AffineVerifier { secret: (13, 200) };
+        match cegis(&mut s, &mut v, vec![], 16) {
+            CegisResult::Synthesized { candidate, iterations, examples } => {
+                // The synthesized function must agree with the secret
+                // everywhere — that is what "verified" certified.
+                for x in 0..=255u8 {
+                    assert_eq!(
+                        candidate.0.wrapping_mul(x).wrapping_add(candidate.1),
+                        13u8.wrapping_mul(x).wrapping_add(200),
+                    );
+                }
+                assert!(iterations <= 4, "affine needs few counterexamples");
+                assert_eq!(examples.len(), iterations - 1);
+            }
+            other => panic!("expected synthesis, got {other:?}"),
+        }
+    }
+
+    /// A verifier that rejects everything forces unrealizability once the
+    /// synthesizer's space is exhausted.
+    struct TinySynth {
+        space: Vec<u8>,
+    }
+
+    impl Synthesizer for TinySynth {
+        type Candidate = u8;
+        type Example = u8;
+        fn propose(&mut self, examples: &[u8]) -> Option<u8> {
+            self.space
+                .iter()
+                .copied()
+                .find(|c| !examples.contains(c))
+        }
+    }
+
+    struct RejectAll;
+
+    impl Verifier for RejectAll {
+        type Candidate = u8;
+        type Example = u8;
+        fn find_counterexample(&mut self, c: &u8) -> Option<u8> {
+            Some(*c) // the candidate itself witnesses failure
+        }
+    }
+
+    #[test]
+    fn cegis_reports_unrealizable() {
+        let mut s = TinySynth { space: vec![1, 2, 3] };
+        let mut v = RejectAll;
+        match cegis(&mut s, &mut v, vec![], 100) {
+            CegisResult::Unrealizable { iterations, examples } => {
+                assert_eq!(iterations, 4);
+                assert_eq!(examples, vec![1, 2, 3]);
+            }
+            other => panic!("expected unrealizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cegis_respects_budget() {
+        let mut s = TinySynth { space: (0..=255).collect() };
+        let mut v = RejectAll;
+        match cegis(&mut s, &mut v, vec![], 5) {
+            CegisResult::BudgetExhausted { iterations } => assert_eq!(iterations, 5),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The inductive-inference and deductive-engine interfaces
+//! (paper Sec. 2.2.2 and 2.2.3), and the instance type tying the
+//! ⟨H, I, D⟩ triple together.
+
+use crate::hypothesis::{ConditionalSoundness, StructureHypothesis, ValidityEvidence};
+
+/// A deductive engine **D**: "a lightweight decision procedure that applies
+/// deductive reasoning to answer queries generated in the synthesis or
+/// verification process" (Sec. 2.2.3).
+///
+/// Typed as a query → response transformer so the same interface covers
+/// the paper's three usages: example generation ("does there exist an
+/// example satisfying the criterion?"), example labeling ("is L the label
+/// of this example?"), and candidate synthesis ("does there exist an
+/// artifact consistent with the observed examples?").
+pub trait DeductiveEngine {
+    /// Queries this engine can decide.
+    type Query;
+    /// Decisions (typically `Option<Witness>` or a label).
+    type Response;
+
+    /// Decides one query.
+    fn decide(&mut self, query: Self::Query) -> Self::Response;
+
+    /// Number of queries decided so far (instrumentation for the
+    /// "lightweight" claim: deductive work should be measurable).
+    fn queries_decided(&self) -> u64;
+
+    /// A short description of the procedure (SMT solving, numerical
+    /// simulation, …) for reports.
+    fn describe(&self) -> String;
+}
+
+/// An inductive inference engine **I**: "an algorithm for learning from
+/// examples an artifact h ∈ H" (Sec. 2.2.2). The engine drives the
+/// deductive engine through oracle queries — this is the *active*
+/// combination of induction and deduction that defines sciduction.
+pub trait InductiveEngine<D: DeductiveEngine> {
+    /// The artifact class being learned (matches the hypothesis).
+    type Artifact;
+    /// Failure modes (no consistent artifact, resource limits, …).
+    type Error;
+
+    /// Runs inference to completion, consulting `oracle` as needed.
+    fn infer(&mut self, oracle: &mut D) -> Result<Self::Artifact, Self::Error>;
+
+    /// A short description of the learning algorithm for reports.
+    fn describe(&self) -> String;
+}
+
+/// One configured instance of sciduction: the triple ⟨H, I, D⟩
+/// (paper Sec. 2.2). Running it produces the artifact plus a
+/// [`ConditionalSoundness`] certificate and a [`Report`] row — the
+/// shape of the paper's Table 1.
+#[derive(Debug)]
+pub struct Instance<H, I, D> {
+    /// The structure hypothesis.
+    pub hypothesis: H,
+    /// The inductive inference engine.
+    pub inductive: I,
+    /// The deductive engine.
+    pub deductive: D,
+    /// Evidence for `valid(H)` supplied by the application.
+    pub evidence: ValidityEvidence,
+    /// Whether soundness is probabilistic (e.g. GameTime).
+    pub probabilistic: bool,
+}
+
+/// The outcome of running a sciduction instance.
+#[derive(Clone, Debug)]
+pub struct Outcome<A> {
+    /// The synthesized artifact.
+    pub artifact: A,
+    /// The conditional-soundness certificate (formula (2)).
+    pub soundness: ConditionalSoundness,
+    /// Reporting row (Table-1 shape).
+    pub report: Report,
+}
+
+/// A Table-1-style report row: the application's H, I, and D in prose,
+/// plus how hard the deductive engine worked.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Report {
+    /// Description of the structure hypothesis.
+    pub hypothesis: String,
+    /// Description of the inductive engine.
+    pub inductive: String,
+    /// Description of the deductive engine.
+    pub deductive: String,
+    /// Deductive queries consumed by this run.
+    pub deductive_queries: u64,
+}
+
+impl<H, I, D> Instance<H, I, D>
+where
+    H: StructureHypothesis,
+    D: DeductiveEngine,
+    I: InductiveEngine<D, Artifact = H::Artifact>,
+{
+    /// Runs the inductive engine against the deductive engine and wraps
+    /// the result with its certificate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inductive engine's error (e.g. "no artifact of the
+    /// hypothesized form is consistent with the oracle").
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the inferred artifact falls outside the
+    /// hypothesis class — that would be a bug in the engine, not a
+    /// property of the problem.
+    pub fn run(&mut self) -> Result<Outcome<H::Artifact>, I::Error> {
+        let q0 = self.deductive.queries_decided();
+        let artifact = self.inductive.infer(&mut self.deductive)?;
+        debug_assert!(
+            self.hypothesis.contains(&artifact),
+            "inductive engine escaped the structure hypothesis"
+        );
+        let mut soundness =
+            ConditionalSoundness::new(self.hypothesis.describe(), self.evidence.clone());
+        if self.probabilistic {
+            soundness = soundness.probabilistic();
+        }
+        let report = Report {
+            hypothesis: self.hypothesis.describe(),
+            inductive: self.inductive.describe(),
+            deductive: self.deductive.describe(),
+            deductive_queries: self.deductive.queries_decided() - q0,
+        };
+        Ok(Outcome { artifact, soundness, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy instance: learn an unknown threshold t ∈ [0, 100) from
+    /// membership queries ("is x ≥ t?") by binary search. H = thresholds
+    /// on the integer grid; I = binary search; D = the membership oracle.
+    struct ThresholdOracle {
+        secret: u32,
+        queries: u64,
+    }
+
+    impl DeductiveEngine for ThresholdOracle {
+        type Query = u32;
+        type Response = bool;
+        fn decide(&mut self, q: u32) -> bool {
+            self.queries += 1;
+            q >= self.secret
+        }
+        fn queries_decided(&self) -> u64 {
+            self.queries
+        }
+        fn describe(&self) -> String {
+            "membership oracle x ≥ t".into()
+        }
+    }
+
+    struct BinarySearch;
+
+    impl InductiveEngine<ThresholdOracle> for BinarySearch {
+        type Artifact = u32;
+        type Error = std::convert::Infallible;
+        fn infer(&mut self, oracle: &mut ThresholdOracle) -> Result<u32, Self::Error> {
+            let (mut lo, mut hi) = (0u32, 100u32);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if oracle.decide(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            Ok(lo)
+        }
+        fn describe(&self) -> String {
+            "binary search on the grid".into()
+        }
+    }
+
+    struct GridThresholds;
+
+    impl StructureHypothesis for GridThresholds {
+        type Artifact = u32;
+        fn contains(&self, a: &u32) -> bool {
+            *a <= 100
+        }
+        fn describe(&self) -> String {
+            "thresholds on the integer grid [0, 100]".into()
+        }
+    }
+
+    #[test]
+    fn toy_instance_learns_threshold() {
+        let mut inst = Instance {
+            hypothesis: GridThresholds,
+            inductive: BinarySearch,
+            deductive: ThresholdOracle { secret: 37, queries: 0 },
+            evidence: ValidityEvidence::Proved {
+                argument: "secret is an integer in range".into(),
+            },
+            probabilistic: false,
+        };
+        let out = inst.run().unwrap();
+        assert_eq!(out.artifact, 37);
+        assert!(out.soundness.usable());
+        // Binary search: ⌈log2 100⌉ = 7 queries.
+        assert_eq!(out.report.deductive_queries, 7);
+        assert!(out.report.inductive.contains("binary search"));
+        assert!(out.report.deductive.contains("oracle"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Structure hypotheses (paper Sec. 2.2.1) and their validity evidence
+//! (Sec. 2.3.1).
+
+use std::fmt;
+
+/// A structure hypothesis **H**: "a (possibly infinite) set of artifacts"
+/// encoding the assumed form of whatever is being synthesized — an
+/// environment model, an inductive invariant, a program, a guard.
+///
+/// `H` defines the sub-class C_H ⊆ C_S searched by the inductive engine.
+/// The paper argues C_H ⊊ C_S is usually desirable (inductive bias,
+/// Sec. 2.2.4); [`StructureHypothesis::is_strict_restriction`] records
+/// which side of that line a hypothesis falls on.
+pub trait StructureHypothesis {
+    /// The artifact type the hypothesis ranges over.
+    type Artifact;
+
+    /// Membership: is this artifact of the hypothesized form?
+    fn contains(&self, artifact: &Self::Artifact) -> bool;
+
+    /// Human-readable statement of the hypothesis (used in certificates
+    /// and the Table-1 report).
+    fn describe(&self) -> String;
+
+    /// Whether C_H ⊊ C_S (a *strict* restriction, giving real inductive
+    /// bias) or C_H = C_S (as in classic CEGAR, Sec. 2.4.1).
+    fn is_strict_restriction(&self) -> bool {
+        true
+    }
+}
+
+/// Evidence for `valid(H)` — formula (1) of the paper:
+///
+/// ```text
+/// valid(H) ≜ (∃c ∈ C_S . c ⊨ Ψ) ⟹ (∃c ∈ C_H . c ⊨ Ψ)
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidityEvidence {
+    /// `valid(H)` holds by construction (e.g. C_H = C_S, as in CEGAR).
+    Trivial,
+    /// Proved under stated side conditions (e.g. the hyperbox hypothesis
+    /// under monotone intra-mode dynamics, Sec. 5.2).
+    Proved {
+        /// The proof sketch / side conditions.
+        argument: String,
+    },
+    /// Assumed, with a domain justification (e.g. a component library
+    /// believed sufficient, Sec. 4.3 / Fig. 7).
+    Assumed {
+        /// Why the assumption is considered reasonable.
+        justification: String,
+    },
+    /// Tested empirically (e.g. the weight-perturbation model measured on
+    /// the platform, Sec. 3.3); records the experiment's outcome.
+    EmpiricallyTested {
+        /// What was measured.
+        description: String,
+        /// Number of trials performed.
+        trials: u64,
+        /// Trials violating the hypothesis.
+        violations: u64,
+    },
+    /// No evidence available; the procedure is best-effort (Sec. 2.3.2:
+    /// "a heuristic, best-effort verification or synthesis procedure").
+    Unknown,
+}
+
+impl ValidityEvidence {
+    /// Whether the evidence supports relying on the conditional-soundness
+    /// guarantee (everything except `Unknown`, and empirical evidence only
+    /// when violation-free).
+    pub fn supports_soundness(&self) -> bool {
+        match self {
+            ValidityEvidence::Trivial
+            | ValidityEvidence::Proved { .. }
+            | ValidityEvidence::Assumed { .. } => true,
+            ValidityEvidence::EmpiricallyTested { violations, .. } => *violations == 0,
+            ValidityEvidence::Unknown => false,
+        }
+    }
+}
+
+impl fmt::Display for ValidityEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityEvidence::Trivial => write!(f, "trivially valid (C_H = C_S)"),
+            ValidityEvidence::Proved { argument } => write!(f, "proved: {argument}"),
+            ValidityEvidence::Assumed { justification } => {
+                write!(f, "assumed: {justification}")
+            }
+            ValidityEvidence::EmpiricallyTested { description, trials, violations } => {
+                write!(
+                    f,
+                    "empirically tested ({description}): {violations}/{trials} violations"
+                )
+            }
+            ValidityEvidence::Unknown => write!(f, "unknown (best-effort procedure)"),
+        }
+    }
+}
+
+/// The conditional-soundness certificate — formula (2) of the paper:
+/// `valid(H) ⟹ sound(P)`. Every sciduction application returns one of
+/// these alongside its artifact, making the assumption that soundness
+/// rides on explicit and inspectable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConditionalSoundness {
+    /// The structure hypothesis this run relied on.
+    pub hypothesis: String,
+    /// Evidence for `valid(H)`.
+    pub evidence: ValidityEvidence,
+    /// Whether the soundness guarantee is probabilistic (GameTime,
+    /// Sec. 3.3) rather than absolute.
+    pub probabilistic: bool,
+}
+
+impl ConditionalSoundness {
+    /// A certificate with the given hypothesis statement and evidence.
+    pub fn new(hypothesis: impl Into<String>, evidence: ValidityEvidence) -> Self {
+        ConditionalSoundness {
+            hypothesis: hypothesis.into(),
+            evidence,
+            probabilistic: false,
+        }
+    }
+
+    /// Marks the guarantee as probabilistic ("sound with probability at
+    /// least 1 − δ").
+    pub fn probabilistic(mut self) -> Self {
+        self.probabilistic = true;
+        self
+    }
+
+    /// True when the evidence supports relying on the guarantee.
+    pub fn usable(&self) -> bool {
+        self.evidence.supports_soundness()
+    }
+}
+
+impl fmt::Display for ConditionalSoundness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "valid(H) ⟹ {}sound(P), where H = {}; valid(H) is {}",
+            if self.probabilistic { "probabilistically " } else { "" },
+            self.hypothesis,
+            self.evidence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Interval {
+        lo: i64,
+        hi: i64,
+    }
+
+    impl StructureHypothesis for Interval {
+        type Artifact = i64;
+        fn contains(&self, a: &i64) -> bool {
+            (self.lo..=self.hi).contains(a)
+        }
+        fn describe(&self) -> String {
+            format!("integers in [{}, {}]", self.lo, self.hi)
+        }
+    }
+
+    #[test]
+    fn hypothesis_membership() {
+        let h = Interval { lo: 0, hi: 10 };
+        assert!(h.contains(&5));
+        assert!(!h.contains(&11));
+        assert!(h.is_strict_restriction());
+        assert!(h.describe().contains("[0, 10]"));
+    }
+
+    #[test]
+    fn evidence_soundness_support() {
+        assert!(ValidityEvidence::Trivial.supports_soundness());
+        assert!(ValidityEvidence::Proved { argument: "x".into() }.supports_soundness());
+        assert!(!ValidityEvidence::Unknown.supports_soundness());
+        let ok = ValidityEvidence::EmpiricallyTested {
+            description: "d".into(),
+            trials: 100,
+            violations: 0,
+        };
+        assert!(ok.supports_soundness());
+        let bad = ValidityEvidence::EmpiricallyTested {
+            description: "d".into(),
+            trials: 100,
+            violations: 3,
+        };
+        assert!(!bad.supports_soundness());
+    }
+
+    #[test]
+    fn certificate_rendering() {
+        let c = ConditionalSoundness::new(
+            "guards are hyperboxes on the grid",
+            ValidityEvidence::Proved { argument: "monotone dynamics".into() },
+        );
+        assert!(c.usable());
+        assert!(!c.probabilistic);
+        let s = format!("{c}");
+        assert!(s.contains("valid(H)"));
+        assert!(s.contains("hyperboxes"));
+        let p = c.probabilistic();
+        assert!(format!("{p}").contains("probabilistically"));
+    }
+}

@@ -1,0 +1,103 @@
+//! # sciduction — structure-constrained induction and deduction
+//!
+//! A from-scratch Rust implementation of the framework of Seshia,
+//! *"Sciduction: Combining Induction, Deduction, and Structure for
+//! Verification and Synthesis"* (DAC 2012). An instance of sciduction is a
+//! triple **⟨H, I, D⟩** (paper Sec. 2.2):
+//!
+//! * **H** — a [`StructureHypothesis`]: the assumed form of the artifact
+//!   being synthesized (invariants, programs, guards, environment models);
+//! * **I** — an [`InductiveEngine`]: a learning algorithm that infers an
+//!   artifact of that form from examples;
+//! * **D** — a [`DeductiveEngine`]: a lightweight decision procedure that
+//!   answers the queries the learner generates (example generation,
+//!   labeling, candidate synthesis).
+//!
+//! Soundness is *conditional* on the validity of the hypothesis —
+//! formula (2) of the paper, `valid(H) ⟹ sound(P)` — and every run
+//! produces a [`ConditionalSoundness`] certificate recording exactly that
+//! dependence, with [`ValidityEvidence`] for `valid(H)`.
+//!
+//! The crate also provides the two classic loops the paper identifies as
+//! sciduction instances (Sec. 2.4): generic [`cegis`] and a localization-
+//! abstraction [`cegar`] for finite transition systems, plus the
+//! Goldman–Kearns [`teaching`] utilities that ground the termination
+//! argument of oracle-guided synthesis (Sec. 4.2).
+//!
+//! The three applications demonstrated in the paper live in sibling
+//! crates, each returning [`Outcome`]s through this framework:
+//!
+//! | Application | H | I | D |
+//! |---|---|---|---|
+//! | `sciduction-gametime` (Sec. 3) | weight-perturbation model | game-theoretic online learning | SMT basis-path test generation |
+//! | `sciduction-ogis` (Sec. 4) | loop-free component programs | learning from distinguishing inputs | SMT candidate/input generation |
+//! | `sciduction-hybrid` (Sec. 5) | guards as hyperboxes | hyperbox learning from labeled points | numerical simulation as reachability oracle |
+//!
+//! # Examples
+//!
+//! A miniature instance — learn a threshold by binary search against a
+//! membership oracle:
+//!
+//! ```
+//! use sciduction::{
+//!     DeductiveEngine, InductiveEngine, Instance, StructureHypothesis, ValidityEvidence,
+//! };
+//!
+//! struct Oracle { secret: u32, queries: u64 }
+//! impl DeductiveEngine for Oracle {
+//!     type Query = u32;
+//!     type Response = bool;
+//!     fn decide(&mut self, q: u32) -> bool { self.queries += 1; q >= self.secret }
+//!     fn queries_decided(&self) -> u64 { self.queries }
+//!     fn describe(&self) -> String { "membership oracle".into() }
+//! }
+//!
+//! struct Search;
+//! impl InductiveEngine<Oracle> for Search {
+//!     type Artifact = u32;
+//!     type Error = std::convert::Infallible;
+//!     fn infer(&mut self, o: &mut Oracle) -> Result<u32, Self::Error> {
+//!         let (mut lo, mut hi) = (0, 1000);
+//!         while lo < hi {
+//!             let mid = (lo + hi) / 2;
+//!             if o.decide(mid) { hi = mid } else { lo = mid + 1 }
+//!         }
+//!         Ok(lo)
+//!     }
+//!     fn describe(&self) -> String { "binary search".into() }
+//! }
+//!
+//! struct Grid;
+//! impl StructureHypothesis for Grid {
+//!     type Artifact = u32;
+//!     fn contains(&self, a: &u32) -> bool { *a <= 1000 }
+//!     fn describe(&self) -> String { "thresholds on [0, 1000]".into() }
+//! }
+//!
+//! let mut inst = Instance {
+//!     hypothesis: Grid,
+//!     inductive: Search,
+//!     deductive: Oracle { secret: 451, queries: 0 },
+//!     evidence: ValidityEvidence::Trivial,
+//!     probabilistic: false,
+//! };
+//! let out = inst.run()?;
+//! assert_eq!(out.artifact, 451);
+//! assert!(out.soundness.usable());
+//! # Ok::<(), std::convert::Infallible>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cegar;
+mod cegis;
+mod engines;
+mod hypothesis;
+pub mod invariants;
+pub mod lstar;
+pub mod teaching;
+
+pub use cegar::{cegar, CegarStats, CegarVerdict, TransitionSystem};
+pub use cegis::{cegis, CegisResult, Synthesizer, Verifier};
+pub use engines::{DeductiveEngine, InductiveEngine, Instance, Outcome, Report};
+pub use hypothesis::{ConditionalSoundness, StructureHypothesis, ValidityEvidence};

@@ -1,0 +1,178 @@
+//! Teaching sequences and teaching dimension (Goldman & Kearns).
+//!
+//! Paper Sec. 4.2 grounds the OGIS distinguishing-input loop in the
+//! teaching-dimension framework: "the generation of an optimal teaching
+//! sequence of examples is equivalent to a minimum set cover problem",
+//! where the universe is the set of incorrect concepts and each example
+//! covers the concepts it distinguishes from the target. This module
+//! implements the finite-class version: greedy set-cover teaching
+//! sequences and the induced (upper bound on the) teaching dimension.
+
+/// A finite concept class over a finite example domain: `concepts[c][x]`
+/// is concept `c`'s label for example `x`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConceptClass {
+    /// Size of the example domain.
+    pub num_examples: usize,
+    /// Label table, one row per concept.
+    pub concepts: Vec<Vec<bool>>,
+}
+
+impl ConceptClass {
+    /// Builds a class, checking row lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any concept row has the wrong length.
+    pub fn new(num_examples: usize, concepts: Vec<Vec<bool>>) -> Self {
+        for (i, c) in concepts.iter().enumerate() {
+            assert_eq!(c.len(), num_examples, "concept {i} has wrong arity");
+        }
+        ConceptClass { num_examples, concepts }
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True when the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// The concepts consistent with a set of labeled examples.
+    pub fn consistent_with(&self, examples: &[(usize, bool)]) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&c| examples.iter().all(|&(x, l)| self.concepts[c][x] == l))
+            .collect()
+    }
+}
+
+/// A greedy teaching sequence for `target`: labeled examples that jointly
+/// eliminate every other concept, chosen by maximum coverage (the greedy
+/// set-cover approximation the paper's OGIS loop instantiates one query at
+/// a time). Returns `None` if some other concept is extensionally equal to
+/// the target (no sequence can separate them).
+pub fn teaching_sequence(class: &ConceptClass, target: usize) -> Option<Vec<(usize, bool)>> {
+    let t = &class.concepts[target];
+    // Concepts still to eliminate.
+    let mut alive: Vec<usize> = (0..class.len())
+        .filter(|&c| c != target && class.concepts[c] != *t)
+        .collect();
+    if (0..class.len()).any(|c| c != target && class.concepts[c] == *t) {
+        return None;
+    }
+    let mut sequence = Vec::new();
+    while !alive.is_empty() {
+        // Pick the example eliminating the most remaining concepts.
+        let (best_x, eliminated) = (0..class.num_examples)
+            .map(|x| {
+                let kills = alive
+                    .iter()
+                    .filter(|&&c| class.concepts[c][x] != t[x])
+                    .count();
+                (x, kills)
+            })
+            .max_by_key(|&(_, k)| k)?;
+        if eliminated == 0 {
+            return None; // unreachable for distinct finite concepts
+        }
+        sequence.push((best_x, t[best_x]));
+        alive.retain(|&c| class.concepts[c][best_x] == t[best_x]);
+    }
+    Some(sequence)
+}
+
+/// Upper bound on the teaching dimension of the class: the longest greedy
+/// teaching sequence over all targets. (Greedy set cover is an
+/// `O(log n)`-approximation, so this bounds TD from above up to that
+/// factor.)
+pub fn teaching_dimension_upper(class: &ConceptClass) -> Option<usize> {
+    (0..class.len())
+        .map(|t| teaching_sequence(class, t).map(|s| s.len()))
+        .try_fold(0, |acc, s| s.map(|s| acc.max(s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Singletons over n examples: teaching dimension 1 — showing the one
+    /// positive example eliminates every other singleton.
+    #[test]
+    fn singletons_have_dimension_one() {
+        let n = 6;
+        let concepts: Vec<Vec<bool>> = (0..n)
+            .map(|i| (0..n).map(|x| x == i).collect())
+            .collect();
+        let class = ConceptClass::new(n, concepts);
+        for t in 0..n {
+            let seq = teaching_sequence(&class, t).unwrap();
+            assert_eq!(seq, vec![(t, true)]);
+        }
+        assert_eq!(teaching_dimension_upper(&class), Some(1));
+    }
+
+    /// The full powerset over n examples needs all n labels.
+    #[test]
+    fn powerset_has_dimension_n() {
+        let n = 4;
+        let concepts: Vec<Vec<bool>> = (0..1u32 << n)
+            .map(|bits| (0..n).map(|x| bits >> x & 1 == 1).collect())
+            .collect();
+        let class = ConceptClass::new(n, concepts);
+        assert_eq!(teaching_dimension_upper(&class), Some(n));
+        let seq = teaching_sequence(&class, 5).unwrap();
+        assert_eq!(seq.len(), n);
+        // The sequence pins the target uniquely.
+        assert_eq!(class.consistent_with(&seq), vec![5]);
+    }
+
+    #[test]
+    fn teaching_sequence_pins_target_uniquely() {
+        // Intervals [lo, hi] over 5 points.
+        let n = 5;
+        let mut concepts = Vec::new();
+        for lo in 0..n {
+            for hi in lo..n {
+                concepts.push((0..n).map(|x| x >= lo && x <= hi).collect());
+            }
+        }
+        let class = ConceptClass::new(n, concepts);
+        for t in 0..class.len() {
+            let seq = teaching_sequence(&class, t).unwrap();
+            assert_eq!(class.consistent_with(&seq), vec![t], "target {t}");
+            // Intervals are teachable with ≤ 4 examples (2 boundary
+            // positives + 2 boundary negatives).
+            assert!(seq.len() <= 4, "interval needed {} examples", seq.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_concepts_are_unteachable() {
+        let class = ConceptClass::new(
+            2,
+            vec![vec![true, false], vec![true, false], vec![false, true]],
+        );
+        assert_eq!(teaching_sequence(&class, 0), None);
+        assert_eq!(teaching_dimension_upper(&class), None);
+        // The distinct concept is still teachable.
+        assert!(teaching_sequence(&class, 2).is_some());
+    }
+
+    #[test]
+    fn consistent_with_filters() {
+        let class = ConceptClass::new(
+            3,
+            vec![
+                vec![true, true, false],
+                vec![true, false, false],
+                vec![false, true, true],
+            ],
+        );
+        assert_eq!(class.consistent_with(&[(0, true)]), vec![0, 1]);
+        assert_eq!(class.consistent_with(&[(0, true), (1, true)]), vec![0]);
+        assert!(class.consistent_with(&[(2, true), (0, true)]).is_empty());
+    }
+}

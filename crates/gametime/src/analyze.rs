@@ -1,0 +1,382 @@
+//! The GAMETIME driver: basis extraction → randomized measurement →
+//! model fitting → prediction (paper Fig. 5), and the answers it supports:
+//! problem ⟨TA⟩, WCET estimation, and full execution-time distributions.
+
+use crate::model::{TimingModel, WeightPerturbationModel};
+use crate::platform::Platform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciduction::ValidityEvidence;
+use sciduction_cfg::{
+    check_path, extract_basis, Basis, BasisConfig, Dag, Path, Rat, SmtOracle, TestCase,
+};
+use sciduction_ir::Function;
+use std::fmt;
+
+/// Configuration of one GameTime analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct GameTimeConfig {
+    /// Loop-unroll bound (total back-edge traversals).
+    pub unroll_bound: usize,
+    /// Total number of randomized end-to-end measurements.
+    pub trials: usize,
+    /// RNG seed (measurement schedule is the only randomized part).
+    pub seed: u64,
+    /// Basis-extraction knobs.
+    pub basis: BasisConfig,
+    /// The structure hypothesis parameters (µ_max, ρ).
+    pub hypothesis: WeightPerturbationModel,
+}
+
+impl Default for GameTimeConfig {
+    fn default() -> Self {
+        GameTimeConfig {
+            unroll_bound: 8,
+            trials: 90,
+            seed: 0x6A3E_717E,
+            basis: BasisConfig::default(),
+            hypothesis: WeightPerturbationModel::default(),
+        }
+    }
+}
+
+/// Number of trials sufficient for confidence 1 − δ, following the shape
+/// of the paper's guarantee (Sec. 3.3): "polynomial in ln(1/δ), µ_max, and
+/// the program parameters". Each basis path gets ⌈ln(1/δ)⌉ + 1 samples.
+pub fn trials_for_confidence(delta: f64, num_basis_paths: usize) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0, 1)");
+    let per_path = (1.0 / delta).ln().ceil() as usize + 1;
+    num_basis_paths * per_path
+}
+
+/// Failure modes of the analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GameTimeError {
+    /// The unrolled DAG has no usable paths (unroll bound too small).
+    NoPaths,
+    /// No feasible basis path was found.
+    EmptyBasis,
+    /// The DAG could not be built.
+    Dag(sciduction_cfg::DagError),
+}
+
+impl fmt::Display for GameTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameTimeError::NoPaths => write!(f, "unrolled DAG has no usable paths"),
+            GameTimeError::EmptyBasis => write!(f, "no feasible basis path found"),
+            GameTimeError::Dag(e) => write!(f, "DAG construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GameTimeError {}
+
+impl From<sciduction_cfg::DagError> for GameTimeError {
+    fn from(e: sciduction_cfg::DagError) -> Self {
+        GameTimeError::Dag(e)
+    }
+}
+
+/// A completed analysis: the DAG, the basis with test cases, and the
+/// fitted timing model.
+#[derive(Debug)]
+pub struct GameTimeAnalysis {
+    /// The unrolled, simplified control-flow DAG.
+    pub dag: Dag,
+    /// Feasible basis paths and their driving test cases.
+    pub basis: Basis,
+    /// The learned (w, π) model estimate.
+    pub model: TimingModel,
+    /// SMT feasibility queries spent (deductive-engine workload).
+    pub smt_queries: u64,
+    /// End-to-end measurements spent (inductive-engine workload).
+    pub measurements: u64,
+}
+
+/// The WCET prediction: estimated cycles, the predicted longest path, and
+/// a test case that drives it.
+#[derive(Clone, Debug)]
+pub struct WcetPrediction {
+    /// Predicted worst-case cycles (x·w of the longest path).
+    pub predicted_cycles: f64,
+    /// The predicted worst-case path.
+    pub path: Path,
+    /// A test case driving that path (from the SMT model).
+    pub test: TestCase,
+}
+
+/// The answer to the paper's problem ⟨TA⟩: "is the execution time of P on
+/// E always at most τ?"
+#[derive(Clone, Debug)]
+pub enum TaAnswer {
+    /// Execution time stays within the bound (with high probability, under
+    /// the hypothesis).
+    Yes {
+        /// The measured time of the predicted worst-case path.
+        worst_measured: u64,
+    },
+    /// The bound is exceeded; here is the witness.
+    No {
+        /// The measured time of the violating run.
+        worst_measured: u64,
+        /// The violating test case.
+        test: TestCase,
+    },
+}
+
+/// Runs the full GameTime pipeline on `function` against `platform`.
+///
+/// # Errors
+///
+/// See [`GameTimeError`].
+pub fn analyze<P: Platform>(
+    function: &Function,
+    platform: &mut P,
+    config: &GameTimeConfig,
+) -> Result<GameTimeAnalysis, GameTimeError> {
+    let dag = Dag::from_function(function, config.unroll_bound)?;
+    if dag.first_path().is_none() {
+        return Err(GameTimeError::NoPaths);
+    }
+    let mut oracle = SmtOracle::new();
+    let basis = extract_basis(&dag, &mut oracle, config.basis);
+    if basis.paths.is_empty() {
+        return Err(GameTimeError::EmptyBasis);
+    }
+    // Randomized measurement: basis paths chosen uniformly at random
+    // (paper: "the sequence of tests is randomized, with basis paths being
+    // chosen uniformly at random to be executed"). Ensure at least one
+    // sample per basis path.
+    let b = basis.paths.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut totals = vec![0u128; b];
+    let mut counts = vec![0u64; b];
+    let mut measurements = 0u64;
+    for i in 0..b.max(config.trials) {
+        let k = if i < b { i } else { rng.random_range(0..b) };
+        let t = platform.measure(&basis.paths[k].test);
+        totals[k] += t as u128;
+        counts[k] += 1;
+        measurements += 1;
+    }
+    let means: Vec<Rat> = totals
+        .iter()
+        .zip(&counts)
+        .map(|(&tot, &n)| Rat::new(tot as i128, n as i128))
+        .collect();
+    let model = TimingModel::fit(&dag, &basis, means, counts);
+    Ok(GameTimeAnalysis {
+        dag,
+        basis,
+        model,
+        smt_queries: oracle.queries,
+        measurements,
+    })
+}
+
+impl GameTimeAnalysis {
+    /// Predicts the WCET: the longest path under the learned weights, with
+    /// a driving test case. Falls back to bounded enumeration if the
+    /// DP-longest path is structurally present but infeasible.
+    pub fn predict_wcet(&self) -> Option<WcetPrediction> {
+        let (t, p) = self.model.predict_longest(&self.dag);
+        if let Some(test) = check_path(&self.dag, &p) {
+            return Some(WcetPrediction {
+                predicted_cycles: t.to_f64(),
+                path: p,
+                test,
+            });
+        }
+        // Fallback: scan feasible paths for the largest prediction.
+        let mut best: Option<WcetPrediction> = None;
+        for p in self.dag.enumerate_paths(4096) {
+            let pred = self.model.predict(&self.dag, &p).to_f64();
+            if best.as_ref().is_none_or(|b| pred > b.predicted_cycles) {
+                if let Some(test) = check_path(&self.dag, &p) {
+                    best = Some(WcetPrediction { predicted_cycles: pred, path: p, test });
+                }
+            }
+        }
+        best
+    }
+
+    /// Answers problem ⟨TA⟩ against a bound of `tau` cycles: predict the
+    /// longest path, *execute* it, and compare (paper Sec. 3.2: "predict
+    /// the longest path, execute it to compute the corresponding timing
+    /// τ*, and compare").
+    pub fn answer_ta<P: Platform>(&self, platform: &mut P, tau: u64) -> Option<TaAnswer> {
+        let wcet = self.predict_wcet()?;
+        let measured = platform.measure(&wcet.test);
+        Some(if measured <= tau {
+            TaAnswer::Yes { worst_measured: measured }
+        } else {
+            TaAnswer::No { worst_measured: measured, test: wcet.test }
+        })
+    }
+
+    /// Predicted execution time for every feasible path (bounded
+    /// enumeration) — the series behind the paper's Fig. 6 "predicted
+    /// distribution".
+    pub fn predict_distribution(&self, limit: usize) -> Vec<(Path, f64)> {
+        self.dag
+            .enumerate_paths(limit)
+            .into_iter()
+            .map(|p| {
+                let t = self.model.predict_f64(&self.dag, &p);
+                (p, t)
+            })
+            .collect()
+    }
+
+    /// Empirically tests the structure hypothesis: measures up to
+    /// `sample_paths` feasible non-basis paths and counts predictions off
+    /// by more than µ_max (the hypothesis' mean-perturbation bound). This
+    /// is the "structure hypothesis testing" the paper's conclusion calls
+    /// for.
+    pub fn validate_hypothesis<P: Platform>(
+        &self,
+        platform: &mut P,
+        hypothesis: &WeightPerturbationModel,
+        sample_paths: usize,
+        seed: u64,
+    ) -> ValidityEvidence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all = self.dag.enumerate_paths(4096);
+        let mut trials = 0u64;
+        let mut violations = 0u64;
+        let mut attempts = 0usize;
+        while trials < sample_paths as u64 && attempts < all.len() * 2 {
+            attempts += 1;
+            let p = &all[rng.random_range(0..all.len())];
+            let Some(test) = check_path(&self.dag, p) else { continue };
+            let measured = platform.measure(&test) as f64;
+            let predicted = self.model.predict_f64(&self.dag, p);
+            trials += 1;
+            if (measured - predicted).abs() > hypothesis.mu_max {
+                violations += 1;
+            }
+        }
+        ValidityEvidence::EmpiricallyTested {
+            description: format!(
+                "|measured − predicted| ≤ µ_max = {} on random feasible paths",
+                hypothesis.mu_max
+            ),
+            trials,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{LinearPlatform, MicroarchPlatform};
+    use sciduction_ir::programs;
+
+    fn config(trials: usize) -> GameTimeConfig {
+        GameTimeConfig {
+            unroll_bound: 8,
+            trials,
+            seed: 7,
+            basis: BasisConfig::default(),
+            hypothesis: WeightPerturbationModel::default(),
+        }
+    }
+
+    #[test]
+    fn exact_linear_platform_is_learned_perfectly() {
+        let f = programs::crc8();
+        let costs: Vec<u64> = (0..f.blocks.len() as u64).map(|i| 10 + 3 * i).collect();
+        let mut platform = LinearPlatform { function: f.clone(), block_costs: costs.clone() };
+        let analysis = analyze(&f, &mut platform, &config(40)).unwrap();
+        // Every path's prediction must equal the true linear time.
+        for p in analysis.dag.enumerate_paths(300) {
+            let Some(test) = check_path(&analysis.dag, &p) else { continue };
+            let measured = platform.measure(&test);
+            let predicted = analysis.model.predict_f64(&analysis.dag, &p);
+            assert!(
+                (predicted - measured as f64).abs() < 1e-6,
+                "path predicted {predicted}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn modexp_wcet_is_the_all_ones_exponent() {
+        let f = programs::modexp();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let analysis = analyze(&f, &mut platform, &config(60)).unwrap();
+        let wcet = analysis.predict_wcet().expect("wcet exists");
+        // Paper Sec. 3.3: "GAMETIME correctly predicts the WCET (and
+        // produces the corresponding test case: the 8-bit exponent is
+        // 255)".
+        assert_eq!(
+            wcet.test.args[1] & 0xFF,
+            255,
+            "worst case must be the all-ones exponent"
+        );
+        // And the prediction must be close to the measurement.
+        let measured = platform.measure(&wcet.test) as f64;
+        let rel_err = (wcet.predicted_cycles - measured).abs() / measured;
+        assert!(rel_err < 0.05, "rel err {rel_err}");
+    }
+
+    #[test]
+    fn ta_answer_matches_ground_truth() {
+        let f = programs::modexp();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let analysis = analyze(&f, &mut platform, &config(60)).unwrap();
+        // Ground-truth WCET by exhaustion.
+        let mut true_wcet = 0u64;
+        for p in analysis.dag.enumerate_paths(300) {
+            if let Some(t) = check_path(&analysis.dag, &p) {
+                true_wcet = true_wcet.max(platform.measure(&t));
+            }
+        }
+        match analysis.answer_ta(&mut platform, true_wcet).unwrap() {
+            TaAnswer::Yes { worst_measured } => assert_eq!(worst_measured, true_wcet),
+            TaAnswer::No { .. } => panic!("bound equal to WCET must be satisfied"),
+        }
+        match analysis.answer_ta(&mut platform, true_wcet - 1).unwrap() {
+            TaAnswer::No { worst_measured, test } => {
+                assert!(worst_measured > true_wcet - 1);
+                assert!(!test.args.is_empty());
+            }
+            TaAnswer::Yes { .. } => panic!("bound below WCET must be violated"),
+        }
+    }
+
+    #[test]
+    fn hypothesis_validation_reports_low_violation_rate() {
+        let f = programs::modexp();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let analysis = analyze(&f, &mut platform, &config(60)).unwrap();
+        let h = WeightPerturbationModel::default();
+        match analysis.validate_hypothesis(&mut platform, &h, 40, 3) {
+            ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+                assert!(trials >= 30);
+                let rate = violations as f64 / trials as f64;
+                assert!(rate < 0.25, "violation rate {rate}");
+            }
+            other => panic!("expected empirical evidence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trials_for_confidence_scales() {
+        assert!(trials_for_confidence(0.1, 9) >= 9 * 3);
+        assert!(trials_for_confidence(0.01, 9) > trials_for_confidence(0.1, 9));
+    }
+
+    #[test]
+    fn unroll_bound_too_small_is_reported() {
+        let f = programs::modexp();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let cfg = GameTimeConfig { unroll_bound: 2, ..config(10) };
+        assert!(matches!(
+            analyze(&f, &mut platform, &cfg),
+            Err(GameTimeError::NoPaths)
+        ));
+    }
+}

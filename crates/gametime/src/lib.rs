@@ -1,0 +1,57 @@
+//! # sciduction-gametime — game-theoretic timing analysis of software
+//!
+//! Reproduction of the GAMETIME application of Seshia, *Sciduction*
+//! (DAC 2012, Sec. 3): quantitative (execution-time) analysis where the
+//! environment model is *inferred* rather than hand-built. The sciduction
+//! triple (paper Table 1, first row):
+//!
+//! * **H** — the weight-perturbation platform model
+//!   ([`WeightPerturbationModel`]): path time = x·w + π(x) with mean |π|
+//!   bounded by µ_max and the worst-case path longest by a margin ρ;
+//! * **I** — game-theoretic online learning ([`analyze`]): measure
+//!   end-to-end times of *basis paths* chosen uniformly at random, fit the
+//!   minimum-norm edge-weight estimate ([`TimingModel::fit`]);
+//! * **D** — SMT solving for basis-path feasibility and test generation
+//!   (`sciduction-cfg`'s symbolic executor over `sciduction-smt`).
+//!
+//! The analysis answers the paper's problem ⟨TA⟩ ("is the execution time
+//! always at most τ?") with a YES/NO plus violating test case
+//! ([`GameTimeAnalysis::answer_ta`]), predicts the WCET with its driving
+//! input ([`GameTimeAnalysis::predict_wcet`] — for `modexp` the exponent
+//! 255, as in the paper), and predicts full execution-time distributions
+//! ([`GameTimeAnalysis::predict_distribution`] — the paper's Fig. 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use sciduction_gametime::{analyze, GameTimeConfig, MicroarchPlatform};
+//! use sciduction_ir::programs;
+//!
+//! let f = programs::fig4_toy();
+//! let mut platform = MicroarchPlatform::new(f.clone());
+//! let config = GameTimeConfig { unroll_bound: 1, trials: 10, ..GameTimeConfig::default() };
+//! let analysis = analyze(&f, &mut platform, &config)?;
+//! let wcet = analysis.predict_wcet().expect("fig4 has feasible paths");
+//! assert!(wcet.predicted_cycles > 0.0);
+//! # Ok::<(), sciduction_gametime::GameTimeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyze;
+mod instance;
+mod model;
+mod platform;
+mod stats;
+
+pub use analyze::{
+    analyze, trials_for_confidence, GameTimeAnalysis, GameTimeConfig, GameTimeError,
+    TaAnswer, WcetPrediction,
+};
+pub use instance::{run_instance, GameTimeLearner, PathFeasibilityEngine};
+pub use model::{TimingModel, WeightPerturbationModel};
+pub use platform::{
+    empty_memory, measure_once, trace_of, LinearPlatform, MicroarchPlatform, Platform,
+    StartState,
+};
+pub use stats::TimeStats;

@@ -1,0 +1,176 @@
+//! The weight-perturbation structure hypothesis and the learned timing
+//! model.
+//!
+//! Paper Sec. 3.2: the platform is "an adversarial process that selects
+//! weights on the edges of the control-flow graph … first, it selects the
+//! path-independent weights w, and then the path-dependent component π",
+//! subject to (1) the mean perturbation along any path being bounded by
+//! µ_max, and (2) for worst-case analysis, the worst-case path being the
+//! unique longest path by a margin ρ. The learned artifact is an estimate
+//! of w, from which the time of *any* path is predicted as x · w.
+
+use sciduction::StructureHypothesis;
+use sciduction_cfg::{Basis, Dag, Matrix, Path, Rat};
+
+/// The structure hypothesis H of GameTime: the weight-perturbation
+/// (w, π) environment model with its two constraints.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightPerturbationModel {
+    /// Bound µ_max on the mean perturbation along any path (cycles).
+    pub mu_max: f64,
+    /// Margin ρ by which the worst-case path is the unique longest.
+    pub rho: f64,
+}
+
+impl Default for WeightPerturbationModel {
+    fn default() -> Self {
+        WeightPerturbationModel { mu_max: 25.0, rho: 2.0 }
+    }
+}
+
+impl StructureHypothesis for WeightPerturbationModel {
+    type Artifact = TimingModel;
+
+    fn contains(&self, artifact: &TimingModel) -> bool {
+        // Any finite weight vector over the DAG's edges is of the
+        // hypothesized form; the substantive content of H constrains the
+        // *platform* (µ_max, ρ), which is checked empirically via
+        // `GameTimeAnalysis::validate_hypothesis`.
+        !artifact.weights.is_empty()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "weight-perturbation platform model (w, π): path time = x·w + π(x), \
+             mean |π| ≤ µ_max = {}, worst-case margin ρ = {}",
+            self.mu_max, self.rho
+        )
+    }
+}
+
+/// The learned timing model: estimated path-independent edge weights plus
+/// the basis measurements they were fitted to.
+#[derive(Clone, Debug)]
+pub struct TimingModel {
+    /// Estimated weight per DAG edge (minimum-norm solution of
+    /// `B w = t̄`, i.e. `w = Bᵀ(BBᵀ)⁻¹ t̄`).
+    pub weights: Vec<Rat>,
+    /// Mean measured time per basis path.
+    pub basis_means: Vec<Rat>,
+    /// Number of measurements behind each mean.
+    pub samples_per_path: Vec<u64>,
+}
+
+impl TimingModel {
+    /// Fits the model from basis paths and their mean measured times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis is empty, lengths disagree, or the basis rows
+    /// are not independent (they are by construction of
+    /// [`sciduction_cfg::extract_basis`]).
+    pub fn fit(
+        dag: &Dag,
+        basis: &Basis,
+        means: Vec<Rat>,
+        samples_per_path: Vec<u64>,
+    ) -> TimingModel {
+        assert!(!basis.paths.is_empty(), "cannot fit with an empty basis");
+        assert_eq!(basis.paths.len(), means.len());
+        assert_eq!(means.len(), samples_per_path.len());
+        let rows: Vec<Vec<Rat>> = basis
+            .paths
+            .iter()
+            .map(|bp| bp.path.edge_vector(dag))
+            .collect();
+        let b = Matrix::from_rows(&rows);
+        let bbt = b.matmul(&b.transpose());
+        let y = bbt
+            .solve(&means)
+            .expect("basis rows are linearly independent");
+        let weights = b.transpose().matvec(&y);
+        TimingModel { weights, basis_means: means, samples_per_path }
+    }
+
+    /// Predicted time of a path: the dot product `x · w`.
+    pub fn predict(&self, dag: &Dag, path: &Path) -> Rat {
+        let x = path.edge_vector(dag);
+        x.iter()
+            .zip(&self.weights)
+            .fold(Rat::ZERO, |acc, (xi, wi)| acc + *xi * *wi)
+    }
+
+    /// Predicted time as `f64` (for reporting/plots).
+    pub fn predict_f64(&self, dag: &Dag, path: &Path) -> f64 {
+        self.predict(dag, path).to_f64()
+    }
+
+    /// The predicted longest path and its predicted time (topological DP
+    /// under the learned weights).
+    pub fn predict_longest(&self, dag: &Dag) -> (Rat, Path) {
+        dag.longest_path(&self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciduction_cfg::{extract_basis, BasisConfig, SmtOracle};
+    use sciduction_ir::programs;
+
+    #[test]
+    fn fit_reproduces_basis_means_exactly() {
+        let f = programs::modexp();
+        let dag = Dag::from_function(&f, 8).unwrap();
+        let basis = extract_basis(&dag, &mut SmtOracle::new(), BasisConfig::default());
+        // Synthetic means: path length in edges, times 10.
+        let means: Vec<Rat> = basis
+            .paths
+            .iter()
+            .map(|bp| Rat::from(bp.path.edges.len() as u64 * 10))
+            .collect();
+        let samples = vec![1u64; means.len()];
+        let model = TimingModel::fit(&dag, &basis, means.clone(), samples);
+        for (bp, want) in basis.paths.iter().zip(&means) {
+            assert_eq!(model.predict(&dag, &bp.path), *want);
+        }
+    }
+
+    #[test]
+    fn linear_ground_truth_is_recovered_for_all_paths() {
+        // If the platform is exactly linear in edges, the min-norm fit
+        // predicts EVERY path exactly, not just basis paths.
+        let f = programs::crc8();
+        let dag = Dag::from_function(&f, 8).unwrap();
+        let basis = extract_basis(&dag, &mut SmtOracle::new(), BasisConfig::default());
+        // Ground truth: weight of edge e = 3*e + 1 (arbitrary but fixed).
+        let w_true: Vec<Rat> = (0..dag.num_edges())
+            .map(|e| Rat::from(3 * e as u64 + 1))
+            .collect();
+        let time_of = |p: &sciduction_cfg::Path| {
+            p.edge_vector(&dag)
+                .iter()
+                .zip(&w_true)
+                .fold(Rat::ZERO, |a, (x, w)| a + *x * *w)
+        };
+        let means: Vec<Rat> = basis.paths.iter().map(|bp| time_of(&bp.path)).collect();
+        let samples = vec![1u64; means.len()];
+        let model = TimingModel::fit(&dag, &basis, means, samples);
+        for p in dag.enumerate_paths(300) {
+            assert_eq!(model.predict(&dag, &p), time_of(&p), "path mispredicted");
+        }
+        // And the predicted longest path matches the true longest.
+        let (pred_t, pred_p) = model.predict_longest(&dag);
+        let (true_t, _true_p) = dag.longest_path(&w_true);
+        assert_eq!(pred_t, true_t);
+        assert_eq!(time_of(&pred_p), true_t);
+    }
+
+    #[test]
+    fn hypothesis_description_mentions_parameters() {
+        let h = WeightPerturbationModel { mu_max: 7.5, rho: 1.0 };
+        let d = h.describe();
+        assert!(d.contains("7.5"));
+        assert!(d.contains("π"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The platform abstraction: an end-to-end measurement oracle.
+//!
+//! GameTime "only requires one to run end-to-end measurements on the
+//! target platform" (paper Sec. 3.2) — the analysis never inspects the
+//! platform's internals. [`Platform`] is that boundary; the production
+//! implementation wraps the `sciduction-microarch` machine (the stand-in
+//! for the paper's StrongARM-1100 / SimIt-ARM), and tests substitute
+//! synthetic platforms to probe the learner.
+
+use sciduction_cfg::TestCase;
+use sciduction_ir::{Function, Memory};
+use sciduction_microarch::{Machine, MachineState};
+
+/// A black box that maps a test case to an end-to-end execution time.
+pub trait Platform {
+    /// Runs the program on `test` and reports the cycle count.
+    fn measure(&mut self, test: &TestCase) -> u64;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String {
+        "opaque measurement platform".into()
+    }
+}
+
+/// The environment state a measurement starts from (the paper's "fixed
+/// starting state of E" in problem ⟨TA⟩).
+#[derive(Clone, Debug, Default)]
+pub enum StartState {
+    /// Cold caches before every run.
+    #[default]
+    Cold,
+    /// A fixed warmed state, cloned before every run.
+    Warmed(MachineState),
+}
+
+/// A [`Platform`] backed by the micro-architectural simulator, measuring a
+/// fixed program from a fixed starting environment state.
+#[derive(Clone, Debug)]
+pub struct MicroarchPlatform {
+    machine: Machine,
+    function: Function,
+    start: StartState,
+    runs: u64,
+}
+
+impl MicroarchPlatform {
+    /// A platform measuring `function` on the default machine from cold
+    /// caches.
+    pub fn new(function: Function) -> Self {
+        Self::with_machine(function, Machine::new(), StartState::Cold)
+    }
+
+    /// Full control over machine configuration and start state.
+    pub fn with_machine(function: Function, machine: Machine, start: StartState) -> Self {
+        MicroarchPlatform { machine, function, start, runs: 0 }
+    }
+
+    /// The program under measurement.
+    pub fn function(&self) -> &Function {
+        &self.function
+    }
+
+    /// Number of measurements taken.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    fn fresh_state(&self) -> MachineState {
+        match &self.start {
+            StartState::Cold => MachineState::cold(self.machine.config()),
+            StartState::Warmed(s) => s.clone(),
+        }
+    }
+
+    /// Measures and also returns the full timed run (used by experiment
+    /// harnesses that need ground-truth traces; the learner itself only
+    /// sees [`Platform::measure`]).
+    pub fn measure_detailed(&mut self, test: &TestCase) -> sciduction_microarch::TimedRun {
+        self.runs += 1;
+        let mut state = self.fresh_state();
+        self.machine
+            .run(&self.function, &test.args, test.memory.clone(), &mut state)
+            .expect("measurement must terminate")
+    }
+}
+
+impl Platform for MicroarchPlatform {
+    fn measure(&mut self, test: &TestCase) -> u64 {
+        self.measure_detailed(test).cycles
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "microarch simulator (5-stage pipeline + I/D caches), program `{}`, {} start",
+            self.function.name,
+            match self.start {
+                StartState::Cold => "cold",
+                StartState::Warmed(_) => "warmed",
+            }
+        )
+    }
+}
+
+/// A synthetic platform whose time is an exact linear function of the
+/// executed block trace — the (w, π = 0) ideal. Used by tests to verify
+/// that the learner recovers exact models when the hypothesis holds
+/// perfectly.
+#[derive(Clone, Debug)]
+pub struct LinearPlatform {
+    /// The program (interpreted functionally; time is synthetic).
+    pub function: Function,
+    /// Cost charged per executed block (by block index).
+    pub block_costs: Vec<u64>,
+}
+
+impl Platform for LinearPlatform {
+    fn measure(&mut self, test: &TestCase) -> u64 {
+        let out = sciduction_ir::run(
+            &self.function,
+            &test.args,
+            test.memory.clone(),
+            sciduction_ir::InterpConfig::default(),
+        )
+        .expect("terminates");
+        out.block_trace
+            .iter()
+            .map(|b| self.block_costs[b.index()])
+            .sum()
+    }
+
+    fn describe(&self) -> String {
+        "synthetic exactly-linear platform".into()
+    }
+}
+
+/// Convenience: a cold-start measurement of a single test case.
+pub fn measure_once(function: &Function, test: &TestCase) -> u64 {
+    let machine = Machine::new();
+    let mut state = MachineState::cold(machine.config());
+    machine
+        .run(function, &test.args, test.memory.clone(), &mut state)
+        .expect("terminates")
+        .cycles
+}
+
+/// Convenience: run the reference interpreter to obtain the block trace a
+/// test case induces (for mapping measurements onto DAG paths).
+pub fn trace_of(function: &Function, test: &TestCase) -> Vec<sciduction_ir::BlockId> {
+    sciduction_ir::run(
+        function,
+        &test.args,
+        test.memory.clone(),
+        sciduction_ir::InterpConfig::default(),
+    )
+    .expect("terminates")
+    .block_trace
+}
+
+/// Helper for experiments: an initially-zero memory.
+pub fn empty_memory() -> Memory {
+    Memory::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciduction_ir::programs;
+
+    #[test]
+    fn microarch_platform_measures_deterministically() {
+        let mut p = MicroarchPlatform::new(programs::modexp());
+        let t = TestCase { args: vec![3, 77], memory: Memory::new() };
+        let a = p.measure(&t);
+        let b = p.measure(&t);
+        assert_eq!(a, b);
+        assert_eq!(p.runs(), 2);
+        assert!(p.describe().contains("modexp"));
+    }
+
+    #[test]
+    fn warmed_start_differs_from_cold() {
+        let f = programs::fir4();
+        let machine = Machine::new();
+        let warm = MachineState::warmed(
+            machine.config(),
+            &f,
+            &[0, 1, 2, 3, 16, 17, 18, 19],
+        );
+        let mut mem = Memory::new();
+        mem.write_slice(0, &[1, 2, 3, 4]);
+        mem.write_slice(16, &[5, 6, 7, 8]);
+        let t = TestCase { args: vec![0, 16], memory: mem };
+        let mut cold = MicroarchPlatform::new(f.clone());
+        let mut warmp =
+            MicroarchPlatform::with_machine(f, machine, StartState::Warmed(warm));
+        assert!(warmp.measure(&t) < cold.measure(&t));
+    }
+
+    #[test]
+    fn linear_platform_is_exactly_block_additive() {
+        let f = programs::fig4_toy();
+        let costs = vec![10, 100, 7];
+        let mut p = LinearPlatform { function: f, block_costs: costs };
+        // flag=1: entry(10) + after(7) = 17
+        let t1 = TestCase { args: vec![1, 40], memory: Memory::new() };
+        assert_eq!(p.measure(&t1), 17);
+        // flag=0: entry + loop + after = 117
+        let t0 = TestCase { args: vec![0, 40], memory: Memory::new() };
+        assert_eq!(p.measure(&t0), 117);
+    }
+}

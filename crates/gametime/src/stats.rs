@@ -1,0 +1,165 @@
+//! Execution-time statistics beyond WCET.
+//!
+//! Paper Sec. 3.2: "GAMETIME can not only be used for WCET estimation, it
+//! can also be used to predict execution time of arbitrary program paths,
+//! and certain execution time statistics (e.g., the distribution of
+//! times)." This module adds the per-input prediction (map a concrete
+//! input to its path, then to its predicted time) and summary statistics
+//! over caller-supplied input ensembles.
+
+use crate::analyze::GameTimeAnalysis;
+use sciduction_cfg::{Path, TestCase};
+use sciduction_ir::{run, InterpConfig};
+
+/// Summary statistics of a set of predicted times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeStats {
+    /// Number of inputs.
+    pub count: usize,
+    /// Minimum predicted time.
+    pub min: f64,
+    /// Maximum predicted time.
+    pub max: f64,
+    /// Mean predicted time.
+    pub mean: f64,
+    /// Standard deviation.
+    pub stddev: f64,
+}
+
+impl TimeStats {
+    /// Computes stats from raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn from_values(values: &[f64]) -> TimeStats {
+        assert!(!values.is_empty(), "no values");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        TimeStats {
+            count: values.len(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+impl GameTimeAnalysis {
+    /// The path a concrete input drives (by replaying the unrolled
+    /// function in the reference interpreter — no timing involved).
+    ///
+    /// Returns `None` if execution does not terminate within the
+    /// interpreter's step limit.
+    pub fn path_of_input(&self, test: &TestCase) -> Option<Path> {
+        let out = run(
+            &self.dag.func,
+            &test.args,
+            test.memory.clone(),
+            InterpConfig::default(),
+        )
+        .ok()?;
+        Some(Path::from_block_trace(&self.dag, &out.block_trace))
+    }
+
+    /// Predicted execution time of a concrete input (paper: "predict
+    /// execution time of arbitrary program paths").
+    pub fn predict_for_input(&self, test: &TestCase) -> Option<f64> {
+        let p = self.path_of_input(test)?;
+        Some(self.model.predict_f64(&self.dag, &p))
+    }
+
+    /// Predicted-time statistics over an input ensemble (paper: "certain
+    /// execution time statistics (e.g., the distribution of times)").
+    /// Inputs that fail to terminate are skipped; returns `None` if none
+    /// survive.
+    pub fn predict_stats<'a, I>(&self, inputs: I) -> Option<TimeStats>
+    where
+        I: IntoIterator<Item = &'a TestCase>,
+    {
+        let values: Vec<f64> = inputs
+            .into_iter()
+            .filter_map(|t| self.predict_for_input(t))
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(TimeStats::from_values(&values))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze, GameTimeConfig};
+    use crate::platform::{MicroarchPlatform, Platform};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sciduction_ir::{programs, Memory};
+
+    #[test]
+    fn time_stats_basics() {
+        let s = TimeStats::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.stddev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn per_input_prediction_tracks_measurement() {
+        let f = programs::modexp();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let analysis = analyze(&f, &mut platform, &GameTimeConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..30 {
+            let test = TestCase {
+                args: vec![rng.random_range(2..250), rng.random_range(0..256)],
+                memory: Memory::new(),
+            };
+            let predicted = analysis.predict_for_input(&test).expect("terminates");
+            let measured = platform.measure(&test) as f64;
+            assert!(
+                (predicted - measured).abs() < 25.0,
+                "input {:?}: predicted {predicted}, measured {measured}",
+                test.args
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_stats_match_measured_ensemble() {
+        let f = programs::crc8();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let analysis = analyze(&f, &mut platform, &GameTimeConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let inputs: Vec<TestCase> = (0..60)
+            .map(|_| TestCase { args: vec![rng.random_range(0..256)], memory: Memory::new() })
+            .collect();
+        let predicted = analysis.predict_stats(inputs.iter()).expect("non-empty");
+        let measured: Vec<f64> = inputs.iter().map(|t| platform.measure(t) as f64).collect();
+        let measured = TimeStats::from_values(&measured);
+        assert_eq!(predicted.count, 60);
+        assert!(
+            (predicted.mean - measured.mean).abs() < 10.0,
+            "mean: predicted {} measured {}",
+            predicted.mean,
+            measured.mean
+        );
+        assert!((predicted.max - measured.max).abs() < 25.0);
+        assert!((predicted.min - measured.min).abs() < 25.0);
+    }
+
+    #[test]
+    fn empty_ensemble_gives_none() {
+        let f = programs::fig4_toy();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let cfg = GameTimeConfig { unroll_bound: 1, trials: 10, ..Default::default() };
+        let analysis = analyze(&f, &mut platform, &cfg).unwrap();
+        assert!(analysis.predict_stats(std::iter::empty()).is_none());
+    }
+}

@@ -1,0 +1,417 @@
+//! Hyperboxes on a discrete grid, and the binary-search hyperbox learner.
+//!
+//! Paper Sec. 5.2: the structure hypothesis restricts guards to
+//! "n-dimensional hyperboxes with vertices lying on a known discrete
+//! grid", and the inductive engine learns them from labeled points: "the
+//! diagonally opposite corners of this hyperbox can then be found using
+//! binary search from the corners of the starting overapproximate
+//! hyperbox" (the Goldman–Kearns hyperbox learning problem).
+
+use std::fmt;
+
+/// An axis-aligned box in ℝⁿ; `lo[i] > hi[i]` denotes the empty box, and
+/// infinite bounds leave a dimension unconstrained.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HyperBox {
+    /// Per-dimension lower bounds (−∞ allowed).
+    pub lo: Vec<f64>,
+    /// Per-dimension upper bounds (+∞ allowed).
+    pub hi: Vec<f64>,
+}
+
+impl HyperBox {
+    /// A box from bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "dimension mismatch");
+        HyperBox { lo, hi }
+    }
+
+    /// The unconstrained box of dimension `n`.
+    pub fn whole(n: usize) -> Self {
+        HyperBox {
+            lo: vec![f64::NEG_INFINITY; n],
+            hi: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// An empty box of dimension `n`.
+    pub fn empty(n: usize) -> Self {
+        HyperBox {
+            lo: vec![1.0; n],
+            hi: vec![0.0; n],
+        }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Point membership (inclusive bounds).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(v, (l, h))| v >= l && v <= h)
+    }
+
+    /// True when some dimension has `lo > hi`.
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l > h)
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &HyperBox) -> HyperBox {
+        HyperBox {
+            lo: self
+                .lo
+                .iter()
+                .zip(&other.lo)
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(&other.hi)
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &HyperBox) -> bool {
+        self.is_empty()
+            || self
+                .lo
+                .iter()
+                .zip(&self.hi)
+                .zip(other.lo.iter().zip(&other.hi))
+                .all(|((l, h), (ol, oh))| l >= ol && h <= oh)
+    }
+}
+
+impl fmt::Display for HyperBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        let parts: Vec<String> = self
+            .lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| {
+                if l.is_infinite() && h.is_infinite() {
+                    "ℝ".to_string()
+                } else {
+                    format!("[{l:.2}, {h:.2}]")
+                }
+            })
+            .collect();
+        write!(f, "{}", parts.join(" × "))
+    }
+}
+
+/// The discrete grid: values are multiples of `precision` (paper
+/// Sec. 5.2: "the discrete grid reflects the finite precision with which
+/// values of continuous system variables can be recorded").
+#[derive(Clone, Copy, Debug)]
+pub struct Grid {
+    /// The grid pitch.
+    pub precision: f64,
+}
+
+impl Grid {
+    /// A grid of the given pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision <= 0`.
+    pub fn new(precision: f64) -> Self {
+        assert!(precision > 0.0, "grid precision must be positive");
+        Grid { precision }
+    }
+
+    /// Snaps a value down to the grid.
+    pub fn floor(&self, v: f64) -> f64 {
+        (v / self.precision).floor() * self.precision
+    }
+
+    /// Snaps a value up to the grid.
+    pub fn ceil(&self, v: f64) -> f64 {
+        (v / self.precision).ceil() * self.precision
+    }
+}
+
+/// Statistics of a hyperbox-learning run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LearnStats {
+    /// Membership (safe/unsafe label) queries issued to the oracle.
+    pub queries: u64,
+}
+
+/// Learns the maximal safe hyperbox around `seed` inside `bound`, using
+/// binary search per dimension per side on the grid. `label(x)` is the
+/// membership oracle (`true` = positive/safe).
+///
+/// Requires `label(seed)`; returns `None` otherwise. Dimensions of `bound`
+/// with infinite extent are left unconstrained (the guard does not test
+/// them). Under the paper's structure hypothesis (the safe set restricted
+/// to `bound` is itself a grid-aligned box containing `seed`), the result
+/// is exact.
+pub fn learn_hyperbox<F: FnMut(&[f64]) -> bool>(
+    bound: &HyperBox,
+    seed: &[f64],
+    grid: Grid,
+    mut label: F,
+) -> (Option<HyperBox>, LearnStats) {
+    let mut stats = LearnStats::default();
+    let mut query = |x: &[f64], stats: &mut LearnStats| {
+        stats.queries += 1;
+        label(x)
+    };
+    if !bound.contains(seed) || !query(seed, &mut stats) {
+        return (None, stats);
+    }
+    let n = bound.dim();
+    let mut lo = vec![0.0; n];
+    let mut hi = vec![0.0; n];
+    let mut probe = seed.to_vec();
+    for d in 0..n {
+        if bound.lo[d].is_infinite() && bound.hi[d].is_infinite() {
+            lo[d] = f64::NEG_INFINITY;
+            hi[d] = f64::INFINITY;
+            continue;
+        }
+        // Lower corner: smallest grid value in [bound.lo, seed] whose
+        // probe is labeled safe. Invariant: `good` is safe, `bad` is the
+        // last known-unsafe grid point below it (or one step past the
+        // bound).
+        let mut good = grid.ceil(seed[d].min(bound.hi[d]));
+        // Seed may be off-grid; ensure the snapped point is safe, else
+        // snap the other way.
+        probe[d] = good;
+        if good > bound.hi[d] || !query(&probe, &mut stats) {
+            good = grid.floor(seed[d]);
+            probe[d] = good;
+            if good < bound.lo[d] || !query(&probe, &mut stats) {
+                probe[d] = seed[d];
+                // The grid is too coarse around the seed; degenerate box.
+                lo[d] = seed[d];
+                hi[d] = seed[d];
+                continue;
+            }
+        }
+        let seed_grid = good;
+        let mut bad = grid.floor(bound.lo[d]) - grid.precision;
+        let mut good_lo = seed_grid;
+        loop {
+            let lo_b = bad + grid.precision;
+            let hi_b = good_lo - grid.precision;
+            if lo_b > hi_b {
+                break; // adjacent grid points: boundary localized
+            }
+            let mid = grid.floor((good_lo + bad) / 2.0).clamp(lo_b, hi_b);
+            probe[d] = mid;
+            if mid >= bound.lo[d] - 1e-12 && query(&probe, &mut stats) {
+                good_lo = mid;
+            } else {
+                bad = mid;
+            }
+        }
+        // Upper corner, symmetric.
+        let mut bad_hi = grid.ceil(bound.hi[d]) + grid.precision;
+        let mut good_hi = seed_grid;
+        loop {
+            let lo_b = good_hi + grid.precision;
+            let hi_b = bad_hi - grid.precision;
+            if lo_b > hi_b {
+                break;
+            }
+            let mid = grid.ceil((good_hi + bad_hi) / 2.0).clamp(lo_b, hi_b);
+            probe[d] = mid;
+            if mid <= bound.hi[d] + 1e-12 && query(&probe, &mut stats) {
+                good_hi = mid;
+            } else {
+                bad_hi = mid;
+            }
+        }
+        lo[d] = good_lo.max(bound.lo[d]);
+        hi[d] = good_hi.min(bound.hi[d]);
+        probe[d] = seed[d];
+    }
+    (Some(HyperBox::new(lo, hi)), stats)
+}
+
+/// Scans the grid for a labeled-positive seed inside `bound`, trying the
+/// provided hints first, then a coarse sweep (up to `budget` queries).
+pub fn find_seed<F: FnMut(&[f64]) -> bool>(
+    bound: &HyperBox,
+    hints: &[Vec<f64>],
+    grid: Grid,
+    budget: u64,
+    mut label: F,
+) -> (Option<Vec<f64>>, LearnStats) {
+    let mut stats = LearnStats::default();
+    for h in hints {
+        if bound.contains(h) {
+            stats.queries += 1;
+            if label(h) {
+                return (Some(h.clone()), stats);
+            }
+        }
+    }
+    // Coarse sweep over the finite dimensions (center out in 1-D; simple
+    // lattice for higher dims).
+    let n = bound.dim();
+    let finite: Vec<usize> = (0..n)
+        .filter(|&d| bound.lo[d].is_finite() && bound.hi[d].is_finite())
+        .collect();
+    if finite.is_empty() {
+        return (None, stats);
+    }
+    let steps = (budget as f64).powf(1.0 / finite.len() as f64).max(2.0) as usize;
+    let mut point: Vec<f64> = (0..n)
+        .map(|d| {
+            if bound.lo[d].is_finite() && bound.hi[d].is_finite() {
+                (bound.lo[d] + bound.hi[d]) / 2.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut idx = vec![0usize; finite.len()];
+    loop {
+        for (k, &d) in finite.iter().enumerate() {
+            let f = idx[k] as f64 / (steps.max(2) - 1) as f64;
+            point[d] = grid.floor(bound.lo[d] + f * (bound.hi[d] - bound.lo[d]));
+        }
+        stats.queries += 1;
+        if label(&point) {
+            return (Some(point), stats);
+        }
+        if stats.queries >= budget {
+            return (None, stats);
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            idx[k] += 1;
+            if idx[k] < steps {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+            if k == finite.len() {
+                return (None, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_algebra() {
+        let a = HyperBox::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let b = HyperBox::new(vec![1.0, -1.0], vec![3.0, 1.0]);
+        let c = a.intersect(&b);
+        assert_eq!(c, HyperBox::new(vec![1.0, 0.0], vec![2.0, 1.0]));
+        assert!(c.is_subset_of(&a));
+        assert!(!a.is_subset_of(&c));
+        assert!(a.contains(&[1.0, 1.0]));
+        assert!(!a.contains(&[3.0, 1.0]));
+        assert!(HyperBox::empty(2).is_empty());
+        assert!(HyperBox::empty(2).is_subset_of(&a));
+        assert!(HyperBox::whole(2).contains(&[1e9, -1e9]));
+        assert_eq!(format!("{}", HyperBox::empty(1)), "∅");
+    }
+
+    #[test]
+    fn grid_snapping() {
+        let g = Grid::new(0.01);
+        assert!((g.floor(16.708) - 16.70).abs() < 1e-9);
+        assert!((g.ceil(13.281) - 13.29).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learns_exact_interval() {
+        // Safe set: [3.29, 16.71] within bound [0, 60], grid 0.01.
+        let bound = HyperBox::new(vec![0.0], vec![60.0]);
+        let g = Grid::new(0.01);
+        let (r, stats) = learn_hyperbox(&bound, &[10.0], g, |x| {
+            x[0] >= 3.29 && x[0] <= 16.71
+        });
+        let b = r.expect("seed is safe");
+        assert!((b.lo[0] - 3.29).abs() < 0.011, "lo {}", b.lo[0]);
+        assert!((b.hi[0] - 16.71).abs() < 0.011, "hi {}", b.hi[0]);
+        // Binary search: logarithmic query count, not linear in 6000 grid
+        // points.
+        assert!(stats.queries < 60, "queries {}", stats.queries);
+    }
+
+    #[test]
+    fn learns_2d_box() {
+        let bound = HyperBox::new(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let g = Grid::new(0.1);
+        let (r, _) = learn_hyperbox(&bound, &[5.0, 5.0], g, |x| {
+            (2.0..=7.0).contains(&x[0]) && (4.0..=9.5).contains(&x[1])
+        });
+        let b = r.unwrap();
+        assert!((b.lo[0] - 2.0).abs() < 0.11);
+        assert!((b.hi[0] - 7.0).abs() < 0.11);
+        assert!((b.lo[1] - 4.0).abs() < 0.11);
+        assert!((b.hi[1] - 9.5).abs() < 0.11);
+    }
+
+    #[test]
+    fn unsafe_seed_returns_none() {
+        let bound = HyperBox::new(vec![0.0], vec![10.0]);
+        let g = Grid::new(0.1);
+        let (r, _) = learn_hyperbox(&bound, &[1.0], g, |x| x[0] > 5.0);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn infinite_dims_left_unconstrained() {
+        let bound = HyperBox::new(vec![f64::NEG_INFINITY, 0.0], vec![f64::INFINITY, 60.0]);
+        let g = Grid::new(0.01);
+        let (r, _) = learn_hyperbox(&bound, &[123.0, 20.0], g, |x| {
+            x[1] >= 13.29 && x[1] <= 26.71
+        });
+        let b = r.unwrap();
+        assert!(b.lo[0].is_infinite() && b.hi[0].is_infinite());
+        assert!((b.lo[1] - 13.29).abs() < 0.011);
+        assert!((b.hi[1] - 26.71).abs() < 0.011);
+    }
+
+    #[test]
+    fn whole_safe_bound_is_returned_fully() {
+        let bound = HyperBox::new(vec![0.0], vec![60.0]);
+        let g = Grid::new(0.01);
+        let (r, _) = learn_hyperbox(&bound, &[30.0], g, |_| true);
+        let b = r.unwrap();
+        assert!(b.lo[0] <= 0.01);
+        assert!(b.hi[0] >= 59.99);
+    }
+
+    #[test]
+    fn find_seed_uses_hints_then_sweeps() {
+        let bound = HyperBox::new(vec![0.0], vec![100.0]);
+        let g = Grid::new(0.5);
+        // Hint is unsafe, sweep must find the safe pocket [70, 80].
+        let (seed, stats) = find_seed(&bound, &[vec![10.0]], g, 200, |x| {
+            (70.0..=80.0).contains(&x[0])
+        });
+        let s = seed.expect("pocket found");
+        assert!((70.0..=80.0).contains(&s[0]));
+        assert!(stats.queries > 1);
+        // No safe point at all.
+        let (none, _) = find_seed(&bound, &[], g, 100, |_| false);
+        assert!(none.is_none());
+    }
+}

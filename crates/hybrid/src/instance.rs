@@ -1,0 +1,246 @@
+//! Switching-logic synthesis as a formal ⟨H, I, D⟩ sciduction instance
+//! (paper Table 1, third row): H = guards as hyperboxes, I = hyperbox
+//! learning from labeled points, D = numerical simulation as reachability
+//! oracle.
+
+use crate::hyperbox::Grid;
+use crate::mds::{reach_label, Mds, ReachConfig, ReachVerdict, SwitchingLogic};
+use crate::synthesis::{synthesize_switching, SwitchSynthConfig, SwitchSynthesis};
+use sciduction::{DeductiveEngine, InductiveEngine, Instance, Outcome, StructureHypothesis, ValidityEvidence};
+use std::fmt;
+use std::rc::Rc;
+
+/// The structure hypothesis **H** of Sec. 5.2: guards are hyperboxes with
+/// vertices on a known discrete grid.
+#[derive(Clone, Debug)]
+pub struct HyperboxGuards {
+    /// The grid the guard vertices must lie on.
+    pub grid: Grid,
+    /// State dimension.
+    pub dim: usize,
+}
+
+impl StructureHypothesis for HyperboxGuards {
+    type Artifact = SwitchingLogic;
+
+    fn contains(&self, logic: &SwitchingLogic) -> bool {
+        logic.guards.iter().all(|g| {
+            g.dim() == self.dim
+                && g.lo.iter().chain(&g.hi).all(|v| {
+                    !v.is_finite()
+                        || ((v / self.grid.precision).round() * self.grid.precision - v)
+                            .abs()
+                            < self.grid.precision * 1e-6
+                            + 1e-9
+                })
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "guards are axis-aligned hyperboxes with vertices on the {}-pitch grid",
+            self.grid.precision
+        )
+    }
+}
+
+/// Synthesis failure through the framework.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HybridError {
+    /// The fixpoint did not converge within the round budget.
+    NotConverged,
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::NotConverged => write!(f, "guard fixpoint did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
+/// The deductive engine **D**: the numerical simulator answering the
+/// reachability question "entered at s, does mode m stay safe until an
+/// exit is enabled?" (paper Sec. 5.2 argues this is deduction: constraint
+/// solving over the reals by integration rules).
+pub struct SimulationOracle {
+    /// The plant.
+    pub mds: Rc<Mds>,
+    /// Simulation settings.
+    pub config: ReachConfig,
+    queries: u64,
+}
+
+impl SimulationOracle {
+    /// Builds the oracle.
+    pub fn new(mds: Rc<Mds>, config: ReachConfig) -> Self {
+        SimulationOracle { mds, config, queries: 0 }
+    }
+
+    pub(crate) fn add_queries(&mut self, n: u64) {
+        self.queries += n;
+    }
+}
+
+impl DeductiveEngine for SimulationOracle {
+    type Query = (usize, Vec<f64>, SwitchingLogic);
+    type Response = ReachVerdict;
+
+    fn decide(&mut self, (mode, state, logic): Self::Query) -> ReachVerdict {
+        self.queries += 1;
+        reach_label(&self.mds, &logic, mode, &state, &self.config)
+    }
+
+    fn queries_decided(&self) -> u64 {
+        self.queries
+    }
+
+    fn describe(&self) -> String {
+        "numerical simulation (RK4) as reachability oracle".into()
+    }
+}
+
+/// The inductive engine **I**: fixpoint hyperbox learning over all
+/// learnable guards.
+pub struct HyperboxLearner {
+    /// The plant.
+    pub mds: Rc<Mds>,
+    /// Initial (overapproximate) guards.
+    pub initial: SwitchingLogic,
+    /// Per-transition seeds.
+    pub seeds: Vec<Option<Vec<f64>>>,
+    /// Loop configuration.
+    pub config: SwitchSynthConfig,
+    /// Populated by a successful run.
+    pub result: Option<SwitchSynthesis>,
+}
+
+impl InductiveEngine<SimulationOracle> for HyperboxLearner {
+    type Artifact = SwitchingLogic;
+    type Error = HybridError;
+
+    fn infer(&mut self, oracle: &mut SimulationOracle) -> Result<SwitchingLogic, HybridError> {
+        let out = synthesize_switching(&self.mds, self.initial.clone(), &self.seeds, &self.config);
+        oracle.add_queries(out.oracle_queries);
+        if !out.converged {
+            return Err(HybridError::NotConverged);
+        }
+        let logic = out.logic.clone();
+        self.result = Some(out);
+        Ok(logic)
+    }
+
+    fn describe(&self) -> String {
+        "hyperbox learning from simulator-labeled switching states (binary search per corner)"
+            .into()
+    }
+}
+
+/// Runs switching-logic synthesis as a sciduction instance.
+///
+/// # Errors
+///
+/// See [`HybridError`].
+pub fn run_instance(
+    mds: Rc<Mds>,
+    initial: SwitchingLogic,
+    seeds: Vec<Option<Vec<f64>>>,
+    config: SwitchSynthConfig,
+) -> Result<(Outcome<SwitchingLogic>, SwitchSynthesis), HybridError> {
+    let hypothesis = HyperboxGuards { grid: config.grid, dim: mds.dim };
+    let oracle = SimulationOracle::new(mds.clone(), config.reach);
+    let mut instance = Instance {
+        hypothesis,
+        inductive: HyperboxLearner {
+            mds,
+            initial,
+            seeds,
+            config,
+            result: None,
+        },
+        deductive: oracle,
+        evidence: ValidityEvidence::Proved {
+            argument: "state variables vary monotonically within each mode and guard \
+                       vertices lie on the recording grid (paper Sec. 5.2 side \
+                       conditions); simulator assumed ideal"
+                .into(),
+        },
+        probabilistic: false,
+    };
+    let outcome = instance.run()?;
+    let result = instance
+        .inductive
+        .result
+        .expect("successful run populates the result");
+    Ok((outcome, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperbox::HyperBox;
+    use crate::mds::{Mode, Transition};
+
+    fn thermostat() -> Mds {
+        Mds {
+            dim: 1,
+            modes: vec![
+                Mode { name: "heat".into(), dynamics: Rc::new(|_x, out| out[0] = 2.0) },
+                Mode { name: "cool".into(), dynamics: Rc::new(|_x, out| out[0] = -1.0) },
+            ],
+            transitions: vec![
+                Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
+                Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+            ],
+            safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+        }
+    }
+
+    #[test]
+    fn thermostat_as_instance() {
+        let mds = Rc::new(thermostat());
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let config = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            ..SwitchSynthConfig::default()
+        };
+        let (outcome, result) = run_instance(
+            mds,
+            initial,
+            vec![Some(vec![22.0]), Some(vec![22.0])],
+            config,
+        )
+        .unwrap();
+        assert!(outcome.soundness.usable());
+        assert!(!outcome.soundness.probabilistic);
+        assert!(outcome.report.hypothesis.contains("hyperbox"));
+        assert!(outcome.report.inductive.contains("binary search"));
+        assert!(outcome.report.deductive.contains("simulation"));
+        assert!(outcome.report.deductive_queries > 0);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn hypothesis_membership_checks_grid_alignment() {
+        let h = HyperboxGuards { grid: Grid::new(0.01), dim: 1 };
+        let aligned = SwitchingLogic {
+            guards: vec![HyperBox::new(vec![13.29], vec![26.70])],
+        };
+        assert!(h.contains(&aligned));
+        let off = SwitchingLogic {
+            guards: vec![HyperBox::new(vec![13.2943], vec![26.70])],
+        };
+        assert!(!h.contains(&off));
+        let unconstrained = SwitchingLogic {
+            guards: vec![HyperBox::whole(1)],
+        };
+        assert!(h.contains(&unconstrained));
+    }
+}

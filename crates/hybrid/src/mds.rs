@@ -1,0 +1,417 @@
+//! Multi-modal dynamical systems, switching logic, the simulation-based
+//! reachability oracle, and hybrid-trajectory simulation.
+//!
+//! Paper Sec. 5.1: "An MDS is a physical system that can operate in
+//! different modes. The dynamics of the plant in each mode is known …
+//! to achieve safe and efficient operation, it is typically necessary to
+//! switch between the different operating modes using carefully
+//! constructed switching logic: guards on transitions between modes. The
+//! MDS along with its switching logic constitutes a hybrid system."
+
+use crate::hyperbox::HyperBox;
+use crate::ode::{rk4_step, VectorField};
+use std::fmt;
+use std::rc::Rc;
+
+/// One operating mode: a name plus its continuous dynamics.
+#[derive(Clone)]
+pub struct Mode {
+    /// Human-readable name (e.g. `G2U`).
+    pub name: String,
+    /// The vector field `dx/dt = f(x)` in this mode.
+    pub dynamics: Rc<dyn Fn(&[f64], &mut [f64])>,
+}
+
+impl fmt::Debug for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mode({})", self.name)
+    }
+}
+
+/// A transition between modes; its guard lives in a [`SwitchingLogic`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// Guard name (e.g. `g12U`).
+    pub name: String,
+    /// Source mode index.
+    pub from: usize,
+    /// Target mode index.
+    pub to: usize,
+    /// Whether the synthesizer may shrink this guard (equality guards such
+    /// as the paper's `g1ND` stay fixed).
+    pub learnable: bool,
+}
+
+/// A multi-modal dynamical system.
+#[derive(Clone)]
+pub struct Mds {
+    /// Continuous state dimension.
+    pub dim: usize,
+    /// Modes.
+    pub modes: Vec<Mode>,
+    /// Transition structure.
+    pub transitions: Vec<Transition>,
+    /// The safety property: `safe(mode, x)` — mode-dependent because
+    /// quantities like the transmission efficiency η are functions of the
+    /// active gear.
+    pub safe: Rc<dyn Fn(usize, &[f64]) -> bool>,
+}
+
+impl Mds {
+    /// Transitions leaving mode `m`.
+    pub fn exits_of(&self, m: usize) -> Vec<usize> {
+        (0..self.transitions.len())
+            .filter(|&t| self.transitions[t].from == m)
+            .collect()
+    }
+
+    /// Transitions entering mode `m`.
+    pub fn entries_of(&self, m: usize) -> Vec<usize> {
+        (0..self.transitions.len())
+            .filter(|&t| self.transitions[t].to == m)
+            .collect()
+    }
+}
+
+/// The switching logic: one guard hyperbox per transition. This is the
+/// artifact the synthesis of Sec. 5 produces.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SwitchingLogic {
+    /// Guard per transition (indexed like `Mds::transitions`).
+    pub guards: Vec<HyperBox>,
+}
+
+impl SwitchingLogic {
+    /// Logic with all guards unconstrained.
+    pub fn permissive(mds: &Mds) -> Self {
+        SwitchingLogic {
+            guards: vec![HyperBox::whole(mds.dim); mds.transitions.len()],
+        }
+    }
+}
+
+impl fmt::Display for SwitchingLogic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, g) in self.guards.iter().enumerate() {
+            writeln!(f, "guard[{i}] = {g}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The verdict of the reachability oracle on a switching state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReachVerdict {
+    /// Trajectory stays safe until some exit guard becomes enabled (or the
+    /// system reaches a safe equilibrium).
+    Safe,
+    /// Trajectory violates the safety property before any exit is enabled.
+    Unsafe,
+    /// The horizon elapsed without an answer (treated conservatively as
+    /// unsafe by the synthesizer).
+    HorizonExhausted,
+}
+
+/// Configuration for the oracle's numerical simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct ReachConfig {
+    /// Integration step.
+    pub dt: f64,
+    /// Simulation horizon (model time units).
+    pub horizon: f64,
+    /// Minimum dwell time before an exit may be taken (0 for Eq. (3);
+    /// 5 s for the paper's Eq. (4) variant).
+    pub min_dwell: f64,
+    /// Norm threshold below which the state counts as an equilibrium.
+    pub equilibrium_eps: f64,
+}
+
+impl Default for ReachConfig {
+    fn default() -> Self {
+        ReachConfig {
+            dt: 0.01,
+            horizon: 100.0,
+            min_dwell: 0.0,
+            equilibrium_eps: 1e-6,
+        }
+    }
+}
+
+/// The deductive engine of Sec. 5: labels a switching state by numerical
+/// simulation. "If we enter m in state s and follow its dynamics, will the
+/// trajectory visit only safe states until some exit guard becomes true?"
+///
+/// With `min_dwell > 0` (the Eq. (4) dwell-time variant) the trajectory
+/// must additionally stay safe — with no need to exit — for the first
+/// `min_dwell` seconds; exit guards only count after that.
+pub fn reach_label(
+    mds: &Mds,
+    logic: &SwitchingLogic,
+    mode: usize,
+    state: &[f64],
+    config: &ReachConfig,
+) -> ReachVerdict {
+    let exits = mds.exits_of(mode);
+    let dyn_f = mds.modes[mode].dynamics.clone();
+    let field = (mds.dim, move |x: &[f64], out: &mut [f64]| dyn_f(x, out));
+    let mut x = state.to_vec();
+    let mut t = 0.0;
+    let mut deriv = vec![0.0; mds.dim];
+    loop {
+        if !(mds.safe)(mode, &x) {
+            return ReachVerdict::Unsafe;
+        }
+        if t >= config.min_dwell {
+            if exits
+                .iter()
+                .any(|&e| logic.guards[e].contains(&x))
+            {
+                return ReachVerdict::Safe;
+            }
+        }
+        field.eval(&x, &mut deriv);
+        let norm: f64 = deriv.iter().map(|d| d * d).sum::<f64>().sqrt();
+        if norm < config.equilibrium_eps {
+            // Safe equilibrium: the state never changes again; with the
+            // dwell already satisfied or no exit ever needed, this is safe.
+            return ReachVerdict::Safe;
+        }
+        if t >= config.horizon {
+            return ReachVerdict::HorizonExhausted;
+        }
+        x = rk4_step(&field, &x, config.dt);
+        t += config.dt;
+    }
+}
+
+/// When a prescribed-sequence simulation takes each transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SwitchPolicy {
+    /// As soon as the guard is enabled (and the dwell has elapsed).
+    #[default]
+    Eager,
+    /// As late as safely possible: while the guard is enabled, keep going
+    /// until the *next* integration step would leave the guard or violate
+    /// the safety property. This is the driving style of the paper's
+    /// Fig. 10, where the efficiency visibly dips to ≈ 0.5 at each gear
+    /// change.
+    LatestSafe,
+}
+
+/// One step of a simulated hybrid trajectory.
+#[derive(Clone, Debug)]
+pub struct HybridSample {
+    /// Model time.
+    pub time: f64,
+    /// Active mode index.
+    pub mode: usize,
+    /// Continuous state.
+    pub state: Vec<f64>,
+}
+
+/// Simulates the hybrid system along a prescribed mode sequence: in each
+/// leg, integrate the current mode's dynamics and take the next
+/// transition as soon as (a) at least `min_dwell` has elapsed in the mode
+/// and (b) the transition's guard is enabled. Returns the sampled
+/// trajectory and whether every sample was safe.
+///
+/// This is the paper's Fig. 10 experiment driver ("the behavior of the
+/// transmission system when it is made to switch from Neutral mode
+/// through the six gear modes and back").
+///
+/// # Panics
+///
+/// Panics if consecutive sequence entries are not connected by a
+/// transition.
+pub fn simulate_hybrid(
+    mds: &Mds,
+    logic: &SwitchingLogic,
+    mode_sequence: &[usize],
+    x0: &[f64],
+    config: &ReachConfig,
+) -> (Vec<HybridSample>, bool) {
+    simulate_hybrid_with_policy(mds, logic, mode_sequence, x0, config, SwitchPolicy::Eager)
+}
+
+/// [`simulate_hybrid`] with an explicit switching policy.
+///
+/// # Panics
+///
+/// Panics if consecutive sequence entries are not connected by a
+/// transition.
+pub fn simulate_hybrid_with_policy(
+    mds: &Mds,
+    logic: &SwitchingLogic,
+    mode_sequence: &[usize],
+    x0: &[f64],
+    config: &ReachConfig,
+    policy: SwitchPolicy,
+) -> (Vec<HybridSample>, bool) {
+    let mut samples = Vec::new();
+    let mut x = x0.to_vec();
+    let mut t = 0.0;
+    let mut all_safe = true;
+    let mut deriv = vec![0.0; mds.dim];
+    for (leg, &mode) in mode_sequence.iter().enumerate() {
+        let next = mode_sequence.get(leg + 1).copied();
+        let trans = next.map(|n| {
+            mds.transitions
+                .iter()
+                .position(|tr| tr.from == mode && tr.to == n)
+                .unwrap_or_else(|| panic!("no transition {mode} → {n}"))
+        });
+        let dyn_f = mds.modes[mode].dynamics.clone();
+        let field = (mds.dim, move |s: &[f64], out: &mut [f64]| dyn_f(s, out));
+        let t_enter = t;
+        loop {
+            samples.push(HybridSample { time: t, mode, state: x.clone() });
+            if !(mds.safe)(mode, &x) {
+                all_safe = false;
+            }
+            match trans {
+                None => {
+                    // Final leg: run until equilibrium or horizon.
+                    field.eval(&x, &mut deriv);
+                    let norm: f64 =
+                        deriv.iter().map(|d| d * d).sum::<f64>().sqrt();
+                    if norm < config.equilibrium_eps || t - t_enter >= config.horizon {
+                        return (samples, all_safe);
+                    }
+                }
+                Some(tr) => {
+                    let enabled = t - t_enter >= config.min_dwell
+                        && logic.guards[tr].contains(&x);
+                    if enabled {
+                        match policy {
+                            SwitchPolicy::Eager => break,
+                            SwitchPolicy::LatestSafe => {
+                                // Peek one step ahead: switch when
+                                // continuing would lose the guard or
+                                // safety — or gains nothing because the
+                                // mode is at an equilibrium.
+                                let ahead = rk4_step(&field, &x, config.dt);
+                                let stationary = ahead
+                                    .iter()
+                                    .zip(&x)
+                                    .all(|(a, b)| (a - b).abs() < config.equilibrium_eps);
+                                if stationary
+                                    || !logic.guards[tr].contains(&ahead)
+                                    || !(mds.safe)(mode, &ahead)
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if t - t_enter >= config.horizon {
+                        // Guard never enabled: abandon (caller sees a
+                        // truncated trajectory).
+                        return (samples, all_safe);
+                    }
+                }
+            }
+            x = rk4_step(&field, &x, config.dt);
+            t += config.dt;
+        }
+    }
+    (samples, all_safe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A thermostat: mode 0 = heating (ṪΔ = +2), mode 1 = cooling
+    /// (Ṫ = −1). Safe band: T ∈ [15, 30].
+    fn thermostat() -> Mds {
+        Mds {
+            dim: 1,
+            modes: vec![
+                Mode {
+                    name: "heat".into(),
+                    dynamics: Rc::new(|_x, out| out[0] = 2.0),
+                },
+                Mode {
+                    name: "cool".into(),
+                    dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                },
+            ],
+            transitions: vec![
+                Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
+                Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+            ],
+            safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+        }
+    }
+
+    #[test]
+    fn reach_label_identifies_safe_and_unsafe_entries() {
+        let mds = thermostat();
+        let mut logic = SwitchingLogic::permissive(&mds);
+        // Exit of heat (h2c) enabled for T ≥ 25; exit of cool for T ≤ 20.
+        logic.guards[0] = HyperBox::new(vec![25.0], vec![f64::INFINITY]);
+        logic.guards[1] = HyperBox::new(vec![f64::NEG_INFINITY], vec![20.0]);
+        let cfg = ReachConfig::default();
+        // Entering heat at 20: heats to 25, exit enabled before 30 → safe.
+        assert_eq!(reach_label(&mds, &logic, 0, &[20.0], &cfg), ReachVerdict::Safe);
+        // Entering heat at 14.5: already outside the safe band.
+        assert_eq!(reach_label(&mds, &logic, 0, &[14.0], &cfg), ReachVerdict::Unsafe);
+        // Entering cool at 29: cools to 20, exit enabled before 15 → safe.
+        assert_eq!(reach_label(&mds, &logic, 1, &[29.0], &cfg), ReachVerdict::Safe);
+        // Entering cool at 31: unsafe immediately.
+        assert_eq!(reach_label(&mds, &logic, 1, &[31.0], &cfg), ReachVerdict::Unsafe);
+    }
+
+    #[test]
+    fn reach_label_with_disabled_exits_hits_unsafe_or_horizon() {
+        let mds = thermostat();
+        let mut logic = SwitchingLogic::permissive(&mds);
+        logic.guards[0] = HyperBox::empty(1); // heat can never exit
+        logic.guards[1] = HyperBox::empty(1);
+        let cfg = ReachConfig::default();
+        // Heating forever exits the band at 30 → unsafe.
+        assert_eq!(reach_label(&mds, &logic, 0, &[20.0], &cfg), ReachVerdict::Unsafe);
+    }
+
+    #[test]
+    fn dwell_requirement_rejects_fast_exits() {
+        let mds = thermostat();
+        let mut logic = SwitchingLogic::permissive(&mds);
+        logic.guards[0] = HyperBox::new(vec![25.0], vec![f64::INFINITY]);
+        logic.guards[1] = HyperBox::new(vec![f64::NEG_INFINITY], vec![20.0]);
+        // Dwell 4 s in heat from 28: reaches 30 (unsafe edge) after 1 s of
+        // waiting... heating 2°/s from 28 crosses 30 at t=1 < dwell → the
+        // trajectory leaves the band before it may exit → unsafe.
+        let cfg = ReachConfig { min_dwell: 4.0, ..ReachConfig::default() };
+        assert_eq!(reach_label(&mds, &logic, 0, &[28.0], &cfg), ReachVerdict::Unsafe);
+        // From 18: reaches 26 at dwell end — exit enabled there → safe.
+        assert_eq!(reach_label(&mds, &logic, 0, &[18.0], &cfg), ReachVerdict::Safe);
+    }
+
+    #[test]
+    fn simulate_hybrid_bounces_between_modes() {
+        let mds = thermostat();
+        let mut logic = SwitchingLogic::permissive(&mds);
+        logic.guards[0] = HyperBox::new(vec![25.0], vec![f64::INFINITY]);
+        logic.guards[1] = HyperBox::new(vec![f64::NEG_INFINITY], vec![20.0]);
+        // Final leg truncates at the horizon (cooling never equilibrates),
+        // so pick a horizon that keeps the last leg inside the band.
+        let cfg = ReachConfig { horizon: 5.0, ..ReachConfig::default() };
+        let (samples, safe) = simulate_hybrid(&mds, &logic, &[0, 1], &[20.0], &cfg);
+        assert!(safe, "thermostat trajectory must stay in the band");
+        // Temperature must stay within [15, 30] and visit all legs.
+        let modes_seen: std::collections::HashSet<usize> =
+            samples.iter().map(|s| s.mode).collect();
+        assert_eq!(modes_seen.len(), 2);
+        for s in &samples {
+            assert!((14.9..=30.1).contains(&s.state[0]));
+        }
+    }
+
+    #[test]
+    fn entries_and_exits() {
+        let mds = thermostat();
+        assert_eq!(mds.exits_of(0), vec![0]);
+        assert_eq!(mds.entries_of(0), vec![1]);
+    }
+}

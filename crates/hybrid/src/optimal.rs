@@ -1,0 +1,351 @@
+//! Optimal switching-logic synthesis — the paper's Sec. 6 extension:
+//! "We have obtained some initial results on synthesizing switching logic
+//! for *optimality*, rather than just safety" (citing Jha, Seshia, Tiwari,
+//! EMSOFT 2011).
+//!
+//! Given safe guards (from [`crate::synthesize_switching`]), this module
+//! picks the *switching surfaces* inside them that optimize a trajectory
+//! cost. The structure hypothesis tightens further: each optimized guard
+//! is a sub-box of the safe guard, parameterized by a threshold on one
+//! designated dimension; the inductive engine is golden-section search on
+//! the simulated cost (the deductive engine remains the numerical
+//! simulator). Soundness (safety) is inherited: the optimized guards are
+//! subsets of the safe ones.
+
+use crate::hyperbox::HyperBox;
+use crate::mds::{
+    simulate_hybrid_with_policy, HybridSample, Mds, ReachConfig, SwitchPolicy,
+    SwitchingLogic,
+};
+
+/// A trajectory cost functional; smaller is better.
+pub trait CostFunctional {
+    /// Evaluates the cost of a sampled trajectory.
+    fn cost(&self, samples: &[HybridSample]) -> f64;
+
+    /// Description for reports.
+    fn describe(&self) -> String {
+        "trajectory cost".into()
+    }
+}
+
+/// Integral of `1 − η(mode, x)` over time: penalizes running gears outside
+/// their efficient band (η supplied by the caller since it is
+/// system-specific).
+pub struct InefficiencyCost<F: Fn(usize, &[f64]) -> f64> {
+    /// Efficiency of `mode` at state `x` (1 = perfectly efficient).
+    pub efficiency: F,
+}
+
+impl<F: Fn(usize, &[f64]) -> f64> CostFunctional for InefficiencyCost<F> {
+    fn cost(&self, samples: &[HybridSample]) -> f64 {
+        let mut acc = 0.0;
+        for w in samples.windows(2) {
+            let dt = w[1].time - w[0].time;
+            acc += dt * (1.0 - (self.efficiency)(w[0].mode, &w[0].state));
+        }
+        acc
+    }
+
+    fn describe(&self) -> String {
+        "∫ (1 − η) dt (inefficiency integral)".into()
+    }
+}
+
+/// Total trajectory duration.
+pub struct DurationCost;
+
+impl CostFunctional for DurationCost {
+    fn cost(&self, samples: &[HybridSample]) -> f64 {
+        match (samples.first(), samples.last()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => f64::INFINITY,
+        }
+    }
+
+    fn describe(&self) -> String {
+        "trajectory duration".into()
+    }
+}
+
+/// One tunable switching threshold: transition `transition` switches when
+/// dimension `dim` crosses `value` (the guard is shrunk so its
+/// `dim`-interval starts — for rising crossings — or ends — for falling —
+/// at the threshold).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Threshold {
+    /// The transition whose guard is tuned.
+    pub transition: usize,
+    /// The state dimension the threshold applies to.
+    pub dim: usize,
+    /// The threshold value.
+    pub value: f64,
+    /// `true` when the variable rises into the guard (threshold becomes
+    /// the guard's lower bound); `false` for falling (upper bound).
+    pub rising: bool,
+}
+
+/// Applies thresholds to safe guards, producing the tightened logic.
+/// Each optimized guard is the safe guard with the threshold as its new
+/// lower (rising) or upper (falling) bound in `dim` — always a subset, so
+/// safety is preserved.
+pub fn apply_thresholds(safe: &SwitchingLogic, thresholds: &[Threshold]) -> SwitchingLogic {
+    let mut logic = safe.clone();
+    for th in thresholds {
+        let g = &mut logic.guards[th.transition];
+        if g.is_empty() {
+            continue;
+        }
+        let mut lo = g.lo.clone();
+        let mut hi = g.hi.clone();
+        if th.rising {
+            lo[th.dim] = lo[th.dim].max(th.value);
+        } else {
+            hi[th.dim] = hi[th.dim].min(th.value);
+        }
+        *g = HyperBox::new(lo, hi);
+    }
+    logic
+}
+
+/// Result of threshold optimization.
+#[derive(Clone, Debug)]
+pub struct OptimalSwitching {
+    /// The optimized (still-safe) logic.
+    pub logic: SwitchingLogic,
+    /// The tuned thresholds, in input order.
+    pub thresholds: Vec<Threshold>,
+    /// Cost of the final trajectory.
+    pub cost: f64,
+    /// Simulation (deductive-engine) evaluations spent.
+    pub evaluations: u64,
+}
+
+/// Optimization knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizeConfig {
+    /// Golden-section iterations per threshold per sweep.
+    pub iterations: usize,
+    /// Coordinate-descent sweeps over all thresholds.
+    pub sweeps: usize,
+    /// Simulation settings for cost evaluation.
+    pub reach: ReachConfig,
+    /// Switching policy during evaluation.
+    pub policy: SwitchPolicy,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            iterations: 24,
+            sweeps: 2,
+            reach: ReachConfig::default(),
+            policy: SwitchPolicy::Eager,
+        }
+    }
+}
+
+const GOLDEN: f64 = 0.618_033_988_749_894_8;
+
+/// Tunes the given thresholds (initialized anywhere inside their guards)
+/// by coordinate-descent golden-section search over the simulated cost of
+/// the `mode_sequence` trajectory from `x0`, evaluated up to the first
+/// sample satisfying `end` (the costed horizon must be the same physical
+/// endpoint for every threshold choice, or early switching would trivially
+/// truncate the cost). Trajectories that violate safety before `end` or
+/// never reach it receive infinite cost, so the optimum is always a safe,
+/// complete run.
+pub fn optimize_thresholds<C: CostFunctional>(
+    mds: &Mds,
+    safe: &SwitchingLogic,
+    mut thresholds: Vec<Threshold>,
+    mode_sequence: &[usize],
+    x0: &[f64],
+    end: &dyn Fn(&HybridSample) -> bool,
+    cost: &C,
+    config: &OptimizeConfig,
+) -> OptimalSwitching {
+    let mut evaluations = 0u64;
+    let mut evaluate = |ths: &[Threshold], evaluations: &mut u64| -> f64 {
+        *evaluations += 1;
+        let logic = apply_thresholds(safe, ths);
+        let (samples, _ok) = simulate_hybrid_with_policy(
+            mds,
+            &logic,
+            mode_sequence,
+            x0,
+            &config.reach,
+            config.policy,
+        );
+        let Some(stop) = samples.iter().position(end) else {
+            return f64::INFINITY; // never reached the costed endpoint
+        };
+        let prefix = &samples[..=stop];
+        if prefix.iter().any(|s| !(mds.safe)(s.mode, &s.state)) {
+            return f64::INFINITY;
+        }
+        cost.cost(prefix)
+    };
+
+    for _ in 0..config.sweeps {
+        for k in 0..thresholds.len() {
+            let th = thresholds[k];
+            let g = &safe.guards[th.transition];
+            if g.is_empty() || !g.lo[th.dim].is_finite() || !g.hi[th.dim].is_finite() {
+                continue;
+            }
+            // Golden-section over the guard's interval in `dim`.
+            let (mut a, mut b) = (g.lo[th.dim], g.hi[th.dim]);
+            let mut x1 = b - GOLDEN * (b - a);
+            let mut x2 = a + GOLDEN * (b - a);
+            let probe = |v: f64, ths: &mut Vec<Threshold>, evals: &mut u64,
+                         evaluate: &mut dyn FnMut(&[Threshold], &mut u64) -> f64| {
+                ths[k].value = v;
+                evaluate(ths, evals)
+            };
+            let mut f1 = probe(x1, &mut thresholds, &mut evaluations, &mut evaluate);
+            let mut f2 = probe(x2, &mut thresholds, &mut evaluations, &mut evaluate);
+            for _ in 0..config.iterations {
+                if f1 <= f2 {
+                    b = x2;
+                    x2 = x1;
+                    f2 = f1;
+                    x1 = b - GOLDEN * (b - a);
+                    f1 = probe(x1, &mut thresholds, &mut evaluations, &mut evaluate);
+                } else {
+                    a = x1;
+                    x1 = x2;
+                    f1 = f2;
+                    x2 = a + GOLDEN * (b - a);
+                    f2 = probe(x2, &mut thresholds, &mut evaluations, &mut evaluate);
+                }
+            }
+            thresholds[k].value = if f1 <= f2 { x1 } else { x2 };
+        }
+    }
+    let final_cost = evaluate(&thresholds, &mut evaluations);
+    OptimalSwitching {
+        logic: apply_thresholds(safe, &thresholds),
+        thresholds,
+        cost: final_cost,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transmission::{
+        eta, gear_of_mode, guard_seeds, initial_guards, modes, transmission,
+    };
+    use crate::{synthesize_switching, Grid, SwitchSynthConfig};
+
+    fn safe_logic() -> (crate::Mds, SwitchingLogic) {
+        let mds = transmission();
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.01),
+            reach: ReachConfig {
+                dt: 0.01,
+                horizon: 200.0,
+                min_dwell: 0.0,
+                equilibrium_eps: 1e-9,
+            },
+            max_rounds: 8,
+            seed_budget: 512,
+        };
+        let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg);
+        assert!(out.converged);
+        (mds, out.logic)
+    }
+
+    #[test]
+    fn apply_thresholds_shrinks_within_safe_guards() {
+        let (_mds, safe) = safe_logic();
+        use crate::transmission::guards;
+        let ths = vec![Threshold { transition: guards::G12U, dim: 1, value: 20.0, rising: true }];
+        let tightened = apply_thresholds(&safe, &ths);
+        let g = &tightened.guards[guards::G12U];
+        assert!((g.lo[1] - 20.0).abs() < 1e-9);
+        assert!(tightened.guards[guards::G12U].is_subset_of(&safe.guards[guards::G12U]));
+        // Other guards untouched.
+        assert_eq!(tightened.guards[guards::G23U], safe.guards[guards::G23U]);
+    }
+
+    #[test]
+    fn optimal_upshifts_near_efficiency_crossovers() {
+        // Maximizing average efficiency over an up-shift run: the optimal
+        // G1U→G2U switch is where η₁(ω) = η₂(ω), i.e. ω = 15 (midpoint of
+        // the gear centres); G2U→G3U at ω = 25.
+        let (mds, safe) = safe_logic();
+        use crate::transmission::guards;
+        let seq = [modes::N, modes::G1U, modes::G2U, modes::G3U];
+        let thresholds = vec![
+            Threshold { transition: guards::G12U, dim: 1, value: 13.30, rising: true },
+            Threshold { transition: guards::G23U, dim: 1, value: 23.31, rising: true },
+        ];
+        let cost = InefficiencyCost {
+            efficiency: |mode: usize, x: &[f64]| {
+                gear_of_mode(mode).map(|g| eta(g, x[1])).unwrap_or(1.0)
+            },
+        };
+        let cfg = OptimizeConfig {
+            reach: ReachConfig {
+                dt: 0.01,
+                horizon: 120.0,
+                min_dwell: 0.0,
+                equilibrium_eps: 1e-9,
+            },
+            ..OptimizeConfig::default()
+        };
+        // Costed horizon: reach ω = 30 in gear 3 (fixed physical endpoint,
+        // independent of where the switches happen).
+        let end = |s: &crate::HybridSample| s.mode == modes::G3U && s.state[1] >= 30.0;
+        let out = optimize_thresholds(
+            &mds, &safe, thresholds, &seq, &[0.0, 0.0], &end, &cost, &cfg,
+        );
+        assert!(out.cost.is_finite(), "optimum must be a safe, complete run");
+        let t12 = out.thresholds[0].value;
+        let t23 = out.thresholds[1].value;
+        assert!((t12 - 15.0).abs() < 1.0, "G1U→G2U at {t12}, expected ≈ 15");
+        assert!((t23 - 25.0).abs() < 1.0, "G2U→G3U at {t23}, expected ≈ 25");
+        // Safety is inherited: optimized guards ⊆ safe guards.
+        for (o, s) in out.logic.guards.iter().zip(&safe.guards) {
+            assert!(o.is_subset_of(s));
+        }
+        assert!(out.evaluations > 20);
+    }
+
+    #[test]
+    fn duration_optimum_is_the_crossover_even_from_a_bad_start() {
+        let (mds, safe) = safe_logic();
+        use crate::transmission::guards;
+        // Minimizing time-to-speed also selects the η₁ = η₂ crossover
+        // (ride whichever gear accelerates faster): the search must find
+        // ≈ 15 even when initialized at the top of the guard.
+        let seq = [modes::N, modes::G1U, modes::G2U];
+        let thresholds =
+            vec![Threshold { transition: guards::G12U, dim: 1, value: 26.0, rising: true }];
+        let cfg = OptimizeConfig {
+            iterations: 20,
+            sweeps: 1,
+            reach: ReachConfig {
+                dt: 0.01,
+                horizon: 120.0,
+                min_dwell: 0.0,
+                equilibrium_eps: 1e-9,
+            },
+            policy: SwitchPolicy::Eager,
+        };
+        let cost = DurationCost;
+        let end = |s: &crate::HybridSample| s.mode == modes::G2U && s.state[1] >= 25.0;
+        let out = optimize_thresholds(
+            &mds, &safe, thresholds, &seq, &[0.0, 0.0], &end, &cost, &cfg,
+        );
+        assert!(out.cost.is_finite());
+        assert!(
+            (out.thresholds[0].value - 15.0).abs() < 1.0,
+            "time-optimal shift at {}, expected ≈ 15",
+            out.thresholds[0].value
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Switching-logic synthesis: the fixpoint loop of paper Sec. 5.2.
+//!
+//! "Our overall approach … operates within a fixpoint computation loop
+//! that initializes each guard with an overapproximate hyperbox, and then
+//! iteratively shrinks entry guards using the hyperbox learning algorithm
+//! that selects states, queries the simulator for labels, and then infers
+//! a smaller hyperbox from the resulting labeled states."
+
+use crate::hyperbox::{find_seed, learn_hyperbox, Grid, HyperBox};
+use crate::mds::{reach_label, Mds, ReachConfig, ReachVerdict, SwitchingLogic};
+use sciduction::ValidityEvidence;
+
+/// Configuration of the synthesis loop.
+#[derive(Clone, Debug)]
+pub struct SwitchSynthConfig {
+    /// The guard grid (paper: finite-precision recording of continuous
+    /// variables; the transmission experiment uses 0.01).
+    pub grid: Grid,
+    /// Reach-oracle (numerical simulation) settings, including the
+    /// dwell-time requirement for the Eq. (4) variant.
+    pub reach: ReachConfig,
+    /// Maximum fixpoint rounds.
+    pub max_rounds: usize,
+    /// Query budget for seed search when no hint is given.
+    pub seed_budget: u64,
+}
+
+impl Default for SwitchSynthConfig {
+    fn default() -> Self {
+        SwitchSynthConfig {
+            grid: Grid::new(0.01),
+            reach: ReachConfig::default(),
+            max_rounds: 8,
+            seed_budget: 256,
+        }
+    }
+}
+
+/// The result of switching-logic synthesis.
+#[derive(Clone, Debug)]
+pub struct SwitchSynthesis {
+    /// The synthesized guards.
+    pub logic: SwitchingLogic,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Whether a fixpoint was reached within the round budget.
+    pub converged: bool,
+    /// Total reachability-oracle (simulation) queries.
+    pub oracle_queries: u64,
+}
+
+/// Synthesizes switching logic for safety by fixpoint iteration of
+/// hyperbox learning.
+///
+/// `initial` supplies the overapproximate guards (the paper initializes
+/// them with the safety region); transitions marked non-learnable keep
+/// their guards verbatim. `seeds[t]`, when provided, anchors the learner
+/// for transition `t` at a state known (or believed) safe — the codified
+/// human insight the structure hypothesis represents; otherwise a grid
+/// scan finds a seed.
+pub fn synthesize_switching(
+    mds: &Mds,
+    initial: SwitchingLogic,
+    seeds: &[Option<Vec<f64>>],
+    config: &SwitchSynthConfig,
+) -> SwitchSynthesis {
+    assert_eq!(initial.guards.len(), mds.transitions.len());
+    assert_eq!(seeds.len(), mds.transitions.len());
+    let mut logic = initial;
+    let mut queries = 0u64;
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < config.max_rounds {
+        rounds += 1;
+        let mut changed = false;
+        for t in 0..mds.transitions.len() {
+            if !mds.transitions[t].learnable {
+                continue;
+            }
+            let target_mode = mds.transitions[t].to;
+            let bound = logic.guards[t].clone();
+            if bound.is_empty() {
+                continue;
+            }
+            let label = |x: &[f64]| {
+                reach_label(mds, &logic, target_mode, x, &config.reach)
+                    == ReachVerdict::Safe
+            };
+            // Seed: hint if provided, else grid scan.
+            let (seed, s1) = match &seeds[t] {
+                Some(hint) => find_seed(&bound, &[hint.clone()], config.grid, config.seed_budget, label),
+                None => find_seed(&bound, &[], config.grid, config.seed_budget, label),
+            };
+            queries += s1.queries;
+            let new_guard = match seed {
+                None => HyperBox::empty(mds.dim),
+                Some(seed) => {
+                    let (learned, s2) = learn_hyperbox(&bound, &seed, config.grid, label);
+                    queries += s2.queries;
+                    learned
+                        .map(|b| b.intersect(&bound))
+                        .unwrap_or_else(|| HyperBox::empty(mds.dim))
+                }
+            };
+            if new_guard != logic.guards[t] {
+                logic.guards[t] = new_guard;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    SwitchSynthesis { logic, rounds, converged, oracle_queries: queries }
+}
+
+/// A-posteriori validation of synthesized logic (paper Sec. 5.3: when the
+/// hypothesis or the simulator's ideality is in doubt, "one must
+/// separately formally verify that the synthesized system satisfies the
+/// safety property"): densely samples every learnable guard and checks the
+/// reach oracle's verdict.
+pub fn validate_logic(
+    mds: &Mds,
+    logic: &SwitchingLogic,
+    samples_per_guard: usize,
+    config: &ReachConfig,
+) -> ValidityEvidence {
+    let mut trials = 0u64;
+    let mut violations = 0u64;
+    for (t, tr) in mds.transitions.iter().enumerate() {
+        if !tr.learnable || logic.guards[t].is_empty() {
+            continue;
+        }
+        let g = &logic.guards[t];
+        for k in 0..samples_per_guard {
+            // Deterministic stratified samples along each finite dim.
+            let frac = (k as f64 + 0.5) / samples_per_guard as f64;
+            let x: Vec<f64> = g
+                .lo
+                .iter()
+                .zip(&g.hi)
+                .map(|(l, h)| {
+                    if l.is_finite() && h.is_finite() {
+                        l + frac * (h - l)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            trials += 1;
+            if reach_label(mds, logic, tr.to, &x, config) != ReachVerdict::Safe {
+                violations += 1;
+            }
+        }
+    }
+    ValidityEvidence::EmpiricallyTested {
+        description: "dense sweep: every sampled switching state in every learned guard \
+                      keeps the trajectory safe until an exit is enabled"
+            .into(),
+        trials,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mds::{Mode, Transition};
+    use std::rc::Rc;
+
+    /// Thermostat MDS with the safe band [15, 30].
+    fn thermostat() -> Mds {
+        Mds {
+            dim: 1,
+            modes: vec![
+                Mode { name: "heat".into(), dynamics: Rc::new(|_x, out| out[0] = 2.0) },
+                Mode { name: "cool".into(), dynamics: Rc::new(|_x, out| out[0] = -1.0) },
+            ],
+            transitions: vec![
+                Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
+                Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+            ],
+            safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+        }
+    }
+
+    #[test]
+    fn thermostat_guards_shrink_to_safe_band() {
+        let mds = thermostat();
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            ..SwitchSynthConfig::default()
+        };
+        let seeds = vec![Some(vec![22.0]), Some(vec![22.0])];
+        let out = synthesize_switching(&mds, initial, &seeds, &cfg);
+        assert!(out.converged, "fixpoint not reached");
+        // Entering either mode is safe exactly within the band (the other
+        // mode's guard, as an exit, is enabled throughout the band).
+        for g in &out.logic.guards {
+            assert!(g.lo[0] >= 14.9, "lo {}", g.lo[0]);
+            assert!(g.hi[0] <= 30.1, "hi {}", g.hi[0]);
+            assert!(g.hi[0] - g.lo[0] > 10.0, "band too small: {g}");
+        }
+        assert!(out.oracle_queries > 0);
+        // Validation: all sampled guard states safe.
+        match validate_logic(&mds, &out.logic, 25, &cfg.reach) {
+            ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+                assert_eq!(violations, 0, "unsafe switching state survived");
+                assert_eq!(trials, 50);
+            }
+            other => panic!("unexpected evidence {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_safety_empties_guards() {
+        let mut mds = thermostat();
+        // Impossible safety: nothing is safe.
+        mds.safe = Rc::new(|_m, _x| false);
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.5),
+            seed_budget: 64,
+            ..SwitchSynthConfig::default()
+        };
+        let out = synthesize_switching(&mds, initial, &[None, None], &cfg);
+        assert!(out.logic.guards.iter().all(|g| g.is_empty()));
+    }
+
+    #[test]
+    fn non_learnable_guards_stay_fixed() {
+        let mut mds = thermostat();
+        mds.transitions[1].learnable = false;
+        let fixed = HyperBox::new(vec![17.0], vec![19.0]);
+        let initial = SwitchingLogic {
+            guards: vec![HyperBox::new(vec![0.0], vec![50.0]), fixed.clone()],
+        };
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            ..SwitchSynthConfig::default()
+        };
+        let out = synthesize_switching(&mds, initial, &[Some(vec![22.0]), None], &cfg);
+        assert_eq!(out.logic.guards[1], fixed);
+    }
+}

@@ -1,0 +1,197 @@
+//! Additional multi-modal dynamical systems beyond the paper's
+//! transmission: a water tank (a clean instance of the hyperbox
+//! hypothesis) and a two-dimensional budgeted heater whose safe switching
+//! set is *not* a box — a live demonstration of what happens when the
+//! structure hypothesis is invalid (paper Sec. 2.3.2 and 5.3: the
+//! procedure degrades to best-effort and a-posteriori validation must
+//! catch unsound results).
+
+use crate::hyperbox::HyperBox;
+use crate::mds::{Mds, Mode, SwitchingLogic, Transition};
+use std::rc::Rc;
+
+/// A water tank with a pump. State: `[level]`. Mode 0 = pump on
+/// (`ℓ̇ = 2 − 0.1ℓ`), mode 1 = pump off (`ℓ̇ = −0.1ℓ − 0.5`). Safety:
+/// `1 ≤ ℓ ≤ 10`.
+///
+/// The safe entry sets are genuine intervals, so the hyperbox hypothesis
+/// is valid and synthesis is exact.
+pub fn water_tank() -> Mds {
+    Mds {
+        dim: 1,
+        modes: vec![
+            Mode {
+                name: "pump_on".into(),
+                dynamics: Rc::new(|x, out| out[0] = 2.0 - 0.1 * x[0]),
+            },
+            Mode {
+                name: "pump_off".into(),
+                dynamics: Rc::new(|x, out| out[0] = -0.1 * x[0] - 0.5),
+            },
+        ],
+        transitions: vec![
+            Transition { name: "on2off".into(), from: 0, to: 1, learnable: true },
+            Transition { name: "off2on".into(), from: 1, to: 0, learnable: true },
+        ],
+        safe: Rc::new(|_m, x| (1.0..=10.0).contains(&x[0])),
+    }
+}
+
+/// Overapproximate initial guards for [`water_tank`].
+pub fn water_tank_initial() -> SwitchingLogic {
+    SwitchingLogic {
+        guards: vec![
+            HyperBox::new(vec![0.0], vec![20.0]),
+            HyperBox::new(vec![0.0], vec![20.0]),
+        ],
+    }
+}
+
+/// A heater with an energy budget. State: `[T, E]`. Mode 0 = heat
+/// (`Ṫ = 2, Ė = −1`), mode 1 = cool (`Ṫ = −1, Ė = 0`). Safety:
+/// `15 ≤ T ≤ 30 ∧ E ≥ 0`.
+///
+/// Entering *heat* at `(T, E)` is safe only while enough budget remains to
+/// reach the exit threshold: the safe set is the **triangle**
+/// `E ≥ (T_exit − T)/2`, not a box. The hyperbox hypothesis is therefore
+/// *invalid* for this system, and the synthesized logic can admit unsafe
+/// corners — which [`crate::validate_logic`] then reports. See the tests.
+pub fn budgeted_heater() -> Mds {
+    Mds {
+        dim: 2,
+        modes: vec![
+            Mode {
+                name: "heat".into(),
+                dynamics: Rc::new(|_x, out| {
+                    out[0] = 2.0;
+                    out[1] = -1.0;
+                }),
+            },
+            Mode {
+                name: "cool".into(),
+                dynamics: Rc::new(|_x, out| {
+                    out[0] = -1.0;
+                    out[1] = 0.0;
+                }),
+            },
+        ],
+        transitions: vec![
+            Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
+            Transition { name: "c2h".into(), from: 1, to: 0, learnable: false },
+        ],
+        safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0]) && x[1] >= 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperbox::Grid;
+    use crate::mds::{reach_label, ReachConfig, ReachVerdict};
+    use crate::synthesis::{synthesize_switching, validate_logic, SwitchSynthConfig};
+    use sciduction::ValidityEvidence;
+
+    fn cfg(grid: f64) -> SwitchSynthConfig {
+        SwitchSynthConfig {
+            grid: Grid::new(grid),
+            reach: ReachConfig {
+                dt: 0.01,
+                horizon: 100.0,
+                min_dwell: 0.0,
+                equilibrium_eps: 1e-9,
+            },
+            max_rounds: 8,
+            seed_budget: 256,
+        }
+    }
+
+    #[test]
+    fn water_tank_guards_synthesize_and_validate() {
+        let mds = water_tank();
+        let out = synthesize_switching(
+            &mds,
+            water_tank_initial(),
+            &[Some(vec![5.0]), Some(vec![5.0])],
+            &cfg(0.05),
+        );
+        assert!(out.converged);
+        for g in &out.logic.guards {
+            assert!(!g.is_empty());
+            // Guards stay within the safe band.
+            assert!(g.lo[0] >= 0.9, "lo {}", g.lo[0]);
+            assert!(g.hi[0] <= 10.1, "hi {}", g.hi[0]);
+        }
+        match validate_logic(&mds, &out.logic, 30, &cfg(0.05).reach) {
+            ValidityEvidence::EmpiricallyTested { violations, .. } => {
+                assert_eq!(violations, 0, "box hypothesis is valid here");
+            }
+            other => panic!("unexpected evidence {other:?}"),
+        }
+    }
+
+    #[test]
+    fn water_tank_pump_dynamics_labels() {
+        let mds = water_tank();
+        let mut logic = water_tank_initial();
+        // Exit of pump_on enabled at high level; exit of pump_off at low.
+        logic.guards[0] = HyperBox::new(vec![8.0], vec![20.0]);
+        logic.guards[1] = HyperBox::new(vec![0.0], vec![3.0]);
+        let rc = cfg(0.05).reach;
+        // Entering pump_on at level 2: fills toward equilibrium 20,
+        // passes 8 (exit enabled) before 10 → safe.
+        assert_eq!(reach_label(&mds, &logic, 0, &[2.0], &rc), ReachVerdict::Safe);
+        // Entering pump_on at 0.5: below the safe band already.
+        assert_eq!(reach_label(&mds, &logic, 0, &[0.5], &rc), ReachVerdict::Unsafe);
+        // Entering pump_off at 9: drains through 3 (exit) before 1 → safe.
+        assert_eq!(reach_label(&mds, &logic, 1, &[9.0], &rc), ReachVerdict::Safe);
+        // Entering pump_off at 11: above the band.
+        assert_eq!(reach_label(&mds, &logic, 1, &[11.0], &rc), ReachVerdict::Unsafe);
+    }
+
+    /// The invalid-hypothesis demonstration: the heater's safe entry set
+    /// is a triangle, the learner fits a box around the seed, and the
+    /// a-posteriori validation finds the unsafe corner — exactly the
+    /// paper's "if one cannot prove … the structure hypothesis …, one
+    /// must separately formally verify" caveat (Sec. 5.3).
+    #[test]
+    fn budgeted_heater_invalid_hypothesis_is_caught_by_validation() {
+        let mds = budgeted_heater();
+        let mut initial = SwitchingLogic {
+            guards: vec![
+                // c2h (fixed): heat may be entered anywhere in the band.
+                HyperBox::new(vec![15.0, 0.0], vec![30.0, 10.0]),
+                HyperBox::new(vec![15.0, 0.0], vec![30.0, 10.0]),
+            ],
+        };
+        // Exit of heat: h2c enabled at T ≥ 25 (fixed box), learnable guard
+        // is the *entry* into heat (transition 1 = c2h… transition 0 is
+        // h2c: entry into cool; entry into heat is transition 1 which we
+        // marked non-learnable to keep one moving part). Learn h2c's
+        // entry-into-cool guard trivially; the interesting one is heat:
+        // flip learnability for this test.
+        let mut mds = mds;
+        mds.transitions[0].learnable = false; // h2c fixed: T ≥ 25
+        mds.transitions[1].learnable = true; // learn entry into heat
+        initial.guards[0] = HyperBox::new(vec![25.0, f64::NEG_INFINITY], vec![30.0, f64::INFINITY]);
+        let out = synthesize_switching(
+            &mds,
+            initial,
+            &[None, Some(vec![20.0, 8.0])],
+            &cfg(0.1),
+        );
+        let heat_entry = &out.logic.guards[1];
+        assert!(!heat_entry.is_empty(), "a box around the seed exists");
+        // The learned box has corners outside the safe triangle
+        // E ≥ (25 − T)/2, so dense validation must report violations.
+        match validate_logic(&mds, &out.logic, 40, &cfg(0.1).reach) {
+            ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+                assert!(trials > 0);
+                assert!(
+                    violations > 0,
+                    "the invalid box hypothesis must be caught: {heat_entry}"
+                );
+            }
+            other => panic!("unexpected evidence {other:?}"),
+        }
+    }
+}

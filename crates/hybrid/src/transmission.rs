@@ -1,0 +1,267 @@
+//! The 3-gear automatic transmission system of the paper's Fig. 9 — the
+//! flagship switching-logic synthesis benchmark (Sec. 5.1, 5.4).
+//!
+//! State: `x = [θ, ω]` (distance covered, speed). Seven modes: Neutral,
+//! three accelerating gears `GiU` (ω̇ = ηᵢ(ω)·u with u = 1), three
+//! decelerating gears `GiD` (ω̇ = ηᵢ(ω)·d with d = −1); θ̇ = ω in every
+//! gear and θ̇ = ω̇ = 0 in Neutral. The transmission efficiency is
+//!
+//! ```text
+//! ηᵢ(ω) = 0.99 e^{−(ω − aᵢ)²/64} + 0.01,   a = (10, 20, 30)
+//! ```
+//!
+//! and the safety property (paper Sec. 5.1) is
+//!
+//! ```text
+//! φS = (ω ≥ 5 ⇒ η ≥ 0.5) ∧ (0 ≤ ω ≤ 60)
+//! ```
+
+use crate::hyperbox::HyperBox;
+use crate::mds::{Mds, Mode, SwitchingLogic, Transition};
+use std::rc::Rc;
+
+/// The distance target of the paper's scenario (θ_max = 1700).
+pub const THETA_MAX: f64 = 1700.0;
+
+/// Gear centres a₁, a₂, a₃.
+pub const GEAR_CENTERS: [f64; 3] = [10.0, 20.0, 30.0];
+
+/// Mode indices.
+#[allow(missing_docs)]
+pub mod modes {
+    pub const N: usize = 0;
+    pub const G1U: usize = 1;
+    pub const G2U: usize = 2;
+    pub const G3U: usize = 3;
+    pub const G3D: usize = 4;
+    pub const G2D: usize = 5;
+    pub const G1D: usize = 6;
+}
+
+/// Transition indices (into [`transmission`]'s transition list), named as
+/// in the paper's Fig. 9 / Eq. (3).
+#[allow(missing_docs)]
+pub mod guards {
+    pub const GN1U: usize = 0;
+    pub const G11U: usize = 1;
+    pub const G12U: usize = 2;
+    pub const G22U: usize = 3;
+    pub const G23U: usize = 4;
+    pub const G33U: usize = 5;
+    pub const G11D: usize = 6;
+    pub const G22D: usize = 7;
+    pub const G33D: usize = 8;
+    pub const G32D: usize = 9;
+    pub const G21D: usize = 10;
+    pub const G1ND: usize = 11;
+}
+
+/// Transmission efficiency of gear `i` (1-based: 1..=3) at speed ω.
+pub fn eta(gear: usize, omega: f64) -> f64 {
+    let a = GEAR_CENTERS[gear - 1];
+    0.99 * (-(omega - a) * (omega - a) / 64.0).exp() + 0.01
+}
+
+/// The gear of a mode (`None` for Neutral).
+pub fn gear_of_mode(mode: usize) -> Option<usize> {
+    match mode {
+        modes::G1U | modes::G1D => Some(1),
+        modes::G2U | modes::G2D => Some(2),
+        modes::G3U | modes::G3D => Some(3),
+        _ => None,
+    }
+}
+
+/// The safety property φS, evaluated mode-dependently (η is the active
+/// gear's efficiency; Neutral has no efficiency constraint).
+pub fn phi_s(mode: usize, x: &[f64]) -> bool {
+    let omega = x[1];
+    if !(0.0..=60.0).contains(&omega) {
+        return false;
+    }
+    match gear_of_mode(mode) {
+        Some(g) => !(omega >= 5.0) || eta(g, omega) >= 0.5,
+        None => true,
+    }
+}
+
+fn gear_dynamics(gear: usize, sign: f64) -> Rc<dyn Fn(&[f64], &mut [f64])> {
+    Rc::new(move |x: &[f64], out: &mut [f64]| {
+        out[0] = x[1]; // θ̇ = ω
+        // ω̇ = ±ηᵢ(ω); decelerating gears saturate at standstill (the
+        // braking torque vanishes as ω → 0⁺) so the integrator cannot
+        // overshoot into ω < 0, which φS forbids. The paper's trajectories
+        // likewise come to rest at ω = 0 (Fig. 10).
+        let rate = sign * eta(gear, x[1]);
+        out[1] = if sign < 0.0 {
+            rate * (x[1] / 0.01).clamp(0.0, 1.0)
+        } else {
+            rate
+        };
+    })
+}
+
+/// Builds the transmission MDS (u = 1, d = −1 as in the paper).
+pub fn transmission() -> Mds {
+    use modes::*;
+    let mk = |name: &str, from: usize, to: usize, learnable: bool| Transition {
+        name: name.into(),
+        from,
+        to,
+        learnable,
+    };
+    Mds {
+        dim: 2,
+        modes: vec![
+            Mode {
+                name: "N".into(),
+                dynamics: Rc::new(|_x, out| {
+                    out[0] = 0.0;
+                    out[1] = 0.0;
+                }),
+            },
+            Mode { name: "G1U".into(), dynamics: gear_dynamics(1, 1.0) },
+            Mode { name: "G2U".into(), dynamics: gear_dynamics(2, 1.0) },
+            Mode { name: "G3U".into(), dynamics: gear_dynamics(3, 1.0) },
+            Mode { name: "G3D".into(), dynamics: gear_dynamics(3, -1.0) },
+            Mode { name: "G2D".into(), dynamics: gear_dynamics(2, -1.0) },
+            Mode { name: "G1D".into(), dynamics: gear_dynamics(1, -1.0) },
+        ],
+        transitions: vec![
+            mk("gN1U", N, G1U, true),
+            mk("g11U", G1D, G1U, true),
+            mk("g12U", G1U, G2U, true),
+            mk("g22U", G2D, G2U, true),
+            mk("g23U", G2U, G3U, true),
+            mk("g33U", G3D, G3U, true),
+            mk("g11D", G1U, G1D, true),
+            mk("g22D", G2U, G2D, true),
+            mk("g33D", G3U, G3D, true),
+            mk("g32D", G3D, G2D, true),
+            mk("g21D", G2D, G1D, true),
+            // g1ND is the paper's fixed equality guard θ = θ_max ∧ ω = 0.
+            mk("g1ND", G1D, N, false),
+        ],
+        safe: Rc::new(phi_s),
+    }
+}
+
+/// The paper's initial guard overapproximations: "the guard g1ND is
+/// initialized to φS ∧ θ = θmax ∧ ω = 0. All the other guards are
+/// initialized to 0 ≤ ω ≤ 60."
+pub fn initial_guards(mds: &Mds) -> SwitchingLogic {
+    let omega_band = HyperBox::new(
+        vec![f64::NEG_INFINITY, 0.0],
+        vec![f64::INFINITY, 60.0],
+    );
+    let mut guards = vec![omega_band; mds.transitions.len()];
+    guards[guards::G1ND] = HyperBox::new(vec![THETA_MAX, 0.0], vec![THETA_MAX, 0.0]);
+    SwitchingLogic { guards }
+}
+
+/// Learner seeds: each entry into a gear-i mode is anchored at aᵢ, the
+/// peak-efficiency speed — the codified design insight of the structure
+/// hypothesis. (θ unconstrained; seed θ = 0.)
+pub fn guard_seeds(mds: &Mds) -> Vec<Option<Vec<f64>>> {
+    mds.transitions
+        .iter()
+        .map(|t| {
+            gear_of_mode(t.to).map(|g| vec![0.0, GEAR_CENTERS[g - 1]])
+        })
+        .collect()
+}
+
+/// The paper's Eq. (3) expected ω-intervals per guard (synthesis for
+/// safety only), `(lo, hi)` — used by tests and the experiment harness.
+pub fn eq3_expected() -> Vec<(&'static str, f64, f64)> {
+    vec![
+        ("gN1U", 0.0, 16.70),
+        ("g11U", 0.0, 16.70),
+        ("g12U", 13.29, 26.70),
+        ("g22U", 13.29, 26.70),
+        ("g23U", 23.29, 36.70),
+        ("g33U", 23.29, 36.70),
+        ("g11D", 0.0, 16.70),
+        ("g22D", 13.29, 26.70),
+        ("g33D", 23.29, 36.70),
+        ("g32D", 13.29, 26.70),
+        ("g21D", 0.0, 16.70),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_has_gear_peaks() {
+        for (i, &a) in GEAR_CENTERS.iter().enumerate() {
+            let g = i + 1;
+            assert!((eta(g, a) - 1.0).abs() < 1e-9, "peak of gear {g}");
+            assert!(eta(g, a + 8.0) < eta(g, a));
+            assert!(eta(g, a - 8.0) < eta(g, a));
+        }
+        // Safety threshold: η crosses 0.5 at |ω − aᵢ| = 6.7082.
+        assert!(eta(1, 16.70) > 0.5);
+        assert!(eta(1, 16.72) < 0.5);
+        assert!(eta(2, 13.30) > 0.5);
+        assert!(eta(2, 13.28) < 0.5);
+    }
+
+    #[test]
+    fn phi_s_shape() {
+        // Low speed: safe in any gear regardless of η.
+        assert!(phi_s(modes::G2U, &[0.0, 3.0]));
+        // Gear 2 at ω = 10: η < 0.5 and ω ≥ 5 → unsafe.
+        assert!(!phi_s(modes::G2U, &[0.0, 10.0]));
+        // Gear 2 at ω = 20: peak efficiency → safe.
+        assert!(phi_s(modes::G2U, &[0.0, 20.0]));
+        // Speed over 60: unsafe anywhere.
+        assert!(!phi_s(modes::N, &[0.0, 61.0]));
+        assert!(!phi_s(modes::G1U, &[0.0, -0.5]));
+        // Neutral at moderate speed: safe (no η constraint).
+        assert!(phi_s(modes::N, &[0.0, 30.0]));
+    }
+
+    #[test]
+    fn mds_structure() {
+        let mds = transmission();
+        assert_eq!(mds.modes.len(), 7);
+        assert_eq!(mds.transitions.len(), 12);
+        // Every gear mode has an entry and an exit.
+        for m in 1..7 {
+            assert!(!mds.entries_of(m).is_empty(), "mode {m} unreachable");
+            assert!(!mds.exits_of(m).is_empty(), "mode {m} is a trap");
+        }
+        // g1ND is fixed.
+        assert!(!mds.transitions[guards::G1ND].learnable);
+        let init = initial_guards(&mds);
+        assert!(init.guards[guards::GN1U].contains(&[123.0, 30.0]));
+        assert!(!init.guards[guards::GN1U].contains(&[123.0, 61.0]));
+        assert!(init.guards[guards::G1ND].contains(&[THETA_MAX, 0.0]));
+        assert!(!init.guards[guards::G1ND].contains(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn seeds_sit_at_gear_centers() {
+        let mds = transmission();
+        let seeds = guard_seeds(&mds);
+        assert_eq!(seeds.len(), 12);
+        assert_eq!(seeds[guards::G12U], Some(vec![0.0, 20.0]));
+        assert_eq!(seeds[guards::G33D], Some(vec![0.0, 30.0]));
+        assert_eq!(seeds[guards::G1ND], None); // into Neutral
+    }
+
+    #[test]
+    fn dynamics_accelerate_and_decelerate() {
+        let mds = transmission();
+        let mut out = [0.0; 2];
+        (mds.modes[modes::G1U].dynamics)(&[0.0, 10.0], &mut out);
+        assert!((out[0] - 10.0).abs() < 1e-12);
+        assert!(out[1] > 0.9, "gear 1 at peak accelerates at ~1");
+        (mds.modes[modes::G1D].dynamics)(&[0.0, 10.0], &mut out);
+        assert!(out[1] < -0.9);
+        (mds.modes[modes::N].dynamics)(&[5.0, 5.0], &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end reproduction of the paper's transmission results:
+//! Eq. (3) — synthesized safety guards; the dwell-time variant of
+//! Eq. (4); and the Fig. 10 closed-loop trajectory.
+
+use sciduction_hybrid::transmission::{
+    self, eq3_expected, guard_seeds, initial_guards, modes, phi_s, THETA_MAX,
+};
+use sciduction_hybrid::{
+    reach_label, simulate_hybrid_with_policy, synthesize_switching, validate_logic, Grid,
+    ReachConfig, ReachVerdict, SwitchPolicy, SwitchSynthConfig,
+};
+
+fn eq3_config() -> SwitchSynthConfig {
+    SwitchSynthConfig {
+        grid: Grid::new(0.01),
+        reach: ReachConfig {
+            dt: 0.01,
+            horizon: 200.0,
+            min_dwell: 0.0,
+            equilibrium_eps: 1e-9,
+        },
+        max_rounds: 8,
+        seed_budget: 512,
+    }
+}
+
+#[test]
+fn eq3_guards_match_paper() {
+    let mds = transmission::transmission();
+    let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &eq3_config());
+    assert!(out.converged, "guard fixpoint must converge");
+    // Compare the ω-interval of each learnable guard with Eq. (3).
+    // Tolerance 0.02 ≈ two grid cells (the paper rounds at the 0.5
+    // crossing; η(13.29) is a hair under 0.5, so our grid lands on 13.30).
+    for (idx, (name, lo, hi)) in eq3_expected().iter().enumerate() {
+        let g = &out.logic.guards[idx];
+        assert_eq!(mds.transitions[idx].name, *name, "transition order");
+        assert!(
+            (g.lo[1] - lo).abs() <= 0.02,
+            "{name}: lo {} vs paper {lo}",
+            g.lo[1]
+        );
+        assert!(
+            (g.hi[1] - hi).abs() <= 0.02,
+            "{name}: hi {} vs paper {hi}",
+            g.hi[1]
+        );
+        // θ must stay unconstrained in learned guards.
+        assert!(g.lo[0].is_infinite() && g.hi[0].is_infinite(), "{name}: θ leaked");
+    }
+    // The fixed g1ND guard is untouched.
+    let g1nd = &out.logic.guards[transmission::guards::G1ND];
+    assert_eq!(g1nd.lo, vec![THETA_MAX, 0.0]);
+    assert_eq!(g1nd.hi, vec![THETA_MAX, 0.0]);
+}
+
+#[test]
+fn eq3_logic_validates_cleanly() {
+    let mds = transmission::transmission();
+    let cfg = eq3_config();
+    let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg);
+    match validate_logic(&mds, &out.logic, 15, &cfg.reach) {
+        sciduction::ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+            assert!(trials >= 11 * 15);
+            assert_eq!(violations, 0, "a synthesized guard admitted an unsafe entry");
+        }
+        other => panic!("unexpected evidence {other:?}"),
+    }
+}
+
+#[test]
+fn dwell_time_variant_shrinks_up_guards() {
+    // Paper Eq. (4): requiring ≥ 5 s in each gear mode tightens the
+    // guards — e.g. g12U's upper bound drops from 26.70 to ~23.4 (the
+    // trajectory must stay safe for the dwell before it may exit).
+    let mds = transmission::transmission();
+    let mut cfg = eq3_config();
+    cfg.reach.min_dwell = 5.0;
+    let base = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &eq3_config());
+    let dwell = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg);
+    assert!(dwell.converged);
+    let g12u_base = &base.logic.guards[transmission::guards::G12U];
+    let g12u_dwell = &dwell.logic.guards[transmission::guards::G12U];
+    assert!(
+        g12u_dwell.hi[1] < g12u_base.hi[1] - 1.0,
+        "dwell must tighten g12U's upper bound: {} vs {}",
+        g12u_dwell.hi[1],
+        g12u_base.hi[1]
+    );
+    // Paper's Eq. (4) reports g12U hi = 23.42; ours should be in that
+    // region (within half a speed unit — the dwell integration details
+    // differ slightly from the paper's unstated ones).
+    assert!(
+        (g12u_dwell.hi[1] - 23.42).abs() < 1.0,
+        "g12U dwell hi {} vs paper 23.42",
+        g12u_dwell.hi[1]
+    );
+    // Every dwell guard is contained in its safety-only counterpart.
+    for (gd, gb) in dwell.logic.guards.iter().zip(&base.logic.guards) {
+        assert!(gd.is_subset_of(gb), "dwell guard escaped the safety guard");
+    }
+}
+
+#[test]
+fn fig10_trajectory_shape() {
+    // Fig. 10: N → G1U → G2U → G3U → G3D → G2D → G1D → N; η > 0.5
+    // whenever ω > 5; speed peaks in the mid-30s; the run ends at ω = 0.
+    let mds = transmission::transmission();
+    let cfg = eq3_config();
+    let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg);
+    let seq = [
+        modes::N,
+        modes::G1U,
+        modes::G2U,
+        modes::G3U,
+        modes::G3D,
+        modes::G2D,
+        modes::G1D,
+    ];
+    // Switch up when the target guard's *upper* region is reached: drive
+    // each accelerating leg until the next guard is enabled; guards are
+    // lower-bounded so the first enabling point is the guard's lo edge.
+    let reach = ReachConfig {
+        dt: 0.01,
+        horizon: 120.0,
+        min_dwell: 5.0, // the Fig. 10 caption's "at least 5 seconds"
+        equilibrium_eps: 1e-9,
+    };
+    let (samples, safe) = simulate_hybrid_with_policy(
+        &mds,
+        &out.logic,
+        &seq,
+        &[0.0, 0.0],
+        &reach,
+        SwitchPolicy::LatestSafe,
+    );
+    assert!(safe, "Fig. 10 trajectory must satisfy φS throughout");
+    assert!(!samples.is_empty());
+    // Speed peaks near the paper's ≈ 36.7 and returns to 0.
+    let peak = samples.iter().map(|s| s.state[1]).fold(0.0, f64::max);
+    assert!((peak - 36.7).abs() < 1.0, "peak speed {peak} vs paper ≈36.7");
+    assert!(peak <= 60.0);
+    let last = samples.last().unwrap();
+    assert_eq!(last.mode, modes::G1D);
+    assert!(last.state[1].abs() < 0.05, "final speed {}", last.state[1]);
+    // All seven modes of the sequence are visited.
+    let seen: std::collections::HashSet<usize> = samples.iter().map(|s| s.mode).collect();
+    assert_eq!(seen.len(), 7);
+    // η ≥ 0.5 whenever ω ≥ 5 (re-check φS explicitly on every sample).
+    for s in &samples {
+        assert!(phi_s(s.mode, &s.state), "φS violated at t={}", s.time);
+    }
+    // Distance grows monotonically.
+    for w in samples.windows(2) {
+        assert!(w[1].state[0] >= w[0].state[0] - 1e-9);
+    }
+}
+
+#[test]
+fn reach_oracle_labels_known_points() {
+    // Spot-check the deductive engine against hand-computed labels.
+    let mds = transmission::transmission();
+    let cfg = eq3_config();
+    let logic = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg).logic;
+    // Entering G2U at peak efficiency: safe.
+    assert_eq!(
+        reach_label(&mds, &logic, modes::G2U, &[0.0, 20.0], &cfg.reach),
+        ReachVerdict::Safe
+    );
+    // Entering G2U at ω = 10: η₂ < 0.5 with ω ≥ 5 → immediately unsafe.
+    assert_eq!(
+        reach_label(&mds, &logic, modes::G2U, &[0.0, 10.0], &cfg.reach),
+        ReachVerdict::Unsafe
+    );
+    // Entering G3D at ω = 30: decelerates into g32D's box before η drops.
+    assert_eq!(
+        reach_label(&mds, &logic, modes::G3D, &[0.0, 30.0], &cfg.reach),
+        ReachVerdict::Safe
+    );
+    // Entering G1U at ω = 40: beyond gear 1's efficient band → unsafe.
+    assert_eq!(
+        reach_label(&mds, &logic, modes::G1U, &[0.0, 40.0], &cfg.reach),
+        ReachVerdict::Unsafe
+    );
+}

@@ -1,0 +1,575 @@
+//! Functions, basic blocks, instructions, and the builder API.
+
+use crate::types::{BinOp, BlockId, CmpOp, Operand, Reg};
+use std::fmt;
+
+/// A single IR instruction. All instructions define at most one register
+/// and have no side effects other than `Store`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// `dst = value`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// The constant (masked to the word width).
+        value: u64,
+    },
+    /// `dst = a <op> b`
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = (a <op> b) ? 1 : 0`
+    Cmp {
+        /// Destination register.
+        dst: Reg,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = cond != 0 ? then : els`
+    Select {
+        /// Destination register.
+        dst: Reg,
+        /// Condition word (any non-zero value selects `then`).
+        cond: Operand,
+        /// Value when the condition is non-zero.
+        then: Operand,
+        /// Value when the condition is zero.
+        els: Operand,
+    },
+    /// `dst = mem[addr]` (word-addressed)
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Word address.
+        addr: Operand,
+    },
+    /// `mem[addr] = value`
+    Store {
+        /// Word address.
+        addr: Operand,
+        /// Value to write.
+        value: Operand,
+    },
+}
+
+impl Instr {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::Select { dst, .. }
+            | Instr::Load { dst, .. } => Some(*dst),
+            Instr::Store { .. } => None,
+        }
+    }
+
+    /// The operands read by this instruction.
+    pub fn uses(&self) -> Vec<Operand> {
+        match self {
+            Instr::Const { .. } => vec![],
+            Instr::Bin { a, b, .. } | Instr::Cmp { a, b, .. } => vec![*a, *b],
+            Instr::Select { cond, then, els, .. } => vec![*cond, *then, *els],
+            Instr::Load { addr, .. } => vec![*addr],
+            Instr::Store { addr, value } => vec![*addr, *value],
+        }
+    }
+
+    /// True for memory-touching instructions (used by the cache model).
+    pub fn touches_memory(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const { dst, value } => write!(f, "{dst} = {value}"),
+            Instr::Bin { dst, op, a, b } => write!(f, "{dst} = {op:?} {a}, {b}"),
+            Instr::Cmp { dst, op, a, b } => write!(f, "{dst} = cmp.{op:?} {a}, {b}"),
+            Instr::Select { dst, cond, then, els } => {
+                write!(f, "{dst} = select {cond} ? {then} : {els}")
+            }
+            Instr::Load { dst, addr } => write!(f, "{dst} = load [{addr}]"),
+            Instr::Store { addr, value } => write!(f, "store [{addr}] = {value}"),
+        }
+    }
+}
+
+/// Control transfer at the end of a basic block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition word.
+        cond: Operand,
+        /// Successor when non-zero.
+        then_to: BlockId,
+        /// Successor when zero.
+        else_to: BlockId,
+    },
+    /// Function return.
+    Return(Operand),
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_to, else_to, .. } => vec![*then_to, *else_to],
+            Terminator::Return(_) => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// The block's instructions, in order.
+    pub instrs: Vec<Instr>,
+    /// Control transfer out of the block.
+    pub terminator: Terminator,
+}
+
+/// Structural problems detected by [`Function::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IrError {
+    /// A terminator names a block that does not exist.
+    DanglingBlock(BlockId),
+    /// An operand names a register `>= num_regs`.
+    RegOutOfRange(Reg),
+    /// The function has no blocks.
+    Empty,
+    /// Word width outside 1..=64.
+    BadWidth(u32),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DanglingBlock(b) => write!(f, "terminator targets missing block {b}"),
+            IrError::RegOutOfRange(r) => write!(f, "register {r} out of range"),
+            IrError::Empty => write!(f, "function has no blocks"),
+            IrError::BadWidth(w) => write!(f, "word width {w} outside 1..=64"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// A function: parameters are bound to the first registers on entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of parameters (bound to registers `0..num_params`).
+    pub num_params: usize,
+    /// Total number of virtual registers.
+    pub num_regs: usize,
+    /// Word width in bits (1..=64); all values are masked to it.
+    pub width: u32,
+    /// The basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Entry block (conventionally block 0).
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// A block by id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IrError`] found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.blocks.is_empty() {
+            return Err(IrError::Empty);
+        }
+        if !(1..=64).contains(&self.width) {
+            return Err(IrError::BadWidth(self.width));
+        }
+        let check_op = |o: Operand| -> Result<(), IrError> {
+            if let Operand::Reg(r) = o {
+                if r.index() >= self.num_regs {
+                    return Err(IrError::RegOutOfRange(r));
+                }
+            }
+            Ok(())
+        };
+        for b in &self.blocks {
+            for i in &b.instrs {
+                if let Some(d) = i.def() {
+                    if d.index() >= self.num_regs {
+                        return Err(IrError::RegOutOfRange(d));
+                    }
+                }
+                for u in i.uses() {
+                    check_op(u)?;
+                }
+            }
+            match &b.terminator {
+                Terminator::Jump(t) => {
+                    if t.index() >= self.blocks.len() {
+                        return Err(IrError::DanglingBlock(*t));
+                    }
+                }
+                Terminator::Branch { cond, then_to, else_to } => {
+                    check_op(*cond)?;
+                    for t in [then_to, else_to] {
+                        if t.index() >= self.blocks.len() {
+                            return Err(IrError::DanglingBlock(*t));
+                        }
+                    }
+                }
+                Terminator::Return(v) => check_op(*v)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Total instruction count (for reporting).
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}({} params) width={}",
+            self.name, self.num_params, self.width
+        )?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for ins in &b.instrs {
+                writeln!(f, "  {ins}")?;
+            }
+            match &b.terminator {
+                Terminator::Jump(t) => writeln!(f, "  jump {t}")?,
+                Terminator::Branch { cond, then_to, else_to } => {
+                    writeln!(f, "  br {cond} ? {then_to} : {else_to}")?
+                }
+                Terminator::Return(v) => writeln!(f, "  ret {v}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for a [`Function`].
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_ir::{FunctionBuilder, CmpOp};
+///
+/// // fn max(a, b) { if a < b { return b } else { return a } }
+/// let mut fb = FunctionBuilder::new("max", 2, 32);
+/// let a = fb.param(0);
+/// let b = fb.param(1);
+/// let then_b = fb.new_block();
+/// let else_b = fb.new_block();
+/// let c = fb.cmp(CmpOp::Ult, a, b);
+/// fb.branch(c, then_b, else_b);
+/// fb.switch_to(then_b);
+/// fb.ret(b);
+/// fb.switch_to(else_b);
+/// fb.ret(a);
+/// let f = fb.finish().unwrap();
+/// assert_eq!(f.blocks.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    num_params: usize,
+    width: u32,
+    next_reg: u32,
+    blocks: Vec<Option<Block>>,
+    current: BlockId,
+    pending: Vec<Instr>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `num_params` parameters at the given word
+    /// width. Block 0 is created and selected as the entry.
+    pub fn new(name: &str, num_params: usize, width: u32) -> Self {
+        FunctionBuilder {
+            name: name.to_string(),
+            num_params,
+            width,
+            next_reg: num_params as u32,
+            blocks: vec![None],
+            current: BlockId(0),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The register bound to parameter `i` on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_params`.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(i < self.num_params, "parameter index out of range");
+        Reg(i as u32)
+    }
+
+    /// Allocates a fresh register.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Creates a new (empty, unselected) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(None);
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Selects the block subsequent instructions are appended to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block has pending instructions but no
+    /// terminator yet, or if the target block is already finished.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            self.pending.is_empty(),
+            "current block has unterminated instructions"
+        );
+        assert!(
+            self.blocks[b.index()].is_none(),
+            "block {b} already terminated"
+        );
+        self.current = b;
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.pending.push(i);
+    }
+
+    /// Emits `dst = value` into a fresh register.
+    pub fn konst(&mut self, value: u64) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Const { dst, value });
+        dst
+    }
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Bin { dst, op, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits a comparison into a fresh register (0/1 result).
+    pub fn cmp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Cmp { dst, op, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits a select into a fresh register.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        then: impl Into<Operand>,
+        els: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Select {
+            dst,
+            cond: cond.into(),
+            then: then.into(),
+            els: els.into(),
+        });
+        dst
+    }
+
+    /// Emits a load into a fresh register.
+    pub fn load(&mut self, addr: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Load { dst, addr: addr.into() });
+        dst
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.push(Instr::Store { addr: addr.into(), value: value.into() });
+    }
+
+    /// Copies a value into a specific register (`dst = src | 0`). Used when
+    /// loop-carried variables must live in a stable register.
+    pub fn assign(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.push(Instr::Bin { dst, op: BinOp::Or, a: src.into(), b: Operand::Imm(0) });
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        let blk = Block {
+            instrs: std::mem::take(&mut self.pending),
+            terminator: t,
+        };
+        assert!(
+            self.blocks[self.current.index()].is_none(),
+            "block {} terminated twice",
+            self.current
+        );
+        self.blocks[self.current.index()] = Some(blk);
+    }
+
+    /// Ends the current block with an unconditional jump.
+    pub fn jump(&mut self, to: BlockId) {
+        self.terminate(Terminator::Jump(to));
+    }
+
+    /// Ends the current block with a conditional branch.
+    pub fn branch(&mut self, cond: impl Into<Operand>, then_to: BlockId, else_to: BlockId) {
+        self.terminate(Terminator::Branch { cond: cond.into(), then_to, else_to });
+    }
+
+    /// Ends the current block with a return.
+    pub fn ret(&mut self, value: impl Into<Operand>) {
+        self.terminate(Terminator::Return(value.into()));
+    }
+
+    /// Finishes and validates the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError`] if validation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block was created but never terminated.
+    pub fn finish(self) -> Result<Function, IrError> {
+        let blocks: Vec<Block> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("block bb{i} never terminated")))
+            .collect();
+        let f = Function {
+            name: self.name,
+            num_params: self.num_params,
+            num_regs: self.next_reg as usize,
+            width: self.width,
+            blocks,
+            entry: BlockId(0),
+        };
+        f.validate()?;
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_function() {
+        let mut fb = FunctionBuilder::new("id", 1, 32);
+        let a = fb.param(0);
+        fb.ret(a);
+        let f = fb.finish().unwrap();
+        assert_eq!(f.num_params, 1);
+        assert_eq!(f.blocks.len(), 1);
+        assert!(f.validate().is_ok());
+        assert_eq!(f.num_instrs(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_dangling_block() {
+        let f = Function {
+            name: "bad".into(),
+            num_params: 0,
+            num_regs: 0,
+            width: 32,
+            blocks: vec![Block {
+                instrs: vec![],
+                terminator: Terminator::Jump(BlockId(5)),
+            }],
+            entry: BlockId(0),
+        };
+        assert_eq!(f.validate(), Err(IrError::DanglingBlock(BlockId(5))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_register() {
+        let f = Function {
+            name: "bad".into(),
+            num_params: 0,
+            num_regs: 1,
+            width: 32,
+            blocks: vec![Block {
+                instrs: vec![Instr::Bin {
+                    dst: Reg(0),
+                    op: BinOp::Add,
+                    a: Operand::Reg(Reg(9)),
+                    b: Operand::Imm(1),
+                }],
+                terminator: Terminator::Return(Operand::Imm(0)),
+            }],
+            entry: BlockId(0),
+        };
+        assert_eq!(f.validate(), Err(IrError::RegOutOfRange(Reg(9))));
+    }
+
+    #[test]
+    fn instr_defs_and_uses() {
+        let i = Instr::Select {
+            dst: Reg(3),
+            cond: Operand::Reg(Reg(0)),
+            then: Operand::Imm(1),
+            els: Operand::Reg(Reg(1)),
+        };
+        assert_eq!(i.def(), Some(Reg(3)));
+        assert_eq!(i.uses().len(), 3);
+        let st = Instr::Store { addr: Operand::Imm(0), value: Operand::Imm(1) };
+        assert_eq!(st.def(), None);
+        assert!(st.touches_memory());
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut fb = FunctionBuilder::new("f", 0, 32);
+        let _b = fb.new_block();
+        fb.ret(0u64);
+        let _ = fb.finish();
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut fb = FunctionBuilder::new("show", 1, 8);
+        let a = fb.param(0);
+        let k = fb.konst(2);
+        let s = fb.bin(BinOp::Add, a, k);
+        fb.ret(s);
+        let f = fb.finish().unwrap();
+        let text = format!("{f}");
+        assert!(text.contains("fn show"));
+        assert!(text.contains("Add"));
+        assert!(text.contains("ret"));
+    }
+}

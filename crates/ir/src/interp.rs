@@ -1,0 +1,363 @@
+//! Reference interpreter: the *functional* semantics of the IR, with no
+//! timing model. The micro-architectural simulator must agree with it
+//! value-for-value; GameTime uses the recorded block trace to map a concrete
+//! execution onto CFG edges.
+
+use crate::function::{Function, Instr, Terminator};
+use crate::types::{BlockId, Operand};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Word-addressed flat memory; unwritten words read as zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Memory {
+    words: HashMap<u64, u64>,
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at `addr` (zero if never written).
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr, value);
+    }
+
+    /// Loads a slice of words starting at `base`.
+    pub fn write_slice(&mut self, base: u64, values: &[u64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(base + i as u64, v);
+        }
+    }
+
+    /// Number of explicitly written words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl FromIterator<(u64, u64)> for Memory {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        Memory {
+            words: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Errors raised during interpretation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// The step limit was exceeded (possible non-termination).
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Wrong number of arguments for the function.
+    ArityMismatch {
+        /// Parameters expected by the function.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StepLimit { limit } => write!(f, "step limit {limit} exceeded"),
+            ExecError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of a terminated execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExecResult {
+    /// The returned word.
+    pub ret: u64,
+    /// The sequence of basic blocks visited, starting at the entry.
+    pub block_trace: Vec<BlockId>,
+    /// Number of instructions executed (terminators excluded).
+    pub steps: u64,
+    /// Final memory state.
+    pub memory: Memory,
+}
+
+impl ExecResult {
+    /// The executed CFG edges, as `(from, to)` block pairs.
+    pub fn edge_trace(&self) -> Vec<(BlockId, BlockId)> {
+        self.block_trace
+            .windows(2)
+            .map(|w| (w[0], w[1]))
+            .collect()
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpConfig {
+    /// Maximum instructions executed before aborting.
+    pub step_limit: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { step_limit: 1_000_000 }
+    }
+}
+
+/// Runs `f` on the given arguments and initial memory.
+///
+/// # Errors
+///
+/// Returns [`ExecError::ArityMismatch`] on wrong argument counts and
+/// [`ExecError::StepLimit`] if execution does not terminate within the
+/// configured bound.
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_ir::{FunctionBuilder, BinOp, Memory, run, InterpConfig};
+///
+/// let mut fb = FunctionBuilder::new("double", 1, 32);
+/// let a = fb.param(0);
+/// let two = fb.konst(2);
+/// let r = fb.bin(BinOp::Mul, a, two);
+/// fb.ret(r);
+/// let f = fb.finish()?;
+/// let out = run(&f, &[21], Memory::new(), InterpConfig::default())?;
+/// assert_eq!(out.ret, 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(
+    f: &Function,
+    args: &[u64],
+    mut memory: Memory,
+    config: InterpConfig,
+) -> Result<ExecResult, ExecError> {
+    if args.len() != f.num_params {
+        return Err(ExecError::ArityMismatch {
+            expected: f.num_params,
+            got: args.len(),
+        });
+    }
+    let mask = if f.width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << f.width) - 1
+    };
+    let mut regs = vec![0u64; f.num_regs];
+    for (i, &a) in args.iter().enumerate() {
+        regs[i] = a & mask;
+    }
+    let read = |regs: &[u64], o: Operand| -> u64 {
+        match o {
+            Operand::Reg(r) => regs[r.index()],
+            Operand::Imm(v) => v & mask,
+        }
+    };
+    let mut cur = f.entry;
+    let mut trace = vec![cur];
+    let mut steps: u64 = 0;
+    loop {
+        let block = f.block(cur);
+        for ins in &block.instrs {
+            steps += 1;
+            if steps > config.step_limit {
+                return Err(ExecError::StepLimit { limit: config.step_limit });
+            }
+            match ins {
+                Instr::Const { dst, value } => regs[dst.index()] = value & mask,
+                Instr::Bin { dst, op, a, b } => {
+                    regs[dst.index()] = op.apply(read(&regs, *a), read(&regs, *b), f.width)
+                }
+                Instr::Cmp { dst, op, a, b } => {
+                    regs[dst.index()] =
+                        op.apply(read(&regs, *a), read(&regs, *b), f.width) as u64
+                }
+                Instr::Select { dst, cond, then, els } => {
+                    regs[dst.index()] = if read(&regs, *cond) != 0 {
+                        read(&regs, *then)
+                    } else {
+                        read(&regs, *els)
+                    }
+                }
+                Instr::Load { dst, addr } => {
+                    regs[dst.index()] = memory.read(read(&regs, *addr)) & mask
+                }
+                Instr::Store { addr, value } => {
+                    memory.write(read(&regs, *addr), read(&regs, *value))
+                }
+            }
+        }
+        match &block.terminator {
+            Terminator::Jump(t) => {
+                cur = *t;
+                trace.push(cur);
+            }
+            Terminator::Branch { cond, then_to, else_to } => {
+                cur = if read(&regs, *cond) != 0 { *then_to } else { *else_to };
+                trace.push(cur);
+            }
+            Terminator::Return(v) => {
+                return Ok(ExecResult {
+                    ret: read(&regs, *v),
+                    block_trace: trace,
+                    steps,
+                    memory,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::types::{BinOp, CmpOp};
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut fb = FunctionBuilder::new("f", 2, 16);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let s = fb.bin(BinOp::Add, a, b);
+        let t = fb.bin(BinOp::Mul, s, 3u64);
+        fb.ret(t);
+        let f = fb.finish().unwrap();
+        let out = run(&f, &[10, 20], Memory::new(), InterpConfig::default()).unwrap();
+        assert_eq!(out.ret, 90);
+        assert_eq!(out.block_trace, vec![BlockId::from_index(0)]);
+        assert_eq!(out.steps, 2);
+    }
+
+    #[test]
+    fn branch_both_ways() {
+        // return a < b ? 1 : 2
+        let mut fb = FunctionBuilder::new("f", 2, 32);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let c = fb.cmp(CmpOp::Ult, a, b);
+        fb.branch(c, t, e);
+        fb.switch_to(t);
+        fb.ret(1u64);
+        fb.switch_to(e);
+        fb.ret(2u64);
+        let f = fb.finish().unwrap();
+        let r1 = run(&f, &[1, 2], Memory::new(), InterpConfig::default()).unwrap();
+        assert_eq!(r1.ret, 1);
+        assert_eq!(r1.block_trace.len(), 2);
+        let r2 = run(&f, &[2, 1], Memory::new(), InterpConfig::default()).unwrap();
+        assert_eq!(r2.ret, 2);
+        assert_eq!(r1.edge_trace().len(), 1);
+        assert_ne!(r1.edge_trace(), r2.edge_trace());
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        // sum = 0; for i in 0..n { sum += mem[base + i] } ; return sum
+        let mut fb = FunctionBuilder::new("sum", 2, 32); // params: base, n
+        let base = fb.param(0);
+        let n = fb.param(1);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let i = fb.fresh();
+        let sum = fb.fresh();
+        fb.assign(i, 0u64);
+        fb.assign(sum, 0u64);
+        fb.jump(head);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::Ult, i, n);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.bin(BinOp::Add, base, i);
+        let v = fb.load(addr);
+        let s2 = fb.bin(BinOp::Add, sum, v);
+        fb.assign(sum, s2);
+        let i2 = fb.bin(BinOp::Add, i, 1u64);
+        fb.assign(i, i2);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.ret(sum);
+        let f = fb.finish().unwrap();
+        let mut mem = Memory::new();
+        mem.write_slice(100, &[5, 6, 7, 8]);
+        let out = run(&f, &[100, 4], mem, InterpConfig::default()).unwrap();
+        assert_eq!(out.ret, 26);
+        // head visited n+1 times.
+        let heads = out
+            .block_trace
+            .iter()
+            .filter(|b| b.index() == 1)
+            .count();
+        assert_eq!(heads, 5);
+    }
+
+    #[test]
+    fn store_and_final_memory() {
+        let mut fb = FunctionBuilder::new("st", 1, 32);
+        let a = fb.param(0);
+        fb.store(7u64, a);
+        let v = fb.load(7u64);
+        fb.ret(v);
+        let f = fb.finish().unwrap();
+        let out = run(&f, &[99], Memory::new(), InterpConfig::default()).unwrap();
+        assert_eq!(out.ret, 99);
+        assert_eq!(out.memory.read(7), 99);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut fb = FunctionBuilder::new("omega", 0, 32);
+        let body = fb.new_block();
+        fb.jump(body);
+        fb.switch_to(body);
+        let _x = fb.konst(1);
+        fb.jump(body);
+        let f = fb.finish().unwrap();
+        let err = run(&f, &[], Memory::new(), InterpConfig { step_limit: 100 });
+        assert_eq!(err, Err(ExecError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let mut fb = FunctionBuilder::new("f", 2, 32);
+        let a = fb.param(0);
+        fb.ret(a);
+        let f = fb.finish().unwrap();
+        let err = run(&f, &[1], Memory::new(), InterpConfig::default());
+        assert_eq!(err, Err(ExecError::ArityMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn width_masking_applies_to_args_and_imms() {
+        let mut fb = FunctionBuilder::new("mask", 1, 8);
+        let a = fb.param(0);
+        let r = fb.bin(BinOp::Add, a, 0x1FFu64); // imm masked to 0xFF
+        fb.ret(r);
+        let f = fb.finish().unwrap();
+        let out = run(&f, &[0x101], Memory::new(), InterpConfig::default()).unwrap();
+        // (0x01 + 0xFF) & 0xFF = 0
+        assert_eq!(out.ret, 0);
+    }
+}

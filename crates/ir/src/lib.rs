@@ -1,0 +1,39 @@
+//! # sciduction-ir — a typed bit-vector imperative IR
+//!
+//! The program representation shared by the GameTime reproduction
+//! (Seshia, *Sciduction*, DAC 2012, Sec. 3). The paper's GameTime operates
+//! on control-flow graphs of C tasks; this crate plays the role of that C
+//! frontend: a small register-machine IR with basic blocks, branches, and a
+//! flat word-addressed memory, plus
+//!
+//! * a [`FunctionBuilder`] for programmatic construction,
+//! * a reference interpreter ([`run`]) defining the *functional* semantics
+//!   (the micro-architectural simulator in `sciduction-microarch` adds the
+//!   timing semantics and must agree with it value-for-value), and
+//! * the [`programs`] library with the paper's workloads (`modexp` of
+//!   Fig. 6, the Fig. 4 toy) and additional kernels.
+//!
+//! Operator semantics deliberately match SMT-LIB QF_BV so the symbolic
+//! executor in `sciduction-cfg` and this interpreter agree bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use sciduction_ir::{programs, run, Memory, InterpConfig};
+//!
+//! let f = programs::modexp();
+//! let out = run(&f, &[2, 10], Memory::new(), InterpConfig::default())?;
+//! assert_eq!(out.ret, 20); // 2^10 mod 251
+//! # Ok::<(), sciduction_ir::ExecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod function;
+mod interp;
+pub mod programs;
+mod types;
+
+pub use function::{Block, Function, FunctionBuilder, Instr, IrError, Terminator};
+pub use interp::{run, ExecError, ExecResult, InterpConfig, Memory};
+pub use types::{BinOp, BlockId, CmpOp, Operand, Reg};

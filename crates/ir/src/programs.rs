@@ -1,0 +1,355 @@
+//! Benchmark programs used throughout the reproduction.
+//!
+//! The flagship is [`modexp`], the workload of the paper's Fig. 6: modular
+//! exponentiation with an 8-bit exponent, i.e. 2⁸ = 256 feasible paths
+//! through the unrolled control-flow DAG. [`fig4_toy`] is the illustrative
+//! program of the paper's Fig. 4 whose final statement's latency depends on
+//! both path and initial cache state. The remaining kernels widen the test
+//! and benchmark surface.
+
+use crate::function::{Function, FunctionBuilder};
+use crate::types::{BinOp, CmpOp};
+
+/// The modulus used by [`modexp`] (a prime below 2⁸ so 8-bit bases stay
+/// interesting).
+pub const MODEXP_MODULUS: u64 = 251;
+
+/// Number of exponent bits processed by [`modexp`] — the paper analyzes the
+/// 8-bit-exponent variant (256 program paths, Fig. 6).
+pub const MODEXP_BITS: u32 = 8;
+
+/// Modular exponentiation, square-and-multiply, MSB first, fixed
+/// [`MODEXP_BITS`] iterations.
+///
+/// `modexp(base, exp) = base^exp mod` [`MODEXP_MODULUS`], where only the low
+/// [`MODEXP_BITS`] bits of `exp` are used. Each iteration branches on one
+/// exponent bit, so the unrolled CFG has 2^[`MODEXP_BITS`] paths while the
+/// loop body is shared — exactly the shape GameTime exploits.
+pub fn modexp() -> Function {
+    let mut fb = FunctionBuilder::new("modexp", 2, 32);
+    let base = fb.param(0);
+    let exp = fb.param(1);
+
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let mul_blk = fb.new_block();
+    let latch = fb.new_block();
+    let exit = fb.new_block();
+
+    let result = fb.fresh();
+    let i = fb.fresh();
+    // entry:
+    fb.assign(result, 1u64);
+    fb.assign(i, 0u64);
+    fb.jump(head);
+    // head: i < MODEXP_BITS ?
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Ult, i, MODEXP_BITS as u64);
+    fb.branch(c, body, exit);
+    // body: result = result^2 mod M; bit = (exp >> (BITS-1-i)) & 1
+    fb.switch_to(body);
+    let sq = fb.bin(BinOp::Mul, result, result);
+    let sqm = fb.bin(BinOp::Urem, sq, MODEXP_MODULUS);
+    fb.assign(result, sqm);
+    let shift = fb.bin(BinOp::Sub, (MODEXP_BITS - 1) as u64, i);
+    let shifted = fb.bin(BinOp::Lshr, exp, shift);
+    let bit = fb.bin(BinOp::And, shifted, 1u64);
+    fb.branch(bit, mul_blk, latch);
+    // mul_blk: result = result * base mod M
+    fb.switch_to(mul_blk);
+    let pr = fb.bin(BinOp::Mul, result, base);
+    let prm = fb.bin(BinOp::Urem, pr, MODEXP_MODULUS);
+    fb.assign(result, prm);
+    fb.jump(latch);
+    // latch: i += 1
+    fb.switch_to(latch);
+    let i2 = fb.bin(BinOp::Add, i, 1u64);
+    fb.assign(i, i2);
+    fb.jump(head);
+    // exit:
+    fb.switch_to(exit);
+    fb.ret(result);
+    fb.finish().expect("modexp is well-formed")
+}
+
+/// Reference semantics of [`modexp`] in plain Rust (for differential tests).
+pub fn modexp_reference(base: u64, exp: u64) -> u64 {
+    let exp = exp & ((1 << MODEXP_BITS) - 1);
+    let mut result: u64 = 1;
+    for i in (0..MODEXP_BITS).rev() {
+        result = (result * result) % MODEXP_MODULUS;
+        if exp >> i & 1 == 1 {
+            result = (result * (base & 0xFFFF_FFFF) % MODEXP_MODULUS) % MODEXP_MODULUS;
+        }
+    }
+    result
+}
+
+/// The toy program of the paper's Fig. 4:
+///
+/// ```c
+/// while (!flag) { flag = 1; (*x)++; }
+/// *x += 2;
+/// ```
+///
+/// Parameters: `flag` and the word address `x`. The loop runs at most once,
+/// so the CFG unrolls to a DAG with two paths. On a cold cache the final
+/// `*x += 2` misses on the left-hand (loop-taken) path only if the earlier
+/// increment did not already pull `*x` in — the paper's illustration of
+/// path/state interaction.
+pub fn fig4_toy() -> Function {
+    let mut fb = FunctionBuilder::new("fig4_toy", 2, 32);
+    let flag = fb.param(0);
+    let x = fb.param(1);
+
+    let loop_body = fb.new_block();
+    let after = fb.new_block();
+
+    // entry: branch on !flag
+    let is_zero = fb.cmp(CmpOp::Eq, flag, 0u64);
+    fb.branch(is_zero, loop_body, after);
+    // loop body (runs once): flag = 1; (*x)++
+    fb.switch_to(loop_body);
+    let v = fb.load(x);
+    let v1 = fb.bin(BinOp::Add, v, 1u64);
+    fb.store(x, v1);
+    fb.jump(after);
+    // after: *x += 2; return *x
+    fb.switch_to(after);
+    let w = fb.load(x);
+    let w2 = fb.bin(BinOp::Add, w, 2u64);
+    fb.store(x, w2);
+    fb.ret(w2);
+    fb.finish().expect("fig4_toy is well-formed")
+}
+
+/// Number of taps in [`fir4`].
+pub const FIR_TAPS: u64 = 4;
+
+/// A 4-tap FIR filter: `y = Σ h[i] * x[i]` with coefficients and samples in
+/// memory (`h` at `hbase`, `x` at `xbase`). Single path — a sanity workload
+/// whose timing varies only with the cache state.
+pub fn fir4() -> Function {
+    let mut fb = FunctionBuilder::new("fir4", 2, 32);
+    let hbase = fb.param(0);
+    let xbase = fb.param(1);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    let acc = fb.fresh();
+    let i = fb.fresh();
+    fb.assign(acc, 0u64);
+    fb.assign(i, 0u64);
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Ult, i, FIR_TAPS);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let ha = fb.bin(BinOp::Add, hbase, i);
+    let xa = fb.bin(BinOp::Add, xbase, i);
+    let h = fb.load(ha);
+    let xv = fb.load(xa);
+    let p = fb.bin(BinOp::Mul, h, xv);
+    let acc2 = fb.bin(BinOp::Add, acc, p);
+    fb.assign(acc, acc2);
+    let i2 = fb.bin(BinOp::Add, i, 1u64);
+    fb.assign(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+    fb.ret(acc);
+    fb.finish().expect("fir4 is well-formed")
+}
+
+/// Array length processed by [`bubble_pass`].
+pub const BUBBLE_N: u64 = 4;
+
+/// One pass of bubble sort over [`BUBBLE_N`] words at `base`: each of the
+/// three adjacent comparisons branches on data, giving 2³ = 8 paths with
+/// different store counts — a second path-explosion workload for GameTime.
+pub fn bubble_pass() -> Function {
+    let mut fb = FunctionBuilder::new("bubble_pass", 1, 32);
+    let base = fb.param(0);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let swap = fb.new_block();
+    let latch = fb.new_block();
+    let exit = fb.new_block();
+    let i = fb.fresh();
+    let swaps = fb.fresh();
+    fb.assign(i, 0u64);
+    fb.assign(swaps, 0u64);
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Ult, i, BUBBLE_N - 1);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let a0 = fb.bin(BinOp::Add, base, i);
+    let a1 = fb.bin(BinOp::Add, a0, 1u64);
+    let v0 = fb.load(a0);
+    let v1 = fb.load(a1);
+    let gt = fb.cmp(CmpOp::Ult, v1, v0);
+    fb.branch(gt, swap, latch);
+    fb.switch_to(swap);
+    fb.store(a0, v1);
+    fb.store(a1, v0);
+    let s2 = fb.bin(BinOp::Add, swaps, 1u64);
+    fb.assign(swaps, s2);
+    fb.jump(latch);
+    fb.switch_to(latch);
+    let i2 = fb.bin(BinOp::Add, i, 1u64);
+    fb.assign(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+    fb.ret(swaps);
+    fb.finish().expect("bubble_pass is well-formed")
+}
+
+/// CRC-8 polynomial used by [`crc8`] (x⁸ + x² + x + 1, i.e. 0x07).
+pub const CRC8_POLY: u64 = 0x07;
+
+/// Bitwise CRC-8 of a single byte: eight iterations, each branching on the
+/// current MSB — 256 paths, like `modexp`, but with XOR/shift bodies.
+pub fn crc8() -> Function {
+    let mut fb = FunctionBuilder::new("crc8", 1, 32);
+    let byte = fb.param(0);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let xor_blk = fb.new_block();
+    let latch = fb.new_block();
+    let exit = fb.new_block();
+    let crc = fb.fresh();
+    let i = fb.fresh();
+    let msk = fb.bin(BinOp::And, byte, 0xFFu64);
+    fb.assign(crc, msk);
+    fb.assign(i, 0u64);
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Ult, i, 8u64);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let msb = fb.bin(BinOp::And, crc, 0x80u64);
+    let sh = fb.bin(BinOp::Shl, crc, 1u64);
+    let shm = fb.bin(BinOp::And, sh, 0xFFu64);
+    fb.assign(crc, shm);
+    fb.branch(msb, xor_blk, latch);
+    fb.switch_to(xor_blk);
+    let x = fb.bin(BinOp::Xor, crc, CRC8_POLY);
+    fb.assign(crc, x);
+    fb.jump(latch);
+    fb.switch_to(latch);
+    let i2 = fb.bin(BinOp::Add, i, 1u64);
+    fb.assign(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+    fb.ret(crc);
+    fb.finish().expect("crc8 is well-formed")
+}
+
+/// Reference CRC-8 in plain Rust.
+pub fn crc8_reference(byte: u64) -> u64 {
+    let mut crc = byte & 0xFF;
+    for _ in 0..8 {
+        let msb = crc & 0x80;
+        crc = (crc << 1) & 0xFF;
+        if msb != 0 {
+            crc ^= CRC8_POLY;
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, InterpConfig, Memory};
+
+    fn exec(f: &Function, args: &[u64], mem: Memory) -> (u64, Memory) {
+        let out = run(f, args, mem, InterpConfig::default()).expect("terminates");
+        (out.ret, out.memory)
+    }
+
+    #[test]
+    fn modexp_matches_reference_exhaustively_for_base_3() {
+        let f = modexp();
+        for exp in 0..256u64 {
+            let (got, _) = exec(&f, &[3, exp], Memory::new());
+            assert_eq!(got, modexp_reference(3, exp), "exp={exp}");
+        }
+    }
+
+    #[test]
+    fn modexp_known_values() {
+        let f = modexp();
+        // 2^10 mod 251 = 1024 mod 251 = 20
+        assert_eq!(exec(&f, &[2, 10], Memory::new()).0, 20);
+        // Fermat: a^250 ≡ 1 (mod 251) for a not divisible by 251 — but the
+        // exponent is truncated to 8 bits, so test 250 directly (fits).
+        assert_eq!(exec(&f, &[7, 250], Memory::new()).0, {
+            let mut r = 1u64;
+            for _ in 0..250 {
+                r = r * 7 % 251;
+            }
+            r
+        });
+        // exponent masked to 8 bits: 256 ≡ 0 → result 1
+        assert_eq!(exec(&f, &[5, 256], Memory::new()).0, 1);
+    }
+
+    #[test]
+    fn fig4_both_paths() {
+        let f = fig4_toy();
+        // flag = 0: loop body runs, *x = 1 then += 2 → 3
+        let mut m = Memory::new();
+        m.write(40, 0);
+        let (ret, mem) = exec(&f, &[0, 40], m);
+        assert_eq!(ret, 3);
+        assert_eq!(mem.read(40), 3);
+        // flag = 1: loop skipped, *x += 2 → 2
+        let (ret, mem) = exec(&f, &[1, 40], Memory::new());
+        assert_eq!(ret, 2);
+        assert_eq!(mem.read(40), 2);
+    }
+
+    #[test]
+    fn fir4_dot_product() {
+        let f = fir4();
+        let mut m = Memory::new();
+        m.write_slice(0, &[1, 2, 3, 4]); // h
+        m.write_slice(16, &[5, 6, 7, 8]); // x
+        let (ret, _) = exec(&f, &[0, 16], m);
+        assert_eq!(ret, 5 + 12 + 21 + 32);
+    }
+
+    #[test]
+    fn bubble_pass_sorts_one_step() {
+        let f = bubble_pass();
+        let mut m = Memory::new();
+        m.write_slice(8, &[4, 3, 2, 1]);
+        let (swaps, mem) = exec(&f, &[8], m);
+        assert_eq!(swaps, 3);
+        let final_words: Vec<u64> = (8..12).map(|a| mem.read(a)).collect();
+        assert_eq!(final_words, vec![3, 2, 1, 4]);
+        // Already sorted: no swaps.
+        let mut m2 = Memory::new();
+        m2.write_slice(8, &[1, 2, 3, 4]);
+        let (swaps2, _) = exec(&f, &[8], m2);
+        assert_eq!(swaps2, 0);
+    }
+
+    #[test]
+    fn crc8_matches_reference_exhaustively() {
+        let f = crc8();
+        for b in 0..256u64 {
+            let (got, _) = exec(&f, &[b], Memory::new());
+            assert_eq!(got, crc8_reference(b), "byte={b}");
+        }
+    }
+
+    #[test]
+    fn all_programs_validate() {
+        for f in [modexp(), fig4_toy(), fir4(), bubble_pass(), crc8()] {
+            assert!(f.validate().is_ok(), "{} invalid", f.name);
+            assert!(f.num_instrs() > 0);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Operator and handle types for the IR.
+
+use std::fmt;
+
+/// A virtual register, local to one function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub(crate) u32);
+
+impl Reg {
+    /// Dense index of the register within its function.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A basic-block identifier, local to one function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Dense index of the block within its function.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a block id from a dense index (for analyses that rebuild
+    /// graphs).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        BlockId(i as u32)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An instruction operand: a register or an immediate constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Read a register.
+    Reg(Reg),
+    /// A word constant (masked to the function's word width).
+    Imm(u64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Binary arithmetic/logical operators. Semantics match SMT-LIB QF_BV
+/// (wrapping arithmetic; shifts ≥ width saturate; division by zero yields
+/// all-ones, remainder by zero yields the dividend), so the symbolic
+/// executor and the concrete interpreter agree bit-for-bit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Udiv,
+    Urem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Lshr,
+    Ashr,
+}
+
+impl BinOp {
+    /// Applies the operator at the given word width.
+    pub fn apply(self, a: u64, b: u64, width: u32) -> u64 {
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let a = a & mask;
+        let b = b & mask;
+        let r = match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Udiv => {
+                if b == 0 {
+                    mask
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Urem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => {
+                if b >= width as u64 {
+                    0
+                } else {
+                    a << b
+                }
+            }
+            BinOp::Lshr => {
+                if b >= width as u64 {
+                    0
+                } else {
+                    a >> b
+                }
+            }
+            BinOp::Ashr => {
+                let sh = 64 - width;
+                let sa = ((a << sh) as i64) >> sh; // sign-extend to 64
+                if b >= width as u64 {
+                    if sa < 0 {
+                        mask
+                    } else {
+                        0
+                    }
+                } else {
+                    ((sa >> b) as u64) & mask
+                }
+            }
+        };
+        r & mask
+    }
+}
+
+/// Comparison operators; results are the words 0 or 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+}
+
+impl CmpOp {
+    /// Applies the comparison at the given word width.
+    pub fn apply(self, a: u64, b: u64, width: u32) -> bool {
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let (a, b) = (a & mask, b & mask);
+        let sh = 64 - width;
+        let sa = ((a << sh) as i64) >> sh;
+        let sb = ((b << sh) as i64) >> sh;
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Ult => a < b,
+            CmpOp::Ule => a <= b,
+            CmpOp::Slt => sa < sb,
+            CmpOp::Sle => sa <= sb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics_edges() {
+        assert_eq!(BinOp::Add.apply(250, 10, 8), 4);
+        assert_eq!(BinOp::Udiv.apply(7, 0, 8), 0xFF);
+        assert_eq!(BinOp::Urem.apply(7, 0, 8), 7);
+        assert_eq!(BinOp::Shl.apply(1, 8, 8), 0);
+        assert_eq!(BinOp::Shl.apply(1, 3, 8), 8);
+        assert_eq!(BinOp::Ashr.apply(0x80, 1, 8), 0xC0);
+        assert_eq!(BinOp::Ashr.apply(0x80, 200, 8), 0xFF);
+        assert_eq!(BinOp::Ashr.apply(0x40, 200, 8), 0);
+        assert_eq!(BinOp::Mul.apply(16, 16, 8), 0);
+    }
+
+    #[test]
+    fn cmp_semantics_signedness() {
+        assert!(CmpOp::Ult.apply(1, 0xFF, 8));
+        assert!(CmpOp::Slt.apply(0xFF, 1, 8)); // -1 < 1
+        assert!(CmpOp::Sle.apply(5, 5, 8));
+        assert!(CmpOp::Ne.apply(1, 2, 8));
+        assert!(!CmpOp::Eq.apply(1, 2, 8));
+        assert!(CmpOp::Eq.apply(0x100, 0, 8)); // masked equal
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let r = Reg(3);
+        assert_eq!(Operand::from(r), Operand::Reg(r));
+        assert_eq!(Operand::from(7u64), Operand::Imm(7));
+        assert_eq!(format!("{}", Operand::Reg(r)), "r3");
+        assert_eq!(format!("{}", Operand::Imm(9)), "9");
+    }
+}

@@ -1,0 +1,38 @@
+//! # sciduction-microarch — a cycle-counting micro-architectural simulator
+//!
+//! The *platform* of the GameTime reproduction (Seshia, *Sciduction*,
+//! DAC 2012, Sec. 3). The paper measured a StrongARM-1100 — "a 5-stage
+//! pipeline and both data and instruction caches" — through the SimIt-ARM
+//! cycle-accurate simulator; this crate is the from-scratch stand-in: an
+//! in-order pipeline timing model with set-associative LRU instruction and
+//! data caches, executing `sciduction-ir` programs deterministically.
+//!
+//! GameTime treats the machine as an *adversarial black box*: the analysis
+//! observes only end-to-end cycle counts ([`TimedRun::cycles`]), never the
+//! internal state. The cache contents ([`MachineState`]) are the
+//! environment state the paper's adversary controls; pass
+//! [`MachineState::cold`] or [`MachineState::warmed`] to choose the start
+//! state of an experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use sciduction_microarch::{Machine, MachineState};
+//! use sciduction_ir::{programs, Memory};
+//!
+//! let f = programs::modexp();
+//! let machine = Machine::new();
+//! let mut state = MachineState::cold(machine.config());
+//! let run = machine.run(&f, &[7, 255], Memory::new(), &mut state)?;
+//! assert!(run.cycles > 0);
+//! assert_eq!(run.ret, 7u64.pow(255 % 250).rem_euclid(251) % 251);
+//! # Ok::<(), sciduction_ir::ExecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod machine;
+
+pub use cache::{Cache, CacheConfig};
+pub use machine::{Machine, MachineConfig, MachineState, PipelineConfig, TimedRun};

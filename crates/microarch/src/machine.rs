@@ -1,0 +1,470 @@
+//! The cycle-counting machine: an in-order five-stage-pipeline timing model
+//! with instruction and data caches, executing the IR directly.
+//!
+//! This plays the role of the paper's StrongARM-1100 + SimIt-ARM
+//! cycle-accurate simulator (Sec. 3.3): "a 5-stage pipeline and both data
+//! and instruction caches". GameTime treats it as a black box — only the
+//! end-to-end cycle count of a run is observable to the analysis.
+//!
+//! The timing model (per dynamically executed instruction):
+//!
+//! * base latency by operation class (ALU 1, multiply 4, divide 12, …),
+//! * an I-cache access at the instruction's (synthetic) address, adding the
+//!   miss penalty on a miss,
+//! * for loads/stores, a D-cache access at the data address,
+//! * a one-cycle load-use interlock when an instruction reads the register
+//!   defined by the immediately preceding load,
+//! * a taken-control-transfer penalty (static not-taken prediction; jumps
+//!   and taken branches flush the two fetch stages).
+
+use crate::cache::{Cache, CacheConfig};
+use sciduction_ir::{ExecError, Function, Instr, Memory, Operand, Reg, Terminator};
+
+/// Per-class base latencies and pipeline penalties, in cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Simple ALU / compare / select / const latency.
+    pub alu: u64,
+    /// Multiply latency.
+    pub mul: u64,
+    /// Divide/remainder latency.
+    pub div: u64,
+    /// Load base latency (plus D-cache penalty on miss).
+    pub load: u64,
+    /// Store base latency (plus D-cache penalty on miss).
+    pub store: u64,
+    /// Cycles lost on a taken branch or jump (fetch flush).
+    pub taken_penalty: u64,
+    /// Extra cycle when an instruction consumes the previous load's result.
+    pub load_use_stall: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            alu: 1,
+            mul: 4,
+            div: 12,
+            load: 1,
+            store: 1,
+            taken_penalty: 2,
+            load_use_stall: 1,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Pipeline latencies.
+    pub pipeline: PipelineConfig,
+    /// Instruction-cache geometry.
+    pub icache: CacheConfig,
+    /// Data-cache geometry.
+    pub dcache: CacheConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            pipeline: PipelineConfig::default(),
+            icache: CacheConfig::small_icache(),
+            dcache: CacheConfig::small_dcache(),
+        }
+    }
+}
+
+/// Mutable micro-architectural state (the paper's "environment state"):
+/// the contents of both caches. GameTime's adversary controls this.
+#[derive(Clone, Debug)]
+pub struct MachineState {
+    /// Instruction cache.
+    pub icache: Cache,
+    /// Data cache.
+    pub dcache: Cache,
+}
+
+impl MachineState {
+    /// Cold (empty) caches.
+    pub fn cold(config: &MachineConfig) -> Self {
+        MachineState {
+            icache: Cache::cold(config.icache),
+            dcache: Cache::cold(config.dcache),
+        }
+    }
+
+    /// Caches pre-warmed with the given data addresses (the I-cache is
+    /// warmed with the whole program image).
+    pub fn warmed(config: &MachineConfig, f: &Function, data_addrs: &[u64]) -> Self {
+        let mut st = Self::cold(config);
+        let layout = CodeLayout::of(f);
+        st.icache.warm(
+            (0..layout.total_words).map(|i| layout.code_base + i as u64),
+        );
+        st.dcache.warm(data_addrs.iter().copied());
+        st
+    }
+}
+
+/// Synthetic code layout: every instruction (and terminator) occupies one
+/// word; blocks are laid out consecutively.
+#[derive(Clone, Debug)]
+struct CodeLayout {
+    code_base: u64,
+    block_base: Vec<u64>,
+    total_words: usize,
+}
+
+impl CodeLayout {
+    fn of(f: &Function) -> Self {
+        let code_base = 0x1_0000; // separate from data addresses in tests
+        let mut block_base = Vec::with_capacity(f.blocks.len());
+        let mut off = 0u64;
+        for b in &f.blocks {
+            block_base.push(code_base + off);
+            off += b.instrs.len() as u64 + 1; // +1 for the terminator
+        }
+        CodeLayout {
+            code_base,
+            block_base,
+            total_words: off as usize,
+        }
+    }
+}
+
+/// The result of a timed run.
+#[derive(Clone, Debug)]
+pub struct TimedRun {
+    /// The returned word (must equal the reference interpreter's).
+    pub ret: u64,
+    /// End-to-end cycle count — the only signal GameTime may use.
+    pub cycles: u64,
+    /// Blocks visited.
+    pub block_trace: Vec<sciduction_ir::BlockId>,
+    /// Dynamically executed instructions (terminators included).
+    pub instructions: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+}
+
+/// A configured machine. Cheap to clone; all mutable state lives in
+/// [`MachineState`].
+#[derive(Clone, Debug, Default)]
+pub struct Machine {
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// A machine with the default (StrongARM-flavoured) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A machine with an explicit configuration.
+    pub fn with_config(config: MachineConfig) -> Self {
+        Machine { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs `f` to completion, counting cycles. `state` carries the cache
+    /// contents across the call (pass [`MachineState::cold`] for a cold
+    /// start).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the reference interpreter: arity mismatches and step-limit
+    /// overruns.
+    pub fn run(
+        &self,
+        f: &Function,
+        args: &[u64],
+        mut memory: Memory,
+        state: &mut MachineState,
+    ) -> Result<TimedRun, ExecError> {
+        if args.len() != f.num_params {
+            return Err(ExecError::ArityMismatch {
+                expected: f.num_params,
+                got: args.len(),
+            });
+        }
+        let p = &self.config.pipeline;
+        let layout = CodeLayout::of(f);
+        let mask = if f.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << f.width) - 1
+        };
+        let mut regs = vec![0u64; f.num_regs];
+        for (i, &a) in args.iter().enumerate() {
+            regs[i] = a & mask;
+        }
+        let read = |regs: &[u64], o: Operand| -> u64 {
+            match o {
+                Operand::Reg(r) => regs[r.index()],
+                Operand::Imm(v) => v & mask,
+            }
+        };
+        let step_limit = 1_000_000u64;
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
+        let (ic0, dc0) = (state.icache.misses(), state.dcache.misses());
+        let mut cur = f.entry;
+        let mut trace = vec![cur];
+        let mut last_load_def: Option<Reg> = None;
+        let ret;
+        'outer: loop {
+            let block = f.block(cur);
+            let base = layout.block_base[cur.index()];
+            for (ii, ins) in block.instrs.iter().enumerate() {
+                instructions += 1;
+                if instructions > step_limit {
+                    return Err(ExecError::StepLimit { limit: step_limit });
+                }
+                // Instruction fetch.
+                if !state.icache.access(base + ii as u64) {
+                    cycles += self.config.icache.miss_penalty;
+                }
+                // Load-use interlock.
+                if let Some(ld) = last_load_def {
+                    let uses_ld = ins
+                        .uses()
+                        .iter()
+                        .any(|u| matches!(u, Operand::Reg(r) if *r == ld));
+                    if uses_ld {
+                        cycles += p.load_use_stall;
+                    }
+                }
+                last_load_def = None;
+                match ins {
+                    Instr::Const { dst, value } => {
+                        cycles += p.alu;
+                        regs[dst.index()] = value & mask;
+                    }
+                    Instr::Bin { dst, op, a, b } => {
+                        cycles += match op {
+                            sciduction_ir::BinOp::Mul => p.mul,
+                            sciduction_ir::BinOp::Udiv | sciduction_ir::BinOp::Urem => p.div,
+                            _ => p.alu,
+                        };
+                        regs[dst.index()] =
+                            op.apply(read(&regs, *a), read(&regs, *b), f.width);
+                    }
+                    Instr::Cmp { dst, op, a, b } => {
+                        cycles += p.alu;
+                        regs[dst.index()] =
+                            op.apply(read(&regs, *a), read(&regs, *b), f.width) as u64;
+                    }
+                    Instr::Select { dst, cond, then, els } => {
+                        cycles += p.alu;
+                        regs[dst.index()] = if read(&regs, *cond) != 0 {
+                            read(&regs, *then)
+                        } else {
+                            read(&regs, *els)
+                        };
+                    }
+                    Instr::Load { dst, addr } => {
+                        cycles += p.load;
+                        let a = read(&regs, *addr);
+                        if !state.dcache.access(a) {
+                            cycles += self.config.dcache.miss_penalty;
+                        }
+                        regs[dst.index()] = memory.read(a) & mask;
+                        last_load_def = Some(*dst);
+                    }
+                    Instr::Store { addr, value } => {
+                        cycles += p.store;
+                        let a = read(&regs, *addr);
+                        if !state.dcache.access(a) {
+                            cycles += self.config.dcache.miss_penalty;
+                        }
+                        memory.write(a, read(&regs, *value));
+                    }
+                }
+            }
+            // Terminator fetch + execution.
+            instructions += 1;
+            if !state
+                .icache
+                .access(base + block.instrs.len() as u64)
+            {
+                cycles += self.config.icache.miss_penalty;
+            }
+            cycles += p.alu;
+            last_load_def = None;
+            match &block.terminator {
+                Terminator::Jump(t) => {
+                    cycles += p.taken_penalty;
+                    cur = *t;
+                    trace.push(cur);
+                }
+                Terminator::Branch { cond, then_to, else_to } => {
+                    let taken = read(&regs, *cond) != 0;
+                    // Static not-taken prediction: the then-edge pays.
+                    if taken {
+                        cycles += p.taken_penalty;
+                        cur = *then_to;
+                    } else {
+                        cur = *else_to;
+                    }
+                    trace.push(cur);
+                }
+                Terminator::Return(v) => {
+                    ret = read(&regs, *v);
+                    break 'outer;
+                }
+            }
+        }
+        Ok(TimedRun {
+            ret,
+            cycles,
+            block_trace: trace,
+            instructions,
+            icache_misses: state.icache.misses() - ic0,
+            dcache_misses: state.dcache.misses() - dc0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciduction_ir::{programs, run as interp_run, InterpConfig};
+
+    fn cold_run(f: &Function, args: &[u64], mem: Memory) -> TimedRun {
+        let m = Machine::new();
+        let mut st = MachineState::cold(m.config());
+        m.run(f, args, mem, &mut st).expect("terminates")
+    }
+
+    #[test]
+    fn values_agree_with_reference_interpreter() {
+        let cases: Vec<(Function, Vec<u64>, Memory)> = vec![
+            (programs::modexp(), vec![3, 200], Memory::new()),
+            (programs::crc8(), vec![0xA7], Memory::new()),
+            (programs::fig4_toy(), vec![0, 40], Memory::new()),
+            (programs::fir4(), vec![0, 16], {
+                let mut m = Memory::new();
+                m.write_slice(0, &[1, 2, 3, 4]);
+                m.write_slice(16, &[9, 8, 7, 6]);
+                m
+            }),
+        ];
+        for (f, args, mem) in cases {
+            let want = interp_run(&f, &args, mem.clone(), InterpConfig::default())
+                .unwrap();
+            let got = cold_run(&f, &args, mem);
+            assert_eq!(got.ret, want.ret, "{}", f.name);
+            assert_eq!(got.block_trace, want.block_trace, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn timing_is_deterministic() {
+        let f = programs::modexp();
+        let a = cold_run(&f, &[7, 0b10110101], Memory::new());
+        let b = cold_run(&f, &[7, 0b10110101], Memory::new());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.icache_misses, b.icache_misses);
+    }
+
+    #[test]
+    fn more_multiplies_cost_more_cycles() {
+        let f = programs::modexp();
+        // exp = 0 → no extra multiply blocks; exp = 255 → 8 extra.
+        let t0 = cold_run(&f, &[7, 0], Memory::new()).cycles;
+        let t255 = cold_run(&f, &[7, 255], Memory::new()).cycles;
+        assert!(
+            t255 > t0 + 8,
+            "255-path must be clearly longer: {t255} vs {t0}"
+        );
+    }
+
+    #[test]
+    fn warm_cache_is_faster_than_cold() {
+        let f = programs::fir4();
+        let mut mem = Memory::new();
+        mem.write_slice(0, &[1, 2, 3, 4]);
+        mem.write_slice(16, &[5, 6, 7, 8]);
+        let m = Machine::new();
+        let mut cold = MachineState::cold(m.config());
+        let t_cold = m.run(&f, &[0, 16], mem.clone(), &mut cold).unwrap();
+        let mut warm = MachineState::warmed(
+            m.config(),
+            &f,
+            &[0, 1, 2, 3, 16, 17, 18, 19],
+        );
+        let t_warm = m.run(&f, &[0, 16], mem, &mut warm).unwrap();
+        assert!(t_warm.cycles < t_cold.cycles);
+        assert_eq!(t_warm.ret, t_cold.ret);
+        assert_eq!(t_warm.dcache_misses, 0);
+        assert!(t_cold.dcache_misses > 0);
+    }
+
+    #[test]
+    fn fig4_path_state_interaction() {
+        // The paper's Fig. 4 story: from a cold cache, the final `*x += 2`
+        // hits only if the loop path already touched *x.
+        let f = programs::fig4_toy();
+        let m = Machine::new();
+        // Left path (flag=0): loop touches *x, so the final load hits.
+        let mut s1 = MachineState::cold(m.config());
+        let left = m.run(&f, &[0, 40], Memory::new(), &mut s1).unwrap();
+        // Right path (flag=1): the final load is the first touch → miss.
+        let mut s2 = MachineState::cold(m.config());
+        let right = m.run(&f, &[1, 40], Memory::new(), &mut s2).unwrap();
+        assert_eq!(left.dcache_misses, 1, "one compulsory miss on the left");
+        assert_eq!(right.dcache_misses, 1, "one compulsory miss on the right");
+        // From a warm cache both paths hit.
+        let mut s3 = MachineState::warmed(m.config(), &f, &[40, 41]);
+        let warm = m.run(&f, &[1, 40], Memory::new(), &mut s3).unwrap();
+        assert_eq!(warm.dcache_misses, 0);
+        assert!(warm.cycles < right.cycles);
+    }
+
+    #[test]
+    fn load_use_stall_counted() {
+        use sciduction_ir::{BinOp, FunctionBuilder};
+        // Two programs with identical instruction mixes; only the distance
+        // between the load and its consumer differs.
+        // A: v = load a; r = v + 1; s = a + 1   (consumer adjacent → stall)
+        let mut fb = FunctionBuilder::new("dep", 1, 32);
+        let a = fb.param(0);
+        let v = fb.load(a);
+        let r = fb.bin(BinOp::Add, v, 1u64);
+        let _s = fb.bin(BinOp::Add, a, 1u64);
+        fb.ret(r);
+        let dep = fb.finish().unwrap();
+        // B: v = load a; r = a + 1; s = v + 1   (one instruction apart)
+        let mut fb = FunctionBuilder::new("indep", 1, 32);
+        let a = fb.param(0);
+        let v = fb.load(a);
+        let _r = fb.bin(BinOp::Add, a, 1u64);
+        let s = fb.bin(BinOp::Add, v, 1u64);
+        fb.ret(s);
+        let indep = fb.finish().unwrap();
+        let td = cold_run(&dep, &[8], Memory::new());
+        let ti = cold_run(&indep, &[8], Memory::new());
+        let p = PipelineConfig::default();
+        assert_eq!(td.ret, ti.ret);
+        assert_eq!(
+            td.cycles,
+            ti.cycles + p.load_use_stall,
+            "adjacent consumer pays exactly the interlock"
+        );
+    }
+
+    #[test]
+    fn arity_error_propagates() {
+        let f = programs::modexp();
+        let m = Machine::new();
+        let mut st = MachineState::cold(m.config());
+        let e = m.run(&f, &[1], Memory::new(), &mut st);
+        assert!(matches!(e, Err(ExecError::ArityMismatch { .. })));
+    }
+}

@@ -1,0 +1,435 @@
+//! Components, component libraries, straight-line programs, and the I/O
+//! oracle interface.
+//!
+//! Paper Sec. 4.2: "Programs are assumed to be loop-free compositions of
+//! components drawn from a finite component library L. Each component in
+//! this library implements a programming construct that is essentially a
+//! bit-vector circuit." The library *is* the structure hypothesis: C_H is
+//! the set of syntactically legal compositions of L.
+
+use sciduction::StructureHypothesis;
+use sciduction_smt::{BvValue, TermId, TermPool};
+use std::fmt;
+
+/// A component: one bit-vector operation, possibly with an embedded
+/// constant parameter (e.g. shift-by-2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Left shift by an embedded constant.
+    ShlConst(u32),
+    /// Logical right shift by an embedded constant.
+    LshrConst(u32),
+    /// Add an embedded constant.
+    AddConst(u64),
+    /// Bitwise-and with an embedded constant.
+    AndConst(u64),
+    /// Unsigned-≤ producing 0/1.
+    Ule,
+    /// If-then-else on a 0/1 selector: `sel != 0 ? a : b`.
+    Ite,
+}
+
+impl Op {
+    /// Number of inputs.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Not | Op::Neg | Op::ShlConst(_) | Op::LshrConst(_) | Op::AddConst(_)
+            | Op::AndConst(_) => 1,
+            Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Ule => 2,
+            Op::Ite => 3,
+        }
+    }
+
+    /// Concrete semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn apply(self, args: &[BvValue]) -> BvValue {
+        assert_eq!(args.len(), self.arity(), "{self:?} arity");
+        let w = args[0].width();
+        match self {
+            Op::Add => args[0].add(args[1]),
+            Op::Sub => args[0].sub(args[1]),
+            Op::Mul => args[0].mul(args[1]),
+            Op::And => args[0].and(args[1]),
+            Op::Or => args[0].or(args[1]),
+            Op::Xor => args[0].xor(args[1]),
+            Op::Not => args[0].not(),
+            Op::Neg => args[0].neg(),
+            Op::ShlConst(k) => args[0].shl(BvValue::new(k as u64, w)),
+            Op::LshrConst(k) => args[0].lshr(BvValue::new(k as u64, w)),
+            Op::AddConst(k) => args[0].add(BvValue::new(k, w)),
+            Op::AndConst(k) => args[0].and(BvValue::new(k, w)),
+            Op::Ule => {
+                if args[0].ule(args[1]) {
+                    BvValue::one(w)
+                } else {
+                    BvValue::zero(w)
+                }
+            }
+            Op::Ite => {
+                if args[0].as_u64() != 0 {
+                    args[1]
+                } else {
+                    args[2]
+                }
+            }
+        }
+    }
+
+    /// SMT encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn encode(self, p: &mut TermPool, args: &[TermId]) -> TermId {
+        assert_eq!(args.len(), self.arity(), "{self:?} arity");
+        let w = p.width(args[0]);
+        match self {
+            Op::Add => p.bv_add(args[0], args[1]),
+            Op::Sub => p.bv_sub(args[0], args[1]),
+            Op::Mul => p.bv_mul(args[0], args[1]),
+            Op::And => p.bv_and(args[0], args[1]),
+            Op::Or => p.bv_or(args[0], args[1]),
+            Op::Xor => p.bv_xor(args[0], args[1]),
+            Op::Not => p.bv_not(args[0]),
+            Op::Neg => p.bv_neg(args[0]),
+            Op::ShlConst(k) => {
+                let kk = p.bv(k as u64, w);
+                p.bv_shl(args[0], kk)
+            }
+            Op::LshrConst(k) => {
+                let kk = p.bv(k as u64, w);
+                p.bv_lshr(args[0], kk)
+            }
+            Op::AddConst(k) => {
+                let kk = p.bv(k, w);
+                p.bv_add(args[0], kk)
+            }
+            Op::AndConst(k) => {
+                let kk = p.bv(k, w);
+                p.bv_and(args[0], kk)
+            }
+            Op::Ule => {
+                let c = p.bv_ule(args[0], args[1]);
+                let one = p.bv(1, w);
+                let zero = p.bv(0, w);
+                p.ite(c, one, zero)
+            }
+            Op::Ite => {
+                let zero = p.bv(0, w);
+                let nz = p.neq(args[0], zero);
+                p.ite(nz, args[1], args[2])
+            }
+        }
+    }
+
+    /// Rendering name.
+    pub fn name(self) -> String {
+        match self {
+            Op::ShlConst(k) => format!("shl{k}"),
+            Op::LshrConst(k) => format!("lshr{k}"),
+            Op::AddConst(k) => format!("add#{k}"),
+            Op::AndConst(k) => format!("and#{k:#x}"),
+            other => format!("{other:?}").to_lowercase(),
+        }
+    }
+}
+
+/// The component library — the structure hypothesis **H** of Sec. 4.
+/// Programs are compositions using each listed component *exactly once*
+/// (include duplicates to allow multiple uses, as in Brahma).
+#[derive(Clone, Debug)]
+pub struct ComponentLibrary {
+    /// The components (multiset).
+    pub components: Vec<Op>,
+    /// Number of program inputs.
+    pub num_inputs: usize,
+    /// Number of program outputs.
+    pub num_outputs: usize,
+    /// Bit width of all values.
+    pub width: u32,
+}
+
+impl ComponentLibrary {
+    /// Builds a library.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (no components or outputs).
+    pub fn new(components: Vec<Op>, num_inputs: usize, num_outputs: usize, width: u32) -> Self {
+        assert!(!components.is_empty(), "library needs at least one component");
+        assert!(num_outputs >= 1, "programs need at least one output");
+        assert!((1..=64).contains(&width));
+        ComponentLibrary { components, num_inputs, num_outputs, width }
+    }
+
+    /// Total number of value locations (inputs + one output per component).
+    pub fn num_locations(&self) -> usize {
+        self.num_inputs + self.components.len()
+    }
+}
+
+impl StructureHypothesis for ComponentLibrary {
+    type Artifact = SynthProgram;
+
+    fn contains(&self, prog: &SynthProgram) -> bool {
+        if prog.num_inputs != self.num_inputs
+            || prog.outputs.len() != self.num_outputs
+            || prog.lines.len() != self.components.len()
+        {
+            return false;
+        }
+        // The program must use exactly the library's multiset of ops.
+        let mut used: Vec<Op> = prog.lines.iter().map(|(op, _)| *op).collect();
+        let mut lib = self.components.clone();
+        used.sort_by_key(|o| format!("{o:?}"));
+        lib.sort_by_key(|o| format!("{o:?}"));
+        used == lib
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "loop-free programs composed from the component library {{{}}} (each used once)",
+            self.components
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// A straight-line program over the library: line `j` computes value
+/// `num_inputs + j`; operands refer to earlier values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SynthProgram {
+    /// Number of inputs.
+    pub num_inputs: usize,
+    /// Bit width.
+    pub width: u32,
+    /// Lines: operation and operand value-indices.
+    pub lines: Vec<(Op, Vec<usize>)>,
+    /// Indices of the returned values.
+    pub outputs: Vec<usize>,
+}
+
+impl SynthProgram {
+    /// Runs the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input arity/width mismatch.
+    pub fn eval(&self, inputs: &[BvValue]) -> Vec<BvValue> {
+        assert_eq!(inputs.len(), self.num_inputs);
+        let mut values: Vec<BvValue> = inputs.to_vec();
+        for v in &values {
+            assert_eq!(v.width(), self.width);
+        }
+        for (op, operands) in &self.lines {
+            let args: Vec<BvValue> = operands.iter().map(|&i| values[i]).collect();
+            values.push(op.apply(&args));
+        }
+        self.outputs.iter().map(|&i| values[i]).collect()
+    }
+
+    /// SMT encoding of the program's outputs on symbolic inputs.
+    pub fn encode(&self, p: &mut TermPool, inputs: &[TermId]) -> Vec<TermId> {
+        assert_eq!(inputs.len(), self.num_inputs);
+        let mut values: Vec<TermId> = inputs.to_vec();
+        for (op, operands) in &self.lines {
+            let args: Vec<TermId> = operands.iter().map(|&i| values[i]).collect();
+            values.push(op.encode(p, &args));
+        }
+        self.outputs.iter().map(|&i| values[i]).collect()
+    }
+}
+
+impl fmt::Display for SynthProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (j, (op, operands)) in self.lines.iter().enumerate() {
+            let args: Vec<String> = operands
+                .iter()
+                .map(|&i| {
+                    if i < self.num_inputs {
+                        format!("in{i}")
+                    } else {
+                        format!("t{}", i - self.num_inputs)
+                    }
+                })
+                .collect();
+            writeln!(f, "t{j} = {}({})", op.name(), args.join(", "))?;
+        }
+        let outs: Vec<String> = self
+            .outputs
+            .iter()
+            .map(|&i| {
+                if i < self.num_inputs {
+                    format!("in{i}")
+                } else {
+                    format!("t{}", i - self.num_inputs)
+                }
+            })
+            .collect();
+        writeln!(f, "return ({})", outs.join(", "))
+    }
+}
+
+/// The specification-as-oracle view (Sec. 4.1): "the obfuscated program as
+/// an I/O oracle that maps a given program input to the desired output."
+pub trait IoOracle {
+    /// Queries the oracle on one input tuple.
+    fn query(&mut self, inputs: &[BvValue]) -> Vec<BvValue>;
+
+    /// Number of queries made so far.
+    fn queries(&self) -> u64;
+
+    /// Description for reports.
+    fn describe(&self) -> String {
+        "black-box I/O oracle".into()
+    }
+}
+
+/// An oracle wrapping a Rust closure (used for the paper's obfuscated
+/// benchmark programs).
+pub struct FnOracle<F> {
+    f: F,
+    queries: u64,
+    name: String,
+}
+
+impl<F: FnMut(&[BvValue]) -> Vec<BvValue>> FnOracle<F> {
+    /// Wraps a closure as an oracle.
+    pub fn new(name: &str, f: F) -> Self {
+        FnOracle { f, queries: 0, name: name.to_string() }
+    }
+}
+
+impl<F: FnMut(&[BvValue]) -> Vec<BvValue>> IoOracle for FnOracle<F> {
+    fn query(&mut self, inputs: &[BvValue]) -> Vec<BvValue> {
+        self.queries += 1;
+        (self.f)(inputs)
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    fn describe(&self) -> String {
+        format!("I/O oracle `{}`", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(x: u64) -> BvValue {
+        BvValue::new(x, 32)
+    }
+
+    #[test]
+    fn op_semantics_and_arity() {
+        assert_eq!(Op::Add.apply(&[bv(3), bv(4)]).as_u64(), 7);
+        assert_eq!(Op::ShlConst(2).apply(&[bv(3)]).as_u64(), 12);
+        assert_eq!(Op::Neg.apply(&[bv(1)]).as_u64(), 0xFFFF_FFFF);
+        assert_eq!(Op::Ule.apply(&[bv(3), bv(3)]).as_u64(), 1);
+        assert_eq!(Op::Ite.apply(&[bv(0), bv(1), bv(2)]).as_u64(), 2);
+        assert_eq!(Op::Ite.arity(), 3);
+        assert_eq!(Op::Not.arity(), 1);
+        assert_eq!(Op::Xor.arity(), 2);
+    }
+
+    #[test]
+    fn op_encoding_matches_semantics() {
+        use sciduction_smt::{CheckResult, Solver};
+        let ops = [
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Xor,
+            Op::Not,
+            Op::Neg,
+            Op::ShlConst(3),
+            Op::LshrConst(1),
+            Op::AddConst(45),
+            Op::AndConst(0xF0),
+            Op::Ule,
+            Op::Ite,
+        ];
+        for op in ops {
+            let mut s = Solver::new();
+            let args: Vec<BvValue> = (0..op.arity())
+                .map(|i| BvValue::new(0x1234_5678 >> i, 8))
+                .collect();
+            let terms: Vec<TermId> = args
+                .iter()
+                .map(|v| s.terms_mut().bv_const(*v))
+                .collect();
+            let enc = op.encode(s.terms_mut(), &terms);
+            assert_eq!(s.check(), CheckResult::Sat);
+            assert_eq!(s.model_value(enc).as_bv(), op.apply(&args), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn program_eval_and_display() {
+        // t0 = in0 << 2; t1 = t0 + in0  → 5*in0
+        let p = SynthProgram {
+            num_inputs: 1,
+            width: 32,
+            lines: vec![(Op::ShlConst(2), vec![0]), (Op::Add, vec![1, 0])],
+            outputs: vec![2],
+        };
+        assert_eq!(p.eval(&[bv(7)]), vec![bv(35)]);
+        let text = format!("{p}");
+        assert!(text.contains("shl2"));
+        assert!(text.contains("return (t1)"));
+    }
+
+    #[test]
+    fn library_membership() {
+        let lib = ComponentLibrary::new(vec![Op::ShlConst(2), Op::Add], 1, 1, 32);
+        let ok = SynthProgram {
+            num_inputs: 1,
+            width: 32,
+            lines: vec![(Op::ShlConst(2), vec![0]), (Op::Add, vec![1, 0])],
+            outputs: vec![2],
+        };
+        assert!(lib.contains(&ok));
+        let wrong_ops = SynthProgram {
+            num_inputs: 1,
+            width: 32,
+            lines: vec![(Op::ShlConst(3), vec![0]), (Op::Add, vec![1, 0])],
+            outputs: vec![2],
+        };
+        assert!(!lib.contains(&wrong_ops));
+        assert!(lib.describe().contains("shl2"));
+        assert_eq!(lib.num_locations(), 3);
+    }
+
+    #[test]
+    fn fn_oracle_counts_queries() {
+        let mut o = FnOracle::new("id", |xs: &[BvValue]| xs.to_vec());
+        assert_eq!(o.query(&[bv(5)]), vec![bv(5)]);
+        assert_eq!(o.queries(), 1);
+        assert!(o.describe().contains("id"));
+    }
+}

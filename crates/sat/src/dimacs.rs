@@ -1,0 +1,164 @@
+//! A minimal DIMACS CNF reader/writer, used by the test suite and the
+//! benchmark harness to exchange problems with the solver.
+
+use crate::{Lit, Solver, Var};
+use std::fmt;
+
+/// Errors produced while parsing DIMACS CNF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as a literal.
+    BadLiteral(String),
+    /// A literal referenced a variable beyond the declared count.
+    VarOutOfRange(i64),
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::BadHeader(s) => write!(f, "malformed DIMACS header: {s}"),
+            DimacsError::BadLiteral(s) => write!(f, "malformed literal: {s}"),
+            DimacsError::VarOutOfRange(v) => write!(f, "variable {v} out of declared range"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// A parsed CNF: number of variables and clause list in literal form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses; literal `i > 0` means variable `i-1` positive.
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl Cnf {
+    /// Parses DIMACS CNF text. Comment lines (`c ...`) are skipped; the
+    /// `p cnf` header must precede clauses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimacsError`] on malformed headers or literals.
+    pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
+        let mut num_vars = None;
+        let mut clauses = Vec::new();
+        let mut current = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(DimacsError::BadHeader(line.to_string()));
+                }
+                let nv: usize = parts[1]
+                    .parse()
+                    .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+                num_vars = Some(nv);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok
+                    .parse()
+                    .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+                if v == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let nv = num_vars.ok_or_else(|| {
+                        DimacsError::BadHeader("clauses before header".to_string())
+                    })?;
+                    if v.unsigned_abs() as usize > nv {
+                        return Err(DimacsError::VarOutOfRange(v));
+                    }
+                    current.push(v);
+                }
+            }
+        }
+        if !current.is_empty() {
+            clauses.push(current);
+        }
+        Ok(Cnf {
+            num_vars: num_vars.unwrap_or(0),
+            clauses,
+        })
+    }
+
+    /// Loads this CNF into a fresh [`Solver`], returning the solver and the
+    /// variable handles in declaration order.
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| s.new_var()).collect();
+        for cl in &self.clauses {
+            let lits: Vec<Lit> = cl
+                .iter()
+                .map(|&v| Lit::new(vars[(v.unsigned_abs() - 1) as usize], v < 0))
+                .collect();
+            s.add_clause(lits);
+        }
+        (s, vars)
+    }
+
+    /// Renders the CNF back to DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for cl in &self.clauses {
+            for l in cl {
+                out.push_str(&l.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses, vec![vec![1, -2], vec![2, 3]]);
+        let again = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            Cnf::parse("p dnf 1 1\n1 0"),
+            Err(DimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 1 1\nx 0"),
+            Err(DimacsError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            Cnf::parse("p cnf 1 1\n2 0"),
+            Err(DimacsError::VarOutOfRange(2))
+        ));
+        assert!(matches!(
+            Cnf::parse("1 0"),
+            Err(DimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn into_solver_solves() {
+        let cnf = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let (mut s, vars) = cnf.into_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(vars[0]), Some(false));
+        assert_eq!(s.value(vars[1]), Some(true));
+    }
+}

@@ -1,0 +1,1047 @@
+//! The CDCL search engine.
+//!
+//! A conventional conflict-driven clause-learning solver in the MiniSat
+//! lineage: two-watched-literal propagation, first-UIP conflict analysis with
+//! recursive clause minimization, exponential VSIDS branching, phase saving,
+//! Luby-sequence restarts, and activity/LBD-driven learnt-clause database
+//! reduction. Incremental solving under assumptions is supported, including
+//! extraction of the failed-assumption set (the "final conflict"), which the
+//! SMT layer uses to implement push/pop.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::types::{LBool, Lit, Var};
+
+/// Outcome of a satisfiability check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it via [`Solver::value`] /
+    /// [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    /// When assumptions were supplied, [`Solver::failed_assumptions`] holds
+    /// a subset sufficient for unsatisfiability.
+    Unsat,
+}
+
+/// Aggregate search statistics, exposed for benchmarks and ablations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently live.
+    pub learnt_clauses: usize,
+    /// Number of learnt-database reductions.
+    pub reductions: u64,
+}
+
+/// Tunable solver parameters. The defaults are sensible for the bit-blasted
+/// synthesis and path-feasibility queries issued by the sciduction
+/// applications; the ablation benches vary them.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Multiplicative VSIDS decay applied after each conflict (0 < d < 1).
+    pub var_decay: f64,
+    /// Multiplicative clause-activity decay applied after each conflict.
+    pub clause_decay: f64,
+    /// Base interval (in conflicts) of the Luby restart sequence.
+    pub restart_base: u64,
+    /// Enable restarts. Disabling is exposed for ablation studies.
+    pub restarts: bool,
+    /// Enable learnt-clause database reduction.
+    pub reduce_db: bool,
+    /// Enable recursive conflict-clause minimization.
+    pub minimize: bool,
+    /// Initial cap on learnt clauses as a fraction of original clauses.
+    pub learnt_ratio: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            restarts: true,
+            reduce_db: true,
+            minimize: true,
+            learnt_ratio: 0.4,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// The other watched literal ("blocker"): if it is already true the
+    /// clause is satisfied and the watcher list need not be touched.
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_sat::{Solver, Lit, SolveResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([Lit::positive(a), Lit::positive(b)]);
+/// s.add_clause([Lit::negative(a)]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>, // indexed by Lit::code
+    assigns: Vec<LBool>,        // indexed by Var
+    phase: Vec<bool>,           // saved phases
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    heap: VarHeap,
+    seen: Vec<bool>,
+    /// Scratch for conflict analysis.
+    analyze_toclear: Vec<Lit>,
+    /// `true` once an empty clause / top-level conflict makes the instance
+    /// permanently unsatisfiable.
+    unsat: bool,
+    stats: Stats,
+    failed: Vec<Lit>,
+    model: Vec<LBool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default [`SolverConfig`].
+    pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            heap: VarHeap::new(),
+            seen: Vec::new(),
+            analyze_toclear: Vec::new(),
+            unsat: false,
+            stats: Stats::default(),
+            failed: Vec::new(),
+            model: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.db.live()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.learnt_clauses = self.db.num_learnt;
+        s
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the clause makes the instance trivially
+    /// unsatisfiable at the top level (the solver then stays permanently
+    /// unsat). Duplicate literals are removed and tautologies are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable not created by this solver.
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        if self.unsat {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut cl: Vec<Lit> = lits.into_iter().collect();
+        for l in &cl {
+            assert!(l.var().index() < self.num_vars(), "literal out of range");
+        }
+        cl.sort_unstable();
+        cl.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(cl.len());
+        for (i, &l) in cl.iter().enumerate() {
+            if i + 1 < cl.len() && cl[i + 1] == !l {
+                return true; // tautology: contains l and ¬l adjacent after sort
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let cref = self.db.alloc(simplified, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] returns a
+    /// subset of the assumptions sufficient for unsatisfiability.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.failed.clear();
+        self.model.clear();
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        let mut restarts: u64 = 0;
+        let mut max_learnts =
+            (self.db.num_original as f64 * self.config.learnt_ratio).max(100.0);
+        loop {
+            let budget = if self.config.restarts {
+                luby(2.0, restarts) * self.config.restart_base as f64
+            } else {
+                f64::INFINITY
+            };
+            match self.search(budget as u64, &mut max_learnts, assumptions) {
+                SearchOutcome::Sat => {
+                    self.model = self.assigns.clone();
+                    self.backtrack_to(0);
+                    return SolveResult::Sat;
+                }
+                SearchOutcome::Unsat => {
+                    self.backtrack_to(0);
+                    return SolveResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    self.backtrack_to(0);
+                }
+            }
+        }
+    }
+
+    /// The truth value `var` received in the most recent satisfying model.
+    ///
+    /// Returns `None` if the last solve was not SAT or the variable was
+    /// irrelevant (left unassigned).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index()).copied().and_then(LBool::to_option)
+    }
+
+    /// The value of a literal in the most recent model (see [`Solver::value`]).
+    pub fn lit_model_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var())
+            .map(|b| if lit.is_negative() { !b } else { b })
+    }
+
+    /// The most recent satisfying model as a dense vector over variables.
+    /// Unassigned (irrelevant) variables read as `false`.
+    pub fn model(&self) -> Vec<bool> {
+        self.model
+            .iter()
+            .map(|v| v.to_option().unwrap_or(false))
+            .collect()
+    }
+
+    /// After an UNSAT answer from [`Solver::solve_with_assumptions`], the
+    /// subset of assumptions that participated in the refutation.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// True if the instance has been proven unsatisfiable at the top level
+    /// (independent of any assumptions).
+    pub fn is_trivially_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_negative() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l).is_undef());
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.phase[v] = l.is_positive();
+        self.reason[v] = reason;
+        self.level[v] = self.decision_level() as u32;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Unit propagation. Returns a conflicting clause reference on conflict.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already satisfied.
+                if self.lit_value(w.blocker).is_true() {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let c = self.db.get(w.cref);
+                if c.deleted {
+                    continue; // lazily drop watcher
+                }
+                // Normalize: ensure the false literal (¬p) is at slot 1.
+                let false_lit = !p;
+                let (mut l0, l1len) = (c.lits[0], c.lits.len());
+                if l0 == false_lit {
+                    // swap slots 0 and 1
+                    let c = self.db.get_mut(w.cref);
+                    c.lits.swap(0, 1);
+                    l0 = c.lits[0];
+                }
+                debug_assert_eq!(self.db.get(w.cref).lits[1], false_lit);
+                // First literal satisfied?
+                if self.lit_value(l0).is_true() {
+                    ws[j] = Watcher { cref: w.cref, blocker: l0 };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..l1len {
+                    let lk = self.db.get(w.cref).lits[k];
+                    if !self.lit_value(lk).is_false() {
+                        let c = self.db.get_mut(w.cref);
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: l0,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[j] = Watcher { cref: w.cref, blocker: l0 };
+                j += 1;
+                if self.lit_value(l0).is_false() {
+                    // Conflict: keep remaining watchers, stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(w.cref);
+                } else {
+                    self.enqueue(l0, Some(w.cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level];
+        for idx in (lim..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level);
+        self.qhead = lim;
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = self.db.get_mut(cref);
+        c.activity += self.clause_inc;
+        if c.activity > 1e20 {
+            let inc = self.clause_inc;
+            for r in self.db.learnt_refs().collect::<Vec<_>>() {
+                self.db.get_mut(r).activity *= 1e-20;
+            }
+            self.clause_inc = inc * 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    /// The asserting literal is placed at slot 0.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let cur_level = self.decision_level() as u32;
+
+        loop {
+            self.bump_clause(conflict);
+            let lits: Vec<Lit> = {
+                let c = self.db.get(conflict);
+                c.lits.clone()
+            };
+            let skip = usize::from(p.is_some());
+            for &q in lits.iter().skip(skip) {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.unwrap();
+                break;
+            }
+            conflict = self.reason[pv.index()].expect("resolved literal must have a reason");
+        }
+
+        // Minimize: drop literals implied by the rest of the clause.
+        self.analyze_toclear = learnt.clone();
+        if self.config.minimize {
+            let mut keep = vec![true; learnt.len()];
+            for (i, &l) in learnt.iter().enumerate().skip(1) {
+                if self.reason[l.var().index()].is_some() && self.lit_redundant(l) {
+                    keep[i] = false;
+                }
+            }
+            let mut k = 0;
+            learnt.retain(|_| {
+                let r = keep[k];
+                k += 1;
+                r
+            });
+        }
+        for l in std::mem::take(&mut self.analyze_toclear) {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute backtrack level: second-highest decision level in clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+        (learnt, bt)
+    }
+
+    /// Checks whether `l`'s reason-side ancestors are all already in the
+    /// learnt clause (marked seen), making `l` redundant. Iterative DFS.
+    fn lit_redundant(&mut self, l: Lit) -> bool {
+        let mut stack = vec![l];
+        let mut to_unmark: Vec<Var> = Vec::new();
+        while let Some(q) = stack.pop() {
+            let Some(r) = self.reason[q.var().index()] else {
+                // Decision reached that is not in the clause: not redundant.
+                for v in to_unmark {
+                    self.seen[v.index()] = false;
+                }
+                return false;
+            };
+            let lits: Vec<Lit> = self.db.get(r).lits.clone();
+            for &x in lits.iter().skip(1) {
+                let v = x.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()].is_none() {
+                    for v in to_unmark {
+                        self.seen[v.index()] = false;
+                    }
+                    return false;
+                }
+                self.seen[v.index()] = true;
+                to_unmark.push(v);
+                stack.push(x);
+            }
+        }
+        // Keep markings: they are sound over-approximations of "in clause
+        // or redundant" for subsequent redundancy checks; they are cleared
+        // wholesale via analyze_toclear.
+        self.analyze_toclear
+            .extend(to_unmark.into_iter().map(Lit::positive));
+        true
+    }
+
+    fn lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn reduce_db(&mut self) {
+        self.stats.reductions += 1;
+        let mut learnt: Vec<ClauseRef> = self.db.learnt_refs().collect();
+        // Keep clauses that are reasons for current assignments.
+        let locked: Vec<bool> = learnt
+            .iter()
+            .map(|&r| {
+                let c = self.db.get(r);
+                let l0 = c.lits[0];
+                self.lit_value(l0).is_true() && self.reason[l0.var().index()] == Some(r)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..learnt.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ca = self.db.get(learnt[a]);
+            let cb = self.db.get(learnt[b]);
+            ca.activity
+                .partial_cmp(&cb.activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = learnt.len() / 2;
+        let mut removed = 0;
+        for &i in &order {
+            if removed >= target {
+                break;
+            }
+            let c = self.db.get(learnt[i]);
+            if locked[i] || c.lits.len() == 2 || c.lbd <= 2 {
+                continue;
+            }
+            self.db.delete(learnt[i]);
+            removed += 1;
+        }
+        learnt.clear();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v.index()].is_undef() {
+                return Some(Lit::new(v, !self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn search(
+        &mut self,
+        conflict_budget: u64,
+        max_learnts: &mut f64,
+        assumptions: &[Lit],
+    ) -> SearchOutcome {
+        let mut conflicts_here: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                // Never backtrack below the assumption levels we still need;
+                // but correctness requires the asserting literal be
+                // enqueueable, so backtrack to bt_level and re-establish
+                // assumptions on the way back up.
+                self.backtrack_to(bt_level);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], None);
+                } else {
+                    let lbd = self.lbd(&learnt);
+                    let asserting = learnt[0];
+                    let cref = self.db.alloc(learnt, true, lbd);
+                    self.attach(cref);
+                    self.enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= self.config.var_decay;
+                self.clause_inc /= self.config.clause_decay;
+                if self.config.reduce_db && self.db.num_learnt as f64 > *max_learnts {
+                    self.reduce_db();
+                    *max_learnts *= 1.1;
+                }
+            } else {
+                if conflicts_here >= conflict_budget {
+                    return SearchOutcome::Restart;
+                }
+                // Establish assumptions as pseudo-decisions.
+                let mut next_decision: Option<Lit> = None;
+                while self.decision_level() < assumptions.len() {
+                    let a = assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.analyze_final(a);
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            next_decision = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next_decision {
+                    Some(d) => Some(d),
+                    None => self.pick_branch(),
+                };
+                match decision {
+                    None => return SearchOutcome::Sat,
+                    Some(d) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(d, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the failed-assumption set when assumption `p` is falsified.
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed.clear();
+        self.failed.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        let mut seen = vec![false; self.num_vars()];
+        seen[p.var().index()] = true;
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            if !seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                None => {
+                    // A decision at these levels is an assumption; report it
+                    // as it was supplied by the caller.
+                    self.failed.push(l);
+                }
+                Some(r) => {
+                    let lits: Vec<Lit> = self.db.get(r).lits.clone();
+                    for &x in lits.iter().skip(1) {
+                        if self.level[x.var().index()] > 0 {
+                            seen[x.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            seen[v.index()] = false;
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+}
+
+/// The Luby restart sequence scaled by `y`.
+fn luby(y: f64, mut x: u64) -> f64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq as i32)
+}
+
+/// Indexed binary max-heap over variable activities.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or usize::MAX if absent.
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos.get(v.index()).is_some_and(|&p| p != usize::MAX)
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.pos.len() <= v.index() {
+            self.pos.resize(v.index() + 1, usize::MAX);
+        }
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v.index()], act);
+        }
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::positive(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 1);
+        assert!(s.add_clause([l[0]]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.lit_model_value(l[0]), Some(true));
+        assert!(!s.add_clause([!l[0]]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.is_trivially_unsat());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 1);
+        assert!(s.add_clause([l[0], !l[0]]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 10);
+        for i in 0..9 {
+            s.add_clause([!l[i], l[i + 1]]);
+        }
+        s.add_clause([l[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for li in &l {
+            assert_eq!(s.lit_model_value(*li), Some(true));
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x0 ^ x1, x1 ^ x2, x0 ^ x2 with odd parity constraint is UNSAT.
+        // Encode a ^ b = true as (a | b) & (!a | !b).
+        let mut s = Solver::new();
+        let l = lits(&mut s, 3);
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            s.add_clause([l[a], l[b]]);
+            s.add_clause([!l[a], !l[b]]);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[Lit(0); 2]; 3];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = Lit::positive(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(row.to_vec());
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5usize;
+        let m = 4usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_and_failed_set() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 3);
+        s.add_clause([!l[0], !l[1]]); // ¬(a ∧ b)
+        assert_eq!(s.solve_with_assumptions(&[l[0], l[1]]), SolveResult::Unsat);
+        let failed = s.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        for f in &failed {
+            assert!([l[0], l[1]].contains(f));
+        }
+        // Without the clashing assumption it is SAT, and the solver is reusable.
+        assert_eq!(s.solve_with_assumptions(&[l[0], l[2]]), SolveResult::Sat);
+        assert_eq!(s.lit_model_value(l[0]), Some(true));
+        assert_eq!(s.lit_model_value(l[2]), Some(true));
+        assert_eq!(s.lit_model_value(l[1]), Some(false));
+    }
+
+    #[test]
+    fn assumption_false_at_level_zero() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 1);
+        s.add_clause([!l[0]]);
+        assert_eq!(s.solve_with_assumptions(&[l[0]]), SolveResult::Unsat);
+        assert_eq!(s.failed_assumptions(), &[l[0]]);
+        assert!(!s.is_trivially_unsat());
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<f64> = (0..9).map(|i| luby(2.0, i)).collect();
+        assert_eq!(seq, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn config_without_restarts_or_reduction_still_correct() {
+        let cfg = SolverConfig {
+            restarts: false,
+            reduce_db: false,
+            minimize: false,
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(cfg);
+        let n = 4usize;
+        let m = 3usize;
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

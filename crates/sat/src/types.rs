@@ -1,0 +1,255 @@
+//! Core value types for the SAT solver: variables, literals, and the
+//! three-valued assignment domain.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from zero.
+///
+/// Variables are created through [`crate::Solver::new_var`]; the index is an
+/// opaque handle but is guaranteed to be dense, so callers may use it to
+/// index side tables.
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_sat::{Solver, Lit};
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// assert_eq!(Lit::positive(v).var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a variable from a dense index.
+    ///
+    /// The caller is responsible for ensuring the index refers to a variable
+    /// that exists in the solver it is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2 * var + sign`, where `sign == 1` means negated. The
+/// encoding is stable and may be used to index literal-keyed tables via
+/// [`Lit::code`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn negative(var: Var) -> Self {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit sign; `negated == false` yields the
+    /// positive literal.
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Self {
+        Lit((var.0 << 1) | negated as u32)
+    }
+
+    /// The variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is negated.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this literal is positive (not negated).
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense integer code of this literal (`2 * var + sign`).
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.0 >> 1)
+        } else {
+            write!(f, "x{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued assignment: true, false, or unassigned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not (yet) assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a Rust `bool`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns the negation; `Undef` is its own negation.
+    #[inline]
+    pub fn negate(self) -> Self {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// `Some(bool)` when assigned, `None` when undefined.
+    #[inline]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// True exactly when this is [`LBool::True`].
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == LBool::True
+    }
+
+    /// True exactly when this is [`LBool::False`].
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == LBool::False
+    }
+
+    /// True exactly when this is [`LBool::Undef`].
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        self == LBool::Undef
+    }
+}
+
+impl Not for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn not(self) -> LBool {
+        self.negate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var::from_index(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+        assert_eq!(Lit::new(v, true), n);
+        assert_eq!(Lit::new(v, false), p);
+    }
+
+    #[test]
+    fn lbool_algebra() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+        assert_eq!(!LBool::True, LBool::False);
+        assert_eq!(!LBool::Undef, LBool::Undef);
+        assert_eq!(LBool::True.to_option(), Some(true));
+        assert_eq!(LBool::Undef.to_option(), None);
+        assert!(LBool::default().is_undef());
+    }
+
+    #[test]
+    fn literal_codes_are_dense() {
+        for i in 0..16 {
+            let v = Var::from_index(i);
+            assert_eq!(Lit::positive(v).code(), 2 * i);
+            assert_eq!(Lit::negative(v).code(), 2 * i + 1);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(3);
+        assert_eq!(format!("{}", Lit::positive(v)), "x3");
+        assert_eq!(format!("{}", Lit::negative(v)), "¬x3");
+        assert_eq!(format!("{v}"), "x3");
+    }
+}

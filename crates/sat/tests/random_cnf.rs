@@ -1,0 +1,239 @@
+//! Randomized differential testing of the CDCL solver against a brute-force
+//! truth-table enumerator, plus property-based tests of solver invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciduction_sat::{Lit, SolveResult, Solver, SolverConfig, Var};
+
+/// Brute-force satisfiability over `n <= 16` variables.
+fn brute_force_sat(n: usize, clauses: &[Vec<(usize, bool)>]) -> Option<Vec<bool>> {
+    assert!(n <= 16);
+    for bits in 0u32..(1u32 << n) {
+        let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        let ok = clauses.iter().all(|cl| {
+            cl.iter()
+                .any(|&(v, neg)| if neg { !assign[v] } else { assign[v] })
+        });
+        if ok {
+            return Some(assign);
+        }
+    }
+    None
+}
+
+fn check_model(model: &Solver, vars: &[Var], clauses: &[Vec<(usize, bool)>]) {
+    for cl in clauses {
+        let sat = cl.iter().any(|&(v, neg)| {
+            let val = model.value(vars[v]).unwrap_or(false);
+            if neg {
+                !val
+            } else {
+                val
+            }
+        });
+        assert!(sat, "model does not satisfy clause {cl:?}");
+    }
+}
+
+fn run_instance(n: usize, clauses: &[Vec<(usize, bool)>], config: SolverConfig) {
+    let mut s = Solver::with_config(config);
+    let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+    let mut trivially_unsat = false;
+    for cl in clauses {
+        let lits: Vec<Lit> = cl.iter().map(|&(v, neg)| Lit::new(vars[v], neg)).collect();
+        if !s.add_clause(lits) {
+            trivially_unsat = true;
+        }
+    }
+    let expected = brute_force_sat(n, clauses);
+    if trivially_unsat {
+        assert!(expected.is_none(), "solver claimed trivial UNSAT on SAT instance");
+        return;
+    }
+    match s.solve() {
+        SolveResult::Sat => {
+            assert!(expected.is_some(), "solver SAT but brute force UNSAT");
+            check_model(&s, &vars, clauses);
+        }
+        SolveResult::Unsat => {
+            assert!(expected.is_none(), "solver UNSAT but brute force found {expected:?}");
+        }
+    }
+}
+
+fn random_clauses(rng: &mut StdRng, n: usize, m: usize, k: usize) -> Vec<Vec<(usize, bool)>> {
+    (0..m)
+        .map(|_| {
+            (0..k)
+                .map(|_| (rng.random_range(0..n), rng.random()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn random_3sat_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..400 {
+        let n = rng.random_range(1..=10);
+        // Around the 3-SAT phase transition to exercise both outcomes.
+        let m = rng.random_range(1..=(n * 5).max(2));
+        let clauses = random_clauses(&mut rng, n, m, 3);
+        run_instance(n, &clauses, SolverConfig::default());
+        if round % 4 == 0 {
+            run_instance(
+                n,
+                &clauses,
+                SolverConfig {
+                    restarts: false,
+                    reduce_db: false,
+                    minimize: false,
+                    ..SolverConfig::default()
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn random_mixed_width_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..200 {
+        let n = rng.random_range(1..=8);
+        let m = rng.random_range(1..=24);
+        let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+            .map(|_| {
+                let k = rng.random_range(1..=4);
+                (0..k)
+                    .map(|_| (rng.random_range(0..n), rng.random()))
+                    .collect()
+            })
+            .collect();
+        run_instance(n, &clauses, SolverConfig::default());
+    }
+}
+
+#[test]
+fn incremental_assumptions_agree_with_unit_clauses() {
+    // Solving with assumption `a` must agree with adding unit clause `a`
+    // to a fresh copy.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let n = rng.random_range(2..=8);
+        let m = rng.random_range(1..=20);
+        let clauses = random_clauses(&mut rng, n, m, 3);
+        let assumed: usize = rng.random_range(0..n);
+        let neg: bool = rng.random();
+
+        let mut s1 = Solver::new();
+        let vars1: Vec<Var> = (0..n).map(|_| s1.new_var()).collect();
+        for cl in &clauses {
+            s1.add_clause(cl.iter().map(|&(v, g)| Lit::new(vars1[v], g)));
+        }
+        let r1 = s1.solve_with_assumptions(&[Lit::new(vars1[assumed], neg)]);
+
+        let mut s2 = Solver::new();
+        let vars2: Vec<Var> = (0..n).map(|_| s2.new_var()).collect();
+        let mut trivially_unsat = false;
+        for cl in &clauses {
+            if !s2.add_clause(cl.iter().map(|&(v, g)| Lit::new(vars2[v], g))) {
+                trivially_unsat = true;
+            }
+        }
+        if !s2.add_clause([Lit::new(vars2[assumed], neg)]) {
+            trivially_unsat = true;
+        }
+        let r2 = if trivially_unsat {
+            SolveResult::Unsat
+        } else {
+            s2.solve()
+        };
+        assert_eq!(r1, r2, "assumption vs unit clause disagreement");
+    }
+}
+
+#[test]
+fn solver_is_reusable_across_many_calls() {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+    // Ring of implications: x_i -> x_{i+1 mod 6}.
+    for i in 0..6 {
+        s.add_clause([Lit::negative(vars[i]), Lit::positive(vars[(i + 1) % 6])]);
+    }
+    for i in 0..6 {
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::positive(vars[i])]),
+            SolveResult::Sat
+        );
+        for v in &vars {
+            assert_eq!(s.value(*v), Some(true));
+        }
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(vars[i])]),
+            SolveResult::Sat
+        );
+    }
+    // Contradictory assumptions.
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::positive(vars[0]), Lit::negative(vars[3])]),
+        SolveResult::Unsat
+    );
+    let failed = s.failed_assumptions();
+    assert!(!failed.is_empty() && failed.len() <= 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever clauses we feed, the solver never produces a model that
+    /// violates a clause, and SAT/UNSAT matches brute force.
+    #[test]
+    fn prop_solver_sound_and_complete(
+        n in 1usize..7,
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0usize..7, any::<bool>()), 1..4),
+            0..16,
+        )
+    ) {
+        let clauses: Vec<Vec<(usize, bool)>> = raw
+            .into_iter()
+            .map(|cl| cl.into_iter().map(|(v, g)| (v % n, g)).collect())
+            .collect();
+        run_instance(n, &clauses, SolverConfig::default());
+    }
+
+    /// The failed-assumption set is always a subset of the assumptions and
+    /// is itself sufficient for unsatisfiability.
+    #[test]
+    fn prop_failed_assumptions_are_a_core(
+        n in 2usize..6,
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, any::<bool>()), 1..3),
+            1..12,
+        ),
+        assum in proptest::collection::vec((0usize..6, any::<bool>()), 1..5),
+    ) {
+        let clauses: Vec<Vec<(usize, bool)>> = raw
+            .into_iter()
+            .map(|cl| cl.into_iter().map(|(v, g)| (v % n, g)).collect())
+            .collect();
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for cl in &clauses {
+            s.add_clause(cl.iter().map(|&(v, g)| Lit::new(vars[v], g)));
+        }
+        let assumptions: Vec<Lit> = assum
+            .iter()
+            .map(|&(v, g)| Lit::new(vars[v % n], g))
+            .collect();
+        if s.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
+            let failed = s.failed_assumptions().to_vec();
+            for f in &failed {
+                prop_assert!(assumptions.contains(f), "failed lit not among assumptions");
+            }
+            // The failed subset must already be unsatisfiable.
+            prop_assert_eq!(s.solve_with_assumptions(&failed), SolveResult::Unsat);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Bit-blasting: translation of bit-vector terms into CNF over the CDCL
+//! core.
+//!
+//! Every Boolean term maps to one SAT literal and every bit-vector term to a
+//! little-endian literal vector; both are cached per [`TermId`], so repeated
+//! assertions share circuitry (structural hashing at the CNF level).
+
+use crate::term::{BvBinOp, BvCmpOp, Term, TermId, TermPool};
+use sciduction_sat::{Lit, Solver as SatSolver};
+use std::collections::HashMap;
+
+/// Incremental translator from terms to CNF.
+#[derive(Debug)]
+pub(crate) struct BitBlaster {
+    /// Literal asserted true at the top level; constants fold against it.
+    true_lit: Lit,
+    bool_cache: HashMap<TermId, Lit>,
+    bv_cache: HashMap<TermId, Vec<Lit>>,
+}
+
+impl BitBlaster {
+    pub(crate) fn new(sat: &mut SatSolver) -> Self {
+        let t = Lit::positive(sat.new_var());
+        sat.add_clause([t]);
+        BitBlaster {
+            true_lit: t,
+            bool_cache: HashMap::new(),
+            bv_cache: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn tt(&self) -> Lit {
+        self.true_lit
+    }
+
+    #[inline]
+    fn ff(&self) -> Lit {
+        !self.true_lit
+    }
+
+    #[inline]
+    fn is_tt(&self, l: Lit) -> bool {
+        l == self.true_lit
+    }
+
+    #[inline]
+    fn is_ff(&self, l: Lit) -> bool {
+        l == !self.true_lit
+    }
+
+    fn fresh(&self, sat: &mut SatSolver) -> Lit {
+        let _ = self;
+        Lit::positive(sat.new_var())
+    }
+
+    // ------------------------------------------------------------------
+    // Gate library (with constant folding against the true literal)
+    // ------------------------------------------------------------------
+
+    fn g_not(&self, a: Lit) -> Lit {
+        !a
+    }
+
+    fn g_and(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        if self.is_ff(a) || self.is_ff(b) {
+            return self.ff();
+        }
+        if self.is_tt(a) {
+            return b;
+        }
+        if self.is_tt(b) {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.ff();
+        }
+        let o = self.fresh(sat);
+        sat.add_clause([!o, a]);
+        sat.add_clause([!o, b]);
+        sat.add_clause([o, !a, !b]);
+        o
+    }
+
+    fn g_or(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        !self.g_and(sat, !a, !b)
+    }
+
+    fn g_xor(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        if self.is_ff(a) {
+            return b;
+        }
+        if self.is_ff(b) {
+            return a;
+        }
+        if self.is_tt(a) {
+            return !b;
+        }
+        if self.is_tt(b) {
+            return !a;
+        }
+        if a == b {
+            return self.ff();
+        }
+        if a == !b {
+            return self.tt();
+        }
+        let o = self.fresh(sat);
+        sat.add_clause([!o, a, b]);
+        sat.add_clause([!o, !a, !b]);
+        sat.add_clause([o, !a, b]);
+        sat.add_clause([o, a, !b]);
+        o
+    }
+
+    fn g_mux(&mut self, sat: &mut SatSolver, c: Lit, t: Lit, e: Lit) -> Lit {
+        if self.is_tt(c) {
+            return t;
+        }
+        if self.is_ff(c) {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        let o = self.fresh(sat);
+        sat.add_clause([!c, !t, o]);
+        sat.add_clause([!c, t, !o]);
+        sat.add_clause([c, !e, o]);
+        sat.add_clause([c, e, !o]);
+        o
+    }
+
+    /// Full adder returning (sum, carry).
+    fn g_full_adder(&mut self, sat: &mut SatSolver, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let ab = self.g_xor(sat, a, b);
+        let sum = self.g_xor(sat, ab, cin);
+        let and1 = self.g_and(sat, a, b);
+        let and2 = self.g_and(sat, ab, cin);
+        let carry = self.g_or(sat, and1, and2);
+        (sum, carry)
+    }
+
+    // ------------------------------------------------------------------
+    // Word-level circuits
+    // ------------------------------------------------------------------
+
+    fn w_add(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit], mut carry: Lit) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, c) = self.g_full_adder(sat, a[i], b[i], carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    fn w_neg(&mut self, sat: &mut SatSolver, a: &[Lit]) -> Vec<Lit> {
+        let not_a: Vec<Lit> = a.iter().map(|&l| self.g_not(l)).collect();
+        let zeros = vec![self.ff(); a.len()];
+        self.w_add(sat, &not_a, &zeros, self.tt())
+    }
+
+    fn w_sub(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let not_b: Vec<Lit> = b.iter().map(|&l| self.g_not(l)).collect();
+        self.w_add(sat, a, &not_b, self.tt())
+    }
+
+    fn w_mul(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc = vec![self.ff(); w];
+        for i in 0..w {
+            // partial_j = a_{j-i} & b_i for j >= i
+            let mut partial = vec![self.ff(); w];
+            for j in i..w {
+                partial[j] = self.g_and(sat, a[j - i], b[i]);
+            }
+            acc = self.w_add(sat, &acc, &partial, self.ff());
+        }
+        acc
+    }
+
+    /// Unsigned less-than.
+    fn w_ult(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        // Process LSB→MSB; more significant bits override.
+        let mut lt = self.ff();
+        for i in 0..a.len() {
+            let diff = self.g_xor(sat, a[i], b[i]);
+            let bi_wins = self.g_and(sat, !a[i], b[i]);
+            lt = self.g_mux(sat, diff, bi_wins, lt);
+        }
+        lt
+    }
+
+    fn w_eq(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.tt();
+        for i in 0..a.len() {
+            let x = self.g_xor(sat, a[i], b[i]);
+            acc = self.g_and(sat, acc, !x);
+        }
+        acc
+    }
+
+    /// Barrel shifter. `fill` supplies the shifted-in bit; `left` selects
+    /// direction. Produces the result for shift amounts `< width`; callers
+    /// must mux against the `amount >= width` case separately.
+    fn w_barrel(
+        &mut self,
+        sat: &mut SatSolver,
+        a: &[Lit],
+        amount: &[Lit],
+        left: bool,
+        fill: Lit,
+    ) -> Vec<Lit> {
+        let w = a.len();
+        let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2 w), 0 for w=1
+        let mut cur: Vec<Lit> = a.to_vec();
+        for s in 0..stages as usize {
+            let shift = 1usize << s;
+            if s >= amount.len() {
+                break;
+            }
+            let sel = amount[s];
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                let shifted = if left {
+                    if i >= shift {
+                        cur[i - shift]
+                    } else {
+                        fill
+                    }
+                } else if i + shift < w {
+                    cur[i + shift]
+                } else {
+                    fill
+                };
+                next.push(self.g_mux(sat, sel, shifted, cur[i]));
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn w_shift(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit], op: BvBinOp) -> Vec<Lit> {
+        let w = a.len();
+        let (left, fill) = match op {
+            BvBinOp::Shl => (true, self.ff()),
+            BvBinOp::Lshr => (false, self.ff()),
+            BvBinOp::Ashr => (false, a[w - 1]),
+            _ => unreachable!("not a shift"),
+        };
+        let shifted = self.w_barrel(sat, a, b, left, fill);
+        // amount >= width ⇒ all fill.
+        let wconst = self.constant(w as u64, w as u32);
+        let lt_w = self.w_ult(sat, b, &wconst);
+        shifted
+            .into_iter()
+            .map(|l| self.g_mux(sat, lt_w, l, fill))
+            .collect()
+    }
+
+    fn constant(&self, bits: u64, width: u32) -> Vec<Lit> {
+        (0..width)
+            .map(|i| if bits >> i & 1 == 1 { self.tt() } else { self.ff() })
+            .collect()
+    }
+
+    /// Division circuit: constrains fresh `q`, `r` such that
+    /// `b != 0 ⟹ a = q·b + r ∧ r < b` and `b = 0 ⟹ q = 1…1 ∧ r = a`
+    /// (SMT-LIB semantics). The multiplication is performed at width `2w`
+    /// so it cannot wrap. Returns `(q, r)`.
+    fn w_divmod(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let q: Vec<Lit> = (0..w).map(|_| self.fresh(sat)).collect();
+        let r: Vec<Lit> = (0..w).map(|_| self.fresh(sat)).collect();
+        // Wide versions (zero-extended to 2w).
+        let ext = |v: &[Lit], ff: Lit| {
+            let mut out = v.to_vec();
+            out.resize(2 * w, ff);
+            out
+        };
+        let ff = self.ff();
+        let aw = ext(a, ff);
+        let bw = ext(b, ff);
+        let qw = ext(&q, ff);
+        let rw = ext(&r, ff);
+        let prod = self.w_mul(sat, &qw, &bw);
+        let sum = self.w_add(sat, &prod, &rw, self.ff());
+        let exact = self.w_eq(sat, &sum, &aw);
+        let r_lt_b = self.w_ult(sat, &r, b);
+        let zeros = self.constant(0, w as u32);
+        let b_is_zero = self.w_eq(sat, b, &zeros);
+        let ones = self.constant(u64::MAX, w as u32);
+        let q_ones = self.w_eq(sat, &q, &ones);
+        let r_eq_a = self.w_eq(sat, &r, a);
+        // b=0 branch.
+        let zero_case = self.g_and(sat, q_ones, r_eq_a);
+        // b≠0 branch.
+        let pos_case = self.g_and(sat, exact, r_lt_b);
+        let ok = self.g_mux(sat, b_is_zero, zero_case, pos_case);
+        sat.add_clause([ok]);
+        (q, r)
+    }
+
+    // ------------------------------------------------------------------
+    // Term translation
+    // ------------------------------------------------------------------
+
+    /// Translates a Boolean term to a literal.
+    pub(crate) fn blast_bool(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut SatSolver,
+        id: TermId,
+    ) -> Lit {
+        if let Some(&l) = self.bool_cache.get(&id) {
+            return l;
+        }
+        let l = match pool.term(id).clone() {
+            Term::BoolConst(true) => self.tt(),
+            Term::BoolConst(false) => self.ff(),
+            Term::Var(_, _) => self.fresh(sat),
+            Term::Not(a) => {
+                let la = self.blast_bool(pool, sat, a);
+                self.g_not(la)
+            }
+            Term::And(a, b) => {
+                let la = self.blast_bool(pool, sat, a);
+                let lb = self.blast_bool(pool, sat, b);
+                self.g_and(sat, la, lb)
+            }
+            Term::Or(a, b) => {
+                let la = self.blast_bool(pool, sat, a);
+                let lb = self.blast_bool(pool, sat, b);
+                self.g_or(sat, la, lb)
+            }
+            Term::Xor(a, b) => {
+                let la = self.blast_bool(pool, sat, a);
+                let lb = self.blast_bool(pool, sat, b);
+                self.g_xor(sat, la, lb)
+            }
+            Term::Ite(c, t, e) => {
+                let lc = self.blast_bool(pool, sat, c);
+                let lt = self.blast_bool(pool, sat, t);
+                let le = self.blast_bool(pool, sat, e);
+                self.g_mux(sat, lc, lt, le)
+            }
+            Term::Eq(a, b) => match pool.sort(a) {
+                crate::term::Sort::Bool => {
+                    let la = self.blast_bool(pool, sat, a);
+                    let lb = self.blast_bool(pool, sat, b);
+                    let x = self.g_xor(sat, la, lb);
+                    self.g_not(x)
+                }
+                crate::term::Sort::BitVec(_) => {
+                    let va = self.blast_bv(pool, sat, a);
+                    let vb = self.blast_bv(pool, sat, b);
+                    self.w_eq(sat, &va, &vb)
+                }
+            },
+            Term::BvCmp(op, a, b) => {
+                let va = self.blast_bv(pool, sat, a);
+                let vb = self.blast_bv(pool, sat, b);
+                match op {
+                    BvCmpOp::Ult => self.w_ult(sat, &va, &vb),
+                    BvCmpOp::Ule => {
+                        let gt = self.w_ult(sat, &vb, &va);
+                        self.g_not(gt)
+                    }
+                    BvCmpOp::Slt => {
+                        let (sa, sb) = self.flip_signs(&va, &vb);
+                        self.w_ult(sat, &sa, &sb)
+                    }
+                    BvCmpOp::Sle => {
+                        let (sa, sb) = self.flip_signs(&va, &vb);
+                        let gt = self.w_ult(sat, &sb, &sa);
+                        self.g_not(gt)
+                    }
+                }
+            }
+            other => panic!("expected Boolean term, found {other:?}"),
+        };
+        self.bool_cache.insert(id, l);
+        l
+    }
+
+    /// Converting signed comparison to unsigned: invert the sign bits.
+    fn flip_signs(&self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let mut sa = a.to_vec();
+        let mut sb = b.to_vec();
+        let msb = sa.len() - 1;
+        sa[msb] = !sa[msb];
+        sb[msb] = !sb[msb];
+        (sa, sb)
+    }
+
+    /// Translates a bit-vector term to its little-endian literal vector.
+    pub(crate) fn blast_bv(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut SatSolver,
+        id: TermId,
+    ) -> Vec<Lit> {
+        if let Some(v) = self.bv_cache.get(&id) {
+            return v.clone();
+        }
+        let v = match pool.term(id).clone() {
+            Term::BvConst(c) => self.constant(c.as_u64(), c.width()),
+            Term::Var(_, sort) => {
+                let w = sort.width().expect("bv var");
+                (0..w).map(|_| self.fresh(sat)).collect()
+            }
+            Term::Ite(c, t, e) => {
+                let lc = self.blast_bool(pool, sat, c);
+                let vt = self.blast_bv(pool, sat, t);
+                let ve = self.blast_bv(pool, sat, e);
+                vt.iter()
+                    .zip(&ve)
+                    .map(|(&x, &y)| self.g_mux(sat, lc, x, y))
+                    .collect()
+            }
+            Term::BvBin(op, a, b) => {
+                let va = self.blast_bv(pool, sat, a);
+                let vb = self.blast_bv(pool, sat, b);
+                match op {
+                    BvBinOp::Add => self.w_add(sat, &va, &vb, self.ff()),
+                    BvBinOp::Sub => self.w_sub(sat, &va, &vb),
+                    BvBinOp::Mul => self.w_mul(sat, &va, &vb),
+                    BvBinOp::Udiv => self.w_divmod(sat, &va, &vb).0,
+                    BvBinOp::Urem => self.w_divmod(sat, &va, &vb).1,
+                    BvBinOp::And => va
+                        .iter()
+                        .zip(&vb)
+                        .map(|(&x, &y)| self.g_and(sat, x, y))
+                        .collect(),
+                    BvBinOp::Or => va
+                        .iter()
+                        .zip(&vb)
+                        .map(|(&x, &y)| self.g_or(sat, x, y))
+                        .collect(),
+                    BvBinOp::Xor => va
+                        .iter()
+                        .zip(&vb)
+                        .map(|(&x, &y)| self.g_xor(sat, x, y))
+                        .collect(),
+                    BvBinOp::Shl | BvBinOp::Lshr | BvBinOp::Ashr => {
+                        self.w_shift(sat, &va, &vb, op)
+                    }
+                }
+            }
+            Term::BvNot(a) => {
+                let va = self.blast_bv(pool, sat, a);
+                va.iter().map(|&l| self.g_not(l)).collect()
+            }
+            Term::BvNeg(a) => {
+                let va = self.blast_bv(pool, sat, a);
+                self.w_neg(sat, &va)
+            }
+            Term::Concat(hi, lo) => {
+                let vhi = self.blast_bv(pool, sat, hi);
+                let vlo = self.blast_bv(pool, sat, lo);
+                let mut out = vlo;
+                out.extend(vhi);
+                out
+            }
+            Term::Extract(hi, lo, a) => {
+                let va = self.blast_bv(pool, sat, a);
+                va[lo as usize..=hi as usize].to_vec()
+            }
+            Term::ZeroExt(w, a) => {
+                let mut va = self.blast_bv(pool, sat, a);
+                va.resize(w as usize, self.ff());
+                va
+            }
+            Term::SignExt(w, a) => {
+                let mut va = self.blast_bv(pool, sat, a);
+                let sign = *va.last().expect("non-empty bv");
+                va.resize(w as usize, sign);
+                va
+            }
+            other => panic!("expected bit-vector term, found {other:?}"),
+        };
+        self.bv_cache.insert(id, v.clone());
+        v
+    }
+
+    /// The SAT literals backing a previously blasted variable, if any.
+    pub(crate) fn var_lits(&self, id: TermId) -> Option<&Vec<Lit>> {
+        self.bv_cache.get(&id)
+    }
+
+    /// The SAT literal backing a previously blasted Boolean term, if any.
+    pub(crate) fn bool_lit(&self, id: TermId) -> Option<Lit> {
+        self.bool_cache.get(&id).copied()
+    }
+}

@@ -1,0 +1,58 @@
+//! # sciduction-smt — a quantifier-free bit-vector SMT solver
+//!
+//! The *deductive engine* of the sciduction reproduction (Seshia,
+//! *Sciduction*, DAC 2012). Sections 3 and 4 of the paper use an SMT solver
+//! for basis-path feasibility / test generation (GameTime) and for
+//! candidate-program / distinguishing-input generation (oracle-guided
+//! synthesis); this crate provides that solver, built from scratch on top of
+//! the `sciduction-sat` CDCL core.
+//!
+//! Architecture:
+//!
+//! * [`TermPool`] — hash-consed term DAG with sort checking, constant
+//!   folding, and local rewrites at construction time;
+//! * [`BvValue`] — concrete bit-vector semantics (widths 1..=64) shared by
+//!   the rewriter, the model evaluator, and the differential test suite;
+//! * a bit-blaster translating terms to CNF (ripple-carry adders,
+//!   shift-add multipliers, barrel shifters, relational division encoding);
+//! * [`Solver`] — incremental assertion stack with push/pop via activation
+//!   literals, `check_assuming`, model extraction, and a `prove` helper.
+//!
+//! # Examples
+//!
+//! Find two 8-bit numbers whose product is 221 with neither equal to 1:
+//!
+//! ```
+//! use sciduction_smt::{Solver, CheckResult};
+//!
+//! let mut s = Solver::new();
+//! let p = s.terms_mut();
+//! let x = p.var("x", 8);
+//! let y = p.var("y", 8);
+//! let prod = p.bv_mul(x, y);
+//! let k = p.bv(221, 8);
+//! let one = p.bv(1, 8);
+//! let c1 = p.eq(prod, k);
+//! let c2 = p.neq(x, one);
+//! let c3 = p.neq(y, one);
+//! for c in [c1, c2, c3] {
+//!     s.assert_term(c);
+//! }
+//! assert_eq!(s.check(), CheckResult::Sat);
+//! let (xv, yv) = (
+//!     s.model_value(x).as_bv().as_u64(),
+//!     s.model_value(y).as_bv().as_u64(),
+//! );
+//! assert_eq!(xv.wrapping_mul(yv) & 0xFF, 221);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitblast;
+mod solver;
+mod term;
+mod value;
+
+pub use solver::{render_term, CheckResult, Solver};
+pub use term::{BvBinOp, BvCmpOp, Sort, Term, TermId, TermPool, Value};
+pub use value::BvValue;

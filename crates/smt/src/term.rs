@@ -1,0 +1,966 @@
+//! Hash-consed term DAG for quantifier-free bit-vector logic.
+//!
+//! All terms live in a [`TermPool`]; construction goes through builder
+//! methods that check sorts, constant-fold, and apply cheap local
+//! rewrites before interning, so structurally equal (post-rewrite) terms
+//! share a single [`TermId`].
+
+use crate::value::BvValue;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The sort (type) of a term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Propositional sort.
+    Bool,
+    /// Bit-vectors of the given width (1..=64).
+    BitVec(u32),
+}
+
+impl Sort {
+    /// The width if this is a bit-vector sort.
+    pub fn width(self) -> Option<u32> {
+        match self {
+            Sort::Bool => None,
+            Sort::BitVec(w) => Some(w),
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+        }
+    }
+}
+
+/// A handle to a term in a [`TermPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Binary bit-vector operators producing a bit-vector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BvBinOp {
+    Add,
+    Sub,
+    Mul,
+    Udiv,
+    Urem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Lshr,
+    Ashr,
+}
+
+impl BvBinOp {
+    fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BvBinOp::Add | BvBinOp::Mul | BvBinOp::And | BvBinOp::Or | BvBinOp::Xor
+        )
+    }
+
+    fn apply(self, a: BvValue, b: BvValue) -> BvValue {
+        match self {
+            BvBinOp::Add => a.add(b),
+            BvBinOp::Sub => a.sub(b),
+            BvBinOp::Mul => a.mul(b),
+            BvBinOp::Udiv => a.udiv(b),
+            BvBinOp::Urem => a.urem(b),
+            BvBinOp::And => a.and(b),
+            BvBinOp::Or => a.or(b),
+            BvBinOp::Xor => a.xor(b),
+            BvBinOp::Shl => a.shl(b),
+            BvBinOp::Lshr => a.lshr(b),
+            BvBinOp::Ashr => a.ashr(b),
+        }
+    }
+}
+
+/// Bit-vector comparison operators producing a Bool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BvCmpOp {
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+}
+
+impl BvCmpOp {
+    fn apply(self, a: BvValue, b: BvValue) -> bool {
+        match self {
+            BvCmpOp::Ult => a.ult(b),
+            BvCmpOp::Ule => a.ule(b),
+            BvCmpOp::Slt => a.slt(b),
+            BvCmpOp::Sle => a.sle(b),
+        }
+    }
+}
+
+/// The structure of a term. Exposed read-only for traversals (bit-blasting,
+/// evaluation, printing); construction must go through [`TermPool`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// Boolean constant.
+    BoolConst(bool),
+    /// Bit-vector constant.
+    BvConst(BvValue),
+    /// Free variable with a name and sort. Distinct ids are created for
+    /// distinct `(name, sort)` pairs.
+    Var(String, Sort),
+    /// Boolean negation.
+    Not(TermId),
+    /// Boolean conjunction.
+    And(TermId, TermId),
+    /// Boolean disjunction.
+    Or(TermId, TermId),
+    /// Boolean exclusive-or.
+    Xor(TermId, TermId),
+    /// If-then-else; branches are Bool or same-width bit-vectors.
+    Ite(TermId, TermId, TermId),
+    /// Equality over Bool or same-width bit-vectors.
+    Eq(TermId, TermId),
+    /// Binary bit-vector operation.
+    BvBin(BvBinOp, TermId, TermId),
+    /// Bitwise complement.
+    BvNot(TermId),
+    /// Two's-complement negation.
+    BvNeg(TermId),
+    /// Bit-vector comparison.
+    BvCmp(BvCmpOp, TermId, TermId),
+    /// Concatenation (first operand is the high part).
+    Concat(TermId, TermId),
+    /// Bit extraction `[hi:lo]`, inclusive.
+    Extract(u32, u32, TermId),
+    /// Zero extension to the given total width.
+    ZeroExt(u32, TermId),
+    /// Sign extension to the given total width.
+    SignExt(u32, TermId),
+}
+
+/// A concrete value: the result of evaluating a term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// Boolean result.
+    Bool(bool),
+    /// Bit-vector result.
+    Bv(BvValue),
+}
+
+impl Value {
+    /// The boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a bit-vector.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Bv(v) => panic!("expected Bool, got {v:?}"),
+        }
+    }
+
+    /// The bit-vector payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a Bool.
+    pub fn as_bv(self) -> BvValue {
+        match self {
+            Value::Bv(v) => v,
+            Value::Bool(b) => panic!("expected BitVec, got {b:?}"),
+        }
+    }
+}
+
+/// An arena of hash-consed terms with a sort-checked builder API.
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_smt::{TermPool, BvValue};
+/// let mut p = TermPool::new();
+/// let x = p.var("x", 8);
+/// let k = p.bv_const(BvValue::new(3, 8));
+/// let sum = p.bv_add(x, k);
+/// let sum2 = p.bv_add(x, k);
+/// assert_eq!(sum, sum2); // hash-consed
+/// ```
+#[derive(Debug, Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    sorts: Vec<Sort>,
+    intern: HashMap<Term, TermId>,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms in the pool.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The structure of a term.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.sorts[id.index()]
+    }
+
+    /// The bit-width of a bit-vector term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is Boolean.
+    pub fn width(&self, id: TermId) -> u32 {
+        self.sort(id).width().expect("expected a bit-vector term")
+    }
+
+    fn intern(&mut self, t: Term, sort: Sort) -> TermId {
+        if let Some(&id) = self.intern.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.sorts.push(sort);
+        self.intern.insert(t, id);
+        id
+    }
+
+    fn as_bool_const(&self, id: TermId) -> Option<bool> {
+        match self.term(id) {
+            Term::BoolConst(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_bv_const(&self, id: TermId) -> Option<BvValue> {
+        match self.term(id) {
+            Term::BvConst(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// The Boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.intern(Term::BoolConst(b), Sort::Bool)
+    }
+
+    /// Shorthand for `bool_const(true)`.
+    pub fn tt(&mut self) -> TermId {
+        self.bool_const(true)
+    }
+
+    /// Shorthand for `bool_const(false)`.
+    pub fn ff(&mut self) -> TermId {
+        self.bool_const(false)
+    }
+
+    /// A bit-vector constant.
+    pub fn bv_const(&mut self, v: BvValue) -> TermId {
+        self.intern(Term::BvConst(v), Sort::BitVec(v.width()))
+    }
+
+    /// A bit-vector constant from raw bits and width.
+    pub fn bv(&mut self, bits: u64, width: u32) -> TermId {
+        self.bv_const(BvValue::new(bits, width))
+    }
+
+    /// A free bit-vector variable. Re-declaring the same `(name, width)`
+    /// returns the same term.
+    pub fn var(&mut self, name: &str, width: u32) -> TermId {
+        let sort = Sort::BitVec(width);
+        self.intern(Term::Var(name.to_string(), sort), sort)
+    }
+
+    /// A free Boolean variable.
+    pub fn bool_var(&mut self, name: &str) -> TermId {
+        self.intern(Term::Var(name.to_string(), Sort::Bool), Sort::Bool)
+    }
+
+    // ------------------------------------------------------------------
+    // Boolean connectives
+    // ------------------------------------------------------------------
+
+    /// Boolean negation (with double-negation and constant elimination).
+    pub fn not(&mut self, a: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        match self.term(a) {
+            Term::BoolConst(b) => {
+                let b = !b;
+                self.bool_const(b)
+            }
+            Term::Not(inner) => *inner,
+            _ => self.intern(Term::Not(a), Sort::Bool),
+        }
+    }
+
+    /// Boolean conjunction.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        debug_assert_eq!(self.sort(b), Sort::Bool);
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(c) = self.as_bool_const(a) {
+            return if c { b } else { self.ff() };
+        }
+        if let Some(c) = self.as_bool_const(b) {
+            return if c { a } else { self.ff() };
+        }
+        if a == b {
+            return a;
+        }
+        if self.is_negation_of(a, b) {
+            return self.ff();
+        }
+        self.intern(Term::And(a, b), Sort::Bool)
+    }
+
+    /// Boolean disjunction.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        debug_assert_eq!(self.sort(b), Sort::Bool);
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(c) = self.as_bool_const(a) {
+            return if c { self.tt() } else { b };
+        }
+        if let Some(c) = self.as_bool_const(b) {
+            return if c { self.tt() } else { a };
+        }
+        if a == b {
+            return a;
+        }
+        if self.is_negation_of(a, b) {
+            return self.tt();
+        }
+        self.intern(Term::Or(a, b), Sort::Bool)
+    }
+
+    /// Boolean exclusive-or.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        debug_assert_eq!(self.sort(b), Sort::Bool);
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let (Some(x), Some(y)) = (self.as_bool_const(a), self.as_bool_const(b)) {
+            return self.bool_const(x ^ y);
+        }
+        if let Some(c) = self.as_bool_const(a) {
+            return if c { self.not(b) } else { b };
+        }
+        if a == b {
+            return self.ff();
+        }
+        self.intern(Term::Xor(a, b), Sort::Bool)
+    }
+
+    /// Boolean implication `a ⇒ b`, rewritten as `¬a ∨ b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// Boolean biconditional `a ⇔ b`, rewritten as `¬(a ⊕ b)`.
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Conjunction of many terms (`true` for an empty list).
+    pub fn and_many(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.tt();
+        for &t in terms {
+            acc = self.and(acc, t);
+        }
+        acc
+    }
+
+    /// Disjunction of many terms (`false` for an empty list).
+    pub fn or_many(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.ff();
+        for &t in terms {
+            acc = self.or(acc, t);
+        }
+        acc
+    }
+
+    fn is_negation_of(&self, a: TermId, b: TermId) -> bool {
+        matches!(self.term(a), Term::Not(x) if *x == b)
+            || matches!(self.term(b), Term::Not(x) if *x == a)
+    }
+
+    // ------------------------------------------------------------------
+    // Polymorphic
+    // ------------------------------------------------------------------
+
+    /// Equality over Bool or equal-width bit-vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sort mismatch.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.sort(a), self.sort(b), "eq: sort mismatch");
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == b {
+            return self.tt();
+        }
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(x == y);
+        }
+        if let (Some(x), Some(y)) = (self.as_bool_const(a), self.as_bool_const(b)) {
+            return self.bool_const(x == y);
+        }
+        self.intern(Term::Eq(a, b), Sort::Bool)
+    }
+
+    /// Disequality.
+    pub fn neq(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// If-then-else over Bool or equal-width bit-vector branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not Bool or the branches have different sorts.
+    pub fn ite(&mut self, cond: TermId, then: TermId, els: TermId) -> TermId {
+        assert_eq!(self.sort(cond), Sort::Bool, "ite: condition must be Bool");
+        assert_eq!(self.sort(then), self.sort(els), "ite: branch sort mismatch");
+        if let Some(c) = self.as_bool_const(cond) {
+            return if c { then } else { els };
+        }
+        if then == els {
+            return then;
+        }
+        self.intern(Term::Ite(cond, then, els), self.sorts[then.index()])
+    }
+
+    // ------------------------------------------------------------------
+    // Bit-vector operations
+    // ------------------------------------------------------------------
+
+    fn bv_binop(&mut self, op: BvBinOp, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b), "bv op width mismatch");
+        let (a, b) = if op.is_commutative() && b < a {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bv_const(op.apply(x, y));
+        }
+        // Identity / absorbing element simplifications.
+        if let Some(y) = self.as_bv_const(b) {
+            match op {
+                BvBinOp::Add | BvBinOp::Sub | BvBinOp::Or | BvBinOp::Xor if y.as_u64() == 0 => {
+                    return a
+                }
+                BvBinOp::Shl | BvBinOp::Lshr | BvBinOp::Ashr if y.as_u64() == 0 => return a,
+                BvBinOp::Mul if y.as_u64() == 1 => return a,
+                BvBinOp::Mul | BvBinOp::And if y.as_u64() == 0 => return self.bv(0, w),
+                BvBinOp::And if y == BvValue::ones(w) => return a,
+                BvBinOp::Or if y == BvValue::ones(w) => return self.bv_const(BvValue::ones(w)),
+                _ => {}
+            }
+        }
+        if let Some(x) = self.as_bv_const(a) {
+            match op {
+                BvBinOp::Add | BvBinOp::Or | BvBinOp::Xor if x.as_u64() == 0 => return b,
+                BvBinOp::Mul if x.as_u64() == 1 => return b,
+                BvBinOp::Mul | BvBinOp::And if x.as_u64() == 0 => return self.bv(0, w),
+                BvBinOp::And if x == BvValue::ones(w) => return b,
+                _ => {}
+            }
+        }
+        if a == b {
+            match op {
+                BvBinOp::Sub | BvBinOp::Xor => return self.bv(0, w),
+                BvBinOp::And | BvBinOp::Or => return a,
+                _ => {}
+            }
+        }
+        self.intern(Term::BvBin(op, a, b), Sort::BitVec(w))
+    }
+
+    /// Wrapping addition.
+    pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn bv_sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication.
+    pub fn bv_mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Mul, a, b)
+    }
+
+    /// Unsigned division (SMT-LIB: division by zero yields all-ones).
+    pub fn bv_udiv(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Udiv, a, b)
+    }
+
+    /// Unsigned remainder (SMT-LIB: remainder by zero yields the dividend).
+    pub fn bv_urem(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Urem, a, b)
+    }
+
+    /// Bitwise and.
+    pub fn bv_and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::And, a, b)
+    }
+
+    /// Bitwise or.
+    pub fn bv_or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Or, a, b)
+    }
+
+    /// Bitwise xor.
+    pub fn bv_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Xor, a, b)
+    }
+
+    /// Logical shift left.
+    pub fn bv_shl(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Shl, a, b)
+    }
+
+    /// Logical shift right.
+    pub fn bv_lshr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Lshr, a, b)
+    }
+
+    /// Arithmetic shift right.
+    pub fn bv_ashr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(BvBinOp::Ashr, a, b)
+    }
+
+    /// Bitwise complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        if let Some(v) = self.as_bv_const(a) {
+            return self.bv_const(v.not());
+        }
+        if let Term::BvNot(inner) = self.term(a) {
+            return *inner;
+        }
+        self.intern(Term::BvNot(a), Sort::BitVec(w))
+    }
+
+    /// Two's-complement negation.
+    pub fn bv_neg(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        if let Some(v) = self.as_bv_const(a) {
+            return self.bv_const(v.neg());
+        }
+        if let Term::BvNeg(inner) = self.term(a) {
+            return *inner;
+        }
+        self.intern(Term::BvNeg(a), Sort::BitVec(w))
+    }
+
+    fn bv_cmp(&mut self, op: BvCmpOp, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.width(a), self.width(b), "cmp width mismatch");
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(op.apply(x, y));
+        }
+        if a == b {
+            return match op {
+                BvCmpOp::Ult | BvCmpOp::Slt => self.ff(),
+                BvCmpOp::Ule | BvCmpOp::Sle => self.tt(),
+            };
+        }
+        self.intern(Term::BvCmp(op, a, b), Sort::Bool)
+    }
+
+    /// Unsigned less-than.
+    pub fn bv_ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Ult, a, b)
+    }
+
+    /// Unsigned less-than-or-equal.
+    pub fn bv_ule(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Ule, a, b)
+    }
+
+    /// Unsigned greater-than.
+    pub fn bv_ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Ult, b, a)
+    }
+
+    /// Unsigned greater-than-or-equal.
+    pub fn bv_uge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Ule, b, a)
+    }
+
+    /// Signed less-than.
+    pub fn bv_slt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Slt, a, b)
+    }
+
+    /// Signed less-than-or-equal.
+    pub fn bv_sle(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Sle, a, b)
+    }
+
+    /// Signed greater-than.
+    pub fn bv_sgt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Slt, b, a)
+    }
+
+    /// Signed greater-than-or-equal.
+    pub fn bv_sge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_cmp(BvCmpOp::Sle, b, a)
+    }
+
+    /// Concatenation; `hi` supplies the high-order bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 64.
+    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        let w = self.width(hi) + self.width(lo);
+        assert!(w <= 64, "concat width exceeds 64");
+        if let (Some(x), Some(y)) = (self.as_bv_const(hi), self.as_bv_const(lo)) {
+            return self.bv_const(x.concat(y));
+        }
+        self.intern(Term::Concat(hi, lo), Sort::BitVec(w))
+    }
+
+    /// Extraction of bits `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi < width(arg)`.
+    pub fn extract(&mut self, hi: u32, lo: u32, arg: TermId) -> TermId {
+        let w = self.width(arg);
+        assert!(lo <= hi && hi < w, "extract range out of bounds");
+        if hi == w - 1 && lo == 0 {
+            return arg;
+        }
+        if let Some(v) = self.as_bv_const(arg) {
+            return self.bv_const(v.extract(hi, lo));
+        }
+        self.intern(Term::Extract(hi, lo, arg), Sort::BitVec(hi - lo + 1))
+    }
+
+    /// Zero-extension to the given total width.
+    pub fn zero_extend(&mut self, width: u32, arg: TermId) -> TermId {
+        let w = self.width(arg);
+        assert!(width >= w && width <= 64);
+        if width == w {
+            return arg;
+        }
+        if let Some(v) = self.as_bv_const(arg) {
+            return self.bv_const(v.zero_extend(width));
+        }
+        self.intern(Term::ZeroExt(width, arg), Sort::BitVec(width))
+    }
+
+    /// Sign-extension to the given total width.
+    pub fn sign_extend(&mut self, width: u32, arg: TermId) -> TermId {
+        let w = self.width(arg);
+        assert!(width >= w && width <= 64);
+        if width == w {
+            return arg;
+        }
+        if let Some(v) = self.as_bv_const(arg) {
+            return self.bv_const(v.sign_extend(width));
+        }
+        self.intern(Term::SignExt(width, arg), Sort::BitVec(width))
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluates a term under an assignment to (at least) its free
+    /// variables. Unassigned variables default to false / zero, which
+    /// matches the convention of SAT model extraction.
+    pub fn eval(&self, id: TermId, env: &HashMap<TermId, Value>) -> Value {
+        let mut cache: HashMap<TermId, Value> = HashMap::new();
+        self.eval_cached(id, env, &mut cache)
+    }
+
+    fn eval_cached(
+        &self,
+        id: TermId,
+        env: &HashMap<TermId, Value>,
+        cache: &mut HashMap<TermId, Value>,
+    ) -> Value {
+        if let Some(&v) = cache.get(&id) {
+            return v;
+        }
+        let v = match self.term(id) {
+            Term::BoolConst(b) => Value::Bool(*b),
+            Term::BvConst(v) => Value::Bv(*v),
+            Term::Var(_, sort) => env.get(&id).copied().unwrap_or(match sort {
+                Sort::Bool => Value::Bool(false),
+                Sort::BitVec(w) => Value::Bv(BvValue::zero(*w)),
+            }),
+            Term::Not(a) => Value::Bool(!self.eval_cached(*a, env, cache).as_bool()),
+            Term::And(a, b) => {
+                let (a, b) = (*a, *b);
+                Value::Bool(
+                    self.eval_cached(a, env, cache).as_bool()
+                        && self.eval_cached(b, env, cache).as_bool(),
+                )
+            }
+            Term::Or(a, b) => {
+                let (a, b) = (*a, *b);
+                Value::Bool(
+                    self.eval_cached(a, env, cache).as_bool()
+                        || self.eval_cached(b, env, cache).as_bool(),
+                )
+            }
+            Term::Xor(a, b) => {
+                let (a, b) = (*a, *b);
+                Value::Bool(
+                    self.eval_cached(a, env, cache).as_bool()
+                        ^ self.eval_cached(b, env, cache).as_bool(),
+                )
+            }
+            Term::Ite(c, t, e) => {
+                let (c, t, e) = (*c, *t, *e);
+                if self.eval_cached(c, env, cache).as_bool() {
+                    self.eval_cached(t, env, cache)
+                } else {
+                    self.eval_cached(e, env, cache)
+                }
+            }
+            Term::Eq(a, b) => {
+                let (a, b) = (*a, *b);
+                Value::Bool(self.eval_cached(a, env, cache) == self.eval_cached(b, env, cache))
+            }
+            Term::BvBin(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                Value::Bv(op.apply(
+                    self.eval_cached(a, env, cache).as_bv(),
+                    self.eval_cached(b, env, cache).as_bv(),
+                ))
+            }
+            Term::BvNot(a) => Value::Bv(self.eval_cached(*a, env, cache).as_bv().not()),
+            Term::BvNeg(a) => Value::Bv(self.eval_cached(*a, env, cache).as_bv().neg()),
+            Term::BvCmp(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                Value::Bool(op.apply(
+                    self.eval_cached(a, env, cache).as_bv(),
+                    self.eval_cached(b, env, cache).as_bv(),
+                ))
+            }
+            Term::Concat(hi, lo) => {
+                let (hi, lo) = (*hi, *lo);
+                Value::Bv(
+                    self.eval_cached(hi, env, cache)
+                        .as_bv()
+                        .concat(self.eval_cached(lo, env, cache).as_bv()),
+                )
+            }
+            Term::Extract(hi, lo, a) => {
+                let (hi, lo, a) = (*hi, *lo, *a);
+                Value::Bv(self.eval_cached(a, env, cache).as_bv().extract(hi, lo))
+            }
+            Term::ZeroExt(w, a) => {
+                let (w, a) = (*w, *a);
+                Value::Bv(self.eval_cached(a, env, cache).as_bv().zero_extend(w))
+            }
+            Term::SignExt(w, a) => {
+                let (w, a) = (*w, *a);
+                Value::Bv(self.eval_cached(a, env, cache).as_bv().sign_extend(w))
+            }
+        };
+        cache.insert(id, v);
+        v
+    }
+
+    /// Collects the free variables reachable from `id`.
+    pub fn free_vars(&self, id: TermId) -> Vec<TermId> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(t) = stack.pop() {
+            if seen[t.index()] {
+                continue;
+            }
+            seen[t.index()] = true;
+            match self.term(t) {
+                Term::Var(_, _) => out.push(t),
+                Term::BoolConst(_) | Term::BvConst(_) => {}
+                Term::Not(a) | Term::BvNot(a) | Term::BvNeg(a) => stack.push(*a),
+                Term::Extract(_, _, a) | Term::ZeroExt(_, a) | Term::SignExt(_, a) => {
+                    stack.push(*a)
+                }
+                Term::And(a, b)
+                | Term::Or(a, b)
+                | Term::Xor(a, b)
+                | Term::Eq(a, b)
+                | Term::BvBin(_, a, b)
+                | Term::BvCmp(_, a, b)
+                | Term::Concat(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Term::Ite(a, b, c) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                    stack.push(*c);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let a = p.bv_add(x, y);
+        let b = p.bv_add(y, x); // commutative normalization
+        assert_eq!(a, b);
+        let x2 = p.var("x", 8);
+        assert_eq!(x, x2);
+        let x16 = p.var("x", 16);
+        assert_ne!(x, x16);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = TermPool::new();
+        let a = p.bv(3, 8);
+        let b = p.bv(4, 8);
+        let s = p.bv_add(a, b);
+        assert_eq!(*p.term(s), Term::BvConst(BvValue::new(7, 8)));
+        let lt = p.bv_ult(a, b);
+        assert_eq!(*p.term(lt), Term::BoolConst(true));
+        let e = p.eq(a, a);
+        assert_eq!(*p.term(e), Term::BoolConst(true));
+    }
+
+    #[test]
+    fn identity_rewrites() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let zero = p.bv(0, 8);
+        let one = p.bv(1, 8);
+        assert_eq!(p.bv_add(x, zero), x);
+        assert_eq!(p.bv_mul(x, one), x);
+        assert_eq!(p.bv_mul(x, zero), zero);
+        assert_eq!(p.bv_xor(x, x), zero);
+        assert_eq!(p.bv_and(x, x), x);
+        let t = p.tt();
+        assert_eq!(p.ite(t, x, zero), x);
+        let nn = p.not(t);
+        let nnn = p.not(nn);
+        assert_eq!(nnn, t);
+        let bvn = p.bv_not(x);
+        assert_eq!(p.bv_not(bvn), x);
+    }
+
+    #[test]
+    fn bool_simplifications() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let na = p.not(a);
+        assert_eq!(p.and(a, na), p.ff());
+        assert_eq!(p.or(a, na), p.tt());
+        assert_eq!(p.xor(a, a), p.ff());
+        let t = p.tt();
+        assert_eq!(p.implies(a, t), t);
+        assert_eq!(p.iff(a, a), t);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let sum = p.bv_add(x, y);
+        let cond = p.bv_ult(x, y);
+        let pick = p.ite(cond, sum, x);
+        let mut env = HashMap::new();
+        env.insert(x, Value::Bv(BvValue::new(200, 8)));
+        env.insert(y, Value::Bv(BvValue::new(100, 8)));
+        // 200 < 100 is false → pick = x
+        assert_eq!(p.eval(pick, &env).as_bv().as_u64(), 200);
+        env.insert(x, Value::Bv(BvValue::new(50, 8)));
+        // 50 < 100 → pick = 150
+        assert_eq!(p.eval(pick, &env).as_bv().as_u64(), 150);
+    }
+
+    #[test]
+    fn free_vars_collects_leaves() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 4);
+        let y = p.var("y", 4);
+        let b = p.bool_var("b");
+        let s = p.bv_add(x, y);
+        let t = p.ite(b, s, x);
+        let mut vars = p.free_vars(t);
+        vars.sort();
+        let mut expect = vec![x, y, b];
+        expect.sort();
+        assert_eq!(vars, expect);
+    }
+
+    #[test]
+    fn extract_concat_roundtrip() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let full = p.extract(7, 0, x);
+        assert_eq!(full, x);
+        let hi = p.extract(7, 4, x);
+        assert_eq!(p.width(hi), 4);
+        let k = p.bv(0xAB, 8);
+        let lo4 = p.extract(3, 0, k);
+        assert_eq!(*p.term(lo4), Term::BvConst(BvValue::new(0xB, 4)));
+        let cc = p.concat(hi, lo4);
+        assert_eq!(p.width(cc), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sort mismatch")]
+    fn eq_rejects_mismatched_sorts() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let b = p.bool_var("b");
+        p.eq(x, b);
+    }
+}

@@ -1,0 +1,358 @@
+//! Concrete bit-vector values (widths 1..=64) with SMT-LIB semantics.
+
+use std::fmt;
+
+/// A fixed-width bit-vector value. The payload is kept masked to `width`
+/// bits at all times.
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_smt::BvValue;
+/// let a = BvValue::new(0xFF, 8);
+/// let b = BvValue::new(1, 8);
+/// assert_eq!(a.add(b).as_u64(), 0); // wraps modulo 2^8
+/// assert!(a.slt(b));                // 0xFF is -1 signed
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BvValue {
+    bits: u64,
+    width: u32,
+}
+
+impl BvValue {
+    /// Creates a value of the given width (1..=64); excess bits are masked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(bits: u64, width: u32) -> Self {
+        assert!((1..=64).contains(&width), "bit-vector width must be 1..=64");
+        BvValue {
+            bits: bits & Self::mask(width),
+            width,
+        }
+    }
+
+    /// The all-zeros value of the given width.
+    pub fn zero(width: u32) -> Self {
+        BvValue::new(0, width)
+    }
+
+    /// The value one at the given width.
+    pub fn one(width: u32) -> Self {
+        BvValue::new(1, width)
+    }
+
+    /// The all-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        BvValue::new(u64::MAX, width)
+    }
+
+    #[inline]
+    fn mask(width: u32) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The raw (zero-extended) payload.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.bits
+    }
+
+    /// The payload interpreted as a two's-complement signed integer.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        let shift = 64 - self.width;
+        ((self.bits << shift) as i64) >> shift
+    }
+
+    /// The width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Extracts bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[inline]
+    pub fn bit(self, i: u32) -> bool {
+        assert!(i < self.width);
+        self.bits >> i & 1 == 1
+    }
+
+    fn binop(self, rhs: Self, f: impl FnOnce(u64, u64) -> u64) -> Self {
+        assert_eq!(self.width, rhs.width, "width mismatch");
+        BvValue::new(f(self.bits, rhs.bits), self.width)
+    }
+
+    /// Wrapping addition.
+    pub fn add(self, rhs: Self) -> Self {
+        self.binop(rhs, u64::wrapping_add)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(self, rhs: Self) -> Self {
+        self.binop(rhs, u64::wrapping_sub)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(self, rhs: Self) -> Self {
+        self.binop(rhs, u64::wrapping_mul)
+    }
+
+    /// Two's complement negation.
+    pub fn neg(self) -> Self {
+        BvValue::new(self.bits.wrapping_neg(), self.width)
+    }
+
+    /// Unsigned division; division by zero yields all ones (SMT-LIB).
+    pub fn udiv(self, rhs: Self) -> Self {
+        assert_eq!(self.width, rhs.width);
+        if rhs.bits == 0 {
+            BvValue::ones(self.width)
+        } else {
+            BvValue::new(self.bits / rhs.bits, self.width)
+        }
+    }
+
+    /// Unsigned remainder; remainder by zero yields the dividend (SMT-LIB).
+    pub fn urem(self, rhs: Self) -> Self {
+        assert_eq!(self.width, rhs.width);
+        if rhs.bits == 0 {
+            self
+        } else {
+            BvValue::new(self.bits % rhs.bits, self.width)
+        }
+    }
+
+    /// Bitwise and.
+    pub fn and(self, rhs: Self) -> Self {
+        self.binop(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise or.
+    pub fn or(self, rhs: Self) -> Self {
+        self.binop(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(self, rhs: Self) -> Self {
+        self.binop(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise complement.
+    pub fn not(self) -> Self {
+        BvValue::new(!self.bits, self.width)
+    }
+
+    /// Logical shift left; shift amounts ≥ width yield zero.
+    pub fn shl(self, rhs: Self) -> Self {
+        assert_eq!(self.width, rhs.width);
+        if rhs.bits >= self.width as u64 {
+            BvValue::zero(self.width)
+        } else {
+            BvValue::new(self.bits << rhs.bits, self.width)
+        }
+    }
+
+    /// Logical shift right; shift amounts ≥ width yield zero.
+    pub fn lshr(self, rhs: Self) -> Self {
+        assert_eq!(self.width, rhs.width);
+        if rhs.bits >= self.width as u64 {
+            BvValue::zero(self.width)
+        } else {
+            BvValue::new(self.bits >> rhs.bits, self.width)
+        }
+    }
+
+    /// Arithmetic shift right; shift amounts ≥ width fill with the sign bit.
+    pub fn ashr(self, rhs: Self) -> Self {
+        assert_eq!(self.width, rhs.width);
+        let sign = self.bit(self.width - 1);
+        if rhs.bits >= self.width as u64 {
+            if sign {
+                BvValue::ones(self.width)
+            } else {
+                BvValue::zero(self.width)
+            }
+        } else {
+            let v = (self.as_i64() >> rhs.bits) as u64;
+            BvValue::new(v, self.width)
+        }
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(self, rhs: Self) -> bool {
+        assert_eq!(self.width, rhs.width);
+        self.bits < rhs.bits
+    }
+
+    /// Unsigned less-than-or-equal.
+    pub fn ule(self, rhs: Self) -> bool {
+        assert_eq!(self.width, rhs.width);
+        self.bits <= rhs.bits
+    }
+
+    /// Signed less-than.
+    pub fn slt(self, rhs: Self) -> bool {
+        assert_eq!(self.width, rhs.width);
+        self.as_i64() < rhs.as_i64()
+    }
+
+    /// Signed less-than-or-equal.
+    pub fn sle(self, rhs: Self) -> bool {
+        assert_eq!(self.width, rhs.width);
+        self.as_i64() <= rhs.as_i64()
+    }
+
+    /// Concatenation: `self` becomes the high bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 64.
+    pub fn concat(self, low: Self) -> Self {
+        let w = self.width + low.width;
+        assert!(w <= 64, "concat width exceeds 64");
+        BvValue::new(self.bits << low.width | low.bits, w)
+    }
+
+    /// Extracts bits `lo..=hi` (inclusive, SMT-LIB order).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi < width`.
+    pub fn extract(self, hi: u32, lo: u32) -> Self {
+        assert!(lo <= hi && hi < self.width);
+        BvValue::new(self.bits >> lo, hi - lo + 1)
+    }
+
+    /// Zero-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width or exceeds 64.
+    pub fn zero_extend(self, width: u32) -> Self {
+        assert!(width >= self.width && width <= 64);
+        BvValue::new(self.bits, width)
+    }
+
+    /// Sign-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width or exceeds 64.
+    pub fn sign_extend(self, width: u32) -> Self {
+        assert!(width >= self.width && width <= 64);
+        BvValue::new(self.as_i64() as u64, width)
+    }
+}
+
+impl fmt::Debug for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#x{:x}[{}]", self.bits, self.width)
+    }
+}
+
+impl fmt::Display for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits)
+    }
+}
+
+impl fmt::LowerHex for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_and_accessors() {
+        let v = BvValue::new(0x1FF, 8);
+        assert_eq!(v.as_u64(), 0xFF);
+        assert_eq!(v.as_i64(), -1);
+        assert_eq!(v.width(), 8);
+        assert!(v.bit(0) && v.bit(7));
+        assert_eq!(BvValue::ones(4).as_u64(), 0xF);
+        assert_eq!(BvValue::new(u64::MAX, 64).as_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let w = 8;
+        let a = BvValue::new(200, w);
+        let b = BvValue::new(100, w);
+        assert_eq!(a.add(b).as_u64(), 44);
+        assert_eq!(b.sub(a).as_u64(), 156);
+        assert_eq!(a.mul(b).as_u64(), (200u64 * 100) & 0xFF);
+        assert_eq!(a.neg().as_u64(), 56);
+    }
+
+    #[test]
+    fn division_smtlib_semantics() {
+        let a = BvValue::new(7, 4);
+        let z = BvValue::zero(4);
+        assert_eq!(a.udiv(z), BvValue::ones(4));
+        assert_eq!(a.urem(z), a);
+        assert_eq!(a.udiv(BvValue::new(2, 4)).as_u64(), 3);
+        assert_eq!(a.urem(BvValue::new(2, 4)).as_u64(), 1);
+    }
+
+    #[test]
+    fn shifts_saturate() {
+        let a = BvValue::new(0b1010, 4);
+        assert_eq!(a.shl(BvValue::new(1, 4)).as_u64(), 0b0100);
+        assert_eq!(a.lshr(BvValue::new(1, 4)).as_u64(), 0b0101);
+        assert_eq!(a.shl(BvValue::new(9, 4)).as_u64(), 0);
+        assert_eq!(a.ashr(BvValue::new(1, 4)).as_u64(), 0b1101);
+        assert_eq!(a.ashr(BvValue::new(9, 4)).as_u64(), 0b1111);
+        let p = BvValue::new(0b0010, 4);
+        assert_eq!(p.ashr(BvValue::new(9, 4)).as_u64(), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = BvValue::new(0xFE, 8); // -2 signed
+        let b = BvValue::new(0x01, 8);
+        assert!(b.ult(a));
+        assert!(a.slt(b));
+        assert!(a.sle(a));
+        assert!(a.ule(a));
+    }
+
+    #[test]
+    fn structure_ops() {
+        let hi = BvValue::new(0xA, 4);
+        let lo = BvValue::new(0x5, 4);
+        let c = hi.concat(lo);
+        assert_eq!(c.as_u64(), 0xA5);
+        assert_eq!(c.width(), 8);
+        assert_eq!(c.extract(7, 4), hi);
+        assert_eq!(c.extract(3, 0), lo);
+        assert_eq!(lo.zero_extend(8).as_u64(), 5);
+        assert_eq!(hi.sign_extend(8).as_u64(), 0xFA);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_rejected() {
+        BvValue::new(0, 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Differential testing: the bit-blasted circuits must agree with the
+//! concrete `BvValue` semantics on every operator, for random operands and
+//! assorted widths, with operands supplied as *variables* (so constant
+//! folding cannot short-circuit the CNF path).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciduction_smt::{BvValue, CheckResult, Solver, TermId};
+
+/// Pins variables `x`, `y` to the given constants and returns the terms.
+fn pinned_vars(s: &mut Solver, a: BvValue, b: BvValue) -> (TermId, TermId) {
+    let p = s.terms_mut();
+    let x = p.var("x", a.width());
+    let y = p.var("y", b.width());
+    let ka = p.bv_const(a);
+    let kb = p.bv_const(b);
+    let ex = p.eq(x, ka);
+    let ey = p.eq(y, kb);
+    s.assert_term(ex);
+    s.assert_term(ey);
+    (x, y)
+}
+
+type BinBuilder = fn(&mut sciduction_smt::TermPool, TermId, TermId) -> TermId;
+type BinSemantics = fn(BvValue, BvValue) -> BvValue;
+
+const BIN_OPS: &[(&str, BinBuilder, BinSemantics)] = &[
+    ("add", |p, a, b| p.bv_add(a, b), BvValue::add),
+    ("sub", |p, a, b| p.bv_sub(a, b), BvValue::sub),
+    ("mul", |p, a, b| p.bv_mul(a, b), BvValue::mul),
+    ("udiv", |p, a, b| p.bv_udiv(a, b), BvValue::udiv),
+    ("urem", |p, a, b| p.bv_urem(a, b), BvValue::urem),
+    ("and", |p, a, b| p.bv_and(a, b), BvValue::and),
+    ("or", |p, a, b| p.bv_or(a, b), BvValue::or),
+    ("xor", |p, a, b| p.bv_xor(a, b), BvValue::xor),
+    ("shl", |p, a, b| p.bv_shl(a, b), BvValue::shl),
+    ("lshr", |p, a, b| p.bv_lshr(a, b), BvValue::lshr),
+    ("ashr", |p, a, b| p.bv_ashr(a, b), BvValue::ashr),
+];
+
+type CmpBuilder = fn(&mut sciduction_smt::TermPool, TermId, TermId) -> TermId;
+type CmpSemantics = fn(BvValue, BvValue) -> bool;
+
+const CMP_OPS: &[(&str, CmpBuilder, CmpSemantics)] = &[
+    ("ult", |p, a, b| p.bv_ult(a, b), BvValue::ult),
+    ("ule", |p, a, b| p.bv_ule(a, b), BvValue::ule),
+    ("slt", |p, a, b| p.bv_slt(a, b), BvValue::slt),
+    ("sle", |p, a, b| p.bv_sle(a, b), BvValue::sle),
+    ("eq", |p, a, b| p.eq(a, b), |a, b| a == b),
+];
+
+#[test]
+fn binary_circuits_match_concrete_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for &width in &[1u32, 3, 4, 8, 13] {
+        for _ in 0..6 {
+            let av = BvValue::new(rng.random(), width);
+            let bv = BvValue::new(rng.random(), width);
+            for (name, build, sem) in BIN_OPS {
+                let mut s = Solver::new();
+                let (x, y) = pinned_vars(&mut s, av, bv);
+                let z = build(s.terms_mut(), x, y);
+                assert_eq!(s.check(), CheckResult::Sat, "{name} w={width}");
+                let got = s.model_value(z).as_bv();
+                let want = sem(av, bv);
+                assert_eq!(got, want, "{name}({av:?}, {bv:?}) w={width}");
+            }
+        }
+    }
+}
+
+#[test]
+fn comparison_circuits_match_concrete_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for &width in &[1u32, 4, 8, 16] {
+        for _ in 0..8 {
+            let av = BvValue::new(rng.random(), width);
+            let bv = BvValue::new(rng.random(), width);
+            for (name, build, sem) in CMP_OPS {
+                let mut s = Solver::new();
+                let (x, y) = pinned_vars(&mut s, av, bv);
+                let c = build(s.terms_mut(), x, y);
+                assert_eq!(s.check(), CheckResult::Sat);
+                let got = s.model_value(c).as_bool();
+                assert_eq!(got, sem(av, bv), "{name}({av:?}, {bv:?}) w={width}");
+            }
+        }
+    }
+}
+
+#[test]
+fn unary_and_structural_circuits() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for &width in &[1u32, 5, 8] {
+        for _ in 0..8 {
+            let av = BvValue::new(rng.random(), width);
+            let bv = BvValue::new(rng.random(), width);
+            let mut s = Solver::new();
+            let (x, y) = pinned_vars(&mut s, av, bv);
+            let p = s.terms_mut();
+            let not = p.bv_not(x);
+            let neg = p.bv_neg(x);
+            let cat = p.concat(x, y);
+            let ze = p.zero_extend(width + 3, x);
+            let se = p.sign_extend(width + 3, x);
+            let hi = width - 1;
+            let ex = p.extract(hi, hi / 2, x);
+            assert_eq!(s.check(), CheckResult::Sat);
+            assert_eq!(s.model_value(not).as_bv(), av.not());
+            assert_eq!(s.model_value(neg).as_bv(), av.neg());
+            assert_eq!(s.model_value(cat).as_bv(), av.concat(bv));
+            assert_eq!(s.model_value(ze).as_bv(), av.zero_extend(width + 3));
+            assert_eq!(s.model_value(se).as_bv(), av.sign_extend(width + 3));
+            assert_eq!(s.model_value(ex).as_bv(), av.extract(hi, hi / 2));
+        }
+    }
+}
+
+#[test]
+fn ite_and_boolean_structure() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    for _ in 0..16 {
+        let av = BvValue::new(rng.random(), 8);
+        let bv = BvValue::new(rng.random(), 8);
+        let mut s = Solver::new();
+        let (x, y) = pinned_vars(&mut s, av, bv);
+        let p = s.terms_mut();
+        let c = p.bv_ult(x, y);
+        let m = p.ite(c, x, y); // min(x, y)
+        assert_eq!(s.check(), CheckResult::Sat);
+        let got = s.model_value(m).as_bv();
+        assert_eq!(got.as_u64(), av.as_u64().min(bv.as_u64()));
+    }
+}
+
+/// Solve x * y == k with x, y > 1 — factoring via SAT. 221 = 13 * 17.
+#[test]
+fn factoring_221() {
+    let mut s = Solver::new();
+    let p = s.terms_mut();
+    let x = p.var("x", 8);
+    let y = p.var("y", 8);
+    // Zero-extend to 16 bits so the product cannot wrap.
+    let xw = p.zero_extend(16, x);
+    let yw = p.zero_extend(16, y);
+    let prod = p.bv_mul(xw, yw);
+    let k = p.bv(221, 16);
+    let one = p.bv(1, 8);
+    let c0 = p.eq(prod, k);
+    let c1 = p.bv_ugt(x, one);
+    let c2 = p.bv_ugt(y, one);
+    s.assert_term(c0);
+    s.assert_term(c1);
+    s.assert_term(c2);
+    assert_eq!(s.check(), CheckResult::Sat);
+    let xv = s.model_value(x).as_bv().as_u64();
+    let yv = s.model_value(y).as_bv().as_u64();
+    assert_eq!(xv * yv, 221);
+    assert!(xv > 1 && yv > 1);
+}
+
+/// A prime has no such factorization: 211 is prime.
+#[test]
+fn primality_211_unsat() {
+    let mut s = Solver::new();
+    let p = s.terms_mut();
+    let x = p.var("x", 8);
+    let y = p.var("y", 8);
+    let xw = p.zero_extend(16, x);
+    let yw = p.zero_extend(16, y);
+    let prod = p.bv_mul(xw, yw);
+    let k = p.bv(211, 16);
+    let one = p.bv(1, 8);
+    let c0 = p.eq(prod, k);
+    let c1 = p.bv_ugt(x, one);
+    let c2 = p.bv_ugt(y, one);
+    s.assert_term(c0);
+    s.assert_term(c1);
+    s.assert_term(c2);
+    assert_eq!(s.check(), CheckResult::Unsat);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algebraic identities proved by the solver for arbitrary widths.
+    #[test]
+    fn prop_prove_ring_identities(width in 1u32..10) {
+        let mut s = Solver::new();
+        let p = s.terms_mut();
+        let x = p.var("x", width);
+        let y = p.var("y", width);
+        // (x + y) - y == x
+        let sum = p.bv_add(x, y);
+        let back = p.bv_sub(sum, y);
+        let id1 = p.eq(back, x);
+        // ¬x + 1 == -x
+        let notx = p.bv_not(x);
+        let one = p.bv(1, width);
+        let plus1 = p.bv_add(notx, one);
+        let negx = p.bv_neg(x);
+        let id2 = p.eq(plus1, negx);
+        // x & y == ¬(¬x | ¬y)  (De Morgan)
+        let ax = p.bv_and(x, y);
+        let nx = p.bv_not(x);
+        let ny = p.bv_not(y);
+        let orr = p.bv_or(nx, ny);
+        let dem = p.bv_not(orr);
+        let id3 = p.eq(ax, dem);
+        prop_assert!(s.prove(id1));
+        prop_assert!(s.prove(id2));
+        prop_assert!(s.prove(id3));
+    }
+
+    /// udiv/urem reconstruction: a == (a / b) * b + (a % b) for b != 0.
+    #[test]
+    fn prop_divmod_reconstruction(a in any::<u64>(), b in 1u64..255, width in 4u32..9) {
+        let av = BvValue::new(a, width);
+        let bv = BvValue::new(b, width);
+        prop_assume!(bv.as_u64() != 0);
+        let mut s = Solver::new();
+        let p = s.terms_mut();
+        let x = p.var("x", width);
+        let y = p.var("y", width);
+        let ka = p.bv_const(av);
+        let kb = p.bv_const(bv);
+        let ex = p.eq(x, ka);
+        let ey = p.eq(y, kb);
+        let q = p.bv_udiv(x, y);
+        let r = p.bv_urem(x, y);
+        let qb = p.bv_mul(q, y);
+        let rec = p.bv_add(qb, r);
+        let id = p.eq(rec, x);
+        s.assert_term(ex);
+        s.assert_term(ey);
+        let nid = s.terms_mut().not(id);
+        s.push();
+        s.assert_term(nid);
+        prop_assert_eq!(s.check(), CheckResult::Unsat);
+        s.pop();
+        prop_assert_eq!(s.check(), CheckResult::Sat);
+        prop_assert_eq!(s.model_value(q).as_bv(), av.udiv(bv));
+        prop_assert_eq!(s.model_value(r).as_bv(), av.urem(bv));
+    }
+}

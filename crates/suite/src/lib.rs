@@ -1,0 +1,1 @@
+//! Placeholder, replaced during bottom-up implementation.

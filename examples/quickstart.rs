@@ -1,0 +1,159 @@
+//! Quickstart: the sciduction triple ⟨H, I, D⟩ in one sitting.
+//!
+//! Builds a tiny sciduction instance from scratch — learn a secret
+//! threshold with a binary-search inductive engine and a membership-query
+//! deductive engine — then shows the three paper applications each solving
+//! a miniature problem through the same framework.
+//!
+//! Run with `cargo run --release -p sciduction-suite --example quickstart`.
+
+use sciduction::{
+    DeductiveEngine, InductiveEngine, Instance, StructureHypothesis, ValidityEvidence,
+};
+
+struct MembershipOracle {
+    secret: u32,
+    queries: u64,
+}
+
+impl DeductiveEngine for MembershipOracle {
+    type Query = u32;
+    type Response = bool;
+    fn decide(&mut self, q: u32) -> bool {
+        self.queries += 1;
+        q >= self.secret
+    }
+    fn queries_decided(&self) -> u64 {
+        self.queries
+    }
+    fn describe(&self) -> String {
+        "membership oracle (x ≥ secret?)".into()
+    }
+}
+
+struct BinarySearch;
+
+impl InductiveEngine<MembershipOracle> for BinarySearch {
+    type Artifact = u32;
+    type Error = std::convert::Infallible;
+    fn infer(&mut self, oracle: &mut MembershipOracle) -> Result<u32, Self::Error> {
+        let (mut lo, mut hi) = (0u32, 10_000u32);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if oracle.decide(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(lo)
+    }
+    fn describe(&self) -> String {
+        "binary search (active learning)".into()
+    }
+}
+
+struct GridThresholds;
+
+impl StructureHypothesis for GridThresholds {
+    type Artifact = u32;
+    fn contains(&self, a: &u32) -> bool {
+        *a <= 10_000
+    }
+    fn describe(&self) -> String {
+        "integer thresholds in [0, 10000]".into()
+    }
+}
+
+fn main() {
+    println!("== sciduction quickstart ==\n");
+    println!("An instance of sciduction is a triple ⟨H, I, D⟩ (Seshia, DAC 2012):");
+    println!("  H — structure hypothesis: the form of the artifact to synthesize");
+    println!("  I — inductive engine:     learns the artifact from examples");
+    println!("  D — deductive engine:     answers the learner's queries\n");
+
+    let mut instance = Instance {
+        hypothesis: GridThresholds,
+        inductive: BinarySearch,
+        deductive: MembershipOracle { secret: 4711, queries: 0 },
+        evidence: ValidityEvidence::Trivial,
+        probabilistic: false,
+    };
+    let outcome = instance.run().expect("binary search cannot fail");
+    println!("learned artifact: {}", outcome.artifact);
+    println!("certificate:      {}", outcome.soundness);
+    println!(
+        "report:           I = {}, D = {} ({} queries)\n",
+        outcome.report.inductive, outcome.report.deductive, outcome.report.deductive_queries
+    );
+
+    // The three paper applications, miniaturized. Each uses the same
+    // Instance machinery internally — see the dedicated examples for the
+    // full-size versions.
+    println!("== the three applications, miniaturized ==\n");
+
+    // 1. GameTime on the paper's Fig. 4 toy program.
+    let f = sciduction_ir::programs::fig4_toy();
+    let mut platform = sciduction_gametime::MicroarchPlatform::new(f.clone());
+    let cfg = sciduction_gametime::GameTimeConfig {
+        unroll_bound: 1,
+        trials: 10,
+        ..Default::default()
+    };
+    let analysis = sciduction_gametime::analyze(&f, &mut platform, &cfg).unwrap();
+    let wcet = analysis.predict_wcet().unwrap();
+    println!(
+        "[timing]    fig4 toy: {} basis paths, predicted WCET {:.0} cycles (flag = {})",
+        analysis.basis.rank(),
+        wcet.predicted_cycles,
+        wcet.test.args[0]
+    );
+
+    // 2. OGIS: resynthesize x*5 from {shl2, add}.
+    use sciduction_ogis::{synthesize, ComponentLibrary, FnOracle, Op, SynthesisOutcome};
+    use sciduction_smt::BvValue;
+    let lib = ComponentLibrary::new(vec![Op::ShlConst(2), Op::Add], 1, 1, 8);
+    let mut oracle = FnOracle::new("times5", |xs: &[BvValue]| {
+        vec![xs[0].mul(BvValue::new(5, 8))]
+    });
+    match synthesize(&lib, &mut oracle, &Default::default()).0 {
+        SynthesisOutcome::Synthesized { program, .. } => {
+            println!("[synthesis] x·5 recovered from {{shl2, add}}:");
+            for line in format!("{program}").lines() {
+                println!("            {line}");
+            }
+        }
+        other => println!("[synthesis] failed: {other:?}"),
+    }
+
+    // 3. Hybrid: thermostat switching logic.
+    use sciduction_hybrid::{
+        synthesize_switching, Grid, HyperBox, Mds, Mode, SwitchSynthConfig, SwitchingLogic,
+        Transition,
+    };
+    use std::rc::Rc;
+    let mds = Mds {
+        dim: 1,
+        modes: vec![
+            Mode { name: "heat".into(), dynamics: Rc::new(|_x, out| out[0] = 2.0) },
+            Mode { name: "cool".into(), dynamics: Rc::new(|_x, out| out[0] = -1.0) },
+        ],
+        transitions: vec![
+            Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
+            Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+        ],
+        safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+    };
+    let initial = SwitchingLogic {
+        guards: vec![
+            HyperBox::new(vec![0.0], vec![50.0]),
+            HyperBox::new(vec![0.0], vec![50.0]),
+        ],
+    };
+    let cfg = SwitchSynthConfig { grid: Grid::new(0.1), ..Default::default() };
+    let out = synthesize_switching(&mds, initial, &[Some(vec![22.0]), Some(vec![22.0])], &cfg);
+    println!(
+        "[hybrid]    thermostat guards: heat→cool {}, cool→heat {} (safe band [15, 30])",
+        out.logic.guards[0], out.logic.guards[1]
+    );
+}

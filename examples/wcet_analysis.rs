@@ -1,0 +1,83 @@
+//! Worst-case execution-time analysis with GameTime (paper Sec. 3).
+//!
+//! Runs the full pipeline of the paper's Fig. 5 on `modexp`: CFG → basis
+//! paths → SMT test generation → randomized end-to-end measurement →
+//! (w, π) model → WCET prediction and the ⟨TA⟩ decision question, plus the
+//! structure-hypothesis validity test the paper's conclusion calls for.
+//!
+//! Run with `cargo run --release -p sciduction-suite --example wcet_analysis`.
+
+use sciduction_gametime::{
+    analyze, trials_for_confidence, GameTimeConfig, MicroarchPlatform, Platform, TaAnswer,
+    WeightPerturbationModel,
+};
+use sciduction_ir::programs;
+
+fn main() {
+    let f = programs::modexp();
+    println!("== GameTime WCET analysis of modexp (8-bit exponent) ==\n");
+    let mut platform = MicroarchPlatform::new(f.clone());
+    println!("platform: {}\n", platform.describe());
+
+    let hypothesis = WeightPerturbationModel::default();
+    let config = GameTimeConfig {
+        unroll_bound: 8,
+        trials: trials_for_confidence(0.05, 9),
+        hypothesis,
+        ..Default::default()
+    };
+    println!(
+        "trials for δ = 0.05 with 9 basis paths: {} (paper: polynomial in ln(1/δ))",
+        config.trials
+    );
+
+    let analysis = analyze(&f, &mut platform, &config).expect("analysis succeeds");
+    println!(
+        "DAG: {} feasible paths, {} edges; basis: {} paths from {} SMT queries\n",
+        analysis.dag.count_paths(),
+        analysis.dag.num_edges(),
+        analysis.basis.rank(),
+        analysis.smt_queries
+    );
+
+    // WCET prediction with driving test case.
+    let wcet = analysis.predict_wcet().expect("paths exist");
+    println!(
+        "predicted WCET: {:.1} cycles, driven by exponent {} (paper: 255)",
+        wcet.predicted_cycles,
+        wcet.test.args[1] & 0xFF
+    );
+    let measured = platform.measure(&wcet.test);
+    println!("measured on the predicted worst path: {measured} cycles\n");
+
+    // Problem ⟨TA⟩: is execution time always ≤ τ?
+    for tau in [measured, measured - 1, measured + 50] {
+        match analysis.answer_ta(&mut platform, tau).unwrap() {
+            TaAnswer::Yes { worst_measured } => {
+                println!("⟨TA⟩ τ = {tau}: YES (worst observed {worst_measured})")
+            }
+            TaAnswer::No { worst_measured, test } => println!(
+                "⟨TA⟩ τ = {tau}: NO — exceeded by exponent {} ({worst_measured} cycles)",
+                test.args[1] & 0xFF
+            ),
+        }
+    }
+
+    // Structure-hypothesis validity (Sec. 6: "structure hypothesis
+    // testing").
+    let evidence = analysis.validate_hypothesis(&mut platform, &hypothesis, 50, 3);
+    println!("\nhypothesis validity: {evidence}");
+
+    // Distribution summary (the Fig. 6 series; run the fig6 binary for
+    // the full histogram).
+    let dist = analysis.predict_distribution(300);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, t) in &dist {
+        lo = lo.min(*t);
+        hi = hi.max(*t);
+    }
+    println!(
+        "\npredicted times of all {} paths span [{lo:.0}, {hi:.0}] cycles",
+        dist.len()
+    );
+}

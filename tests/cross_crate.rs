@@ -1,0 +1,140 @@
+//! Cross-crate consistency tests: the substrates must agree with each
+//! other wherever their semantics overlap.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciduction_cfg::{check_path, Dag};
+use sciduction_ir::{programs, run, InterpConfig, Memory};
+use sciduction_microarch::{Machine, MachineState};
+use sciduction_smt::{BvValue, CheckResult, Solver};
+
+/// The IR interpreter and the micro-architectural simulator must compute
+/// identical values and traces on random inputs for every library program.
+#[test]
+fn interpreter_and_microarch_agree_on_values() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let machine = Machine::new();
+    for f in [programs::modexp(), programs::crc8(), programs::fig4_toy()] {
+        for _ in 0..25 {
+            let args: Vec<u64> = (0..f.num_params).map(|_| rng.random_range(0..256)).collect();
+            let want = run(&f, &args, Memory::new(), InterpConfig::default()).unwrap();
+            let mut st = MachineState::cold(machine.config());
+            let got = machine.run(&f, &args, Memory::new(), &mut st).unwrap();
+            assert_eq!(got.ret, want.ret, "{} {:?}", f.name, args);
+            assert_eq!(got.block_trace, want.block_trace, "{} {:?}", f.name, args);
+        }
+    }
+}
+
+/// IR operator semantics must match the SMT layer bit-for-bit — the
+/// contract the symbolic executor relies on.
+#[test]
+fn ir_binops_match_smt_circuits() {
+    use sciduction_ir::BinOp;
+    let ops = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Udiv,
+        BinOp::Urem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Lshr,
+        BinOp::Ashr,
+    ];
+    let mut rng = StdRng::seed_from_u64(5);
+    for &width in &[8u32, 13, 32] {
+        for _ in 0..4 {
+            let a: u64 = rng.random();
+            let b: u64 = rng.random::<u64>() % (width as u64 * 2); // exercise shifts
+            for op in ops {
+                let ir_result = op.apply(a, b, width);
+                // Build the same computation in SMT with pinned variables.
+                let mut s = Solver::new();
+                let p = s.terms_mut();
+                let x = p.var("x", width);
+                let y = p.var("y", width);
+                let ka = p.bv(a, width);
+                let kb = p.bv(b, width);
+                let ex = p.eq(x, ka);
+                let ey = p.eq(y, kb);
+                let z = match op {
+                    BinOp::Add => p.bv_add(x, y),
+                    BinOp::Sub => p.bv_sub(x, y),
+                    BinOp::Mul => p.bv_mul(x, y),
+                    BinOp::Udiv => p.bv_udiv(x, y),
+                    BinOp::Urem => p.bv_urem(x, y),
+                    BinOp::And => p.bv_and(x, y),
+                    BinOp::Or => p.bv_or(x, y),
+                    BinOp::Xor => p.bv_xor(x, y),
+                    BinOp::Shl => p.bv_shl(x, y),
+                    BinOp::Lshr => p.bv_lshr(x, y),
+                    BinOp::Ashr => p.bv_ashr(x, y),
+                };
+                s.assert_term(ex);
+                s.assert_term(ey);
+                assert_eq!(s.check(), CheckResult::Sat);
+                let smt_result = s.model_value(z).as_bv();
+                assert_eq!(
+                    smt_result,
+                    BvValue::new(ir_result, width),
+                    "{op:?} w={width} a={a:#x} b={b}"
+                );
+            }
+        }
+    }
+}
+
+/// Every SMT-generated test case must replay down its path on BOTH
+/// executors — the property that lets GameTime trust its measurements.
+#[test]
+fn test_cases_replay_on_both_executors() {
+    let f = programs::bubble_pass();
+    let dag = Dag::from_function(&f, 3).unwrap();
+    let machine = Machine::new();
+    let mut replayed = 0;
+    for p in dag.enumerate_paths(100) {
+        let Some(tc) = check_path(&dag, &p) else { continue };
+        let interp = run(&dag.func, &tc.args, tc.memory.clone(), InterpConfig::default()).unwrap();
+        let mut st = MachineState::cold(machine.config());
+        let timed = machine
+            .run(&dag.func, &tc.args, tc.memory.clone(), &mut st)
+            .unwrap();
+        assert_eq!(interp.block_trace, timed.block_trace);
+        assert_eq!(interp.ret, timed.ret);
+        let replay = sciduction_cfg::Path::from_block_trace(&dag, &interp.block_trace);
+        assert_eq!(replay, p);
+        replayed += 1;
+    }
+    assert_eq!(replayed, 8, "bubble_pass has 8 feasible paths");
+}
+
+/// Rational linear algebra sanity across crates: basis coordinates
+/// reconstruct integer path predictions exactly (no floating-point drift).
+#[test]
+fn exact_arithmetic_end_to_end() {
+    use sciduction_cfg::{extract_basis, BasisConfig, Rat, SmtOracle};
+    let f = programs::modexp();
+    let dag = Dag::from_function(&f, 8).unwrap();
+    let basis = extract_basis(&dag, &mut SmtOracle::new(), BasisConfig::default());
+    // Integer "times": path length in edges.
+    let means: Vec<Rat> = basis
+        .paths
+        .iter()
+        .map(|bp| Rat::from(bp.path.edges.len() as u64))
+        .collect();
+    let model = sciduction_gametime::TimingModel::fit(
+        &dag,
+        &basis,
+        means,
+        vec![1; basis.paths.len()],
+    );
+    // Edge-count of ANY path must be predicted exactly (it is linear in
+    // the edge vector with unit weights, which lies in the span).
+    for p in dag.enumerate_paths(300) {
+        let predicted = model.predict(&dag, &p);
+        assert_eq!(predicted, Rat::from(p.edges.len() as u64), "exactness lost");
+    }
+}

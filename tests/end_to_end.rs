@@ -1,0 +1,180 @@
+//! End-to-end integration tests: each of the paper's three applications
+//! run through its full pipeline on its flagship workload, checking the
+//! paper-level claims (not just unit behaviour).
+
+use sciduction_gametime::{analyze, GameTimeConfig, MicroarchPlatform, Platform, TaAnswer};
+use sciduction_ir::programs;
+
+#[test]
+fn gametime_full_pipeline_on_modexp() {
+    let f = programs::modexp();
+    let mut platform = MicroarchPlatform::new(f.clone());
+    let analysis = analyze(&f, &mut platform, &GameTimeConfig::default()).unwrap();
+
+    // Paper Sec. 3.3: 256 paths, 9 basis paths.
+    assert_eq!(analysis.dag.count_paths(), 256);
+    assert_eq!(analysis.basis.rank(), 9);
+
+    // WCET test case is the all-ones exponent (paper: 255).
+    let wcet = analysis.predict_wcet().unwrap();
+    assert_eq!(wcet.test.args[1] & 0xFF, 255);
+
+    // ⟨TA⟩ with the true WCET as the bound answers YES; one less, NO.
+    let true_wcet = platform.measure(&wcet.test);
+    assert!(matches!(
+        analysis.answer_ta(&mut platform, true_wcet),
+        Some(TaAnswer::Yes { .. })
+    ));
+    assert!(matches!(
+        analysis.answer_ta(&mut platform, true_wcet - 1),
+        Some(TaAnswer::No { .. })
+    ));
+
+    // Distribution prediction: every feasible path predicted within the
+    // hypothesis' µ_max of its measurement.
+    let mu_max = 25.0;
+    for (p, predicted) in analysis.predict_distribution(300) {
+        let test = sciduction_cfg::check_path(&analysis.dag, &p).expect("feasible");
+        let measured = platform.measure(&test) as f64;
+        assert!(
+            (measured - predicted).abs() <= mu_max,
+            "path error {} exceeds µ_max",
+            (measured - predicted).abs()
+        );
+    }
+}
+
+#[test]
+fn gametime_works_on_second_workload_crc8() {
+    let f = programs::crc8();
+    let mut platform = MicroarchPlatform::new(f.clone());
+    let analysis = analyze(&f, &mut platform, &GameTimeConfig::default()).unwrap();
+    assert_eq!(analysis.dag.count_paths(), 256);
+    assert!(analysis.basis.rank() < 20);
+    let wcet = analysis.predict_wcet().unwrap();
+    // Ground truth by exhaustion: no measured path may beat the predicted
+    // worst by more than the perturbation bound.
+    let wcet_measured = platform.measure(&wcet.test) as f64;
+    for b in 0..256u64 {
+        let t = sciduction_cfg::TestCase { args: vec![b], memory: Default::default() };
+        let m = platform.measure(&t) as f64;
+        assert!(
+            m <= wcet_measured + 25.0,
+            "byte {b} measured {m} ≫ predicted worst {wcet_measured}"
+        );
+    }
+}
+
+#[test]
+fn ogis_deobfuscates_p1_and_p2() {
+    use sciduction_ogis::{
+        benchmarks, synthesize, verify_against_oracle, SynthesisConfig, SynthesisOutcome,
+        VerificationResult,
+    };
+    // Width 8 keeps the debug-profile integration run quick; the release
+    // benches exercise 16/32 bits.
+    let (lib, mut oracle) = benchmarks::p1_with_width(8);
+    let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
+    match out {
+        SynthesisOutcome::Synthesized { program, .. } => {
+            assert_eq!(
+                verify_against_oracle(&program, &mut oracle, 16, 0, 0),
+                VerificationResult::Equivalent,
+                "P1 must swap exactly"
+            );
+        }
+        other => panic!("P1 failed: {other:?}"),
+    }
+    let (lib, mut oracle) = benchmarks::p2_with_width(8);
+    let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
+    match out {
+        SynthesisOutcome::Synthesized { program, .. } => {
+            assert_eq!(
+                verify_against_oracle(&program, &mut oracle, 16, 0, 0),
+                VerificationResult::Equivalent,
+                "P2 must multiply by 45 exactly"
+            );
+        }
+        other => panic!("P2 failed: {other:?}"),
+    }
+}
+
+#[test]
+fn hybrid_synthesizes_safe_transmission_logic() {
+    use sciduction_hybrid::transmission::{guard_seeds, initial_guards, transmission};
+    use sciduction_hybrid::{
+        synthesize_switching, validate_logic, Grid, ReachConfig, SwitchSynthConfig,
+    };
+    let mds = transmission();
+    let config = SwitchSynthConfig {
+        grid: Grid::new(0.01),
+        reach: ReachConfig {
+            dt: 0.01,
+            horizon: 200.0,
+            min_dwell: 0.0,
+            equilibrium_eps: 1e-9,
+        },
+        max_rounds: 8,
+        seed_budget: 512,
+    };
+    let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &config);
+    assert!(out.converged);
+    match validate_logic(&mds, &out.logic, 20, &config.reach) {
+        sciduction::ValidityEvidence::EmpiricallyTested { violations, .. } => {
+            assert_eq!(violations, 0)
+        }
+        other => panic!("unexpected evidence: {other:?}"),
+    }
+}
+
+#[test]
+fn gametime_handles_memory_programs() {
+    // bubble_pass reads and writes memory: test cases must carry initial
+    // memories through the whole pipeline (SMT model → Memory → platform).
+    let f = programs::bubble_pass();
+    let mut platform = MicroarchPlatform::new(f.clone());
+    let config = GameTimeConfig { unroll_bound: 3, trials: 30, ..Default::default() };
+    let analysis = analyze(&f, &mut platform, &config).unwrap();
+    assert_eq!(analysis.dag.count_paths(), 8, "3 compare-swaps → 8 paths");
+    assert!(analysis.basis.rank() >= 4);
+    // The worst case of one bubble pass is the all-swaps path.
+    let wcet = analysis.predict_wcet().unwrap();
+    let measured = platform.measure(&wcet.test) as f64;
+    assert!((wcet.predicted_cycles - measured).abs() < 60.0);
+    // No other feasible path measures meaningfully above it.
+    for p in analysis.dag.enumerate_paths(20) {
+        if let Some(t) = sciduction_cfg::check_path(&analysis.dag, &p) {
+            let m = platform.measure(&t) as f64;
+            assert!(m <= measured + 60.0, "path beats predicted WCET by too much");
+        }
+    }
+}
+
+#[test]
+fn ogis_extra_benchmarks_synthesize() {
+    use sciduction_ogis::{
+        benchmarks::extra, synthesize, verify_against_oracle, SynthesisConfig,
+        SynthesisOutcome, VerificationResult,
+    };
+    let tasks: Vec<(&str, sciduction_ogis::ComponentLibrary, Box<dyn sciduction_ogis::IoOracle>)> = {
+        let (l1, o1) = extra::turn_off_rightmost_one(8);
+        let (l2, o2) = extra::isolate_rightmost_one(8);
+        vec![
+            ("turn_off_rightmost_one", l1, Box::new(o1)),
+            ("isolate_rightmost_one", l2, Box::new(o2)),
+        ]
+    };
+    for (name, lib, mut oracle) in tasks {
+        let (out, _) = synthesize(&lib, oracle.as_mut(), &SynthesisConfig::default());
+        match out {
+            SynthesisOutcome::Synthesized { program, .. } => {
+                assert_eq!(
+                    verify_against_oracle(&program, oracle.as_mut(), 16, 0, 0),
+                    VerificationResult::Equivalent,
+                    "{name}"
+                );
+            }
+            other => panic!("{name} failed: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Framework-level integration: all three applications run through the
+//! shared `sciduction::Instance` machinery (the Table-1 view), and the
+//! generic CEGIS/CEGAR loops interoperate with the application substrates.
+
+use std::rc::Rc;
+
+#[test]
+fn all_three_applications_report_through_the_framework() {
+    // GameTime (probabilistic soundness).
+    let f = sciduction_ir::programs::modexp();
+    let platform = sciduction_gametime::MicroarchPlatform::new(f.clone());
+    let (gt, _) = sciduction_gametime::run_instance(
+        &f,
+        platform,
+        sciduction_gametime::GameTimeConfig {
+            trials: 30,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // OGIS (width 8 for speed).
+    let (lib, oracle) = sciduction_ogis::benchmarks::p2_with_width(8);
+    let (og, _) =
+        sciduction_ogis::run_instance(lib, oracle, Default::default()).unwrap();
+
+    // Hybrid (transmission).
+    use sciduction_hybrid::transmission as tx;
+    let mds = Rc::new(tx::transmission());
+    let (hy, _) = sciduction_hybrid::run_instance(
+        mds.clone(),
+        tx::initial_guards(&mds),
+        tx::guard_seeds(&mds),
+        sciduction_hybrid::SwitchSynthConfig {
+            grid: sciduction_hybrid::Grid::new(0.01),
+            reach: sciduction_hybrid::ReachConfig {
+                dt: 0.01,
+                horizon: 200.0,
+                min_dwell: 0.0,
+                equilibrium_eps: 1e-9,
+            },
+            max_rounds: 8,
+            seed_budget: 512,
+        },
+    )
+    .unwrap();
+
+    // The Table-1 shape: three rows, each with its own H/I/D vocabulary.
+    let reports = [&gt.report, &og.report, &hy.report];
+    for r in &reports {
+        assert!(!r.hypothesis.is_empty());
+        assert!(!r.inductive.is_empty());
+        assert!(!r.deductive.is_empty());
+        assert!(r.deductive_queries > 0, "deductive engine must be exercised");
+    }
+    assert!(gt.report.deductive.contains("SMT"));
+    assert!(og.report.deductive.contains("SMT"));
+    assert!(hy.report.deductive.contains("simulation"));
+    // Conditional soundness: GameTime is the probabilistic one.
+    assert!(gt.soundness.probabilistic);
+    assert!(!og.soundness.probabilistic);
+    assert!(!hy.soundness.probabilistic);
+    for o in [&gt.soundness, &og.soundness, &hy.soundness] {
+        assert!(o.usable(), "all shipped hypotheses carry usable evidence");
+        assert!(format!("{o}").contains("valid(H)"));
+    }
+}
+
+/// The generic CEGIS loop over the SMT substrate: synthesize a constant
+/// `c` with `x ^ c == oracle(x)` for all x.
+#[test]
+fn generic_cegis_with_smt_verifier() {
+    use sciduction::{cegis, CegisResult, Synthesizer, Verifier};
+    use sciduction_smt::{BvValue, CheckResult, Solver};
+
+    const SECRET: u64 = 0xA5;
+
+    struct ConstSynth;
+    impl Synthesizer for ConstSynth {
+        type Candidate = u64;
+        type Example = (u64, u64);
+        fn propose(&mut self, examples: &[(u64, u64)]) -> Option<u64> {
+            // x ^ c = y ⟹ c = x ^ y; all examples must agree.
+            match examples.first() {
+                None => Some(0),
+                Some(&(x, y)) => {
+                    let c = x ^ y;
+                    examples.iter().all(|&(a, b)| a ^ c == b).then_some(c)
+                }
+            }
+        }
+    }
+
+    struct SmtVerifier;
+    impl Verifier for SmtVerifier {
+        type Candidate = u64;
+        type Example = (u64, u64);
+        fn find_counterexample(&mut self, c: &u64) -> Option<(u64, u64)> {
+            // ∃x. x ^ c != x ^ SECRET?
+            let mut s = Solver::new();
+            let p = s.terms_mut();
+            let x = p.var("x", 8);
+            let kc = p.bv(*c, 8);
+            let ks = p.bv(SECRET, 8);
+            let lhs = p.bv_xor(x, kc);
+            let rhs = p.bv_xor(x, ks);
+            let ne = p.neq(lhs, rhs);
+            s.assert_term(ne);
+            if s.check() == CheckResult::Sat {
+                let xv = s.model_value(x).as_bv().as_u64();
+                Some((xv, BvValue::new(xv ^ SECRET, 8).as_u64()))
+            } else {
+                None
+            }
+        }
+    }
+
+    match cegis(&mut ConstSynth, &mut SmtVerifier, vec![], 16) {
+        CegisResult::Synthesized { candidate, iterations, .. } => {
+            assert_eq!(candidate, SECRET);
+            assert!(iterations <= 2, "one counterexample pins the constant");
+        }
+        other => panic!("expected synthesis, got {other:?}"),
+    }
+}
+
+/// CEGAR over a transition system derived from an IR program's reachable
+/// state space: localization proves a bound without seeing the noise vars.
+#[test]
+fn cegar_on_program_derived_system() {
+    use sciduction::{cegar, CegarVerdict, TransitionSystem};
+    use std::collections::HashSet;
+
+    // State: 3-bit counter (vars 0-2) + 2 noise bits (3-4); counter
+    // saturates at 5; bad = counter == 7 (unreachable).
+    let mut transitions = Vec::new();
+    for s in 0u32..32 {
+        let c = s & 7;
+        let c2 = (c + 1).min(5);
+        for noise in 0u32..4 {
+            transitions.push((s, c2 | noise << 3));
+        }
+    }
+    let bad: HashSet<u32> = (0u32..32).filter(|s| s & 7 == 7).collect();
+    let sys = TransitionSystem {
+        num_vars: 5,
+        init: vec![0],
+        transitions,
+        bad,
+    };
+    let (verdict, stats) = cegar(&sys);
+    match verdict {
+        CegarVerdict::Safe { visible } => {
+            assert!(
+                visible.iter().all(|&v| v < 3),
+                "noise bits must stay abstracted: {visible:?}"
+            );
+        }
+        v => panic!("expected Safe, got {v:?}"),
+    }
+    assert!(stats.model_checks >= 1);
+}
