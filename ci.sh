@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, build, tests, and the cross-layer
+# artifact linter. Everything runs offline — the workspace has no
+# external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: release build"
+cargo build --release --workspace
+
+echo "==> tier-1: test suite"
+cargo test --workspace --release -q
+
+echo "==> scilint (cross-layer artifact validation)"
+cargo run --release -p sciduction-analysis --bin scilint
+
+echo "CI OK"

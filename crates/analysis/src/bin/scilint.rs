@@ -1,0 +1,270 @@
+//! `scilint` — runs the full cross-layer validation suite over the
+//! workspace's bundled benchmark instances and exits nonzero when any
+//! error-severity diagnostic is found.
+//!
+//! ```text
+//! scilint            run every pass over every bundled instance
+//! scilint --codes    print the lint-code registry and exit
+//! scilint --verbose  also print warnings and per-suite progress
+//! ```
+
+use sciduction_analysis::passes::{
+    BasisValidator, DagValidator, IrValidator, SatValidator, SwitchingLogicValidator,
+    SynthProgramValidator, TermPoolValidator,
+};
+use sciduction_analysis::{codes, Report, Severity, Validator};
+use sciduction_cfg::{extract_basis, unroll, BasisConfig, Dag, SmtOracle};
+use sciduction_hybrid::{
+    synthesize_switching, systems, Grid, HyperBox, HyperboxGuards, ReachConfig, SwitchSynthConfig,
+};
+use sciduction_ir::programs;
+use sciduction_ogis::{
+    benchmarks, synthesize, ComponentLibrary, IoOracle, SynthesisConfig, SynthesisOutcome,
+};
+use sciduction_sat::{Lit, SolveResult, Solver as SatSolver, Var};
+use sciduction_smt::Solver as SmtSolver;
+use std::process::ExitCode;
+
+/// The bundled IR workloads with their loop-unrolling bounds.
+fn workloads() -> Vec<(&'static str, sciduction_ir::Function, usize)> {
+    vec![
+        ("fig4_toy", programs::fig4_toy(), 1),
+        ("modexp", programs::modexp(), 8),
+        ("crc8", programs::crc8(), 8),
+        ("fir4", programs::fir4(), 4),
+        ("bubble_pass", programs::bubble_pass(), 3),
+    ]
+}
+
+fn lint_ir(report: &mut Report) {
+    for (_, f, bound) in workloads() {
+        IrValidator::new(&f).validate(report);
+        // The unrolled variant must additionally be loop-free; its overflow
+        // block is reachable, so the same pass applies unchanged.
+        let u = unroll(&f, bound);
+        IrValidator::new(&u.func)
+            .require_loop_free()
+            .validate(report);
+    }
+}
+
+fn lint_cfg(report: &mut Report) {
+    for (_, f, bound) in workloads() {
+        let dag = match Dag::from_function(&f, bound) {
+            Ok(d) => d,
+            Err(e) => {
+                report.error(codes::CFG001, "cfg", f.name.clone(), format!("{e:?}"));
+                continue;
+            }
+        };
+        DagValidator::new(&dag).validate(report);
+        let mut oracle = SmtOracle::new();
+        let basis = extract_basis(&dag, &mut oracle, BasisConfig::default());
+        BasisValidator::new(&dag, &basis).validate(report);
+    }
+}
+
+fn lint_smt(report: &mut Report) {
+    // Exercise the term pool with the symbolic executor: encode every
+    // enumerable path of the toy DAG plus a handful of modexp paths, check
+    // one, then re-validate the accumulated DAG of terms.
+    let mut solver = SmtSolver::new();
+    for (_, f, bound) in workloads() {
+        let dag = Dag::from_function(&f, bound).expect("bundled programs unroll");
+        for path in dag.enumerate_paths(4) {
+            let pf = sciduction_cfg::path_formula(&mut solver, &dag, &path);
+            solver.push();
+            for c in &pf.constraints {
+                solver.assert_term(*c);
+            }
+            let _ = solver.check();
+            solver.pop();
+        }
+    }
+    TermPoolValidator::new(solver.terms()).validate(report);
+}
+
+fn lint_sat(report: &mut Report) {
+    // A pigeonhole-style instance plus a satisfiable band: enough structure
+    // to exercise learning, restarts, and the certifying model check.
+    let mut solver = SatSolver::new();
+    let n = 30usize;
+    let vars: Vec<Var> = (0..n).map(|_| solver.new_var()).collect();
+    // Ring implications x_i -> x_{i+1}.
+    for i in 0..n {
+        let a = Lit::negative(vars[i]);
+        let b = Lit::positive(vars[(i + 1) % n]);
+        solver.add_clause([a, b]);
+    }
+    // A few wide clauses forcing some assignment.
+    for i in 0..n / 3 {
+        solver.add_clause([
+            Lit::positive(vars[i]),
+            Lit::positive(vars[(i + 7) % n]),
+            Lit::negative(vars[(i + 13) % n]),
+        ]);
+    }
+    match solver.solve() {
+        SolveResult::Sat => {
+            let model = solver.model();
+            SatValidator::new(&solver)
+                .with_model(&model)
+                .validate(report);
+        }
+        SolveResult::Unsat => {
+            report.error(
+                codes::SAT004,
+                "sat",
+                "instance",
+                "satisfiable instance reported UNSAT",
+            );
+        }
+    }
+}
+
+fn lint_ogis_bench(
+    name: &str,
+    lib: ComponentLibrary,
+    mut oracle: impl IoOracle,
+    report: &mut Report,
+) {
+    let (outcome, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
+    match outcome {
+        SynthesisOutcome::Synthesized {
+            program, examples, ..
+        } => {
+            SynthProgramValidator::new(&program)
+                .with_library(&lib)
+                .with_examples(&examples)
+                .validate(report);
+        }
+        other => {
+            report.error(
+                codes::OGS005,
+                "ogis",
+                name,
+                format!("benchmark failed to synthesize: {other:?}"),
+            );
+        }
+    }
+}
+
+fn lint_ogis(report: &mut Report) {
+    let (lib, oracle) = benchmarks::p1_with_width(8);
+    lint_ogis_bench("p1", lib, oracle, report);
+    let (lib, oracle) = benchmarks::p2_with_width(8);
+    lint_ogis_bench("p2", lib, oracle, report);
+}
+
+fn lint_hybrid(report: &mut Report) {
+    let mds = systems::water_tank();
+    let config = SwitchSynthConfig {
+        grid: Grid::new(0.05),
+        reach: ReachConfig {
+            dt: 0.01,
+            horizon: 100.0,
+            min_dwell: 0.0,
+            equilibrium_eps: 1e-9,
+        },
+        max_rounds: 8,
+        seed_budget: 256,
+    };
+    let out = synthesize_switching(
+        &mds,
+        systems::water_tank_initial(),
+        &[Some(vec![5.0]), Some(vec![5.0])],
+        &config,
+    );
+    if !out.converged {
+        report.error(
+            codes::HYB004,
+            "hybrid",
+            "water_tank",
+            "synthesis did not converge",
+        );
+        return;
+    }
+    let hypothesis = HyperboxGuards {
+        grid: config.grid,
+        dim: mds.dim,
+    };
+    let domain = HyperBox::new(vec![1.0], vec![10.0]); // the safe band 1 ≤ ℓ ≤ 10
+    SwitchingLogicValidator::new(&mds, &out.logic)
+        .with_hypothesis(&hypothesis)
+        .with_domain(&domain)
+        .validate(report);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--codes" | "--verbose" | "-v" | "--help" | "-h"))
+    {
+        eprintln!("scilint: unknown argument '{bad}'");
+        eprintln!("usage: scilint [--codes] [--verbose|-v] [--help|-h]");
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("scilint — cross-layer artifact validation over the bundled instances");
+        println!("usage: scilint [--codes] [--verbose|-v]");
+        println!("  --codes       print the lint-code registry and exit");
+        println!("  --verbose/-v  print every diagnostic and per-suite counts");
+        println!("exits nonzero if any error-severity diagnostic is produced");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--codes") {
+        // Write errors (e.g. a closed pipe from `scilint --codes | head`)
+        // just end the listing; they are not a lint failure.
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for (code, desc) in codes::ALL {
+            if writeln!(out, "{code}  {desc}").is_err() {
+                break;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+
+    type Suite = (&'static str, fn(&mut Report));
+    let suites: [Suite; 6] = [
+        ("ir", lint_ir),
+        ("cfg", lint_cfg),
+        ("smt", lint_smt),
+        ("sat", lint_sat),
+        ("ogis", lint_ogis),
+        ("hybrid", lint_hybrid),
+    ];
+
+    let mut report = Report::new();
+    for (name, run) in suites {
+        let before = report.diagnostics().len();
+        run(&mut report);
+        if verbose {
+            println!(
+                "suite {name:<7} {} diagnostic(s)",
+                report.diagnostics().len() - before
+            );
+        }
+    }
+
+    for d in report.diagnostics() {
+        if d.severity == Severity::Error || verbose {
+            println!("{d}");
+        }
+    }
+    let errors = report.count(Severity::Error);
+    println!(
+        "scilint: {} error(s), {} warning(s) across {} suites",
+        errors,
+        report.count(Severity::Warning),
+        suites.len()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,163 @@
+//! The stable lint-code registry.
+//!
+//! Codes are grouped by layer prefix: `IR` (typed bit-vector IR), `SMT`
+//! (hash-consed term DAG), `SAT` (clause database and models), `CFG`
+//! (unrolled DAGs and basis extraction), `HYB` (switching-logic guards),
+//! `OGS` (component-based synthesized programs). Numbers are never reused;
+//! retired codes stay reserved.
+
+/// Use of a register with no dominating definition.
+pub const IR001: &str = "IR001";
+/// Width violation: function width outside 1..=64, or an immediate operand
+/// that does not fit in the declared width.
+pub const IR002: &str = "IR002";
+/// Terminator malformation: jump/branch to a missing block, or an empty
+/// function.
+pub const IR003: &str = "IR003";
+/// Register index out of the function's declared range.
+pub const IR004: &str = "IR004";
+/// Back edge in a function required to be loop-free.
+pub const IR005: &str = "IR005";
+/// Block unreachable from the entry block.
+pub const IR006: &str = "IR006";
+
+/// Recomputed sort of a term disagrees with the pool's recorded sort.
+pub const SMT001: &str = "SMT001";
+/// Hash-consing integrity: two distinct ids with structurally equal terms.
+pub const SMT002: &str = "SMT002";
+/// Dangling term reference: a child id that is not strictly older than its
+/// parent (append-only pools force children to precede parents).
+pub const SMT003: &str = "SMT003";
+/// Extract/extend bounds malformed (hi < lo, hi ≥ width, or target width
+/// smaller than the operand's).
+pub const SMT004: &str = "SMT004";
+
+/// Clause literal over a variable outside the solver's range.
+pub const SAT001: &str = "SAT001";
+/// Tautological clause (contains both x and ¬x).
+pub const SAT002: &str = "SAT002";
+/// Duplicate literal within one clause.
+pub const SAT003: &str = "SAT003";
+/// Certifying model check failed: a clause evaluates to false under the
+/// claimed satisfying assignment.
+pub const SAT004: &str = "SAT004";
+/// Model malformed: wrong length for the variable count.
+pub const SAT005: &str = "SAT005";
+
+/// Cycle among DAG edges (the "DAG" is not acyclic).
+pub const CFG001: &str = "CFG001";
+/// Node unreachable from the source or unable to reach the sink.
+pub const CFG002: &str = "CFG002";
+/// Basis rank exceeds the ambient path-space dimension.
+pub const CFG003: &str = "CFG003";
+/// Basis path incoherent: edges do not form a source→sink walk.
+pub const CFG004: &str = "CFG004";
+/// Basis paths linearly dependent (claimed rank not achieved).
+pub const CFG005: &str = "CFG005";
+
+/// Guard count does not match the transition count.
+pub const HYB001: &str = "HYB001";
+/// Guard dimension differs from the state dimension.
+pub const HYB002: &str = "HYB002";
+/// Guard bound is NaN.
+pub const HYB003: &str = "HYB003";
+/// Empty guard on a learnable transition (the transition can never fire).
+pub const HYB004: &str = "HYB004";
+/// Guard vertex off the structure hypothesis' grid.
+pub const HYB005: &str = "HYB005";
+/// Transition endpoint references a missing mode.
+pub const HYB006: &str = "HYB006";
+/// Guard not contained in the supplied mode-invariant/domain box.
+pub const HYB007: &str = "HYB007";
+
+/// Operand references its own or a later line (synthesized program has a
+/// cycle / is not in topological order).
+pub const OGS001: &str = "OGS001";
+/// Operand or output index outside the program's value range.
+pub const OGS002: &str = "OGS002";
+/// Line operand count does not match the component's arity.
+pub const OGS003: &str = "OGS003";
+/// Output arity does not match the library's output count.
+pub const OGS004: &str = "OGS004";
+/// Certifying re-evaluation failed: the program disagrees with a recorded
+/// input/output example.
+pub const OGS005: &str = "OGS005";
+
+/// Every registered code with its one-line description, for `scilint
+/// --codes` and the docs table.
+pub const ALL: &[(&str, &str)] = &[
+    (IR001, "use of a register with no dominating definition"),
+    (
+        IR002,
+        "width violation (function width or oversized immediate)",
+    ),
+    (IR003, "terminator targets a missing block / empty function"),
+    (IR004, "register index out of declared range"),
+    (IR005, "back edge in a function required to be loop-free"),
+    (IR006, "block unreachable from entry"),
+    (SMT001, "recomputed term sort disagrees with recorded sort"),
+    (
+        SMT002,
+        "hash-consing violated: duplicate structurally-equal terms",
+    ),
+    (
+        SMT003,
+        "dangling term reference (child not older than parent)",
+    ),
+    (SMT004, "extract/extend bounds malformed"),
+    (SAT001, "clause literal variable out of solver range"),
+    (SAT002, "tautological clause"),
+    (SAT003, "duplicate literal within a clause"),
+    (
+        SAT004,
+        "model fails to satisfy a clause (certificate check)",
+    ),
+    (SAT005, "model has wrong length for variable count"),
+    (CFG001, "cycle among DAG edges"),
+    (CFG002, "DAG node off every source→sink path"),
+    (CFG003, "basis rank exceeds path-space dimension"),
+    (CFG004, "basis path edges not a source→sink walk"),
+    (CFG005, "basis paths linearly dependent"),
+    (HYB001, "guard count differs from transition count"),
+    (HYB002, "guard dimension differs from state dimension"),
+    (HYB003, "guard bound is NaN"),
+    (HYB004, "empty guard on a learnable transition"),
+    (HYB005, "guard vertex off the hypothesis grid"),
+    (HYB006, "transition endpoint references a missing mode"),
+    (HYB007, "guard escapes the mode-invariant/domain box"),
+    (
+        OGS001,
+        "synthesized-program operand references a later line",
+    ),
+    (OGS002, "synthesized-program index out of range"),
+    (OGS003, "component arity mismatch"),
+    (OGS004, "output arity mismatch"),
+    (
+        OGS005,
+        "program disagrees with a recorded example (certificate check)",
+    ),
+];
+
+/// Looks up the description of a code.
+pub fn describe(code: &str) -> Option<&'static str> {
+    ALL.iter().find(|(c, _)| *c == code).map(|(_, d)| *d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_described() {
+        let mut seen = std::collections::HashSet::new();
+        for (c, d) in ALL {
+            assert!(seen.insert(*c), "duplicate code {c}");
+            assert!(!d.is_empty());
+        }
+        assert_eq!(
+            describe("SAT004"),
+            Some("model fails to satisfy a clause (certificate check)")
+        );
+        assert_eq!(describe("ZZZ999"), None);
+    }
+}

@@ -1,0 +1,301 @@
+//! # sciduction-analysis — cross-layer static validation & certifying checks
+//!
+//! Sciduction's soundness guarantee is *conditional*: `valid(H) ⟹ sound(P)`.
+//! Every artifact an inductive engine produces — SAT models, synthesized
+//! programs, basis paths, hyperbox guards — should therefore be
+//! independently checkable by a cheap deductive pass. This crate is that
+//! pass: a diagnostics framework (stable lint codes, severities, a
+//! [`Validator`] trait and a [`run_all`] driver) plus per-layer validators
+//! over the public artifact types of the workspace:
+//!
+//! | layer  | validator                      | checks |
+//! |--------|--------------------------------|--------|
+//! | IR     | [`passes::IrValidator`]        | def-before-use, widths, terminators, reachability, loop-freeness |
+//! | SMT    | [`passes::TermPoolValidator`]  | sort re-checking, hash-consing integrity, dangling [`sciduction_smt::TermId`]s |
+//! | SAT    | [`passes::SatValidator`]       | clause-db audit, certifying model re-evaluation |
+//! | CFG    | [`passes::DagValidator`], [`passes::BasisValidator`] | acyclicity, reachability, basis rank & coherence |
+//! | Hybrid | [`passes::SwitchingLogicValidator`] | guard non-emptiness, dimensions, grid membership, domain containment |
+//! | OGIS   | [`passes::SynthProgramValidator`] | loop-freeness, arity/operand bounds, example re-evaluation |
+//!
+//! The `scilint` binary runs the full suite over the bundled benchmark
+//! instances and exits nonzero on any error-severity diagnostic.
+//!
+//! # Examples
+//!
+//! ```
+//! use sciduction_analysis::{run_all, Validator};
+//! use sciduction_analysis::passes::IrValidator;
+//! let f = sciduction_ir::programs::modexp();
+//! let report = run_all(&[&IrValidator::new(&f)]);
+//! assert!(!report.has_errors(), "{report}");
+//! ```
+
+use std::fmt;
+
+pub mod codes;
+pub mod passes;
+
+/// How bad a diagnostic is.
+///
+/// `Error` means the artifact violates an invariant the downstream engines
+/// rely on for soundness; `Warning` flags suspicious-but-legal structure
+/// (e.g. a tautological clause); `Info` is advisory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious but not soundness-relevant.
+    Warning,
+    /// Invariant violation; `scilint` exits nonzero on these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of a validation pass.
+///
+/// `code` is a stable identifier from [`codes`] (e.g. `IR001`); tests and
+/// tooling match on it rather than on the human-readable `message`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable lint code, e.g. `"SAT004"`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Name of the pass that produced this (see [`Validator::name`]).
+    pub pass: &'static str,
+    /// Where in the artifact, e.g. `modexp/block2/instr0` or `term#41`.
+    pub location: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} at {}: {}",
+            self.severity, self.code, self.pass, self.location, self.message
+        )
+    }
+}
+
+/// An ordered collection of [`Diagnostic`]s, accumulated across passes.
+#[derive(Clone, Default, Debug)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a fully-built diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Appends an error-severity diagnostic.
+    pub fn error(
+        &mut self,
+        code: &'static str,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            code,
+            severity: Severity::Error,
+            pass,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Appends a warning-severity diagnostic.
+    pub fn warning(
+        &mut self,
+        code: &'static str,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            code,
+            severity: Severity::Warning,
+            pass,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Appends an info-severity diagnostic.
+    pub fn info(
+        &mut self,
+        code: &'static str,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            code,
+            severity: Severity::Info,
+            pass,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// True when no diagnostics at all were emitted.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// True when any error-severity diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True when some diagnostic carries `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Diagnostics carrying `code`.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diags.iter().filter(move |d| d.code == code)
+    }
+
+    /// Moves all diagnostics of `other` into `self`.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diags.is_empty() {
+            return writeln!(f, "clean (no diagnostics)");
+        }
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(
+            f,
+            "{} error(s), {} warning(s), {} info",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// A validation pass over one artifact.
+///
+/// Implementors borrow the artifact(s) they check and emit findings into a
+/// [`Report`]. Passes must be *read-only* and *total*: they never mutate
+/// the artifact and never panic on malformed input — malformedness is
+/// exactly what they exist to report.
+pub trait Validator {
+    /// Stable pass name, used in [`Diagnostic::pass`] and driver output.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass, appending findings to `report`.
+    fn validate(&self, report: &mut Report);
+
+    /// Convenience: runs the pass into a fresh report.
+    fn run(&self) -> Report {
+        let mut r = Report::new();
+        self.validate(&mut r);
+        r
+    }
+}
+
+/// Runs every validator in order into a single merged [`Report`].
+///
+/// # Examples
+///
+/// ```
+/// use sciduction_analysis::{run_all, passes::IrValidator};
+/// let f = sciduction_ir::programs::fig4_toy();
+/// let g = sciduction_ir::programs::crc8();
+/// let report = run_all(&[&IrValidator::new(&f), &IrValidator::new(&g)]);
+/// assert!(!report.has_errors());
+/// ```
+pub fn run_all(validators: &[&dyn Validator]) -> Report {
+    let mut report = Report::new();
+    for v in validators {
+        v.validate(&mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(&'static str, Severity);
+
+    impl Validator for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn validate(&self, report: &mut Report) {
+            report.push(Diagnostic {
+                code: self.0,
+                severity: self.1,
+                pass: self.name(),
+                location: "here".into(),
+                message: "finding".into(),
+            });
+        }
+    }
+
+    #[test]
+    fn run_all_merges_in_order() {
+        let a = Dummy("XX001", Severity::Warning);
+        let b = Dummy("XX002", Severity::Error);
+        let r = run_all(&[&a, &b]);
+        assert_eq!(r.diagnostics().len(), 2);
+        assert_eq!(r.diagnostics()[0].code, "XX001");
+        assert!(r.has_errors());
+        assert!(r.has_code("XX002"));
+        assert!(!r.has_code("XX003"));
+        assert_eq!(r.count(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_display_summarizes() {
+        let r = Dummy("XX001", Severity::Error).run();
+        let text = format!("{r}");
+        assert!(text.contains("error[XX001]"));
+        assert!(text.contains("1 error(s)"));
+        assert!(Report::new().is_clean());
+    }
+}

@@ -1,0 +1,633 @@
+//! Corrupted-artifact tests: each validation pass is fed a deliberately
+//! broken artifact and must emit exactly the documented lint code — plus a
+//! clean negative on the corresponding well-formed artifact. Together these
+//! pin the code registry of `sciduction_analysis::codes`.
+
+use sciduction_analysis::passes::{
+    audit_clauses, audit_edge_graph, certify_model, BasisValidator, DagValidator, IrValidator,
+    SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
+};
+use sciduction_analysis::{codes, Report, Severity, Validator};
+use sciduction_cfg::{extract_basis, BasisConfig, Dag, SmtOracle};
+use sciduction_hybrid::{Grid, HyperBox, HyperboxGuards, Mds, Mode, SwitchingLogic, Transition};
+use sciduction_ir::{programs, BinOp, Block, BlockId, Function, Instr, Operand, Reg, Terminator};
+use sciduction_ogis::{ComponentLibrary, Op, SynthProgram};
+use sciduction_sat::{Lit, Var};
+use sciduction_smt::{BvValue, Sort, Term, TermId, TermPool};
+use std::rc::Rc;
+
+fn lit(i: usize, neg: bool) -> Lit {
+    if neg {
+        Lit::negative(Var::from_index(i))
+    } else {
+        Lit::positive(Var::from_index(i))
+    }
+}
+
+// -------------------------------------------------------------------------
+// IR
+// -------------------------------------------------------------------------
+
+/// A minimal single-block function `f(p0) = p0 + 1` to corrupt from.
+fn tiny_func() -> Function {
+    Function {
+        name: "tiny".into(),
+        num_params: 1,
+        num_regs: 2,
+        width: 8,
+        blocks: vec![Block {
+            instrs: vec![Instr::Bin {
+                dst: Reg::from_index(1),
+                op: BinOp::Add,
+                a: Operand::Reg(Reg::from_index(0)),
+                b: Operand::Imm(1),
+            }],
+            terminator: Terminator::Return(Operand::Reg(Reg::from_index(1))),
+        }],
+        entry: BlockId::from_index(0),
+    }
+}
+
+#[test]
+fn ir_clean_negatives() {
+    for f in [
+        tiny_func(),
+        programs::fig4_toy(),
+        programs::modexp(),
+        programs::crc8(),
+        programs::fir4(),
+        programs::bubble_pass(),
+    ] {
+        let r = IrValidator::new(&f).run();
+        assert!(!r.has_errors(), "{}: {r}", f.name);
+    }
+}
+
+#[test]
+fn ir001_use_without_definition() {
+    let mut f = tiny_func();
+    // Read r1 before it is written.
+    f.blocks[0].instrs.insert(
+        0,
+        Instr::Bin {
+            dst: Reg::from_index(1),
+            op: BinOp::Add,
+            a: Operand::Reg(Reg::from_index(1)),
+            b: Operand::Imm(1),
+        },
+    );
+    let r = IrValidator::new(&f).run();
+    assert!(r.has_code(codes::IR001), "{r}");
+}
+
+#[test]
+fn ir001_partially_defined_join() {
+    // r1 is defined on only one arm of a diamond; the join uses it.
+    let reg = Reg::from_index;
+    let f = Function {
+        name: "diamond".into(),
+        num_params: 1,
+        num_regs: 2,
+        width: 8,
+        blocks: vec![
+            Block {
+                instrs: vec![],
+                terminator: Terminator::Branch {
+                    cond: Operand::Reg(reg(0)),
+                    then_to: BlockId::from_index(1),
+                    else_to: BlockId::from_index(2),
+                },
+            },
+            Block {
+                instrs: vec![Instr::Const {
+                    dst: reg(1),
+                    value: 7,
+                }],
+                terminator: Terminator::Jump(BlockId::from_index(3)),
+            },
+            Block {
+                instrs: vec![],
+                terminator: Terminator::Jump(BlockId::from_index(3)),
+            },
+            Block {
+                instrs: vec![],
+                terminator: Terminator::Return(Operand::Reg(reg(1))),
+            },
+        ],
+        entry: BlockId::from_index(0),
+    };
+    let r = IrValidator::new(&f).run();
+    assert!(r.has_code(codes::IR001), "{r}");
+}
+
+#[test]
+fn ir002_width_violations() {
+    let mut f = tiny_func();
+    f.width = 65;
+    assert!(IrValidator::new(&f).run().has_code(codes::IR002));
+
+    let mut f = tiny_func();
+    f.blocks[0].instrs[0] = Instr::Bin {
+        dst: Reg::from_index(1),
+        op: BinOp::Add,
+        a: Operand::Reg(Reg::from_index(0)),
+        b: Operand::Imm(0x100), // does not fit in 8 bits
+    };
+    let r = IrValidator::new(&f).run();
+    assert!(r.has_code(codes::IR002), "{r}");
+    assert!(!r.has_errors(), "oversized immediate is a warning: {r}");
+}
+
+#[test]
+fn ir003_terminator_malformations() {
+    let mut f = tiny_func();
+    f.blocks[0].terminator = Terminator::Jump(BlockId::from_index(9));
+    assert!(IrValidator::new(&f).run().has_code(codes::IR003));
+
+    let mut f = tiny_func();
+    f.blocks.clear();
+    assert!(IrValidator::new(&f).run().has_code(codes::IR003));
+}
+
+#[test]
+fn ir004_register_out_of_range() {
+    let mut f = tiny_func();
+    f.blocks[0].instrs[0] = Instr::Const {
+        dst: Reg::from_index(5),
+        value: 1,
+    };
+    assert!(IrValidator::new(&f).run().has_code(codes::IR004));
+}
+
+#[test]
+fn ir005_back_edge_when_loop_free_required() {
+    let mut f = tiny_func();
+    f.blocks[0].terminator = Terminator::Branch {
+        cond: Operand::Reg(Reg::from_index(1)),
+        then_to: BlockId::from_index(0),
+        else_to: BlockId::from_index(0),
+    };
+    assert!(!IrValidator::new(&f).run().has_code(codes::IR005));
+    let r = IrValidator::new(&f).require_loop_free().run();
+    assert!(r.has_code(codes::IR005), "{r}");
+    // The loopy bundled programs also trip it once unrolling is skipped.
+    let f = programs::modexp();
+    assert!(IrValidator::new(&f)
+        .require_loop_free()
+        .run()
+        .has_code(codes::IR005));
+}
+
+#[test]
+fn ir006_unreachable_block() {
+    let mut f = tiny_func();
+    f.blocks.push(Block {
+        instrs: vec![],
+        terminator: Terminator::Return(Operand::Imm(0)),
+    });
+    let r = IrValidator::new(&f).run();
+    assert!(r.has_code(codes::IR006), "{r}");
+    assert!(!r.has_errors(), "unreachable block is a warning: {r}");
+}
+
+// -------------------------------------------------------------------------
+// SMT
+// -------------------------------------------------------------------------
+
+#[test]
+fn smt_clean_negative() {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", 8);
+    let y = pool.var("y", 8);
+    let s = pool.bv_add(x, y);
+    let k = pool.bv(3, 8);
+    let eq = pool.eq(s, k);
+    let b = pool.bool_var("b");
+    let _ = pool.and(eq, b);
+    let r = TermPoolValidator::new(&pool).run();
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn smt001_recorded_sort_disagrees() {
+    let mut pool = TermPool::new();
+    pool.raw_push(Term::BoolConst(true), Sort::BitVec(8));
+    let r = TermPoolValidator::new(&pool).run();
+    assert!(r.has_code(codes::SMT001), "{r}");
+}
+
+#[test]
+fn smt002_hash_consing_violated() {
+    let mut pool = TermPool::new();
+    pool.raw_push(Term::Var("x".into(), Sort::BitVec(8)), Sort::BitVec(8));
+    pool.raw_push(Term::Var("x".into(), Sort::BitVec(8)), Sort::BitVec(8));
+    let r = TermPoolValidator::new(&pool).run();
+    assert!(r.has_code(codes::SMT002), "{r}");
+    // The duplicate is structurally fine otherwise.
+    assert!(!r.has_code(codes::SMT001), "{r}");
+}
+
+#[test]
+fn smt003_dangling_forward_reference() {
+    let mut pool = TermPool::new();
+    // Term #0 references term #7, which does not exist.
+    pool.raw_push(Term::Not(TermId::from_raw(7)), Sort::Bool);
+    let r = TermPoolValidator::new(&pool).run();
+    assert!(r.has_code(codes::SMT003), "{r}");
+}
+
+#[test]
+fn smt004_extract_bounds_malformed() {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", 8);
+    pool.raw_push(Term::Extract(9, 2, x), Sort::BitVec(8));
+    let r = TermPoolValidator::new(&pool).run();
+    assert!(r.has_code(codes::SMT004), "{r}");
+
+    let mut pool = TermPool::new();
+    let x = pool.var("x", 8);
+    pool.raw_push(Term::ZeroExt(4, x), Sort::BitVec(4)); // narrowing "extension"
+    assert!(TermPoolValidator::new(&pool).run().has_code(codes::SMT004));
+}
+
+// -------------------------------------------------------------------------
+// SAT
+// -------------------------------------------------------------------------
+
+#[test]
+fn sat_clean_negative() {
+    let clauses = vec![
+        vec![lit(0, false), lit(1, true)],
+        vec![lit(1, false), lit(2, false)],
+    ];
+    let mut r = Report::new();
+    audit_clauses(3, &clauses, "sat", &mut r);
+    certify_model(3, &clauses, &[true, true, false], "sat", &mut r);
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn sat001_variable_out_of_range() {
+    let mut r = Report::new();
+    audit_clauses(3, &[vec![lit(0, false), lit(5, false)]], "sat", &mut r);
+    assert!(r.has_code(codes::SAT001), "{r}");
+}
+
+#[test]
+fn sat002_tautology() {
+    let mut r = Report::new();
+    audit_clauses(
+        3,
+        &[vec![lit(0, false), lit(0, true), lit(1, false)]],
+        "sat",
+        &mut r,
+    );
+    assert!(r.has_code(codes::SAT002), "{r}");
+    assert!(!r.has_errors(), "tautology is a warning: {r}");
+}
+
+#[test]
+fn sat003_duplicate_literal() {
+    let mut r = Report::new();
+    audit_clauses(
+        3,
+        &[vec![lit(0, false), lit(0, false), lit(1, false)]],
+        "sat",
+        &mut r,
+    );
+    assert!(r.has_code(codes::SAT003), "{r}");
+    assert!(
+        !r.has_code(codes::SAT002),
+        "same-polarity duplicate is not a tautology: {r}"
+    );
+}
+
+#[test]
+fn sat004_model_falsifies_clause() {
+    let clauses = vec![vec![lit(0, false), lit(1, false)]];
+    let mut r = Report::new();
+    certify_model(2, &clauses, &[false, false], "sat", &mut r);
+    assert!(r.has_code(codes::SAT004), "{r}");
+    assert_eq!(r.count(Severity::Error), 1);
+}
+
+#[test]
+fn sat005_model_wrong_length() {
+    let mut r = Report::new();
+    certify_model(3, &[vec![lit(0, false)]], &[true], "sat", &mut r);
+    assert!(r.has_code(codes::SAT005), "{r}");
+    assert!(
+        !r.has_code(codes::SAT004),
+        "clause check is skipped on malformed models: {r}"
+    );
+}
+
+// -------------------------------------------------------------------------
+// CFG
+// -------------------------------------------------------------------------
+
+#[test]
+fn cfg_clean_negative() {
+    let f = programs::fig4_toy();
+    let dag = Dag::from_function(&f, 1).unwrap();
+    let mut oracle = SmtOracle::new();
+    let basis = extract_basis(&dag, &mut oracle, BasisConfig::default());
+    let mut r = DagValidator::new(&dag).run();
+    r.merge(BasisValidator::new(&dag, &basis).run());
+    assert!(!r.has_errors(), "{r}");
+}
+
+#[test]
+fn cfg001_cycle_and_bad_endpoints() {
+    let mut r = Report::new();
+    audit_edge_graph(3, &[(0, 1), (1, 0), (1, 2)], 0, 2, "cfg", &mut r);
+    assert!(r.has_code(codes::CFG001), "{r}");
+
+    let mut r = Report::new();
+    audit_edge_graph(2, &[(0, 1), (0, 9)], 0, 1, "cfg", &mut r);
+    assert!(r.has_code(codes::CFG001), "{r}");
+}
+
+#[test]
+fn cfg002_node_off_every_path() {
+    let mut r = Report::new();
+    // Node 2 dangles off the source→sink spine.
+    audit_edge_graph(3, &[(0, 1), (0, 2)], 0, 1, "cfg", &mut r);
+    assert!(r.has_code(codes::CFG002), "{r}");
+    assert!(!r.has_errors(), "coverage gap is a warning: {r}");
+}
+
+#[test]
+fn cfg003_dimension_and_rank() {
+    let f = programs::fig4_toy();
+    let dag = Dag::from_function(&f, 1).unwrap();
+    let mut oracle = SmtOracle::new();
+    let mut basis = extract_basis(&dag, &mut oracle, BasisConfig::default());
+    basis.dim = 99;
+    let r = BasisValidator::new(&dag, &basis).run();
+    assert!(r.has_code(codes::CFG003), "{r}");
+}
+
+#[test]
+fn cfg004_incoherent_path() {
+    let f = programs::fig4_toy();
+    let dag = Dag::from_function(&f, 1).unwrap();
+    let mut oracle = SmtOracle::new();
+    let mut basis = extract_basis(&dag, &mut oracle, BasisConfig::default());
+    // Drop the final edge: the walk no longer reaches the sink.
+    let p = &mut basis.paths[0].path;
+    assert!(p.edges.len() >= 2, "fig4_toy paths have several edges");
+    p.edges.pop();
+    let r = BasisValidator::new(&dag, &basis).run();
+    assert!(r.has_code(codes::CFG004), "{r}");
+}
+
+#[test]
+fn cfg005_linearly_dependent_paths() {
+    let f = programs::fig4_toy();
+    let dag = Dag::from_function(&f, 1).unwrap();
+    let mut oracle = SmtOracle::new();
+    let mut basis = extract_basis(&dag, &mut oracle, BasisConfig::default());
+    let dup = basis.paths[0].clone();
+    basis.paths.push(dup);
+    let r = BasisValidator::new(&dag, &basis).run();
+    assert!(r.has_code(codes::CFG005), "{r}");
+}
+
+// -------------------------------------------------------------------------
+// Hybrid
+// -------------------------------------------------------------------------
+
+/// A 1-D two-mode system to validate guards against.
+fn toy_mds() -> Mds {
+    Mds {
+        dim: 1,
+        modes: vec![
+            Mode {
+                name: "up".into(),
+                dynamics: Rc::new(|_x, out| out[0] = 1.0),
+            },
+            Mode {
+                name: "down".into(),
+                dynamics: Rc::new(|_x, out| out[0] = -1.0),
+            },
+        ],
+        transitions: vec![
+            Transition {
+                name: "u2d".into(),
+                from: 0,
+                to: 1,
+                learnable: true,
+            },
+            Transition {
+                name: "d2u".into(),
+                from: 1,
+                to: 0,
+                learnable: true,
+            },
+        ],
+        safe: Rc::new(|_m, x| (0.0..=10.0).contains(&x[0])),
+    }
+}
+
+fn good_logic() -> SwitchingLogic {
+    SwitchingLogic {
+        guards: vec![
+            HyperBox::new(vec![2.0], vec![8.0]),
+            HyperBox::new(vec![1.5], vec![6.5]),
+        ],
+    }
+}
+
+#[test]
+fn hybrid_clean_negative() {
+    let mds = toy_mds();
+    let logic = good_logic();
+    let hyp = HyperboxGuards {
+        grid: Grid::new(0.5),
+        dim: 1,
+    };
+    let domain = HyperBox::new(vec![0.0], vec![10.0]);
+    let r = SwitchingLogicValidator::new(&mds, &logic)
+        .with_hypothesis(&hyp)
+        .with_domain(&domain)
+        .run();
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn hyb001_guard_count_mismatch() {
+    let mds = toy_mds();
+    let logic = SwitchingLogic {
+        guards: vec![HyperBox::new(vec![2.0], vec![8.0])],
+    };
+    let r = SwitchingLogicValidator::new(&mds, &logic).run();
+    assert!(r.has_code(codes::HYB001), "{r}");
+}
+
+#[test]
+fn hyb002_guard_dimension_mismatch() {
+    let mds = toy_mds();
+    let mut logic = good_logic();
+    logic.guards[0] = HyperBox::new(vec![2.0, 0.0], vec![8.0, 1.0]);
+    let r = SwitchingLogicValidator::new(&mds, &logic).run();
+    assert!(r.has_code(codes::HYB002), "{r}");
+}
+
+#[test]
+fn hyb003_nan_bound() {
+    let mds = toy_mds();
+    let mut logic = good_logic();
+    logic.guards[1] = HyperBox::new(vec![f64::NAN], vec![6.5]);
+    let r = SwitchingLogicValidator::new(&mds, &logic).run();
+    assert!(r.has_code(codes::HYB003), "{r}");
+}
+
+#[test]
+fn hyb004_empty_guard_on_learnable_transition() {
+    let mds = toy_mds();
+    let mut logic = good_logic();
+    logic.guards[0] = HyperBox::empty(1);
+    let r = SwitchingLogicValidator::new(&mds, &logic).run();
+    assert!(r.has_code(codes::HYB004), "{r}");
+    assert!(!r.has_errors(), "empty guard is a warning: {r}");
+}
+
+#[test]
+fn hyb005_vertex_off_grid() {
+    let mds = toy_mds();
+    let mut logic = good_logic();
+    logic.guards[0] = HyperBox::new(vec![2.03], vec![8.0]);
+    let hyp = HyperboxGuards {
+        grid: Grid::new(0.5),
+        dim: 1,
+    };
+    let r = SwitchingLogicValidator::new(&mds, &logic)
+        .with_hypothesis(&hyp)
+        .run();
+    assert!(r.has_code(codes::HYB005), "{r}");
+}
+
+#[test]
+fn hyb006_transition_to_missing_mode() {
+    let mut mds = toy_mds();
+    mds.transitions[0].to = 7;
+    let r = SwitchingLogicValidator::new(&mds, &good_logic()).run();
+    assert!(r.has_code(codes::HYB006), "{r}");
+}
+
+#[test]
+fn hyb007_guard_escapes_domain() {
+    let mds = toy_mds();
+    let mut logic = good_logic();
+    logic.guards[0] = HyperBox::new(vec![2.0], vec![15.0]); // beyond 10
+    let domain = HyperBox::new(vec![0.0], vec![10.0]);
+    let r = SwitchingLogicValidator::new(&mds, &logic)
+        .with_domain(&domain)
+        .run();
+    assert!(r.has_code(codes::HYB007), "{r}");
+}
+
+// -------------------------------------------------------------------------
+// OGIS
+// -------------------------------------------------------------------------
+
+type IoExamples = Vec<(Vec<BvValue>, Vec<BvValue>)>;
+
+/// `f(x) = !x` over 8 bits, with its one-component library and a matching
+/// example.
+fn tiny_program() -> (SynthProgram, ComponentLibrary, IoExamples) {
+    let program = SynthProgram {
+        num_inputs: 1,
+        width: 8,
+        lines: vec![(Op::Not, vec![0])],
+        outputs: vec![1],
+    };
+    let library = ComponentLibrary {
+        components: vec![Op::Not],
+        num_inputs: 1,
+        num_outputs: 1,
+        width: 8,
+    };
+    let examples = vec![(
+        vec![BvValue::new(5, 8)],
+        vec![BvValue::new(!5u64 & 0xff, 8)],
+    )];
+    (program, library, examples)
+}
+
+#[test]
+fn ogis_clean_negative() {
+    let (program, library, examples) = tiny_program();
+    let r = SynthProgramValidator::new(&program)
+        .with_library(&library)
+        .with_examples(&examples)
+        .run();
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn ogs001_operand_references_later_line() {
+    let (mut program, ..) = tiny_program();
+    program.lines[0].1 = vec![1]; // line 0 referencing its own result
+    let r = SynthProgramValidator::new(&program).run();
+    assert!(r.has_code(codes::OGS001), "{r}");
+}
+
+#[test]
+fn ogs002_index_out_of_range() {
+    let (mut program, ..) = tiny_program();
+    program.lines[0].1 = vec![9];
+    assert!(SynthProgramValidator::new(&program)
+        .run()
+        .has_code(codes::OGS002));
+
+    let (mut program, ..) = tiny_program();
+    program.outputs = vec![9];
+    assert!(SynthProgramValidator::new(&program)
+        .run()
+        .has_code(codes::OGS002));
+}
+
+#[test]
+fn ogs003_component_arity_mismatch() {
+    let (mut program, ..) = tiny_program();
+    program.lines[0].1 = vec![0, 0]; // Not is unary
+    let r = SynthProgramValidator::new(&program).run();
+    assert!(r.has_code(codes::OGS003), "{r}");
+}
+
+#[test]
+fn ogs004_output_arity_mismatch() {
+    let (mut program, library, _) = tiny_program();
+    program.outputs = vec![1, 0];
+    let r = SynthProgramValidator::new(&program)
+        .with_library(&library)
+        .run();
+    assert!(r.has_code(codes::OGS004), "{r}");
+}
+
+#[test]
+fn ogs005_example_disagrees() {
+    let (program, library, _) = tiny_program();
+    let bad = vec![(vec![BvValue::new(5, 8)], vec![BvValue::new(5, 8)])];
+    let r = SynthProgramValidator::new(&program)
+        .with_library(&library)
+        .with_examples(&bad)
+        .run();
+    assert!(r.has_code(codes::OGS005), "{r}");
+}
+
+#[test]
+fn ogs005_skipped_on_malformed_program() {
+    // A malformed program must be reported structurally without panicking
+    // inside eval: the example certificate is gated on structural health.
+    let (mut program, library, examples) = tiny_program();
+    program.lines[0].1 = vec![9];
+    let r = SynthProgramValidator::new(&program)
+        .with_library(&library)
+        .with_examples(&examples)
+        .run();
+    assert!(r.has_code(codes::OGS002), "{r}");
+    assert!(!r.has_code(codes::OGS005), "{r}");
+}

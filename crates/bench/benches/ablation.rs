@@ -7,14 +7,15 @@
 //! * hyperbox-learner binary search vs. a linear grid scan;
 //! * OGIS seeding (initial example count).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sciduction_bench::harness::{BenchmarkId, Criterion};
+use sciduction_bench::{criterion_group, criterion_main};
 use sciduction_cfg::check_path;
 use sciduction_gametime::{analyze, GameTimeConfig, MicroarchPlatform, Platform};
 use sciduction_hybrid::{learn_hyperbox, Grid, HyperBox};
 use sciduction_ir::programs;
 use sciduction_ogis::{benchmarks, synthesize, SynthesisConfig, SynthesisOutcome};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
 use sciduction_sat::{Lit, SolveResult, Solver, SolverConfig};
 use std::hint::black_box;
 
@@ -26,10 +27,10 @@ fn pigeonhole(n: usize, config: SolverConfig) -> Solver {
     for row in &p {
         s.add_clause(row.clone());
     }
-    for j in 0..n {
-        for i1 in 0..n + 1 {
-            for i2 in (i1 + 1)..n + 1 {
-                s.add_clause([!p[i1][j], !p[i2][j]]);
+    for i1 in 0..n + 1 {
+        for i2 in (i1 + 1)..n + 1 {
+            for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                s.add_clause([!a, !b]);
             }
         }
     }
@@ -41,15 +42,24 @@ fn ablate_sat_features(c: &mut Criterion) {
         ("full", SolverConfig::default()),
         (
             "no_restarts",
-            SolverConfig { restarts: false, ..SolverConfig::default() },
+            SolverConfig {
+                restarts: false,
+                ..SolverConfig::default()
+            },
         ),
         (
             "no_reduce_db",
-            SolverConfig { reduce_db: false, ..SolverConfig::default() },
+            SolverConfig {
+                reduce_db: false,
+                ..SolverConfig::default()
+            },
         ),
         (
             "no_minimize",
-            SolverConfig { minimize: false, ..SolverConfig::default() },
+            SolverConfig {
+                minimize: false,
+                ..SolverConfig::default()
+            },
         ),
     ];
     let mut g = c.benchmark_group("ablation_sat");
@@ -80,7 +90,9 @@ fn ablate_basis_vs_random(c: &mut Criterion) {
     let mut sampled = 0;
     while sampled < 40 {
         let p = &paths[rng.random_range(0..paths.len())];
-        let Some(t) = check_path(&analysis.dag, p) else { continue };
+        let Some(t) = check_path(&analysis.dag, p) else {
+            continue;
+        };
         sampled += 1;
         let measured = platform.measure(&t) as f64;
         let predicted = analysis.model.predict_f64(&analysis.dag, p);
@@ -145,7 +157,10 @@ fn ablate_ogis_seeding(c: &mut Criterion) {
             |b, &initial| {
                 b.iter(|| {
                     let (lib, mut oracle) = benchmarks::p1_with_width(8);
-                    let cfg = SynthesisConfig { initial_examples: initial, ..Default::default() };
+                    let cfg = SynthesisConfig {
+                        initial_examples: initial,
+                        ..Default::default()
+                    };
                     let (out, stats) = synthesize(&lib, &mut oracle, &cfg);
                     assert!(matches!(out, SynthesisOutcome::Synthesized { .. }));
                     black_box(stats.smt_checks)

@@ -2,7 +2,8 @@
 //! synthesis (Eq. 3), its dwell variant (Eq. 4), and the Fig. 10
 //! closed-loop simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_bench::harness::Criterion;
+use sciduction_bench::{criterion_group, criterion_main};
 use sciduction_hybrid::transmission::{guard_seeds, initial_guards, modes, transmission};
 use sciduction_hybrid::{
     simulate_hybrid_with_policy, synthesize_switching, Grid, ReachConfig, SwitchPolicy,
@@ -29,8 +30,7 @@ fn bench_eq3(c: &mut Criterion) {
     let seeds = guard_seeds(&mds);
     c.bench_function("fig10/eq3_guard_synthesis", |b| {
         b.iter(|| {
-            let out =
-                synthesize_switching(&mds, initial_guards(&mds), &seeds, &config(0.0));
+            let out = synthesize_switching(&mds, initial_guards(&mds), &seeds, &config(0.0));
             assert!(out.converged);
             black_box(out.oracle_queries)
         })
@@ -44,8 +44,7 @@ fn bench_eq4(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("eq4_dwell_guard_synthesis", |b| {
         b.iter(|| {
-            let out =
-                synthesize_switching(&mds, initial_guards(&mds), &seeds, &config(5.0));
+            let out = synthesize_switching(&mds, initial_guards(&mds), &seeds, &config(5.0));
             assert!(out.converged);
             black_box(out.oracle_queries)
         })

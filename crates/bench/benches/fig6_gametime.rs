@@ -3,7 +3,8 @@
 //! cost, against the exhaustive-measurement baseline the basis approach
 //! replaces.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_bench::harness::Criterion;
+use sciduction_bench::{criterion_group, criterion_main};
 use sciduction_cfg::{check_path, Dag};
 use sciduction_gametime::{analyze, GameTimeConfig, MicroarchPlatform, Platform};
 use sciduction_ir::programs;

@@ -2,7 +2,8 @@
 //! bench-friendly width (8 bits; the `fig8` binary reports the 16/32-bit
 //! wall-clock numbers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_bench::harness::Criterion;
+use sciduction_bench::{criterion_group, criterion_main};
 use sciduction_ogis::{benchmarks, synthesize, SynthesisConfig, SynthesisOutcome};
 use std::hint::black_box;
 

@@ -2,7 +2,8 @@
 //! SAT core, the bit-vector SMT layer, basis-path extraction, and the
 //! micro-architectural simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sciduction_bench::harness::Criterion;
+use sciduction_bench::{criterion_group, criterion_main};
 use sciduction_cfg::{extract_basis, BasisConfig, Dag, SmtOracle};
 use sciduction_ir::{programs, Memory};
 use sciduction_microarch::{Machine, MachineState};
@@ -19,10 +20,10 @@ fn pigeonhole(n: usize) -> Solver {
     for row in &p {
         s.add_clause(row.clone());
     }
-    for j in 0..n {
-        for i1 in 0..n + 1 {
-            for i2 in (i1 + 1)..n + 1 {
-                s.add_clause([!p[i1][j], !p[i2][j]]);
+    for i1 in 0..n + 1 {
+        for i2 in (i1 + 1)..n + 1 {
+            for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                s.add_clause([!a, !b]);
             }
         }
     }

@@ -5,9 +5,7 @@
 //! Run with `cargo run --release -p sciduction-bench --bin eq3_eq4`.
 
 use sciduction_bench::{print_table, write_csv};
-use sciduction_hybrid::transmission::{
-    eq3_expected, guard_seeds, initial_guards, transmission,
-};
+use sciduction_hybrid::transmission::{eq3_expected, guard_seeds, initial_guards, transmission};
 use sciduction_hybrid::{
     synthesize_switching, validate_logic, Grid, ReachConfig, SwitchSynthConfig,
 };
@@ -79,10 +77,10 @@ fn main() {
     println!("series written to {}\n", p.display());
 
     match validate_logic(&mds, &eq3.logic, 25, &config(0.0).reach) {
-        sciduction::ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
-            println!(
-                "a-posteriori validation: {violations}/{trials} sampled guard states unsafe"
-            );
+        sciduction::ValidityEvidence::EmpiricallyTested {
+            trials, violations, ..
+        } => {
+            println!("a-posteriori validation: {violations}/{trials} sampled guard states unsafe");
         }
         _ => unreachable!(),
     }
@@ -132,7 +130,10 @@ fn main() {
             paper.to_string(),
         ]);
     }
-    print_table(&["guard", "synthesized (dwell ≥ 5 s)", "paper Eq. (4)"], &rows4);
+    print_table(
+        &["guard", "synthesized (dwell ≥ 5 s)", "paper Eq. (4)"],
+        &rows4,
+    );
     let p4 = write_csv("eq4_guards", &csv4);
     println!("series written to {}", p4.display());
     println!(

@@ -71,7 +71,9 @@ fn main() {
         "eta".to_string(),
     ]];
     for s in samples.iter().step_by(10) {
-        let e = gear_of_mode(s.mode).map(|g| eta(g, s.state[1])).unwrap_or(0.0);
+        let e = gear_of_mode(s.mode)
+            .map(|g| eta(g, s.state[1]))
+            .unwrap_or(0.0);
         csv.push(vec![
             format!("{:.2}", s.time),
             mds.modes[s.mode].name.clone(),
@@ -88,7 +90,9 @@ fn main() {
     let n = samples.len();
     for i in (0..n).step_by((n / 40).max(1)) {
         let s = &samples[i];
-        let e = gear_of_mode(s.mode).map(|g| eta(g, s.state[1])).unwrap_or(0.0);
+        let e = gear_of_mode(s.mode)
+            .map(|g| eta(g, s.state[1]))
+            .unwrap_or(0.0);
         let wbar = "▒".repeat((s.state[1] / 40.0 * 30.0) as usize);
         let ebar = "█".repeat((e * 12.0) as usize);
         println!(
@@ -105,11 +109,7 @@ fn main() {
                 .unwrap_or(0.0);
             println!(
                 "  t = {:6.2}: {} → {} at ω = {:.2} (entering η = {:.3})",
-                w[1].time,
-                mds.modes[w[0].mode].name,
-                mds.modes[w[1].mode].name,
-                w[1].state[1],
-                g,
+                w[1].time, mds.modes[w[0].mode].name, mds.modes[w[1].mode].name, w[1].state[1], g,
             );
         }
     }

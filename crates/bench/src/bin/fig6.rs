@@ -44,7 +44,9 @@ fn main() {
         "measured_cycles".to_string(),
     ]];
     for p in analysis.dag.enumerate_paths(4096) {
-        let Some(test) = check_path(&analysis.dag, &p) else { continue };
+        let Some(test) = check_path(&analysis.dag, &p) else {
+            continue;
+        };
         let pred = analysis.model.predict_f64(&analysis.dag, &p);
         let meas = platform.measure(&test);
         if meas > worst_measured {
@@ -66,12 +68,7 @@ fn main() {
     let bin = 20.0;
     let hp = histogram(&predicted, bin);
     let hm = histogram(&measured, bin);
-    let max = hp
-        .iter()
-        .chain(&hm)
-        .map(|&(_, c)| c)
-        .max()
-        .unwrap_or(1);
+    let max = hp.iter().chain(&hm).map(|&(_, c)| c).max().unwrap_or(1);
     println!("\npredicted (P) vs measured (M) distribution, bin = {bin} cycles:");
     let lo = hp
         .first()

@@ -11,8 +11,8 @@
 
 use sciduction_bench::{print_table, write_csv};
 use sciduction_ogis::{
-    benchmarks, synthesize, verify_against_oracle, IoOracle, SynthesisConfig,
-    SynthesisOutcome, VerificationResult,
+    benchmarks, synthesize, verify_against_oracle, IoOracle, SynthesisConfig, SynthesisOutcome,
+    VerificationResult,
 };
 use std::time::Instant;
 
@@ -26,7 +26,11 @@ fn run_benchmark<O: IoOracle>(
     let (outcome, stats) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
     let elapsed = t0.elapsed();
     match outcome {
-        SynthesisOutcome::Synthesized { program, iterations, examples } => {
+        SynthesisOutcome::Synthesized {
+            program,
+            iterations,
+            examples,
+        } => {
             println!("== {name}: resynthesized in {elapsed:.2?} ==");
             print!("{program}");
             let verification = verify_against_oracle(&program, &mut oracle, 16, 4096, 7);

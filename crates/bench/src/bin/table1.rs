@@ -43,12 +43,9 @@ fn main() {
     {
         let (lib, oracle) = sciduction_ogis::benchmarks::p2_with_width(16);
         let t0 = Instant::now();
-        let (outcome, stats) = sciduction_ogis::run_instance(
-            lib,
-            oracle,
-            sciduction_ogis::SynthesisConfig::default(),
-        )
-        .expect("ogis succeeds");
+        let (outcome, stats) =
+            sciduction_ogis::run_instance(lib, oracle, sciduction_ogis::SynthesisConfig::default())
+                .expect("ogis succeeds");
         rows.push(vec![
             "Program synthesis (Sec. 4)".into(),
             "Loop-free programs from component library".into(),
@@ -83,8 +80,7 @@ fn main() {
         };
         let t0 = Instant::now();
         let (outcome, result) =
-            sciduction_hybrid::run_instance(mds, initial, seeds, config)
-                .expect("hybrid succeeds");
+            sciduction_hybrid::run_instance(mds, initial, seeds, config).expect("hybrid succeeds");
         rows.push(vec![
             "Switching logic synthesis (Sec. 5)".into(),
             "Guards as hyperboxes".into(),

@@ -11,8 +11,7 @@ use std::path::PathBuf;
 
 /// Directory experiment CSVs are written to.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }
@@ -94,6 +93,159 @@ pub fn bar(count: usize, max: usize, width: usize) -> String {
     "█".repeat(n)
 }
 
+/// A self-contained micro-benchmark harness exposing the slice of the
+/// Criterion API the benches use (`Criterion`, `benchmark_group`,
+/// `bench_function`, `bench_with_input`, `BenchmarkId`), so the workspace
+/// needs no registry crates to build its bench targets offline.
+///
+/// Timing model: each benchmark runs one untimed warm-up iteration, then
+/// `sample_size` timed iterations; the minimum, median, and mean wall-clock
+/// times are printed. No statistical analysis beyond that — these numbers
+/// are for relative comparisons on an idle machine, not publication.
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Identifies a benchmark within a group, as `criterion::BenchmarkId`.
+    pub struct BenchmarkId {
+        name: String,
+    }
+
+    impl BenchmarkId {
+        /// A two-part id rendered as `name/param`.
+        pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+            BenchmarkId {
+                name: format!("{name}/{param}"),
+            }
+        }
+    }
+
+    /// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+    /// workload.
+    pub struct Bencher {
+        samples: Vec<Duration>,
+        sample_size: usize,
+    }
+
+    impl Bencher {
+        /// Runs `f` once untimed, then `sample_size` timed iterations.
+        pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+            std::hint::black_box(f());
+            for _ in 0..self.sample_size {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+
+    fn run_one(prefix: &str, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{full:<50} (no samples)");
+            return;
+        }
+        s.sort_unstable();
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{full:<50} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+            s.len()
+        );
+    }
+
+    /// Top-level benchmark driver, as `criterion::Criterion`.
+    #[derive(Default)]
+    pub struct Criterion {
+        _priv: (),
+    }
+
+    const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+    impl Criterion {
+        /// Runs a single named benchmark.
+        pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+            run_one("", name, DEFAULT_SAMPLE_SIZE, &mut f);
+            self
+        }
+
+        /// Opens a named group; benchmarks in it print as `group/name`.
+        pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+            BenchmarkGroup {
+                _c: self,
+                name: name.into(),
+                sample_size: DEFAULT_SAMPLE_SIZE,
+            }
+        }
+    }
+
+    /// A group of related benchmarks sharing a name prefix and sample size.
+    pub struct BenchmarkGroup<'a> {
+        _c: &'a mut Criterion,
+        name: String,
+        sample_size: usize,
+    }
+
+    impl BenchmarkGroup<'_> {
+        /// Sets the number of timed iterations per benchmark.
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.sample_size = n;
+            self
+        }
+
+        /// Runs a named benchmark within the group.
+        pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+            run_one(&self.name, name, self.sample_size, &mut f);
+            self
+        }
+
+        /// Runs a parameterized benchmark; the closure receives `input`.
+        pub fn bench_with_input<I: ?Sized>(
+            &mut self,
+            id: BenchmarkId,
+            input: &I,
+            mut f: impl FnMut(&mut Bencher, &I),
+        ) -> &mut Self {
+            run_one(&self.name, &id.name, self.sample_size, &mut |b| f(b, input));
+            self
+        }
+
+        /// Ends the group (kept for API compatibility; a no-op).
+        pub fn finish(&mut self) {}
+    }
+}
+
+/// Declares a bench group function, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,10 +271,7 @@ mod tests {
     fn csv_roundtrip() {
         let p = write_csv(
             "unit_test_tmp",
-            &[
-                vec!["a".into(), "b".into()],
-                vec!["1".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]],
         );
         let text = std::fs::read_to_string(p).unwrap();
         assert_eq!(text, "a,b\n1,2\n");

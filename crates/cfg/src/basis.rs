@@ -79,7 +79,9 @@ pub struct BasisConfig {
 
 impl Default for BasisConfig {
     fn default() -> Self {
-        BasisConfig { enumeration_limit: 4096 }
+        BasisConfig {
+            enumeration_limit: 4096,
+        }
     }
 }
 
@@ -103,11 +105,11 @@ pub fn extract_basis<O: FeasibilityOracle>(
     let mut examined = 0usize;
 
     let consider = |path: Path,
-                        tracker: &mut RankTracker,
-                        seen: &mut HashSet<Vec<EdgeId>>,
-                        out: &mut Vec<BasisPath>,
-                        examined: &mut usize,
-                        oracle: &mut O| {
+                    tracker: &mut RankTracker,
+                    seen: &mut HashSet<Vec<EdgeId>>,
+                    out: &mut Vec<BasisPath>,
+                    examined: &mut usize,
+                    oracle: &mut O| {
         if !seen.insert(path.edges.clone()) {
             return;
         }
@@ -145,6 +147,34 @@ pub fn extract_basis<O: FeasibilityOracle>(
             consider(p, &mut tracker, &mut seen, &mut out, &mut examined, oracle);
         }
     }
+    // Certificate check: the claimed rank must never exceed the ambient
+    // dimension (cheap, always on), and in debug builds the accepted paths
+    // are re-inserted into a fresh tracker to confirm they really are
+    // linearly independent source→sink walks.
+    assert!(
+        tracker.rank() <= dim && out.len() == tracker.rank(),
+        "basis certificate violation: {} paths for rank {} (dimension {dim})",
+        out.len(),
+        tracker.rank()
+    );
+    debug_assert!(
+        {
+            let mut audit = RankTracker::new();
+            out.iter().all(|bp| {
+                let first = dag.edges()[bp.path.edges[0].index()];
+                let last = dag.edges()[bp.path.edges.last().unwrap().index()];
+                first.from == dag.source()
+                    && last.to == dag.sink()
+                    && bp
+                        .path
+                        .edges
+                        .windows(2)
+                        .all(|w| dag.edges()[w[0].index()].to == dag.edges()[w[1].index()].from)
+                    && audit.insert(&bp.path.edge_vector(dag))
+            })
+        },
+        "basis deep audit: accepted paths are not independent source→sink walks"
+    );
     Basis {
         paths: out,
         dim,
@@ -254,7 +284,13 @@ mod tests {
         let f = programs::modexp();
         let dag = Dag::from_function(&f, 8).unwrap();
         let mut oracle = SmtOracle::new();
-        let b = extract_basis(&dag, &mut oracle, BasisConfig { enumeration_limit: 0 });
+        let b = extract_basis(
+            &dag,
+            &mut oracle,
+            BasisConfig {
+                enumeration_limit: 0,
+            },
+        );
         assert!(b.rank() > 0);
     }
 }

@@ -124,7 +124,11 @@ fn back_edges(f: &Function) -> Vec<(usize, usize)> {
 fn retarget(t: &Terminator, map: impl Fn(usize, BlockId) -> BlockId) -> Terminator {
     match t {
         Terminator::Jump(b) => Terminator::Jump(map(0, *b)),
-        Terminator::Branch { cond, then_to, else_to } => Terminator::Branch {
+        Terminator::Branch {
+            cond,
+            then_to,
+            else_to,
+        } => Terminator::Branch {
             cond: *cond,
             then_to: map(0, *then_to),
             else_to: map(1, *else_to),
@@ -230,9 +234,13 @@ pub fn unroll(f: &Function, max_back_jumps: usize) -> Unrolled {
         width: f.width,
         blocks,
         entry: BlockId::from_index(0),
-        };
+    };
     debug_assert!(func.validate().is_ok());
-    Unrolled { func, overflow, origin }
+    Unrolled {
+        func,
+        overflow,
+        origin,
+    }
 }
 
 /// A control-flow DAG with a unique source and a unique (virtual) sink.
@@ -266,19 +274,34 @@ impl Dag {
         let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); nb + 1];
         let mut any_return = false;
         for (bi, blk) in f.blocks.iter().enumerate() {
-            let push = |from: usize, to: usize, kind: EdgeKind,
-                            edges: &mut Vec<Edge>, out: &mut Vec<Vec<EdgeId>>| {
+            let push = |from: usize,
+                        to: usize,
+                        kind: EdgeKind,
+                        edges: &mut Vec<Edge>,
+                        out: &mut Vec<Vec<EdgeId>>| {
                 let id = EdgeId(edges.len() as u32);
                 edges.push(Edge { from, to, kind });
                 out[from].push(id);
             };
             match &blk.terminator {
-                Terminator::Jump(t) => {
-                    push(bi, t.index(), EdgeKind::Jump, &mut edges, &mut out)
-                }
-                Terminator::Branch { then_to, else_to, .. } => {
-                    push(bi, then_to.index(), EdgeKind::BranchThen, &mut edges, &mut out);
-                    push(bi, else_to.index(), EdgeKind::BranchElse, &mut edges, &mut out);
+                Terminator::Jump(t) => push(bi, t.index(), EdgeKind::Jump, &mut edges, &mut out),
+                Terminator::Branch {
+                    then_to, else_to, ..
+                } => {
+                    push(
+                        bi,
+                        then_to.index(),
+                        EdgeKind::BranchThen,
+                        &mut edges,
+                        &mut out,
+                    );
+                    push(
+                        bi,
+                        else_to.index(),
+                        EdgeKind::BranchElse,
+                        &mut edges,
+                        &mut out,
+                    );
                 }
                 Terminator::Return(_) => {
                     any_return = true;
@@ -493,18 +516,14 @@ impl Dag {
         out
     }
 
-    fn enum_rec(
-        &self,
-        node: usize,
-        stack: &mut Vec<EdgeId>,
-        out: &mut Vec<Path>,
-        limit: usize,
-    ) {
+    fn enum_rec(&self, node: usize, stack: &mut Vec<EdgeId>, out: &mut Vec<Path>, limit: usize) {
         if out.len() >= limit {
             return;
         }
         if node == self.sink {
-            out.push(Path { edges: stack.clone() });
+            out.push(Path {
+                edges: stack.clone(),
+            });
             return;
         }
         for &eid in &self.out[node] {

@@ -41,9 +41,7 @@ mod linalg;
 mod optim;
 mod symexec;
 
-pub use basis::{
-    extract_basis, Basis, BasisConfig, BasisPath, FeasibilityOracle, SmtOracle,
-};
+pub use basis::{extract_basis, Basis, BasisConfig, BasisPath, FeasibilityOracle, SmtOracle};
 pub use dag::{unroll, Dag, DagError, Edge, EdgeId, EdgeKind, Path, Unrolled};
 pub use linalg::{Matrix, RankTracker, Rat};
 pub use optim::simplify;

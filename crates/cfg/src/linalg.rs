@@ -90,19 +90,28 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(self) -> Self {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 }
 
 impl From<i64> for Rat {
     fn from(v: i64) -> Self {
-        Rat { num: v as i128, den: 1 }
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
     }
 }
 
 impl From<u64> for Rat {
     fn from(v: u64) -> Self {
-        Rat { num: v as i128, den: 1 }
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
     }
 }
 
@@ -138,7 +147,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -59,7 +59,12 @@ fn transfer(st: &mut State, ins: &Instr, width: u32) {
                 _ => None,
             }
         }
-        Instr::Select { dst, cond, then, els } => {
+        Instr::Select {
+            dst,
+            cond,
+            then,
+            els,
+        } => {
             st[dst.index()] = match eval_operand(st, *cond, width) {
                 Some(0) => eval_operand(st, *els, width),
                 Some(_) => eval_operand(st, *then, width),
@@ -124,21 +129,23 @@ fn fold_constant_branches(f: &mut Function) -> usize {
         // Fold branch if condition is constant.
         let term = f.blocks[u].terminator.clone();
         let succs: Vec<BlockId> = match term {
-            Terminator::Branch { cond, then_to, else_to } => {
-                match eval_operand(&st, cond, f.width) {
-                    Some(0) => {
-                        f.blocks[u].terminator = Terminator::Jump(else_to);
-                        folded += 1;
-                        vec![else_to]
-                    }
-                    Some(_) => {
-                        f.blocks[u].terminator = Terminator::Jump(then_to);
-                        folded += 1;
-                        vec![then_to]
-                    }
-                    None => vec![then_to, else_to],
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => match eval_operand(&st, cond, f.width) {
+                Some(0) => {
+                    f.blocks[u].terminator = Terminator::Jump(else_to);
+                    folded += 1;
+                    vec![else_to]
                 }
-            }
+                Some(_) => {
+                    f.blocks[u].terminator = Terminator::Jump(then_to);
+                    folded += 1;
+                    vec![then_to]
+                }
+                None => vec![then_to, else_to],
+            },
             t => t.successors(),
         };
         for s in succs {
@@ -177,7 +184,11 @@ fn prune_unreachable(u: &mut Unrolled) {
     let remap = |t: &Terminator| -> Terminator {
         match t {
             Terminator::Jump(b) => Terminator::Jump(BlockId::from_index(new_index[b.index()])),
-            Terminator::Branch { cond, then_to, else_to } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => Terminator::Branch {
                 cond: *cond,
                 then_to: BlockId::from_index(new_index[then_to.index()]),
                 else_to: BlockId::from_index(new_index[else_to.index()]),
@@ -247,9 +258,14 @@ mod tests {
                 let a = run(&f, &[base, exp], Memory::new(), InterpConfig::default())
                     .unwrap()
                     .ret;
-                let b = run(&u.func, &[base, exp], Memory::new(), InterpConfig::default())
-                    .unwrap()
-                    .ret;
+                let b = run(
+                    &u.func,
+                    &[base, exp],
+                    Memory::new(),
+                    InterpConfig::default(),
+                )
+                .unwrap()
+                .ret;
                 assert_eq!(a, b, "base={base} exp={exp}");
             }
         }

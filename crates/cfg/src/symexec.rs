@@ -192,7 +192,12 @@ fn exec_instr(ins: &Instr, st: &mut SymState, solver: &mut Solver) {
             let zero = p.bv(0, st.width);
             st.regs[dst.index()] = p.ite(c, one, zero);
         }
-        Instr::Select { dst, cond, then, els } => {
+        Instr::Select {
+            dst,
+            cond,
+            then,
+            els,
+        } => {
             let tc = st.read(*cond, solver);
             let tt = st.read(*then, solver);
             let te = st.read(*els, solver);
@@ -249,8 +254,13 @@ mod tests {
     use sciduction_ir::{programs, run, InterpConfig};
 
     fn replay_path(dag: &Dag, tc: &TestCase) -> Path {
-        let out = run(&dag.func, &tc.args, tc.memory.clone(), InterpConfig::default())
-            .expect("replay terminates");
+        let out = run(
+            &dag.func,
+            &tc.args,
+            tc.memory.clone(),
+            InterpConfig::default(),
+        )
+        .expect("replay terminates");
         Path::from_block_trace(dag, &out.block_trace)
     }
 

@@ -67,7 +67,10 @@ pub struct CegarStats {
 ///
 /// Panics if `num_vars > 32`.
 pub fn cegar(system: &TransitionSystem) -> (CegarVerdict, CegarStats) {
-    assert!(system.num_vars <= 32, "explicit-state demo limited to 32 vars");
+    assert!(
+        system.num_vars <= 32,
+        "explicit-state demo limited to 32 vars"
+    );
     let mut visible: HashSet<usize> = HashSet::new();
     let mut stats = CegarStats::default();
     loop {

@@ -78,7 +78,10 @@ where
     let mut examples = initial_examples;
     for iteration in 1..=max_iterations {
         let Some(candidate) = synthesizer.propose(&examples) else {
-            return CegisResult::Unrealizable { iterations: iteration, examples };
+            return CegisResult::Unrealizable {
+                iterations: iteration,
+                examples,
+            };
         };
         match verifier.find_counterexample(&candidate) {
             None => {
@@ -91,7 +94,9 @@ where
             Some(cex) => examples.push(cex),
         }
     }
-    CegisResult::BudgetExhausted { iterations: max_iterations }
+    CegisResult::BudgetExhausted {
+        iterations: max_iterations,
+    }
 }
 
 #[cfg(test)]
@@ -132,8 +137,7 @@ mod tests {
             let (sa, sb) = self.secret;
             (0..=255u8)
                 .find(|&x| {
-                    c.0.wrapping_mul(x).wrapping_add(c.1)
-                        != sa.wrapping_mul(x).wrapping_add(sb)
+                    c.0.wrapping_mul(x).wrapping_add(c.1) != sa.wrapping_mul(x).wrapping_add(sb)
                 })
                 .map(|x| (x, sa.wrapping_mul(x).wrapping_add(sb)))
         }
@@ -144,7 +148,11 @@ mod tests {
         let mut s = AffineSynth;
         let mut v = AffineVerifier { secret: (13, 200) };
         match cegis(&mut s, &mut v, vec![], 16) {
-            CegisResult::Synthesized { candidate, iterations, examples } => {
+            CegisResult::Synthesized {
+                candidate,
+                iterations,
+                examples,
+            } => {
                 // The synthesized function must agree with the secret
                 // everywhere — that is what "verified" certified.
                 for x in 0..=255u8 {
@@ -170,10 +178,7 @@ mod tests {
         type Candidate = u8;
         type Example = u8;
         fn propose(&mut self, examples: &[u8]) -> Option<u8> {
-            self.space
-                .iter()
-                .copied()
-                .find(|c| !examples.contains(c))
+            self.space.iter().copied().find(|c| !examples.contains(c))
         }
     }
 
@@ -189,10 +194,15 @@ mod tests {
 
     #[test]
     fn cegis_reports_unrealizable() {
-        let mut s = TinySynth { space: vec![1, 2, 3] };
+        let mut s = TinySynth {
+            space: vec![1, 2, 3],
+        };
         let mut v = RejectAll;
         match cegis(&mut s, &mut v, vec![], 100) {
-            CegisResult::Unrealizable { iterations, examples } => {
+            CegisResult::Unrealizable {
+                iterations,
+                examples,
+            } => {
                 assert_eq!(iterations, 4);
                 assert_eq!(examples, vec![1, 2, 3]);
             }
@@ -202,7 +212,9 @@ mod tests {
 
     #[test]
     fn cegis_respects_budget() {
-        let mut s = TinySynth { space: (0..=255).collect() };
+        let mut s = TinySynth {
+            space: (0..=255).collect(),
+        };
         let mut v = RejectAll;
         match cegis(&mut s, &mut v, vec![], 5) {
             CegisResult::BudgetExhausted { iterations } => assert_eq!(iterations, 5),

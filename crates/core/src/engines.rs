@@ -128,7 +128,11 @@ where
             deductive: self.deductive.describe(),
             deductive_queries: self.deductive.queries_decided() - q0,
         };
-        Ok(Outcome { artifact, soundness, report })
+        Ok(Outcome {
+            artifact,
+            soundness,
+            report,
+        })
     }
 }
 
@@ -198,7 +202,10 @@ mod tests {
         let mut inst = Instance {
             hypothesis: GridThresholds,
             inductive: BinarySearch,
-            deductive: ThresholdOracle { secret: 37, queries: 0 },
+            deductive: ThresholdOracle {
+                secret: 37,
+                queries: 0,
+            },
             evidence: ValidityEvidence::Proved {
                 argument: "secret is an integer in range".into(),
             },

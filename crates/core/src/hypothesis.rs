@@ -88,7 +88,11 @@ impl fmt::Display for ValidityEvidence {
             ValidityEvidence::Assumed { justification } => {
                 write!(f, "assumed: {justification}")
             }
-            ValidityEvidence::EmpiricallyTested { description, trials, violations } => {
+            ValidityEvidence::EmpiricallyTested {
+                description,
+                trials,
+                violations,
+            } => {
                 write!(
                     f,
                     "empirically tested ({description}): {violations}/{trials} violations"
@@ -142,7 +146,11 @@ impl fmt::Display for ConditionalSoundness {
         write!(
             f,
             "valid(H) ⟹ {}sound(P), where H = {}; valid(H) is {}",
-            if self.probabilistic { "probabilistically " } else { "" },
+            if self.probabilistic {
+                "probabilistically "
+            } else {
+                ""
+            },
             self.hypothesis,
             self.evidence
         )
@@ -180,7 +188,10 @@ mod tests {
     #[test]
     fn evidence_soundness_support() {
         assert!(ValidityEvidence::Trivial.supports_soundness());
-        assert!(ValidityEvidence::Proved { argument: "x".into() }.supports_soundness());
+        assert!(ValidityEvidence::Proved {
+            argument: "x".into()
+        }
+        .supports_soundness());
         assert!(!ValidityEvidence::Unknown.supports_soundness());
         let ok = ValidityEvidence::EmpiricallyTested {
             description: "d".into(),
@@ -200,7 +211,9 @@ mod tests {
     fn certificate_rendering() {
         let c = ConditionalSoundness::new(
             "guards are hyperboxes on the grid",
-            ValidityEvidence::Proved { argument: "monotone dynamics".into() },
+            ValidityEvidence::Proved {
+                argument: "monotone dynamics".into(),
+            },
         );
         assert!(c.usable());
         assert!(!c.probabilistic);

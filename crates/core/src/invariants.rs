@@ -85,7 +85,11 @@ pub struct InvariantTemplates {
 
 impl Default for InvariantTemplates {
     fn default() -> Self {
-        InvariantTemplates { literals: true, equivalences: true, implications: true }
+        InvariantTemplates {
+            literals: true,
+            equivalences: true,
+            implications: true,
+        }
     }
 }
 
@@ -96,8 +100,14 @@ impl InvariantTemplates {
         let mut out = Vec::new();
         if self.literals {
             for v in 0..num_vars {
-                out.push(Candidate::Literal { var: v, value: false });
-                out.push(Candidate::Literal { var: v, value: true });
+                out.push(Candidate::Literal {
+                    var: v,
+                    value: false,
+                });
+                out.push(Candidate::Literal {
+                    var: v,
+                    value: true,
+                });
             }
         }
         for a in 0..num_vars {
@@ -217,9 +227,10 @@ pub fn generate_invariants(
     }
 
     // Does the inductive conjunction exclude all bad states?
-    let proves_safety = system.bad.iter().all(|&b| {
-        candidates.iter().any(|c| !c.holds(b))
-    });
+    let proves_safety = system
+        .bad
+        .iter()
+        .all(|&b| candidates.iter().any(|c| !c.holds(b)));
     InvariantReport {
         invariants: candidates,
         instantiated,
@@ -249,7 +260,9 @@ mod tests {
             num_vars: 4,
             init: vec![0b1000], // bit3 = 1, others 0
             transitions,
-            bad: (0u32..16).filter(|s| s & 0b100 != 0).collect::<HashSet<_>>(),
+            bad: (0u32..16)
+                .filter(|s| s & 0b100 != 0)
+                .collect::<HashSet<_>>(),
         }
     }
 
@@ -258,12 +271,14 @@ mod tests {
         let sys = stuck_bit_system();
         let report = generate_invariants(&sys, InvariantTemplates::default(), 16);
         // bit2 = 0 and bit3 = 1 are inductive (stuck) literals.
-        assert!(report
-            .invariants
-            .contains(&Candidate::Literal { var: 2, value: false }));
-        assert!(report
-            .invariants
-            .contains(&Candidate::Literal { var: 3, value: true }));
+        assert!(report.invariants.contains(&Candidate::Literal {
+            var: 2,
+            value: false
+        }));
+        assert!(report.invariants.contains(&Candidate::Literal {
+            var: 3,
+            value: true
+        }));
         // bit0 toggles, so no literal about it survives.
         assert!(!report
             .invariants
@@ -332,7 +347,10 @@ mod tests {
         let e = Candidate::Equivalence { a: 0, b: 2 };
         assert!(e.holds(0b101));
         assert!(!e.holds(0b100));
-        let l = Candidate::Literal { var: 1, value: true };
+        let l = Candidate::Literal {
+            var: 1,
+            value: true,
+        };
         assert!(l.holds(0b010));
         assert_eq!(format!("{l}"), "x1 = 1");
     }

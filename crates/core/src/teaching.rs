@@ -28,7 +28,10 @@ impl ConceptClass {
         for (i, c) in concepts.iter().enumerate() {
             assert_eq!(c.len(), num_examples, "concept {i} has wrong arity");
         }
-        ConceptClass { num_examples, concepts }
+        ConceptClass {
+            num_examples,
+            concepts,
+        }
     }
 
     /// Number of concepts.
@@ -103,9 +106,7 @@ mod tests {
     #[test]
     fn singletons_have_dimension_one() {
         let n = 6;
-        let concepts: Vec<Vec<bool>> = (0..n)
-            .map(|i| (0..n).map(|x| x == i).collect())
-            .collect();
+        let concepts: Vec<Vec<bool>> = (0..n).map(|i| (0..n).map(|x| x == i).collect()).collect();
         let class = ConceptClass::new(n, concepts);
         for t in 0..n {
             let seq = teaching_sequence(&class, t).unwrap();

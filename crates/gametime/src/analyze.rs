@@ -4,13 +4,13 @@
 
 use crate::model::{TimingModel, WeightPerturbationModel};
 use crate::platform::Platform;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sciduction::ValidityEvidence;
 use sciduction_cfg::{
     check_path, extract_basis, Basis, BasisConfig, Dag, Path, Rat, SmtOracle, TestCase,
 };
 use sciduction_ir::Function;
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
 use std::fmt;
 
 /// Configuration of one GameTime analysis.
@@ -194,7 +194,11 @@ impl GameTimeAnalysis {
             let pred = self.model.predict(&self.dag, &p).to_f64();
             if best.as_ref().is_none_or(|b| pred > b.predicted_cycles) {
                 if let Some(test) = check_path(&self.dag, &p) {
-                    best = Some(WcetPrediction { predicted_cycles: pred, path: p, test });
+                    best = Some(WcetPrediction {
+                        predicted_cycles: pred,
+                        path: p,
+                        test,
+                    });
                 }
             }
         }
@@ -209,9 +213,14 @@ impl GameTimeAnalysis {
         let wcet = self.predict_wcet()?;
         let measured = platform.measure(&wcet.test);
         Some(if measured <= tau {
-            TaAnswer::Yes { worst_measured: measured }
+            TaAnswer::Yes {
+                worst_measured: measured,
+            }
         } else {
-            TaAnswer::No { worst_measured: measured, test: wcet.test }
+            TaAnswer::No {
+                worst_measured: measured,
+                test: wcet.test,
+            }
         })
     }
 
@@ -249,7 +258,9 @@ impl GameTimeAnalysis {
         while trials < sample_paths as u64 && attempts < all.len() * 2 {
             attempts += 1;
             let p = &all[rng.random_range(0..all.len())];
-            let Some(test) = check_path(&self.dag, p) else { continue };
+            let Some(test) = check_path(&self.dag, p) else {
+                continue;
+            };
             let measured = platform.measure(&test) as f64;
             let predicted = self.model.predict_f64(&self.dag, p);
             trials += 1;
@@ -288,11 +299,16 @@ mod tests {
     fn exact_linear_platform_is_learned_perfectly() {
         let f = programs::crc8();
         let costs: Vec<u64> = (0..f.blocks.len() as u64).map(|i| 10 + 3 * i).collect();
-        let mut platform = LinearPlatform { function: f.clone(), block_costs: costs.clone() };
+        let mut platform = LinearPlatform {
+            function: f.clone(),
+            block_costs: costs.clone(),
+        };
         let analysis = analyze(&f, &mut platform, &config(40)).unwrap();
         // Every path's prediction must equal the true linear time.
         for p in analysis.dag.enumerate_paths(300) {
-            let Some(test) = check_path(&analysis.dag, &p) else { continue };
+            let Some(test) = check_path(&analysis.dag, &p) else {
+                continue;
+            };
             let measured = platform.measure(&test);
             let predicted = analysis.model.predict_f64(&analysis.dag, &p);
             assert!(
@@ -339,7 +355,10 @@ mod tests {
             TaAnswer::No { .. } => panic!("bound equal to WCET must be satisfied"),
         }
         match analysis.answer_ta(&mut platform, true_wcet - 1).unwrap() {
-            TaAnswer::No { worst_measured, test } => {
+            TaAnswer::No {
+                worst_measured,
+                test,
+            } => {
                 assert!(worst_measured > true_wcet - 1);
                 assert!(!test.args.is_empty());
             }
@@ -354,7 +373,9 @@ mod tests {
         let analysis = analyze(&f, &mut platform, &config(60)).unwrap();
         let h = WeightPerturbationModel::default();
         match analysis.validate_hypothesis(&mut platform, &h, 40, 3) {
-            ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+            ValidityEvidence::EmpiricallyTested {
+                trials, violations, ..
+            } => {
                 assert!(trials >= 30);
                 let rate = violations as f64 / trials as f64;
                 assert!(rate < 0.25, "violation rate {rate}");
@@ -373,7 +394,10 @@ mod tests {
     fn unroll_bound_too_small_is_reported() {
         let f = programs::modexp();
         let mut platform = MicroarchPlatform::new(f.clone());
-        let cfg = GameTimeConfig { unroll_bound: 2, ..config(10) };
+        let cfg = GameTimeConfig {
+            unroll_bound: 2,
+            ..config(10)
+        };
         assert!(matches!(
             analyze(&f, &mut platform, &cfg),
             Err(GameTimeError::NoPaths)

@@ -9,9 +9,7 @@
 use crate::analyze::{analyze, GameTimeAnalysis, GameTimeConfig, GameTimeError};
 use crate::model::TimingModel;
 use crate::platform::Platform;
-use sciduction::{
-    DeductiveEngine, InductiveEngine, Instance, Outcome, ValidityEvidence,
-};
+use sciduction::{DeductiveEngine, InductiveEngine, Instance, Outcome, ValidityEvidence};
 use sciduction_cfg::{check_path, Dag, Path, TestCase};
 use sciduction_ir::Function;
 
@@ -116,10 +114,9 @@ pub fn run_instance<P: Platform>(
         },
         deductive,
         evidence: ValidityEvidence::Assumed {
-            justification:
-                "platform timing decomposes into path-independent edge weights plus \
+            justification: "platform timing decomposes into path-independent edge weights plus \
                  bounded-mean perturbation; testable via validate_hypothesis"
-                    .into(),
+                .into(),
         },
         probabilistic: true, // Sec. 3.3: probabilistically sound and complete
     };
@@ -144,7 +141,10 @@ mod tests {
         let (outcome, analysis) = run_instance(
             &f,
             platform,
-            GameTimeConfig { trials: 30, ..GameTimeConfig::default() },
+            GameTimeConfig {
+                trials: 30,
+                ..GameTimeConfig::default()
+            },
         )
         .unwrap();
         assert!(outcome.soundness.probabilistic);

@@ -45,13 +45,12 @@ mod platform;
 mod stats;
 
 pub use analyze::{
-    analyze, trials_for_confidence, GameTimeAnalysis, GameTimeConfig, GameTimeError,
-    TaAnswer, WcetPrediction,
+    analyze, trials_for_confidence, GameTimeAnalysis, GameTimeConfig, GameTimeError, TaAnswer,
+    WcetPrediction,
 };
 pub use instance::{run_instance, GameTimeLearner, PathFeasibilityEngine};
 pub use model::{TimingModel, WeightPerturbationModel};
 pub use platform::{
-    empty_memory, measure_once, trace_of, LinearPlatform, MicroarchPlatform, Platform,
-    StartState,
+    empty_memory, measure_once, trace_of, LinearPlatform, MicroarchPlatform, Platform, StartState,
 };
 pub use stats::TimeStats;

@@ -24,7 +24,10 @@ pub struct WeightPerturbationModel {
 
 impl Default for WeightPerturbationModel {
     fn default() -> Self {
-        WeightPerturbationModel { mu_max: 25.0, rho: 2.0 }
+        WeightPerturbationModel {
+            mu_max: 25.0,
+            rho: 2.0,
+        }
     }
 }
 
@@ -89,7 +92,11 @@ impl TimingModel {
             .solve(&means)
             .expect("basis rows are linearly independent");
         let weights = b.transpose().matvec(&y);
-        TimingModel { weights, basis_means: means, samples_per_path }
+        TimingModel {
+            weights,
+            basis_means: means,
+            samples_per_path,
+        }
     }
 
     /// Predicted time of a path: the dot product `x · w`.
@@ -168,7 +175,10 @@ mod tests {
 
     #[test]
     fn hypothesis_description_mentions_parameters() {
-        let h = WeightPerturbationModel { mu_max: 7.5, rho: 1.0 };
+        let h = WeightPerturbationModel {
+            mu_max: 7.5,
+            rho: 1.0,
+        };
         let d = h.describe();
         assert!(d.contains("7.5"));
         assert!(d.contains("π"));

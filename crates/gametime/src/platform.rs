@@ -52,7 +52,12 @@ impl MicroarchPlatform {
 
     /// Full control over machine configuration and start state.
     pub fn with_machine(function: Function, machine: Machine, start: StartState) -> Self {
-        MicroarchPlatform { machine, function, start, runs: 0 }
+        MicroarchPlatform {
+            machine,
+            function,
+            start,
+            runs: 0,
+        }
     }
 
     /// The program under measurement.
@@ -169,7 +174,10 @@ mod tests {
     #[test]
     fn microarch_platform_measures_deterministically() {
         let mut p = MicroarchPlatform::new(programs::modexp());
-        let t = TestCase { args: vec![3, 77], memory: Memory::new() };
+        let t = TestCase {
+            args: vec![3, 77],
+            memory: Memory::new(),
+        };
         let a = p.measure(&t);
         let b = p.measure(&t);
         assert_eq!(a, b);
@@ -181,18 +189,16 @@ mod tests {
     fn warmed_start_differs_from_cold() {
         let f = programs::fir4();
         let machine = Machine::new();
-        let warm = MachineState::warmed(
-            machine.config(),
-            &f,
-            &[0, 1, 2, 3, 16, 17, 18, 19],
-        );
+        let warm = MachineState::warmed(machine.config(), &f, &[0, 1, 2, 3, 16, 17, 18, 19]);
         let mut mem = Memory::new();
         mem.write_slice(0, &[1, 2, 3, 4]);
         mem.write_slice(16, &[5, 6, 7, 8]);
-        let t = TestCase { args: vec![0, 16], memory: mem };
+        let t = TestCase {
+            args: vec![0, 16],
+            memory: mem,
+        };
         let mut cold = MicroarchPlatform::new(f.clone());
-        let mut warmp =
-            MicroarchPlatform::with_machine(f, machine, StartState::Warmed(warm));
+        let mut warmp = MicroarchPlatform::with_machine(f, machine, StartState::Warmed(warm));
         assert!(warmp.measure(&t) < cold.measure(&t));
     }
 
@@ -200,12 +206,21 @@ mod tests {
     fn linear_platform_is_exactly_block_additive() {
         let f = programs::fig4_toy();
         let costs = vec![10, 100, 7];
-        let mut p = LinearPlatform { function: f, block_costs: costs };
+        let mut p = LinearPlatform {
+            function: f,
+            block_costs: costs,
+        };
         // flag=1: entry(10) + after(7) = 17
-        let t1 = TestCase { args: vec![1, 40], memory: Memory::new() };
+        let t1 = TestCase {
+            args: vec![1, 40],
+            memory: Memory::new(),
+        };
         assert_eq!(p.measure(&t1), 17);
         // flag=0: entry + loop + after = 117
-        let t0 = TestCase { args: vec![0, 40], memory: Memory::new() };
+        let t0 = TestCase {
+            args: vec![0, 40],
+            memory: Memory::new(),
+        };
         assert_eq!(p.measure(&t0), 117);
     }
 }

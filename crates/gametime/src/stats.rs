@@ -96,9 +96,9 @@ mod tests {
     use super::*;
     use crate::analyze::{analyze, GameTimeConfig};
     use crate::platform::{MicroarchPlatform, Platform};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use sciduction_ir::{programs, Memory};
+    use sciduction_rng::rngs::StdRng;
+    use sciduction_rng::{Rng, SeedableRng};
 
     #[test]
     fn time_stats_basics() {
@@ -138,7 +138,10 @@ mod tests {
         let analysis = analyze(&f, &mut platform, &GameTimeConfig::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let inputs: Vec<TestCase> = (0..60)
-            .map(|_| TestCase { args: vec![rng.random_range(0..256)], memory: Memory::new() })
+            .map(|_| TestCase {
+                args: vec![rng.random_range(0..256)],
+                memory: Memory::new(),
+            })
             .collect();
         let predicted = analysis.predict_stats(inputs.iter()).expect("non-empty");
         let measured: Vec<f64> = inputs.iter().map(|t| platform.measure(t) as f64).collect();
@@ -158,7 +161,11 @@ mod tests {
     fn empty_ensemble_gives_none() {
         let f = programs::fig4_toy();
         let mut platform = MicroarchPlatform::new(f.clone());
-        let cfg = GameTimeConfig { unroll_bound: 1, trials: 10, ..Default::default() };
+        let cfg = GameTimeConfig {
+            unroll_bound: 1,
+            trials: 10,
+            ..Default::default()
+        };
         let analysis = analyze(&f, &mut platform, &cfg).unwrap();
         assert!(analysis.predict_stats(std::iter::empty()).is_none());
     }

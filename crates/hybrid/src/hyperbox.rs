@@ -343,9 +343,7 @@ mod tests {
         // Safe set: [3.29, 16.71] within bound [0, 60], grid 0.01.
         let bound = HyperBox::new(vec![0.0], vec![60.0]);
         let g = Grid::new(0.01);
-        let (r, stats) = learn_hyperbox(&bound, &[10.0], g, |x| {
-            x[0] >= 3.29 && x[0] <= 16.71
-        });
+        let (r, stats) = learn_hyperbox(&bound, &[10.0], g, |x| x[0] >= 3.29 && x[0] <= 16.71);
         let b = r.expect("seed is safe");
         assert!((b.lo[0] - 3.29).abs() < 0.011, "lo {}", b.lo[0]);
         assert!((b.hi[0] - 16.71).abs() < 0.011, "hi {}", b.hi[0]);

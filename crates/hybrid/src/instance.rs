@@ -6,7 +6,9 @@
 use crate::hyperbox::Grid;
 use crate::mds::{reach_label, Mds, ReachConfig, ReachVerdict, SwitchingLogic};
 use crate::synthesis::{synthesize_switching, SwitchSynthConfig, SwitchSynthesis};
-use sciduction::{DeductiveEngine, InductiveEngine, Instance, Outcome, StructureHypothesis, ValidityEvidence};
+use sciduction::{
+    DeductiveEngine, InductiveEngine, Instance, Outcome, StructureHypothesis, ValidityEvidence,
+};
 use std::fmt;
 use std::rc::Rc;
 
@@ -28,10 +30,8 @@ impl StructureHypothesis for HyperboxGuards {
             g.dim() == self.dim
                 && g.lo.iter().chain(&g.hi).all(|v| {
                     !v.is_finite()
-                        || ((v / self.grid.precision).round() * self.grid.precision - v)
-                            .abs()
-                            < self.grid.precision * 1e-6
-                            + 1e-9
+                        || ((v / self.grid.precision).round() * self.grid.precision - v).abs()
+                            < self.grid.precision * 1e-6 + 1e-9
                 })
         })
     }
@@ -76,7 +76,11 @@ pub struct SimulationOracle {
 impl SimulationOracle {
     /// Builds the oracle.
     pub fn new(mds: Rc<Mds>, config: ReachConfig) -> Self {
-        SimulationOracle { mds, config, queries: 0 }
+        SimulationOracle {
+            mds,
+            config,
+            queries: 0,
+        }
     }
 
     pub(crate) fn add_queries(&mut self, n: u64) {
@@ -149,7 +153,10 @@ pub fn run_instance(
     seeds: Vec<Option<Vec<f64>>>,
     config: SwitchSynthConfig,
 ) -> Result<(Outcome<SwitchingLogic>, SwitchSynthesis), HybridError> {
-    let hypothesis = HyperboxGuards { grid: config.grid, dim: mds.dim };
+    let hypothesis = HyperboxGuards {
+        grid: config.grid,
+        dim: mds.dim,
+    };
     let oracle = SimulationOracle::new(mds.clone(), config.reach);
     let mut instance = Instance {
         hypothesis,
@@ -187,12 +194,28 @@ mod tests {
         Mds {
             dim: 1,
             modes: vec![
-                Mode { name: "heat".into(), dynamics: Rc::new(|_x, out| out[0] = 2.0) },
-                Mode { name: "cool".into(), dynamics: Rc::new(|_x, out| out[0] = -1.0) },
+                Mode {
+                    name: "heat".into(),
+                    dynamics: Rc::new(|_x, out| out[0] = 2.0),
+                },
+                Mode {
+                    name: "cool".into(),
+                    dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                },
             ],
             transitions: vec![
-                Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
-                Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+                Transition {
+                    name: "h2c".into(),
+                    from: 0,
+                    to: 1,
+                    learnable: true,
+                },
+                Transition {
+                    name: "c2h".into(),
+                    from: 1,
+                    to: 0,
+                    learnable: true,
+                },
             ],
             safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
         }
@@ -229,7 +252,10 @@ mod tests {
 
     #[test]
     fn hypothesis_membership_checks_grid_alignment() {
-        let h = HyperboxGuards { grid: Grid::new(0.01), dim: 1 };
+        let h = HyperboxGuards {
+            grid: Grid::new(0.01),
+            dim: 1,
+        };
         let aligned = SwitchingLogic {
             guards: vec![HyperBox::new(vec![13.29], vec![26.70])],
         };

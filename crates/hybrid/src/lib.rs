@@ -70,14 +70,10 @@ pub mod systems;
 pub mod transmission;
 
 pub use hyperbox::{find_seed, learn_hyperbox, Grid, HyperBox, LearnStats};
-pub use instance::{
-    run_instance, HybridError, HyperboxGuards, HyperboxLearner, SimulationOracle,
-};
+pub use instance::{run_instance, HybridError, HyperboxGuards, HyperboxLearner, SimulationOracle};
 pub use mds::{
-    reach_label, simulate_hybrid, simulate_hybrid_with_policy, HybridSample, Mds, Mode,
-    ReachConfig, ReachVerdict, SwitchPolicy, SwitchingLogic, Transition,
+    reach_label, simulate_hybrid, simulate_hybrid_with_policy, Dynamics, HybridSample, Mds, Mode,
+    ReachConfig, ReachVerdict, SafetyPredicate, SwitchPolicy, SwitchingLogic, Transition,
 };
 pub use ode::{integrate, integrate_adaptive, rk4_step, rkf45_step, Trajectory, VectorField};
-pub use synthesis::{
-    synthesize_switching, validate_logic, SwitchSynthConfig, SwitchSynthesis,
-};
+pub use synthesis::{synthesize_switching, validate_logic, SwitchSynthConfig, SwitchSynthesis};

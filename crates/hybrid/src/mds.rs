@@ -13,13 +13,19 @@ use crate::ode::{rk4_step, VectorField};
 use std::fmt;
 use std::rc::Rc;
 
+/// A mode's vector field: `f(x, out)` writes `dx/dt` into `out`.
+pub type Dynamics = Rc<dyn Fn(&[f64], &mut [f64])>;
+
+/// A mode-dependent safety predicate `safe(mode, x)`.
+pub type SafetyPredicate = Rc<dyn Fn(usize, &[f64]) -> bool>;
+
 /// One operating mode: a name plus its continuous dynamics.
 #[derive(Clone)]
 pub struct Mode {
     /// Human-readable name (e.g. `G2U`).
     pub name: String,
     /// The vector field `dx/dt = f(x)` in this mode.
-    pub dynamics: Rc<dyn Fn(&[f64], &mut [f64])>,
+    pub dynamics: Dynamics,
 }
 
 impl fmt::Debug for Mode {
@@ -54,7 +60,7 @@ pub struct Mds {
     /// The safety property: `safe(mode, x)` — mode-dependent because
     /// quantities like the transmission efficiency η are functions of the
     /// active gear.
-    pub safe: Rc<dyn Fn(usize, &[f64]) -> bool>,
+    pub safe: SafetyPredicate,
 }
 
 impl Mds {
@@ -161,13 +167,8 @@ pub fn reach_label(
         if !(mds.safe)(mode, &x) {
             return ReachVerdict::Unsafe;
         }
-        if t >= config.min_dwell {
-            if exits
-                .iter()
-                .any(|&e| logic.guards[e].contains(&x))
-            {
-                return ReachVerdict::Safe;
-            }
+        if t >= config.min_dwell && exits.iter().any(|&e| logic.guards[e].contains(&x)) {
+            return ReachVerdict::Safe;
         }
         field.eval(&x, &mut deriv);
         let norm: f64 = deriv.iter().map(|d| d * d).sum::<f64>().sqrt();
@@ -264,7 +265,11 @@ pub fn simulate_hybrid_with_policy(
         let field = (mds.dim, move |s: &[f64], out: &mut [f64]| dyn_f(s, out));
         let t_enter = t;
         loop {
-            samples.push(HybridSample { time: t, mode, state: x.clone() });
+            samples.push(HybridSample {
+                time: t,
+                mode,
+                state: x.clone(),
+            });
             if !(mds.safe)(mode, &x) {
                 all_safe = false;
             }
@@ -272,15 +277,13 @@ pub fn simulate_hybrid_with_policy(
                 None => {
                     // Final leg: run until equilibrium or horizon.
                     field.eval(&x, &mut deriv);
-                    let norm: f64 =
-                        deriv.iter().map(|d| d * d).sum::<f64>().sqrt();
+                    let norm: f64 = deriv.iter().map(|d| d * d).sum::<f64>().sqrt();
                     if norm < config.equilibrium_eps || t - t_enter >= config.horizon {
                         return (samples, all_safe);
                     }
                 }
                 Some(tr) => {
-                    let enabled = t - t_enter >= config.min_dwell
-                        && logic.guards[tr].contains(&x);
+                    let enabled = t - t_enter >= config.min_dwell && logic.guards[tr].contains(&x);
                     if enabled {
                         match policy {
                             SwitchPolicy::Eager => break,
@@ -337,8 +340,18 @@ mod tests {
                 },
             ],
             transitions: vec![
-                Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
-                Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+                Transition {
+                    name: "h2c".into(),
+                    from: 0,
+                    to: 1,
+                    learnable: true,
+                },
+                Transition {
+                    name: "c2h".into(),
+                    from: 1,
+                    to: 0,
+                    learnable: true,
+                },
             ],
             safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
         }
@@ -353,13 +366,25 @@ mod tests {
         logic.guards[1] = HyperBox::new(vec![f64::NEG_INFINITY], vec![20.0]);
         let cfg = ReachConfig::default();
         // Entering heat at 20: heats to 25, exit enabled before 30 → safe.
-        assert_eq!(reach_label(&mds, &logic, 0, &[20.0], &cfg), ReachVerdict::Safe);
+        assert_eq!(
+            reach_label(&mds, &logic, 0, &[20.0], &cfg),
+            ReachVerdict::Safe
+        );
         // Entering heat at 14.5: already outside the safe band.
-        assert_eq!(reach_label(&mds, &logic, 0, &[14.0], &cfg), ReachVerdict::Unsafe);
+        assert_eq!(
+            reach_label(&mds, &logic, 0, &[14.0], &cfg),
+            ReachVerdict::Unsafe
+        );
         // Entering cool at 29: cools to 20, exit enabled before 15 → safe.
-        assert_eq!(reach_label(&mds, &logic, 1, &[29.0], &cfg), ReachVerdict::Safe);
+        assert_eq!(
+            reach_label(&mds, &logic, 1, &[29.0], &cfg),
+            ReachVerdict::Safe
+        );
         // Entering cool at 31: unsafe immediately.
-        assert_eq!(reach_label(&mds, &logic, 1, &[31.0], &cfg), ReachVerdict::Unsafe);
+        assert_eq!(
+            reach_label(&mds, &logic, 1, &[31.0], &cfg),
+            ReachVerdict::Unsafe
+        );
     }
 
     #[test]
@@ -370,7 +395,10 @@ mod tests {
         logic.guards[1] = HyperBox::empty(1);
         let cfg = ReachConfig::default();
         // Heating forever exits the band at 30 → unsafe.
-        assert_eq!(reach_label(&mds, &logic, 0, &[20.0], &cfg), ReachVerdict::Unsafe);
+        assert_eq!(
+            reach_label(&mds, &logic, 0, &[20.0], &cfg),
+            ReachVerdict::Unsafe
+        );
     }
 
     #[test]
@@ -382,10 +410,19 @@ mod tests {
         // Dwell 4 s in heat from 28: reaches 30 (unsafe edge) after 1 s of
         // waiting... heating 2°/s from 28 crosses 30 at t=1 < dwell → the
         // trajectory leaves the band before it may exit → unsafe.
-        let cfg = ReachConfig { min_dwell: 4.0, ..ReachConfig::default() };
-        assert_eq!(reach_label(&mds, &logic, 0, &[28.0], &cfg), ReachVerdict::Unsafe);
+        let cfg = ReachConfig {
+            min_dwell: 4.0,
+            ..ReachConfig::default()
+        };
+        assert_eq!(
+            reach_label(&mds, &logic, 0, &[28.0], &cfg),
+            ReachVerdict::Unsafe
+        );
         // From 18: reaches 26 at dwell end — exit enabled there → safe.
-        assert_eq!(reach_label(&mds, &logic, 0, &[18.0], &cfg), ReachVerdict::Safe);
+        assert_eq!(
+            reach_label(&mds, &logic, 0, &[18.0], &cfg),
+            ReachVerdict::Safe
+        );
     }
 
     #[test]
@@ -396,12 +433,14 @@ mod tests {
         logic.guards[1] = HyperBox::new(vec![f64::NEG_INFINITY], vec![20.0]);
         // Final leg truncates at the horizon (cooling never equilibrates),
         // so pick a horizon that keeps the last leg inside the band.
-        let cfg = ReachConfig { horizon: 5.0, ..ReachConfig::default() };
+        let cfg = ReachConfig {
+            horizon: 5.0,
+            ..ReachConfig::default()
+        };
         let (samples, safe) = simulate_hybrid(&mds, &logic, &[0, 1], &[20.0], &cfg);
         assert!(safe, "thermostat trajectory must stay in the band");
         // Temperature must stay within [15, 30] and visit all legs.
-        let modes_seen: std::collections::HashSet<usize> =
-            samples.iter().map(|s| s.mode).collect();
+        let modes_seen: std::collections::HashSet<usize> = samples.iter().map(|s| s.mode).collect();
         assert_eq!(modes_seen.len(), 2);
         for s in &samples {
             assert!((14.9..=30.1).contains(&s.state[0]));

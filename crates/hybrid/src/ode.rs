@@ -61,7 +61,13 @@ pub fn rkf45_step<F: VectorField + ?Sized>(f: &F, x: &[f64], dt: f64) -> (Vec<f6
         [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
         [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
         [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
     ];
     const B5: [f64; 6] = [
         16.0 / 135.0,
@@ -85,11 +91,11 @@ pub fn rkf45_step<F: VectorField + ?Sized>(f: &F, x: &[f64], dt: f64) -> (Vec<f6
     f.eval(x, &mut k0);
     k.push(k0);
     let mut tmp = vec![0.0; n];
-    for s in 0..5 {
+    for a_row in &A {
         for i in 0..n {
             let mut acc = x[i];
             for (j, kj) in k.iter().enumerate() {
-                acc += dt * A[s][j] * kj[i];
+                acc += dt * a_row[j] * kj[i];
             }
             tmp[i] = acc;
         }
@@ -140,12 +146,7 @@ impl Trajectory {
 
 /// Integrates `f` from `x0` over `[0, t_end]` with fixed RK4 steps,
 /// recording every step.
-pub fn integrate<F: VectorField + ?Sized>(
-    f: &F,
-    x0: &[f64],
-    t_end: f64,
-    dt: f64,
-) -> Trajectory {
+pub fn integrate<F: VectorField + ?Sized>(f: &F, x0: &[f64], t_end: f64, dt: f64) -> Trajectory {
     let mut tr = Trajectory {
         times: vec![0.0],
         states: vec![x0.to_vec()],

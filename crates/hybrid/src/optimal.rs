@@ -14,8 +14,7 @@
 
 use crate::hyperbox::HyperBox;
 use crate::mds::{
-    simulate_hybrid_with_policy, HybridSample, Mds, ReachConfig, SwitchPolicy,
-    SwitchingLogic,
+    simulate_hybrid_with_policy, HybridSample, Mds, ReachConfig, SwitchPolicy, SwitchingLogic,
 };
 
 /// A trajectory cost functional; smaller is better.
@@ -155,6 +154,7 @@ const GOLDEN: f64 = 0.618_033_988_749_894_8;
 /// truncate the cost). Trajectories that violate safety before `end` or
 /// never reach it receive infinite cost, so the optimum is always a safe,
 /// complete run.
+#[allow(clippy::too_many_arguments)]
 pub fn optimize_thresholds<C: CostFunctional>(
     mds: &Mds,
     safe: &SwitchingLogic,
@@ -198,11 +198,14 @@ pub fn optimize_thresholds<C: CostFunctional>(
             let (mut a, mut b) = (g.lo[th.dim], g.hi[th.dim]);
             let mut x1 = b - GOLDEN * (b - a);
             let mut x2 = a + GOLDEN * (b - a);
-            let probe = |v: f64, ths: &mut Vec<Threshold>, evals: &mut u64,
-                         evaluate: &mut dyn FnMut(&[Threshold], &mut u64) -> f64| {
-                ths[k].value = v;
-                evaluate(ths, evals)
-            };
+            let probe =
+                |v: f64,
+                 ths: &mut Vec<Threshold>,
+                 evals: &mut u64,
+                 evaluate: &mut dyn FnMut(&[Threshold], &mut u64) -> f64| {
+                    ths[k].value = v;
+                    evaluate(ths, evals)
+                };
             let mut f1 = probe(x1, &mut thresholds, &mut evaluations, &mut evaluate);
             let mut f2 = probe(x2, &mut thresholds, &mut evaluations, &mut evaluate);
             for _ in 0..config.iterations {
@@ -262,7 +265,12 @@ mod tests {
     fn apply_thresholds_shrinks_within_safe_guards() {
         let (_mds, safe) = safe_logic();
         use crate::transmission::guards;
-        let ths = vec![Threshold { transition: guards::G12U, dim: 1, value: 20.0, rising: true }];
+        let ths = vec![Threshold {
+            transition: guards::G12U,
+            dim: 1,
+            value: 20.0,
+            rising: true,
+        }];
         let tightened = apply_thresholds(&safe, &ths);
         let g = &tightened.guards[guards::G12U];
         assert!((g.lo[1] - 20.0).abs() < 1e-9);
@@ -280,8 +288,18 @@ mod tests {
         use crate::transmission::guards;
         let seq = [modes::N, modes::G1U, modes::G2U, modes::G3U];
         let thresholds = vec![
-            Threshold { transition: guards::G12U, dim: 1, value: 13.30, rising: true },
-            Threshold { transition: guards::G23U, dim: 1, value: 23.31, rising: true },
+            Threshold {
+                transition: guards::G12U,
+                dim: 1,
+                value: 13.30,
+                rising: true,
+            },
+            Threshold {
+                transition: guards::G23U,
+                dim: 1,
+                value: 23.31,
+                rising: true,
+            },
         ];
         let cost = InefficiencyCost {
             efficiency: |mode: usize, x: &[f64]| {
@@ -301,7 +319,14 @@ mod tests {
         // independent of where the switches happen).
         let end = |s: &crate::HybridSample| s.mode == modes::G3U && s.state[1] >= 30.0;
         let out = optimize_thresholds(
-            &mds, &safe, thresholds, &seq, &[0.0, 0.0], &end, &cost, &cfg,
+            &mds,
+            &safe,
+            thresholds,
+            &seq,
+            &[0.0, 0.0],
+            &end,
+            &cost,
+            &cfg,
         );
         assert!(out.cost.is_finite(), "optimum must be a safe, complete run");
         let t12 = out.thresholds[0].value;
@@ -323,8 +348,12 @@ mod tests {
         // (ride whichever gear accelerates faster): the search must find
         // ≈ 15 even when initialized at the top of the guard.
         let seq = [modes::N, modes::G1U, modes::G2U];
-        let thresholds =
-            vec![Threshold { transition: guards::G12U, dim: 1, value: 26.0, rising: true }];
+        let thresholds = vec![Threshold {
+            transition: guards::G12U,
+            dim: 1,
+            value: 26.0,
+            rising: true,
+        }];
         let cfg = OptimizeConfig {
             iterations: 20,
             sweeps: 1,
@@ -339,7 +368,14 @@ mod tests {
         let cost = DurationCost;
         let end = |s: &crate::HybridSample| s.mode == modes::G2U && s.state[1] >= 25.0;
         let out = optimize_thresholds(
-            &mds, &safe, thresholds, &seq, &[0.0, 0.0], &end, &cost, &cfg,
+            &mds,
+            &safe,
+            thresholds,
+            &seq,
+            &[0.0, 0.0],
+            &end,
+            &cost,
+            &cfg,
         );
         assert!(out.cost.is_finite());
         assert!(

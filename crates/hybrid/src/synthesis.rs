@@ -73,22 +73,27 @@ pub fn synthesize_switching(
     while rounds < config.max_rounds {
         rounds += 1;
         let mut changed = false;
-        for t in 0..mds.transitions.len() {
-            if !mds.transitions[t].learnable {
+        for (t, transition) in mds.transitions.iter().enumerate() {
+            if !transition.learnable {
                 continue;
             }
-            let target_mode = mds.transitions[t].to;
+            let target_mode = transition.to;
             let bound = logic.guards[t].clone();
             if bound.is_empty() {
                 continue;
             }
             let label = |x: &[f64]| {
-                reach_label(mds, &logic, target_mode, x, &config.reach)
-                    == ReachVerdict::Safe
+                reach_label(mds, &logic, target_mode, x, &config.reach) == ReachVerdict::Safe
             };
             // Seed: hint if provided, else grid scan.
             let (seed, s1) = match &seeds[t] {
-                Some(hint) => find_seed(&bound, &[hint.clone()], config.grid, config.seed_budget, label),
+                Some(hint) => find_seed(
+                    &bound,
+                    std::slice::from_ref(hint),
+                    config.grid,
+                    config.seed_budget,
+                    label,
+                ),
                 None => find_seed(&bound, &[], config.grid, config.seed_budget, label),
             };
             queries += s1.queries;
@@ -112,7 +117,35 @@ pub fn synthesize_switching(
             break;
         }
     }
-    SwitchSynthesis { logic, rounds, converged, oracle_queries: queries }
+    // Certificate check: every synthesized guard must have the state
+    // dimension, carry no NaN bound, and — since learning only ever
+    // shrinks — stay inside its initial overapproximation. In debug builds
+    // the guards are additionally audited against the recording grid.
+    for (t, g) in logic.guards.iter().enumerate() {
+        assert!(
+            g.dim() == mds.dim && g.lo.iter().chain(&g.hi).all(|v| !v.is_nan()),
+            "switching-logic certificate violation: malformed guard for \
+             transition '{}'",
+            mds.transitions[t].name
+        );
+        debug_assert!(
+            g.is_empty()
+                || g.lo.iter().chain(&g.hi).all(|&v| {
+                    !v.is_finite()
+                        || ((v / config.grid.precision).round() * config.grid.precision - v).abs()
+                            < config.grid.precision * 1e-6 + 1e-9
+                }),
+            "switching-logic deep audit: guard vertex for transition '{}' \
+             is off the recording grid",
+            mds.transitions[t].name
+        );
+    }
+    SwitchSynthesis {
+        logic,
+        rounds,
+        converged,
+        oracle_queries: queries,
+    }
 }
 
 /// A-posteriori validation of synthesized logic (paper Sec. 5.3: when the
@@ -136,18 +169,17 @@ pub fn validate_logic(
         for k in 0..samples_per_guard {
             // Deterministic stratified samples along each finite dim.
             let frac = (k as f64 + 0.5) / samples_per_guard as f64;
-            let x: Vec<f64> = g
-                .lo
-                .iter()
-                .zip(&g.hi)
-                .map(|(l, h)| {
-                    if l.is_finite() && h.is_finite() {
-                        l + frac * (h - l)
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
+            let x: Vec<f64> =
+                g.lo.iter()
+                    .zip(&g.hi)
+                    .map(|(l, h)| {
+                        if l.is_finite() && h.is_finite() {
+                            l + frac * (h - l)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
             trials += 1;
             if reach_label(mds, logic, tr.to, &x, config) != ReachVerdict::Safe {
                 violations += 1;
@@ -174,12 +206,28 @@ mod tests {
         Mds {
             dim: 1,
             modes: vec![
-                Mode { name: "heat".into(), dynamics: Rc::new(|_x, out| out[0] = 2.0) },
-                Mode { name: "cool".into(), dynamics: Rc::new(|_x, out| out[0] = -1.0) },
+                Mode {
+                    name: "heat".into(),
+                    dynamics: Rc::new(|_x, out| out[0] = 2.0),
+                },
+                Mode {
+                    name: "cool".into(),
+                    dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                },
             ],
             transitions: vec![
-                Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
-                Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+                Transition {
+                    name: "h2c".into(),
+                    from: 0,
+                    to: 1,
+                    learnable: true,
+                },
+                Transition {
+                    name: "c2h".into(),
+                    from: 1,
+                    to: 0,
+                    learnable: true,
+                },
             ],
             safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
         }
@@ -211,7 +259,9 @@ mod tests {
         assert!(out.oracle_queries > 0);
         // Validation: all sampled guard states safe.
         match validate_logic(&mds, &out.logic, 25, &cfg.reach) {
-            ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+            ValidityEvidence::EmpiricallyTested {
+                trials, violations, ..
+            } => {
                 assert_eq!(violations, 0, "unsafe switching state survived");
                 assert_eq!(trials, 50);
             }

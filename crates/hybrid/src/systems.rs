@@ -30,8 +30,18 @@ pub fn water_tank() -> Mds {
             },
         ],
         transitions: vec![
-            Transition { name: "on2off".into(), from: 0, to: 1, learnable: true },
-            Transition { name: "off2on".into(), from: 1, to: 0, learnable: true },
+            Transition {
+                name: "on2off".into(),
+                from: 0,
+                to: 1,
+                learnable: true,
+            },
+            Transition {
+                name: "off2on".into(),
+                from: 1,
+                to: 0,
+                learnable: true,
+            },
         ],
         safe: Rc::new(|_m, x| (1.0..=10.0).contains(&x[0])),
     }
@@ -76,8 +86,18 @@ pub fn budgeted_heater() -> Mds {
             },
         ],
         transitions: vec![
-            Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
-            Transition { name: "c2h".into(), from: 1, to: 0, learnable: false },
+            Transition {
+                name: "h2c".into(),
+                from: 0,
+                to: 1,
+                learnable: true,
+            },
+            Transition {
+                name: "c2h".into(),
+                from: 1,
+                to: 0,
+                learnable: false,
+            },
         ],
         safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0]) && x[1] >= 0.0),
     }
@@ -139,13 +159,25 @@ mod tests {
         let rc = cfg(0.05).reach;
         // Entering pump_on at level 2: fills toward equilibrium 20,
         // passes 8 (exit enabled) before 10 → safe.
-        assert_eq!(reach_label(&mds, &logic, 0, &[2.0], &rc), ReachVerdict::Safe);
+        assert_eq!(
+            reach_label(&mds, &logic, 0, &[2.0], &rc),
+            ReachVerdict::Safe
+        );
         // Entering pump_on at 0.5: below the safe band already.
-        assert_eq!(reach_label(&mds, &logic, 0, &[0.5], &rc), ReachVerdict::Unsafe);
+        assert_eq!(
+            reach_label(&mds, &logic, 0, &[0.5], &rc),
+            ReachVerdict::Unsafe
+        );
         // Entering pump_off at 9: drains through 3 (exit) before 1 → safe.
-        assert_eq!(reach_label(&mds, &logic, 1, &[9.0], &rc), ReachVerdict::Safe);
+        assert_eq!(
+            reach_label(&mds, &logic, 1, &[9.0], &rc),
+            ReachVerdict::Safe
+        );
         // Entering pump_off at 11: above the band.
-        assert_eq!(reach_label(&mds, &logic, 1, &[11.0], &rc), ReachVerdict::Unsafe);
+        assert_eq!(
+            reach_label(&mds, &logic, 1, &[11.0], &rc),
+            ReachVerdict::Unsafe
+        );
     }
 
     /// The invalid-hypothesis demonstration: the heater's safe entry set
@@ -173,18 +205,15 @@ mod tests {
         mds.transitions[0].learnable = false; // h2c fixed: T ≥ 25
         mds.transitions[1].learnable = true; // learn entry into heat
         initial.guards[0] = HyperBox::new(vec![25.0, f64::NEG_INFINITY], vec![30.0, f64::INFINITY]);
-        let out = synthesize_switching(
-            &mds,
-            initial,
-            &[None, Some(vec![20.0, 8.0])],
-            &cfg(0.1),
-        );
+        let out = synthesize_switching(&mds, initial, &[None, Some(vec![20.0, 8.0])], &cfg(0.1));
         let heat_entry = &out.logic.guards[1];
         assert!(!heat_entry.is_empty(), "a box around the seed exists");
         // The learned box has corners outside the safe triangle
         // E ≥ (25 − T)/2, so dense validation must report violations.
         match validate_logic(&mds, &out.logic, 40, &cfg(0.1).reach) {
-            ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+            ValidityEvidence::EmpiricallyTested {
+                trials, violations, ..
+            } => {
                 assert!(trials > 0);
                 assert!(
                     violations > 0,

@@ -17,7 +17,7 @@
 //! ```
 
 use crate::hyperbox::HyperBox;
-use crate::mds::{Mds, Mode, SwitchingLogic, Transition};
+use crate::mds::{Dynamics, Mds, Mode, SwitchingLogic, Transition};
 use std::rc::Rc;
 
 /// The distance target of the paper's scenario (θ_max = 1700).
@@ -80,18 +80,18 @@ pub fn phi_s(mode: usize, x: &[f64]) -> bool {
         return false;
     }
     match gear_of_mode(mode) {
-        Some(g) => !(omega >= 5.0) || eta(g, omega) >= 0.5,
+        Some(g) => omega < 5.0 || eta(g, omega) >= 0.5,
         None => true,
     }
 }
 
-fn gear_dynamics(gear: usize, sign: f64) -> Rc<dyn Fn(&[f64], &mut [f64])> {
+fn gear_dynamics(gear: usize, sign: f64) -> Dynamics {
     Rc::new(move |x: &[f64], out: &mut [f64]| {
         out[0] = x[1]; // θ̇ = ω
-        // ω̇ = ±ηᵢ(ω); decelerating gears saturate at standstill (the
-        // braking torque vanishes as ω → 0⁺) so the integrator cannot
-        // overshoot into ω < 0, which φS forbids. The paper's trajectories
-        // likewise come to rest at ω = 0 (Fig. 10).
+                       // ω̇ = ±ηᵢ(ω); decelerating gears saturate at standstill (the
+                       // braking torque vanishes as ω → 0⁺) so the integrator cannot
+                       // overshoot into ω < 0, which φS forbids. The paper's trajectories
+                       // likewise come to rest at ω = 0 (Fig. 10).
         let rate = sign * eta(gear, x[1]);
         out[1] = if sign < 0.0 {
             rate * (x[1] / 0.01).clamp(0.0, 1.0)
@@ -120,12 +120,30 @@ pub fn transmission() -> Mds {
                     out[1] = 0.0;
                 }),
             },
-            Mode { name: "G1U".into(), dynamics: gear_dynamics(1, 1.0) },
-            Mode { name: "G2U".into(), dynamics: gear_dynamics(2, 1.0) },
-            Mode { name: "G3U".into(), dynamics: gear_dynamics(3, 1.0) },
-            Mode { name: "G3D".into(), dynamics: gear_dynamics(3, -1.0) },
-            Mode { name: "G2D".into(), dynamics: gear_dynamics(2, -1.0) },
-            Mode { name: "G1D".into(), dynamics: gear_dynamics(1, -1.0) },
+            Mode {
+                name: "G1U".into(),
+                dynamics: gear_dynamics(1, 1.0),
+            },
+            Mode {
+                name: "G2U".into(),
+                dynamics: gear_dynamics(2, 1.0),
+            },
+            Mode {
+                name: "G3U".into(),
+                dynamics: gear_dynamics(3, 1.0),
+            },
+            Mode {
+                name: "G3D".into(),
+                dynamics: gear_dynamics(3, -1.0),
+            },
+            Mode {
+                name: "G2D".into(),
+                dynamics: gear_dynamics(2, -1.0),
+            },
+            Mode {
+                name: "G1D".into(),
+                dynamics: gear_dynamics(1, -1.0),
+            },
         ],
         transitions: vec![
             mk("gN1U", N, G1U, true),
@@ -150,10 +168,7 @@ pub fn transmission() -> Mds {
 /// initialized to φS ∧ θ = θmax ∧ ω = 0. All the other guards are
 /// initialized to 0 ≤ ω ≤ 60."
 pub fn initial_guards(mds: &Mds) -> SwitchingLogic {
-    let omega_band = HyperBox::new(
-        vec![f64::NEG_INFINITY, 0.0],
-        vec![f64::INFINITY, 60.0],
-    );
+    let omega_band = HyperBox::new(vec![f64::NEG_INFINITY, 0.0], vec![f64::INFINITY, 60.0]);
     let mut guards = vec![omega_band; mds.transitions.len()];
     guards[guards::G1ND] = HyperBox::new(vec![THETA_MAX, 0.0], vec![THETA_MAX, 0.0]);
     SwitchingLogic { guards }
@@ -165,9 +180,7 @@ pub fn initial_guards(mds: &Mds) -> SwitchingLogic {
 pub fn guard_seeds(mds: &Mds) -> Vec<Option<Vec<f64>>> {
     mds.transitions
         .iter()
-        .map(|t| {
-            gear_of_mode(t.to).map(|g| vec![0.0, GEAR_CENTERS[g - 1]])
-        })
+        .map(|t| gear_of_mode(t.to).map(|g| vec![0.0, GEAR_CENTERS[g - 1]]))
         .collect()
 }
 

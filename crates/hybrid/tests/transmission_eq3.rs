@@ -27,7 +27,12 @@ fn eq3_config() -> SwitchSynthConfig {
 #[test]
 fn eq3_guards_match_paper() {
     let mds = transmission::transmission();
-    let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &eq3_config());
+    let out = synthesize_switching(
+        &mds,
+        initial_guards(&mds),
+        &guard_seeds(&mds),
+        &eq3_config(),
+    );
     assert!(out.converged, "guard fixpoint must converge");
     // Compare the ω-interval of each learnable guard with Eq. (3).
     // Tolerance 0.02 ≈ two grid cells (the paper rounds at the 0.5
@@ -46,7 +51,10 @@ fn eq3_guards_match_paper() {
             g.hi[1]
         );
         // θ must stay unconstrained in learned guards.
-        assert!(g.lo[0].is_infinite() && g.hi[0].is_infinite(), "{name}: θ leaked");
+        assert!(
+            g.lo[0].is_infinite() && g.hi[0].is_infinite(),
+            "{name}: θ leaked"
+        );
     }
     // The fixed g1ND guard is untouched.
     let g1nd = &out.logic.guards[transmission::guards::G1ND];
@@ -60,9 +68,14 @@ fn eq3_logic_validates_cleanly() {
     let cfg = eq3_config();
     let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg);
     match validate_logic(&mds, &out.logic, 15, &cfg.reach) {
-        sciduction::ValidityEvidence::EmpiricallyTested { trials, violations, .. } => {
+        sciduction::ValidityEvidence::EmpiricallyTested {
+            trials, violations, ..
+        } => {
             assert!(trials >= 11 * 15);
-            assert_eq!(violations, 0, "a synthesized guard admitted an unsafe entry");
+            assert_eq!(
+                violations, 0,
+                "a synthesized guard admitted an unsafe entry"
+            );
         }
         other => panic!("unexpected evidence {other:?}"),
     }
@@ -76,7 +89,12 @@ fn dwell_time_variant_shrinks_up_guards() {
     let mds = transmission::transmission();
     let mut cfg = eq3_config();
     cfg.reach.min_dwell = 5.0;
-    let base = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &eq3_config());
+    let base = synthesize_switching(
+        &mds,
+        initial_guards(&mds),
+        &guard_seeds(&mds),
+        &eq3_config(),
+    );
     let dwell = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg);
     assert!(dwell.converged);
     let g12u_base = &base.logic.guards[transmission::guards::G12U];
@@ -138,7 +156,10 @@ fn fig10_trajectory_shape() {
     assert!(!samples.is_empty());
     // Speed peaks near the paper's ≈ 36.7 and returns to 0.
     let peak = samples.iter().map(|s| s.state[1]).fold(0.0, f64::max);
-    assert!((peak - 36.7).abs() < 1.0, "peak speed {peak} vs paper ≈36.7");
+    assert!(
+        (peak - 36.7).abs() < 1.0,
+        "peak speed {peak} vs paper ≈36.7"
+    );
     assert!(peak <= 60.0);
     let last = samples.last().unwrap();
     assert_eq!(last.mode, modes::G1D);

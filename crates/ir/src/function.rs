@@ -81,7 +81,9 @@ impl Instr {
         match self {
             Instr::Const { .. } => vec![],
             Instr::Bin { a, b, .. } | Instr::Cmp { a, b, .. } => vec![*a, *b],
-            Instr::Select { cond, then, els, .. } => vec![*cond, *then, *els],
+            Instr::Select {
+                cond, then, els, ..
+            } => vec![*cond, *then, *els],
             Instr::Load { addr, .. } => vec![*addr],
             Instr::Store { addr, value } => vec![*addr, *value],
         }
@@ -99,7 +101,12 @@ impl fmt::Display for Instr {
             Instr::Const { dst, value } => write!(f, "{dst} = {value}"),
             Instr::Bin { dst, op, a, b } => write!(f, "{dst} = {op:?} {a}, {b}"),
             Instr::Cmp { dst, op, a, b } => write!(f, "{dst} = cmp.{op:?} {a}, {b}"),
-            Instr::Select { dst, cond, then, els } => {
+            Instr::Select {
+                dst,
+                cond,
+                then,
+                els,
+            } => {
                 write!(f, "{dst} = select {cond} ? {then} : {els}")
             }
             Instr::Load { dst, addr } => write!(f, "{dst} = load [{addr}]"),
@@ -131,7 +138,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { then_to, else_to, .. } => vec![*then_to, *else_to],
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => vec![*then_to, *else_to],
             Terminator::Return(_) => vec![],
         }
     }
@@ -232,7 +241,11 @@ impl Function {
                         return Err(IrError::DanglingBlock(*t));
                     }
                 }
-                Terminator::Branch { cond, then_to, else_to } => {
+                Terminator::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                } => {
                     check_op(*cond)?;
                     for t in [then_to, else_to] {
                         if t.index() >= self.blocks.len() {
@@ -266,9 +279,11 @@ impl fmt::Display for Function {
             }
             match &b.terminator {
                 Terminator::Jump(t) => writeln!(f, "  jump {t}")?,
-                Terminator::Branch { cond, then_to, else_to } => {
-                    writeln!(f, "  br {cond} ? {then_to} : {else_to}")?
-                }
+                Terminator::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                } => writeln!(f, "  br {cond} ? {then_to} : {else_to}")?,
                 Terminator::Return(v) => writeln!(f, "  ret {v}")?,
             }
         }
@@ -379,14 +394,24 @@ impl FunctionBuilder {
     /// Emits a binary operation into a fresh register.
     pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.fresh();
-        self.push(Instr::Bin { dst, op, a: a.into(), b: b.into() });
+        self.push(Instr::Bin {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Emits a comparison into a fresh register (0/1 result).
     pub fn cmp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.fresh();
-        self.push(Instr::Cmp { dst, op, a: a.into(), b: b.into() });
+        self.push(Instr::Cmp {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -410,19 +435,30 @@ impl FunctionBuilder {
     /// Emits a load into a fresh register.
     pub fn load(&mut self, addr: impl Into<Operand>) -> Reg {
         let dst = self.fresh();
-        self.push(Instr::Load { dst, addr: addr.into() });
+        self.push(Instr::Load {
+            dst,
+            addr: addr.into(),
+        });
         dst
     }
 
     /// Emits a store.
     pub fn store(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
-        self.push(Instr::Store { addr: addr.into(), value: value.into() });
+        self.push(Instr::Store {
+            addr: addr.into(),
+            value: value.into(),
+        });
     }
 
     /// Copies a value into a specific register (`dst = src | 0`). Used when
     /// loop-carried variables must live in a stable register.
     pub fn assign(&mut self, dst: Reg, src: impl Into<Operand>) {
-        self.push(Instr::Bin { dst, op: BinOp::Or, a: src.into(), b: Operand::Imm(0) });
+        self.push(Instr::Bin {
+            dst,
+            op: BinOp::Or,
+            a: src.into(),
+            b: Operand::Imm(0),
+        });
     }
 
     fn terminate(&mut self, t: Terminator) {
@@ -445,7 +481,11 @@ impl FunctionBuilder {
 
     /// Ends the current block with a conditional branch.
     pub fn branch(&mut self, cond: impl Into<Operand>, then_to: BlockId, else_to: BlockId) {
-        self.terminate(Terminator::Branch { cond: cond.into(), then_to, else_to });
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            then_to,
+            else_to,
+        });
     }
 
     /// Ends the current block with a return.
@@ -545,7 +585,10 @@ mod tests {
         };
         assert_eq!(i.def(), Some(Reg(3)));
         assert_eq!(i.uses().len(), 3);
-        let st = Instr::Store { addr: Operand::Imm(0), value: Operand::Imm(1) };
+        let st = Instr::Store {
+            addr: Operand::Imm(0),
+            value: Operand::Imm(1),
+        };
         assert_eq!(st.def(), None);
         assert!(st.touches_memory());
     }

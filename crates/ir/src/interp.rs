@@ -102,10 +102,7 @@ pub struct ExecResult {
 impl ExecResult {
     /// The executed CFG edges, as `(from, to)` block pairs.
     pub fn edge_trace(&self) -> Vec<(BlockId, BlockId)> {
-        self.block_trace
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect()
+        self.block_trace.windows(2).map(|w| (w[0], w[1])).collect()
     }
 }
 
@@ -118,7 +115,9 @@ pub struct InterpConfig {
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { step_limit: 1_000_000 }
+        InterpConfig {
+            step_limit: 1_000_000,
+        }
     }
 }
 
@@ -180,7 +179,9 @@ pub fn run(
         for ins in &block.instrs {
             steps += 1;
             if steps > config.step_limit {
-                return Err(ExecError::StepLimit { limit: config.step_limit });
+                return Err(ExecError::StepLimit {
+                    limit: config.step_limit,
+                });
             }
             match ins {
                 Instr::Const { dst, value } => regs[dst.index()] = value & mask,
@@ -188,10 +189,14 @@ pub fn run(
                     regs[dst.index()] = op.apply(read(&regs, *a), read(&regs, *b), f.width)
                 }
                 Instr::Cmp { dst, op, a, b } => {
-                    regs[dst.index()] =
-                        op.apply(read(&regs, *a), read(&regs, *b), f.width) as u64
+                    regs[dst.index()] = op.apply(read(&regs, *a), read(&regs, *b), f.width) as u64
                 }
-                Instr::Select { dst, cond, then, els } => {
+                Instr::Select {
+                    dst,
+                    cond,
+                    then,
+                    els,
+                } => {
                     regs[dst.index()] = if read(&regs, *cond) != 0 {
                         read(&regs, *then)
                     } else {
@@ -211,8 +216,16 @@ pub fn run(
                 cur = *t;
                 trace.push(cur);
             }
-            Terminator::Branch { cond, then_to, else_to } => {
-                cur = if read(&regs, *cond) != 0 { *then_to } else { *else_to };
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                cur = if read(&regs, *cond) != 0 {
+                    *then_to
+                } else {
+                    *else_to
+                };
                 trace.push(cur);
             }
             Terminator::Return(v) => {
@@ -305,11 +318,7 @@ mod tests {
         let out = run(&f, &[100, 4], mem, InterpConfig::default()).unwrap();
         assert_eq!(out.ret, 26);
         // head visited n+1 times.
-        let heads = out
-            .block_trace
-            .iter()
-            .filter(|b| b.index() == 1)
-            .count();
+        let heads = out.block_trace.iter().filter(|b| b.index() == 1).count();
         assert_eq!(heads, 5);
     }
 
@@ -346,7 +355,13 @@ mod tests {
         fb.ret(a);
         let f = fb.finish().unwrap();
         let err = run(&f, &[1], Memory::new(), InterpConfig::default());
-        assert_eq!(err, Err(ExecError::ArityMismatch { expected: 2, got: 1 }));
+        assert_eq!(
+            err,
+            Err(ExecError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
     }
 
     #[test]

@@ -12,6 +12,13 @@ impl Reg {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a register from a dense index (for analyses and tests that
+    /// construct IR directly, bypassing [`crate::FunctionBuilder`]).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Reg(i as u32)
+    }
 }
 
 impl fmt::Debug for Reg {
@@ -109,6 +116,9 @@ pub enum BinOp {
 
 impl BinOp {
     /// Applies the operator at the given word width.
+    // Division by zero is total here (yields all-ones / the dividend, per
+    // QF_BV), so `checked_div` would misstate the semantics.
+    #[allow(clippy::manual_checked_ops)]
     pub fn apply(self, a: u64, b: u64, width: u32) -> u64 {
         let mask = if width == 64 {
             u64::MAX

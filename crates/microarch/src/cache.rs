@@ -16,13 +16,23 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A small instruction cache: 16 sets × 2 ways × 4-word lines.
     pub fn small_icache() -> Self {
-        CacheConfig { sets: 16, ways: 2, line_words: 4, miss_penalty: 10 }
+        CacheConfig {
+            sets: 16,
+            ways: 2,
+            line_words: 4,
+            miss_penalty: 10,
+        }
     }
 
     /// A small data cache: 8 sets × 2 ways × 2-word lines — small enough
     /// that realistic kernels actually miss.
     pub fn small_dcache() -> Self {
-        CacheConfig { sets: 8, ways: 2, line_words: 2, miss_penalty: 20 }
+        CacheConfig {
+            sets: 8,
+            ways: 2,
+            line_words: 2,
+            miss_penalty: 20,
+        }
     }
 
     /// Total capacity in words.
@@ -126,7 +136,12 @@ mod tests {
     use super::*;
 
     fn cfg(sets: usize, ways: usize, line: usize) -> CacheConfig {
-        CacheConfig { sets, ways, line_words: line, miss_penalty: 10 }
+        CacheConfig {
+            sets,
+            ways,
+            line_words: line,
+            miss_penalty: 10,
+        }
     }
 
     #[test]
@@ -149,7 +164,7 @@ mod tests {
         // Access 8 (same set): evicts LRU (0).
         assert!(!c.access(8));
         assert!(!c.access(0));
-        assert!(c.access(4) || true); // 4 may have been evicted by 0's refill
+        let _ = c.access(4); // 4 may have been evicted by 0's refill
     }
 
     #[test]

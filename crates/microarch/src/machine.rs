@@ -98,9 +98,8 @@ impl MachineState {
     pub fn warmed(config: &MachineConfig, f: &Function, data_addrs: &[u64]) -> Self {
         let mut st = Self::cold(config);
         let layout = CodeLayout::of(f);
-        st.icache.warm(
-            (0..layout.total_words).map(|i| layout.code_base + i as u64),
-        );
+        st.icache
+            .warm((0..layout.total_words).map(|i| layout.code_base + i as u64));
         st.dcache.warm(data_addrs.iter().copied());
         st
     }
@@ -252,15 +251,19 @@ impl Machine {
                             sciduction_ir::BinOp::Udiv | sciduction_ir::BinOp::Urem => p.div,
                             _ => p.alu,
                         };
-                        regs[dst.index()] =
-                            op.apply(read(&regs, *a), read(&regs, *b), f.width);
+                        regs[dst.index()] = op.apply(read(&regs, *a), read(&regs, *b), f.width);
                     }
                     Instr::Cmp { dst, op, a, b } => {
                         cycles += p.alu;
                         regs[dst.index()] =
                             op.apply(read(&regs, *a), read(&regs, *b), f.width) as u64;
                     }
-                    Instr::Select { dst, cond, then, els } => {
+                    Instr::Select {
+                        dst,
+                        cond,
+                        then,
+                        els,
+                    } => {
                         cycles += p.alu;
                         regs[dst.index()] = if read(&regs, *cond) != 0 {
                             read(&regs, *then)
@@ -289,10 +292,7 @@ impl Machine {
             }
             // Terminator fetch + execution.
             instructions += 1;
-            if !state
-                .icache
-                .access(base + block.instrs.len() as u64)
-            {
+            if !state.icache.access(base + block.instrs.len() as u64) {
                 cycles += self.config.icache.miss_penalty;
             }
             cycles += p.alu;
@@ -303,7 +303,11 @@ impl Machine {
                     cur = *t;
                     trace.push(cur);
                 }
-                Terminator::Branch { cond, then_to, else_to } => {
+                Terminator::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                } => {
                     let taken = read(&regs, *cond) != 0;
                     // Static not-taken prediction: the then-edge pays.
                     if taken {
@@ -356,8 +360,7 @@ mod tests {
             }),
         ];
         for (f, args, mem) in cases {
-            let want = interp_run(&f, &args, mem.clone(), InterpConfig::default())
-                .unwrap();
+            let want = interp_run(&f, &args, mem.clone(), InterpConfig::default()).unwrap();
             let got = cold_run(&f, &args, mem);
             assert_eq!(got.ret, want.ret, "{}", f.name);
             assert_eq!(got.block_trace, want.block_trace, "{}", f.name);
@@ -394,11 +397,7 @@ mod tests {
         let m = Machine::new();
         let mut cold = MachineState::cold(m.config());
         let t_cold = m.run(&f, &[0, 16], mem.clone(), &mut cold).unwrap();
-        let mut warm = MachineState::warmed(
-            m.config(),
-            &f,
-            &[0, 1, 2, 3, 16, 17, 18, 19],
-        );
+        let mut warm = MachineState::warmed(m.config(), &f, &[0, 1, 2, 3, 16, 17, 18, 19]);
         let t_warm = m.run(&f, &[0, 16], mem, &mut warm).unwrap();
         assert!(t_warm.cycles < t_cold.cycles);
         assert_eq!(t_warm.ret, t_cold.ret);

@@ -178,9 +178,7 @@ pub mod extra {
     /// Isolate the rightmost set bit: `x & −x`.
     pub fn isolate_rightmost_one(width: u32) -> (ComponentLibrary, impl IoOracle) {
         let lib = ComponentLibrary::new(vec![Op::Neg, Op::And], 1, 1, width);
-        let oracle = FnOracle::new("p03", move |xs: &[BvValue]| {
-            vec![xs[0].and(xs[0].neg())]
-        });
+        let oracle = FnOracle::new("p03", move |xs: &[BvValue]| vec![xs[0].and(xs[0].neg())]);
         (lib, oracle)
     }
 
@@ -230,10 +228,19 @@ mod tests {
     #[test]
     fn extras_reference_semantics() {
         let (_, mut o1) = extra::turn_off_rightmost_one(8);
-        assert_eq!(o1.query(&[BvValue::new(0b1011_0100, 8)])[0].as_u64(), 0b1011_0000);
+        assert_eq!(
+            o1.query(&[BvValue::new(0b1011_0100, 8)])[0].as_u64(),
+            0b1011_0000
+        );
         let (_, mut o2) = extra::isolate_rightmost_one(8);
-        assert_eq!(o2.query(&[BvValue::new(0b1011_0100, 8)])[0].as_u64(), 0b0000_0100);
+        assert_eq!(
+            o2.query(&[BvValue::new(0b1011_0100, 8)])[0].as_u64(),
+            0b0000_0100
+        );
         let (_, mut o3) = extra::average_floor(8);
-        assert_eq!(o3.query(&[BvValue::new(7, 8), BvValue::new(10, 8)])[0].as_u64(), 8);
+        assert_eq!(
+            o3.query(&[BvValue::new(7, 8), BvValue::new(10, 8)])[0].as_u64(),
+            8
+        );
     }
 }

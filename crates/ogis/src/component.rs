@@ -49,7 +49,11 @@ impl Op {
     /// Number of inputs.
     pub fn arity(self) -> usize {
         match self {
-            Op::Not | Op::Neg | Op::ShlConst(_) | Op::LshrConst(_) | Op::AddConst(_)
+            Op::Not
+            | Op::Neg
+            | Op::ShlConst(_)
+            | Op::LshrConst(_)
+            | Op::AddConst(_)
             | Op::AndConst(_) => 1,
             Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Ule => 2,
             Op::Ite => 3,
@@ -175,10 +179,18 @@ impl ComponentLibrary {
     ///
     /// Panics on a degenerate configuration (no components or outputs).
     pub fn new(components: Vec<Op>, num_inputs: usize, num_outputs: usize, width: u32) -> Self {
-        assert!(!components.is_empty(), "library needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "library needs at least one component"
+        );
         assert!(num_outputs >= 1, "programs need at least one output");
         assert!((1..=64).contains(&width));
-        ComponentLibrary { components, num_inputs, num_outputs, width }
+        ComponentLibrary {
+            components,
+            num_inputs,
+            num_outputs,
+            width,
+        }
     }
 
     /// Total number of value locations (inputs + one output per component).
@@ -318,7 +330,11 @@ pub struct FnOracle<F> {
 impl<F: FnMut(&[BvValue]) -> Vec<BvValue>> FnOracle<F> {
     /// Wraps a closure as an oracle.
     pub fn new(name: &str, f: F) -> Self {
-        FnOracle { f, queries: 0, name: name.to_string() }
+        FnOracle {
+            f,
+            queries: 0,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -379,10 +395,7 @@ mod tests {
             let args: Vec<BvValue> = (0..op.arity())
                 .map(|i| BvValue::new(0x1234_5678 >> i, 8))
                 .collect();
-            let terms: Vec<TermId> = args
-                .iter()
-                .map(|v| s.terms_mut().bv_const(*v))
-                .collect();
+            let terms: Vec<TermId> = args.iter().map(|v| s.terms_mut().bv_const(*v)).collect();
             let enc = op.encode(s.terms_mut(), &terms);
             assert_eq!(s.check(), CheckResult::Sat);
             assert_eq!(s.model_value(enc).as_bv(), op.apply(&args), "{op:?}");

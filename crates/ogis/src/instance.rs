@@ -159,9 +159,7 @@ mod tests {
         use crate::component::{FnOracle, Op};
         use sciduction_smt::BvValue;
         let lib = ComponentLibrary::new(vec![Op::Not], 1, 1, 8);
-        let oracle = FnOracle::new("mul3", |xs: &[BvValue]| {
-            vec![xs[0].mul(BvValue::new(3, 8))]
-        });
+        let oracle = FnOracle::new("mul3", |xs: &[BvValue]| vec![xs[0].mul(BvValue::new(3, 8))]);
         let err = run_instance(lib, oracle, SynthesisConfig::default());
         assert!(matches!(err, Err(OgisError::Infeasible)));
     }

@@ -11,8 +11,8 @@
 //! terminates."
 
 use crate::component::{ComponentLibrary, IoOracle, Op, SynthProgram};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
 use sciduction_smt::{BvValue, CheckResult, Solver, TermId};
 
 /// Synthesis configuration.
@@ -28,7 +28,11 @@ pub struct SynthesisConfig {
 
 impl Default for SynthesisConfig {
     fn default() -> Self {
-        SynthesisConfig { max_iterations: 64, initial_examples: 2, seed: 1 }
+        SynthesisConfig {
+            max_iterations: 64,
+            initial_examples: 2,
+            seed: 1,
+        }
     }
 }
 
@@ -233,10 +237,7 @@ impl Encoding {
             }
         }
         // Outputs.
-        ret_loc
-            .iter()
-            .map(|&rl| self.select(rl, &values))
-            .collect()
+        ret_loc.iter().map(|&rl| self.select(rl, &values)).collect()
     }
 
     /// Permanently adds one I/O example constraint for program A.
@@ -246,7 +247,11 @@ impl Encoding {
             .iter()
             .map(|v| self.solver.terms_mut().bv_const(*v))
             .collect();
-        let (ol, il, rl) = (self.out_loc.clone(), self.in_loc.clone(), self.ret_loc.clone());
+        let (ol, il, rl) = (
+            self.out_loc.clone(),
+            self.in_loc.clone(),
+            self.ret_loc.clone(),
+        );
         let outs = self.dataflow(&ol, &il, &rl, &in_terms, &tag);
         for (&o, want) in outs.iter().zip(&outputs) {
             let k = self.solver.terms_mut().bv_const(*want);
@@ -283,12 +288,30 @@ impl Encoding {
             })
             .collect();
         let outputs: Vec<usize> = self.ret_loc.iter().map(|&rl| loc_of(rl)).collect();
-        SynthProgram {
+        let program = SynthProgram {
             num_inputs: ni,
             width: self.lib.width,
             lines,
             outputs,
-        }
+        };
+        // Deep audit (debug builds): the well-formedness constraints of the
+        // encoding must yield a topologically ordered, in-range program —
+        // eval would panic (or silently misbehave) otherwise.
+        debug_assert!(
+            program
+                .lines
+                .iter()
+                .enumerate()
+                .all(|(li, (op, operands))| {
+                    operands.len() == op.arity() && operands.iter().all(|&o| o < ni + li)
+                })
+                && program
+                    .outputs
+                    .iter()
+                    .all(|&o| o < ni + program.lines.len()),
+            "OGIS decode audit: candidate violates well-formedness constraints"
+        );
+        program
     }
 
     /// Searches for a distinguishing input: a second well-formed program B
@@ -396,6 +419,18 @@ pub fn synthesize(
             }
             Some(candidate) => match enc.find_distinguishing(&candidate) {
                 None => {
+                    // Certificate check: the SMT encoding claims the decoded
+                    // program reproduces every accumulated example; re-run
+                    // the program concretely to confirm before handing it
+                    // out. Linear in examples, negligible next to the loop.
+                    for (inputs, outputs) in &enc.examples {
+                        let got = candidate.eval(inputs);
+                        assert_eq!(
+                            &got, outputs,
+                            "OGIS certificate violation: candidate disagrees \
+                             with a recorded example (encoding or decode bug)"
+                        );
+                    }
                     let stats = enc.stats;
                     return (
                         SynthesisOutcome::Synthesized {
@@ -417,7 +452,9 @@ pub fn synthesize(
     }
     let stats = enc.stats;
     (
-        SynthesisOutcome::BudgetExhausted { iterations: config.max_iterations },
+        SynthesisOutcome::BudgetExhausted {
+            iterations: config.max_iterations,
+        },
         stats,
     )
 }
@@ -505,11 +542,12 @@ mod tests {
     fn synthesizes_swap_with_xors() {
         // The P1 shape at width 8: three xors swap two values.
         let lib = ComponentLibrary::new(vec![Op::Xor, Op::Xor, Op::Xor], 2, 2, 8);
-        let mut oracle =
-            FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
+        let mut oracle = FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
         let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
         match out {
-            SynthesisOutcome::Synthesized { program, examples, .. } => {
+            SynthesisOutcome::Synthesized {
+                program, examples, ..
+            } => {
                 let mut check = FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
                 assert_eq!(
                     verify_against_oracle(&program, &mut check, 16, 0, 0),
@@ -528,8 +566,7 @@ mod tests {
         // Library {not}: cannot realize f(x) = x + 1 once examples rule
         // the single candidate out.
         let lib = ComponentLibrary::new(vec![Op::Not], 1, 1, 8);
-        let mut oracle =
-            FnOracle::new("inc", |xs: &[BvValue]| vec![xs[0].add(BvValue::one(8))]);
+        let mut oracle = FnOracle::new("inc", |xs: &[BvValue]| vec![xs[0].add(BvValue::one(8))]);
         let (out, _) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
         match out {
             SynthesisOutcome::Infeasible { examples, .. } => {
@@ -572,21 +609,17 @@ mod tests {
             lines: vec![(Op::AddConst(1), vec![0])],
             outputs: vec![1],
         };
-        let mut good =
-            FnOracle::new("inc", |xs: &[BvValue]| vec![xs[0].add(BvValue::one(8))]);
+        let mut good = FnOracle::new("inc", |xs: &[BvValue]| vec![xs[0].add(BvValue::one(8))]);
         assert_eq!(
             verify_against_oracle(&p, &mut good, 16, 0, 0),
             VerificationResult::Equivalent
         );
-        let mut good2 =
-            FnOracle::new("inc", |xs: &[BvValue]| vec![xs[0].add(BvValue::one(8))]);
+        let mut good2 = FnOracle::new("inc", |xs: &[BvValue]| vec![xs[0].add(BvValue::one(8))]);
         assert_eq!(
             verify_against_oracle(&p, &mut good2, 4, 100, 0),
             VerificationResult::ProbablyEquivalent { samples: 100 }
         );
-        let mut bad = FnOracle::new("dec", |xs: &[BvValue]| {
-            vec![xs[0].sub(BvValue::one(8))]
-        });
+        let mut bad = FnOracle::new("dec", |xs: &[BvValue]| vec![xs[0].sub(BvValue::one(8))]);
         assert!(matches!(
             verify_against_oracle(&p, &mut bad, 16, 0, 0),
             VerificationResult::CounterexampleFound { .. }

@@ -147,10 +147,7 @@ mod tests {
             Cnf::parse("p cnf 1 1\n2 0"),
             Err(DimacsError::VarOutOfRange(2))
         ));
-        assert!(matches!(
-            Cnf::parse("1 0"),
-            Err(DimacsError::BadHeader(_))
-        ));
+        assert!(matches!(Cnf::parse("1 0"), Err(DimacsError::BadHeader(_))));
     }
 
     #[test]

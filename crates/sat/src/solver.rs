@@ -8,7 +8,7 @@
 //! extraction of the failed-assumption set (the "final conflict"), which the
 //! SMT layer uses to implement push/pop.
 
-use crate::clause::{ClauseDb, ClauseRef};
+use crate::clause::{Clause, ClauseDb, ClauseRef};
 use crate::types::{LBool, Lit, Var};
 
 /// Outcome of a satisfiability check.
@@ -268,8 +268,7 @@ impl Solver {
         }
         self.backtrack_to(0);
         let mut restarts: u64 = 0;
-        let mut max_learnts =
-            (self.db.num_original as f64 * self.config.learnt_ratio).max(100.0);
+        let mut max_learnts = (self.db.num_original as f64 * self.config.learnt_ratio).max(100.0);
         loop {
             let budget = if self.config.restarts {
                 luby(2.0, restarts) * self.config.restart_base as f64
@@ -280,6 +279,7 @@ impl Solver {
                 SearchOutcome::Sat => {
                     self.model = self.assigns.clone();
                     self.backtrack_to(0);
+                    self.certify_current_model(assumptions);
                     return SolveResult::Sat;
                 }
                 SearchOutcome::Unsat => {
@@ -300,7 +300,10 @@ impl Solver {
     /// Returns `None` if the last solve was not SAT or the variable was
     /// irrelevant (left unassigned).
     pub fn value(&self, var: Var) -> Option<bool> {
-        self.model.get(var.index()).copied().and_then(LBool::to_option)
+        self.model
+            .get(var.index())
+            .copied()
+            .and_then(LBool::to_option)
     }
 
     /// The value of a literal in the most recent model (see [`Solver::value`]).
@@ -328,6 +331,48 @@ impl Solver {
     /// (independent of any assumptions).
     pub fn is_trivially_unsat(&self) -> bool {
         self.unsat
+    }
+
+    /// Iterates over the live (non-deleted) clauses of the database, both
+    /// original and learnt. Unit clauses are not stored here — they live on
+    /// the level-0 trail.
+    pub fn clauses(&self) -> impl Iterator<Item = &Clause> {
+        self.db.iter_live()
+    }
+
+    /// Certificate check run on every SAT answer: re-evaluates each live
+    /// clause and each assumption against the model, independently of the
+    /// watcher/propagation machinery that produced it. Linear in the
+    /// formula size — negligible next to the search that preceded it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the claimed model falsifies a clause or an assumption;
+    /// that is an internal soundness bug, never a user error.
+    fn certify_current_model(&self, assumptions: &[Lit]) {
+        for c in self.db.iter_live() {
+            if c.is_learnt() && !cfg!(debug_assertions) {
+                // Learnt clauses are implied, so checking them adds nothing
+                // to soundness; audit them only in debug builds.
+                continue;
+            }
+            let ok = c
+                .lits()
+                .iter()
+                .any(|&l| self.lit_model_value(l).unwrap_or(false));
+            assert!(
+                ok,
+                "SAT certificate violation: model falsifies {} clause {:?}",
+                if c.is_learnt() { "learnt" } else { "original" },
+                c.lits()
+            );
+        }
+        for &a in assumptions {
+            assert!(
+                self.lit_model_value(a).unwrap_or(false),
+                "SAT certificate violation: model falsifies assumption {a}"
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -403,7 +448,10 @@ impl Solver {
                 debug_assert_eq!(self.db.get(w.cref).lits[1], false_lit);
                 // First literal satisfied?
                 if self.lit_value(l0).is_true() {
-                    ws[j] = Watcher { cref: w.cref, blocker: l0 };
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: l0,
+                    };
                     j += 1;
                     continue;
                 }
@@ -421,7 +469,10 @@ impl Solver {
                     }
                 }
                 // Clause is unit or conflicting.
-                ws[j] = Watcher { cref: w.cref, blocker: l0 };
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: l0,
+                };
                 j += 1;
                 if self.lit_value(l0).is_false() {
                     // Conflict: keep remaining watchers, stop.
@@ -952,10 +1003,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.to_vec());
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause([!p[i1][j], !p[i2][j]]);
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause([!a, !b]);
                 }
             }
         }
@@ -973,10 +1024,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.clone());
         }
-        for j in 0..m {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([!p[i1][j], !p[i2][j]]);
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause([!a, !b]);
                 }
             }
         }
@@ -1035,10 +1086,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.clone());
         }
-        for j in 0..m {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([!p[i1][j], !p[i2][j]]);
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause([!a, !b]);
                 }
             }
         }

@@ -1,9 +1,10 @@
 //! Randomized differential testing of the CDCL solver against a brute-force
 //! truth-table enumerator, plus property-based tests of solver invariants.
+//! Randomness is driven by the in-repo deterministic PRNG so every run
+//! exercises the same instances.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
 use sciduction_sat::{Lit, SolveResult, Solver, SolverConfig, Var};
 
 /// Brute-force satisfiability over `n <= 16` variables.
@@ -48,7 +49,10 @@ fn run_instance(n: usize, clauses: &[Vec<(usize, bool)>], config: SolverConfig) 
     }
     let expected = brute_force_sat(n, clauses);
     if trivially_unsat {
-        assert!(expected.is_none(), "solver claimed trivial UNSAT on SAT instance");
+        assert!(
+            expected.is_none(),
+            "solver claimed trivial UNSAT on SAT instance"
+        );
         return;
     }
     match s.solve() {
@@ -57,7 +61,10 @@ fn run_instance(n: usize, clauses: &[Vec<(usize, bool)>], config: SolverConfig) 
             check_model(&s, &vars, clauses);
         }
         SolveResult::Unsat => {
-            assert!(expected.is_none(), "solver UNSAT but brute force found {expected:?}");
+            assert!(
+                expected.is_none(),
+                "solver UNSAT but brute force found {expected:?}"
+            );
         }
     }
 }
@@ -183,57 +190,58 @@ fn solver_is_reusable_across_many_calls() {
     assert!(!failed.is_empty() && failed.len() <= 2);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever clauses we feed, the solver never produces a model that
-    /// violates a clause, and SAT/UNSAT matches brute force.
-    #[test]
-    fn prop_solver_sound_and_complete(
-        n in 1usize..7,
-        raw in proptest::collection::vec(
-            proptest::collection::vec((0usize..7, any::<bool>()), 1..4),
-            0..16,
-        )
-    ) {
-        let clauses: Vec<Vec<(usize, bool)>> = raw
-            .into_iter()
-            .map(|cl| cl.into_iter().map(|(v, g)| (v % n, g)).collect())
+/// Whatever clauses we feed, the solver never produces a model that
+/// violates a clause, and SAT/UNSAT matches brute force.
+#[test]
+fn prop_solver_sound_and_complete() {
+    let mut rng = StdRng::seed_from_u64(0x50A7);
+    for _ in 0..64 {
+        let n = rng.random_range(1usize..7);
+        let m = rng.random_range(0usize..16);
+        let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+            .map(|_| {
+                let k = rng.random_range(1usize..4);
+                (0..k)
+                    .map(|_| (rng.random_range(0..n), rng.random()))
+                    .collect()
+            })
             .collect();
         run_instance(n, &clauses, SolverConfig::default());
     }
+}
 
-    /// The failed-assumption set is always a subset of the assumptions and
-    /// is itself sufficient for unsatisfiability.
-    #[test]
-    fn prop_failed_assumptions_are_a_core(
-        n in 2usize..6,
-        raw in proptest::collection::vec(
-            proptest::collection::vec((0usize..6, any::<bool>()), 1..3),
-            1..12,
-        ),
-        assum in proptest::collection::vec((0usize..6, any::<bool>()), 1..5),
-    ) {
-        let clauses: Vec<Vec<(usize, bool)>> = raw
-            .into_iter()
-            .map(|cl| cl.into_iter().map(|(v, g)| (v % n, g)).collect())
+/// The failed-assumption set is always a subset of the assumptions and
+/// is itself sufficient for unsatisfiability.
+#[test]
+fn prop_failed_assumptions_are_a_core() {
+    let mut rng = StdRng::seed_from_u64(0xC04E);
+    for _ in 0..64 {
+        let n = rng.random_range(2usize..6);
+        let m = rng.random_range(1usize..12);
+        let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+            .map(|_| {
+                let k = rng.random_range(1usize..3);
+                (0..k)
+                    .map(|_| (rng.random_range(0..n), rng.random()))
+                    .collect()
+            })
             .collect();
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
         for cl in &clauses {
             s.add_clause(cl.iter().map(|&(v, g)| Lit::new(vars[v], g)));
         }
-        let assumptions: Vec<Lit> = assum
-            .iter()
-            .map(|&(v, g)| Lit::new(vars[v % n], g))
+        let num_assum = rng.random_range(1usize..5);
+        let assumptions: Vec<Lit> = (0..num_assum)
+            .map(|_| Lit::new(vars[rng.random_range(0..n)], rng.random()))
             .collect();
         if s.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
             let failed = s.failed_assumptions().to_vec();
             for f in &failed {
-                prop_assert!(assumptions.contains(f), "failed lit not among assumptions");
+                assert!(assumptions.contains(f), "failed lit not among assumptions");
             }
             // The failed subset must already be unsatisfiable.
-            prop_assert_eq!(s.solve_with_assumptions(&failed), SolveResult::Unsat);
+            assert_eq!(s.solve_with_assumptions(&failed), SolveResult::Unsat);
         }
     }
 }

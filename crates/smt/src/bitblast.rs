@@ -265,7 +265,13 @@ impl BitBlaster {
 
     fn constant(&self, bits: u64, width: u32) -> Vec<Lit> {
         (0..width)
-            .map(|i| if bits >> i & 1 == 1 { self.tt() } else { self.ff() })
+            .map(|i| {
+                if bits >> i & 1 == 1 {
+                    self.tt()
+                } else {
+                    self.ff()
+                }
+            })
             .collect()
     }
 
@@ -311,12 +317,7 @@ impl BitBlaster {
     // ------------------------------------------------------------------
 
     /// Translates a Boolean term to a literal.
-    pub(crate) fn blast_bool(
-        &mut self,
-        pool: &TermPool,
-        sat: &mut SatSolver,
-        id: TermId,
-    ) -> Lit {
+    pub(crate) fn blast_bool(&mut self, pool: &TermPool, sat: &mut SatSolver, id: TermId) -> Lit {
         if let Some(&l) = self.bool_cache.get(&id) {
             return l;
         }
@@ -447,9 +448,7 @@ impl BitBlaster {
                         .zip(&vb)
                         .map(|(&x, &y)| self.g_xor(sat, x, y))
                         .collect(),
-                    BvBinOp::Shl | BvBinOp::Lshr | BvBinOp::Ashr => {
-                        self.w_shift(sat, &va, &vb, op)
-                    }
+                    BvBinOp::Shl | BvBinOp::Lshr | BvBinOp::Ashr => self.w_shift(sat, &va, &vb, op),
                 }
             }
             Term::BvNot(a) => {

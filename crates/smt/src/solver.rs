@@ -50,6 +50,9 @@ pub struct Solver {
     blaster: BitBlaster,
     /// Activation literal per open scope.
     scopes: Vec<Lit>,
+    /// Active assertions as `(scope depth, term)`, for the certificate
+    /// check run on every Sat answer. Popping a scope drops its entries.
+    asserted: Vec<(usize, TermId)>,
     /// Variables that have been blasted (and hence have SAT-backed values).
     blasted_vars: Vec<TermId>,
     model: Option<HashMap<TermId, Value>>,
@@ -73,6 +76,7 @@ impl Solver {
             sat,
             blaster,
             scopes: Vec::new(),
+            asserted: Vec::new(),
             blasted_vars: Vec::new(),
             model: None,
             num_checks: 0,
@@ -117,6 +121,7 @@ impl Solver {
     pub fn assert_term(&mut self, t: TermId) {
         assert_eq!(self.pool.sort(t), Sort::Bool, "assertions must be Boolean");
         self.note_new_vars(t);
+        self.asserted.push((self.scopes.len(), t));
         let lit = self.blaster.blast_bool(&self.pool, &mut self.sat, t);
         match self.scopes.last() {
             None => {
@@ -143,6 +148,9 @@ impl Solver {
         let act = self.scopes.pop().expect("pop without matching push");
         // Permanently disable the scope's guarded clauses.
         self.sat.add_clause([!act]);
+        while matches!(self.asserted.last(), Some(&(d, _)) if d > self.scopes.len()) {
+            self.asserted.pop();
+        }
     }
 
     /// Current scope depth.
@@ -171,7 +179,9 @@ impl Solver {
         }
         match self.sat.solve_with_assumptions(&lits) {
             SolveResult::Sat => {
-                self.model = Some(self.extract_model());
+                let model = self.extract_model();
+                self.certify_model(&model, assumptions);
+                self.model = Some(model);
                 CheckResult::Sat
             }
             SolveResult::Unsat => {
@@ -179,6 +189,36 @@ impl Solver {
                 CheckResult::Unsat
             }
         }
+    }
+
+    /// Certificate check run on every Sat answer: re-evaluates each active
+    /// assertion and assumption on the term level, entirely independently
+    /// of the bit-blaster and SAT engine that produced the model. In debug
+    /// builds the pool's hash-consing invariant is also audited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model falsifies an assertion; that is an internal
+    /// soundness bug (blaster or SAT core), never a user error.
+    fn certify_model(&self, env: &HashMap<TermId, Value>, assumptions: &[TermId]) {
+        for &(_, t) in &self.asserted {
+            assert!(
+                self.pool.eval(t, env) == Value::Bool(true),
+                "SMT certificate violation: model falsifies assertion {}",
+                render_term(&self.pool, t)
+            );
+        }
+        for &t in assumptions {
+            assert!(
+                self.pool.eval(t, env) == Value::Bool(true),
+                "SMT certificate violation: model falsifies assumption {}",
+                render_term(&self.pool, t)
+            );
+        }
+        debug_assert!(
+            self.pool.check_integrity(),
+            "term pool hash-consing invariant violated"
+        );
     }
 
     fn extract_model(&self) -> HashMap<TermId, Value> {

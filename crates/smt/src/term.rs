@@ -42,9 +42,21 @@ impl fmt::Display for Sort {
 pub struct TermId(pub(crate) u32);
 
 impl TermId {
+    /// The position of the term in its pool. Pools are append-only, so a
+    /// term's children always have strictly smaller indices — validation
+    /// passes rely on this to re-check the DAG bottom-up.
     #[inline]
-    pub(crate) fn index(self) -> usize {
+    pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds an id from a raw index without any bounds check. Exists so
+    /// validation tests can forge dangling references; never use it to
+    /// build formulas.
+    #[doc(hidden)]
+    #[inline]
+    pub fn from_raw(i: usize) -> Self {
+        TermId(i as u32)
     }
 }
 
@@ -240,6 +252,40 @@ impl TermPool {
     /// Panics if the term is Boolean.
     pub fn width(&self, id: TermId) -> u32 {
         self.sort(id).width().expect("expected a bit-vector term")
+    }
+
+    /// Iterates over every term in creation (id) order. Children precede
+    /// parents, so a single pass suffices for bottom-up re-checks.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Appends a term with the given recorded sort, bypassing both the
+    /// intern table and sort inference. This deliberately breaks the
+    /// pool's invariants; it exists so validation tests can inject
+    /// corrupted artifacts (duplicate terms, wrong sorts, dangling ids)
+    /// and confirm the certifying checks catch them. Never use it to
+    /// build formulas.
+    #[doc(hidden)]
+    pub fn raw_push(&mut self, t: Term, sort: Sort) -> TermId {
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t);
+        self.sorts.push(sort);
+        id
+    }
+
+    /// Audit of the hash-consing invariant: the intern table and the term
+    /// arena must be bijective, with every entry mapping back to itself.
+    /// Linear in pool size; meant for `debug_assert!` at solver seams.
+    pub fn check_integrity(&self) -> bool {
+        self.intern.len() == self.terms.len()
+            && self
+                .intern
+                .iter()
+                .all(|(t, &id)| self.terms.get(id.index()) == Some(t))
     }
 
     fn intern(&mut self, t: Term, sort: Sort) -> TermId {

@@ -20,6 +20,10 @@ pub struct BvValue {
     width: u32,
 }
 
+// Method names deliberately mirror SMT-LIB operators (`add`, `not`, `shl`,
+// …) rather than the std operator traits, whose semantics (panicking
+// division, unbounded shifts) differ from QF_BV's total definitions.
+#[allow(clippy::should_implement_trait, clippy::manual_checked_ops)]
 impl BvValue {
     /// Creates a value of the given width (1..=64); excess bits are masked.
     ///

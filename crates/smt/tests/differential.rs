@@ -3,9 +3,8 @@
 //! assorted widths, with operands supplied as *variables* (so constant
 //! folding cannot short-circuit the CNF path).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
 use sciduction_smt::{BvValue, CheckResult, Solver, TermId};
 
 /// Pins variables `x`, `y` to the given constants and returns the terms.
@@ -181,12 +180,10 @@ fn primality_211_unsat() {
     assert_eq!(s.check(), CheckResult::Unsat);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Algebraic identities proved by the solver for arbitrary widths.
-    #[test]
-    fn prop_prove_ring_identities(width in 1u32..10) {
+/// Algebraic identities proved by the solver for every small width.
+#[test]
+fn prop_prove_ring_identities() {
+    for width in 1u32..10 {
         let mut s = Solver::new();
         let p = s.terms_mut();
         let x = p.var("x", width);
@@ -208,17 +205,25 @@ proptest! {
         let orr = p.bv_or(nx, ny);
         let dem = p.bv_not(orr);
         let id3 = p.eq(ax, dem);
-        prop_assert!(s.prove(id1));
-        prop_assert!(s.prove(id2));
-        prop_assert!(s.prove(id3));
+        assert!(s.prove(id1), "(x+y)-y == x at width {width}");
+        assert!(s.prove(id2), "~x+1 == -x at width {width}");
+        assert!(s.prove(id3), "De Morgan at width {width}");
     }
+}
 
-    /// udiv/urem reconstruction: a == (a / b) * b + (a % b) for b != 0.
-    #[test]
-    fn prop_divmod_reconstruction(a in any::<u64>(), b in 1u64..255, width in 4u32..9) {
+/// udiv/urem reconstruction: a == (a / b) * b + (a % b) for b != 0.
+#[test]
+fn prop_divmod_reconstruction() {
+    let mut rng = StdRng::seed_from_u64(0xD17D);
+    for _ in 0..48 {
+        let a: u64 = rng.random();
+        let b: u64 = rng.random_range(1..255);
+        let width: u32 = rng.random_range(4..9);
         let av = BvValue::new(a, width);
         let bv = BvValue::new(b, width);
-        prop_assume!(bv.as_u64() != 0);
+        if bv.as_u64() == 0 {
+            continue;
+        }
         let mut s = Solver::new();
         let p = s.terms_mut();
         let x = p.var("x", width);
@@ -237,10 +242,10 @@ proptest! {
         let nid = s.terms_mut().not(id);
         s.push();
         s.assert_term(nid);
-        prop_assert_eq!(s.check(), CheckResult::Unsat);
+        assert_eq!(s.check(), CheckResult::Unsat);
         s.pop();
-        prop_assert_eq!(s.check(), CheckResult::Sat);
-        prop_assert_eq!(s.model_value(q).as_bv(), av.udiv(bv));
-        prop_assert_eq!(s.model_value(r).as_bv(), av.urem(bv));
+        assert_eq!(s.check(), CheckResult::Sat);
+        assert_eq!(s.model_value(q).as_bv(), av.udiv(bv));
+        assert_eq!(s.model_value(r).as_bv(), av.urem(bv));
     }
 }

@@ -8,8 +8,8 @@
 //! Run with `cargo run --release -p sciduction-suite --example deobfuscate`.
 
 use sciduction_ogis::{
-    benchmarks, synthesize, verify_against_oracle, ComponentLibrary, FnOracle, Op,
-    SynthesisConfig, SynthesisOutcome, VerificationResult,
+    benchmarks, synthesize, verify_against_oracle, ComponentLibrary, FnOracle, Op, SynthesisConfig,
+    SynthesisOutcome, VerificationResult,
 };
 use sciduction_smt::BvValue;
 use std::time::Instant;
@@ -23,8 +23,16 @@ fn main() {
     let t = Instant::now();
     let (outcome, stats) = synthesize(&lib, &mut oracle, &SynthesisConfig::default());
     match outcome {
-        SynthesisOutcome::Synthesized { program, iterations, examples } => {
-            println!("resynthesized in {:.2?} ({iterations} iterations, {} examples):", t.elapsed(), examples.len());
+        SynthesisOutcome::Synthesized {
+            program,
+            iterations,
+            examples,
+        } => {
+            println!(
+                "resynthesized in {:.2?} ({iterations} iterations, {} examples):",
+                t.elapsed(),
+                examples.len()
+            );
             print!("{program}");
             println!(
                 "deductive work: {} SMT checks, {} distinguishing inputs",
@@ -53,7 +61,10 @@ fn main() {
             println!("resynthesized in {:.2?}:", t.elapsed());
             print!("{program}");
             let y = BvValue::new(7, 16);
-            println!("check: program(7) = {} (7 × 45 = 315)", program.eval(&[y])[0]);
+            println!(
+                "check: program(7) = {} (7 × 45 = 315)",
+                program.eval(&[y])[0]
+            );
         }
         other => println!("failed: {other:?}"),
     }

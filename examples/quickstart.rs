@@ -75,7 +75,10 @@ fn main() {
     let mut instance = Instance {
         hypothesis: GridThresholds,
         inductive: BinarySearch,
-        deductive: MembershipOracle { secret: 4711, queries: 0 },
+        deductive: MembershipOracle {
+            secret: 4711,
+            queries: 0,
+        },
         evidence: ValidityEvidence::Trivial,
         probabilistic: false,
     };
@@ -135,12 +138,28 @@ fn main() {
     let mds = Mds {
         dim: 1,
         modes: vec![
-            Mode { name: "heat".into(), dynamics: Rc::new(|_x, out| out[0] = 2.0) },
-            Mode { name: "cool".into(), dynamics: Rc::new(|_x, out| out[0] = -1.0) },
+            Mode {
+                name: "heat".into(),
+                dynamics: Rc::new(|_x, out| out[0] = 2.0),
+            },
+            Mode {
+                name: "cool".into(),
+                dynamics: Rc::new(|_x, out| out[0] = -1.0),
+            },
         ],
         transitions: vec![
-            Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
-            Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
+            Transition {
+                name: "h2c".into(),
+                from: 0,
+                to: 1,
+                learnable: true,
+            },
+            Transition {
+                name: "c2h".into(),
+                from: 1,
+                to: 0,
+                learnable: true,
+            },
         ],
         safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
     };
@@ -150,7 +169,10 @@ fn main() {
             HyperBox::new(vec![0.0], vec![50.0]),
         ],
     };
-    let cfg = SwitchSynthConfig { grid: Grid::new(0.1), ..Default::default() };
+    let cfg = SwitchSynthConfig {
+        grid: Grid::new(0.1),
+        ..Default::default()
+    };
     let out = synthesize_switching(&mds, initial, &[Some(vec![22.0]), Some(vec![22.0])], &cfg);
     println!(
         "[hybrid]    thermostat guards: heat→cool {}, cool→heat {} (safe band [15, 30])",

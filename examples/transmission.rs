@@ -76,7 +76,10 @@ fn main() {
     let peak = samples.iter().map(|s| s.state[1]).fold(0.0, f64::max);
     let last = samples.last().unwrap();
     println!("\n== Fig. 10 drive: N → G1U → G2U → G3U → G3D → G2D → G1D ==");
-    println!("safe throughout: {safe}; peak speed {peak:.2}; final ω = {:.3}", last.state[1]);
+    println!(
+        "safe throughout: {safe}; peak speed {peak:.2}; final ω = {:.3}",
+        last.state[1]
+    );
     for w in samples.windows(2) {
         if w[0].mode != w[1].mode {
             let e = gear_of_mode(w[1].mode)
@@ -84,11 +87,7 @@ fn main() {
                 .unwrap_or(0.0);
             println!(
                 "  t = {:6.2}: {:3} → {:3} at ω = {:5.2}, entering η = {:.3}",
-                w[1].time,
-                mds.modes[w[0].mode].name,
-                mds.modes[w[1].mode].name,
-                w[1].state[1],
-                e
+                w[1].time, mds.modes[w[0].mode].name, mds.modes[w[1].mode].name, w[1].state[1], e
             );
         }
     }

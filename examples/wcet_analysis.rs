@@ -56,7 +56,10 @@ fn main() {
             TaAnswer::Yes { worst_measured } => {
                 println!("⟨TA⟩ τ = {tau}: YES (worst observed {worst_measured})")
             }
-            TaAnswer::No { worst_measured, test } => println!(
+            TaAnswer::No {
+                worst_measured,
+                test,
+            } => println!(
                 "⟨TA⟩ τ = {tau}: NO — exceeded by exponent {} ({worst_measured} cycles)",
                 test.args[1] & 0xFF
             ),

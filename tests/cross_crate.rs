@@ -1,11 +1,11 @@
 //! Cross-crate consistency tests: the substrates must agree with each
 //! other wherever their semantics overlap.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sciduction_cfg::{check_path, Dag};
 use sciduction_ir::{programs, run, InterpConfig, Memory};
 use sciduction_microarch::{Machine, MachineState};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
 use sciduction_smt::{BvValue, CheckResult, Solver};
 
 /// The IR interpreter and the micro-architectural simulator must compute
@@ -16,7 +16,9 @@ fn interpreter_and_microarch_agree_on_values() {
     let machine = Machine::new();
     for f in [programs::modexp(), programs::crc8(), programs::fig4_toy()] {
         for _ in 0..25 {
-            let args: Vec<u64> = (0..f.num_params).map(|_| rng.random_range(0..256)).collect();
+            let args: Vec<u64> = (0..f.num_params)
+                .map(|_| rng.random_range(0..256))
+                .collect();
             let want = run(&f, &args, Memory::new(), InterpConfig::default()).unwrap();
             let mut st = MachineState::cold(machine.config());
             let got = machine.run(&f, &args, Memory::new(), &mut st).unwrap();
@@ -96,8 +98,16 @@ fn test_cases_replay_on_both_executors() {
     let machine = Machine::new();
     let mut replayed = 0;
     for p in dag.enumerate_paths(100) {
-        let Some(tc) = check_path(&dag, &p) else { continue };
-        let interp = run(&dag.func, &tc.args, tc.memory.clone(), InterpConfig::default()).unwrap();
+        let Some(tc) = check_path(&dag, &p) else {
+            continue;
+        };
+        let interp = run(
+            &dag.func,
+            &tc.args,
+            tc.memory.clone(),
+            InterpConfig::default(),
+        )
+        .unwrap();
         let mut st = MachineState::cold(machine.config());
         let timed = machine
             .run(&dag.func, &tc.args, tc.memory.clone(), &mut st)
@@ -125,12 +135,8 @@ fn exact_arithmetic_end_to_end() {
         .iter()
         .map(|bp| Rat::from(bp.path.edges.len() as u64))
         .collect();
-    let model = sciduction_gametime::TimingModel::fit(
-        &dag,
-        &basis,
-        means,
-        vec![1; basis.paths.len()],
-    );
+    let model =
+        sciduction_gametime::TimingModel::fit(&dag, &basis, means, vec![1; basis.paths.len()]);
     // Edge-count of ANY path must be predicted exactly (it is linear in
     // the edge vector with unit weights, which lies in the span).
     for p in dag.enumerate_paths(300) {

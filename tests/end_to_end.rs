@@ -56,7 +56,10 @@ fn gametime_works_on_second_workload_crc8() {
     // worst by more than the perturbation bound.
     let wcet_measured = platform.measure(&wcet.test) as f64;
     for b in 0..256u64 {
-        let t = sciduction_cfg::TestCase { args: vec![b], memory: Default::default() };
+        let t = sciduction_cfg::TestCase {
+            args: vec![b],
+            memory: Default::default(),
+        };
         let m = platform.measure(&t) as f64;
         assert!(
             m <= wcet_measured + 25.0,
@@ -133,7 +136,11 @@ fn gametime_handles_memory_programs() {
     // memories through the whole pipeline (SMT model → Memory → platform).
     let f = programs::bubble_pass();
     let mut platform = MicroarchPlatform::new(f.clone());
-    let config = GameTimeConfig { unroll_bound: 3, trials: 30, ..Default::default() };
+    let config = GameTimeConfig {
+        unroll_bound: 3,
+        trials: 30,
+        ..Default::default()
+    };
     let analysis = analyze(&f, &mut platform, &config).unwrap();
     assert_eq!(analysis.dag.count_paths(), 8, "3 compare-swaps → 8 paths");
     assert!(analysis.basis.rank() >= 4);
@@ -145,7 +152,10 @@ fn gametime_handles_memory_programs() {
     for p in analysis.dag.enumerate_paths(20) {
         if let Some(t) = sciduction_cfg::check_path(&analysis.dag, &p) {
             let m = platform.measure(&t) as f64;
-            assert!(m <= measured + 60.0, "path beats predicted WCET by too much");
+            assert!(
+                m <= measured + 60.0,
+                "path beats predicted WCET by too much"
+            );
         }
     }
 }
@@ -153,10 +163,14 @@ fn gametime_handles_memory_programs() {
 #[test]
 fn ogis_extra_benchmarks_synthesize() {
     use sciduction_ogis::{
-        benchmarks::extra, synthesize, verify_against_oracle, SynthesisConfig,
-        SynthesisOutcome, VerificationResult,
+        benchmarks::extra, synthesize, verify_against_oracle, SynthesisConfig, SynthesisOutcome,
+        VerificationResult,
     };
-    let tasks: Vec<(&str, sciduction_ogis::ComponentLibrary, Box<dyn sciduction_ogis::IoOracle>)> = {
+    let tasks: Vec<(
+        &str,
+        sciduction_ogis::ComponentLibrary,
+        Box<dyn sciduction_ogis::IoOracle>,
+    )> = {
         let (l1, o1) = extra::turn_off_rightmost_one(8);
         let (l2, o2) = extra::isolate_rightmost_one(8);
         vec![

@@ -21,8 +21,7 @@ fn all_three_applications_report_through_the_framework() {
 
     // OGIS (width 8 for speed).
     let (lib, oracle) = sciduction_ogis::benchmarks::p2_with_width(8);
-    let (og, _) =
-        sciduction_ogis::run_instance(lib, oracle, Default::default()).unwrap();
+    let (og, _) = sciduction_ogis::run_instance(lib, oracle, Default::default()).unwrap();
 
     // Hybrid (transmission).
     use sciduction_hybrid::transmission as tx;
@@ -51,7 +50,10 @@ fn all_three_applications_report_through_the_framework() {
         assert!(!r.hypothesis.is_empty());
         assert!(!r.inductive.is_empty());
         assert!(!r.deductive.is_empty());
-        assert!(r.deductive_queries > 0, "deductive engine must be exercised");
+        assert!(
+            r.deductive_queries > 0,
+            "deductive engine must be exercised"
+        );
     }
     assert!(gt.report.deductive.contains("SMT"));
     assert!(og.report.deductive.contains("SMT"));
@@ -116,7 +118,11 @@ fn generic_cegis_with_smt_verifier() {
     }
 
     match cegis(&mut ConstSynth, &mut SmtVerifier, vec![], 16) {
-        CegisResult::Synthesized { candidate, iterations, .. } => {
+        CegisResult::Synthesized {
+            candidate,
+            iterations,
+            ..
+        } => {
             assert_eq!(candidate, SECRET);
             assert!(iterations <= 2, "one counterexample pins the constant");
         }

@@ -1,14 +1,14 @@
 //! Property-based differential testing with *randomly generated IR
 //! programs*: the reference interpreter, the timing simulator, and the
 //! symbolic executor must agree on every program the generator can
-//! produce.
+//! produce. Generation is driven by the in-repo deterministic PRNG so
+//! every run covers the same program corpus.
 
-use proptest::prelude::*;
 use sciduction_cfg::{check_path, Dag, Path};
-use sciduction_ir::{
-    BinOp, CmpOp, Function, FunctionBuilder, InterpConfig, Memory, run,
-};
+use sciduction_ir::{run, BinOp, CmpOp, Function, FunctionBuilder, InterpConfig, Memory};
 use sciduction_microarch::{Machine, MachineState};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
 
 /// A recipe for one straight-line instruction over existing registers.
 #[derive(Clone, Debug)]
@@ -19,43 +19,49 @@ enum InstrRecipe {
     Konst(u64),
 }
 
-fn binop_strategy() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Udiv),
-        Just(BinOp::Urem),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-        Just(BinOp::Lshr),
-        Just(BinOp::Ashr),
-    ]
+const BIN_OPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Udiv,
+    BinOp::Urem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Lshr,
+    BinOp::Ashr,
+];
+
+const CMP_OPS: &[CmpOp] = &[
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Ult,
+    CmpOp::Ule,
+    CmpOp::Slt,
+    CmpOp::Sle,
+];
+
+fn random_recipe(rng: &mut StdRng) -> InstrRecipe {
+    match rng.random_range(0..4u32) {
+        0 => InstrRecipe::Bin(
+            BIN_OPS[rng.random_range(0..BIN_OPS.len())],
+            rng.random(),
+            rng.random(),
+        ),
+        1 => InstrRecipe::Cmp(
+            CMP_OPS[rng.random_range(0..CMP_OPS.len())],
+            rng.random(),
+            rng.random(),
+        ),
+        2 => InstrRecipe::Select(rng.random(), rng.random(), rng.random()),
+        _ => InstrRecipe::Konst(rng.random()),
+    }
 }
 
-fn cmpop_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Ult),
-        Just(CmpOp::Ule),
-        Just(CmpOp::Slt),
-        Just(CmpOp::Sle),
-    ]
-}
-
-fn recipe_strategy() -> impl Strategy<Value = InstrRecipe> {
-    prop_oneof![
-        (binop_strategy(), any::<usize>(), any::<usize>())
-            .prop_map(|(op, a, b)| InstrRecipe::Bin(op, a, b)),
-        (cmpop_strategy(), any::<usize>(), any::<usize>())
-            .prop_map(|(op, a, b)| InstrRecipe::Cmp(op, a, b)),
-        (any::<usize>(), any::<usize>(), any::<usize>())
-            .prop_map(|(c, t, e)| InstrRecipe::Select(c, t, e)),
-        any::<u64>().prop_map(InstrRecipe::Konst),
-    ]
+fn random_recipes(rng: &mut StdRng, max_len: usize) -> Vec<InstrRecipe> {
+    let len = rng.random_range(1..max_len);
+    (0..len).map(|_| random_recipe(rng)).collect()
 }
 
 /// Builds a straight-line function from recipes (register indices are
@@ -80,42 +86,49 @@ fn build_function(width: u32, recipes: &[InstrRecipe]) -> Function {
     fb.finish().expect("generated function is well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Interpreter and microarch simulator agree on every random program.
-    #[test]
-    fn prop_interpreter_matches_microarch(
-        width in prop_oneof![Just(8u32), Just(16), Just(32)],
-        recipes in proptest::collection::vec(recipe_strategy(), 1..12),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
+/// Interpreter and microarch simulator agree on every random program.
+#[test]
+fn prop_interpreter_matches_microarch() {
+    let mut rng = StdRng::seed_from_u64(0x1217);
+    let widths = [8u32, 16, 32];
+    for _ in 0..96 {
+        let width = widths[rng.random_range(0..widths.len())];
+        let recipes = random_recipes(&mut rng, 12);
+        let a: u64 = rng.random();
+        let b: u64 = rng.random();
         let f = build_function(width, &recipes);
         let want = run(&f, &[a, b], Memory::new(), InterpConfig::default()).unwrap();
         let machine = Machine::new();
         let mut st = MachineState::cold(machine.config());
         let got = machine.run(&f, &[a, b], Memory::new(), &mut st).unwrap();
-        prop_assert_eq!(got.ret, want.ret);
-        prop_assert!(got.cycles > 0);
+        assert_eq!(got.ret, want.ret, "program {f} on ({a}, {b})");
+        assert!(got.cycles > 0);
     }
+}
 
-    /// The symbolic executor's model of the single path agrees with the
-    /// concrete interpreter: asserting the path formula with pinned inputs
-    /// is satisfiable, and the test case it produces replays correctly.
-    #[test]
-    fn prop_symexec_matches_interpreter(
-        width in prop_oneof![Just(8u32), Just(16)],
-        recipes in proptest::collection::vec(recipe_strategy(), 1..8),
-    ) {
+/// The symbolic executor's model of the single path agrees with the
+/// concrete interpreter: asserting the path formula with pinned inputs
+/// is satisfiable, and the test case it produces replays correctly.
+#[test]
+fn prop_symexec_matches_interpreter() {
+    let mut rng = StdRng::seed_from_u64(0x5E5E);
+    let widths = [8u32, 16];
+    for _ in 0..96 {
+        let width = widths[rng.random_range(0..widths.len())];
+        let recipes = random_recipes(&mut rng, 8);
         let f = build_function(width, &recipes);
         let dag = Dag::from_function(&f, 0).unwrap();
         let paths = dag.enumerate_paths(4);
-        prop_assert_eq!(paths.len(), 1, "straight-line program has one path");
+        assert_eq!(paths.len(), 1, "straight-line program has one path");
         let tc = check_path(&dag, &paths[0]).expect("the only path is feasible");
-        let out = run(&dag.func, &tc.args, tc.memory.clone(), InterpConfig::default())
-            .unwrap();
+        let out = run(
+            &dag.func,
+            &tc.args,
+            tc.memory.clone(),
+            InterpConfig::default(),
+        )
+        .unwrap();
         let replay = Path::from_block_trace(&dag, &out.block_trace);
-        prop_assert_eq!(&replay, &paths[0]);
+        assert_eq!(&replay, &paths[0]);
     }
 }
