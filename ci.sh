@@ -14,8 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> tier-1: release build"
 cargo build --release --workspace
 
-echo "==> tier-1: test suite"
-cargo test --workspace --release -q
+echo "==> tier-1: test suite (SCIDUCTION_THREADS=1, sequential fallback)"
+SCIDUCTION_THREADS=1 cargo test --workspace --release -q
+
+echo "==> tier-1: test suite (SCIDUCTION_THREADS=4)"
+SCIDUCTION_THREADS=4 cargo test --workspace --release -q
+
+echo "==> differential suite: parallel vs sequential equivalence"
+cargo test --release -p sciduction-suite --test par_vs_seq -q
+
+echo "==> portfolio soak (10k races, release only)"
+cargo test --release -p sciduction-sat --test portfolio_stress -q -- --ignored
 
 echo "==> scilint (cross-layer artifact validation)"
 cargo run --release -p sciduction-analysis --bin scilint

@@ -8,9 +8,10 @@
 //! scilint --verbose  also print warnings and per-suite progress
 //! ```
 
+use sciduction::exec::QueryCache;
 use sciduction_analysis::passes::{
-    BasisValidator, DagValidator, IrValidator, SatValidator, SwitchingLogicValidator,
-    SynthProgramValidator, TermPoolValidator,
+    audit_cache_stats, BasisValidator, DagValidator, IrValidator, PortfolioValidator, SatValidator,
+    SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, unroll, BasisConfig, Dag, SmtOracle};
@@ -21,7 +22,9 @@ use sciduction_ir::programs;
 use sciduction_ogis::{
     benchmarks, synthesize, ComponentLibrary, IoOracle, SynthesisConfig, SynthesisOutcome,
 };
-use sciduction_sat::{Lit, SolveResult, Solver as SatSolver, Var};
+use sciduction_sat::{
+    solve_portfolio, Cnf, Lit, PortfolioConfig, SolveResult, Solver as SatSolver, Var,
+};
 use sciduction_smt::Solver as SmtSolver;
 use std::process::ExitCode;
 
@@ -120,6 +123,66 @@ fn lint_sat(report: &mut Report) {
             );
         }
     }
+}
+
+fn lint_portfolio(report: &mut Report) {
+    // The same ring-plus-wide-clauses family as `lint_sat`, raced by a
+    // 4-member diversified portfolio. The validator re-solves sequentially
+    // (PAR002) and certifies the winner's model against every member's
+    // clause database, learnt clauses included (PAR001).
+    let n = 30i64;
+    let mut clauses: Vec<Vec<i64>> = Vec::new();
+    for i in 0..n {
+        clauses.push(vec![-(i + 1), (i + 1) % n + 1]);
+    }
+    for i in 0..n / 3 {
+        clauses.push(vec![i + 1, (i + 7) % n + 1, -((i + 13) % n + 1)]);
+    }
+    let cnf = Cnf {
+        num_vars: n as usize,
+        clauses,
+    };
+    let config = PortfolioConfig {
+        members: 4,
+        ..PortfolioConfig::default()
+    };
+
+    // Unconstrained race, then an UNSAT-under-assumptions race (the ring
+    // forces x0 -> x5, so assuming x0 ∧ ¬x5 must fail with a witness).
+    let races: [&[Lit]; 2] = [
+        &[],
+        &[
+            Lit::positive(Var::from_index(0)),
+            Lit::negative(Var::from_index(5)),
+        ],
+    ];
+    for assumptions in races {
+        match solve_portfolio(&cnf, assumptions, &config) {
+            Ok(outcome) => {
+                PortfolioValidator::new(&cnf, assumptions, &outcome).validate(report);
+            }
+            Err(e) => {
+                report.error(
+                    codes::PAR002,
+                    "portfolio",
+                    "race",
+                    format!("portfolio member panicked: {e}"),
+                );
+            }
+        }
+    }
+
+    // Exercise a bounded shared cache past its capacity and audit the
+    // counters for coherence (PAR003).
+    let cache: QueryCache<u64, u64> = QueryCache::bounded(8);
+    for _ in 0..2 {
+        for k in 0..16u64 {
+            if cache.get(&k).is_none() {
+                cache.insert(k, k * k);
+            }
+        }
+    }
+    audit_cache_stats(&cache.stats(), "portfolio", report);
 }
 
 fn lint_ogis_bench(
@@ -229,11 +292,12 @@ fn main() -> ExitCode {
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
 
     type Suite = (&'static str, fn(&mut Report));
-    let suites: [Suite; 6] = [
+    let suites: [Suite; 7] = [
         ("ir", lint_ir),
         ("cfg", lint_cfg),
         ("smt", lint_smt),
         ("sat", lint_sat),
+        ("portfolio", lint_portfolio),
         ("ogis", lint_ogis),
         ("hybrid", lint_hybrid),
     ];

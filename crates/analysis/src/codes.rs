@@ -83,6 +83,18 @@ pub const OGS004: &str = "OGS004";
 /// input/output example.
 pub const OGS005: &str = "OGS005";
 
+/// Portfolio winner's model falsifies a clause in a member's clause
+/// database (original or learnt — learnt clauses are implied, so a
+/// genuine model satisfies every member's database).
+pub const PAR001: &str = "PAR001";
+/// Portfolio verdict disagrees with an independent sequential re-solve,
+/// or an UNSAT-under-assumptions outcome lacks a failed-assumption
+/// witness.
+pub const PAR002: &str = "PAR002";
+/// Shared query-cache counters incoherent (insertions exceeding misses,
+/// or evictions exceeding insertions).
+pub const PAR003: &str = "PAR003";
+
 /// Every registered code with its one-line description, for `scilint
 /// --codes` and the docs table.
 pub const ALL: &[(&str, &str)] = &[
@@ -136,6 +148,15 @@ pub const ALL: &[(&str, &str)] = &[
         OGS005,
         "program disagrees with a recorded example (certificate check)",
     ),
+    (
+        PAR001,
+        "portfolio winner's model falsifies a member's clause database",
+    ),
+    (
+        PAR002,
+        "portfolio verdict diverges from a sequential re-solve",
+    ),
+    (PAR003, "shared query-cache counters incoherent"),
 ];
 
 /// Looks up the description of a code.

@@ -6,11 +6,12 @@
 //! artifacts — malformedness is what they report.
 
 use crate::{codes, Report, Validator};
+use sciduction::exec::CacheStats;
 use sciduction_cfg::{Basis, Dag, RankTracker};
 use sciduction_hybrid::{HyperBox, HyperboxGuards, Mds, SwitchingLogic};
 use sciduction_ir::{Function, Operand, Terminator};
 use sciduction_ogis::{ComponentLibrary, SynthProgram};
-use sciduction_sat::{Lit, Solver as SatSolver};
+use sciduction_sat::{Cnf, Lit, PortfolioOutcome, SolveResult, Solver as SatSolver};
 use sciduction_smt::{BvValue, Sort, Term, TermPool};
 use std::collections::HashMap;
 
@@ -669,6 +670,148 @@ impl Validator for SatValidator<'_> {
         if let Some(model) = self.model {
             certify_model(self.solver.num_vars(), clauses, model, pass, report);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio / parallel execution
+// ---------------------------------------------------------------------------
+
+/// Validates a [`PortfolioOutcome`] against the [`Cnf`] it raced on.
+///
+/// * `PAR002` — the portfolio verdict is re-derived by an independent
+///   sequential solve of the same formula under the same assumptions; a
+///   disagreement, or an UNSAT-under-assumptions outcome with no
+///   failed-assumption witness, is reported.
+/// * `PAR001` — on SAT, the winner's model is re-checked against **every**
+///   parked member's clause database, losers included. Learnt clauses are
+///   derived by resolution from the clause database alone (assumptions
+///   enter as decisions, not clauses), so they are implied by the formula
+///   and a genuine model must satisfy all of them; a falsified clause in
+///   any member means either a bogus model or an unsound learnt clause.
+pub struct PortfolioValidator<'a> {
+    cnf: &'a Cnf,
+    assumptions: &'a [Lit],
+    outcome: &'a PortfolioOutcome,
+}
+
+impl<'a> PortfolioValidator<'a> {
+    /// A validator re-checking `outcome` against the formula it solved.
+    pub fn new(cnf: &'a Cnf, assumptions: &'a [Lit], outcome: &'a PortfolioOutcome) -> Self {
+        PortfolioValidator {
+            cnf,
+            assumptions,
+            outcome,
+        }
+    }
+}
+
+impl Validator for PortfolioValidator<'_> {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn validate(&self, report: &mut Report) {
+        let pass = self.name();
+        let out = self.outcome;
+
+        // PAR002 — independent sequential re-solve. SAT verdicts are
+        // unique even though models are not, so verdict equality is the
+        // whole equivalence contract.
+        let (mut seq, vars) = self.cnf.into_solver();
+        let assumptions: Vec<Lit> = self
+            .assumptions
+            .iter()
+            .map(|&l| Lit::new(vars[l.var().index()], l.is_negative()))
+            .collect();
+        let reference = seq.solve_with_assumptions(&assumptions);
+        if reference != out.result {
+            report.error(
+                codes::PAR002,
+                pass,
+                format!("winner#{}", out.winner),
+                format!(
+                    "portfolio verdict {:?} disagrees with sequential re-solve {:?}",
+                    out.result, reference
+                ),
+            );
+        }
+        if out.result == SolveResult::Unsat
+            && !self.assumptions.is_empty()
+            && out.failed_assumptions.is_empty()
+        {
+            report.error(
+                codes::PAR002,
+                pass,
+                format!("winner#{}", out.winner),
+                "UNSAT under assumptions but the failed-assumption witness is empty",
+            );
+        }
+
+        // PAR001 — on SAT, the winner's model against every member's full
+        // clause database (original + learnt).
+        if out.result == SolveResult::Sat {
+            for (mi, member) in out.solvers.iter().enumerate() {
+                let Some(solver) = member else { continue };
+                if out.model.len() != solver.num_vars() {
+                    report.error(
+                        codes::PAR001,
+                        pass,
+                        format!("member#{mi}"),
+                        format!(
+                            "model has {} entries for member's {} variables",
+                            out.model.len(),
+                            solver.num_vars()
+                        ),
+                    );
+                    continue;
+                }
+                for (ci, clause) in solver.clauses().enumerate() {
+                    let lits = clause.lits();
+                    let satisfied = lits.iter().any(|&l| {
+                        let v = l.var().index();
+                        v < out.model.len() && (out.model[v] ^ l.is_negative())
+                    });
+                    if !satisfied {
+                        report.error(
+                            codes::PAR001,
+                            pass,
+                            format!("member#{mi}/clause#{ci}"),
+                            format!("winner's model falsifies {lits:?} in member {mi}'s database"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Audits shared query-cache counters for coherence (`PAR003`): every
+/// insertion is preceded by a miss and every eviction by an insertion, so
+/// `insertions ≤ misses` and `evictions ≤ insertions` must hold at any
+/// quiescent point.
+pub fn audit_cache_stats(stats: &CacheStats, pass: &'static str, report: &mut Report) {
+    if stats.insertions > stats.misses {
+        report.error(
+            codes::PAR003,
+            pass,
+            "cache",
+            format!(
+                "{} insertions exceed {} misses",
+                stats.insertions, stats.misses
+            ),
+        );
+    }
+    if stats.evictions > stats.insertions {
+        report.error(
+            codes::PAR003,
+            pass,
+            "cache",
+            format!(
+                "{} evictions exceed {} insertions",
+                stats.evictions, stats.insertions
+            ),
+        );
     }
 }
 

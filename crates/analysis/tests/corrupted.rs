@@ -3,18 +3,20 @@
 //! clean negative on the corresponding well-formed artifact. Together these
 //! pin the code registry of `sciduction_analysis::codes`.
 
+use sciduction::exec::CacheStats;
 use sciduction_analysis::passes::{
-    audit_clauses, audit_edge_graph, certify_model, BasisValidator, DagValidator, IrValidator,
-    SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
+    audit_cache_stats, audit_clauses, audit_edge_graph, certify_model, BasisValidator,
+    DagValidator, IrValidator, PortfolioValidator, SwitchingLogicValidator, SynthProgramValidator,
+    TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, BasisConfig, Dag, SmtOracle};
 use sciduction_hybrid::{Grid, HyperBox, HyperboxGuards, Mds, Mode, SwitchingLogic, Transition};
 use sciduction_ir::{programs, BinOp, Block, BlockId, Function, Instr, Operand, Reg, Terminator};
 use sciduction_ogis::{ComponentLibrary, Op, SynthProgram};
-use sciduction_sat::{Lit, Var};
+use sciduction_sat::{solve_portfolio, Cnf, Lit, PortfolioConfig, SolveResult, Var};
 use sciduction_smt::{BvValue, Sort, Term, TermId, TermPool};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn lit(i: usize, neg: bool) -> Lit {
     if neg {
@@ -323,6 +325,125 @@ fn sat005_model_wrong_length() {
 }
 
 // -------------------------------------------------------------------------
+// Portfolio / parallel execution
+// -------------------------------------------------------------------------
+
+/// An implication ring with a handful of wide clauses: satisfiable, and
+/// flipping any single model bit falsifies one of the ring clauses.
+fn ring_cnf() -> Cnf {
+    let n = 12i64;
+    let mut clauses: Vec<Vec<i64>> = (0..n).map(|i| vec![-(i + 1), (i + 1) % n + 1]).collect();
+    clauses.push(vec![1, 4, -7]);
+    Cnf {
+        num_vars: n as usize,
+        clauses,
+    }
+}
+
+#[test]
+fn portfolio_clean_negatives() {
+    let cnf = ring_cnf();
+    for threads in [1, 4] {
+        let config = PortfolioConfig {
+            members: 4,
+            threads,
+            ..PortfolioConfig::default()
+        };
+        let sat = solve_portfolio(&cnf, &[], &config).expect("no member panics");
+        assert_eq!(sat.result, SolveResult::Sat);
+        let mut r = Report::new();
+        PortfolioValidator::new(&cnf, &[], &sat).validate(&mut r);
+        assert!(r.is_clean(), "{r}");
+
+        // x0 ∧ ¬x5 contradicts the implication ring: UNSAT with a witness.
+        let assumptions = [lit(0, false), lit(5, true)];
+        let unsat = solve_portfolio(&cnf, &assumptions, &config).expect("no member panics");
+        assert_eq!(unsat.result, SolveResult::Unsat);
+        let mut r = Report::new();
+        PortfolioValidator::new(&cnf, &assumptions, &unsat).validate(&mut r);
+        assert!(r.is_clean(), "{r}");
+    }
+}
+
+#[test]
+fn par001_corrupted_winner_model() {
+    let cnf = ring_cnf();
+    let config = PortfolioConfig {
+        members: 4,
+        threads: 1,
+        ..PortfolioConfig::default()
+    };
+    let mut out = solve_portfolio(&cnf, &[], &config).expect("no member panics");
+    out.model[3] = !out.model[3];
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
+    assert!(r.has_code(codes::PAR001), "{r}");
+}
+
+#[test]
+fn par002_verdict_disagrees_with_resolve() {
+    let cnf = ring_cnf();
+    let config = PortfolioConfig {
+        members: 2,
+        threads: 1,
+        ..PortfolioConfig::default()
+    };
+    let mut out = solve_portfolio(&cnf, &[], &config).expect("no member panics");
+    out.result = SolveResult::Unsat;
+    out.model.clear();
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
+    assert!(r.has_code(codes::PAR002), "{r}");
+}
+
+#[test]
+fn par002_unsat_without_failed_assumption_witness() {
+    let cnf = ring_cnf();
+    let config = PortfolioConfig {
+        members: 2,
+        threads: 1,
+        ..PortfolioConfig::default()
+    };
+    let assumptions = [lit(0, false), lit(5, true)];
+    let mut out = solve_portfolio(&cnf, &assumptions, &config).expect("no member panics");
+    assert_eq!(out.result, SolveResult::Unsat);
+    assert!(!out.failed_assumptions.is_empty());
+    out.failed_assumptions.clear();
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &assumptions, &out).validate(&mut r);
+    assert!(r.has_code(codes::PAR002), "{r}");
+}
+
+#[test]
+fn par003_incoherent_cache_counters() {
+    let coherent = CacheStats {
+        hits: 5,
+        misses: 10,
+        insertions: 10,
+        evictions: 2,
+    };
+    let mut r = Report::new();
+    audit_cache_stats(&coherent, "portfolio", &mut r);
+    assert!(r.is_clean(), "{r}");
+
+    let phantom_insert = CacheStats {
+        insertions: 11,
+        ..coherent
+    };
+    let mut r = Report::new();
+    audit_cache_stats(&phantom_insert, "portfolio", &mut r);
+    assert!(r.has_code(codes::PAR003), "{r}");
+
+    let phantom_evict = CacheStats {
+        evictions: 11,
+        ..coherent
+    };
+    let mut r = Report::new();
+    audit_cache_stats(&phantom_evict, "portfolio", &mut r);
+    assert!(r.has_code(codes::PAR003), "{r}");
+}
+
+// -------------------------------------------------------------------------
 // CFG
 // -------------------------------------------------------------------------
 
@@ -405,11 +526,11 @@ fn toy_mds() -> Mds {
         modes: vec![
             Mode {
                 name: "up".into(),
-                dynamics: Rc::new(|_x, out| out[0] = 1.0),
+                dynamics: Arc::new(|_x, out| out[0] = 1.0),
             },
             Mode {
                 name: "down".into(),
-                dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                dynamics: Arc::new(|_x, out| out[0] = -1.0),
             },
         ],
         transitions: vec![
@@ -426,7 +547,7 @@ fn toy_mds() -> Mds {
                 learnable: true,
             },
         ],
-        safe: Rc::new(|_m, x| (0.0..=10.0).contains(&x[0])),
+        safe: Arc::new(|_m, x| (0.0..=10.0).contains(&x[0])),
     }
 }
 

@@ -1,0 +1,226 @@
+//! `par_speedup` — sequential vs. portfolio/parallel wall time on the
+//! paper's three application workloads (Fig. 6 GameTime, Fig. 8 OGIS,
+//! Fig. 10 hybrid switching-logic validation) plus a raw SAT portfolio
+//! race, with the semantic-equivalence checks the differential suite
+//! enforces run inline.
+//!
+//! Run with `cargo run --release -p sciduction-bench --bin par_speedup`.
+//! Worker count comes from `SCIDUCTION_THREADS` (default: the host's
+//! `available_parallelism`); speedups above 1x require the host to
+//! actually expose more than one core.
+
+use sciduction::exec::configured_threads;
+use sciduction::ValidityEvidence;
+use sciduction_bench::{print_table, write_csv};
+use sciduction_gametime::{analyze, analyze_parallel, GameTimeConfig, MicroarchPlatform};
+use sciduction_hybrid::{
+    par_validate_logic, synthesize_switching, transmission as tx, validate_logic, Grid,
+    ReachConfig, SwitchSynthConfig,
+};
+use sciduction_ir::programs;
+use sciduction_ogis::{
+    benchmarks, synthesize, synthesize_portfolio, ParallelSynthesisConfig, SynthesisConfig,
+    SynthesisOutcome,
+};
+use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
+use sciduction_sat::{solve_portfolio, Cnf, PortfolioConfig};
+use std::time::Instant;
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// A satisfiable random 3-SAT instance below the phase transition.
+fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = rng.random_range(0..num_vars as u64) as i64 + 1;
+                    if rng.random::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+fn main() {
+    let threads = configured_threads();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("== par_speedup: sequential vs parallel solver core ==");
+    println!(
+        "worker threads: {threads} (SCIDUCTION_THREADS; host available_parallelism = {cores})"
+    );
+    if cores == 1 {
+        println!("note: single-core host — parallel runs measure overhead, not speedup");
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // -- SAT: a 4-member diversified portfolio racing one formula --------
+    let cnf = random_3sat(160, 620, 0xBEEF);
+    let (seq_out, seq_t) = timed(|| {
+        let config = PortfolioConfig {
+            members: 4,
+            threads: 1,
+            ..PortfolioConfig::default()
+        };
+        solve_portfolio(&cnf, &[], &config).expect("no member panics")
+    });
+    let (par_out, par_t) = timed(|| {
+        let config = PortfolioConfig {
+            members: 4,
+            threads,
+            ..PortfolioConfig::default()
+        };
+        solve_portfolio(&cnf, &[], &config).expect("no member panics")
+    });
+    assert_eq!(seq_out.result, par_out.result, "SAT verdicts must agree");
+    rows.push(vec![
+        "sat_portfolio_3sat".into(),
+        format!("{seq_t:.3}"),
+        format!("{par_t:.3}"),
+        format!("{:.2}", seq_t / par_t),
+        format!("{:?}", par_out.result),
+    ]);
+
+    // -- Fig. 6: GameTime basis-path measurement batches -----------------
+    let f = programs::modexp();
+    let config = GameTimeConfig {
+        unroll_bound: 8,
+        trials: 90,
+        ..GameTimeConfig::default()
+    };
+    let (seq_a, seq_t) = timed(|| {
+        let mut platform = MicroarchPlatform::new(f.clone());
+        analyze(&f, &mut platform, &config).expect("analysis succeeds")
+    });
+    let (par_a, par_t) = timed(|| {
+        analyze_parallel(&f, || MicroarchPlatform::new(f.clone()), &config, threads)
+            .expect("analysis succeeds")
+    });
+    assert_eq!(
+        seq_a.model.weights, par_a.model.weights,
+        "fitted timing models must be identical"
+    );
+    rows.push(vec![
+        "fig6_gametime_modexp".into(),
+        format!("{seq_t:.3}"),
+        format!("{par_t:.3}"),
+        format!("{:.2}", seq_t / par_t),
+        format!("{} measurements", par_a.measurements),
+    ]);
+
+    // -- Fig. 8: OGIS counterexample search fanned out --------------------
+    let (lib, mut oracle) = benchmarks::p1_with_width(8);
+    let synth_config = SynthesisConfig::default();
+    let (seq_out, seq_t) = timed(|| synthesize(&lib, &mut oracle, &synth_config));
+    let (par_out, par_t) = timed(|| {
+        synthesize_portfolio(
+            &lib,
+            |_| benchmarks::p1_with_width(8).1,
+            &synth_config,
+            &ParallelSynthesisConfig {
+                threads,
+                ..ParallelSynthesisConfig::default()
+            },
+        )
+        .expect("no member panics")
+    });
+    let both_synthesized = matches!(seq_out.0, SynthesisOutcome::Synthesized { .. })
+        && matches!(par_out.outcome, SynthesisOutcome::Synthesized { .. });
+    assert!(both_synthesized, "both runs must synthesize P1");
+    rows.push(vec![
+        "fig8_ogis_p1_w8".into(),
+        format!("{seq_t:.3}"),
+        format!("{par_t:.3}"),
+        format!("{:.2}", seq_t / par_t),
+        format!(
+            "winner {} / cache {} hit(s)",
+            par_out.winner, par_out.cache.hits
+        ),
+    ]);
+
+    // -- Fig. 10: hybrid reachability sweeps in parallel batches ----------
+    let mds = tx::transmission();
+    let switch_config = SwitchSynthConfig {
+        grid: Grid::new(0.05),
+        reach: ReachConfig {
+            dt: 0.01,
+            horizon: 200.0,
+            min_dwell: 0.0,
+            equilibrium_eps: 1e-9,
+        },
+        ..SwitchSynthConfig::default()
+    };
+    let synth = synthesize_switching(
+        &mds,
+        tx::initial_guards(&mds),
+        &tx::guard_seeds(&mds),
+        &switch_config,
+    );
+    assert!(synth.converged, "guard synthesis must converge");
+    let samples = 24;
+    let (seq_ev, seq_t) =
+        timed(|| validate_logic(&mds, &synth.logic, samples, &switch_config.reach));
+    let (par_ev, par_t) = timed(|| {
+        par_validate_logic(&mds, &synth.logic, samples, &switch_config.reach, threads)
+            .expect("no worker panics")
+    });
+    let (seq_trials, seq_viol) = match &seq_ev {
+        ValidityEvidence::EmpiricallyTested {
+            trials, violations, ..
+        } => (*trials, *violations),
+        other => panic!("unexpected evidence {other:?}"),
+    };
+    let (par_trials, par_viol) = match &par_ev {
+        ValidityEvidence::EmpiricallyTested {
+            trials, violations, ..
+        } => (*trials, *violations),
+        other => panic!("unexpected evidence {other:?}"),
+    };
+    assert_eq!(
+        (seq_trials, seq_viol),
+        (par_trials, par_viol),
+        "validation sweeps must agree"
+    );
+    rows.push(vec![
+        "fig10_hybrid_validate".into(),
+        format!("{seq_t:.3}"),
+        format!("{par_t:.3}"),
+        format!("{:.2}", seq_t / par_t),
+        format!("{par_trials} trials / {par_viol} violation(s)"),
+    ]);
+
+    println!();
+    print_table(&["workload", "seq_s", "par_s", "speedup", "check"], &rows);
+
+    let mut csv = vec![vec![
+        "workload".to_string(),
+        "seq_seconds".to_string(),
+        "par_seconds".to_string(),
+        "speedup".to_string(),
+        "threads".to_string(),
+    ]];
+    for r in &rows {
+        csv.push(vec![
+            r[0].clone(),
+            r[1].clone(),
+            r[2].clone(),
+            r[3].clone(),
+            threads.to_string(),
+        ]);
+    }
+    let path = write_csv("par_speedup", &csv);
+    println!("\nseries written to {}", path.display());
+}

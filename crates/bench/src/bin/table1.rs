@@ -6,7 +6,7 @@
 //! Run with `cargo run --release -p sciduction-bench --bin table1`.
 
 use sciduction_bench::{print_table, write_csv};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -64,7 +64,7 @@ fn main() {
     // Application 3 (Sec. 5): switching-logic synthesis.
     {
         use sciduction_hybrid::transmission as tx;
-        let mds = Rc::new(tx::transmission());
+        let mds = Arc::new(tx::transmission());
         let initial = tx::initial_guards(&mds);
         let seeds = tx::guard_seeds(&mds);
         let config = sciduction_hybrid::SwitchSynthConfig {

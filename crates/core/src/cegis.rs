@@ -9,6 +9,8 @@
 //! (Sec. 4) uses a refinement of it where the verifier is replaced by
 //! distinguishing-input search against an I/O oracle.
 
+use crate::exec::{ExecError, ParallelOracle};
+
 /// Proposes candidates consistent with all examples seen so far —
 /// the inductive side of CEGIS.
 pub trait Synthesizer {
@@ -32,6 +34,21 @@ pub trait Verifier {
 
     /// `None` if the candidate is correct; otherwise a counterexample.
     fn find_counterexample(&mut self, candidate: &Self::Candidate) -> Option<Self::Example>;
+}
+
+/// The deductive side of CEGIS for parallel verification: a probe that
+/// checks candidates through `&self`, so a bank of probes can examine one
+/// candidate concurrently. Each probe typically covers a different slice
+/// of the input space (a region, a workload class, a property fragment).
+pub trait ParVerifier {
+    /// Candidate artifacts.
+    type Candidate;
+    /// Counterexamples.
+    type Example;
+
+    /// `None` if the candidate passes this probe; otherwise a
+    /// counterexample.
+    fn find_counterexample(&self, candidate: &Self::Candidate) -> Option<Self::Example>;
 }
 
 /// Outcome of a CEGIS run.
@@ -97,6 +114,57 @@ where
     CegisResult::BudgetExhausted {
         iterations: max_iterations,
     }
+}
+
+/// The CEGIS loop with counterexample search fanned out across a bank of
+/// verifier probes on `threads` workers (1 = the sequential loop).
+///
+/// Each round the candidate is shown to every probe concurrently; the
+/// counterexample adopted is always the one from the *lowest-indexed*
+/// failing probe, so the example sequence — and hence the entire run — is
+/// identical at every thread count. A candidate is accepted only when all
+/// probes pass.
+///
+/// # Errors
+///
+/// [`ExecError`] if a probe panics.
+pub fn par_cegis<S, V, C, E>(
+    synthesizer: &mut S,
+    verifiers: &[V],
+    initial_examples: Vec<E>,
+    max_iterations: usize,
+    threads: usize,
+) -> Result<CegisResult<C, E>, ExecError>
+where
+    S: Synthesizer<Candidate = C, Example = E>,
+    V: ParVerifier<Candidate = C, Example = E> + Sync,
+    C: Sync,
+    E: Send,
+{
+    let oracle = ParallelOracle::new(threads);
+    let mut examples = initial_examples;
+    for iteration in 1..=max_iterations {
+        let Some(candidate) = synthesizer.propose(&examples) else {
+            return Ok(CegisResult::Unrealizable {
+                iterations: iteration,
+                examples,
+            });
+        };
+        let verdicts = oracle.map(verifiers, |_, v| v.find_counterexample(&candidate))?;
+        match verdicts.into_iter().flatten().next() {
+            None => {
+                return Ok(CegisResult::Synthesized {
+                    candidate,
+                    iterations: iteration,
+                    examples,
+                })
+            }
+            Some(cex) => examples.push(cex),
+        }
+    }
+    Ok(CegisResult::BudgetExhausted {
+        iterations: max_iterations,
+    })
 }
 
 #[cfg(test)]
@@ -208,6 +276,65 @@ mod tests {
             }
             other => panic!("expected unrealizable, got {other:?}"),
         }
+    }
+
+    /// A probe covering one byte-range slice of the affine verifier's
+    /// input space.
+    struct AffineProbe {
+        secret: (u8, u8),
+        range: std::ops::RangeInclusive<u8>,
+    }
+
+    impl ParVerifier for AffineProbe {
+        type Candidate = (u8, u8);
+        type Example = (u8, u8);
+        fn find_counterexample(&self, c: &(u8, u8)) -> Option<(u8, u8)> {
+            let (sa, sb) = self.secret;
+            self.range
+                .clone()
+                .find(|&x| {
+                    c.0.wrapping_mul(x).wrapping_add(c.1) != sa.wrapping_mul(x).wrapping_add(sb)
+                })
+                .map(|x| (x, sa.wrapping_mul(x).wrapping_add(sb)))
+        }
+    }
+
+    #[test]
+    fn par_cegis_is_thread_count_invariant() {
+        let secret = (13, 200);
+        let probes: Vec<AffineProbe> = [0..=63u8, 64..=127, 128..=191, 192..=255]
+            .into_iter()
+            .map(|range| AffineProbe { secret, range })
+            .collect();
+        let mut runs = Vec::new();
+        for threads in [1, 2, 4] {
+            let mut s = AffineSynth;
+            let run = par_cegis(&mut s, &probes, vec![], 16, threads).unwrap();
+            match &run {
+                CegisResult::Synthesized { candidate, .. } => assert_eq!(*candidate, secret),
+                other => panic!("expected synthesis, got {other:?}"),
+            }
+            runs.push(run);
+        }
+        // Lowest-index counterexample adoption makes the entire example
+        // sequence independent of the worker count.
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn par_cegis_surfaces_probe_panics() {
+        struct Bomb;
+        impl ParVerifier for Bomb {
+            type Candidate = (u8, u8);
+            type Example = (u8, u8);
+            fn find_counterexample(&self, _c: &(u8, u8)) -> Option<(u8, u8)> {
+                panic!("probe exploded");
+            }
+        }
+        let mut s = AffineSynth;
+        let err = par_cegis(&mut s, &[Bomb], vec![], 4, 2).unwrap_err();
+        assert!(err.to_string().contains("probe exploded"));
     }
 
     #[test]

@@ -1,0 +1,703 @@
+//! Work-scheduling layer: scoped-thread fan-out, solver portfolios with
+//! first-winner cancellation, and a concurrent memoized query cache.
+//!
+//! Everything here is std-only — scoped threads, channels-free index
+//! stealing over atomics, and sharded mutex maps — honoring the
+//! workspace's zero-external-deps rule. The layer has a strict
+//! determinism contract (DESIGN.md §4.13):
+//!
+//! * at `threads = 1` every primitive degrades to a plain sequential
+//!   loop, bit-reproducible with the pre-parallel code paths;
+//! * at `threads > 1` results are *semantically* equivalent — the same
+//!   verdicts and certified artifacts — though tie-breaking between
+//!   simultaneously-finishing portfolio members may differ run to run.
+//!
+//! The thread count is taken from the [`THREADS_ENV`] environment knob
+//! (`SCIDUCTION_THREADS`), defaulting to
+//! [`std::thread::available_parallelism`].
+
+use std::any::Any;
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable selecting the worker-thread count.
+pub const THREADS_ENV: &str = "SCIDUCTION_THREADS";
+
+/// The thread count configured for this process: [`THREADS_ENV`] when set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Pure parsing core of [`configured_threads`]: `raw` is the value of
+/// [`THREADS_ENV`] if set. Unset, unparsable, or zero values fall back to
+/// the default (available parallelism).
+pub fn parse_threads(raw: Option<&str>) -> usize {
+    match raw.map(|s| s.trim().parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => n,
+        _ => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A shared cancellation token: racing workers poll it and abandon work
+/// once a winner has been recorded.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag. The flag is monotone — once stopped it stays stopped.
+#[derive(Clone, Debug, Default)]
+pub struct StopFlag {
+    inner: Arc<AtomicBool>,
+}
+
+impl StopFlag {
+    /// A fresh, unstopped flag.
+    pub fn new() -> Self {
+        StopFlag::default()
+    }
+
+    /// Requests cancellation of every worker polling this flag.
+    pub fn stop(&self) {
+        self.inner.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.load(Ordering::Acquire)
+    }
+
+    /// The raw shared flag, for engines that poll an [`AtomicBool`]
+    /// directly in their inner loops (e.g. the CDCL decision loop).
+    pub fn handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner)
+    }
+}
+
+/// Failure of a parallel region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// A worker thread panicked. The panic is contained — sibling workers
+    /// drain their remaining items and the region returns this error
+    /// instead of unwinding or hanging.
+    WorkerPanicked {
+        /// Index of the failed unit: the worker slot for
+        /// [`ParallelOracle::map`], the entrant for [`Portfolio::race`].
+        worker: usize,
+        /// The stringified panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WorkerPanicked { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Fans independent oracle queries out across scoped worker threads.
+///
+/// Items are claimed by index from a shared atomic counter, so the unit
+/// of scheduling is one item; results are merged back in item order, so
+/// `map` returns exactly what the sequential loop would.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOracle {
+    threads: usize,
+}
+
+impl ParallelOracle {
+    /// An oracle running on `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelOracle {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An oracle sized by [`configured_threads`].
+    pub fn from_env() -> Self {
+        ParallelOracle::new(configured_threads())
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this oracle runs inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Applies `f` to every item, in parallel when more than one worker is
+    /// configured, and returns the results in item order.
+    ///
+    /// A panicking `f` surfaces as [`ExecError::WorkerPanicked`] — never a
+    /// hang, and never a partial result vector presented as complete.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, ExecError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.iter().enumerate() {
+                match panic::catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(r) => out.push(r),
+                    Err(payload) => {
+                        return Err(ExecError::WorkerPanicked {
+                            worker: 0,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            return Ok(out);
+        }
+
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let results: Result<Vec<Vec<(usize, R)>>, ExecError> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut chunks = Vec::with_capacity(workers);
+            let mut first_panic = None;
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(chunk) => chunks.push(chunk),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(ExecError::WorkerPanicked {
+                                worker: w,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
+            }
+            match first_panic {
+                Some(e) => Err(e),
+                None => Ok(chunks),
+            }
+        });
+
+        let chunks = results?;
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in chunks.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every index claimed exactly once"))
+            .collect())
+    }
+}
+
+/// The winning entrant of a portfolio race.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaceWin<T> {
+    /// Index of the entrant that answered first.
+    pub winner: usize,
+    /// The answer it produced.
+    pub value: T,
+}
+
+/// Races diversified solver instances on one query, cancelling the losers
+/// as soon as any entrant answers.
+///
+/// Each entrant receives a shared [`StopFlag`]; well-behaved entrants
+/// poll it at their natural yield points (e.g. the CDCL decision loop)
+/// and return `None` once it trips. An entrant returning `Some` answer
+/// records itself as the winner (first writer wins) and trips the flag.
+#[derive(Clone, Copy, Debug)]
+pub struct Portfolio {
+    threads: usize,
+}
+
+impl Portfolio {
+    /// A portfolio scheduler with `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Portfolio {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A portfolio sized by [`configured_threads`].
+    pub fn from_env() -> Self {
+        Portfolio::new(configured_threads())
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `entrants` to the first answer.
+    ///
+    /// Returns `Ok(None)` when every entrant gave up (returned `None`
+    /// on its own, without being cancelled by a winner). At one thread
+    /// the entrants run in index order and the race is deterministic:
+    /// the winner is the lowest-indexed entrant that answers, and later
+    /// entrants are never started.
+    pub fn race<T, F>(&self, entrants: Vec<F>) -> Result<Option<RaceWin<T>>, ExecError>
+    where
+        T: Send,
+        F: FnOnce(&StopFlag) -> Option<T> + Send,
+    {
+        let stop = StopFlag::new();
+        let n = entrants.len();
+        if self.threads == 1 || n <= 1 {
+            for (i, entrant) in entrants.into_iter().enumerate() {
+                match panic::catch_unwind(AssertUnwindSafe(|| entrant(&stop))) {
+                    Ok(Some(value)) => {
+                        stop.stop();
+                        return Ok(Some(RaceWin { winner: i, value }));
+                    }
+                    Ok(None) => {}
+                    Err(payload) => {
+                        return Err(ExecError::WorkerPanicked {
+                            worker: i,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            return Ok(None);
+        }
+
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let win: Mutex<Option<RaceWin<T>>> = Mutex::new(None);
+        let fault: Mutex<Option<ExecError>> = Mutex::new(None);
+        let entrants: Vec<Mutex<Option<F>>> =
+            entrants.into_iter().map(|e| Mutex::new(Some(e))).collect();
+        let (stop_ref, win_ref, fault_ref, entrants_ref, next) =
+            (&stop, &win, &fault, &entrants, &next);
+
+        // Panics are caught *inside* each worker, which then trips the
+        // stop flag itself. Detecting them only at join time would
+        // deadlock: joins run in spawn order, and an earlier worker may
+        // be spinning on a flag only the panic path would ever set.
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    if stop_ref.is_stopped() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let Some(entrant) = take_entrant(&entrants_ref[i]) else {
+                        continue;
+                    };
+                    match panic::catch_unwind(AssertUnwindSafe(|| entrant(stop_ref))) {
+                        Ok(Some(value)) => {
+                            // Record-then-cancel: the answer is safely
+                            // stored before losers are told to stop, so
+                            // cancellation can never lose it.
+                            let mut slot = lock_ignoring_poison(win_ref);
+                            if slot.is_none() {
+                                *slot = Some(RaceWin { winner: i, value });
+                            }
+                            drop(slot);
+                            stop_ref.stop();
+                            break;
+                        }
+                        Ok(None) => {}
+                        Err(payload) => {
+                            let mut slot = lock_ignoring_poison(fault_ref);
+                            if slot.is_none() {
+                                *slot = Some(ExecError::WorkerPanicked {
+                                    worker: i,
+                                    message: panic_message(payload.as_ref()),
+                                });
+                            }
+                            drop(slot);
+                            stop_ref.stop();
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        // A lost entrant is reported even when a sibling answered: a
+        // panicking portfolio member means the diversification setup is
+        // broken, and hiding it behind the winner would mask the bug.
+        if let Some(e) = lock_ignoring_poison(&fault).take() {
+            return Err(e);
+        }
+        let winner = lock_ignoring_poison(&win).take();
+        Ok(winner)
+    }
+}
+
+/// Takes an entrant out of its slot; a slot poisoned by a panicking
+/// sibling yields its inner state unchanged (the entrant, a plain
+/// `FnOnce`, cannot be left logically broken by an unwind elsewhere).
+fn take_entrant<F>(slot: &Mutex<Option<F>>) -> Option<F> {
+    lock_ignoring_poison(slot).take()
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Hit/miss/eviction counters of a [`QueryCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+/// A concurrent memoized query cache, shared across CEGIS iterations and
+/// portfolio members.
+///
+/// Keys are full structural keys — e.g. the canonical serialization of a
+/// hash-consed SMT term DAG — compared with `Eq`, so a hash collision can
+/// never produce a false hit. Entries are first-writer-wins: once a key
+/// is bound, later insertions return the original value, keeping every
+/// reader coherent. Bounded caches evict in FIFO order, which can only
+/// cause re-computation, never a wrong answer.
+pub struct QueryCache<K, V> {
+    shards: Box<[Mutex<Shard<K, V>>]>,
+    hasher: RandomState,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const CACHE_SHARDS: usize = 16;
+
+impl<K: Hash + Eq + Clone, V: Clone> fmt::Debug for QueryCache<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
+    /// An unbounded cache.
+    pub fn new() -> Self {
+        QueryCache::with_shard_capacity(0)
+    }
+
+    /// A cache bounded to roughly `capacity` entries (rounded up to a
+    /// multiple of the shard count). `capacity = 0` means unbounded.
+    pub fn bounded(capacity: usize) -> Self {
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(CACHE_SHARDS)
+        };
+        QueryCache::with_shard_capacity(per_shard)
+    }
+
+    fn with_shard_capacity(per_shard_capacity: usize) -> Self {
+        let shards = (0..CACHE_SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        QueryCache {
+            shards,
+            hasher: RandomState::new(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = lock_ignoring_poison(self.shard(key));
+        match shard.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Binds `key` to `value` unless already bound, returning the value
+    /// the cache now holds (first writer wins).
+    pub fn insert(&self, key: K, value: V) -> V {
+        let mut shard = lock_ignoring_poison(self.shard(&key));
+        if let Some(existing) = shard.map.get(&key) {
+            return existing.clone();
+        }
+        if self.per_shard_capacity > 0 && shard.map.len() >= self.per_shard_capacity {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.order.push_back(key.clone());
+        shard.map.insert(key, value.clone());
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Returns the cached value for `key`, computing it with `f` on a
+    /// miss. `f` runs *outside* the shard lock, so a slow (or panicking)
+    /// computation never blocks other queries or poisons the cache;
+    /// concurrent misses on the same key may compute redundantly, and the
+    /// first to finish wins.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: &K, f: F) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = f();
+        self.insert(key.clone(), v)
+    }
+
+    /// The number of live entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_ignoring_poison(s).map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for QueryCache<K, V> {
+    fn default() -> Self {
+        QueryCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A boxed race entrant, for tests mixing closure bodies in one vec.
+    type BoxedEntrant<'a> = Box<dyn FnOnce(&StopFlag) -> Option<u32> + Send + 'a>;
+
+    #[test]
+    fn parse_threads_accepts_positive_and_rejects_junk() {
+        assert_eq!(parse_threads(Some("3")), 3);
+        assert_eq!(parse_threads(Some(" 8 ")), 8);
+        let default = parse_threads(None);
+        assert!(default >= 1);
+        assert_eq!(parse_threads(Some("0")), default);
+        assert_eq!(parse_threads(Some("forty")), default);
+        assert_eq!(parse_threads(Some("")), default);
+    }
+
+    #[test]
+    fn map_matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = ParallelOracle::new(threads)
+                .map(&items, |_, x| x * x + 1)
+                .unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_index_order_under_contention() {
+        let items: Vec<usize> = (0..64).collect();
+        let got = ParallelOracle::new(4)
+            .map(&items, |i, &x| {
+                assert_eq!(i, x);
+                // Stagger finish times so merge order is exercised.
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                x * 10
+            })
+            .unwrap();
+        assert_eq!(got, (0..64).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_race_prefers_lowest_index_and_skips_the_rest() {
+        let started = AtomicUsize::new(0);
+        let entrants: Vec<BoxedEntrant<'_>> = vec![
+            Box::new(|_: &StopFlag| {
+                started.fetch_add(1, Ordering::Relaxed);
+                None
+            }),
+            Box::new(|_: &StopFlag| {
+                started.fetch_add(1, Ordering::Relaxed);
+                Some(42)
+            }),
+            Box::new(|_: &StopFlag| {
+                started.fetch_add(1, Ordering::Relaxed);
+                Some(99)
+            }),
+        ];
+        let win = Portfolio::new(1).race(entrants).unwrap().unwrap();
+        assert_eq!(win.winner, 1);
+        assert_eq!(win.value, 42);
+        assert_eq!(started.load(Ordering::Relaxed), 2, "entrant 2 never ran");
+    }
+
+    #[test]
+    fn parallel_race_records_exactly_one_winner() {
+        for _ in 0..50 {
+            let win = Portfolio::new(4)
+                .race((0..8).map(|i| move |_: &StopFlag| Some(i)).collect())
+                .unwrap()
+                .expect("some entrant answers");
+            assert_eq!(win.value, win.winner);
+        }
+    }
+
+    #[test]
+    fn race_with_no_answers_returns_none() {
+        for threads in [1, 4] {
+            let out = Portfolio::new(threads)
+                .race::<u32, _>((0..6).map(|_| |_: &StopFlag| None).collect())
+                .unwrap();
+            assert!(out.is_none(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn losers_observe_the_stop_flag() {
+        // Entrant 0 answers instantly; the others spin until cancelled.
+        // Termination of this test is itself the assertion.
+        let entrants: Vec<BoxedEntrant<'_>> = (0..4)
+            .map(|i| {
+                Box::new(move |stop: &StopFlag| {
+                    if i == 0 {
+                        return Some(7u32);
+                    }
+                    while !stop.is_stopped() {
+                        std::thread::yield_now();
+                    }
+                    None
+                }) as BoxedEntrant<'_>
+            })
+            .collect();
+        let win = Portfolio::new(4).race(entrants).unwrap().unwrap();
+        assert_eq!(win.value, 7);
+    }
+
+    #[test]
+    fn cache_first_writer_wins() {
+        let cache: QueryCache<u32, u32> = QueryCache::new();
+        assert_eq!(cache.insert(5, 100), 100);
+        assert_eq!(cache.insert(5, 200), 100, "second writer sees the first");
+        assert_eq!(cache.get(&5), Some(100));
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo() {
+        // One shard's worth of keys: all map to some shard; use enough
+        // keys that every shard overflows, then check the global bound.
+        let cache: QueryCache<u32, u32> = QueryCache::bounded(32);
+        for k in 0..1000 {
+            cache.insert(k, k);
+        }
+        assert!(cache.len() <= 32, "len {} over capacity", cache.len());
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1000);
+        assert_eq!(stats.evictions as usize, 1000 - cache.len());
+    }
+
+    #[test]
+    fn get_or_insert_with_memoizes() {
+        let cache: QueryCache<u32, u32> = QueryCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with(&9, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                81
+            });
+            assert_eq!(v, 81);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+}

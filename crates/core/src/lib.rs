@@ -92,12 +92,13 @@
 mod cegar;
 mod cegis;
 mod engines;
+pub mod exec;
 mod hypothesis;
 pub mod invariants;
 pub mod lstar;
 pub mod teaching;
 
 pub use cegar::{cegar, CegarStats, CegarVerdict, TransitionSystem};
-pub use cegis::{cegis, CegisResult, Synthesizer, Verifier};
+pub use cegis::{cegis, par_cegis, CegisResult, ParVerifier, Synthesizer, Verifier};
 pub use engines::{DeductiveEngine, InductiveEngine, Instance, Outcome, Report};
 pub use hypothesis::{ConditionalSoundness, StructureHypothesis, ValidityEvidence};

@@ -4,6 +4,7 @@
 
 use crate::model::{TimingModel, WeightPerturbationModel};
 use crate::platform::Platform;
+use sciduction::exec::ParallelOracle;
 use sciduction::ValidityEvidence;
 use sciduction_cfg::{
     check_path, extract_basis, Basis, BasisConfig, Dag, Path, Rat, SmtOracle, TestCase,
@@ -58,6 +59,8 @@ pub enum GameTimeError {
     EmptyBasis,
     /// The DAG could not be built.
     Dag(sciduction_cfg::DagError),
+    /// A parallel measurement worker panicked.
+    Worker(String),
 }
 
 impl fmt::Display for GameTimeError {
@@ -66,6 +69,7 @@ impl fmt::Display for GameTimeError {
             GameTimeError::NoPaths => write!(f, "unrolled DAG has no usable paths"),
             GameTimeError::EmptyBasis => write!(f, "no feasible basis path found"),
             GameTimeError::Dag(e) => write!(f, "DAG construction failed: {e}"),
+            GameTimeError::Worker(e) => write!(f, "measurement worker failed: {e}"),
         }
     }
 }
@@ -172,6 +176,84 @@ pub fn analyze<P: Platform>(
         model,
         smt_queries: oracle.queries,
         measurements,
+    })
+}
+
+/// [`analyze`] with the measurement phase fanned out across `threads`
+/// workers (1 = sequential), each measuring on its own platform instance
+/// built by `make_platform`.
+///
+/// The randomized measurement schedule is drawn *sequentially* from the
+/// same RNG stream as [`analyze`] before any worker starts, and each
+/// measurement runs from a fresh platform start state, so the fitted
+/// model is identical to the sequential analysis at every thread count —
+/// provided `make_platform()` builds the platform passed to [`analyze`].
+///
+/// # Errors
+///
+/// See [`GameTimeError`]; additionally [`GameTimeError::Worker`] if a
+/// measurement worker panics.
+pub fn analyze_parallel<P, F>(
+    function: &Function,
+    make_platform: F,
+    config: &GameTimeConfig,
+    threads: usize,
+) -> Result<GameTimeAnalysis, GameTimeError>
+where
+    P: Platform,
+    F: Fn() -> P + Sync,
+{
+    let dag = Dag::from_function(function, config.unroll_bound)?;
+    if dag.first_path().is_none() {
+        return Err(GameTimeError::NoPaths);
+    }
+    let mut oracle = SmtOracle::new();
+    let basis = extract_basis(&dag, &mut oracle, config.basis);
+    if basis.paths.is_empty() {
+        return Err(GameTimeError::EmptyBasis);
+    }
+    let b = basis.paths.len();
+    let n = b.max(config.trials);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schedule: Vec<usize> = (0..n)
+        .map(|i| if i < b { i } else { rng.random_range(0..b) })
+        .collect();
+    let exec = ParallelOracle::new(threads);
+    // Strided round-robin chunks: every worker gets ≈ n/W measurements,
+    // each on a private platform instance.
+    let workers = exec.threads().min(n).max(1);
+    let chunks: Vec<Vec<usize>> = (0..workers)
+        .map(|w| schedule[w..].iter().step_by(workers).copied().collect())
+        .collect();
+    let measured: Vec<Vec<u64>> = exec
+        .map(&chunks, |_, chunk| {
+            let mut platform = make_platform();
+            chunk
+                .iter()
+                .map(|&k| platform.measure(&basis.paths[k].test))
+                .collect()
+        })
+        .map_err(|e| GameTimeError::Worker(e.to_string()))?;
+    let mut totals = vec![0u128; b];
+    let mut counts = vec![0u64; b];
+    for (chunk, times) in chunks.iter().zip(&measured) {
+        for (&k, &t) in chunk.iter().zip(times) {
+            totals[k] += t as u128;
+            counts[k] += 1;
+        }
+    }
+    let means: Vec<Rat> = totals
+        .iter()
+        .zip(&counts)
+        .map(|(&tot, &cnt)| Rat::new(tot as i128, cnt as i128))
+        .collect();
+    let model = TimingModel::fit(&dag, &basis, means, counts);
+    Ok(GameTimeAnalysis {
+        dag,
+        basis,
+        model,
+        smt_queries: oracle.queries,
+        measurements: n as u64,
     })
 }
 
@@ -382,6 +464,54 @@ mod tests {
             }
             other => panic!("expected empirical evidence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parallel_analysis_fits_the_identical_model() {
+        let f = programs::modexp();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let sequential = analyze(&f, &mut platform, &config(60)).unwrap();
+        for threads in [1, 4] {
+            let par = analyze_parallel(
+                &f,
+                || MicroarchPlatform::new(f.clone()),
+                &config(60),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                par.model.weights, sequential.model.weights,
+                "threads={threads}: weights diverged"
+            );
+            assert_eq!(par.model.basis_means, sequential.model.basis_means);
+            assert_eq!(
+                par.model.samples_per_path,
+                sequential.model.samples_per_path
+            );
+            assert_eq!(par.measurements, sequential.measurements);
+            assert_eq!(par.smt_queries, sequential.smt_queries);
+            // And the headline answer agrees.
+            let a = par.predict_wcet().unwrap();
+            let b = sequential.predict_wcet().unwrap();
+            assert_eq!(a.predicted_cycles, b.predicted_cycles);
+            assert_eq!(a.test.args, b.test.args);
+        }
+    }
+
+    #[test]
+    fn parallel_worker_panic_is_an_error_not_a_hang() {
+        struct Bomb;
+        impl Platform for Bomb {
+            fn measure(&mut self, _test: &TestCase) -> u64 {
+                panic!("measurement rig on fire");
+            }
+        }
+        let f = programs::modexp();
+        let err = analyze_parallel(&f, || Bomb, &config(20), 4).unwrap_err();
+        assert!(
+            matches!(&err, GameTimeError::Worker(m) if m.contains("on fire")),
+            "{err}"
+        );
     }
 
     #[test]

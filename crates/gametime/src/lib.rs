@@ -45,8 +45,8 @@ mod platform;
 mod stats;
 
 pub use analyze::{
-    analyze, trials_for_confidence, GameTimeAnalysis, GameTimeConfig, GameTimeError, TaAnswer,
-    WcetPrediction,
+    analyze, analyze_parallel, trials_for_confidence, GameTimeAnalysis, GameTimeConfig,
+    GameTimeError, TaAnswer, WcetPrediction,
 };
 pub use instance::{run_instance, GameTimeLearner, PathFeasibilityEngine};
 pub use model::{TimingModel, WeightPerturbationModel};

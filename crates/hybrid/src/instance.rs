@@ -10,7 +10,7 @@ use sciduction::{
     DeductiveEngine, InductiveEngine, Instance, Outcome, StructureHypothesis, ValidityEvidence,
 };
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The structure hypothesis **H** of Sec. 5.2: guards are hyperboxes with
 /// vertices on a known discrete grid.
@@ -67,7 +67,7 @@ impl std::error::Error for HybridError {}
 /// solving over the reals by integration rules).
 pub struct SimulationOracle {
     /// The plant.
-    pub mds: Rc<Mds>,
+    pub mds: Arc<Mds>,
     /// Simulation settings.
     pub config: ReachConfig,
     queries: u64,
@@ -75,7 +75,7 @@ pub struct SimulationOracle {
 
 impl SimulationOracle {
     /// Builds the oracle.
-    pub fn new(mds: Rc<Mds>, config: ReachConfig) -> Self {
+    pub fn new(mds: Arc<Mds>, config: ReachConfig) -> Self {
         SimulationOracle {
             mds,
             config,
@@ -110,7 +110,7 @@ impl DeductiveEngine for SimulationOracle {
 /// learnable guards.
 pub struct HyperboxLearner {
     /// The plant.
-    pub mds: Rc<Mds>,
+    pub mds: Arc<Mds>,
     /// Initial (overapproximate) guards.
     pub initial: SwitchingLogic,
     /// Per-transition seeds.
@@ -148,7 +148,7 @@ impl InductiveEngine<SimulationOracle> for HyperboxLearner {
 ///
 /// See [`HybridError`].
 pub fn run_instance(
-    mds: Rc<Mds>,
+    mds: Arc<Mds>,
     initial: SwitchingLogic,
     seeds: Vec<Option<Vec<f64>>>,
     config: SwitchSynthConfig,
@@ -196,11 +196,11 @@ mod tests {
             modes: vec![
                 Mode {
                     name: "heat".into(),
-                    dynamics: Rc::new(|_x, out| out[0] = 2.0),
+                    dynamics: Arc::new(|_x, out| out[0] = 2.0),
                 },
                 Mode {
                     name: "cool".into(),
-                    dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                    dynamics: Arc::new(|_x, out| out[0] = -1.0),
                 },
             ],
             transitions: vec![
@@ -217,13 +217,13 @@ mod tests {
                     learnable: true,
                 },
             ],
-            safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+            safe: Arc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
         }
     }
 
     #[test]
     fn thermostat_as_instance() {
-        let mds = Rc::new(thermostat());
+        let mds = Arc::new(thermostat());
         let initial = SwitchingLogic {
             guards: vec![
                 HyperBox::new(vec![0.0], vec![50.0]),

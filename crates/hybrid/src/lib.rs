@@ -31,19 +31,19 @@
 //!     synthesize_switching, Grid, HyperBox, Mds, Mode, SwitchSynthConfig,
 //!     SwitchingLogic, Transition,
 //! };
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mds = Mds {
 //!     dim: 1,
 //!     modes: vec![
-//!         Mode { name: "heat".into(), dynamics: Rc::new(|_x, out| out[0] = 2.0) },
-//!         Mode { name: "cool".into(), dynamics: Rc::new(|_x, out| out[0] = -1.0) },
+//!         Mode { name: "heat".into(), dynamics: Arc::new(|_x, out| out[0] = 2.0) },
+//!         Mode { name: "cool".into(), dynamics: Arc::new(|_x, out| out[0] = -1.0) },
 //!     ],
 //!     transitions: vec![
 //!         Transition { name: "h2c".into(), from: 0, to: 1, learnable: true },
 //!         Transition { name: "c2h".into(), from: 1, to: 0, learnable: true },
 //!     ],
-//!     safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+//!     safe: Arc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
 //! };
 //! let initial = SwitchingLogic {
 //!     guards: vec![
@@ -72,8 +72,11 @@ pub mod transmission;
 pub use hyperbox::{find_seed, learn_hyperbox, Grid, HyperBox, LearnStats};
 pub use instance::{run_instance, HybridError, HyperboxGuards, HyperboxLearner, SimulationOracle};
 pub use mds::{
-    reach_label, simulate_hybrid, simulate_hybrid_with_policy, Dynamics, HybridSample, Mds, Mode,
-    ReachConfig, ReachVerdict, SafetyPredicate, SwitchPolicy, SwitchingLogic, Transition,
+    reach_label, simulate_hybrid, simulate_hybrid_batch, simulate_hybrid_with_policy, Dynamics,
+    HybridSample, Mds, Mode, ReachConfig, ReachVerdict, SafetyPredicate, SwitchPolicy,
+    SwitchingLogic, Transition,
 };
 pub use ode::{integrate, integrate_adaptive, rk4_step, rkf45_step, Trajectory, VectorField};
-pub use synthesis::{synthesize_switching, validate_logic, SwitchSynthConfig, SwitchSynthesis};
+pub use synthesis::{
+    par_validate_logic, synthesize_switching, validate_logic, SwitchSynthConfig, SwitchSynthesis,
+};

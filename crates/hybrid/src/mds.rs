@@ -11,13 +11,15 @@
 use crate::hyperbox::HyperBox;
 use crate::ode::{rk4_step, VectorField};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A mode's vector field: `f(x, out)` writes `dx/dt` into `out`.
-pub type Dynamics = Rc<dyn Fn(&[f64], &mut [f64])>;
+/// `Send + Sync` so validation sweeps and simulation batches can share an
+/// [`Mds`] across worker threads.
+pub type Dynamics = Arc<dyn Fn(&[f64], &mut [f64]) + Send + Sync>;
 
 /// A mode-dependent safety predicate `safe(mode, x)`.
-pub type SafetyPredicate = Rc<dyn Fn(usize, &[f64]) -> bool>;
+pub type SafetyPredicate = Arc<dyn Fn(usize, &[f64]) -> bool + Send + Sync>;
 
 /// One operating mode: a name plus its continuous dynamics.
 #[derive(Clone)]
@@ -320,6 +322,32 @@ pub fn simulate_hybrid_with_policy(
     (samples, all_safe)
 }
 
+/// Simulates one hybrid trajectory per initial state in parallel batches
+/// of `threads` workers (1 = sequential) — the driver for sweeping a
+/// family of starting conditions through one mode sequence (the paper's
+/// Fig. 10 experiment, repeated per seed state). Results are returned in
+/// input order and are bitwise identical to per-call
+/// [`simulate_hybrid_with_policy`] at every thread count, because each
+/// trajectory depends only on its own initial state.
+///
+/// # Errors
+///
+/// [`sciduction::exec::ExecError`] if a simulation worker panics (e.g. a
+/// start state whose leg has no connecting transition).
+pub fn simulate_hybrid_batch(
+    mds: &Mds,
+    logic: &SwitchingLogic,
+    mode_sequence: &[usize],
+    starts: &[Vec<f64>],
+    config: &ReachConfig,
+    policy: SwitchPolicy,
+    threads: usize,
+) -> Result<Vec<(Vec<HybridSample>, bool)>, sciduction::exec::ExecError> {
+    sciduction::exec::ParallelOracle::new(threads).map(starts, |_, x0| {
+        simulate_hybrid_with_policy(mds, logic, mode_sequence, x0, config, policy)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,11 +360,11 @@ mod tests {
             modes: vec![
                 Mode {
                     name: "heat".into(),
-                    dynamics: Rc::new(|_x, out| out[0] = 2.0),
+                    dynamics: Arc::new(|_x, out| out[0] = 2.0),
                 },
                 Mode {
                     name: "cool".into(),
-                    dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                    dynamics: Arc::new(|_x, out| out[0] = -1.0),
                 },
             ],
             transitions: vec![
@@ -353,7 +381,7 @@ mod tests {
                     learnable: true,
                 },
             ],
-            safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+            safe: Arc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
         }
     }
 

@@ -8,6 +8,7 @@
 
 use crate::hyperbox::{find_seed, learn_hyperbox, Grid, HyperBox};
 use crate::mds::{reach_label, Mds, ReachConfig, ReachVerdict, SwitchingLogic};
+use sciduction::exec::{ExecError, ParallelOracle};
 use sciduction::ValidityEvidence;
 
 /// Configuration of the synthesis loop.
@@ -195,11 +196,61 @@ pub fn validate_logic(
     }
 }
 
+/// [`validate_logic`] with the per-sample reachability simulations fanned
+/// out across `threads` workers (1 = sequential). The sample set and the
+/// per-sample verdicts are deterministic, so trial and violation counts
+/// are identical to the sequential sweep at every thread count.
+///
+/// # Errors
+///
+/// [`ExecError`] if a simulation worker panics.
+pub fn par_validate_logic(
+    mds: &Mds,
+    logic: &SwitchingLogic,
+    samples_per_guard: usize,
+    config: &ReachConfig,
+    threads: usize,
+) -> Result<ValidityEvidence, ExecError> {
+    // The same deterministic stratified samples as the sequential sweep.
+    let mut samples: Vec<(usize, Vec<f64>)> = Vec::new();
+    for (t, tr) in mds.transitions.iter().enumerate() {
+        if !tr.learnable || logic.guards[t].is_empty() {
+            continue;
+        }
+        let g = &logic.guards[t];
+        for k in 0..samples_per_guard {
+            let frac = (k as f64 + 0.5) / samples_per_guard as f64;
+            let x: Vec<f64> =
+                g.lo.iter()
+                    .zip(&g.hi)
+                    .map(|(l, h)| {
+                        if l.is_finite() && h.is_finite() {
+                            l + frac * (h - l)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+            samples.push((tr.to, x));
+        }
+    }
+    let verdicts = ParallelOracle::new(threads).map(&samples, |_, (mode, x)| {
+        reach_label(mds, logic, *mode, x, config) == ReachVerdict::Safe
+    })?;
+    Ok(ValidityEvidence::EmpiricallyTested {
+        description: "dense sweep: every sampled switching state in every learned guard \
+                      keeps the trajectory safe until an exit is enabled"
+            .into(),
+        trials: samples.len() as u64,
+        violations: verdicts.iter().filter(|&&safe| !safe).count() as u64,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mds::{Mode, Transition};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// Thermostat MDS with the safe band [15, 30].
     fn thermostat() -> Mds {
@@ -208,11 +259,11 @@ mod tests {
             modes: vec![
                 Mode {
                     name: "heat".into(),
-                    dynamics: Rc::new(|_x, out| out[0] = 2.0),
+                    dynamics: Arc::new(|_x, out| out[0] = 2.0),
                 },
                 Mode {
                     name: "cool".into(),
-                    dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                    dynamics: Arc::new(|_x, out| out[0] = -1.0),
                 },
             ],
             transitions: vec![
@@ -229,7 +280,7 @@ mod tests {
                     learnable: true,
                 },
             ],
-            safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+            safe: Arc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
         }
     }
 
@@ -270,10 +321,91 @@ mod tests {
     }
 
     #[test]
+    fn parallel_validation_matches_sequential_counts() {
+        let mds = thermostat();
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            ..SwitchSynthConfig::default()
+        };
+        let seeds = vec![Some(vec![22.0]), Some(vec![22.0])];
+        let out = synthesize_switching(&mds, initial, &seeds, &cfg);
+        let ValidityEvidence::EmpiricallyTested {
+            trials: st,
+            violations: sv,
+            ..
+        } = validate_logic(&mds, &out.logic, 25, &cfg.reach)
+        else {
+            panic!("unexpected evidence shape");
+        };
+        for threads in [1, 4] {
+            match par_validate_logic(&mds, &out.logic, 25, &cfg.reach, threads).unwrap() {
+                ValidityEvidence::EmpiricallyTested {
+                    trials, violations, ..
+                } => {
+                    assert_eq!(trials, st, "threads={threads}");
+                    assert_eq!(violations, sv, "threads={threads}");
+                }
+                other => panic!("unexpected evidence {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_simulation_matches_individual_runs() {
+        use crate::mds::{simulate_hybrid_batch, simulate_hybrid_with_policy, SwitchPolicy};
+        let mds = thermostat();
+        let mut logic = SwitchingLogic::permissive(&mds);
+        logic.guards[0] = HyperBox::new(vec![25.0], vec![f64::INFINITY]);
+        logic.guards[1] = HyperBox::new(vec![f64::NEG_INFINITY], vec![20.0]);
+        let cfg = ReachConfig {
+            horizon: 5.0,
+            ..ReachConfig::default()
+        };
+        let starts: Vec<Vec<f64>> = (0..6).map(|i| vec![17.0 + i as f64 * 1.5]).collect();
+        for threads in [1, 4] {
+            let batch = simulate_hybrid_batch(
+                &mds,
+                &logic,
+                &[0, 1],
+                &starts,
+                &cfg,
+                SwitchPolicy::Eager,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(batch.len(), starts.len());
+            for (x0, (samples, safe)) in starts.iter().zip(&batch) {
+                let (expect, expect_safe) = simulate_hybrid_with_policy(
+                    &mds,
+                    &logic,
+                    &[0, 1],
+                    x0,
+                    &cfg,
+                    SwitchPolicy::Eager,
+                );
+                assert_eq!(*safe, expect_safe, "threads={threads}, x0={x0:?}");
+                assert_eq!(samples.len(), expect.len());
+                for (a, b) in samples.iter().zip(&expect) {
+                    assert_eq!(a.time.to_bits(), b.time.to_bits());
+                    assert_eq!(a.mode, b.mode);
+                    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&a.state), bits(&b.state));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn unsatisfiable_safety_empties_guards() {
         let mut mds = thermostat();
         // Impossible safety: nothing is safe.
-        mds.safe = Rc::new(|_m, _x| false);
+        mds.safe = Arc::new(|_m, _x| false);
         let initial = SwitchingLogic {
             guards: vec![
                 HyperBox::new(vec![0.0], vec![50.0]),

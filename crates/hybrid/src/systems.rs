@@ -8,7 +8,7 @@
 
 use crate::hyperbox::HyperBox;
 use crate::mds::{Mds, Mode, SwitchingLogic, Transition};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A water tank with a pump. State: `[level]`. Mode 0 = pump on
 /// (`ℓ̇ = 2 − 0.1ℓ`), mode 1 = pump off (`ℓ̇ = −0.1ℓ − 0.5`). Safety:
@@ -22,11 +22,11 @@ pub fn water_tank() -> Mds {
         modes: vec![
             Mode {
                 name: "pump_on".into(),
-                dynamics: Rc::new(|x, out| out[0] = 2.0 - 0.1 * x[0]),
+                dynamics: Arc::new(|x, out| out[0] = 2.0 - 0.1 * x[0]),
             },
             Mode {
                 name: "pump_off".into(),
-                dynamics: Rc::new(|x, out| out[0] = -0.1 * x[0] - 0.5),
+                dynamics: Arc::new(|x, out| out[0] = -0.1 * x[0] - 0.5),
             },
         ],
         transitions: vec![
@@ -43,7 +43,7 @@ pub fn water_tank() -> Mds {
                 learnable: true,
             },
         ],
-        safe: Rc::new(|_m, x| (1.0..=10.0).contains(&x[0])),
+        safe: Arc::new(|_m, x| (1.0..=10.0).contains(&x[0])),
     }
 }
 
@@ -72,14 +72,14 @@ pub fn budgeted_heater() -> Mds {
         modes: vec![
             Mode {
                 name: "heat".into(),
-                dynamics: Rc::new(|_x, out| {
+                dynamics: Arc::new(|_x, out| {
                     out[0] = 2.0;
                     out[1] = -1.0;
                 }),
             },
             Mode {
                 name: "cool".into(),
-                dynamics: Rc::new(|_x, out| {
+                dynamics: Arc::new(|_x, out| {
                     out[0] = -1.0;
                     out[1] = 0.0;
                 }),
@@ -99,7 +99,7 @@ pub fn budgeted_heater() -> Mds {
                 learnable: false,
             },
         ],
-        safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0]) && x[1] >= 0.0),
+        safe: Arc::new(|_m, x| (15.0..=30.0).contains(&x[0]) && x[1] >= 0.0),
     }
 }
 

@@ -18,7 +18,7 @@
 
 use crate::hyperbox::HyperBox;
 use crate::mds::{Dynamics, Mds, Mode, SwitchingLogic, Transition};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The distance target of the paper's scenario (θ_max = 1700).
 pub const THETA_MAX: f64 = 1700.0;
@@ -86,7 +86,7 @@ pub fn phi_s(mode: usize, x: &[f64]) -> bool {
 }
 
 fn gear_dynamics(gear: usize, sign: f64) -> Dynamics {
-    Rc::new(move |x: &[f64], out: &mut [f64]| {
+    Arc::new(move |x: &[f64], out: &mut [f64]| {
         out[0] = x[1]; // θ̇ = ω
                        // ω̇ = ±ηᵢ(ω); decelerating gears saturate at standstill (the
                        // braking torque vanishes as ω → 0⁺) so the integrator cannot
@@ -115,7 +115,7 @@ pub fn transmission() -> Mds {
         modes: vec![
             Mode {
                 name: "N".into(),
-                dynamics: Rc::new(|_x, out| {
+                dynamics: Arc::new(|_x, out| {
                     out[0] = 0.0;
                     out[1] = 0.0;
                 }),
@@ -160,7 +160,7 @@ pub fn transmission() -> Mds {
             // g1ND is the paper's fixed equality guard θ = θ_max ∧ ω = 0.
             mk("g1ND", G1D, N, false),
         ],
-        safe: Rc::new(phi_s),
+        safe: Arc::new(phi_s),
     }
 }
 

@@ -54,6 +54,7 @@ mod synth;
 pub use component::{ComponentLibrary, FnOracle, IoOracle, Op, SynthProgram};
 pub use instance::{run_instance, DistinguishingInputLearner, OgisError, SmtSynthesisEngine};
 pub use synth::{
-    synthesize, verify_against_oracle, SynthesisConfig, SynthesisOutcome, SynthesisStats,
-    VerificationResult,
+    synthesize, synthesize_portfolio, synthesize_with_cache, verify_against_oracle,
+    ParallelSynthesisConfig, ParallelSynthesisOutcome, SynthesisConfig, SynthesisOutcome,
+    SynthesisStats, VerificationResult,
 };

@@ -11,9 +11,11 @@
 //! terminates."
 
 use crate::component::{ComponentLibrary, IoOracle, Op, SynthProgram};
+use sciduction::exec::{CacheStats, ExecError, Portfolio, StopFlag};
 use sciduction_rng::rngs::StdRng;
-use sciduction_rng::{Rng, SeedableRng};
-use sciduction_smt::{BvValue, CheckResult, Solver, TermId};
+use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
+use sciduction_smt::{BvValue, CheckResult, SmtQueryCache, Solver, TermId};
+use std::sync::Arc;
 
 /// Synthesis configuration.
 #[derive(Clone, Copy, Debug)]
@@ -92,11 +94,14 @@ struct Encoding {
 }
 
 impl Encoding {
-    fn new(lib: &ComponentLibrary) -> Self {
+    fn new(lib: &ComponentLibrary, cache: Option<Arc<SmtQueryCache>>) -> Self {
         let num_locs = lib.num_locations();
         // Wide enough to hold the exclusive upper bound `num_locs` itself.
         let loc_width = (usize::BITS - num_locs.leading_zeros()).max(1);
         let mut solver = Solver::new();
+        if let Some(cache) = cache {
+            solver.attach_cache(cache);
+        }
         let p = solver.terms_mut();
         let out_loc: Vec<TermId> = (0..lib.components.len())
             .map(|i| p.var(&format!("olA_{i}"), loc_width))
@@ -395,7 +400,34 @@ pub fn synthesize(
     oracle: &mut dyn IoOracle,
     config: &SynthesisConfig,
 ) -> (SynthesisOutcome, SynthesisStats) {
-    let mut enc = Encoding::new(library);
+    synthesize_with_cache(library, oracle, config, None)
+}
+
+/// [`synthesize`] with an optional shared SMT query cache: every
+/// satisfiability query the encoding issues is first looked up by the
+/// canonical key of its term DAG, and answers are published for other
+/// runs (portfolio siblings, repeated invocations) sharing the cache.
+pub fn synthesize_with_cache(
+    library: &ComponentLibrary,
+    oracle: &mut dyn IoOracle,
+    config: &SynthesisConfig,
+    cache: Option<Arc<SmtQueryCache>>,
+) -> (SynthesisOutcome, SynthesisStats) {
+    synthesize_run(library, oracle, config, cache, None)
+        .expect("synthesis without a stop flag always runs to an outcome")
+}
+
+/// The synthesis loop core: optionally cache-backed and cancellable.
+/// Returns `None` only when `stop` trips between iterations (a portfolio
+/// sibling already answered).
+fn synthesize_run(
+    library: &ComponentLibrary,
+    oracle: &mut dyn IoOracle,
+    config: &SynthesisConfig,
+    cache: Option<Arc<SmtQueryCache>>,
+    stop: Option<&StopFlag>,
+) -> Option<(SynthesisOutcome, SynthesisStats)> {
+    let mut enc = Encoding::new(library, cache);
     let mut rng = StdRng::seed_from_u64(config.seed);
     for _ in 0..config.initial_examples.max(1) {
         let inputs: Vec<BvValue> = (0..library.num_inputs)
@@ -406,16 +438,19 @@ pub fn synthesize(
         enc.add_example(inputs, outputs);
     }
     for iteration in 1..=config.max_iterations {
+        if stop.is_some_and(|s| s.is_stopped()) {
+            return None;
+        }
         match enc.find_candidate() {
             None => {
                 let stats = enc.stats;
-                return (
+                return Some((
                     SynthesisOutcome::Infeasible {
                         iterations: iteration,
                         examples: enc.examples,
                     },
                     stats,
-                );
+                ));
             }
             Some(candidate) => match enc.find_distinguishing(&candidate) {
                 None => {
@@ -432,14 +467,14 @@ pub fn synthesize(
                         );
                     }
                     let stats = enc.stats;
-                    return (
+                    return Some((
                         SynthesisOutcome::Synthesized {
                             program: candidate,
                             iterations: iteration,
                             examples: enc.examples,
                         },
                         stats,
-                    );
+                    ));
                 }
                 Some(x) => {
                     let y = oracle.query(&x);
@@ -451,12 +486,117 @@ pub fn synthesize(
         }
     }
     let stats = enc.stats;
-    (
+    Some((
         SynthesisOutcome::BudgetExhausted {
             iterations: config.max_iterations,
         },
         stats,
-    )
+    ))
+}
+
+/// Parallel-synthesis parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelSynthesisConfig {
+    /// Racing synthesis instances (each with a forked example seed).
+    pub members: usize,
+    /// Worker threads (1 = deterministic sequential fallback: member 0
+    /// runs first and wins, reproducing [`synthesize`] exactly).
+    pub threads: usize,
+    /// Shared SMT query cache capacity (0 = unbounded).
+    pub cache_capacity: usize,
+}
+
+impl Default for ParallelSynthesisConfig {
+    fn default() -> Self {
+        ParallelSynthesisConfig {
+            members: 4,
+            threads: sciduction::exec::configured_threads(),
+            cache_capacity: 0,
+        }
+    }
+}
+
+/// The outcome of a parallel synthesis race.
+#[derive(Clone, Debug)]
+pub struct ParallelSynthesisOutcome {
+    /// The winning member's outcome.
+    pub outcome: SynthesisOutcome,
+    /// The winning member's counters.
+    pub stats: SynthesisStats,
+    /// Index of the winning member.
+    pub winner: usize,
+    /// Shared SMT query cache counters at the end of the race.
+    pub cache: CacheStats,
+}
+
+/// Races `members` seed-diversified synthesis instances over one library.
+///
+/// Member 0 uses `config` verbatim; members 1.. fork the example seed
+/// from a `sciduction-rng` stream, so each member accumulates a different
+/// teaching sequence and explores the candidate space in a different
+/// order. All members share one canonical-key SMT query cache, so a
+/// query solved by any member is free for the rest. The first member to
+/// reach *any* terminal outcome (synthesized, infeasible, or budget
+/// exhausted) cancels its siblings.
+///
+/// `make_oracle(i)` builds member `i`'s private I/O oracle; oracles for
+/// the same specification must agree pointwise.
+///
+/// # Errors
+///
+/// [`ExecError`] if a member panics.
+pub fn synthesize_portfolio<O, F>(
+    library: &ComponentLibrary,
+    make_oracle: F,
+    config: &SynthesisConfig,
+    par: &ParallelSynthesisConfig,
+) -> Result<ParallelSynthesisOutcome, ExecError>
+where
+    O: IoOracle,
+    F: Fn(usize) -> O + Sync,
+{
+    let members = par.members.max(1);
+    let cache = Arc::new(if par.cache_capacity == 0 {
+        SmtQueryCache::new()
+    } else {
+        SmtQueryCache::bounded(par.cache_capacity)
+    });
+    let parent = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+    let entrants: Vec<_> = (0..members)
+        .map(|i| {
+            let member_config = if i == 0 {
+                *config
+            } else {
+                let mut stream = parent.fork(i as u64);
+                SynthesisConfig {
+                    seed: stream.random(),
+                    ..*config
+                }
+            };
+            let cache = Arc::clone(&cache);
+            let make_oracle = &make_oracle;
+            move |stop: &StopFlag| {
+                let mut oracle = make_oracle(i);
+                synthesize_run(
+                    library,
+                    &mut oracle,
+                    &member_config,
+                    Some(cache),
+                    Some(stop),
+                )
+            }
+        })
+        .collect();
+    let win = Portfolio::new(par.threads)
+        .race(entrants)?
+        .expect("every member reaches a terminal outcome unless cancelled");
+    let (outcome, stats) = win.value;
+    Ok(ParallelSynthesisOutcome {
+        outcome,
+        stats,
+        winner: win.winner,
+        cache: cache.stats(),
+    })
 }
 
 /// Post-hoc check of the synthesized program against the oracle — the
@@ -598,6 +738,117 @@ mod tests {
             }
             SynthesisOutcome::Infeasible { .. } => {} // also acceptable
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn portfolio_synthesizes_at_every_thread_count() {
+        let lib = ComponentLibrary::new(vec![Op::Add], 1, 1, 8);
+        for threads in [1, 4] {
+            let par = ParallelSynthesisConfig {
+                members: 4,
+                threads,
+                cache_capacity: 0,
+            };
+            let out = synthesize_portfolio(
+                &lib,
+                |_i| FnOracle::new("double", |xs: &[BvValue]| vec![xs[0].add(xs[0])]),
+                &SynthesisConfig::default(),
+                &par,
+            )
+            .unwrap();
+            match out.outcome {
+                SynthesisOutcome::Synthesized { program, .. } => {
+                    for x in 0..=255u64 {
+                        assert_eq!(
+                            program.eval(&[bv(x, 8)])[0].as_u64(),
+                            (2 * x) & 0xFF,
+                            "threads={threads}"
+                        );
+                    }
+                }
+                other => panic!("threads={threads}: expected synthesis, got {other:?}"),
+            }
+            assert!(out.winner < par.members);
+        }
+    }
+
+    #[test]
+    fn sequential_portfolio_reproduces_plain_synthesis() {
+        let lib = ComponentLibrary::new(vec![Op::Xor, Op::Xor, Op::Xor], 2, 2, 8);
+        let config = SynthesisConfig::default();
+        let mut oracle = FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
+        let (plain, plain_stats) = synthesize(&lib, &mut oracle, &config);
+        let par = ParallelSynthesisConfig {
+            members: 4,
+            threads: 1,
+            cache_capacity: 0,
+        };
+        let out = synthesize_portfolio(
+            &lib,
+            |_i| FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]),
+            &config,
+            &par,
+        )
+        .unwrap();
+        assert_eq!(out.winner, 0, "sequential fallback must pick member 0");
+        assert_eq!(out.stats.smt_checks, plain_stats.smt_checks);
+        match (out.outcome, plain) {
+            (
+                SynthesisOutcome::Synthesized {
+                    program: a,
+                    iterations: ia,
+                    examples: ea,
+                },
+                SynthesisOutcome::Synthesized {
+                    program: b,
+                    iterations: ib,
+                    examples: eb,
+                },
+            ) => {
+                assert_eq!(ia, ib);
+                assert_eq!(ea, eb);
+                assert_eq!(a.lines, b.lines, "bit-reproducibility broken");
+                assert_eq!(a.outputs, b.outputs);
+            }
+            (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_cache_replays_a_repeated_run() {
+        let lib = ComponentLibrary::new(vec![Op::Xor, Op::Xor, Op::Xor], 2, 2, 8);
+        let config = SynthesisConfig::default();
+        let cache = Arc::new(SmtQueryCache::new());
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let mut oracle = FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
+            let (out, _) =
+                synthesize_with_cache(&lib, &mut oracle, &config, Some(Arc::clone(&cache)));
+            outcomes.push(out);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "identical second run must hit the cache: {stats:?}"
+        );
+        match (&outcomes[0], &outcomes[1]) {
+            (
+                SynthesisOutcome::Synthesized { program: a, .. },
+                SynthesisOutcome::Synthesized { program: b, .. },
+            ) => {
+                // Cached models may pick a different (equally certified)
+                // witness; both programs must realize the specification.
+                for (p, tag) in [(a, "uncached"), (b, "cached")] {
+                    let mut check = FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
+                    assert_eq!(
+                        verify_against_oracle(p, &mut check, 16, 0, 0),
+                        VerificationResult::Equivalent,
+                        "{tag} program must realize swap"
+                    );
+                }
+            }
+            (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
         }
     }
 

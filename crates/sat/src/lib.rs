@@ -38,10 +38,12 @@
 
 mod clause;
 pub mod dimacs;
+pub mod portfolio;
 mod solver;
 mod types;
 
 pub use clause::{Clause, ClauseRef};
 pub use dimacs::{Cnf, DimacsError};
+pub use portfolio::{diversified_configs, solve_portfolio, PortfolioConfig, PortfolioOutcome};
 pub use solver::{SolveResult, Solver, SolverConfig, Stats};
 pub use types::{LBool, Lit, Var};

@@ -1,0 +1,297 @@
+//! Portfolio SAT solving: diversified CDCL instances racing per query.
+//!
+//! Each member of the portfolio solves the same formula under a distinct
+//! [`SolverConfig`] — different initial-phase seeds (drawn from a forked
+//! `sciduction-rng` stream), restart bases, and activity-decay rates —
+//! and the first member to answer cancels the rest through the shared
+//! stop flag of [`sciduction::exec::Portfolio`]. Because SAT is a
+//! decision problem, every member's answer is interchangeable: a model
+//! from any member certifies SAT, a refutation from any member certifies
+//! UNSAT, so first-winner racing preserves verdicts exactly.
+//!
+//! Member 0 always runs the default configuration, which makes the
+//! sequential fallback (`threads = 1`, where members run in index order
+//! and member 0 always answers) bit-identical to a plain [`Solver`].
+
+use crate::{Cnf, Lit, SolveResult, Solver, SolverConfig, Var};
+use sciduction::exec::{ExecError, Portfolio, StopFlag};
+use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
+use std::sync::Mutex;
+
+/// Portfolio parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioConfig {
+    /// Number of racing solver instances.
+    pub members: usize,
+    /// Seed diversifying the members' initial phases.
+    pub seed: u64,
+    /// Worker threads (1 = deterministic sequential fallback). Size this
+    /// with [`sciduction::exec::configured_threads`] to honor the
+    /// `SCIDUCTION_THREADS` knob.
+    pub threads: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            members: 4,
+            seed: 0x5C1D_0C71,
+            threads: sciduction::exec::configured_threads(),
+        }
+    }
+}
+
+/// The outcome of a portfolio race, including every member that ran —
+/// losers keep their clause databases, which the `PAR001` lint re-checks
+/// the winner's model against.
+#[derive(Debug)]
+pub struct PortfolioOutcome {
+    /// The verdict.
+    pub result: SolveResult,
+    /// Index of the winning member.
+    pub winner: usize,
+    /// The winner's model (empty on UNSAT), dense over variables.
+    pub model: Vec<bool>,
+    /// The winner's failed-assumption set (empty on SAT).
+    pub failed_assumptions: Vec<Lit>,
+    /// Every member that ran to completion or cancellation, in member
+    /// order; members the scheduler never started are `None`.
+    pub solvers: Vec<Option<Solver>>,
+}
+
+/// The diversified member configurations for an `n`-member portfolio.
+///
+/// Member 0 is always [`SolverConfig::default`]; members 1.. vary the
+/// initial-phase seed (forked from `seed` so each member's stream is
+/// independent of scheduling), the restart base, and the VSIDS decay.
+pub fn diversified_configs(n: usize, seed: u64) -> Vec<SolverConfig> {
+    let parent = Xoshiro256PlusPlus::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                return SolverConfig::default();
+            }
+            let mut stream = parent.fork(i as u64);
+            SolverConfig {
+                // A nonzero phase seed per member: the dominant
+                // diversification axis.
+                phase_seed: stream.random::<u64>() | 1,
+                restart_base: [50, 100, 200, 400][i % 4],
+                var_decay: [0.90, 0.95, 0.99][i % 3],
+                ..SolverConfig::default()
+            }
+        })
+        .collect()
+}
+
+/// Races a diversified portfolio on `cnf` under `assumptions`.
+///
+/// Returns [`ExecError`] only if a member panicked; a clean race always
+/// yields an outcome because member 0 never gives up on its own.
+pub fn solve_portfolio(
+    cnf: &Cnf,
+    assumptions: &[Lit],
+    config: &PortfolioConfig,
+) -> Result<PortfolioOutcome, ExecError> {
+    let members = config.members.max(1);
+    let configs = diversified_configs(members, config.seed);
+    let solvers: Vec<(usize, Solver)> = configs
+        .into_iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            let mut s = Solver::with_config(cfg);
+            let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+            for cl in &cnf.clauses {
+                let lits: Vec<Lit> = cl
+                    .iter()
+                    .map(|&v| Lit::new(vars[(v.unsigned_abs() - 1) as usize], v < 0))
+                    .collect();
+                s.add_clause(lits);
+            }
+            (i, s)
+        })
+        .collect();
+
+    // Finished members park themselves here so the lint can audit the
+    // losers' clause databases after the race.
+    let parked: Vec<Mutex<Option<Solver>>> = (0..members).map(|_| Mutex::new(None)).collect();
+    let parked_ref = &parked;
+
+    let entrants: Vec<_> = solvers
+        .into_iter()
+        .map(|(i, mut solver)| {
+            let assumptions = assumptions.to_vec();
+            move |stop: &StopFlag| {
+                solver.set_stop_flag(stop.handle());
+                let result = solver.solve_interruptible(&assumptions);
+                let answer =
+                    result.map(|r| (r, solver.model(), solver.failed_assumptions().to_vec()));
+                *parked_ref[i]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(solver);
+                answer
+            }
+        })
+        .collect();
+
+    let win = Portfolio::new(config.threads)
+        .race(entrants)?
+        .expect("member 0 runs to an answer unless cancelled by a sibling's answer");
+    let (result, model, failed_assumptions) = win.value;
+    Ok(PortfolioOutcome {
+        result,
+        winner: win.winner,
+        model,
+        failed_assumptions,
+        solvers: parked
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pigeonhole(n: usize, m: usize) -> Cnf {
+        // n pigeons into m holes: UNSAT iff n > m.
+        let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+        let mut clauses: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..m).map(|j| var(i, j)).collect())
+            .collect();
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                for j in 0..m {
+                    clauses.push(vec![-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        Cnf {
+            num_vars: n * m,
+            clauses,
+        }
+    }
+
+    fn check_model(cnf: &Cnf, model: &[bool]) {
+        for cl in &cnf.clauses {
+            assert!(
+                cl.iter().any(|&v| {
+                    let val = model[(v.unsigned_abs() - 1) as usize];
+                    if v < 0 {
+                        !val
+                    } else {
+                        val
+                    }
+                }),
+                "model falsifies clause {cl:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_agrees_with_sequential_on_verdicts() {
+        for threads in [1, 4] {
+            let config = PortfolioConfig {
+                threads,
+                ..PortfolioConfig::default()
+            };
+            let sat = pigeonhole(4, 4);
+            let out = solve_portfolio(&sat, &[], &config).unwrap();
+            assert_eq!(out.result, SolveResult::Sat, "threads={threads}");
+            check_model(&sat, &out.model);
+
+            let unsat = pigeonhole(5, 4);
+            let out = solve_portfolio(&unsat, &[], &config).unwrap();
+            assert_eq!(out.result, SolveResult::Unsat, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_is_bit_identical_to_plain_solver() {
+        let cnf = pigeonhole(4, 4);
+        let config = PortfolioConfig {
+            threads: 1,
+            ..PortfolioConfig::default()
+        };
+        let out = solve_portfolio(&cnf, &[], &config).unwrap();
+        assert_eq!(out.winner, 0, "sequential mode must pick member 0");
+        let (mut plain, _) = cnf.into_solver();
+        assert_eq!(plain.solve(), SolveResult::Sat);
+        assert_eq!(out.model, plain.model(), "bit-reproducibility broken");
+    }
+
+    #[test]
+    fn portfolio_respects_assumptions() {
+        // (x1 ∨ x2) with assumptions forcing both false: UNSAT under
+        // assumptions, and the failed set is reported.
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![vec![1, 2]],
+        };
+        let assumptions = [
+            Lit::negative(Var::from_index(0)),
+            Lit::negative(Var::from_index(1)),
+        ];
+        for threads in [1, 4] {
+            let config = PortfolioConfig {
+                threads,
+                ..PortfolioConfig::default()
+            };
+            let out = solve_portfolio(&cnf, &assumptions, &config).unwrap();
+            assert_eq!(out.result, SolveResult::Unsat);
+            assert!(!out.failed_assumptions.is_empty());
+        }
+    }
+
+    #[test]
+    fn diversified_member_zero_is_default() {
+        let configs = diversified_configs(4, 7);
+        assert_eq!(configs[0].phase_seed, 0);
+        assert_eq!(configs[0].restart_base, 100);
+        // Later members are pairwise distinct in phase seed.
+        assert_ne!(configs[1].phase_seed, configs[2].phase_seed);
+        assert_ne!(configs[2].phase_seed, configs[3].phase_seed);
+        for c in &configs[1..] {
+            assert_ne!(c.phase_seed, 0);
+        }
+    }
+
+    #[test]
+    fn phase_seed_changes_branching_but_not_verdicts() {
+        let cnf = pigeonhole(5, 5);
+        for seed in [0u64, 1, 0xABCD] {
+            let cfg = SolverConfig {
+                phase_seed: seed,
+                ..SolverConfig::default()
+            };
+            let mut s = Solver::with_config(cfg);
+            let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+            for cl in &cnf.clauses {
+                let lits: Vec<Lit> = cl
+                    .iter()
+                    .map(|&v| Lit::new(vars[(v.unsigned_abs() - 1) as usize], v < 0))
+                    .collect();
+                s.add_clause(lits);
+            }
+            assert_eq!(s.solve(), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn interrupted_solver_remains_usable() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let cnf = pigeonhole(6, 5);
+        let (mut s, _) = cnf.into_solver();
+        let flag = Arc::new(AtomicBool::new(true)); // pre-tripped
+        s.set_stop_flag(Arc::clone(&flag));
+        assert_eq!(s.solve_interruptible(&[]), None, "must observe the flag");
+        // Clear and re-solve to completion: state is clean.
+        s.clear_stop_flag();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

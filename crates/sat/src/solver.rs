@@ -10,6 +10,8 @@
 
 use crate::clause::{Clause, ClauseDb, ClauseRef};
 use crate::types::{LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Outcome of a satisfiability check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,6 +61,11 @@ pub struct SolverConfig {
     pub minimize: bool,
     /// Initial cap on learnt clauses as a fraction of original clauses.
     pub learnt_ratio: f64,
+    /// Seed for randomized initial branching phases. `0` (the default)
+    /// keeps the classic all-false initial phases; any other value gives
+    /// each fresh variable a pseudorandom initial saved phase, which is
+    /// the main diversification axis of the solver portfolio.
+    pub phase_seed: u64,
 }
 
 impl Default for SolverConfig {
@@ -71,6 +78,7 @@ impl Default for SolverConfig {
             reduce_db: true,
             minimize: true,
             learnt_ratio: 0.4,
+            phase_seed: 0,
         }
     }
 }
@@ -122,6 +130,9 @@ pub struct Solver {
     stats: Stats,
     failed: Vec<Lit>,
     model: Vec<LBool>,
+    /// External cancellation token, polled once per decision by
+    /// [`Solver::solve_interruptible`]. `None` for standalone solvers.
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Solver {
@@ -159,14 +170,27 @@ impl Solver {
             stats: Stats::default(),
             failed: Vec::new(),
             model: Vec::new(),
+            stop: None,
         }
     }
 
     /// Creates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
+        // Initial saved phase: all-false classically, or a splitmix-derived
+        // pseudorandom bit when the config carries a diversification seed.
+        // The phase only biases branching; verdicts are unaffected.
+        let phase = if self.config.phase_seed == 0 {
+            false
+        } else {
+            let mut s = self
+                .config
+                .phase_seed
+                .wrapping_add((v.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            sciduction_rng::splitmix64(&mut s) & 1 == 1
+        };
         self.assigns.push(LBool::Undef);
-        self.phase.push(false);
+        self.phase.push(phase);
         self.reason.push(None);
         self.level.push(0);
         self.activity.push(0.0);
@@ -261,10 +285,37 @@ impl Solver {
     /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] returns a
     /// subset of the assumptions sufficient for unsatisfiability.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_core(assumptions, false)
+            .expect("non-interruptible solve always answers")
+    }
+
+    /// Installs a shared cancellation token for [`Solver::solve_interruptible`].
+    ///
+    /// The portfolio layer hands every racing member the same flag; the
+    /// first member to answer trips it and the losers return early.
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.stop = Some(flag);
+    }
+
+    /// Removes any installed cancellation token.
+    pub fn clear_stop_flag(&mut self) {
+        self.stop = None;
+    }
+
+    /// Like [`Solver::solve_with_assumptions`], but polls the flag
+    /// installed via [`Solver::set_stop_flag`] once per decision and
+    /// returns `None` if cancellation was requested before an answer was
+    /// found. The solver stays in a clean level-0 state and remains
+    /// usable afterwards.
+    pub fn solve_interruptible(&mut self, assumptions: &[Lit]) -> Option<SolveResult> {
+        self.solve_core(assumptions, true)
+    }
+
+    fn solve_core(&mut self, assumptions: &[Lit], interruptible: bool) -> Option<SolveResult> {
         self.failed.clear();
         self.model.clear();
         if self.unsat {
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
         self.backtrack_to(0);
         let mut restarts: u64 = 0;
@@ -275,21 +326,25 @@ impl Solver {
             } else {
                 f64::INFINITY
             };
-            match self.search(budget as u64, &mut max_learnts, assumptions) {
+            match self.search(budget as u64, &mut max_learnts, assumptions, interruptible) {
                 SearchOutcome::Sat => {
                     self.model = self.assigns.clone();
                     self.backtrack_to(0);
                     self.certify_current_model(assumptions);
-                    return SolveResult::Sat;
+                    return Some(SolveResult::Sat);
                 }
                 SearchOutcome::Unsat => {
                     self.backtrack_to(0);
-                    return SolveResult::Unsat;
+                    return Some(SolveResult::Unsat);
                 }
                 SearchOutcome::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
+                }
+                SearchOutcome::Interrupted => {
+                    self.backtrack_to(0);
+                    return None;
                 }
             }
         }
@@ -714,9 +769,18 @@ impl Solver {
         conflict_budget: u64,
         max_learnts: &mut f64,
         assumptions: &[Lit],
+        interruptible: bool,
     ) -> SearchOutcome {
         let mut conflicts_here: u64 = 0;
         loop {
+            if interruptible
+                && self
+                    .stop
+                    .as_ref()
+                    .is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                return SearchOutcome::Interrupted;
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
@@ -823,6 +887,7 @@ enum SearchOutcome {
     Sat,
     Unsat,
     Restart,
+    Interrupted,
 }
 
 /// The Luby restart sequence scaled by `y`.

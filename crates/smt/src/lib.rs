@@ -53,6 +53,6 @@ mod solver;
 mod term;
 mod value;
 
-pub use solver::{render_term, CheckResult, Solver};
+pub use solver::{render_term, CachedQuery, CheckResult, SmtQueryCache, Solver};
 pub use term::{BvBinOp, BvCmpOp, Sort, Term, TermId, TermPool, Value};
 pub use value::BvValue;

@@ -4,8 +4,10 @@
 use crate::bitblast::BitBlaster;
 use crate::term::{Sort, Term, TermId, TermPool, Value};
 use crate::value::BvValue;
+use sciduction::exec::QueryCache;
 use sciduction_sat::{Lit, SolveResult, Solver as SatSolver};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of a satisfiability check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -14,6 +16,22 @@ pub enum CheckResult {
     Sat,
     /// The asserted formulas are unsatisfiable.
     Unsat,
+}
+
+/// A shared, concurrency-safe memo table for SMT queries, keyed by the
+/// canonical (pool-independent) serialization of the active assertion
+/// multiset. Attach one to any number of solvers — across threads,
+/// iterations, and term pools — with [`Solver::attach_cache`].
+pub type SmtQueryCache = QueryCache<Vec<u64>, CachedQuery>;
+
+/// A memoized SMT answer: the verdict plus, on Sat, the model restricted
+/// to the query's named free variables. Names (with sorts) are
+/// pool-independent, so a hit lets a *different* solver instance rebuild
+/// a model over its own term pool.
+#[derive(Clone, Debug)]
+pub struct CachedQuery {
+    sat: bool,
+    model: Vec<(String, Value)>,
 }
 
 /// An incremental SMT solver for quantifier-free bit-vector logic.
@@ -58,6 +76,8 @@ pub struct Solver {
     model: Option<HashMap<TermId, Value>>,
     /// Count of `check*` calls, for instrumentation.
     num_checks: u64,
+    /// Optional shared query memo table; see [`Solver::attach_cache`].
+    cache: Option<Arc<SmtQueryCache>>,
 }
 
 impl Default for Solver {
@@ -80,7 +100,26 @@ impl Solver {
             blasted_vars: Vec::new(),
             model: None,
             num_checks: 0,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared query memo table. Every subsequent `check*` call
+    /// first looks its query up by canonical key; answers computed on a
+    /// miss are published for other solvers sharing the table.
+    ///
+    /// A hit never changes an answer: keys are complete structural
+    /// serializations (no collision can alias two distinct queries), and a
+    /// cached Sat model is re-certified against the live assertions before
+    /// adoption — an entry that fails certification silently degrades to a
+    /// miss.
+    pub fn attach_cache(&mut self, cache: Arc<SmtQueryCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Detaches the query cache, if any.
+    pub fn detach_cache(&mut self) {
+        self.cache = None;
     }
 
     /// Read access to the term pool.
@@ -170,6 +209,21 @@ impl Solver {
     /// Panics if any assumption is not Boolean.
     pub fn check_assuming(&mut self, assumptions: &[TermId]) -> CheckResult {
         self.num_checks += 1;
+        let Some(cache) = self.cache.clone() else {
+            return self.check_uncached(assumptions);
+        };
+        let key = self.query_key(assumptions);
+        if let Some(hit) = cache.get(&key) {
+            if let Some(result) = self.adopt_cached(&hit, assumptions) {
+                return result;
+            }
+        }
+        let result = self.check_uncached(assumptions);
+        cache.insert(key, self.to_cached(result));
+        result
+    }
+
+    fn check_uncached(&mut self, assumptions: &[TermId]) -> CheckResult {
         let mut lits: Vec<Lit> = self.scopes.clone();
         for &t in assumptions {
             assert_eq!(self.pool.sort(t), Sort::Bool, "assumptions must be Boolean");
@@ -188,6 +242,96 @@ impl Solver {
                 self.model = None;
                 CheckResult::Unsat
             }
+        }
+    }
+
+    /// The cache key of the current query: the length-prefixed, sorted
+    /// canonical keys of every active assertion plus the assumptions.
+    /// Sorting makes the key insensitive to assertion order (conjunction
+    /// is commutative); length prefixes keep the flattening injective, so
+    /// distinct queries can never share a key.
+    fn query_key(&self, assumptions: &[TermId]) -> Vec<u64> {
+        let mut keys: Vec<Vec<u64>> = self
+            .asserted
+            .iter()
+            .map(|&(_, t)| t)
+            .chain(assumptions.iter().copied())
+            .map(|t| self.pool.canonical_key(t))
+            .collect();
+        keys.sort_unstable();
+        let mut key = Vec::with_capacity(keys.iter().map(|k| k.len() + 1).sum::<usize>() + 1);
+        key.push(keys.len() as u64);
+        for k in keys {
+            key.push(k.len() as u64);
+            key.extend_from_slice(&k);
+        }
+        key
+    }
+
+    /// Tries to adopt a cached answer; `None` means "treat as a miss".
+    /// Unsat verdicts transfer directly (the key identifies the query up
+    /// to structure, which determines satisfiability). Sat verdicts must
+    /// rebuild a model over this pool's variables by name and re-certify
+    /// it against the live assertions first.
+    fn adopt_cached(&mut self, hit: &CachedQuery, assumptions: &[TermId]) -> Option<CheckResult> {
+        if !hit.sat {
+            self.model = None;
+            return Some(CheckResult::Unsat);
+        }
+        let terms: Vec<TermId> = self
+            .asserted
+            .iter()
+            .map(|&(_, t)| t)
+            .chain(assumptions.iter().copied())
+            .collect();
+        let mut env = HashMap::new();
+        for &t in &terms {
+            for v in self.pool.free_vars(t) {
+                if env.contains_key(&v) {
+                    continue;
+                }
+                let Term::Var(name, sort) = self.pool.term(v) else {
+                    continue;
+                };
+                let (_, val) = hit.model.iter().find(|(n, _)| n == name)?;
+                let sort_ok = match (sort, val) {
+                    (Sort::Bool, Value::Bool(_)) => true,
+                    (Sort::BitVec(w), Value::Bv(b)) => b.width() == *w,
+                    _ => false,
+                };
+                if !sort_ok {
+                    return None;
+                }
+                env.insert(v, *val);
+            }
+        }
+        if !terms
+            .iter()
+            .all(|&t| self.pool.eval(t, &env) == Value::Bool(true))
+        {
+            return None;
+        }
+        self.model = Some(env);
+        Some(CheckResult::Sat)
+    }
+
+    /// Publishes the answer just computed: on Sat, the model projected
+    /// onto variable names (every env key is a `Term::Var` by
+    /// construction of [`Solver::extract_model`]).
+    fn to_cached(&self, result: CheckResult) -> CachedQuery {
+        let model = match (&self.model, result) {
+            (Some(env), CheckResult::Sat) => env
+                .iter()
+                .filter_map(|(&v, &val)| match self.pool.term(v) {
+                    Term::Var(name, _) => Some((name.clone(), val)),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        CachedQuery {
+            sat: result == CheckResult::Sat,
+            model,
         }
     }
 
@@ -409,6 +553,117 @@ mod tests {
         assert_ne!(s.model_value(x).as_bv().as_u64(), 3);
         assert_eq!(s.check_assuming(&[e, ne]), CheckResult::Unsat);
         assert_eq!(s.num_checks(), 3);
+    }
+
+    /// Builds `x * 3 == 100` over an 8-bit `x` in a fresh solver.
+    fn mul_eq_solver(extra_junk: bool) -> (Solver, TermId) {
+        let mut s = Solver::new();
+        if extra_junk {
+            // Pollute the pool so TermIds differ from the clean build.
+            let j = s.terms_mut().var("junk", 13);
+            s.terms_mut().bv_mul(j, j);
+        }
+        let x = s.terms_mut().var("x", 8);
+        let k3 = s.terms_mut().bv(3, 8);
+        let k100 = s.terms_mut().bv(100, 8);
+        let prod = s.terms_mut().bv_mul(x, k3);
+        let eq = s.terms_mut().eq(prod, k100);
+        s.assert_term(eq);
+        (s, x)
+    }
+
+    #[test]
+    fn cache_hits_across_solver_instances_and_pools() {
+        let cache = Arc::new(SmtQueryCache::new());
+        let (mut a, xa) = mul_eq_solver(false);
+        a.attach_cache(Arc::clone(&cache));
+        assert_eq!(a.check(), CheckResult::Sat);
+        let va = a.model_value(xa);
+        assert_eq!(cache.stats().hits, 0);
+        // Same query in a different solver with a polluted pool: the
+        // canonical key matches and the cached model is adopted.
+        let (mut b, xb) = mul_eq_solver(true);
+        b.attach_cache(Arc::clone(&cache));
+        assert_eq!(b.check(), CheckResult::Sat);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(b.model_value(xb), va, "cached model must transfer");
+        assert_eq!(
+            va.as_bv().as_u64().wrapping_mul(3) & 0xFF,
+            100,
+            "transferred model must still satisfy the query"
+        );
+    }
+
+    #[test]
+    fn cache_transfers_unsat_verdicts() {
+        let cache = Arc::new(SmtQueryCache::new());
+        for round in 0..2 {
+            let mut s = Solver::new();
+            s.attach_cache(Arc::clone(&cache));
+            let x = s.terms_mut().var("x", 4);
+            let k1 = s.terms_mut().bv(1, 4);
+            let k2 = s.terms_mut().bv(2, 4);
+            let e1 = s.terms_mut().eq(x, k1);
+            let e2 = s.terms_mut().eq(x, k2);
+            s.assert_term(e1);
+            s.assert_term(e2);
+            assert_eq!(s.check(), CheckResult::Unsat, "round {round}");
+        }
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_key_ignores_assertion_order() {
+        let cache = Arc::new(SmtQueryCache::new());
+        for flip in [false, true] {
+            let mut s = Solver::new();
+            s.attach_cache(Arc::clone(&cache));
+            let x = s.terms_mut().var("x", 8);
+            let k1 = s.terms_mut().bv(17, 8);
+            let k2 = s.terms_mut().bv(40, 8);
+            let lo = s.terms_mut().bv_ult(k1, x);
+            let hi = s.terms_mut().bv_ult(x, k2);
+            if flip {
+                s.assert_term(hi);
+                s.assert_term(lo);
+            } else {
+                s.assert_term(lo);
+                s.assert_term(hi);
+            }
+            assert_eq!(s.check(), CheckResult::Sat);
+            let v = s.model_value(x).as_bv().as_u64();
+            assert!((18..40).contains(&v), "model {v} outside bounds");
+        }
+        assert_eq!(cache.stats().hits, 1, "flipped order must hit");
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree_under_push_pop() {
+        let cache = Arc::new(SmtQueryCache::new());
+        let drive = |s: &mut Solver| -> Vec<CheckResult> {
+            let x = s.terms_mut().var("x", 4);
+            let k3 = s.terms_mut().bv(3, 4);
+            let k5 = s.terms_mut().bv(5, 4);
+            let e3 = s.terms_mut().eq(x, k3);
+            let e5 = s.terms_mut().eq(x, k5);
+            s.assert_term(e3);
+            let mut out = vec![s.check()];
+            s.push();
+            s.assert_term(e5);
+            out.push(s.check());
+            s.pop();
+            out.push(s.check());
+            out
+        };
+        let mut plain = Solver::new();
+        let expected = drive(&mut plain);
+        // Twice with the cache: first populates, second replays.
+        for _ in 0..2 {
+            let mut s = Solver::new();
+            s.attach_cache(Arc::clone(&cache));
+            assert_eq!(drive(&mut s), expected);
+        }
+        assert!(cache.stats().hits >= 3, "second run must replay from cache");
     }
 
     #[test]

@@ -851,6 +851,233 @@ impl TermPool {
         v
     }
 
+    // ------------------------------------------------------------------
+    // Canonical keys
+    // ------------------------------------------------------------------
+
+    /// A pool-independent structural serialization of the sub-DAG rooted
+    /// at `id`, usable as a full-fidelity cache key: two terms have equal
+    /// canonical keys **iff** they are structurally equal after the
+    /// pool's rewrites, regardless of which pool they live in or in what
+    /// order their subterms were created.
+    ///
+    /// Pool-local [`TermId`]s are replaced by DFS-post-order indices, so
+    /// the key is determined purely by the term's structure. The shared
+    /// query cache of the parallel CEGIS layer keys on this (hashed via
+    /// [`TermPool::canonical_hash`] for shard routing, compared by `Eq`
+    /// on the full key so hash collisions can never cause a false hit).
+    pub fn canonical_key(&self, id: TermId) -> Vec<u64> {
+        // Pass 1: bottom-up structural hashes. Commutative operands are
+        // combined in hash order, undoing the pool-local (creation-order
+        // dependent) TermId normalization the builders apply.
+        let hashes = self.node_hashes(id);
+        // Pass 2: serialize in DFS post-order over normalized child
+        // order, replacing TermIds by first-visit indices.
+        enum Visit {
+            Enter(TermId),
+            Exit(TermId),
+        }
+        let mut local: HashMap<TermId, u64> = HashMap::new();
+        let mut out: Vec<u64> = Vec::new();
+        let mut stack = vec![Visit::Enter(id)];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(t) => {
+                    if local.contains_key(&t) {
+                        continue;
+                    }
+                    stack.push(Visit::Exit(t));
+                    for c in self.children_normalized(t, &hashes).into_iter().rev() {
+                        stack.push(Visit::Enter(c));
+                    }
+                }
+                Visit::Exit(t) => {
+                    if local.contains_key(&t) {
+                        continue; // reconverged DAG node serialized once
+                    }
+                    self.push_node_header(t, &mut out);
+                    for c in self.children_normalized(t, &hashes) {
+                        out.push(local[&c]);
+                    }
+                    local.insert(t, local.len() as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// The operator tag and immediates of a node, without children.
+    fn push_node_header(&self, t: TermId, out: &mut Vec<u64>) {
+        match self.term(t) {
+            Term::BoolConst(b) => out.extend([1, *b as u64]),
+            Term::BvConst(v) => out.extend([2, v.width() as u64, v.as_u64()]),
+            Term::Var(name, sort) => {
+                let sort_code = match sort {
+                    Sort::Bool => 0u64,
+                    Sort::BitVec(w) => 1 + *w as u64,
+                };
+                out.extend([3, sort_code, name.len() as u64]);
+                out.extend(name.bytes().map(u64::from));
+            }
+            Term::Not(_) => out.push(4),
+            Term::And(_, _) => out.push(5),
+            Term::Or(_, _) => out.push(6),
+            Term::Xor(_, _) => out.push(7),
+            Term::Ite(_, _, _) => out.push(8),
+            Term::Eq(_, _) => out.push(9),
+            Term::BvBin(op, _, _) => out.extend([10, bv_bin_code(*op)]),
+            Term::BvNot(_) => out.push(11),
+            Term::BvNeg(_) => out.push(12),
+            Term::BvCmp(op, _, _) => out.extend([13, bv_cmp_code(*op)]),
+            Term::Concat(_, _) => out.push(14),
+            Term::Extract(hi, lo, _) => out.extend([15, *hi as u64, *lo as u64]),
+            Term::ZeroExt(w, _) => out.extend([16, *w as u64]),
+            Term::SignExt(w, _) => out.extend([17, *w as u64]),
+        }
+    }
+
+    /// Children of `t` in canonical traversal order: operand order as
+    /// stored, except commutative operators, whose operands are ordered
+    /// by structural hash. (A hash tie between distinct operands keeps
+    /// stored order; that can only cause a missed cache hit cross-pool,
+    /// never a false one — the key still describes one exact structure.)
+    fn children_normalized(&self, t: TermId, hashes: &HashMap<TermId, u64>) -> Vec<TermId> {
+        let commute = |a: TermId, b: TermId| {
+            if hashes[&b] < hashes[&a] {
+                vec![b, a]
+            } else {
+                vec![a, b]
+            }
+        };
+        match self.term(t) {
+            Term::BoolConst(_) | Term::BvConst(_) | Term::Var(_, _) => vec![],
+            Term::Not(a)
+            | Term::BvNot(a)
+            | Term::BvNeg(a)
+            | Term::Extract(_, _, a)
+            | Term::ZeroExt(_, a)
+            | Term::SignExt(_, a) => vec![*a],
+            Term::And(a, b) | Term::Or(a, b) | Term::Xor(a, b) | Term::Eq(a, b) => commute(*a, *b),
+            Term::BvBin(op, a, b) if op.is_commutative() => commute(*a, *b),
+            Term::BvBin(_, a, b) | Term::BvCmp(_, a, b) | Term::Concat(a, b) => vec![*a, *b],
+            Term::Ite(a, b, c) => vec![*a, *b, *c],
+        }
+    }
+
+    /// Bottom-up structural hash of every node reachable from `root`.
+    fn node_hashes(&self, root: TermId) -> HashMap<TermId, u64> {
+        enum Visit {
+            Enter(TermId),
+            Exit(TermId),
+        }
+        let mut hashes: HashMap<TermId, u64> = HashMap::new();
+        let mut stack = vec![Visit::Enter(root)];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(t) => {
+                    if hashes.contains_key(&t) {
+                        continue;
+                    }
+                    stack.push(Visit::Exit(t));
+                    // Raw (stored) child order suffices here: hashing is
+                    // order-normalized at the combine step below.
+                    match self.term(t) {
+                        Term::BoolConst(_) | Term::BvConst(_) | Term::Var(_, _) => {}
+                        Term::Not(a)
+                        | Term::BvNot(a)
+                        | Term::BvNeg(a)
+                        | Term::Extract(_, _, a)
+                        | Term::ZeroExt(_, a)
+                        | Term::SignExt(_, a) => stack.push(Visit::Enter(*a)),
+                        Term::And(a, b)
+                        | Term::Or(a, b)
+                        | Term::Xor(a, b)
+                        | Term::Eq(a, b)
+                        | Term::BvBin(_, a, b)
+                        | Term::BvCmp(_, a, b)
+                        | Term::Concat(a, b) => {
+                            stack.push(Visit::Enter(*b));
+                            stack.push(Visit::Enter(*a));
+                        }
+                        Term::Ite(a, b, c) => {
+                            stack.push(Visit::Enter(*c));
+                            stack.push(Visit::Enter(*b));
+                            stack.push(Visit::Enter(*a));
+                        }
+                    }
+                }
+                Visit::Exit(t) => {
+                    if hashes.contains_key(&t) {
+                        continue;
+                    }
+                    let mut words = Vec::new();
+                    self.push_node_header(t, &mut words);
+                    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+                    let mut mix = |w: u64| {
+                        h ^= w;
+                        h = h.wrapping_mul(0x100_0000_01B3);
+                        h = h.rotate_left(23);
+                    };
+                    for w in words {
+                        mix(w);
+                    }
+                    // Children must already be hashed (post-order), but
+                    // normalization needs their hashes, so sort locally.
+                    let mut child_hashes: Vec<u64> = match self.term(t) {
+                        Term::And(a, b) | Term::Or(a, b) | Term::Xor(a, b) | Term::Eq(a, b) => {
+                            let mut v = vec![hashes[a], hashes[b]];
+                            v.sort_unstable();
+                            v
+                        }
+                        Term::BvBin(op, a, b) if op.is_commutative() => {
+                            let mut v = vec![hashes[a], hashes[b]];
+                            v.sort_unstable();
+                            v
+                        }
+                        _ => Vec::new(),
+                    };
+                    if child_hashes.is_empty() {
+                        child_hashes = match self.term(t) {
+                            Term::BoolConst(_) | Term::BvConst(_) | Term::Var(_, _) => vec![],
+                            Term::Not(a)
+                            | Term::BvNot(a)
+                            | Term::BvNeg(a)
+                            | Term::Extract(_, _, a)
+                            | Term::ZeroExt(_, a)
+                            | Term::SignExt(_, a) => vec![hashes[a]],
+                            Term::BvBin(_, a, b) | Term::BvCmp(_, a, b) | Term::Concat(a, b) => {
+                                vec![hashes[a], hashes[b]]
+                            }
+                            Term::Ite(a, b, c) => vec![hashes[a], hashes[b], hashes[c]],
+                            _ => unreachable!("commutative cases handled above"),
+                        };
+                    }
+                    for ch in child_hashes {
+                        mix(ch);
+                    }
+                    hashes.insert(t, h);
+                }
+            }
+        }
+        hashes
+    }
+
+    /// A 64-bit fingerprint of [`TermPool::canonical_key`], for shard
+    /// routing and cheap inequality checks. Collisions are possible (use
+    /// the full key for equality); equal structures always hash equal.
+    pub fn canonical_hash(&self, id: TermId) -> u64 {
+        // FNV-1a over the canonical words, with a splitmix finalizer.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for w in self.canonical_key(id) {
+            h ^= w;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Collects the free variables reachable from `id`.
     pub fn free_vars(&self, id: TermId) -> Vec<TermId> {
         let mut seen = vec![false; self.terms.len()];
@@ -886,6 +1113,31 @@ impl TermPool {
             }
         }
         out
+    }
+}
+
+fn bv_bin_code(op: BvBinOp) -> u64 {
+    match op {
+        BvBinOp::Add => 0,
+        BvBinOp::Sub => 1,
+        BvBinOp::Mul => 2,
+        BvBinOp::Udiv => 3,
+        BvBinOp::Urem => 4,
+        BvBinOp::And => 5,
+        BvBinOp::Or => 6,
+        BvBinOp::Xor => 7,
+        BvBinOp::Shl => 8,
+        BvBinOp::Lshr => 9,
+        BvBinOp::Ashr => 10,
+    }
+}
+
+fn bv_cmp_code(op: BvCmpOp) -> u64 {
+    match op {
+        BvCmpOp::Ult => 0,
+        BvCmpOp::Ule => 1,
+        BvCmpOp::Slt => 2,
+        BvCmpOp::Sle => 3,
     }
 }
 
@@ -999,6 +1251,60 @@ mod tests {
         assert_eq!(*p.term(lo4), Term::BvConst(BvValue::new(0xB, 4)));
         let cc = p.concat(hi, lo4);
         assert_eq!(p.width(cc), 8);
+    }
+
+    #[test]
+    fn canonical_key_is_pool_independent() {
+        // Same structural formula, built in different creation orders in
+        // different pools: keys and hashes must coincide.
+        let mut p1 = TermPool::new();
+        let x1 = p1.var("x", 8);
+        let y1 = p1.var("y", 8);
+        let s1 = p1.bv_add(x1, y1);
+        let f1 = p1.bv_ult(s1, x1);
+
+        let mut p2 = TermPool::new();
+        // Pollute p2 with unrelated terms so raw TermIds differ.
+        let _junk = p2.var("junk", 16);
+        let y2 = p2.var("y", 8); // reversed declaration order
+        let x2 = p2.var("x", 8);
+        let s2 = p2.bv_add(y2, x2); // commutative normalization unifies
+        let f2 = p2.bv_ult(s2, x2);
+
+        assert_eq!(p1.canonical_key(f1), p2.canonical_key(f2));
+        assert_eq!(p1.canonical_hash(f1), p2.canonical_hash(f2));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_structure() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let z = p.var("z", 8);
+        let a = p.bv_add(x, y);
+        let b = p.bv_add(x, z);
+        assert_ne!(p.canonical_key(a), p.canonical_key(b));
+        // Same name, different width: distinct.
+        let xw = p.var("x", 16);
+        assert_ne!(p.canonical_key(x), p.canonical_key(xw));
+        // Different operator over the same operands: distinct.
+        let s = p.bv_sub(x, y);
+        assert_ne!(p.canonical_key(a), p.canonical_key(s));
+    }
+
+    #[test]
+    fn canonical_key_serializes_shared_subterms_once() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let shared = p.bv_add(x, x);
+        let twice = p.bv_mul(shared, shared);
+        let key = p.canonical_key(twice);
+        // "x" appears once: tag 3 followed by its sort code.
+        let var_tags = key
+            .windows(2)
+            .filter(|w| w[0] == 3 && w[1] == 9) // sort code 1 + width 8
+            .count();
+        assert_eq!(var_tags, 1, "shared leaf serialized more than once");
     }
 
     #[test]

@@ -134,17 +134,17 @@ fn main() {
         synthesize_switching, Grid, HyperBox, Mds, Mode, SwitchSynthConfig, SwitchingLogic,
         Transition,
     };
-    use std::rc::Rc;
+    use std::sync::Arc;
     let mds = Mds {
         dim: 1,
         modes: vec![
             Mode {
                 name: "heat".into(),
-                dynamics: Rc::new(|_x, out| out[0] = 2.0),
+                dynamics: Arc::new(|_x, out| out[0] = 2.0),
             },
             Mode {
                 name: "cool".into(),
-                dynamics: Rc::new(|_x, out| out[0] = -1.0),
+                dynamics: Arc::new(|_x, out| out[0] = -1.0),
             },
         ],
         transitions: vec![
@@ -161,7 +161,7 @@ fn main() {
                 learnable: true,
             },
         ],
-        safe: Rc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
+        safe: Arc::new(|_m, x| (15.0..=30.0).contains(&x[0])),
     };
     let initial = SwitchingLogic {
         guards: vec![

@@ -2,7 +2,7 @@
 //! shared `sciduction::Instance` machinery (the Table-1 view), and the
 //! generic CEGIS/CEGAR loops interoperate with the application substrates.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn all_three_applications_report_through_the_framework() {
@@ -25,7 +25,7 @@ fn all_three_applications_report_through_the_framework() {
 
     // Hybrid (transmission).
     use sciduction_hybrid::transmission as tx;
-    let mds = Rc::new(tx::transmission());
+    let mds = Arc::new(tx::transmission());
     let (hy, _) = sciduction_hybrid::run_instance(
         mds.clone(),
         tx::initial_guards(&mds),

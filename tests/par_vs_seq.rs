@@ -1,0 +1,387 @@
+//! Differential harness proving the parallel solver core equivalent to
+//! the sequential one: every application is driven over a corpus of
+//! deterministic rng instances at `threads = 1` (the bit-reproducible
+//! sequential fallback) and `threads ∈ {2, 4}`, and the observable
+//! results must agree.
+//!
+//! The equivalence contract per application:
+//!
+//! * **SAT** — verdicts are unique, so they must match exactly; models
+//!   are not unique, so each run's model is independently certified
+//!   against the formula instead of compared bit-for-bit.
+//! * **OGIS** — synthesized programs may differ textually across thread
+//!   counts (a different member can win the race), so programs are
+//!   compared *semantically*: equal outputs on the recorded teaching
+//!   examples and on a shared random input sample.
+//! * **GameTime** — the measurement schedule is precomputed from the
+//!   seeded rng stream, so the fitted timing model, basis ranks, and
+//!   WCET prediction must be bit-identical at every thread count.
+//! * **Hybrid** — validation sweeps visit a deterministic stratified
+//!   sample set, so trial/violation counts must match exactly and
+//!   batched simulation must be bitwise equal to one-at-a-time runs.
+
+use sciduction::ValidityEvidence;
+use sciduction_gametime::{analyze, analyze_parallel, GameTimeConfig, MicroarchPlatform};
+use sciduction_hybrid::{
+    par_validate_logic, simulate_hybrid_batch, simulate_hybrid_with_policy, systems,
+    validate_logic, ReachConfig, SwitchPolicy,
+};
+use sciduction_ir::programs;
+use sciduction_ogis::{
+    benchmarks, synthesize_portfolio, ParallelSynthesisConfig, SynthProgram, SynthesisConfig,
+    SynthesisOutcome,
+};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_sat::{solve_portfolio, Cnf, PortfolioConfig, SolveResult};
+use sciduction_smt::BvValue;
+
+/// Thread counts raced against the sequential fallback.
+const THREADS: [usize; 2] = [2, 4];
+
+// ---------------------------------------------------------------------------
+// SAT
+// ---------------------------------------------------------------------------
+
+/// A random 3-SAT instance; clause/variable ratios straddle the phase
+/// transition so the corpus mixes SAT and UNSAT verdicts.
+fn random_3sat(rng: &mut StdRng) -> Cnf {
+    let num_vars = rng.random_range(15..45u64) as usize;
+    let ratio = 3.2 + rng.random_range(0..18u64) as f64 / 10.0; // 3.2 .. 4.9
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = rng.random_range(0..num_vars as u64) as i64 + 1;
+                    if rng.random::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+/// Certifies a dense model against the CNF it claims to satisfy.
+fn certify(cnf: &Cnf, model: &[bool]) -> bool {
+    model.len() == cnf.num_vars
+        && cnf.clauses.iter().all(|cl| {
+            cl.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                model[v] ^ (l < 0)
+            })
+        })
+}
+
+#[test]
+fn sat_portfolio_verdicts_agree_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0x5A7_D1FF);
+    let mut sat = 0;
+    let mut unsat = 0;
+    for instance in 0..50 {
+        let cnf = random_3sat(&mut rng);
+        let seq = solve_portfolio(
+            &cnf,
+            &[],
+            &PortfolioConfig {
+                threads: 1,
+                ..PortfolioConfig::default()
+            },
+        )
+        .expect("no member panics");
+        match seq.result {
+            SolveResult::Sat => {
+                sat += 1;
+                assert!(certify(&cnf, &seq.model), "instance {instance}: bad model");
+            }
+            SolveResult::Unsat => unsat += 1,
+        }
+        for threads in THREADS {
+            let par = solve_portfolio(
+                &cnf,
+                &[],
+                &PortfolioConfig {
+                    threads,
+                    ..PortfolioConfig::default()
+                },
+            )
+            .expect("no member panics");
+            assert_eq!(
+                par.result, seq.result,
+                "instance {instance}: verdict diverged at {threads} thread(s)"
+            );
+            if par.result == SolveResult::Sat {
+                assert!(
+                    certify(&cnf, &par.model),
+                    "instance {instance}: uncertified model at {threads} thread(s)"
+                );
+            } else {
+                assert!(par.model.is_empty());
+            }
+        }
+    }
+    // The corpus must actually exercise both verdicts.
+    assert!(sat >= 5, "only {sat} SAT instances in the corpus");
+    assert!(unsat >= 5, "only {unsat} UNSAT instances in the corpus");
+}
+
+// ---------------------------------------------------------------------------
+// OGIS
+// ---------------------------------------------------------------------------
+
+/// Semantic program equivalence: equal outputs on every probe input.
+fn agree_on(a: &SynthProgram, b: &SynthProgram, inputs: &[Vec<BvValue>]) -> bool {
+    inputs.iter().all(|x| a.eval(x) == b.eval(x))
+}
+
+/// Erases the per-benchmark oracle types so one closure can rotate
+/// through the whole benchmark family.
+struct BoxedOracle(Box<dyn sciduction_ogis::IoOracle>);
+
+impl sciduction_ogis::IoOracle for BoxedOracle {
+    fn query(&mut self, inputs: &[BvValue]) -> Vec<BvValue> {
+        self.0.query(inputs)
+    }
+
+    fn queries(&self) -> u64 {
+        self.0.queries()
+    }
+}
+
+/// An I/O example as recorded by the synthesis loop.
+type Example = (Vec<BvValue>, Vec<BvValue>);
+
+fn synthesized(outcome: SynthesisOutcome) -> (SynthProgram, Vec<Example>) {
+    match outcome {
+        SynthesisOutcome::Synthesized {
+            program, examples, ..
+        } => (program, examples),
+        other => panic!("expected a synthesized program, got {other:?}"),
+    }
+}
+
+#[test]
+fn ogis_portfolio_programs_equivalent_across_thread_counts() {
+    // Debug-build CNF bit-blasting dominates the runtime, so the corpus
+    // is wider in release (the CI differential job) than under plain
+    // `cargo test`.
+    let corpus = if cfg!(debug_assertions) { 8 } else { 48 };
+    let mut rng = StdRng::seed_from_u64(0x0615_CE61);
+    for instance in 0..corpus {
+        let width = [3u32, 4, 5][instance % 3];
+        let which = instance % 4;
+        let make = |w: u32, which: usize| -> (_, BoxedOracle) {
+            match which {
+                0 => {
+                    let (l, o) = benchmarks::p1_with_width(w);
+                    (l, BoxedOracle(Box::new(o)))
+                }
+                1 => {
+                    let (l, o) = benchmarks::extra::turn_off_rightmost_one(w);
+                    (l, BoxedOracle(Box::new(o)))
+                }
+                2 => {
+                    let (l, o) = benchmarks::extra::isolate_rightmost_one(w);
+                    (l, BoxedOracle(Box::new(o)))
+                }
+                _ => {
+                    let (l, o) = benchmarks::extra::average_floor(w);
+                    (l, BoxedOracle(Box::new(o)))
+                }
+            }
+        };
+        let config = SynthesisConfig {
+            seed: rng.random(),
+            ..SynthesisConfig::default()
+        };
+        let (lib, _) = make(width, which);
+        let run = |threads: usize| {
+            synthesize_portfolio(
+                &lib,
+                |_| make(width, which).1,
+                &config,
+                &ParallelSynthesisConfig {
+                    threads,
+                    ..ParallelSynthesisConfig::default()
+                },
+            )
+            .expect("no member panics")
+        };
+        let (seq_prog, seq_examples) = synthesized(run(1).outcome);
+
+        // Probe inputs: the sequential run's teaching sequence plus a
+        // shared random sample over the full input space.
+        let mut probes: Vec<Vec<BvValue>> = seq_examples.iter().map(|(x, _)| x.clone()).collect();
+        for _ in 0..64 {
+            probes.push(
+                (0..lib.num_inputs)
+                    .map(|_| BvValue::new(rng.random(), width))
+                    .collect(),
+            );
+        }
+
+        for threads in THREADS {
+            let (par_prog, par_examples) = synthesized(run(threads).outcome);
+            let mut all = probes.clone();
+            all.extend(par_examples.iter().map(|(x, _)| x.clone()));
+            assert!(
+                agree_on(&seq_prog, &par_prog, &all),
+                "instance {instance} (benchmark {which}, width {width}): programs diverge \
+                 at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GameTime
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gametime_models_identical_across_thread_counts() {
+    let workloads = [
+        (programs::fig4_toy(), 1usize),
+        (programs::fir4(), 4),
+        (programs::bubble_pass(), 3),
+    ];
+    let mut rng = StdRng::seed_from_u64(0x6A3E_713E);
+    for instance in 0..48 {
+        let (f, unroll) = &workloads[instance % workloads.len()];
+        let config = GameTimeConfig {
+            unroll_bound: *unroll,
+            trials: 8 + rng.random_range(0..24u64) as usize,
+            seed: rng.random(),
+            ..GameTimeConfig::default()
+        };
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let seq = analyze(f, &mut platform, &config).expect("analysis succeeds");
+        for threads in THREADS {
+            let par = analyze_parallel(f, || MicroarchPlatform::new(f.clone()), &config, threads)
+                .expect("analysis succeeds");
+            let tag = format!("instance {instance} ({}) at {threads} thread(s)", f.name);
+            assert_eq!(par.basis.rank(), seq.basis.rank(), "{tag}: basis rank");
+            assert_eq!(par.model.weights, seq.model.weights, "{tag}: weights");
+            assert_eq!(
+                par.model.basis_means, seq.model.basis_means,
+                "{tag}: basis means"
+            );
+            assert_eq!(
+                par.model.samples_per_path, seq.model.samples_per_path,
+                "{tag}: samples per path"
+            );
+            assert_eq!(par.measurements, seq.measurements, "{tag}: measurements");
+            assert_eq!(par.smt_queries, seq.smt_queries, "{tag}: smt queries");
+            match (seq.predict_wcet(), par.predict_wcet()) {
+                (Some(s), Some(p)) => {
+                    assert_eq!(p.predicted_cycles, s.predicted_cycles, "{tag}: wcet");
+                    assert_eq!(p.test.args, s.test.args, "{tag}: wcet test case");
+                }
+                (None, None) => {}
+                (s, p) => panic!("{tag}: wcet presence diverged ({s:?} vs {p:?})"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hybrid_validation_counts_identical_across_thread_counts() {
+    let heater_logic = sciduction_hybrid::SwitchingLogic {
+        guards: vec![
+            sciduction_hybrid::HyperBox::new(vec![22.0, 0.0], vec![30.0, 50.0]),
+            sciduction_hybrid::HyperBox::new(vec![15.0, 5.0], vec![20.0, 50.0]),
+        ],
+    };
+    let cases = [
+        (systems::water_tank(), systems::water_tank_initial()),
+        (systems::budgeted_heater(), heater_logic),
+    ];
+    let mut rng = StdRng::seed_from_u64(0x4B1D);
+    for instance in 0..50 {
+        let (mds, logic) = &cases[instance % 2];
+        let samples = 3 + rng.random_range(0..10u64) as usize;
+        let config = ReachConfig {
+            horizon: 20.0,
+            ..ReachConfig::default()
+        };
+        let seq = validate_logic(mds, logic, samples, &config);
+        let ValidityEvidence::EmpiricallyTested {
+            trials: seq_trials,
+            violations: seq_violations,
+            ..
+        } = seq
+        else {
+            panic!("instance {instance}: unexpected evidence kind");
+        };
+        for threads in THREADS {
+            let par = par_validate_logic(mds, logic, samples, &config, threads)
+                .expect("no worker panics");
+            let ValidityEvidence::EmpiricallyTested {
+                trials, violations, ..
+            } = par
+            else {
+                panic!("instance {instance}: unexpected evidence kind");
+            };
+            assert_eq!(
+                (trials, violations),
+                (seq_trials, seq_violations),
+                "instance {instance}: sweep diverged at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_batched_simulation_bitwise_equal_to_sequential() {
+    let mds = systems::water_tank();
+    let logic = systems::water_tank_initial();
+    let mode_sequence = [0usize, 1, 0, 1];
+    let config = ReachConfig {
+        horizon: 30.0,
+        ..ReachConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    let starts: Vec<Vec<f64>> = (0..50)
+        .map(|_| vec![2.0 + rng.random_range(0..700u64) as f64 / 100.0])
+        .collect();
+    for policy in [SwitchPolicy::Eager, SwitchPolicy::LatestSafe] {
+        let seq: Vec<_> = starts
+            .iter()
+            .map(|x0| {
+                simulate_hybrid_with_policy(&mds, &logic, &mode_sequence, x0, &config, policy)
+            })
+            .collect();
+        for threads in THREADS {
+            let par = simulate_hybrid_batch(
+                &mds,
+                &logic,
+                &mode_sequence,
+                &starts,
+                &config,
+                policy,
+                threads,
+            )
+            .expect("no worker panics");
+            assert_eq!(par.len(), seq.len());
+            for (i, ((ps, pok), (ss, sok))) in par.iter().zip(&seq).enumerate() {
+                assert_eq!(pok, sok, "start {i}: safety verdict diverged");
+                assert_eq!(ps.len(), ss.len(), "start {i}: sample count diverged");
+                for (p, s) in ps.iter().zip(ss) {
+                    assert_eq!(p.time.to_bits(), s.time.to_bits(), "start {i}: time");
+                    assert_eq!(p.mode, s.mode, "start {i}: mode");
+                    assert_eq!(p.state.len(), s.state.len());
+                    for (a, b) in p.state.iter().zip(&s.state) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "start {i}: state");
+                    }
+                }
+            }
+        }
+    }
+}
