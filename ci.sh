@@ -23,6 +23,18 @@ SCIDUCTION_THREADS=4 cargo test --workspace --release -q
 echo "==> differential suite: parallel vs sequential equivalence"
 cargo test --release -p sciduction-suite --test par_vs_seq -q
 
+echo "==> budget properties (refuse-at-limit, ample ≡ unlimited)"
+cargo test --release -p sciduction-suite --test budget_props -q
+
+echo "==> fault matrix: seeded injection sweep vs clean reference"
+for fault_seed in 1 2 3 4; do
+  for threads in 1 4; do
+    echo "    SCIDUCTION_FAULT_SEED=$fault_seed SCIDUCTION_THREADS=$threads"
+    SCIDUCTION_FAULT_SEED=$fault_seed SCIDUCTION_THREADS=$threads \
+      cargo test --release -p sciduction-suite --test faults_vs_clean -q
+  done
+done
+
 echo "==> portfolio soak (10k races, release only)"
 cargo test --release -p sciduction-sat --test portfolio_stress -q -- --ignored
 

@@ -231,6 +231,7 @@ fn lint_hybrid(report: &mut Report) {
         },
         max_rounds: 8,
         seed_budget: 256,
+        ..SwitchSynthConfig::default()
     };
     let out = synthesize_switching(
         &mds,

@@ -95,6 +95,24 @@ pub const PAR002: &str = "PAR002";
 /// or evictions exceeding insertions).
 pub const PAR003: &str = "PAR003";
 
+/// Budget receipt records a counter exceeding its declared limit (a
+/// forged overrun — refuse-at-limit metering can never spend past a
+/// limit).
+pub const BUD001: &str = "BUD001";
+/// An `Unknown` verdict's exhaustion cause is not certified by any
+/// parked budget receipt.
+pub const BUD002: &str = "BUD002";
+/// Budget receipt's logical clock differs from the sum of its counters.
+pub const BUD003: &str = "BUD003";
+
+/// An injected-fault exhaustion cause is not reproducible from the fault
+/// plan's seed (the pure fault decision disagrees with the recorded
+/// injection).
+pub const FLT001: &str = "FLT001";
+/// A faulted run's verdict flips a clean run's verdict (faults may only
+/// degrade Known to Unknown, never change a Known answer).
+pub const FLT002: &str = "FLT002";
+
 /// Every registered code with its one-line description, for `scilint
 /// --codes` and the docs table.
 pub const ALL: &[(&str, &str)] = &[
@@ -157,6 +175,23 @@ pub const ALL: &[(&str, &str)] = &[
         "portfolio verdict diverges from a sequential re-solve",
     ),
     (PAR003, "shared query-cache counters incoherent"),
+    (
+        BUD001,
+        "budget receipt counter exceeds its limit (forged overrun)",
+    ),
+    (
+        BUD002,
+        "unknown verdict's exhaustion cause uncertified by its receipt",
+    ),
+    (BUD003, "logical clock differs from the sum of the counters"),
+    (
+        FLT001,
+        "injected fault not reproducible from the fault-plan seed",
+    ),
+    (
+        FLT002,
+        "faulted verdict flips a clean verdict (must be identical or unknown)",
+    ),
 ];
 
 /// Looks up the description of a code.

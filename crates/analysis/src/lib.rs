@@ -16,6 +16,8 @@
 //! | CFG    | [`passes::DagValidator`], [`passes::BasisValidator`] | acyclicity, reachability, basis rank & coherence |
 //! | Hybrid | [`passes::SwitchingLogicValidator`] | guard non-emptiness, dimensions, grid membership, domain containment |
 //! | OGIS   | [`passes::SynthProgramValidator`] | loop-freeness, arity/operand bounds, example re-evaluation |
+//! | Parallel | [`passes::PortfolioValidator`], [`passes::audit_cache_stats`] | verdict re-derivation, cross-member model checks, cache-counter coherence |
+//! | Budget | [`passes::audit_budget_receipt`], [`passes::audit_fault_plan`], [`passes::audit_fault_verdicts`] | receipt coherence, exhaustion-cause certification, fault reproducibility, verdict-flip detection |
 //!
 //! The `scilint` binary runs the full suite over the bundled benchmark
 //! instances and exits nonzero on any error-severity diagnostic.

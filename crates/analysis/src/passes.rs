@@ -6,7 +6,8 @@
 //! artifacts — malformedness is what they report.
 
 use crate::{codes, Report, Validator};
-use sciduction::exec::CacheStats;
+use sciduction::exec::{CacheStats, FaultPlan};
+use sciduction::{BudgetReceipt, Exhausted, Verdict};
 use sciduction_cfg::{Basis, Dag, RankTracker};
 use sciduction_hybrid::{HyperBox, HyperboxGuards, Mds, SwitchingLogic};
 use sciduction_ir::{Function, Operand, Terminator};
@@ -714,6 +715,72 @@ impl Validator for PortfolioValidator<'_> {
     fn validate(&self, report: &mut Report) {
         let pass = self.name();
         let out = self.outcome;
+        let winner_site = || match out.winner {
+            Some(w) => format!("winner#{w}"),
+            None => "winner#none".to_string(),
+        };
+
+        // BUD001/BUD003 — every parked member's receipt must be coherent,
+        // win or lose.
+        for (mi, member) in out.solvers.iter().enumerate() {
+            let Some(solver) = member else { continue };
+            if let Some(receipt) = solver.budget_receipt() {
+                audit_budget_receipt(receipt, &format!("member#{mi}"), pass, report);
+            }
+        }
+
+        let result = match out.verdict {
+            Verdict::Known(result) => result,
+            Verdict::Unknown(cause) => {
+                // An exhausted race parks no winner and no model.
+                if out.winner.is_some() || !out.model.is_empty() {
+                    report.error(
+                        codes::BUD002,
+                        pass,
+                        winner_site(),
+                        "unknown verdict carries a winner or a model",
+                    );
+                }
+                match cause {
+                    Exhausted::Injected { seed, kind, site } => {
+                        // FLT001 — the injection must be reproducible from
+                        // the pure fault decision.
+                        if !FaultPlan::decides(seed, kind, site) {
+                            report.error(
+                                codes::FLT001,
+                                pass,
+                                format!("member#{site}"),
+                                format!(
+                                    "claimed {kind:?} injection at site {site} is not \
+                                     what seed {seed} decides"
+                                ),
+                            );
+                        }
+                    }
+                    Exhausted::Cancelled => {
+                        // Cooperative cancellation leaves no counter to
+                        // certify.
+                    }
+                    resource => {
+                        // BUD002 — a resource-exhaustion cause must be
+                        // certified by some parked member's receipt.
+                        let certified =
+                            out.solvers.iter().flatten().any(|s| {
+                                s.budget_receipt().is_some_and(|r| r.certifies(&resource))
+                            });
+                        if !certified {
+                            report.error(
+                                codes::BUD002,
+                                pass,
+                                winner_site(),
+                                format!("no parked receipt certifies {resource:?}"),
+                            );
+                        }
+                    }
+                }
+                return;
+            }
+        };
 
         // PAR002 — independent sequential re-solve. SAT verdicts are
         // unique even though models are not, so verdict equality is the
@@ -725,32 +792,31 @@ impl Validator for PortfolioValidator<'_> {
             .map(|&l| Lit::new(vars[l.var().index()], l.is_negative()))
             .collect();
         let reference = seq.solve_with_assumptions(&assumptions);
-        if reference != out.result {
+        if reference != result {
             report.error(
                 codes::PAR002,
                 pass,
-                format!("winner#{}", out.winner),
+                winner_site(),
                 format!(
-                    "portfolio verdict {:?} disagrees with sequential re-solve {:?}",
-                    out.result, reference
+                    "portfolio verdict {result:?} disagrees with sequential re-solve {reference:?}"
                 ),
             );
         }
-        if out.result == SolveResult::Unsat
+        if result == SolveResult::Unsat
             && !self.assumptions.is_empty()
             && out.failed_assumptions.is_empty()
         {
             report.error(
                 codes::PAR002,
                 pass,
-                format!("winner#{}", out.winner),
+                winner_site(),
                 "UNSAT under assumptions but the failed-assumption witness is empty",
             );
         }
 
         // PAR001 — on SAT, the winner's model against every member's full
         // clause database (original + learnt).
-        if out.result == SolveResult::Sat {
+        if result == SolveResult::Sat {
             for (mi, member) in out.solvers.iter().enumerate() {
                 let Some(solver) = member else { continue };
                 if out.model.len() != solver.num_vars() {
@@ -812,6 +878,88 @@ pub fn audit_cache_stats(stats: &CacheStats, pass: &'static str, report: &mut Re
                 stats.evictions, stats.insertions
             ),
         );
+    }
+}
+
+/// Audits a [`BudgetReceipt`] from first principles.
+///
+/// * `BUD001` — a counter exceeding its declared limit is a forged
+///   overrun: refuse-at-limit metering can never spend past a limit.
+/// * `BUD003` — the logical clock must equal the sum of the counters.
+pub fn audit_budget_receipt(
+    receipt: &BudgetReceipt,
+    site: &str,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    for (name, spent, limit) in [
+        ("conflicts", receipt.conflicts, receipt.budget.conflicts),
+        ("steps", receipt.steps, receipt.budget.steps),
+        ("fuel", receipt.fuel, receipt.budget.fuel),
+    ] {
+        if spent > limit {
+            report.error(
+                codes::BUD001,
+                pass,
+                site.to_string(),
+                format!("{name} counter {spent} exceeds its limit {limit}"),
+            );
+        }
+    }
+    let sum = receipt.conflicts + receipt.steps + receipt.fuel;
+    if receipt.clock != sum {
+        report.error(
+            codes::BUD003,
+            pass,
+            site.to_string(),
+            format!(
+                "logical clock {} differs from counter sum {sum}",
+                receipt.clock
+            ),
+        );
+    }
+}
+
+/// Audits a [`FaultPlan`]'s event log: every recorded injection must be
+/// reproducible from the plan's seed via the pure fault decision
+/// (`FLT001`). A log that cannot be re-derived means the injection was
+/// forged or the plan was mutated after the fact.
+pub fn audit_fault_plan(plan: &FaultPlan, pass: &'static str, report: &mut Report) {
+    for event in plan.events() {
+        if !FaultPlan::decides(plan.seed(), event.kind, event.site) {
+            report.error(
+                codes::FLT001,
+                pass,
+                format!("site#{}", event.site),
+                format!(
+                    "logged {:?} at site {} is not what seed {} decides",
+                    event.kind,
+                    event.site,
+                    plan.seed()
+                ),
+            );
+        }
+    }
+}
+
+/// Audits a faulted run's verdict against a clean run's verdict of the
+/// same problem (`FLT002`): faults may only degrade `Known` to `Unknown`,
+/// never change a `Known` answer.
+pub fn audit_fault_verdicts<T: PartialEq + std::fmt::Debug>(
+    clean: &Verdict<T>,
+    faulted: &Verdict<T>,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    if let (Verdict::Known(c), Verdict::Known(f)) = (clean, faulted) {
+        if c != f {
+            report.error(
+                codes::FLT002,
+                pass,
+                "faulted-run",
+                format!("faulted verdict {f:?} flips clean verdict {c:?}"),
+            );
+        }
     }
 }
 

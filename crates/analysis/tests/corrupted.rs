@@ -3,11 +3,12 @@
 //! clean negative on the corresponding well-formed artifact. Together these
 //! pin the code registry of `sciduction_analysis::codes`.
 
-use sciduction::exec::CacheStats;
+use sciduction::exec::{CacheStats, FaultKind, FaultPlan};
+use sciduction::{Budget, BudgetReceipt, Exhausted, Verdict};
 use sciduction_analysis::passes::{
-    audit_cache_stats, audit_clauses, audit_edge_graph, certify_model, BasisValidator,
-    DagValidator, IrValidator, PortfolioValidator, SwitchingLogicValidator, SynthProgramValidator,
-    TermPoolValidator,
+    audit_budget_receipt, audit_cache_stats, audit_clauses, audit_edge_graph, audit_fault_plan,
+    audit_fault_verdicts, certify_model, BasisValidator, DagValidator, IrValidator,
+    PortfolioValidator, SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, BasisConfig, Dag, SmtOracle};
@@ -350,7 +351,7 @@ fn portfolio_clean_negatives() {
             ..PortfolioConfig::default()
         };
         let sat = solve_portfolio(&cnf, &[], &config).expect("no member panics");
-        assert_eq!(sat.result, SolveResult::Sat);
+        assert_eq!(sat.verdict, Verdict::Known(SolveResult::Sat));
         let mut r = Report::new();
         PortfolioValidator::new(&cnf, &[], &sat).validate(&mut r);
         assert!(r.is_clean(), "{r}");
@@ -358,7 +359,7 @@ fn portfolio_clean_negatives() {
         // x0 ∧ ¬x5 contradicts the implication ring: UNSAT with a witness.
         let assumptions = [lit(0, false), lit(5, true)];
         let unsat = solve_portfolio(&cnf, &assumptions, &config).expect("no member panics");
-        assert_eq!(unsat.result, SolveResult::Unsat);
+        assert_eq!(unsat.verdict, Verdict::Known(SolveResult::Unsat));
         let mut r = Report::new();
         PortfolioValidator::new(&cnf, &assumptions, &unsat).validate(&mut r);
         assert!(r.is_clean(), "{r}");
@@ -389,7 +390,7 @@ fn par002_verdict_disagrees_with_resolve() {
         ..PortfolioConfig::default()
     };
     let mut out = solve_portfolio(&cnf, &[], &config).expect("no member panics");
-    out.result = SolveResult::Unsat;
+    out.verdict = Verdict::Known(SolveResult::Unsat);
     out.model.clear();
     let mut r = Report::new();
     PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
@@ -406,7 +407,7 @@ fn par002_unsat_without_failed_assumption_witness() {
     };
     let assumptions = [lit(0, false), lit(5, true)];
     let mut out = solve_portfolio(&cnf, &assumptions, &config).expect("no member panics");
-    assert_eq!(out.result, SolveResult::Unsat);
+    assert_eq!(out.verdict, Verdict::Known(SolveResult::Unsat));
     assert!(!out.failed_assumptions.is_empty());
     out.failed_assumptions.clear();
     let mut r = Report::new();
@@ -441,6 +442,163 @@ fn par003_incoherent_cache_counters() {
     let mut r = Report::new();
     audit_cache_stats(&phantom_evict, "portfolio", &mut r);
     assert!(r.has_code(codes::PAR003), "{r}");
+}
+
+// -------------------------------------------------------------------------
+// Budgets & faults
+// -------------------------------------------------------------------------
+
+/// A receipt as the refuse-at-limit meter would actually write it:
+/// exhausted on fuel, counters at their limits, clock equal to the sum.
+fn honest_receipt() -> BudgetReceipt {
+    BudgetReceipt {
+        budget: Budget {
+            conflicts: 10,
+            fuel: 3,
+            ..Budget::UNLIMITED
+        },
+        conflicts: 7,
+        steps: 0,
+        fuel: 3,
+        clock: 10,
+        cause: Some(Exhausted::Fuel { limit: 3, spent: 3 }),
+    }
+}
+
+#[test]
+fn bud001_forged_counter_overrun() {
+    let mut r = Report::new();
+    audit_budget_receipt(&honest_receipt(), "member#0", "budget", &mut r);
+    assert!(r.is_clean(), "{r}");
+
+    // A counter past its limit is impossible under refuse-at-limit
+    // metering: the charge that would cross the limit is refused.
+    let forged = BudgetReceipt {
+        fuel: 4,
+        clock: 11,
+        ..honest_receipt()
+    };
+    let mut r = Report::new();
+    audit_budget_receipt(&forged, "member#0", "budget", &mut r);
+    assert!(r.has_code(codes::BUD001), "{r}");
+    assert!(!r.has_code(codes::BUD003), "{r}");
+}
+
+#[test]
+fn bud003_logical_clock_out_of_step() {
+    let skewed = BudgetReceipt {
+        clock: 9,
+        ..honest_receipt()
+    };
+    let mut r = Report::new();
+    audit_budget_receipt(&skewed, "member#0", "budget", &mut r);
+    assert!(r.has_code(codes::BUD003), "{r}");
+    assert!(!r.has_code(codes::BUD001), "{r}");
+}
+
+/// Runs the ring portfolio with zero fuel: no decision can be charged, so
+/// every member parks `Fuel {limit: 0, spent: 0}` and the race reports a
+/// certified Unknown.
+fn starved_outcome(cnf: &Cnf) -> sciduction_sat::PortfolioOutcome {
+    let config = PortfolioConfig {
+        members: 2,
+        threads: 1,
+        budget: Budget::with_fuel(0),
+        ..PortfolioConfig::default()
+    };
+    let out = solve_portfolio(cnf, &[], &config).expect("no member panics");
+    assert_eq!(
+        out.verdict,
+        Verdict::Unknown(Exhausted::Fuel { limit: 0, spent: 0 })
+    );
+    out
+}
+
+#[test]
+fn bud002_uncertified_exhaustion_cause() {
+    let cnf = ring_cnf();
+    let out = starved_outcome(&cnf);
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
+    assert!(r.is_clean(), "{r}");
+
+    // Forge the spend: no parked receipt recorded 7 fuel, so the cause is
+    // uncertified.
+    let mut forged = starved_outcome(&cnf);
+    forged.verdict = Verdict::Unknown(Exhausted::Fuel { limit: 0, spent: 7 });
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &[], &forged).validate(&mut r);
+    assert!(r.has_code(codes::BUD002), "{r}");
+
+    // An Unknown that still carries a model is equally forged.
+    let mut with_model = starved_outcome(&cnf);
+    with_model.model = vec![true; cnf.num_vars];
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &[], &with_model).validate(&mut r);
+    assert!(r.has_code(codes::BUD002), "{r}");
+}
+
+#[test]
+fn flt001_nonreproducible_injection() {
+    let cnf = ring_cnf();
+    let seed = 0xFA57;
+    let kind = FaultKind::WorkerDeath;
+    let fired = (0..).find(|&s| FaultPlan::decides(seed, kind, s)).unwrap();
+    let skipped = (0..).find(|&s| !FaultPlan::decides(seed, kind, s)).unwrap();
+
+    // A genuinely decided injection validates clean.
+    let mut out = starved_outcome(&cnf);
+    out.verdict = Verdict::Unknown(Exhausted::Injected {
+        seed,
+        kind,
+        site: fired,
+    });
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
+    assert!(r.is_clean(), "{r}");
+
+    // Claiming an injection at a site the seed never fires is forged.
+    out.verdict = Verdict::Unknown(Exhausted::Injected {
+        seed,
+        kind,
+        site: skipped,
+    });
+    let mut r = Report::new();
+    PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
+    assert!(r.has_code(codes::FLT001), "{r}");
+
+    // A real plan's own event log is always reproducible.
+    let plan = FaultPlan::new(seed);
+    for site in 0..32 {
+        plan.fires(kind, site);
+    }
+    let mut r = Report::new();
+    audit_fault_plan(&plan, "faults", &mut r);
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn flt002_faulted_verdict_flip() {
+    // Degrading Known to Unknown is graceful; flipping Known is not.
+    let clean = Verdict::Known(SolveResult::Sat);
+    let mut r = Report::new();
+    audit_fault_verdicts(&clean, &Verdict::Known(SolveResult::Sat), "faults", &mut r);
+    audit_fault_verdicts(
+        &clean,
+        &Verdict::Unknown(Exhausted::Cancelled),
+        "faults",
+        &mut r,
+    );
+    assert!(r.is_clean(), "{r}");
+
+    let mut r = Report::new();
+    audit_fault_verdicts(
+        &clean,
+        &Verdict::Known(SolveResult::Unsat),
+        "faults",
+        &mut r,
+    );
+    assert!(r.has_code(codes::FLT002), "{r}");
 }
 
 // -------------------------------------------------------------------------

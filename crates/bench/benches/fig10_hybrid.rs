@@ -22,6 +22,7 @@ fn config(min_dwell: f64) -> SwitchSynthConfig {
         },
         max_rounds: 8,
         seed_budget: 512,
+        ..SwitchSynthConfig::default()
     }
 }
 

@@ -25,6 +25,7 @@ fn main() {
         },
         max_rounds: 8,
         seed_budget: 512,
+        ..SwitchSynthConfig::default()
     };
     let synth = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &config);
     assert!(synth.converged, "guard synthesis must converge");

@@ -85,13 +85,18 @@ fn main() {
         };
         solve_portfolio(&cnf, &[], &config).expect("no member panics")
     });
-    assert_eq!(seq_out.result, par_out.result, "SAT verdicts must agree");
+    assert_eq!(seq_out.verdict, par_out.verdict, "SAT verdicts must agree");
     rows.push(vec![
         "sat_portfolio_3sat".into(),
         format!("{seq_t:.3}"),
         format!("{par_t:.3}"),
         format!("{:.2}", seq_t / par_t),
-        format!("{:?}", par_out.result),
+        format!(
+            "{:?}",
+            par_out
+                .verdict
+                .expect_known("unlimited default budget cannot exhaust")
+        ),
     ]);
 
     // -- Fig. 6: GameTime basis-path measurement batches -----------------
@@ -147,7 +152,10 @@ fn main() {
         format!("{:.2}", seq_t / par_t),
         format!(
             "winner {} / cache {} hit(s)",
-            par_out.winner, par_out.cache.hits
+            par_out
+                .winner
+                .map_or_else(|| "none".to_string(), |w| w.to_string()),
+            par_out.cache.hits
         ),
     ]);
 

@@ -77,6 +77,7 @@ fn main() {
             },
             max_rounds: 8,
             seed_budget: 512,
+            ..sciduction_hybrid::SwitchSynthConfig::default()
         };
         let t0 = Instant::now();
         let (outcome, result) =

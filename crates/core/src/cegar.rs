@@ -10,6 +10,7 @@
 //! original system is itself a valid abstraction, C_H = C_S and the
 //! hypothesis is trivially valid.
 
+use crate::budget::{Budget, BudgetMeter, Verdict};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A finite transition system over `num_vars` Boolean state variables.
@@ -63,27 +64,59 @@ pub struct CegarStats {
 /// Runs CEGAR with localization abstraction, starting from the coarsest
 /// abstraction (no variable visible).
 ///
+/// Equivalent to [`cegar_bounded`] with [`Budget::UNLIMITED`]; the loop
+/// always terminates anyway (visibility grows monotonically and is capped
+/// by `num_vars`), so the unwrap can never fire.
+///
 /// # Panics
 ///
 /// Panics if `num_vars > 32`.
 pub fn cegar(system: &TransitionSystem) -> (CegarVerdict, CegarStats) {
+    let (verdict, stats) = cegar_bounded(system, &Budget::UNLIMITED);
+    (
+        verdict.expect_known("unlimited CEGAR cannot exhaust"),
+        stats,
+    )
+}
+
+/// CEGAR under a [`Budget`]: each abstract model-checking round charges
+/// one step, and a refused charge stops the loop with
+/// [`Verdict::Unknown`] — the partially-refined abstraction is discarded
+/// rather than misreported as either `Safe` or `Unsafe`.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 32`.
+pub fn cegar_bounded(
+    system: &TransitionSystem,
+    budget: &Budget,
+) -> (Verdict<CegarVerdict>, CegarStats) {
     assert!(
         system.num_vars <= 32,
         "explicit-state demo limited to 32 vars"
     );
+    let mut meter = BudgetMeter::new(*budget);
     let mut visible: HashSet<usize> = HashSet::new();
     let mut stats = CegarStats::default();
     loop {
+        if let Err(cause) = meter.charge_step() {
+            return (Verdict::Unknown(cause), stats);
+        }
         stats.model_checks += 1;
         match abstract_check(system, &visible) {
             None => {
                 let mut vs: Vec<usize> = visible.into_iter().collect();
                 vs.sort_unstable();
-                return (CegarVerdict::Safe { visible: vs }, stats);
+                return (Verdict::Known(CegarVerdict::Safe { visible: vs }), stats);
             }
             Some(abstract_trace) => {
                 match concretize(system, &visible, &abstract_trace) {
-                    Some(concrete) => return (CegarVerdict::Unsafe { trace: concrete }, stats),
+                    Some(concrete) => {
+                        return (
+                            Verdict::Known(CegarVerdict::Unsafe { trace: concrete }),
+                            stats,
+                        )
+                    }
                     None => {
                         stats.spurious += 1;
                         stats.refinements += 1;
@@ -277,5 +310,24 @@ mod tests {
         assert_eq!(verdict, CegarVerdict::Safe { visible: vec![] });
         assert_eq!(stats.refinements, 0);
         assert_eq!(stats.model_checks, 1);
+    }
+
+    #[test]
+    fn bounded_cegar_reports_unknown_instead_of_guessing() {
+        use crate::budget::Exhausted;
+        let sys = counter_system(false);
+        // Starved of steps: the safe verdict needs several refinement
+        // rounds, so one step must end in Unknown — never Safe/Unsafe.
+        let (verdict, stats) = cegar_bounded(&sys, &Budget::with_steps(1));
+        match verdict {
+            Verdict::Unknown(Exhausted::Steps { limit: 1, spent: 1 }) => {}
+            v => panic!("expected step exhaustion, got {v:?}"),
+        }
+        assert_eq!(stats.model_checks, 1);
+        // An ample budget reproduces the unlimited run exactly.
+        let (ample, ample_stats) = cegar_bounded(&sys, &Budget::with_steps(1_000));
+        let (unlimited, unlimited_stats) = cegar(&sys);
+        assert_eq!(ample.known().unwrap(), unlimited);
+        assert_eq!(ample_stats, unlimited_stats);
     }
 }

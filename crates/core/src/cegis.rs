@@ -9,6 +9,7 @@
 //! (Sec. 4) uses a refinement of it where the verifier is replaced by
 //! distinguishing-input search against an I/O oracle.
 
+use crate::budget::{Budget, BudgetMeter, Exhausted};
 use crate::exec::{ExecError, ParallelOracle};
 
 /// Proposes candidates consistent with all examples seen so far —
@@ -71,10 +72,14 @@ pub enum CegisResult<C, E> {
         /// The examples that rule the class out.
         examples: Vec<E>,
     },
-    /// The iteration budget ran out first.
+    /// The budget ran out first. This is the `Unknown` arm of CEGIS: the
+    /// accumulated examples stay valid, but no candidate was certified
+    /// and none was refuted.
     BudgetExhausted {
-        /// The budget that was exhausted.
+        /// Iterations completed before exhaustion.
         iterations: usize,
+        /// The certified reason the loop stopped.
+        cause: Exhausted,
     },
 }
 
@@ -82,6 +87,7 @@ pub enum CegisResult<C, E> {
 ///
 /// `initial_examples` seeds the loop (often empty or a few random I/O
 /// pairs); `max_iterations` bounds the number of propose/verify rounds.
+/// Equivalent to [`cegis_bounded`] with [`Budget::with_steps`].
 pub fn cegis<S, V, C, E>(
     synthesizer: &mut S,
     verifier: &mut V,
@@ -92,8 +98,41 @@ where
     S: Synthesizer<Candidate = C, Example = E>,
     V: Verifier<Candidate = C, Example = E>,
 {
+    cegis_bounded(
+        synthesizer,
+        verifier,
+        initial_examples,
+        &Budget::with_steps(max_iterations as u64),
+    )
+}
+
+/// The CEGIS loop under a full [`Budget`]: each propose/verify round
+/// charges one step, and the loop stops with
+/// [`CegisResult::BudgetExhausted`] — carrying the certified cause —
+/// the moment any charge is refused. An unlimited budget never stops
+/// the loop early (the synthesizer's `None` is then the only exit
+/// besides success).
+pub fn cegis_bounded<S, V, C, E>(
+    synthesizer: &mut S,
+    verifier: &mut V,
+    initial_examples: Vec<E>,
+    budget: &Budget,
+) -> CegisResult<C, E>
+where
+    S: Synthesizer<Candidate = C, Example = E>,
+    V: Verifier<Candidate = C, Example = E>,
+{
+    let mut meter = BudgetMeter::new(*budget);
     let mut examples = initial_examples;
-    for iteration in 1..=max_iterations {
+    let mut iteration = 0usize;
+    loop {
+        if let Err(cause) = meter.charge_step() {
+            return CegisResult::BudgetExhausted {
+                iterations: iteration,
+                cause,
+            };
+        }
+        iteration += 1;
         let Some(candidate) = synthesizer.propose(&examples) else {
             return CegisResult::Unrealizable {
                 iterations: iteration,
@@ -110,9 +149,6 @@ where
             }
             Some(cex) => examples.push(cex),
         }
-    }
-    CegisResult::BudgetExhausted {
-        iterations: max_iterations,
     }
 }
 
@@ -141,9 +177,47 @@ where
     C: Sync,
     E: Send,
 {
+    par_cegis_bounded(
+        synthesizer,
+        verifiers,
+        initial_examples,
+        &Budget::with_steps(max_iterations as u64),
+        threads,
+    )
+}
+
+/// [`par_cegis`] under a full [`Budget`]. The meter lives on the
+/// coordinating thread and charges one step per round *before* the
+/// fan-out, so accounting is identical at every thread count.
+///
+/// # Errors
+///
+/// [`ExecError`] if a probe panics.
+pub fn par_cegis_bounded<S, V, C, E>(
+    synthesizer: &mut S,
+    verifiers: &[V],
+    initial_examples: Vec<E>,
+    budget: &Budget,
+    threads: usize,
+) -> Result<CegisResult<C, E>, ExecError>
+where
+    S: Synthesizer<Candidate = C, Example = E>,
+    V: ParVerifier<Candidate = C, Example = E> + Sync,
+    C: Sync,
+    E: Send,
+{
     let oracle = ParallelOracle::new(threads);
+    let mut meter = BudgetMeter::new(*budget);
     let mut examples = initial_examples;
-    for iteration in 1..=max_iterations {
+    let mut iteration = 0usize;
+    loop {
+        if let Err(cause) = meter.charge_step() {
+            return Ok(CegisResult::BudgetExhausted {
+                iterations: iteration,
+                cause,
+            });
+        }
+        iteration += 1;
         let Some(candidate) = synthesizer.propose(&examples) else {
             return Ok(CegisResult::Unrealizable {
                 iterations: iteration,
@@ -162,9 +236,6 @@ where
             Some(cex) => examples.push(cex),
         }
     }
-    Ok(CegisResult::BudgetExhausted {
-        iterations: max_iterations,
-    })
 }
 
 #[cfg(test)]
@@ -344,8 +415,39 @@ mod tests {
         };
         let mut v = RejectAll;
         match cegis(&mut s, &mut v, vec![], 5) {
-            CegisResult::BudgetExhausted { iterations } => assert_eq!(iterations, 5),
+            CegisResult::BudgetExhausted { iterations, cause } => {
+                assert_eq!(iterations, 5);
+                assert_eq!(cause, Exhausted::Steps { limit: 5, spent: 5 });
+            }
             other => panic!("expected budget exhaustion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bounded_cegis_stops_on_the_deadline_with_a_certified_cause() {
+        let mut s = TinySynth {
+            space: (0..=255).collect(),
+        };
+        let mut v = RejectAll;
+        match cegis_bounded(&mut s, &mut v, vec![], &Budget::with_deadline(3)) {
+            CegisResult::BudgetExhausted { iterations, cause } => {
+                // The third charge trips the deadline, so two full
+                // rounds ran before the refusal.
+                assert_eq!(iterations, 2);
+                assert_eq!(cause, Exhausted::Deadline { limit: 3, clock: 3 });
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_bounded_cegis_matches_the_classic_loop() {
+        let mut s1 = AffineSynth;
+        let mut v1 = AffineVerifier { secret: (13, 200) };
+        let classic = cegis(&mut s1, &mut v1, vec![], 16);
+        let mut s2 = AffineSynth;
+        let mut v2 = AffineVerifier { secret: (13, 200) };
+        let bounded = cegis_bounded(&mut s2, &mut v2, vec![], &Budget::UNLIMITED);
+        assert_eq!(classic, bounded);
     }
 }

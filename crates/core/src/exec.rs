@@ -25,8 +25,155 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use sciduction_rng::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+
 /// Environment variable selecting the worker-thread count.
 pub const THREADS_ENV: &str = "SCIDUCTION_THREADS";
+
+/// Environment variable seeding the deterministic fault-injection plan.
+/// Unset (the normal case) means no faults are ever injected.
+pub const FAULT_ENV: &str = "SCIDUCTION_FAULT_SEED";
+
+/// A kind of injectable fault. Each kind models one failure mode a
+/// deployed solver stack actually sees, compressed to a deterministic
+/// decision so the degraded paths can be tested reproducibly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// A portfolio entrant dies before producing an answer: the race
+    /// skips it entirely, as if its thread was killed.
+    WorkerDeath,
+    /// An entrant observes a cancellation that no winner requested: it
+    /// runs against a pre-stopped private flag and gives up at its first
+    /// poll point.
+    SpuriousCancel,
+    /// A cache lookup is forced to miss, modeling eviction storms and
+    /// cold shared state. Only ever causes re-computation, never a wrong
+    /// answer (first-writer-wins insertion is unaffected).
+    CacheMissStorm,
+    /// A domain engine is handed an already-exhausted budget, so it must
+    /// report `Unknown` with a certified `Injected` cause.
+    BudgetExhaustion,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order (used by test matrices).
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::WorkerDeath,
+        FaultKind::SpuriousCancel,
+        FaultKind::CacheMissStorm,
+        FaultKind::BudgetExhaustion,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::WorkerDeath => 0,
+            FaultKind::SpuriousCancel => 1,
+            FaultKind::CacheMissStorm => 2,
+            FaultKind::BudgetExhaustion => 3,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultKind::WorkerDeath => "worker-death",
+            FaultKind::SpuriousCancel => "spurious-cancel",
+            FaultKind::CacheMissStorm => "cache-miss-storm",
+            FaultKind::BudgetExhaustion => "budget-exhaustion",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One injected fault, as recorded in a [`FaultPlan`]'s log.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Where: the deterministic site id passed to [`FaultPlan::fires`]
+    /// (an entrant index for race faults, a lookup ordinal for cache
+    /// faults).
+    pub site: u64,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Whether a fault fires at a given `(kind, site)` is a *pure function*
+/// of the plan's seed — [`FaultPlan::decides`] — derived through
+/// [`Xoshiro256PlusPlus::fork`], so the same seed injects the same
+/// faults at every thread count, and an auditor (lint `FLT001`) can
+/// re-derive from the seed alone whether a claimed injection is genuine.
+/// Each firing is also appended to an internal log for that audit.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    kinds: [bool; 4],
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultPlan {
+    /// A plan injecting every fault kind, driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            kinds: [true; 4],
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A plan injecting only `kind` — the rest of the matrix stays
+    /// clean, which is what the per-kind differential fault tests need.
+    pub fn targeting(seed: u64, kind: FaultKind) -> Self {
+        let mut kinds = [false; 4];
+        kinds[kind.index()] = true;
+        FaultPlan {
+            seed,
+            kinds,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The plan configured by [`FAULT_ENV`], or `None` (no faults) when
+    /// the variable is unset or not a `u64`.
+    pub fn from_env() -> Option<FaultPlan> {
+        let raw = std::env::var(FAULT_ENV).ok()?;
+        raw.trim().parse::<u64>().ok().map(FaultPlan::new)
+    }
+
+    /// The seed this plan derives every decision from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The pure firing decision: does a plan seeded with `seed` inject
+    /// `kind` at `site`? Fires with probability ~1/4 per site. This is
+    /// the ground truth the `FLT001` audit replays.
+    pub fn decides(seed: u64, kind: FaultKind, site: u64) -> bool {
+        let mut stream = Xoshiro256PlusPlus::seed_from_u64(seed)
+            .fork(kind.index() as u64)
+            .fork(site);
+        stream.next_u64() % 4 == 0
+    }
+
+    /// Whether this plan injects `kind` at `site`; a firing is logged.
+    pub fn fires(&self, kind: FaultKind, site: u64) -> bool {
+        if !self.kinds[kind.index()] {
+            return false;
+        }
+        if FaultPlan::decides(self.seed, kind, site) {
+            lock_ignoring_poison(&self.log).push(FaultEvent { kind, site });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A snapshot of every fault injected so far.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        lock_ignoring_poison(&self.log).clone()
+    }
+}
 
 /// The thread count configured for this process: [`THREADS_ENV`] when set
 /// to a positive integer, otherwise the machine's available parallelism.
@@ -249,9 +396,19 @@ pub struct RaceWin<T> {
 /// poll it at their natural yield points (e.g. the CDCL decision loop)
 /// and return `None` once it trips. An entrant returning `Some` answer
 /// records itself as the winner (first writer wins) and trips the flag.
-#[derive(Clone, Copy, Debug)]
+///
+/// With a [`FaultPlan`] attached, entrants may be deterministically
+/// killed ([`FaultKind::WorkerDeath`]: never run) or spuriously
+/// cancelled ([`FaultKind::SpuriousCancel`]: run against a pre-stopped
+/// private flag). Both decisions are pure in `(seed, kind, entrant
+/// index)` and applied identically on the sequential and parallel
+/// paths, so the set of degraded entrants is thread-count invariant —
+/// and a degraded entrant can only *fail to answer*, never corrupt or
+/// win the race with a wrong answer.
+#[derive(Clone, Debug)]
 pub struct Portfolio {
     threads: usize,
+    plan: Option<Arc<FaultPlan>>,
 }
 
 impl Portfolio {
@@ -259,6 +416,7 @@ impl Portfolio {
     pub fn new(threads: usize) -> Self {
         Portfolio {
             threads: threads.max(1),
+            plan: None,
         }
     }
 
@@ -267,9 +425,29 @@ impl Portfolio {
         Portfolio::new(configured_threads())
     }
 
+    /// Attaches a fault-injection plan to this scheduler.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
     /// The worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// How the attached plan (if any) degrades entrant `i`:
+    /// `Some(true)` = killed outright, `Some(false)` = spuriously
+    /// cancelled, `None` = runs normally.
+    fn entrant_fault(&self, i: usize) -> Option<bool> {
+        let plan = self.plan.as_deref()?;
+        if plan.fires(FaultKind::WorkerDeath, i as u64) {
+            Some(true)
+        } else if plan.fires(FaultKind::SpuriousCancel, i as u64) {
+            Some(false)
+        } else {
+            None
+        }
     }
 
     /// Runs `entrants` to the first answer.
@@ -288,7 +466,18 @@ impl Portfolio {
         let n = entrants.len();
         if self.threads == 1 || n <= 1 {
             for (i, entrant) in entrants.into_iter().enumerate() {
-                match panic::catch_unwind(AssertUnwindSafe(|| entrant(&stop))) {
+                let flag = match self.entrant_fault(i) {
+                    Some(true) => continue, // killed: never runs
+                    Some(false) => {
+                        // Spurious cancel: a private, already-tripped
+                        // flag; the entrant gives up at its first poll.
+                        let private = StopFlag::new();
+                        private.stop();
+                        private
+                    }
+                    None => stop.clone(),
+                };
+                match panic::catch_unwind(AssertUnwindSafe(|| entrant(&flag))) {
                     Ok(Some(value)) => {
                         stop.stop();
                         return Ok(Some(RaceWin { winner: i, value }));
@@ -313,6 +502,7 @@ impl Portfolio {
             entrants.into_iter().map(|e| Mutex::new(Some(e))).collect();
         let (stop_ref, win_ref, fault_ref, entrants_ref, next) =
             (&stop, &win, &fault, &entrants, &next);
+        let this = self;
 
         // Panics are caught *inside* each worker, which then trips the
         // stop flag itself. Detecting them only at join time would
@@ -331,7 +521,18 @@ impl Portfolio {
                     let Some(entrant) = take_entrant(&entrants_ref[i]) else {
                         continue;
                     };
-                    match panic::catch_unwind(AssertUnwindSafe(|| entrant(stop_ref))) {
+                    // Same fault decisions as the sequential branch —
+                    // pure in (seed, kind, i), so thread-count invariant.
+                    let flag = match this.entrant_fault(i) {
+                        Some(true) => continue, // killed: never runs
+                        Some(false) => {
+                            let private = StopFlag::new();
+                            private.stop();
+                            private
+                        }
+                        None => stop_ref.clone(),
+                    };
+                    match panic::catch_unwind(AssertUnwindSafe(|| entrant(&flag))) {
                         Ok(Some(value)) => {
                             // Record-then-cancel: the answer is safely
                             // stored before losers are told to stop, so
@@ -418,6 +619,11 @@ pub struct QueryCache<K, V> {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    /// Monotone lookup ordinal: the deterministic fault site for
+    /// [`FaultKind::CacheMissStorm`] (the `RandomState` key hash would
+    /// differ per process and break fault reproducibility).
+    lookups: AtomicU64,
+    plan: Option<Arc<FaultPlan>>,
 }
 
 const CACHE_SHARDS: usize = 16;
@@ -466,7 +672,18 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            plan: None,
         }
+    }
+
+    /// Attaches a fault-injection plan: [`FaultKind::CacheMissStorm`]
+    /// decisions then force deterministic lookup misses. A forced miss
+    /// only causes re-computation — insertion stays first-writer-wins,
+    /// so cache coherence is untouched.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.plan = Some(plan);
+        self
     }
 
     fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
@@ -476,6 +693,13 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
 
     /// Looks `key` up, counting a hit or miss.
     pub fn get(&self, key: &K) -> Option<V> {
+        let site = self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = self.plan.as_deref() {
+            if plan.fires(FaultKind::CacheMissStorm, site) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         let shard = lock_ignoring_poison(self.shard(key));
         match shard.map.get(key) {
             Some(v) => {
@@ -699,5 +923,116 @@ mod tests {
             assert_eq!(v, 81);
         }
         assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fault_decisions_are_pure_and_seed_sensitive() {
+        for kind in FaultKind::ALL {
+            for site in 0..64u64 {
+                assert_eq!(
+                    FaultPlan::decides(7, kind, site),
+                    FaultPlan::decides(7, kind, site),
+                );
+            }
+        }
+        // Roughly 1-in-4 firing rate; also different seeds should give
+        // different decision vectors.
+        let fires_a: Vec<bool> = (0..256)
+            .map(|s| FaultPlan::decides(1, FaultKind::WorkerDeath, s))
+            .collect();
+        let fires_b: Vec<bool> = (0..256)
+            .map(|s| FaultPlan::decides(2, FaultKind::WorkerDeath, s))
+            .collect();
+        let count = fires_a.iter().filter(|&&f| f).count();
+        assert!((20..110).contains(&count), "fire rate off: {count}/256");
+        assert_ne!(fires_a, fires_b, "seeds must produce distinct plans");
+    }
+
+    #[test]
+    fn targeting_plan_fires_only_its_kind() {
+        let plan = FaultPlan::targeting(3, FaultKind::CacheMissStorm);
+        for site in 0..128u64 {
+            assert!(!plan.fires(FaultKind::WorkerDeath, site));
+            assert!(!plan.fires(FaultKind::SpuriousCancel, site));
+            assert!(!plan.fires(FaultKind::BudgetExhaustion, site));
+            assert_eq!(
+                plan.fires(FaultKind::CacheMissStorm, site),
+                FaultPlan::decides(3, FaultKind::CacheMissStorm, site),
+            );
+        }
+        // Only genuine firings were logged, and each is replayable.
+        for ev in plan.events() {
+            assert_eq!(ev.kind, FaultKind::CacheMissStorm);
+            assert!(FaultPlan::decides(3, ev.kind, ev.site));
+        }
+    }
+
+    #[test]
+    fn killed_entrants_never_win_and_survivors_still_answer() {
+        // Find a seed that kills entrant 0 but leaves some entrant alive.
+        let seed = (0..500u64)
+            .find(|&s| {
+                FaultPlan::decides(s, FaultKind::WorkerDeath, 0)
+                    && (1..4u64).any(|i| {
+                        !FaultPlan::decides(s, FaultKind::WorkerDeath, i)
+                            && !FaultPlan::decides(s, FaultKind::SpuriousCancel, i)
+                    })
+            })
+            .expect("such a seed exists");
+        for threads in [1, 4] {
+            let plan = Arc::new(FaultPlan::new(seed));
+            let win = Portfolio::new(threads)
+                .with_fault_plan(Arc::clone(&plan))
+                .race((0..4).map(|i| move |_: &StopFlag| Some(i)).collect())
+                .unwrap()
+                .expect("a surviving entrant answers");
+            assert_ne!(win.winner, 0, "killed entrant 0 must not win");
+            assert_eq!(win.value, win.winner);
+        }
+    }
+
+    #[test]
+    fn spuriously_cancelled_entrants_observe_a_tripped_flag() {
+        let seed = (0..500u64)
+            .find(|&s| {
+                !FaultPlan::decides(s, FaultKind::WorkerDeath, 0)
+                    && FaultPlan::decides(s, FaultKind::SpuriousCancel, 0)
+            })
+            .expect("such a seed exists");
+        let plan = Arc::new(FaultPlan::new(seed));
+        // A well-behaved entrant returns None when its flag is stopped.
+        let entrants: Vec<BoxedEntrant<'_>> =
+            vec![Box::new(
+                |stop: &StopFlag| {
+                    if stop.is_stopped() {
+                        None
+                    } else {
+                        Some(1)
+                    }
+                },
+            )];
+        let out = Portfolio::new(1)
+            .with_fault_plan(plan)
+            .race(entrants)
+            .unwrap();
+        assert!(out.is_none(), "cancelled entrant must give up");
+    }
+
+    #[test]
+    fn miss_storm_forces_recomputation_but_not_wrong_answers() {
+        let plan = Arc::new(FaultPlan::targeting(11, FaultKind::CacheMissStorm));
+        let cache: QueryCache<u32, u32> = QueryCache::new().with_fault_plan(plan);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..64 {
+            let v = cache.get_or_insert_with(&9, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                81
+            });
+            assert_eq!(v, 81, "a forced miss may recompute, never corrupt");
+        }
+        assert!(
+            calls.load(Ordering::Relaxed) > 1,
+            "some lookups must have been forced to miss"
+        );
     }
 }

@@ -89,6 +89,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 mod cegar;
 mod cegis;
 mod engines;
@@ -98,7 +99,13 @@ pub mod invariants;
 pub mod lstar;
 pub mod teaching;
 
-pub use cegar::{cegar, CegarStats, CegarVerdict, TransitionSystem};
-pub use cegis::{cegis, par_cegis, CegisResult, ParVerifier, Synthesizer, Verifier};
+pub use budget::{
+    parse_budget, Budget, BudgetMeter, BudgetReceipt, Exhausted, Verdict, BUDGET_ENV,
+};
+pub use cegar::{cegar, cegar_bounded, CegarStats, CegarVerdict, TransitionSystem};
+pub use cegis::{
+    cegis, cegis_bounded, par_cegis, par_cegis_bounded, CegisResult, ParVerifier, Synthesizer,
+    Verifier,
+};
 pub use engines::{DeductiveEngine, InductiveEngine, Instance, Outcome, Report};
 pub use hypothesis::{ConditionalSoundness, StructureHypothesis, ValidityEvidence};

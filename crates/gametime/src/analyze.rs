@@ -4,6 +4,7 @@
 
 use crate::model::{TimingModel, WeightPerturbationModel};
 use crate::platform::Platform;
+use sciduction::budget::{Budget, BudgetMeter, Exhausted};
 use sciduction::exec::ParallelOracle;
 use sciduction::ValidityEvidence;
 use sciduction_cfg::{
@@ -27,6 +28,11 @@ pub struct GameTimeConfig {
     pub basis: BasisConfig,
     /// The structure hypothesis parameters (µ_max, ρ).
     pub hypothesis: WeightPerturbationModel,
+    /// Resource budget: every measurement trial charges one step. A
+    /// budget too small for the schedule fails fast with
+    /// [`GameTimeError::Exhausted`] before any platform run. Defaults to
+    /// the `SCIDUCTION_BUDGET` knob.
+    pub budget: Budget,
 }
 
 impl Default for GameTimeConfig {
@@ -37,6 +43,7 @@ impl Default for GameTimeConfig {
             seed: 0x6A3E_717E,
             basis: BasisConfig::default(),
             hypothesis: WeightPerturbationModel::default(),
+            budget: Budget::from_env(),
         }
     }
 }
@@ -61,6 +68,9 @@ pub enum GameTimeError {
     Dag(sciduction_cfg::DagError),
     /// A parallel measurement worker panicked.
     Worker(String),
+    /// The resource budget cannot cover the measurement schedule; no
+    /// partial (and hence misleading) model is fitted.
+    Exhausted(Exhausted),
 }
 
 impl fmt::Display for GameTimeError {
@@ -70,6 +80,9 @@ impl fmt::Display for GameTimeError {
             GameTimeError::EmptyBasis => write!(f, "no feasible basis path found"),
             GameTimeError::Dag(e) => write!(f, "DAG construction failed: {e}"),
             GameTimeError::Worker(e) => write!(f, "measurement worker failed: {e}"),
+            GameTimeError::Exhausted(cause) => {
+                write!(f, "analysis budget exhausted: {cause}")
+            }
         }
     }
 }
@@ -153,6 +166,14 @@ pub fn analyze<P: Platform>(
     // chosen uniformly at random to be executed"). Ensure at least one
     // sample per basis path.
     let b = basis.paths.len();
+    // The whole schedule is charged up front (one step per trial): either
+    // the budget covers it or the analysis fails before any measurement —
+    // a partially-measured model would be silently biased toward the
+    // paths scheduled first.
+    let mut meter = BudgetMeter::new(config.budget);
+    meter
+        .charge_step_batch(b.max(config.trials) as u64)
+        .map_err(GameTimeError::Exhausted)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut totals = vec![0u128; b];
     let mut counts = vec![0u64; b];
@@ -214,6 +235,13 @@ where
     }
     let b = basis.paths.len();
     let n = b.max(config.trials);
+    // Same up-front charge as the sequential analysis, on the coordinating
+    // thread before any worker starts — so exhaustion behavior (like the
+    // fitted model) is identical at every thread count.
+    let mut meter = BudgetMeter::new(config.budget);
+    meter
+        .charge_step_batch(n as u64)
+        .map_err(GameTimeError::Exhausted)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schedule: Vec<usize> = (0..n)
         .map(|i| if i < b { i } else { rng.random_range(0..b) })
@@ -374,6 +402,7 @@ mod tests {
             seed: 7,
             basis: BasisConfig::default(),
             hypothesis: WeightPerturbationModel::default(),
+            budget: Budget::UNLIMITED,
         }
     }
 
@@ -512,6 +541,36 @@ mod tests {
             matches!(&err, GameTimeError::Worker(m) if m.contains("on fire")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn starved_analysis_fails_fast_with_the_certified_shortfall() {
+        struct Untouchable;
+        impl Platform for Untouchable {
+            fn measure(&mut self, _test: &TestCase) -> u64 {
+                panic!("a starved analysis must not measure anything");
+            }
+        }
+        let f = programs::modexp();
+        let cfg = GameTimeConfig {
+            budget: Budget::with_steps(5),
+            ..config(60)
+        };
+        // Sequential and parallel agree on the exhaustion at every
+        // thread count — the charge happens before any worker starts.
+        let err = analyze(&f, &mut Untouchable, &cfg).unwrap_err();
+        let GameTimeError::Exhausted(cause) = err else {
+            panic!("expected exhaustion, got {err}");
+        };
+        assert_eq!(cause, Exhausted::Steps { limit: 5, spent: 5 });
+        for threads in [1, 4] {
+            let err = analyze_parallel(&f, || Untouchable, &cfg, threads).unwrap_err();
+            assert_eq!(
+                err,
+                GameTimeError::Exhausted(Exhausted::Steps { limit: 5, spent: 5 }),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

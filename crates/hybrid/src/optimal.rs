@@ -255,6 +255,7 @@ mod tests {
             },
             max_rounds: 8,
             seed_budget: 512,
+            ..SwitchSynthConfig::default()
         };
         let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &cfg);
         assert!(out.converged);

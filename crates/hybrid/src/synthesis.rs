@@ -8,6 +8,7 @@
 
 use crate::hyperbox::{find_seed, learn_hyperbox, Grid, HyperBox};
 use crate::mds::{reach_label, Mds, ReachConfig, ReachVerdict, SwitchingLogic};
+use sciduction::budget::{Budget, BudgetMeter, Exhausted};
 use sciduction::exec::{ExecError, ParallelOracle};
 use sciduction::ValidityEvidence;
 
@@ -24,6 +25,12 @@ pub struct SwitchSynthConfig {
     pub max_rounds: usize,
     /// Query budget for seed search when no hint is given.
     pub seed_budget: u64,
+    /// Resource budget: each fixpoint round charges one step, and every
+    /// simulation-oracle query charges one fuel unit. Exhaustion stops
+    /// the loop gracefully — the partially-shrunk guards are returned
+    /// with [`SwitchSynthesis::exhausted`] set, never silently presented
+    /// as converged. Defaults to the `SCIDUCTION_BUDGET` knob.
+    pub budget: Budget,
 }
 
 impl Default for SwitchSynthConfig {
@@ -33,6 +40,7 @@ impl Default for SwitchSynthConfig {
             reach: ReachConfig::default(),
             max_rounds: 8,
             seed_budget: 256,
+            budget: Budget::from_env(),
         }
     }
 }
@@ -48,6 +56,10 @@ pub struct SwitchSynthesis {
     pub converged: bool,
     /// Total reachability-oracle (simulation) queries.
     pub oracle_queries: u64,
+    /// Set when the resource budget ran out mid-synthesis: the guards are
+    /// a partial refinement (each still inside its initial
+    /// overapproximation) and must be validated before use.
+    pub exhausted: Option<Exhausted>,
 }
 
 /// Synthesizes switching logic for safety by fixpoint iteration of
@@ -71,7 +83,16 @@ pub fn synthesize_switching(
     let mut queries = 0u64;
     let mut rounds = 0;
     let mut converged = false;
-    while rounds < config.max_rounds {
+    let mut meter = BudgetMeter::new(config.budget);
+    let mut exhausted = None;
+    'rounds: while rounds < config.max_rounds {
+        // One step per fixpoint round; a refused charge ends synthesis
+        // with the guards refined so far (learning only shrinks, so each
+        // partial guard is still inside its initial overapproximation).
+        if let Err(cause) = meter.charge_step() {
+            exhausted = Some(cause);
+            break;
+        }
         rounds += 1;
         let mut changed = false;
         for (t, transition) in mds.transitions.iter().enumerate() {
@@ -98,11 +119,13 @@ pub fn synthesize_switching(
                 None => find_seed(&bound, &[], config.grid, config.seed_budget, label),
             };
             queries += s1.queries;
+            let mut learn_queries = 0;
             let new_guard = match seed {
                 None => HyperBox::empty(mds.dim),
                 Some(seed) => {
                     let (learned, s2) = learn_hyperbox(&bound, &seed, config.grid, label);
                     queries += s2.queries;
+                    learn_queries = s2.queries;
                     learned
                         .map(|b| b.intersect(&bound))
                         .unwrap_or_else(|| HyperBox::empty(mds.dim))
@@ -111,6 +134,13 @@ pub fn synthesize_switching(
             if new_guard != logic.guards[t] {
                 logic.guards[t] = new_guard;
                 changed = true;
+            }
+            // Fuel accounting for the simulation-oracle queries this
+            // transition consumed; a refused batch keeps the guard just
+            // learned but refines nothing further.
+            if let Err(cause) = meter.charge_fuel_batch(s1.queries + learn_queries) {
+                exhausted = Some(cause);
+                break 'rounds;
             }
         }
         if !changed {
@@ -146,6 +176,7 @@ pub fn synthesize_switching(
         rounds,
         converged,
         oracle_queries: queries,
+        exhausted,
     }
 }
 
@@ -399,6 +430,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn starved_synthesis_degrades_gracefully_and_never_claims_convergence() {
+        let mds = thermostat();
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let seeds = vec![Some(vec![22.0]), Some(vec![22.0])];
+        // Step starvation: one round runs, the second is refused.
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            budget: Budget::with_steps(1),
+            ..SwitchSynthConfig::default()
+        };
+        let out = synthesize_switching(&mds, initial.clone(), &seeds, &cfg);
+        assert_eq!(out.rounds, 1);
+        assert!(!out.converged, "a starved run must not claim convergence");
+        assert_eq!(out.exhausted, Some(Exhausted::Steps { limit: 1, spent: 1 }));
+        // Partial guards stay inside the initial overapproximation.
+        for g in &out.logic.guards {
+            assert!(g.lo[0] >= 0.0 && g.hi[0] <= 50.0, "guard escaped: {g}");
+        }
+        // Fuel starvation: the first transition's oracle queries overrun
+        // the cap; its learned guard is kept, nothing further refines.
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            budget: Budget::with_fuel(10),
+            ..SwitchSynthConfig::default()
+        };
+        let out = synthesize_switching(&mds, initial.clone(), &seeds, &cfg);
+        assert!(matches!(
+            out.exhausted,
+            Some(Exhausted::Fuel { limit: 10, .. })
+        ));
+        assert!(!out.converged);
+        // An ample budget reproduces the unlimited run exactly.
+        let ample = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            budget: Budget {
+                steps: 1_000,
+                fuel: 1_000_000,
+                ..Budget::UNLIMITED
+            },
+            ..SwitchSynthConfig::default()
+        };
+        let unlimited_cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            ..SwitchSynthConfig::default()
+        };
+        let a = synthesize_switching(&mds, initial.clone(), &seeds, &ample);
+        let u = synthesize_switching(&mds, initial, &seeds, &unlimited_cfg);
+        assert!(a.exhausted.is_none());
+        assert_eq!(a.converged, u.converged);
+        assert_eq!(a.rounds, u.rounds);
+        assert_eq!(a.oracle_queries, u.oracle_queries);
+        assert_eq!(a.logic.guards, u.logic.guards);
     }
 
     #[test]

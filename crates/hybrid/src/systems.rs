@@ -122,6 +122,7 @@ mod tests {
             },
             max_rounds: 8,
             seed_budget: 256,
+            ..SwitchSynthConfig::default()
         }
     }
 

@@ -21,6 +21,7 @@ fn eq3_config() -> SwitchSynthConfig {
         },
         max_rounds: 8,
         seed_budget: 512,
+        ..SwitchSynthConfig::default()
     }
 }
 

@@ -54,7 +54,7 @@ mod synth;
 pub use component::{ComponentLibrary, FnOracle, IoOracle, Op, SynthProgram};
 pub use instance::{run_instance, DistinguishingInputLearner, OgisError, SmtSynthesisEngine};
 pub use synth::{
-    synthesize, synthesize_portfolio, synthesize_with_cache, verify_against_oracle,
-    ParallelSynthesisConfig, ParallelSynthesisOutcome, SynthesisConfig, SynthesisOutcome,
-    SynthesisStats, VerificationResult,
+    synthesize, synthesize_portfolio, synthesize_portfolio_with_faults, synthesize_with_cache,
+    verify_against_oracle, ParallelSynthesisConfig, ParallelSynthesisOutcome, SynthesisConfig,
+    SynthesisOutcome, SynthesisStats, VerificationResult,
 };

@@ -11,11 +11,12 @@
 //! terminates."
 
 use crate::component::{ComponentLibrary, IoOracle, Op, SynthProgram};
-use sciduction::exec::{CacheStats, ExecError, Portfolio, StopFlag};
+use sciduction::budget::{Budget, BudgetMeter, Exhausted, Verdict};
+use sciduction::exec::{CacheStats, ExecError, FaultKind, FaultPlan, Portfolio, StopFlag};
 use sciduction_rng::rngs::StdRng;
 use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
 use sciduction_smt::{BvValue, CheckResult, SmtQueryCache, Solver, TermId};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Synthesis configuration.
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +27,11 @@ pub struct SynthesisConfig {
     pub initial_examples: usize,
     /// RNG seed for the initial examples.
     pub seed: u64,
+    /// Resource budget: each SMT check charges one step against it, and
+    /// its conflict/fuel caps bound each individual SMT query. Exhaustion
+    /// ends the loop with [`SynthesisOutcome::BudgetExhausted`] carrying
+    /// the certified cause. Defaults to the `SCIDUCTION_BUDGET` knob.
+    pub budget: Budget,
 }
 
 impl Default for SynthesisConfig {
@@ -34,6 +40,7 @@ impl Default for SynthesisConfig {
             max_iterations: 64,
             initial_examples: 2,
             seed: 1,
+            budget: Budget::from_env(),
         }
     }
 }
@@ -61,10 +68,14 @@ pub enum SynthesisOutcome {
         /// The refuting examples.
         examples: Vec<(Vec<BvValue>, Vec<BvValue>)>,
     },
-    /// Iteration budget exhausted.
+    /// Resource budget exhausted — the loop stopped without an answer.
+    /// Never a misreported `Synthesized`/`Infeasible`: partial progress
+    /// is discarded.
     BudgetExhausted {
-        /// The budget.
+        /// Iterations reached when the budget ran out.
         iterations: usize,
+        /// What ran out, certified by the meter that refused the charge.
+        cause: Exhausted,
     },
 }
 
@@ -91,10 +102,15 @@ struct Encoding {
     examples: Vec<(Vec<BvValue>, Vec<BvValue>)>,
     fresh: usize,
     stats: SynthesisStats,
+    /// Meters the loop itself: one step per SMT check.
+    meter: BudgetMeter,
+    /// Bounds each individual SMT query (the budget's conflict/fuel caps
+    /// with unlimited steps/deadline, which the loop meter owns).
+    query_budget: Budget,
 }
 
 impl Encoding {
-    fn new(lib: &ComponentLibrary, cache: Option<Arc<SmtQueryCache>>) -> Self {
+    fn new(lib: &ComponentLibrary, cache: Option<Arc<SmtQueryCache>>, budget: Budget) -> Self {
         let num_locs = lib.num_locations();
         // Wide enough to hold the exclusive upper bound `num_locs` itself.
         let loc_width = (usize::BITS - num_locs.leading_zeros()).max(1);
@@ -129,6 +145,12 @@ impl Encoding {
             examples: Vec::new(),
             fresh: 0,
             stats: SynthesisStats::default(),
+            meter: BudgetMeter::new(budget),
+            query_budget: Budget {
+                conflicts: budget.conflicts,
+                fuel: budget.fuel,
+                ..Budget::UNLIMITED
+            },
         };
         let (o, i, r) = (enc.out_loc.clone(), enc.in_loc.clone(), enc.ret_loc.clone());
         enc.assert_wfp(&o, &i, &r);
@@ -266,13 +288,16 @@ impl Encoding {
         self.examples.push((inputs, outputs));
     }
 
-    /// Finds a program consistent with all examples, if any.
-    fn find_candidate(&mut self) -> Option<SynthProgram> {
+    /// Finds a program consistent with all examples, if any; `Err` means
+    /// the budget refused the check (or the check itself exhausted).
+    fn find_candidate(&mut self) -> Result<Option<SynthProgram>, Exhausted> {
+        self.meter.charge_step()?;
         self.stats.smt_checks += 1;
-        if self.solver.check() != CheckResult::Sat {
-            return None;
+        match self.solver.check_bounded(&self.query_budget) {
+            Verdict::Known(CheckResult::Sat) => Ok(Some(self.decode())),
+            Verdict::Known(CheckResult::Unsat) => Ok(None),
+            Verdict::Unknown(cause) => Err(cause),
         }
-        Some(self.decode())
     }
 
     fn decode(&self) -> SynthProgram {
@@ -322,7 +347,11 @@ impl Encoding {
     /// Searches for a distinguishing input: a second well-formed program B
     /// consistent with all examples plus an input on which B differs from
     /// the (concrete) candidate A.
-    fn find_distinguishing(&mut self, candidate: &SynthProgram) -> Option<Vec<BvValue>> {
+    fn find_distinguishing(
+        &mut self,
+        candidate: &SynthProgram,
+    ) -> Result<Option<Vec<BvValue>>, Exhausted> {
+        self.meter.charge_step()?;
         self.fresh += 1;
         let tag = self.fresh;
         self.solver.push();
@@ -380,14 +409,14 @@ impl Encoding {
         let any = self.solver.terms_mut().or_many(&diffs);
         self.solver.assert_term(any);
         self.stats.smt_checks += 1;
-        let result = if self.solver.check() == CheckResult::Sat {
-            Some(
+        let result = match self.solver.check_bounded(&self.query_budget) {
+            Verdict::Known(CheckResult::Sat) => Ok(Some(
                 xs.iter()
                     .map(|&x| self.solver.model_value(x).as_bv())
                     .collect(),
-            )
-        } else {
-            None
+            )),
+            Verdict::Known(CheckResult::Unsat) => Ok(None),
+            Verdict::Unknown(cause) => Err(cause),
         };
         self.solver.pop();
         result
@@ -427,7 +456,7 @@ fn synthesize_run(
     cache: Option<Arc<SmtQueryCache>>,
     stop: Option<&StopFlag>,
 ) -> Option<(SynthesisOutcome, SynthesisStats)> {
-    let mut enc = Encoding::new(library, cache);
+    let mut enc = Encoding::new(library, cache, config.budget);
     let mut rng = StdRng::seed_from_u64(config.seed);
     for _ in 0..config.initial_examples.max(1) {
         let inputs: Vec<BvValue> = (0..library.num_inputs)
@@ -442,7 +471,17 @@ fn synthesize_run(
             return None;
         }
         match enc.find_candidate() {
-            None => {
+            Err(cause) => {
+                let stats = enc.stats;
+                return Some((
+                    SynthesisOutcome::BudgetExhausted {
+                        iterations: iteration - 1,
+                        cause,
+                    },
+                    stats,
+                ));
+            }
+            Ok(None) => {
                 let stats = enc.stats;
                 return Some((
                     SynthesisOutcome::Infeasible {
@@ -452,8 +491,18 @@ fn synthesize_run(
                     stats,
                 ));
             }
-            Some(candidate) => match enc.find_distinguishing(&candidate) {
-                None => {
+            Ok(Some(candidate)) => match enc.find_distinguishing(&candidate) {
+                Err(cause) => {
+                    let stats = enc.stats;
+                    return Some((
+                        SynthesisOutcome::BudgetExhausted {
+                            iterations: iteration - 1,
+                            cause,
+                        },
+                        stats,
+                    ));
+                }
+                Ok(None) => {
                     // Certificate check: the SMT encoding claims the decoded
                     // program reproduces every accumulated example; re-run
                     // the program concretely to confirm before handing it
@@ -476,7 +525,7 @@ fn synthesize_run(
                         stats,
                     ));
                 }
-                Some(x) => {
+                Ok(Some(x)) => {
                     let y = oracle.query(&x);
                     enc.stats.oracle_queries += 1;
                     enc.stats.distinguishing_inputs += 1;
@@ -489,6 +538,10 @@ fn synthesize_run(
     Some((
         SynthesisOutcome::BudgetExhausted {
             iterations: config.max_iterations,
+            cause: Exhausted::Steps {
+                limit: config.max_iterations as u64,
+                spent: config.max_iterations as u64,
+            },
         },
         stats,
     ))
@@ -519,12 +572,14 @@ impl Default for ParallelSynthesisConfig {
 /// The outcome of a parallel synthesis race.
 #[derive(Clone, Debug)]
 pub struct ParallelSynthesisOutcome {
-    /// The winning member's outcome.
+    /// The winning member's outcome; when no member answered (all
+    /// exhausted, killed, or cancelled) this is the lowest-indexed
+    /// member's [`SynthesisOutcome::BudgetExhausted`].
     pub outcome: SynthesisOutcome,
     /// The winning member's counters.
     pub stats: SynthesisStats,
-    /// Index of the winning member.
-    pub winner: usize,
+    /// Index of the winning member; `None` when no member answered.
+    pub winner: Option<usize>,
     /// Shared SMT query cache counters at the end of the race.
     pub cache: CacheStats,
 }
@@ -555,12 +610,66 @@ where
     O: IoOracle,
     F: Fn(usize) -> O + Sync,
 {
+    synthesize_portfolio_with_faults(
+        library,
+        make_oracle,
+        config,
+        par,
+        FaultPlan::from_env().map(Arc::new),
+    )
+}
+
+/// [`synthesize_portfolio`] with an explicit fault plan.
+///
+/// Degradation contract mirrors the SAT portfolio: an exhausted or
+/// fault-injected member parks its `BudgetExhausted` outcome and loses
+/// the race instead of answering, so a surviving sibling's outcome is
+/// never flipped or masked; only when every member fails does the race
+/// report `winner: None` with the lowest-indexed parked outcome. The
+/// fault plan is also attached to the shared SMT query cache, so
+/// `CacheMissStorm` faults exercise recomputation paths.
+///
+/// # Errors
+///
+/// [`ExecError`] if a member panics.
+pub fn synthesize_portfolio_with_faults<O, F>(
+    library: &ComponentLibrary,
+    make_oracle: F,
+    config: &SynthesisConfig,
+    par: &ParallelSynthesisConfig,
+    plan: Option<Arc<FaultPlan>>,
+) -> Result<ParallelSynthesisOutcome, ExecError>
+where
+    O: IoOracle,
+    F: Fn(usize) -> O + Sync,
+{
     let members = par.members.max(1);
-    let cache = Arc::new(if par.cache_capacity == 0 {
+    let mut cache = if par.cache_capacity == 0 {
         SmtQueryCache::new()
     } else {
         SmtQueryCache::bounded(par.cache_capacity)
-    });
+    };
+    if let Some(p) = plan.as_ref() {
+        cache = cache.with_fault_plan(Arc::clone(p));
+    }
+    let cache = Arc::new(cache);
+
+    // Budget-exhaustion injections decided up front in member order, so
+    // the decision (and its log order) is thread-count invariant.
+    let injected: Vec<bool> = (0..members)
+        .map(|i| {
+            plan.as_deref()
+                .is_some_and(|p| p.fires(FaultKind::BudgetExhaustion, i as u64))
+        })
+        .collect();
+    let plan_seed = plan.as_ref().map(|p| p.seed());
+
+    // Members that stop without answering park their exhausted outcome
+    // here so the race can report a deterministic cause.
+    let exhausted: Vec<Mutex<Option<(SynthesisOutcome, SynthesisStats)>>> =
+        (0..members).map(|_| Mutex::new(None)).collect();
+    let exhausted_ref = &exhausted;
+
     let parent = Xoshiro256PlusPlus::seed_from_u64(config.seed);
     let entrants: Vec<_> = (0..members)
         .map(|i| {
@@ -575,28 +684,91 @@ where
             };
             let cache = Arc::clone(&cache);
             let make_oracle = &make_oracle;
+            let injected_here = injected[i];
             move |stop: &StopFlag| {
+                if injected_here {
+                    let outcome = SynthesisOutcome::BudgetExhausted {
+                        iterations: 0,
+                        cause: Exhausted::Injected {
+                            seed: plan_seed.expect("injection implies a plan"),
+                            kind: FaultKind::BudgetExhaustion,
+                            site: i as u64,
+                        },
+                    };
+                    *lock(&exhausted_ref[i]) = Some((outcome, SynthesisStats::default()));
+                    return None;
+                }
                 let mut oracle = make_oracle(i);
-                synthesize_run(
+                match synthesize_run(
                     library,
                     &mut oracle,
                     &member_config,
                     Some(cache),
                     Some(stop),
-                )
+                ) {
+                    Some((outcome @ SynthesisOutcome::BudgetExhausted { .. }, stats)) => {
+                        // An exhausted member must lose the race: park the
+                        // outcome so a sibling's real answer prevails.
+                        *lock(&exhausted_ref[i]) = Some((outcome, stats));
+                        None
+                    }
+                    other => other,
+                }
             }
         })
         .collect();
-    let win = Portfolio::new(par.threads)
-        .race(entrants)?
-        .expect("every member reaches a terminal outcome unless cancelled");
-    let (outcome, stats) = win.value;
-    Ok(ParallelSynthesisOutcome {
-        outcome,
-        stats,
-        winner: win.winner,
-        cache: cache.stats(),
+    let mut scheduler = Portfolio::new(par.threads);
+    if let Some(p) = plan.as_ref() {
+        scheduler = scheduler.with_fault_plan(Arc::clone(p));
+    }
+    Ok(match scheduler.race(entrants)? {
+        Some(win) => {
+            let (outcome, stats) = win.value;
+            ParallelSynthesisOutcome {
+                outcome,
+                stats,
+                winner: Some(win.winner),
+                cache: cache.stats(),
+            }
+        }
+        None => {
+            // No member answered. Deterministic outcome selection: the
+            // lowest-indexed parked exhaustion; members killed before
+            // running parked nothing, so fall back to re-deriving the
+            // kill from the plan, then to plain cancellation.
+            let parked = exhausted.iter().find_map(|m| lock(m).take());
+            let (outcome, stats) = parked.unwrap_or_else(|| {
+                let cause = plan_seed
+                    .and_then(|seed| {
+                        (0..members as u64)
+                            .find(|&i| FaultPlan::decides(seed, FaultKind::WorkerDeath, i))
+                            .map(|site| Exhausted::Injected {
+                                seed,
+                                kind: FaultKind::WorkerDeath,
+                                site,
+                            })
+                    })
+                    .unwrap_or(Exhausted::Cancelled);
+                (
+                    SynthesisOutcome::BudgetExhausted {
+                        iterations: 0,
+                        cause,
+                    },
+                    SynthesisStats::default(),
+                )
+            });
+            ParallelSynthesisOutcome {
+                outcome,
+                stats,
+                winner: None,
+                cache: cache.stats(),
+            }
+        }
     })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Post-hoc check of the synthesized program against the oracle — the
@@ -769,7 +941,7 @@ mod tests {
                 }
                 other => panic!("threads={threads}: expected synthesis, got {other:?}"),
             }
-            assert!(out.winner < par.members);
+            assert!(out.winner.expect("answered race has a winner") < par.members);
         }
     }
 
@@ -791,7 +963,11 @@ mod tests {
             &par,
         )
         .unwrap();
-        assert_eq!(out.winner, 0, "sequential fallback must pick member 0");
+        assert_eq!(
+            out.winner,
+            Some(0),
+            "sequential fallback must pick member 0"
+        );
         assert_eq!(out.stats.smt_checks, plain_stats.smt_checks);
         match (out.outcome, plain) {
             (
@@ -849,6 +1025,60 @@ mod tests {
                 }
             }
             (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_synthesis_reports_exhaustion_not_a_guess() {
+        let lib = ComponentLibrary::new(vec![Op::Xor, Op::Xor, Op::Xor], 2, 2, 8);
+        let config = SynthesisConfig {
+            budget: Budget::with_steps(1),
+            ..SynthesisConfig::default()
+        };
+        let mut oracle = FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
+        let (out, stats) = synthesize(&lib, &mut oracle, &config);
+        match out {
+            SynthesisOutcome::BudgetExhausted {
+                iterations,
+                cause: Exhausted::Steps { limit: 1, spent: 1 },
+            } => assert_eq!(iterations, 0),
+            other => panic!("expected step exhaustion, got {other:?}"),
+        }
+        assert_eq!(stats.smt_checks, 1, "only the charged check may run");
+    }
+
+    #[test]
+    fn fully_starved_portfolio_loses_gracefully() {
+        let lib = ComponentLibrary::new(vec![Op::Xor, Op::Xor, Op::Xor], 2, 2, 8);
+        let config = SynthesisConfig {
+            budget: Budget::with_steps(1),
+            ..SynthesisConfig::default()
+        };
+        for threads in [1, 4] {
+            let par = ParallelSynthesisConfig {
+                members: 4,
+                threads,
+                cache_capacity: 0,
+            };
+            let out = synthesize_portfolio(
+                &lib,
+                |_i| FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]),
+                &config,
+                &par,
+            )
+            .unwrap();
+            assert_eq!(out.winner, None, "threads={threads}");
+            assert!(
+                matches!(
+                    out.outcome,
+                    SynthesisOutcome::BudgetExhausted {
+                        cause: Exhausted::Steps { limit: 1, .. },
+                        ..
+                    }
+                ),
+                "threads={threads}: {:?}",
+                out.outcome
+            );
         }
     }
 

@@ -44,6 +44,9 @@ mod types;
 
 pub use clause::{Clause, ClauseRef};
 pub use dimacs::{Cnf, DimacsError};
-pub use portfolio::{diversified_configs, solve_portfolio, PortfolioConfig, PortfolioOutcome};
+pub use portfolio::{
+    diversified_configs, solve_portfolio, solve_portfolio_with_faults, PortfolioConfig,
+    PortfolioOutcome,
+};
 pub use solver::{SolveResult, Solver, SolverConfig, Stats};
 pub use types::{LBool, Lit, Var};

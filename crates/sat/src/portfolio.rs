@@ -14,9 +14,10 @@
 //! and member 0 always answers) bit-identical to a plain [`Solver`].
 
 use crate::{Cnf, Lit, SolveResult, Solver, SolverConfig, Var};
-use sciduction::exec::{ExecError, Portfolio, StopFlag};
+use sciduction::budget::{Budget, Exhausted, Verdict};
+use sciduction::exec::{ExecError, FaultKind, FaultPlan, Portfolio, StopFlag};
 use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Portfolio parameters.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +30,11 @@ pub struct PortfolioConfig {
     /// with [`sciduction::exec::configured_threads`] to honor the
     /// `SCIDUCTION_THREADS` knob.
     pub threads: usize,
+    /// Per-member resource budget. Each member meters its own search
+    /// against this budget; if *every* member exhausts (or is faulted
+    /// away), the race reports [`Verdict::Unknown`] instead of an answer.
+    /// Defaults to the `SCIDUCTION_BUDGET` knob via [`Budget::from_env`].
+    pub budget: Budget,
 }
 
 impl Default for PortfolioConfig {
@@ -37,6 +43,7 @@ impl Default for PortfolioConfig {
             members: 4,
             seed: 0x5C1D_0C71,
             threads: sciduction::exec::configured_threads(),
+            budget: Budget::from_env(),
         }
     }
 }
@@ -46,16 +53,20 @@ impl Default for PortfolioConfig {
 /// the winner's model against.
 #[derive(Debug)]
 pub struct PortfolioOutcome {
-    /// The verdict.
-    pub result: SolveResult,
-    /// Index of the winning member.
-    pub winner: usize,
-    /// The winner's model (empty on UNSAT), dense over variables.
+    /// The three-valued verdict: `Known` when some member answered,
+    /// `Unknown` with a certified cause when every member exhausted its
+    /// budget, was killed, or was cancelled.
+    pub verdict: Verdict<SolveResult>,
+    /// Index of the winning member; `None` when no member answered.
+    pub winner: Option<usize>,
+    /// The winner's model (empty on UNSAT or `Unknown`), dense over
+    /// variables.
     pub model: Vec<bool>,
-    /// The winner's failed-assumption set (empty on SAT).
+    /// The winner's failed-assumption set (empty on SAT or `Unknown`).
     pub failed_assumptions: Vec<Lit>,
     /// Every member that ran to completion or cancellation, in member
-    /// order; members the scheduler never started are `None`.
+    /// order; members the scheduler never started are `None`. Each ran
+    /// member carries a [`Solver::budget_receipt`] the `BUD` lints audit.
     pub solvers: Vec<Option<Solver>>,
 }
 
@@ -84,14 +95,39 @@ pub fn diversified_configs(n: usize, seed: u64) -> Vec<SolverConfig> {
         .collect()
 }
 
-/// Races a diversified portfolio on `cnf` under `assumptions`.
+/// Races a diversified portfolio on `cnf` under `assumptions`, with the
+/// fault plan (if any) configured by the `SCIDUCTION_FAULT_SEED` knob.
 ///
 /// Returns [`ExecError`] only if a member panicked; a clean race always
-/// yields an outcome because member 0 never gives up on its own.
+/// yields an outcome because member 0 never gives up on its own (under an
+/// unlimited budget and no faults, the verdict is always `Known`).
 pub fn solve_portfolio(
     cnf: &Cnf,
     assumptions: &[Lit],
     config: &PortfolioConfig,
+) -> Result<PortfolioOutcome, ExecError> {
+    solve_portfolio_with_faults(
+        cnf,
+        assumptions,
+        config,
+        FaultPlan::from_env().map(Arc::new),
+    )
+}
+
+/// [`solve_portfolio`] with an explicit fault plan (the differential
+/// fault-matrix tests inject per-kind plans here).
+///
+/// Degradation contract: a faulted or exhausted member can only *fail to
+/// answer* — it parks its exhaustion cause and loses the race, so a
+/// surviving sibling's verdict is never flipped or masked. Only when
+/// every member fails does the outcome turn `Unknown`, with the cause of
+/// the lowest-indexed failed member (deterministic at every thread
+/// count, since fault decisions are pure in the member index).
+pub fn solve_portfolio_with_faults(
+    cnf: &Cnf,
+    assumptions: &[Lit],
+    config: &PortfolioConfig,
+    plan: Option<Arc<FaultPlan>>,
 ) -> Result<PortfolioOutcome, ExecError> {
     let members = config.members.max(1);
     let configs = diversified_configs(members, config.seed);
@@ -112,45 +148,114 @@ pub fn solve_portfolio(
         })
         .collect();
 
+    // Budget-exhaustion injections are decided up front, in member order,
+    // so the decision (and its log order) is thread-count invariant.
+    let injected: Vec<bool> = (0..members)
+        .map(|i| {
+            plan.as_deref()
+                .is_some_and(|p| p.fires(FaultKind::BudgetExhaustion, i as u64))
+        })
+        .collect();
+    let plan_seed = plan.as_ref().map(|p| p.seed());
+
     // Finished members park themselves here so the lint can audit the
-    // losers' clause databases after the race.
+    // losers' clause databases after the race; members that stopped
+    // without answering also park their exhaustion cause.
     let parked: Vec<Mutex<Option<Solver>>> = (0..members).map(|_| Mutex::new(None)).collect();
-    let parked_ref = &parked;
+    let causes: Vec<Mutex<Option<Exhausted>>> = (0..members).map(|_| Mutex::new(None)).collect();
+    let (parked_ref, causes_ref) = (&parked, &causes);
 
     let entrants: Vec<_> = solvers
         .into_iter()
         .map(|(i, mut solver)| {
             let assumptions = assumptions.to_vec();
+            let budget = config.budget;
+            let injected_here = injected[i];
             move |stop: &StopFlag| {
-                solver.set_stop_flag(stop.handle());
-                let result = solver.solve_interruptible(&assumptions);
-                let answer =
-                    result.map(|r| (r, solver.model(), solver.failed_assumptions().to_vec()));
-                *parked_ref[i]
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(solver);
+                let answer = if injected_here {
+                    let cause = solver.record_injected_exhaustion(
+                        plan_seed.expect("injection implies a plan"),
+                        FaultKind::BudgetExhaustion,
+                        i as u64,
+                    );
+                    *lock(&causes_ref[i]) = Some(cause);
+                    None
+                } else {
+                    solver.set_stop_flag(stop.handle());
+                    match solver.solve_bounded_interruptible(&assumptions, &budget) {
+                        Some(Verdict::Known(r)) => {
+                            Some((r, solver.model(), solver.failed_assumptions().to_vec()))
+                        }
+                        Some(Verdict::Unknown(cause)) => {
+                            *lock(&causes_ref[i]) = Some(cause);
+                            None
+                        }
+                        None => {
+                            *lock(&causes_ref[i]) = Some(Exhausted::Cancelled);
+                            None
+                        }
+                    }
+                };
+                *lock(&parked_ref[i]) = Some(solver);
                 answer
             }
         })
         .collect();
 
-    let win = Portfolio::new(config.threads)
-        .race(entrants)?
-        .expect("member 0 runs to an answer unless cancelled by a sibling's answer");
-    let (result, model, failed_assumptions) = win.value;
-    Ok(PortfolioOutcome {
-        result,
-        winner: win.winner,
-        model,
-        failed_assumptions,
-        solvers: parked
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-            })
-            .collect(),
+    let mut scheduler = Portfolio::new(config.threads);
+    if let Some(p) = plan.as_ref() {
+        scheduler = scheduler.with_fault_plan(Arc::clone(p));
+    }
+    let win = scheduler.race(entrants)?;
+    let solvers: Vec<Option<Solver>> = parked
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        })
+        .collect();
+    Ok(match win {
+        Some(win) => {
+            let (result, model, failed_assumptions) = win.value;
+            PortfolioOutcome {
+                verdict: Verdict::Known(result),
+                winner: Some(win.winner),
+                model,
+                failed_assumptions,
+                solvers,
+            }
+        }
+        None => {
+            // Every member failed. Deterministic cause selection: the
+            // lowest-indexed parked cause; members killed by WorkerDeath
+            // never parked one, so fall back to re-deriving the kill from
+            // the plan; Cancelled covers any remaining corner.
+            let parked_cause = causes.iter().find_map(|m| *lock(m));
+            let cause = parked_cause
+                .or_else(|| {
+                    let seed = plan_seed?;
+                    (0..members as u64)
+                        .find(|&i| FaultPlan::decides(seed, FaultKind::WorkerDeath, i))
+                        .map(|site| Exhausted::Injected {
+                            seed,
+                            kind: FaultKind::WorkerDeath,
+                            site,
+                        })
+                })
+                .unwrap_or(Exhausted::Cancelled);
+            PortfolioOutcome {
+                verdict: Verdict::Unknown(cause),
+                winner: None,
+                model: Vec::new(),
+                failed_assumptions: Vec::new(),
+                solvers,
+            }
+        }
     })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]
@@ -201,12 +306,20 @@ mod tests {
             };
             let sat = pigeonhole(4, 4);
             let out = solve_portfolio(&sat, &[], &config).unwrap();
-            assert_eq!(out.result, SolveResult::Sat, "threads={threads}");
+            assert_eq!(
+                out.verdict,
+                Verdict::Known(SolveResult::Sat),
+                "threads={threads}"
+            );
             check_model(&sat, &out.model);
 
             let unsat = pigeonhole(5, 4);
             let out = solve_portfolio(&unsat, &[], &config).unwrap();
-            assert_eq!(out.result, SolveResult::Unsat, "threads={threads}");
+            assert_eq!(
+                out.verdict,
+                Verdict::Known(SolveResult::Unsat),
+                "threads={threads}"
+            );
         }
     }
 
@@ -218,7 +331,7 @@ mod tests {
             ..PortfolioConfig::default()
         };
         let out = solve_portfolio(&cnf, &[], &config).unwrap();
-        assert_eq!(out.winner, 0, "sequential mode must pick member 0");
+        assert_eq!(out.winner, Some(0), "sequential mode must pick member 0");
         let (mut plain, _) = cnf.into_solver();
         assert_eq!(plain.solve(), SolveResult::Sat);
         assert_eq!(out.model, plain.model(), "bit-reproducibility broken");
@@ -242,8 +355,66 @@ mod tests {
                 ..PortfolioConfig::default()
             };
             let out = solve_portfolio(&cnf, &assumptions, &config).unwrap();
-            assert_eq!(out.result, SolveResult::Unsat);
+            assert_eq!(out.verdict, Verdict::Known(SolveResult::Unsat));
             assert!(!out.failed_assumptions.is_empty());
+        }
+    }
+
+    #[test]
+    fn starved_portfolio_reports_certified_unknown_at_every_thread_count() {
+        let cnf = pigeonhole(5, 4);
+        for threads in [1, 4] {
+            let config = PortfolioConfig {
+                threads,
+                budget: Budget::with_conflicts(1),
+                ..PortfolioConfig::default()
+            };
+            let out = solve_portfolio(&cnf, &[], &config).unwrap();
+            let cause = out
+                .verdict
+                .unknown_cause()
+                .unwrap_or_else(|| panic!("1 conflict cannot refute php(5,4), threads={threads}"));
+            assert_eq!(out.winner, None);
+            // Some parked member's receipt certifies the reported cause.
+            let certified = out.solvers.iter().flatten().any(|s| {
+                s.budget_receipt()
+                    .is_some_and(|r| r.coherent() && r.cause == Some(cause) && r.certifies(&cause))
+            });
+            assert!(
+                certified,
+                "uncertified cause {cause:?} at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn killed_members_never_flip_the_verdict() {
+        // For several fault seeds: any verdict the faulted portfolio does
+        // produce must equal the clean verdict; Unknown is the only other
+        // legal outcome.
+        let cnf = pigeonhole(5, 4);
+        for seed in 1..=8u64 {
+            for threads in [1, 4] {
+                let config = PortfolioConfig {
+                    threads,
+                    ..PortfolioConfig::default()
+                };
+                let plan = Arc::new(FaultPlan::targeting(seed, FaultKind::WorkerDeath));
+                let out = solve_portfolio_with_faults(&cnf, &[], &config, Some(plan)).unwrap();
+                match out.verdict {
+                    Verdict::Known(r) => assert_eq!(r, SolveResult::Unsat, "seed={seed}"),
+                    Verdict::Unknown(cause) => {
+                        // All four members killed: the cause re-derives.
+                        assert!(matches!(
+                            cause,
+                            Exhausted::Injected {
+                                kind: FaultKind::WorkerDeath,
+                                ..
+                            } | Exhausted::Cancelled
+                        ));
+                    }
+                }
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 
 use crate::clause::{Clause, ClauseDb, ClauseRef};
 use crate::types::{LBool, Lit, Var};
+use sciduction::budget::{Budget, BudgetMeter, BudgetReceipt, Exhausted, Verdict};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -133,6 +134,9 @@ pub struct Solver {
     /// External cancellation token, polled once per decision by
     /// [`Solver::solve_interruptible`]. `None` for standalone solvers.
     stop: Option<Arc<AtomicBool>>,
+    /// The statement of account of the most recent solve call, for audits
+    /// (lints `BUD001`–`BUD003`) and exhaustion-cause certification.
+    last_receipt: Option<BudgetReceipt>,
 }
 
 impl Default for Solver {
@@ -171,6 +175,7 @@ impl Solver {
             failed: Vec::new(),
             model: Vec::new(),
             stop: None,
+            last_receipt: None,
         }
     }
 
@@ -285,7 +290,19 @@ impl Solver {
     /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] returns a
     /// subset of the assumptions sufficient for unsatisfiability.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solve_core(assumptions, false)
+        self.solve_core(assumptions, false, &Budget::UNLIMITED)
+            .expect("non-interruptible solve always answers")
+            .expect_known("unlimited solve cannot exhaust")
+    }
+
+    /// Solves under `assumptions` within `budget`: the CDCL loop charges
+    /// one *conflict* per conflict analyzed and one *fuel* unit per
+    /// decision, and stops with [`Verdict::Unknown`] — carrying the
+    /// certified cause — the moment a charge is refused. The solver is
+    /// backtracked to level 0 and stays fully usable (and re-solvable
+    /// under a larger budget) afterwards.
+    pub fn solve_bounded(&mut self, assumptions: &[Lit], budget: &Budget) -> Verdict<SolveResult> {
+        self.solve_core(assumptions, false, budget)
             .expect("non-interruptible solve always answers")
     }
 
@@ -308,34 +325,83 @@ impl Solver {
     /// found. The solver stays in a clean level-0 state and remains
     /// usable afterwards.
     pub fn solve_interruptible(&mut self, assumptions: &[Lit]) -> Option<SolveResult> {
-        self.solve_core(assumptions, true)
+        self.solve_core(assumptions, true, &Budget::UNLIMITED)
+            .map(|v| v.expect_known("unlimited solve cannot exhaust"))
     }
 
-    fn solve_core(&mut self, assumptions: &[Lit], interruptible: bool) -> Option<SolveResult> {
+    /// [`Solver::solve_bounded`] with stop-flag polling: `None` means
+    /// cancelled from outside, `Some(Verdict::Unknown)` means the budget
+    /// ran out first. Both leave the solver clean and reusable.
+    pub fn solve_bounded_interruptible(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+    ) -> Option<Verdict<SolveResult>> {
+        self.solve_core(assumptions, true, budget)
+    }
+
+    /// The statement of account of the most recent solve call (any of the
+    /// `solve*` family), or `None` before the first solve. Unbounded entry
+    /// points meter against [`Budget::UNLIMITED`], so their receipts are
+    /// audit-coherent too.
+    pub fn budget_receipt(&self) -> Option<&BudgetReceipt> {
+        self.last_receipt.as_ref()
+    }
+
+    /// Records an injected exhaustion (a seeded fault plan refusing this
+    /// solver any work) as the last receipt, without running any search.
+    /// The portfolio layer uses this so an injected member still carries
+    /// an auditable receipt certifying its `Unknown`.
+    pub fn record_injected_exhaustion(
+        &mut self,
+        seed: u64,
+        kind: sciduction::exec::FaultKind,
+        site: u64,
+    ) -> Exhausted {
+        let mut meter = BudgetMeter::unlimited();
+        let cause = meter.inject(seed, kind, site);
+        self.last_receipt = Some(meter.receipt());
+        cause
+    }
+
+    fn solve_core(
+        &mut self,
+        assumptions: &[Lit],
+        interruptible: bool,
+        budget: &Budget,
+    ) -> Option<Verdict<SolveResult>> {
         self.failed.clear();
         self.model.clear();
+        let mut meter = BudgetMeter::new(*budget);
         if self.unsat {
-            return Some(SolveResult::Unsat);
+            self.last_receipt = Some(meter.receipt());
+            return Some(Verdict::Known(SolveResult::Unsat));
         }
         self.backtrack_to(0);
         let mut restarts: u64 = 0;
         let mut max_learnts = (self.db.num_original as f64 * self.config.learnt_ratio).max(100.0);
-        loop {
-            let budget = if self.config.restarts {
+        let out = loop {
+            let conflict_budget = if self.config.restarts {
                 luby(2.0, restarts) * self.config.restart_base as f64
             } else {
                 f64::INFINITY
             };
-            match self.search(budget as u64, &mut max_learnts, assumptions, interruptible) {
+            match self.search(
+                conflict_budget as u64,
+                &mut max_learnts,
+                assumptions,
+                interruptible,
+                &mut meter,
+            ) {
                 SearchOutcome::Sat => {
                     self.model = self.assigns.clone();
                     self.backtrack_to(0);
                     self.certify_current_model(assumptions);
-                    return Some(SolveResult::Sat);
+                    break Some(Verdict::Known(SolveResult::Sat));
                 }
                 SearchOutcome::Unsat => {
                     self.backtrack_to(0);
-                    return Some(SolveResult::Unsat);
+                    break Some(Verdict::Known(SolveResult::Unsat));
                 }
                 SearchOutcome::Restart => {
                     restarts += 1;
@@ -344,10 +410,19 @@ impl Solver {
                 }
                 SearchOutcome::Interrupted => {
                     self.backtrack_to(0);
-                    return None;
+                    meter.cancel();
+                    break None;
+                }
+                SearchOutcome::Exhausted(cause) => {
+                    // Unknown, never a guess: the partial search state is
+                    // rolled back and no model/failed-set is reported.
+                    self.backtrack_to(0);
+                    break Some(Verdict::Unknown(cause));
                 }
             }
-        }
+        };
+        self.last_receipt = Some(meter.receipt());
+        out
     }
 
     /// The truth value `var` received in the most recent satisfying model.
@@ -770,6 +845,7 @@ impl Solver {
         max_learnts: &mut f64,
         assumptions: &[Lit],
         interruptible: bool,
+        meter: &mut BudgetMeter,
     ) -> SearchOutcome {
         let mut conflicts_here: u64 = 0;
         loop {
@@ -782,6 +858,11 @@ impl Solver {
                 return SearchOutcome::Interrupted;
             }
             if let Some(confl) = self.propagate() {
+                // Charge before the stats bump so the meter's counters
+                // and the solver's stats agree on the bounded portion.
+                if let Err(cause) = meter.charge_conflict() {
+                    return SearchOutcome::Exhausted(cause);
+                }
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
@@ -839,6 +920,9 @@ impl Solver {
                 match decision {
                     None => return SearchOutcome::Sat,
                     Some(d) => {
+                        if let Err(cause) = meter.charge_fuel() {
+                            return SearchOutcome::Exhausted(cause);
+                        }
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(d, None);
@@ -888,6 +972,7 @@ enum SearchOutcome {
     Unsat,
     Restart,
     Interrupted,
+    Exhausted(Exhausted),
 }
 
 /// The Luby restart sequence scaled by `y`.
@@ -1132,6 +1217,74 @@ mod tests {
     fn luby_sequence_prefix() {
         let seq: Vec<f64> = (0..9).map(|i| luby(2.0, i)).collect();
         assert_eq!(seq, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0]);
+    }
+
+    /// Pigeonhole 5-into-4: hard enough that tiny budgets must exhaust.
+    fn pigeonhole_solver(n: usize, m: usize, config: SolverConfig) -> Solver {
+        let mut s = Solver::with_config(config);
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn conflict_budget_yields_certified_unknown_and_a_reusable_solver() {
+        let mut s = pigeonhole_solver(5, 4, SolverConfig::default());
+        match s.solve_bounded(&[], &Budget::with_conflicts(2)) {
+            Verdict::Unknown(cause @ Exhausted::Conflicts { limit: 2, spent: 2 }) => {
+                let receipt = *s.budget_receipt().expect("receipt recorded");
+                assert!(receipt.coherent());
+                assert!(receipt.certifies(&cause));
+                assert_eq!(receipt.cause, Some(cause));
+            }
+            v => panic!("expected conflict exhaustion, got {v:?}"),
+        }
+        // The same solver finishes the proof under an unlimited budget.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let receipt = s.budget_receipt().unwrap();
+        assert!(receipt.coherent());
+        assert_eq!(receipt.cause, None);
+    }
+
+    #[test]
+    fn fuel_budget_caps_decisions() {
+        let mut s = pigeonhole_solver(5, 4, SolverConfig::default());
+        match s.solve_bounded(&[], &Budget::with_fuel(3)) {
+            Verdict::Unknown(Exhausted::Fuel { limit: 3, spent: 3 }) => {}
+            v => panic!("expected fuel exhaustion, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_bounded_solve_matches_plain_solve_bit_for_bit() {
+        let build = || pigeonhole_solver(4, 3, SolverConfig::default());
+        let mut plain = build();
+        let mut bounded = build();
+        assert_eq!(plain.solve(), SolveResult::Unsat);
+        assert_eq!(
+            bounded.solve_bounded(&[], &Budget::UNLIMITED),
+            Verdict::Known(SolveResult::Unsat)
+        );
+        let (sp, sb) = (plain.stats(), bounded.stats());
+        assert_eq!(sp.decisions, sb.decisions);
+        assert_eq!(sp.conflicts, sb.conflicts);
+        assert_eq!(sp.propagations, sb.propagations);
+        assert_eq!(sp.restarts, sb.restarts);
+        // The meter agrees with the stats it metered.
+        let r = bounded.budget_receipt().unwrap();
+        assert_eq!(r.conflicts, sb.conflicts);
+        assert_eq!(r.fuel, sb.decisions);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::bitblast::BitBlaster;
 use crate::term::{Sort, Term, TermId, TermPool, Value};
 use crate::value::BvValue;
+use sciduction::budget::{Budget, BudgetReceipt, Verdict};
 use sciduction::exec::QueryCache;
 use sciduction_sat::{Lit, SolveResult, Solver as SatSolver};
 use std::collections::HashMap;
@@ -208,22 +209,56 @@ impl Solver {
     ///
     /// Panics if any assumption is not Boolean.
     pub fn check_assuming(&mut self, assumptions: &[TermId]) -> CheckResult {
+        self.check_assuming_bounded(assumptions, &Budget::UNLIMITED)
+            .expect_known("unlimited check cannot exhaust")
+    }
+
+    /// [`Solver::check`] under a resource [`Budget`]: the underlying SAT
+    /// search is metered, and exhaustion yields [`Verdict::Unknown`]
+    /// rather than an unbounded run.
+    pub fn check_bounded(&mut self, budget: &Budget) -> Verdict<CheckResult> {
+        self.check_assuming_bounded(&[], budget)
+    }
+
+    /// [`Solver::check_assuming`] under a resource [`Budget`].
+    ///
+    /// Cache interaction: a memoized answer costs nothing and is adopted
+    /// even when the budget is already empty; only `Known` verdicts are
+    /// ever published to the cache, so an `Unknown` from a starved run
+    /// can never shadow a real answer for other solvers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assumption is not Boolean.
+    pub fn check_assuming_bounded(
+        &mut self,
+        assumptions: &[TermId],
+        budget: &Budget,
+    ) -> Verdict<CheckResult> {
         self.num_checks += 1;
         let Some(cache) = self.cache.clone() else {
-            return self.check_uncached(assumptions);
+            return self.check_uncached(assumptions, budget);
         };
         let key = self.query_key(assumptions);
         if let Some(hit) = cache.get(&key) {
             if let Some(result) = self.adopt_cached(&hit, assumptions) {
-                return result;
+                return Verdict::Known(result);
             }
         }
-        let result = self.check_uncached(assumptions);
-        cache.insert(key, self.to_cached(result));
-        result
+        let verdict = self.check_uncached(assumptions, budget);
+        if let Verdict::Known(result) = verdict {
+            cache.insert(key, self.to_cached(result));
+        }
+        verdict
     }
 
-    fn check_uncached(&mut self, assumptions: &[TermId]) -> CheckResult {
+    /// The budget receipt of the most recent metered SAT search, for the
+    /// `BUD` lint audits.
+    pub fn budget_receipt(&self) -> Option<&BudgetReceipt> {
+        self.sat.budget_receipt()
+    }
+
+    fn check_uncached(&mut self, assumptions: &[TermId], budget: &Budget) -> Verdict<CheckResult> {
         let mut lits: Vec<Lit> = self.scopes.clone();
         for &t in assumptions {
             assert_eq!(self.pool.sort(t), Sort::Bool, "assumptions must be Boolean");
@@ -231,16 +266,20 @@ impl Solver {
             let l = self.blaster.blast_bool(&self.pool, &mut self.sat, t);
             lits.push(l);
         }
-        match self.sat.solve_with_assumptions(&lits) {
-            SolveResult::Sat => {
+        match self.sat.solve_bounded(&lits, budget) {
+            Verdict::Known(SolveResult::Sat) => {
                 let model = self.extract_model();
                 self.certify_model(&model, assumptions);
                 self.model = Some(model);
-                CheckResult::Sat
+                Verdict::Known(CheckResult::Sat)
             }
-            SolveResult::Unsat => {
+            Verdict::Known(SolveResult::Unsat) => {
                 self.model = None;
-                CheckResult::Unsat
+                Verdict::Known(CheckResult::Unsat)
+            }
+            Verdict::Unknown(cause) => {
+                self.model = None;
+                Verdict::Unknown(cause)
             }
         }
     }
@@ -664,6 +703,71 @@ mod tests {
             assert_eq!(drive(&mut s), expected);
         }
         assert!(cache.stats().hits >= 3, "second run must replay from cache");
+    }
+
+    /// A multiplicative constraint that level-0 propagation cannot settle
+    /// (the search needs at least one decision): `a * b == 0x8F61` over
+    /// 16-bit variables with both factors nontrivial.
+    fn hard_query_solver() -> Solver {
+        let mut s = Solver::new();
+        let a = s.terms_mut().var("a", 16);
+        let b = s.terms_mut().var("b", 16);
+        let prod = s.terms_mut().bv_mul(a, b);
+        let k = s.terms_mut().bv(0x8F61, 16);
+        let eq = s.terms_mut().eq(prod, k);
+        let one = s.terms_mut().bv(1, 16);
+        let a_big = s.terms_mut().bv_ult(one, a);
+        let b_big = s.terms_mut().bv_ult(one, b);
+        s.assert_term(eq);
+        s.assert_term(a_big);
+        s.assert_term(b_big);
+        s
+    }
+
+    #[test]
+    fn starved_check_reports_unknown_with_a_certified_receipt() {
+        use sciduction::budget::Exhausted;
+        let mut s = hard_query_solver();
+        let verdict = s.check_bounded(&Budget::with_fuel(0));
+        let cause = verdict
+            .unknown_cause()
+            .expect("the query needs a decision, so zero fuel cannot decide");
+        assert_eq!(cause, Exhausted::Fuel { limit: 0, spent: 0 });
+        let receipt = s.budget_receipt().expect("metered check leaves a receipt");
+        assert!(receipt.coherent() && receipt.certifies(&cause));
+        assert!(s.model().is_none(), "Unknown must not expose a model");
+        // The same solver recovers under an ample budget.
+        let full = s.check_bounded(&Budget::UNLIMITED);
+        assert_eq!(full, Verdict::Known(CheckResult::Sat));
+    }
+
+    #[test]
+    fn unknown_is_never_published_to_the_cache() {
+        let cache = Arc::new(SmtQueryCache::new());
+        let mut starved = hard_query_solver();
+        starved.attach_cache(Arc::clone(&cache));
+        assert!(starved
+            .check_bounded(&Budget::with_fuel(0))
+            .unknown_cause()
+            .is_some());
+        assert_eq!(
+            cache.stats().insertions,
+            0,
+            "a starved run must not poison the cache"
+        );
+        // A full run publishes, and a later starved solver adopts the hit
+        // despite its empty budget (cache hits are budget-free).
+        let mut full = hard_query_solver();
+        full.attach_cache(Arc::clone(&cache));
+        assert_eq!(full.check(), CheckResult::Sat);
+        let mut replay = hard_query_solver();
+        replay.attach_cache(Arc::clone(&cache));
+        assert_eq!(
+            replay.check_bounded(&Budget::with_fuel(0)),
+            Verdict::Known(CheckResult::Sat),
+            "a cached answer costs no budget"
+        );
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
         },
         max_rounds: 8,
         seed_budget: 512,
+        ..SwitchSynthConfig::default()
     };
     let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &config);
     println!(

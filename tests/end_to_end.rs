@@ -119,6 +119,7 @@ fn hybrid_synthesizes_safe_transmission_logic() {
         },
         max_rounds: 8,
         seed_budget: 512,
+        ..SwitchSynthConfig::default()
     };
     let out = synthesize_switching(&mds, initial_guards(&mds), &guard_seeds(&mds), &config);
     assert!(out.converged);

@@ -1,0 +1,322 @@
+//! Differential fault matrix: every fault kind, crossed with thread
+//! counts {1, 2, 4}, against a clean reference run of the same problem.
+//!
+//! The graceful-degradation contract under deterministic fault
+//! injection:
+//!
+//! * a faulted run's verdict is either **identical** to the clean run's
+//!   or a certified **Unknown** — a fault may cost the answer, never
+//!   flip it;
+//! * an `Unknown` parks no winner and no model, and its exhaustion
+//!   cause survives the independent `sciduction-analysis` audit
+//!   (receipt certification, injection reproducibility);
+//! * the faulted verdict itself is thread-count invariant, because
+//!   fault decisions are pure in `(seed, kind, site)` and sites are
+//!   member indices, not scheduler accidents.
+
+use sciduction::exec::{FaultKind, FaultPlan};
+use sciduction::{Budget, Verdict};
+use sciduction_analysis::passes::{audit_fault_verdicts, PortfolioValidator};
+use sciduction_analysis::{Report, Validator};
+use sciduction_ogis::{
+    benchmarks, synthesize_portfolio_with_faults, ParallelSynthesisConfig, SynthProgram,
+    SynthesisConfig, SynthesisOutcome,
+};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_sat::{
+    solve_portfolio, solve_portfolio_with_faults, Cnf, PortfolioConfig, SolveResult,
+};
+use sciduction_smt::BvValue;
+use std::sync::Arc;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+const FAULT_SEEDS: [u64; 3] = [1, 2, 3];
+
+fn random_3sat(rng: &mut StdRng) -> Cnf {
+    let num_vars = rng.random_range(12..30u64) as usize;
+    let ratio = 3.5 + rng.random_range(0..14u64) as f64 / 10.0;
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = rng.random_range(0..num_vars as u64) as i64 + 1;
+                    if rng.random::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+fn certify(cnf: &Cnf, model: &[bool]) -> bool {
+    model.len() == cnf.num_vars
+        && cnf.clauses.iter().all(|cl| {
+            cl.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                model[v] ^ (l < 0)
+            })
+        })
+}
+
+#[test]
+fn sat_fault_matrix_never_flips_a_verdict() {
+    let mut rng = StdRng::seed_from_u64(0xFA_0175);
+    for instance in 0..10 {
+        let cnf = random_3sat(&mut rng);
+        let clean_config = PortfolioConfig {
+            members: 4,
+            threads: 1,
+            budget: Budget::UNLIMITED,
+            ..PortfolioConfig::default()
+        };
+        let clean =
+            solve_portfolio_with_faults(&cnf, &[], &clean_config, None).expect("no member panics");
+        let clean_result = clean.verdict.expect_known("clean run cannot exhaust");
+
+        for kind in FaultKind::ALL {
+            for seed in FAULT_SEEDS {
+                let mut verdict_per_threads = Vec::new();
+                for threads in THREADS {
+                    let plan = Arc::new(FaultPlan::targeting(seed, kind));
+                    let config = PortfolioConfig {
+                        members: 4,
+                        threads,
+                        budget: Budget::UNLIMITED,
+                        ..PortfolioConfig::default()
+                    };
+                    let out = solve_portfolio_with_faults(&cnf, &[], &config, Some(plan))
+                        .expect("faults degrade, never panic");
+                    let tag =
+                        format!("instance {instance}, {kind:?}, seed {seed}, {threads} thread(s)");
+                    let mut r = Report::new();
+                    audit_fault_verdicts(&clean.verdict, &out.verdict, "faults", &mut r);
+                    assert!(r.is_clean(), "{tag}: {r}");
+                    match out.verdict {
+                        Verdict::Known(result) => {
+                            assert_eq!(result, clean_result, "{tag}: verdict flipped");
+                            if result == SolveResult::Sat {
+                                assert!(certify(&cnf, &out.model), "{tag}: bad model");
+                            }
+                        }
+                        Verdict::Unknown(_) => {
+                            assert_eq!(out.winner, None, "{tag}: unknown with a winner");
+                            assert!(out.model.is_empty(), "{tag}: unknown with a model");
+                        }
+                    }
+                    // The full cross-layer audit: model re-checks on
+                    // Known, receipt certification and injection
+                    // reproducibility on Unknown.
+                    let mut r = Report::new();
+                    PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
+                    assert!(r.is_clean(), "{tag}: {r}");
+                    verdict_per_threads.push(out.verdict);
+                }
+                assert!(
+                    verdict_per_threads.windows(2).all(|w| w[0] == w[1]),
+                    "instance {instance}, {kind:?}, seed {seed}: verdict varies \
+                     with thread count: {verdict_per_threads:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Kinds that take a portfolio member out of the race entirely (a cache
+/// miss storm only slows a member down — it can never cost the answer).
+const LETHAL: [FaultKind; 3] = [
+    FaultKind::WorkerDeath,
+    FaultKind::SpuriousCancel,
+    FaultKind::BudgetExhaustion,
+];
+
+/// A seed whose pure fault decision fires `kind` at every member site —
+/// the whole portfolio faults, so the race must degrade, not guess.
+fn total_loss_seed(kind: FaultKind, members: usize) -> u64 {
+    (1u64..)
+        .find(|&s| (0..members as u64).all(|i| FaultPlan::decides(s, kind, i)))
+        .unwrap()
+}
+
+#[test]
+fn sat_total_fault_loss_degrades_to_certified_unknown() {
+    let mut rng = StdRng::seed_from_u64(0x70_7A1);
+    let cnf = random_3sat(&mut rng);
+    for kind in LETHAL {
+        let seed = total_loss_seed(kind, 2);
+        let mut verdicts = Vec::new();
+        for threads in THREADS {
+            let config = PortfolioConfig {
+                members: 2,
+                threads,
+                budget: Budget::UNLIMITED,
+                ..PortfolioConfig::default()
+            };
+            let plan = Arc::new(FaultPlan::targeting(seed, kind));
+            let out = solve_portfolio_with_faults(&cnf, &[], &config, Some(plan))
+                .expect("faults degrade, never panic");
+            let tag = format!("{kind:?}, seed {seed}, {threads} thread(s)");
+            assert!(
+                matches!(out.verdict, Verdict::Unknown(_)),
+                "{tag}: every member faulted yet the race answered {:?}",
+                out.verdict
+            );
+            assert_eq!(out.winner, None, "{tag}");
+            assert!(out.model.is_empty(), "{tag}");
+            let mut r = Report::new();
+            PortfolioValidator::new(&cnf, &[], &out).validate(&mut r);
+            assert!(r.is_clean(), "{tag}: {r}");
+            verdicts.push(out.verdict);
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "{kind:?}: degradation cause varies with thread count: {verdicts:?}"
+        );
+    }
+}
+
+fn synthesized_program(outcome: &SynthesisOutcome) -> Option<&SynthProgram> {
+    match outcome {
+        SynthesisOutcome::Synthesized { program, .. } => Some(program),
+        _ => None,
+    }
+}
+
+#[test]
+fn ogis_fault_matrix_never_flips_an_outcome() {
+    let width = 3u32;
+    let (lib, _) = benchmarks::p1_with_width(width);
+    let config = SynthesisConfig::default();
+    let clean = synthesize_portfolio_with_faults(
+        &lib,
+        |_| benchmarks::p1_with_width(width).1,
+        &config,
+        &ParallelSynthesisConfig {
+            threads: 1,
+            ..ParallelSynthesisConfig::default()
+        },
+        None,
+    )
+    .expect("no member panics");
+    let clean_prog = synthesized_program(&clean.outcome).expect("clean run synthesizes P1");
+
+    let mut rng = StdRng::seed_from_u64(0x06_F175);
+    let probes: Vec<Vec<BvValue>> = (0..64)
+        .map(|_| {
+            (0..lib.num_inputs)
+                .map(|_| BvValue::new(rng.random(), width))
+                .collect()
+        })
+        .collect();
+
+    for kind in FaultKind::ALL {
+        for seed in [1u64, 2] {
+            for threads in THREADS {
+                let plan = Arc::new(FaultPlan::targeting(seed, kind));
+                let out = synthesize_portfolio_with_faults(
+                    &lib,
+                    |_| benchmarks::p1_with_width(width).1,
+                    &config,
+                    &ParallelSynthesisConfig {
+                        threads,
+                        ..ParallelSynthesisConfig::default()
+                    },
+                    Some(plan),
+                )
+                .expect("faults degrade, never panic");
+                let tag = format!("{kind:?}, seed {seed}, {threads} thread(s)");
+                match &out.outcome {
+                    SynthesisOutcome::Synthesized { program, .. } => {
+                        assert!(
+                            probes.iter().all(|x| program.eval(x) == clean_prog.eval(x)),
+                            "{tag}: faulted program diverges semantically"
+                        );
+                        assert!(out.winner.is_some(), "{tag}: synthesized without a winner");
+                    }
+                    SynthesisOutcome::BudgetExhausted { .. } => {
+                        assert_eq!(out.winner, None, "{tag}: exhausted with a winner");
+                    }
+                    SynthesisOutcome::Infeasible { .. } => {
+                        panic!("{tag}: fault flipped a synthesizable instance to infeasible")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ogis_total_fault_loss_degrades_gracefully() {
+    let width = 3u32;
+    let (lib, _) = benchmarks::p1_with_width(width);
+    let config = SynthesisConfig::default();
+    for kind in LETHAL {
+        let seed = total_loss_seed(kind, 2);
+        for threads in THREADS {
+            let plan = Arc::new(FaultPlan::targeting(seed, kind));
+            let out = synthesize_portfolio_with_faults(
+                &lib,
+                |_| benchmarks::p1_with_width(width).1,
+                &config,
+                &ParallelSynthesisConfig {
+                    members: 2,
+                    threads,
+                    ..ParallelSynthesisConfig::default()
+                },
+                Some(plan),
+            )
+            .expect("faults degrade, never panic");
+            let tag = format!("{kind:?}, seed {seed}, {threads} thread(s)");
+            assert!(
+                matches!(out.outcome, SynthesisOutcome::BudgetExhausted { .. }),
+                "{tag}: every member faulted yet the race answered {:?}",
+                out.outcome
+            );
+            assert_eq!(out.winner, None, "{tag}");
+        }
+    }
+}
+
+/// The CI fault-matrix job sweeps `SCIDUCTION_FAULT_SEED` and
+/// `SCIDUCTION_THREADS` over this test: the env-driven run must agree
+/// with an explicitly clean run or degrade to Unknown. With the env
+/// unset both runs are clean and the check is a strict equality.
+#[test]
+fn env_driven_faults_agree_with_clean_reference() {
+    let mut rng = StdRng::seed_from_u64(0x0E_17);
+    for _ in 0..8 {
+        let cnf = random_3sat(&mut rng);
+        let clean_config = PortfolioConfig {
+            members: 4,
+            threads: 1,
+            budget: Budget::UNLIMITED,
+            ..PortfolioConfig::default()
+        };
+        let clean =
+            solve_portfolio_with_faults(&cnf, &[], &clean_config, None).expect("no member panics");
+        // Members/threads/budget/fault plan all resolve from the env here.
+        let faulted = solve_portfolio(
+            &cnf,
+            &[],
+            &PortfolioConfig {
+                members: 4,
+                ..PortfolioConfig::default()
+            },
+        )
+        .expect("no member panics");
+        let mut r = Report::new();
+        audit_fault_verdicts(&clean.verdict, &faulted.verdict, "faults", &mut r);
+        assert!(r.is_clean(), "{r}");
+        if let Verdict::Known(SolveResult::Sat) = faulted.verdict {
+            assert!(certify(&cnf, &faulted.model));
+        }
+        let mut r = Report::new();
+        PortfolioValidator::new(&cnf, &[], &faulted).validate(&mut r);
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -40,6 +40,7 @@ fn all_three_applications_report_through_the_framework() {
             },
             max_rounds: 8,
             seed_budget: 512,
+            ..sciduction_hybrid::SwitchSynthConfig::default()
         },
     )
     .unwrap();

@@ -93,7 +93,10 @@ fn sat_portfolio_verdicts_agree_across_thread_counts() {
             },
         )
         .expect("no member panics");
-        match seq.result {
+        let seq_result = seq
+            .verdict
+            .expect_known("unlimited default budget cannot exhaust");
+        match seq_result {
             SolveResult::Sat => {
                 sat += 1;
                 assert!(certify(&cnf, &seq.model), "instance {instance}: bad model");
@@ -110,11 +113,14 @@ fn sat_portfolio_verdicts_agree_across_thread_counts() {
                 },
             )
             .expect("no member panics");
+            let par_result = par
+                .verdict
+                .expect_known("unlimited default budget cannot exhaust");
             assert_eq!(
-                par.result, seq.result,
+                par_result, seq_result,
                 "instance {instance}: verdict diverged at {threads} thread(s)"
             );
-            if par.result == SolveResult::Sat {
+            if par_result == SolveResult::Sat {
                 assert!(
                     certify(&cnf, &par.model),
                     "instance {instance}: uncertified model at {threads} thread(s)"
