@@ -38,7 +38,14 @@ done
 echo "==> portfolio soak (10k races, release only)"
 cargo test --release -p sciduction-sat --test portfolio_stress -q -- --ignored
 
-echo "==> scilint (cross-layer artifact validation)"
+echo "==> recovery sweep: supervised faults + kill-and-resume bit identity"
+for retries in 1 3 5; do
+  echo "    SCIDUCTION_RETRIES=$retries"
+  SCIDUCTION_RETRIES=$retries \
+    cargo test --release -p sciduction-suite --test recovery_vs_clean -q
+done
+
+echo "==> scilint (cross-layer artifact validation, incl. recovery suite)"
 cargo run --release -p sciduction-analysis --bin scilint
 
 echo "CI OK"

@@ -8,25 +8,33 @@
 //! scilint --verbose  also print warnings and per-suite progress
 //! ```
 
-use sciduction::exec::QueryCache;
+use sciduction::exec::{FaultKind, FaultPlan, QueryCache};
+use sciduction::recover::{RetryPolicy, DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER_THRESHOLD};
+use sciduction::Verdict;
 use sciduction_analysis::passes::{
-    audit_cache_stats, BasisValidator, DagValidator, IrValidator, PortfolioValidator, SatValidator,
-    SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
+    audit_cache_stats, audit_cegis_journal, audit_entrant_log, audit_guard_journal,
+    audit_measurement_journal, BasisValidator, DagValidator, IrValidator, PortfolioValidator,
+    SatValidator, SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, unroll, BasisConfig, Dag, SmtOracle};
+use sciduction_gametime::{analyze_journaled, GameTimeConfig, MicroarchPlatform};
 use sciduction_hybrid::{
-    synthesize_switching, systems, Grid, HyperBox, HyperboxGuards, ReachConfig, SwitchSynthConfig,
+    synthesize_switching, synthesize_switching_journaled, systems, Grid, HyperBox, HyperboxGuards,
+    ReachConfig, SwitchSynthConfig,
 };
 use sciduction_ir::programs;
 use sciduction_ogis::{
-    benchmarks, synthesize, ComponentLibrary, IoOracle, SynthesisConfig, SynthesisOutcome,
+    benchmarks, synthesize, synthesize_journaled, ComponentLibrary, IoOracle, SynthesisConfig,
+    SynthesisOutcome,
 };
 use sciduction_sat::{
-    solve_portfolio, Cnf, Lit, PortfolioConfig, SolveResult, Solver as SatSolver, Var,
+    solve_portfolio, solve_portfolio_supervised, Cnf, Lit, PortfolioConfig, SolveResult,
+    Solver as SatSolver, Var,
 };
 use sciduction_smt::Solver as SmtSolver;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// The bundled IR workloads with their loop-unrolling bounds.
 fn workloads() -> Vec<(&'static str, sciduction_ir::Function, usize)> {
@@ -259,6 +267,127 @@ fn lint_hybrid(report: &mut Report) {
         .validate(report);
 }
 
+fn lint_recovery(report: &mut Report) {
+    // Supervised SAT race under a lethal fault plan: the verdict must
+    // match the clean portfolio's, and every entrant's supervision log —
+    // budget receipt, breaker op log, retry schedule — must audit clean
+    // (BUD001/BUD003, REC002, REC003).
+    let n = 30i64;
+    let mut clauses: Vec<Vec<i64>> = Vec::new();
+    for i in 0..n {
+        clauses.push(vec![-(i + 1), (i + 1) % n + 1]);
+    }
+    for i in 0..n / 3 {
+        clauses.push(vec![i + 1, (i + 7) % n + 1, -((i + 13) % n + 1)]);
+    }
+    let cnf = Cnf {
+        num_vars: n as usize,
+        clauses,
+    };
+    let config = PortfolioConfig {
+        members: 4,
+        ..PortfolioConfig::default()
+    };
+    let clean = match solve_portfolio(&cnf, &[], &config) {
+        Ok(outcome) => outcome.verdict,
+        Err(e) => {
+            report.error(
+                codes::PAR002,
+                "recovery",
+                "race",
+                format!("clean portfolio member panicked: {e}"),
+            );
+            return;
+        }
+    };
+    for kind in [
+        FaultKind::WorkerDeath,
+        FaultKind::SpuriousCancel,
+        FaultKind::BudgetExhaustion,
+    ] {
+        let plan = Arc::new(FaultPlan::targeting(9, kind));
+        let supervised = solve_portfolio_supervised(
+            &cnf,
+            &[],
+            &config,
+            RetryPolicy::new(9, 3),
+            Some(Arc::clone(&plan)),
+        );
+        match (&clean, &supervised.verdict) {
+            (Verdict::Known(c), Verdict::Known(s)) if c != s => report.error(
+                codes::FLT002,
+                "recovery",
+                format!("{kind:?}"),
+                format!("supervised verdict {s:?} flips clean verdict {c:?}"),
+            ),
+            (Verdict::Known(c), Verdict::Unknown(cause)) => report.error(
+                codes::FLT002,
+                "recovery",
+                format!("{kind:?}"),
+                format!(
+                    "supervised run lost the clean verdict {c:?} to {cause:?} \
+                     despite remaining budget"
+                ),
+            ),
+            _ => {}
+        }
+        for log in supervised.logs.iter().flatten() {
+            audit_entrant_log(
+                &supervised.policy,
+                DEFAULT_BREAKER_THRESHOLD,
+                DEFAULT_BREAKER_COOLDOWN,
+                log,
+                "recovery",
+                report,
+            );
+        }
+    }
+
+    // One checkpoint journal per iterative loop, audited for structural
+    // consistency and an exact wire round trip (REC001).
+    let (lib, mut oracle) = benchmarks::p1_with_width(8);
+    let (_, journal) =
+        synthesize_journaled(&lib, &mut oracle, &SynthesisConfig::default(), Some(1));
+    audit_cegis_journal(&journal, "recovery", report);
+
+    let f = programs::fig4_toy();
+    let mut platform = MicroarchPlatform::new(f.clone());
+    let gt_config = GameTimeConfig {
+        unroll_bound: 1,
+        trials: 10,
+        ..GameTimeConfig::default()
+    };
+    match analyze_journaled(&f, &mut platform, &gt_config, Some(3)) {
+        Ok((_, journal)) => audit_measurement_journal(&journal, "recovery", report),
+        Err(e) => report.error(
+            codes::REC001,
+            "recovery",
+            "gametime-journal",
+            format!("journaled analysis failed: {e}"),
+        ),
+    }
+
+    let mds = systems::water_tank();
+    let config = SwitchSynthConfig {
+        grid: Grid::new(0.05),
+        reach: ReachConfig {
+            dt: 0.01,
+            horizon: 100.0,
+            min_dwell: 0.0,
+            equilibrium_eps: 1e-9,
+        },
+        ..SwitchSynthConfig::default()
+    };
+    let (_, journal) = synthesize_switching_journaled(
+        &mds,
+        systems::water_tank_initial(),
+        &[Some(vec![5.0]), Some(vec![5.0])],
+        &config,
+        Some(1),
+    );
+    audit_guard_journal(&journal, "recovery", report);
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(bad) = args
@@ -293,7 +422,7 @@ fn main() -> ExitCode {
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
 
     type Suite = (&'static str, fn(&mut Report));
-    let suites: [Suite; 7] = [
+    let suites: [Suite; 8] = [
         ("ir", lint_ir),
         ("cfg", lint_cfg),
         ("smt", lint_smt),
@@ -301,6 +430,7 @@ fn main() -> ExitCode {
         ("portfolio", lint_portfolio),
         ("ogis", lint_ogis),
         ("hybrid", lint_hybrid),
+        ("recovery", lint_recovery),
     ];
 
     let mut report = Report::new();

@@ -113,6 +113,18 @@ pub const FLT001: &str = "FLT001";
 /// degrade Known to Unknown, never change a Known answer).
 pub const FLT002: &str = "FLT002";
 
+/// A checkpoint journal diverges from its run: structural
+/// self-consistency fails, the wire format does not round-trip, or a
+/// replayed prefix disagrees with what the journal recorded.
+pub const REC001: &str = "REC001";
+/// A circuit breaker's audited state or event log is not reproducible
+/// from its operation log (a forged grant or fabricated transition).
+pub const REC002: &str = "REC002";
+/// A retry event's backoff charge differs from the deterministic
+/// schedule derived from the policy seed, or a retry was recorded for
+/// attempt 0 (first tries are never retries).
+pub const REC003: &str = "REC003";
+
 /// Every registered code with its one-line description, for `scilint
 /// --codes` and the docs table.
 pub const ALL: &[(&str, &str)] = &[
@@ -191,6 +203,18 @@ pub const ALL: &[(&str, &str)] = &[
     (
         FLT002,
         "faulted verdict flips a clean verdict (must be identical or unknown)",
+    ),
+    (
+        REC001,
+        "checkpoint journal diverges from its run (replay/round-trip)",
+    ),
+    (
+        REC002,
+        "breaker state not reproducible from its operation log",
+    ),
+    (
+        REC003,
+        "retry charge off the deterministic backoff schedule",
     ),
 ];
 

@@ -18,6 +18,7 @@
 //! | OGIS   | [`passes::SynthProgramValidator`] | loop-freeness, arity/operand bounds, example re-evaluation |
 //! | Parallel | [`passes::PortfolioValidator`], [`passes::audit_cache_stats`] | verdict re-derivation, cross-member model checks, cache-counter coherence |
 //! | Budget | [`passes::audit_budget_receipt`], [`passes::audit_fault_plan`], [`passes::audit_fault_verdicts`] | receipt coherence, exhaustion-cause certification, fault reproducibility, verdict-flip detection |
+//! | Recovery | [`passes::audit_entrant_log`], [`passes::audit_cegis_journal`], [`passes::audit_measurement_journal`], [`passes::audit_guard_journal`] | breaker-log replay, retry-schedule determinism, journal round-trip/divergence |
 //!
 //! The `scilint` binary runs the full suite over the bundled benchmark
 //! instances and exits nonzero on any error-severity diagnostic.

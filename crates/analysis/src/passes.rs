@@ -7,11 +7,13 @@
 
 use crate::{codes, Report, Validator};
 use sciduction::exec::{CacheStats, FaultPlan};
+use sciduction::recover::{replay_breaker, EntrantLog, RetryPolicy};
 use sciduction::{BudgetReceipt, Exhausted, Verdict};
 use sciduction_cfg::{Basis, Dag, RankTracker};
-use sciduction_hybrid::{HyperBox, HyperboxGuards, Mds, SwitchingLogic};
+use sciduction_gametime::MeasurementJournal;
+use sciduction_hybrid::{GuardSearchJournal, HyperBox, HyperboxGuards, Mds, SwitchingLogic};
 use sciduction_ir::{Function, Operand, Terminator};
-use sciduction_ogis::{ComponentLibrary, SynthProgram};
+use sciduction_ogis::{CegisJournal, ComponentLibrary, SynthProgram};
 use sciduction_sat::{Cnf, Lit, PortfolioOutcome, SolveResult, Solver as SatSolver};
 use sciduction_smt::{BvValue, Sort, Term, TermPool};
 use std::collections::HashMap;
@@ -761,6 +763,11 @@ impl Validator for PortfolioValidator<'_> {
                         // Cooperative cancellation leaves no counter to
                         // certify.
                     }
+                    Exhausted::Faulted { .. } => {
+                        // A panic-parked entrant leaves no counter to
+                        // certify; the supervision log carries the
+                        // evidence (the `REC` audits re-check it).
+                    }
                     resource => {
                         // BUD002 — a resource-exhaustion cause must be
                         // certified by some parked member's receipt.
@@ -960,6 +967,208 @@ pub fn audit_fault_verdicts<T: PartialEq + std::fmt::Debug>(
                 format!("faulted verdict {f:?} flips clean verdict {c:?}"),
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (supervision logs and checkpoint journals)
+// ---------------------------------------------------------------------------
+
+/// Audits an [`EntrantLog`]'s circuit-breaker record (`REC002`): the op
+/// log is replayed through a fresh breaker ([`replay_breaker`] is the
+/// ground truth), and the replayed final state and transition events must
+/// equal what the log claims. A replay failure means a logged `Allow`
+/// grant contradicts the machine — a forged admission.
+pub fn audit_breaker_log(
+    threshold: u32,
+    cooldown: u32,
+    log: &EntrantLog,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    let site = format!("entrant#{}", log.entrant);
+    match replay_breaker(threshold, cooldown, &log.breaker_ops) {
+        None => report.error(
+            codes::REC002,
+            pass,
+            site,
+            "breaker op log contains a grant the replayed machine refuses (forged admission)",
+        ),
+        Some((state, events)) => {
+            if state != log.breaker_state {
+                report.error(
+                    codes::REC002,
+                    pass,
+                    site.clone(),
+                    format!(
+                        "logged breaker state {:?} but the op log replays to {state:?}",
+                        log.breaker_state
+                    ),
+                );
+            }
+            if events != log.breaker_events {
+                report.error(
+                    codes::REC002,
+                    pass,
+                    site,
+                    format!(
+                        "logged {} breaker transition(s) but the op log replays {}",
+                        log.breaker_events.len(),
+                        events.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Audits an [`EntrantLog`]'s retry record against the deterministic
+/// backoff schedule (`REC003`): every paid charge must re-derive from the
+/// policy seed via [`RetryPolicy::backoff`], attempt 0 can never appear
+/// (first tries are free, not retries), and the paid total can never
+/// exceed the fuel the log's receipt metered.
+pub fn audit_retry_schedule(
+    policy: &RetryPolicy,
+    log: &EntrantLog,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    let site = format!("entrant#{}", log.entrant);
+    let mut paid = 0u64;
+    for ev in &log.retries {
+        if ev.attempt == 0 {
+            report.error(
+                codes::REC003,
+                pass,
+                site.clone(),
+                format!("retry recorded for attempt 0 at site {}", ev.site),
+            );
+            continue;
+        }
+        let expected = policy.backoff_for(ev.site, ev.attempt);
+        if ev.charge != expected {
+            report.error(
+                codes::REC003,
+                pass,
+                site.clone(),
+                format!(
+                    "attempt {} at site {} paid {} but the schedule derives {expected}",
+                    ev.attempt, ev.site, ev.charge
+                ),
+            );
+        }
+        paid += ev.charge;
+    }
+    if paid > log.receipt.fuel {
+        report.error(
+            codes::REC003,
+            pass,
+            site,
+            format!(
+                "recorded retries paid {paid} fuel but the receipt metered only {}",
+                log.receipt.fuel
+            ),
+        );
+    }
+}
+
+/// Audits one supervised entrant's full log: budget receipt
+/// (`BUD001`/`BUD003`), breaker replay (`REC002`), and retry schedule
+/// (`REC003`).
+pub fn audit_entrant_log(
+    policy: &RetryPolicy,
+    threshold: u32,
+    cooldown: u32,
+    log: &EntrantLog,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    audit_budget_receipt(
+        &log.receipt,
+        &format!("entrant#{}", log.entrant),
+        pass,
+        report,
+    );
+    audit_breaker_log(threshold, cooldown, log, pass, report);
+    audit_retry_schedule(policy, log, pass, report);
+}
+
+/// Audits a [`CegisJournal`] (`REC001`): structural self-consistency plus
+/// an exact wire-format round trip.
+pub fn audit_cegis_journal(journal: &CegisJournal, pass: &'static str, report: &mut Report) {
+    if let Err(e) = journal.check() {
+        report.error(codes::REC001, pass, "cegis-journal", e.to_string());
+    }
+    audit_round_trip(
+        journal,
+        CegisJournal::serialize,
+        CegisJournal::parse,
+        "cegis-journal",
+        pass,
+        report,
+    );
+}
+
+/// Audits a [`MeasurementJournal`] (`REC001`): an exact wire-format round
+/// trip (its replay divergence check lives in the resume path, which
+/// re-derives the trial schedule from the seed).
+pub fn audit_measurement_journal(
+    journal: &MeasurementJournal,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    audit_round_trip(
+        journal,
+        MeasurementJournal::serialize,
+        MeasurementJournal::parse,
+        "gametime-journal",
+        pass,
+        report,
+    );
+}
+
+/// Audits a [`GuardSearchJournal`] (`REC001`): structural
+/// self-consistency (ledger coherence) plus an exact wire-format round
+/// trip.
+pub fn audit_guard_journal(journal: &GuardSearchJournal, pass: &'static str, report: &mut Report) {
+    if let Err(e) = journal.check() {
+        report.error(codes::REC001, pass, "hybrid-journal", e.to_string());
+    }
+    audit_round_trip(
+        journal,
+        GuardSearchJournal::serialize,
+        GuardSearchJournal::parse,
+        "hybrid-journal",
+        pass,
+        report,
+    );
+}
+
+fn audit_round_trip<J, E>(
+    journal: &J,
+    serialize: impl Fn(&J) -> String,
+    parse: impl Fn(&str) -> Result<J, E>,
+    site: &'static str,
+    pass: &'static str,
+    report: &mut Report,
+) where
+    J: PartialEq,
+    E: std::fmt::Display,
+{
+    match parse(&serialize(journal)) {
+        Ok(parsed) if parsed == *journal => {}
+        Ok(_) => report.error(
+            codes::REC001,
+            pass,
+            site,
+            "wire-format round trip altered the journal",
+        ),
+        Err(e) => report.error(
+            codes::REC001,
+            pass,
+            site,
+            format!("journal rejects its own serialization: {e}"),
+        ),
     }
 }
 

@@ -3,18 +3,27 @@
 //! clean negative on the corresponding well-formed artifact. Together these
 //! pin the code registry of `sciduction_analysis::codes`.
 
-use sciduction::exec::{CacheStats, FaultKind, FaultPlan};
+use sciduction::exec::{CacheStats, FaultKind, FaultPlan, StopFlag};
+use sciduction::recover::{
+    Attempt, BreakerOp, BreakerState, EntrantLog, RetryEvent, RetryPolicy, Supervisor,
+    DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER_THRESHOLD,
+};
 use sciduction::{Budget, BudgetReceipt, Exhausted, Verdict};
 use sciduction_analysis::passes::{
-    audit_budget_receipt, audit_cache_stats, audit_clauses, audit_edge_graph, audit_fault_plan,
-    audit_fault_verdicts, certify_model, BasisValidator, DagValidator, IrValidator,
-    PortfolioValidator, SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
+    audit_breaker_log, audit_budget_receipt, audit_cache_stats, audit_cegis_journal, audit_clauses,
+    audit_edge_graph, audit_entrant_log, audit_fault_plan, audit_fault_verdicts,
+    audit_guard_journal, audit_measurement_journal, audit_retry_schedule, certify_model,
+    BasisValidator, DagValidator, IrValidator, PortfolioValidator, SwitchingLogicValidator,
+    SynthProgramValidator, TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, BasisConfig, Dag, SmtOracle};
-use sciduction_hybrid::{Grid, HyperBox, HyperboxGuards, Mds, Mode, SwitchingLogic, Transition};
+use sciduction_gametime::MeasurementJournal;
+use sciduction_hybrid::{
+    Grid, GuardSearchJournal, HyperBox, HyperboxGuards, Mds, Mode, SwitchingLogic, Transition,
+};
 use sciduction_ir::{programs, BinOp, Block, BlockId, Function, Instr, Operand, Reg, Terminator};
-use sciduction_ogis::{ComponentLibrary, Op, SynthProgram};
+use sciduction_ogis::{CegisJournal, ComponentLibrary, Op, SynthProgram};
 use sciduction_sat::{solve_portfolio, Cnf, Lit, PortfolioConfig, SolveResult, Var};
 use sciduction_smt::{BvValue, Sort, Term, TermId, TermPool};
 use std::sync::Arc;
@@ -909,4 +918,173 @@ fn ogs005_skipped_on_malformed_program() {
         .run();
     assert!(r.has_code(codes::OGS002), "{r}");
     assert!(!r.has_code(codes::OGS005), "{r}");
+}
+
+// ---------------------------------------------------------------------------
+// REC — supervision logs and checkpoint journals
+// ---------------------------------------------------------------------------
+
+/// An honest supervision log: the entrant panics on its first attempt and
+/// answers on the retry, so the log carries one paid retry, breaker
+/// traffic, and a coherent receipt.
+fn supervised_log() -> (RetryPolicy, EntrantLog) {
+    let policy = RetryPolicy::new(7, 3);
+    let sup = Supervisor::new(1, policy);
+    let race = sup.race(vec![|_: &StopFlag, attempt: u32| {
+        if attempt == 0 {
+            panic!("first attempt lost");
+        }
+        Attempt::Answer(42u32)
+    }]);
+    let log = race.logs[0].clone().expect("entrant ran");
+    assert!(log.answered, "fixture must recover");
+    assert!(!log.retries.is_empty(), "fixture must have retried");
+    (policy, log)
+}
+
+fn audit_log(policy: &RetryPolicy, log: &EntrantLog) -> Report {
+    let mut r = Report::new();
+    audit_entrant_log(
+        policy,
+        DEFAULT_BREAKER_THRESHOLD,
+        DEFAULT_BREAKER_COOLDOWN,
+        log,
+        "test",
+        &mut r,
+    );
+    r
+}
+
+#[test]
+fn recovery_clean_negatives() {
+    let (policy, log) = supervised_log();
+    let r = audit_log(&policy, &log);
+    assert!(!r.has_errors(), "{r}");
+}
+
+#[test]
+fn rec002_forged_breaker_grant() {
+    let (policy, log) = supervised_log();
+    // An admission the replayed machine never granted: flip a logged
+    // grant so the op log contradicts the state machine.
+    let mut forged = log.clone();
+    let allow = forged
+        .breaker_ops
+        .iter()
+        .position(|op| matches!(op, BreakerOp::Allow { .. }))
+        .expect("fixture admits at least once");
+    forged.breaker_ops[allow] = BreakerOp::Allow { granted: false };
+    let r = audit_log(&policy, &forged);
+    assert!(r.has_code(codes::REC002), "{r}");
+}
+
+#[test]
+fn rec002_fabricated_final_state() {
+    let (policy, log) = supervised_log();
+    let mut forged = log.clone();
+    forged.breaker_state = BreakerState::Open;
+    let r = audit_log(&policy, &forged);
+    assert!(r.has_code(codes::REC002), "{r}");
+    // Fabricated transitions are caught independently of the state.
+    let mut forged = log;
+    forged.breaker_events.clear();
+    forged.breaker_ops.push(BreakerOp::Failure);
+    forged.breaker_ops.push(BreakerOp::Failure);
+    forged.breaker_ops.push(BreakerOp::Failure);
+    let mut r = Report::new();
+    audit_breaker_log(
+        DEFAULT_BREAKER_THRESHOLD,
+        DEFAULT_BREAKER_COOLDOWN,
+        &forged,
+        "test",
+        &mut r,
+    );
+    assert!(r.has_code(codes::REC002), "{r}");
+}
+
+#[test]
+fn rec003_off_schedule_retry_charge() {
+    let (policy, log) = supervised_log();
+    let mut forged = log.clone();
+    forged.retries[0].charge += 1;
+    let r = audit_log(&policy, &forged);
+    assert!(r.has_code(codes::REC003), "{r}");
+    // A retry claimed for attempt 0: first tries are never retries.
+    let mut forged = log.clone();
+    forged.retries.push(RetryEvent {
+        site: 0,
+        attempt: 0,
+        charge: 0,
+    });
+    let r = audit_log(&policy, &forged);
+    assert!(r.has_code(codes::REC003), "{r}");
+    // Schedule-exact duplicates still overrun the metered fuel.
+    let mut forged = log;
+    let dup = forged.retries[0];
+    forged.retries.push(dup);
+    let mut r = Report::new();
+    audit_retry_schedule(&policy, &forged, "test", &mut r);
+    assert!(r.has_code(codes::REC003), "{r}");
+}
+
+#[test]
+fn rec001_tampered_journals() {
+    // A structurally valid CEGIS journal audits clean...
+    let journal = CegisJournal {
+        seed: 5,
+        width: 8,
+        num_inputs: 1,
+        num_outputs: 1,
+        initial_examples: 1,
+        iterations: 1,
+        examples: vec![(vec![BvValue::new(3, 8)], vec![BvValue::new(9, 8)])],
+    };
+    let mut r = Report::new();
+    audit_cegis_journal(&journal, "test", &mut r);
+    assert!(!r.has_errors(), "{r}");
+    // ...and an arity forgery does not.
+    let mut forged = journal.clone();
+    forged.examples[0].0.push(BvValue::new(1, 8));
+    let mut r = Report::new();
+    audit_cegis_journal(&forged, "test", &mut r);
+    assert!(r.has_code(codes::REC001), "{r}");
+
+    let journal = MeasurementJournal {
+        seed: 7,
+        trials: 10,
+        completed: vec![(0, 12), (1, 9)],
+    };
+    let mut r = Report::new();
+    audit_measurement_journal(&journal, "test", &mut r);
+    assert!(!r.has_errors(), "{r}");
+
+    let clean = GuardSearchJournal::default();
+    let mut r = Report::new();
+    audit_guard_journal(&clean, "test", &mut r);
+    assert!(!r.has_errors(), "{r}");
+    // A round claimed without its metered step skews the ledger.
+    let mut forged = clean;
+    forged.rounds = 1;
+    let mut r = Report::new();
+    audit_guard_journal(&forged, "test", &mut r);
+    assert!(r.has_code(codes::REC001), "{r}");
+}
+
+#[test]
+fn bud002_faulted_cause_needs_no_receipt() {
+    // A panic-parked race verdict carries `Exhausted::Faulted`, which no
+    // budget receipt can certify — the validator must not demand one.
+    let cnf = Cnf {
+        num_vars: 2,
+        clauses: vec![vec![1, 2]],
+    };
+    let outcome = sciduction_sat::PortfolioOutcome {
+        verdict: Verdict::Unknown(Exhausted::Faulted { site: 3 }),
+        winner: None,
+        model: Vec::new(),
+        failed_assumptions: Vec::new(),
+        solvers: Vec::new(),
+    };
+    let r = PortfolioValidator::new(&cnf, &[], &outcome).run();
+    assert!(!r.has_errors(), "{r}");
 }

@@ -186,6 +186,13 @@ pub enum Exhausted {
     },
     /// The run was cancelled from outside before it could answer.
     Cancelled,
+    /// The supervised entrant at `site` kept failing (panic or repeated
+    /// faults) until its retry policy gave up. The `REC` lints audit the
+    /// retry schedule and breaker log that justify this cause.
+    Faulted {
+        /// The supervision site (e.g. a portfolio member index).
+        site: u64,
+    },
 }
 
 impl fmt::Display for Exhausted {
@@ -213,6 +220,12 @@ impl fmt::Display for Exhausted {
                 )
             }
             Exhausted::Cancelled => write!(f, "cancelled before answering"),
+            Exhausted::Faulted { site } => {
+                write!(
+                    f,
+                    "supervision gave up after repeated faults at site {site}"
+                )
+            }
         }
     }
 }
@@ -305,6 +318,26 @@ impl BudgetMeter {
     /// A meter that never exhausts.
     pub fn unlimited() -> Self {
         BudgetMeter::new(Budget::UNLIMITED)
+    }
+
+    /// Restores a meter from a previously taken [`BudgetReceipt`], so a
+    /// resumed run keeps paying against the same account instead of
+    /// getting a fresh budget. The receipt must be coherent; the sticky
+    /// cause (if any) is restored verbatim, so an exhausted journal stays
+    /// exhausted on resume.
+    pub fn from_receipt(receipt: &BudgetReceipt) -> Self {
+        assert!(
+            receipt.coherent(),
+            "cannot restore a meter from an incoherent receipt: {receipt:?}"
+        );
+        BudgetMeter {
+            budget: receipt.budget,
+            conflicts: receipt.conflicts,
+            steps: receipt.steps,
+            fuel: receipt.fuel,
+            clock: receipt.clock,
+            cause: receipt.cause,
+        }
     }
 
     /// The budget being enforced.
@@ -475,7 +508,7 @@ impl BudgetReceipt {
             Exhausted::Deadline { limit, clock } => {
                 limit == self.budget.deadline && clock == self.clock && clock >= limit
             }
-            Exhausted::Injected { .. } | Exhausted::Cancelled => true,
+            Exhausted::Injected { .. } | Exhausted::Cancelled | Exhausted::Faulted { .. } => true,
         }
     }
 }
@@ -567,6 +600,30 @@ mod tests {
         let early = Exhausted::Fuel { limit: 2, spent: 1 };
         assert!(!honest.certifies(&early));
         assert!(!honest.certifies(&Exhausted::Conflicts { limit: 2, spent: 2 }));
+    }
+
+    #[test]
+    fn restored_meter_keeps_paying_against_the_same_account() {
+        let mut m = BudgetMeter::new(Budget::with_steps(4));
+        m.charge_step_batch(3).unwrap();
+        let snapshot = m.receipt();
+        // Drive the original to exhaustion; the restored copy must reach
+        // the very same refusal from the snapshot.
+        let cause = m.charge_step_batch(2).unwrap_err();
+        let mut restored = BudgetMeter::from_receipt(&snapshot);
+        assert_eq!(restored.charge_step_batch(2).unwrap_err(), cause);
+        assert_eq!(restored.receipt(), m.receipt());
+        // A restored exhausted meter stays exhausted.
+        let revived = BudgetMeter::from_receipt(&m.receipt());
+        assert_eq!(revived.cause(), Some(cause));
+    }
+
+    #[test]
+    fn faulted_cause_is_certified_without_counters() {
+        let m = BudgetMeter::new(Budget::UNLIMITED);
+        let r = m.receipt();
+        assert!(r.certifies(&Exhausted::Faulted { site: 2 }));
+        assert!(!format!("{}", Exhausted::Faulted { site: 2 }).is_empty());
     }
 
     #[test]

@@ -18,12 +18,12 @@
 
 use std::any::Any;
 use std::collections::hash_map::RandomState;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::{BuildHasher, Hash};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use sciduction_rng::{RngCore, SeedableRng, Xoshiro256PlusPlus};
 
@@ -243,6 +243,17 @@ pub enum ExecError {
         /// The stringified panic payload.
         message: String,
     },
+    /// A supervised worker kept failing (panics or injected faults)
+    /// until its retry policy gave up (see `sciduction::recover`).
+    RetriesExhausted {
+        /// Index of the failed unit.
+        worker: usize,
+        /// Attempts made, the initial one included.
+        attempts: u32,
+        /// The last failure's message (a panic payload when one was
+        /// caught, otherwise the fault cause).
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -251,13 +262,28 @@ impl fmt::Display for ExecError {
             ExecError::WorkerPanicked { worker, message } => {
                 write!(f, "worker {worker} panicked: {message}")
             }
+            ExecError::RetriesExhausted {
+                worker,
+                attempts,
+                message,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} failed {attempts} supervised attempt(s); last: {message}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
 
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+/// Renders a caught panic payload for fault reports: the payload's
+/// `&str`/`String` message when downcastable (the overwhelmingly common
+/// cases — `panic!` literals and formatted panics), else a fixed marker.
+/// Used by every `catch_unwind` site in this crate so reports name the
+/// panic site instead of hiding it behind "Any".
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -580,7 +606,7 @@ fn take_entrant<F>(slot: &Mutex<Option<F>>) -> Option<F> {
     lock_ignoring_poison(slot).take()
 }
 
-fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -600,6 +626,18 @@ pub struct CacheStats {
 struct Shard<K, V> {
     map: HashMap<K, V>,
     order: VecDeque<K>,
+    /// Keys currently being computed by a [`QueryCache::get_or_insert_with`]
+    /// leader (single-flight claims). A claim is held by a drop guard, so a
+    /// panicking compute closure releases it on unwind — a reserved slot
+    /// can never be left stuck.
+    pending: HashSet<K>,
+}
+
+struct ShardState<K, V> {
+    inner: Mutex<Shard<K, V>>,
+    /// Signalled whenever a pending claim on this shard is released
+    /// (value published or computation abandoned by a panic).
+    published: Condvar,
 }
 
 /// A concurrent memoized query cache, shared across CEGIS iterations and
@@ -612,7 +650,7 @@ struct Shard<K, V> {
 /// reader coherent. Bounded caches evict in FIFO order, which can only
 /// cause re-computation, never a wrong answer.
 pub struct QueryCache<K, V> {
-    shards: Box<[Mutex<Shard<K, V>>]>,
+    shards: Box<[ShardState<K, V>]>,
     hasher: RandomState,
     per_shard_capacity: usize,
     hits: AtomicU64,
@@ -656,11 +694,13 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
 
     fn with_shard_capacity(per_shard_capacity: usize) -> Self {
         let shards = (0..CACHE_SHARDS)
-            .map(|_| {
-                Mutex::new(Shard {
+            .map(|_| ShardState {
+                inner: Mutex::new(Shard {
                     map: HashMap::new(),
                     order: VecDeque::new(),
-                })
+                    pending: HashSet::new(),
+                }),
+                published: Condvar::new(),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
@@ -686,21 +726,27 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
         self
     }
 
-    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+    fn shard(&self, key: &K) -> &ShardState<K, V> {
         let h = self.hasher.hash_one(key);
         &self.shards[(h as usize) % self.shards.len()]
     }
 
+    /// Whether the attached fault plan forces this lookup (identified by
+    /// its monotone ordinal) to miss.
+    fn storm_forces_miss(&self) -> bool {
+        let site = self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.plan
+            .as_deref()
+            .is_some_and(|plan| plan.fires(FaultKind::CacheMissStorm, site))
+    }
+
     /// Looks `key` up, counting a hit or miss.
     pub fn get(&self, key: &K) -> Option<V> {
-        let site = self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(plan) = self.plan.as_deref() {
-            if plan.fires(FaultKind::CacheMissStorm, site) {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
+        if self.storm_forces_miss() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
         }
-        let shard = lock_ignoring_poison(self.shard(key));
+        let shard = lock_ignoring_poison(&self.shard(key).inner);
         match shard.map.get(key) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -716,7 +762,7 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
     /// Binds `key` to `value` unless already bound, returning the value
     /// the cache now holds (first writer wins).
     pub fn insert(&self, key: K, value: V) -> V {
-        let mut shard = lock_ignoring_poison(self.shard(&key));
+        let mut shard = lock_ignoring_poison(&self.shard(&key).inner);
         if let Some(existing) = shard.map.get(&key) {
             return existing.clone();
         }
@@ -733,23 +779,59 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
     }
 
     /// Returns the cached value for `key`, computing it with `f` on a
-    /// miss. `f` runs *outside* the shard lock, so a slow (or panicking)
-    /// computation never blocks other queries or poisons the cache;
-    /// concurrent misses on the same key may compute redundantly, and the
-    /// first to finish wins.
+    /// miss. `f` runs *outside* the shard lock, so a slow computation
+    /// never blocks queries for other keys or poisons the cache.
+    ///
+    /// Misses are **single-flight**: the first thread to miss claims the
+    /// key and computes; concurrent misses on the same key wait for the
+    /// leader's value instead of recomputing. The claim is held by a drop
+    /// guard, so a panicking `f` releases it on unwind — waiters are woken
+    /// and the next one takes over the computation; a reserved slot can
+    /// never be left permanently stuck. Insertion stays first-writer-wins.
+    ///
+    /// A [`FaultKind::CacheMissStorm`]-forced miss computes *without*
+    /// claiming the key, modeling cold shared state: the storm costs
+    /// redundant computation but can never serialize other readers behind
+    /// it, and never a wrong answer.
     pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: &K, f: F) -> V {
-        if let Some(v) = self.get(key) {
-            return v;
+        if self.storm_forces_miss() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let v = f();
+            return self.insert(key.clone(), v);
         }
-        let v = f();
-        self.insert(key.clone(), v)
+        let state = self.shard(key);
+        let mut shard = lock_ignoring_poison(&state.inner);
+        loop {
+            if let Some(v) = shard.map.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v.clone();
+            }
+            if !shard.pending.contains(key) {
+                break;
+            }
+            // Another thread is computing this key: wait until it either
+            // publishes the value or abandons the claim (both paths
+            // signal `published`), then re-check.
+            shard = state
+                .published
+                .wait(shard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        shard.pending.insert(key.clone());
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let claim = PendingClaim { state, key };
+        let v = f(); // a panic here drops `claim`, releasing the slot
+        let v = self.insert(key.clone(), v);
+        drop(claim);
+        v
     }
 
     /// The number of live entries.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| lock_ignoring_poison(s).map.len())
+            .map(|s| lock_ignoring_poison(&s.inner).map.len())
             .sum()
     }
 
@@ -772,6 +854,23 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
 impl<K: Hash + Eq + Clone, V: Clone> Default for QueryCache<K, V> {
     fn default() -> Self {
         QueryCache::new()
+    }
+}
+
+/// A held single-flight claim on a cache key. Dropping it — normally or
+/// during the unwind of a panicking compute closure — removes the key
+/// from the shard's pending set and wakes every waiter.
+struct PendingClaim<'a, K: Hash + Eq, V> {
+    state: &'a ShardState<K, V>,
+    key: &'a K,
+}
+
+impl<K: Hash + Eq, V> Drop for PendingClaim<'_, K, V> {
+    fn drop(&mut self) {
+        let mut shard = lock_ignoring_poison(&self.state.inner);
+        shard.pending.remove(self.key);
+        drop(shard);
+        self.state.published.notify_all();
     }
 }
 
@@ -923,6 +1022,71 @@ mod tests {
             assert_eq!(v, 81);
         }
         assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_compute_once() {
+        let cache: QueryCache<u32, u32> = QueryCache::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = cache.get_or_insert_with(&3, || {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                        9
+                    });
+                    assert_eq!(v, 9);
+                });
+            }
+        });
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "single-flight: exactly one leader computes"
+        );
+    }
+
+    #[test]
+    fn panicking_leader_releases_its_claim_to_a_waiter() {
+        let cache: Arc<QueryCache<u32, u32>> = Arc::new(QueryCache::new());
+        // The leader claims the key and panics mid-compute.
+        let leader = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                    cache.get_or_insert_with(&7, || panic!("compute failed at key 7"))
+                }));
+            })
+        };
+        leader.join().unwrap();
+        // The slot must not be stuck: a follower claims and computes.
+        let v = cache.get_or_insert_with(&7, || 49);
+        assert_eq!(v, 49);
+        assert_eq!(cache.get(&7), Some(49));
+        // And under contention: many waiters racing a panicking leader
+        // all terminate with the follower's value.
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                let calls = &calls;
+                s.spawn(move || {
+                    let got = panic::catch_unwind(AssertUnwindSafe(|| {
+                        cache.get_or_insert_with(&11, || {
+                            if calls.fetch_add(1, Ordering::Relaxed) == 0 && t % 2 == 0 {
+                                panic!("first leader dies");
+                            }
+                            121
+                        })
+                    }));
+                    if let Ok(v) = got {
+                        assert_eq!(v, 121);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.get(&11), Some(121), "value published despite panic");
     }
 
     #[test]

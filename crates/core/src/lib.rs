@@ -97,6 +97,7 @@ pub mod exec;
 mod hypothesis;
 pub mod invariants;
 pub mod lstar;
+pub mod recover;
 pub mod teaching;
 
 pub use budget::{
@@ -109,3 +110,8 @@ pub use cegis::{
 };
 pub use engines::{DeductiveEngine, InductiveEngine, Instance, Outcome, Report};
 pub use hypothesis::{ConditionalSoundness, StructureHypothesis, ValidityEvidence};
+pub use recover::{
+    parse_retries, replay_breaker, retry_site, Attempt, BreakerEvent, BreakerOp, BreakerState,
+    CircuitBreaker, EntrantLog, JournalError, PanicNote, RetryEvent, RetryPolicy, SupervisedRace,
+    Supervisor, RETRIES_ENV,
+};

@@ -126,8 +126,12 @@ fn panicking_map_worker_surfaces_as_error() {
             x
         })
         .unwrap_err();
-    let ExecError::WorkerPanicked { message, .. } = err;
-    assert!(message.contains("injected fault"), "got: {message}");
+    match err {
+        ExecError::WorkerPanicked { message, .. } => {
+            assert!(message.contains("injected fault"), "got: {message}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
 }
 
 #[test]
@@ -141,9 +145,13 @@ fn panicking_sequential_worker_surfaces_as_error() {
             x
         })
         .unwrap_err();
-    let ExecError::WorkerPanicked { worker, message } = err;
-    assert_eq!(worker, 0);
-    assert!(message.contains("sequential fault"));
+    match err {
+        ExecError::WorkerPanicked { worker, message } => {
+            assert_eq!(worker, 0);
+            assert!(message.contains("sequential fault"));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
 }
 
 #[test]
@@ -169,8 +177,12 @@ fn panicking_race_entrant_surfaces_as_error_not_hang() {
             })
             .collect();
         let err = Portfolio::new(threads).race(entrants).unwrap_err();
-        let ExecError::WorkerPanicked { message, .. } = err;
-        assert!(message.contains("poisoned worker"), "threads={threads}");
+        match err {
+            ExecError::WorkerPanicked { message, .. } => {
+                assert!(message.contains("poisoned worker"), "threads={threads}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }
 
@@ -192,4 +204,40 @@ fn cache_survives_a_panicking_computation() {
     // …and the cache still works.
     assert_eq!(cache.get_or_insert_with(&7, || 49), 49);
     assert_eq!(cache.get(&7), Some(49));
+}
+
+#[test]
+fn panicking_closure_never_leaves_a_reserved_slot_stuck() {
+    // Single-flight regression (ISSUE 5 satellite): a leader claims the
+    // key, panics mid-compute, and every concurrent waiter on the same
+    // key must still terminate with a value — the claim is released on
+    // unwind, never left reserved forever.
+    let cache: QueryCache<u64, u64> = QueryCache::new();
+    let computed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for worker in 0..8 {
+            let cache = &cache;
+            let computed = &computed;
+            s.spawn(move || {
+                let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_insert_with(&13, || {
+                        // The first two leaders die; a later one delivers.
+                        if computed.fetch_add(1, Ordering::Relaxed) < 2 {
+                            panic!("leader {worker} died mid-compute");
+                        }
+                        169
+                    })
+                }));
+                if let Ok(v) = got {
+                    assert_eq!(v, 169);
+                }
+            });
+        }
+    });
+    // Termination of the scope is the liveness assertion; the value must
+    // also have been published for everyone who follows.
+    assert_eq!(cache.get(&13), Some(169));
+    // With the claim released, at most leader-failures + 1 computations
+    // ran — not one per waiter.
+    assert!(computed.load(Ordering::Relaxed) >= 3);
 }

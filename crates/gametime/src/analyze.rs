@@ -2,10 +2,12 @@
 //! model fitting → prediction (paper Fig. 5), and the answers it supports:
 //! problem ⟨TA⟩, WCET estimation, and full execution-time distributions.
 
+use crate::journal::MeasurementJournal;
 use crate::model::{TimingModel, WeightPerturbationModel};
 use crate::platform::Platform;
 use sciduction::budget::{Budget, BudgetMeter, Exhausted};
 use sciduction::exec::ParallelOracle;
+use sciduction::recover::JournalError;
 use sciduction::ValidityEvidence;
 use sciduction_cfg::{
     check_path, extract_basis, Basis, BasisConfig, Dag, Path, Rat, SmtOracle, TestCase,
@@ -71,6 +73,9 @@ pub enum GameTimeError {
     /// The resource budget cannot cover the measurement schedule; no
     /// partial (and hence misleading) model is fitted.
     Exhausted(Exhausted),
+    /// A checkpoint journal was rejected (parse error, configuration
+    /// mismatch, or replay divergence — see [`JournalError`]).
+    Journal(JournalError),
 }
 
 impl fmt::Display for GameTimeError {
@@ -83,6 +88,7 @@ impl fmt::Display for GameTimeError {
             GameTimeError::Exhausted(cause) => {
                 write!(f, "analysis budget exhausted: {cause}")
             }
+            GameTimeError::Journal(e) => write!(f, "measurement journal rejected: {e}"),
         }
     }
 }
@@ -198,6 +204,153 @@ pub fn analyze<P: Platform>(
         smt_queries: oracle.queries,
         measurements,
     })
+}
+
+/// [`analyze`] with measurement checkpointing: every completed trial is
+/// recorded into the returned [`MeasurementJournal`], and — when
+/// `kill_at` is `Some(i)` — the run dies right before trial `i`
+/// (modeling a crash mid-measurement), returning `None` for the analysis
+/// and the journal checkpointed so far. Feed that journal to
+/// [`analyze_resume`] to finish without repeating the completed
+/// measurements.
+///
+/// # Errors
+///
+/// See [`GameTimeError`].
+pub fn analyze_journaled<P: Platform>(
+    function: &Function,
+    platform: &mut P,
+    config: &GameTimeConfig,
+    kill_at: Option<usize>,
+) -> Result<(Option<GameTimeAnalysis>, MeasurementJournal), GameTimeError> {
+    let mut journal = MeasurementJournal {
+        seed: config.seed,
+        trials: config.trials,
+        completed: Vec::new(),
+    };
+    let analysis = analyze_measured(function, platform, config, kill_at, &mut journal)?;
+    Ok((analysis, journal))
+}
+
+/// Resumes a killed analysis from its [`MeasurementJournal`].
+///
+/// The trial schedule is a pure function of the seed, so resumption
+/// re-derives it, verifies the journaled prefix follows it (any
+/// disagreement is a [`JournalError::Divergence`], the `REC001`
+/// condition), reuses the recorded cycle counts, and measures only the
+/// remaining trials. The fitted model — weights, basis means, sample
+/// counts — is bit-identical to an uninterrupted run's.
+///
+/// # Errors
+///
+/// [`GameTimeError::Journal`] when the journal is rejected; otherwise
+/// see [`GameTimeError`].
+pub fn analyze_resume<P: Platform>(
+    function: &Function,
+    platform: &mut P,
+    config: &GameTimeConfig,
+    journal: &MeasurementJournal,
+) -> Result<GameTimeAnalysis, GameTimeError> {
+    if journal.seed != config.seed {
+        return Err(GameTimeError::Journal(JournalError::Mismatch {
+            field: "seed",
+        }));
+    }
+    if journal.trials != config.trials {
+        return Err(GameTimeError::Journal(JournalError::Mismatch {
+            field: "trial count",
+        }));
+    }
+    let mut record = journal.clone();
+    let analysis = analyze_measured(function, platform, config, None, &mut record)?;
+    Ok(analysis.expect("a resume without a kill runs to completion"))
+}
+
+/// The journaling measurement core behind [`analyze`],
+/// [`analyze_journaled`] and [`analyze_resume`]: entries already in
+/// `journal` are replayed (schedule-checked, not re-measured), the rest
+/// are measured live and appended.
+fn analyze_measured<P: Platform>(
+    function: &Function,
+    platform: &mut P,
+    config: &GameTimeConfig,
+    kill_at: Option<usize>,
+    journal: &mut MeasurementJournal,
+) -> Result<Option<GameTimeAnalysis>, GameTimeError> {
+    let dag = Dag::from_function(function, config.unroll_bound)?;
+    if dag.first_path().is_none() {
+        return Err(GameTimeError::NoPaths);
+    }
+    let mut oracle = SmtOracle::new();
+    let basis = extract_basis(&dag, &mut oracle, config.basis);
+    if basis.paths.is_empty() {
+        return Err(GameTimeError::EmptyBasis);
+    }
+    let b = basis.paths.len();
+    let n = b.max(config.trials);
+    if journal.completed.len() > n {
+        return Err(GameTimeError::Journal(JournalError::Divergence {
+            at: n,
+            detail: format!(
+                "journal records {} measurements, schedule has {n}",
+                journal.completed.len()
+            ),
+        }));
+    }
+    // Only the un-journaled remainder of the schedule is charged: the
+    // journaled trials were paid for by the killed run.
+    let mut meter = BudgetMeter::new(config.budget);
+    meter
+        .charge_step_batch((n - journal.completed.len()) as u64)
+        .map_err(GameTimeError::Exhausted)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut totals = vec![0u128; b];
+    let mut counts = vec![0u64; b];
+    let mut measurements = 0u64;
+    for i in 0..n {
+        // The schedule draw always happens, so the RNG stream stays
+        // aligned whether the trial is replayed or measured.
+        let k = if i < b { i } else { rng.random_range(0..b) };
+        let t = match journal.completed.get(i) {
+            Some(&(recorded_k, cycles)) => {
+                if recorded_k != k {
+                    return Err(GameTimeError::Journal(JournalError::Divergence {
+                        at: i,
+                        detail: format!(
+                            "schedule draws basis path {k} at trial {i}, journal says {recorded_k}"
+                        ),
+                    }));
+                }
+                cycles
+            }
+            None => {
+                if kill_at == Some(i) {
+                    // The simulated crash: the journal holds every
+                    // completed trial before this one.
+                    return Ok(None);
+                }
+                let t = platform.measure(&basis.paths[k].test);
+                journal.completed.push((k, t));
+                t
+            }
+        };
+        totals[k] += t as u128;
+        counts[k] += 1;
+        measurements += 1;
+    }
+    let means: Vec<Rat> = totals
+        .iter()
+        .zip(&counts)
+        .map(|(&tot, &cnt)| Rat::new(tot as i128, cnt as i128))
+        .collect();
+    let model = TimingModel::fit(&dag, &basis, means, counts);
+    Ok(Some(GameTimeAnalysis {
+        dag,
+        basis,
+        model,
+        smt_queries: oracle.queries,
+        measurements,
+    }))
 }
 
 /// [`analyze`] with the measurement phase fanned out across `threads`
@@ -571,6 +724,93 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn killed_and_resumed_analysis_fits_the_identical_model() {
+        let f = programs::modexp();
+        let mut platform = MicroarchPlatform::new(f.clone());
+        let cfg = config(60);
+        let clean = analyze(&f, &mut platform, &cfg).unwrap();
+        for kill_at in [0, 1, 13, 59] {
+            let (dead, journal) = analyze_journaled(
+                &f,
+                &mut MicroarchPlatform::new(f.clone()),
+                &cfg,
+                Some(kill_at),
+            )
+            .unwrap();
+            assert!(dead.is_none(), "kill at {kill_at} must not fit a model");
+            assert_eq!(journal.completed.len(), kill_at);
+            // Round-trip the wire format, as a real process restart would.
+            let journal = MeasurementJournal::parse(&journal.serialize()).expect("round-trip");
+            let resumed =
+                analyze_resume(&f, &mut MicroarchPlatform::new(f.clone()), &cfg, &journal).unwrap();
+            assert_eq!(resumed.model.weights, clean.model.weights, "kill={kill_at}");
+            assert_eq!(resumed.model.basis_means, clean.model.basis_means);
+            assert_eq!(resumed.model.samples_per_path, clean.model.samples_per_path);
+            assert_eq!(resumed.measurements, clean.measurements);
+            assert_eq!(resumed.smt_queries, clean.smt_queries);
+            let a = resumed.predict_wcet().unwrap();
+            let b = clean.predict_wcet().unwrap();
+            assert_eq!(a.predicted_cycles, b.predicted_cycles);
+            assert_eq!(a.test.args, b.test.args);
+        }
+    }
+
+    #[test]
+    fn tampered_measurement_journal_is_rejected() {
+        let f = programs::modexp();
+        let cfg = config(60);
+        let (_, journal) =
+            analyze_journaled(&f, &mut MicroarchPlatform::new(f.clone()), &cfg, Some(20)).unwrap();
+        // Rewrite a completed trial to a basis index the schedule never
+        // drew there: resume must refuse to fit from forged history.
+        let mut forged = journal.clone();
+        let (k, cycles) = forged.completed[5];
+        forged.completed[5] = (k + 1, cycles);
+        let err =
+            analyze_resume(&f, &mut MicroarchPlatform::new(f.clone()), &cfg, &forged).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GameTimeError::Journal(JournalError::Divergence { at: 5, .. })
+            ),
+            "{err}"
+        );
+        // A journal from a different seed is refused outright.
+        let other = GameTimeConfig { seed: 8, ..cfg };
+        let err = analyze_resume(&f, &mut MicroarchPlatform::new(f.clone()), &other, &journal)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GameTimeError::Journal(JournalError::Mismatch { field: "seed" })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn resume_charges_only_the_remaining_trials() {
+        let f = programs::modexp();
+        let cfg = config(60);
+        let (_, journal) =
+            analyze_journaled(&f, &mut MicroarchPlatform::new(f.clone()), &cfg, Some(50)).unwrap();
+        // 10 trials remain; a 10-step budget suffices for the resume even
+        // though the full schedule needed 60.
+        let starved = GameTimeConfig {
+            budget: Budget::with_steps(10),
+            ..cfg
+        };
+        let resumed = analyze_resume(
+            &f,
+            &mut MicroarchPlatform::new(f.clone()),
+            &starved,
+            &journal,
+        )
+        .unwrap();
+        assert_eq!(resumed.measurements, 60);
     }
 
     #[test]

@@ -40,15 +40,17 @@
 
 mod analyze;
 mod instance;
+mod journal;
 mod model;
 mod platform;
 mod stats;
 
 pub use analyze::{
-    analyze, analyze_parallel, trials_for_confidence, GameTimeAnalysis, GameTimeConfig,
-    GameTimeError, TaAnswer, WcetPrediction,
+    analyze, analyze_journaled, analyze_parallel, analyze_resume, trials_for_confidence,
+    GameTimeAnalysis, GameTimeConfig, GameTimeError, TaAnswer, WcetPrediction,
 };
 pub use instance::{run_instance, GameTimeLearner, PathFeasibilityEngine};
+pub use journal::MeasurementJournal;
 pub use model::{TimingModel, WeightPerturbationModel};
 pub use platform::{
     empty_memory, measure_once, trace_of, LinearPlatform, MicroarchPlatform, Platform, StartState,

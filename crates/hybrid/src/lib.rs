@@ -62,6 +62,7 @@
 
 mod hyperbox;
 mod instance;
+mod journal;
 mod mds;
 mod ode;
 pub mod optimal;
@@ -71,6 +72,7 @@ pub mod transmission;
 
 pub use hyperbox::{find_seed, learn_hyperbox, Grid, HyperBox, LearnStats};
 pub use instance::{run_instance, HybridError, HyperboxGuards, HyperboxLearner, SimulationOracle};
+pub use journal::GuardSearchJournal;
 pub use mds::{
     reach_label, simulate_hybrid, simulate_hybrid_batch, simulate_hybrid_with_policy, Dynamics,
     HybridSample, Mds, Mode, ReachConfig, ReachVerdict, SafetyPredicate, SwitchPolicy,
@@ -78,5 +80,6 @@ pub use mds::{
 };
 pub use ode::{integrate, integrate_adaptive, rk4_step, rkf45_step, Trajectory, VectorField};
 pub use synthesis::{
-    par_validate_logic, synthesize_switching, validate_logic, SwitchSynthConfig, SwitchSynthesis,
+    par_validate_logic, synthesize_switching, synthesize_switching_journaled,
+    synthesize_switching_resume, validate_logic, SwitchSynthConfig, SwitchSynthesis,
 };

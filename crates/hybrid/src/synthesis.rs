@@ -7,9 +7,11 @@
 //! a smaller hyperbox from the resulting labeled states."
 
 use crate::hyperbox::{find_seed, learn_hyperbox, Grid, HyperBox};
+use crate::journal::GuardSearchJournal;
 use crate::mds::{reach_label, Mds, ReachConfig, ReachVerdict, SwitchingLogic};
 use sciduction::budget::{Budget, BudgetMeter, Exhausted};
 use sciduction::exec::{ExecError, ParallelOracle};
+use sciduction::recover::JournalError;
 use sciduction::ValidityEvidence;
 
 /// Configuration of the synthesis loop.
@@ -77,15 +79,139 @@ pub fn synthesize_switching(
     seeds: &[Option<Vec<f64>>],
     config: &SwitchSynthConfig,
 ) -> SwitchSynthesis {
-    assert_eq!(initial.guards.len(), mds.transitions.len());
+    let mut record = GuardSearchJournal::default();
+    synthesize_rounds(
+        mds,
+        initial,
+        seeds,
+        config,
+        0,
+        0,
+        BudgetMeter::new(config.budget),
+        None,
+        &mut record,
+    )
+    .expect("a run with no kill point always completes")
+}
+
+/// [`synthesize_switching`] with a checkpoint journal, plus an optional
+/// crash point for differential testing: `kill_at = Some(k)` aborts the
+/// run at the boundary *before* fixpoint round `k + 1`, returning `None`
+/// and a journal holding exactly `k` completed rounds. The journal is
+/// updated at every round boundary regardless, so callers can persist it
+/// incrementally and [`synthesize_switching_resume`] after a real crash.
+pub fn synthesize_switching_journaled(
+    mds: &Mds,
+    initial: SwitchingLogic,
+    seeds: &[Option<Vec<f64>>],
+    config: &SwitchSynthConfig,
+    kill_at: Option<usize>,
+) -> (Option<SwitchSynthesis>, GuardSearchJournal) {
+    let mut record = GuardSearchJournal::default();
+    let out = synthesize_rounds(
+        mds,
+        initial,
+        seeds,
+        config,
+        0,
+        0,
+        BudgetMeter::new(config.budget),
+        kill_at,
+        &mut record,
+    );
+    (out, record)
+}
+
+/// Resumes a guard search from a [`GuardSearchJournal`], reaching the
+/// bit-identical artifact an uninterrupted run would have produced: each
+/// fixpoint round is a pure function of the current guards and the
+/// configuration, the journal restores the guards by exact `f64` bit
+/// pattern, and the budget meter is restored from the journaled receipt
+/// so the resumed run keeps paying against the same account.
+///
+/// The initial overapproximation is not needed — the journaled guards
+/// (checkpointed at round 0) already carry it.
+///
+/// # Errors
+///
+/// [`JournalError::Mismatch`] when the journal was recorded under a
+/// different grid, budget, or system shape; [`JournalError::Divergence`]
+/// when its internal ledger is inconsistent (see
+/// [`GuardSearchJournal::check`]).
+pub fn synthesize_switching_resume(
+    mds: &Mds,
+    seeds: &[Option<Vec<f64>>],
+    config: &SwitchSynthConfig,
+    journal: &GuardSearchJournal,
+) -> Result<SwitchSynthesis, JournalError> {
+    journal.check()?;
+    if journal.grid != config.grid.precision.to_bits() {
+        return Err(JournalError::Mismatch { field: "grid" });
+    }
+    if journal.budget != config.budget {
+        return Err(JournalError::Mismatch { field: "budget" });
+    }
+    if journal.guards.len() != mds.transitions.len() {
+        return Err(JournalError::Mismatch {
+            field: "transition count",
+        });
+    }
+    if journal.rounds > config.max_rounds {
+        return Err(JournalError::Divergence {
+            at: journal.rounds,
+            detail: "more completed rounds than the configured maximum".into(),
+        });
+    }
+    let logic = SwitchingLogic {
+        guards: journal.decode_guards(),
+    };
+    if logic.guards.iter().any(|g| g.dim() != mds.dim) {
+        return Err(JournalError::Mismatch {
+            field: "state dimension",
+        });
+    }
+    let meter = BudgetMeter::from_receipt(&journal.receipt());
+    let mut record = GuardSearchJournal::default();
+    Ok(synthesize_rounds(
+        mds,
+        logic,
+        seeds,
+        config,
+        journal.rounds,
+        journal.oracle_queries,
+        meter,
+        None,
+        &mut record,
+    )
+    .expect("a run with no kill point always completes"))
+}
+
+/// The fixpoint loop itself, parameterized over restored state (for
+/// resume) and a kill point (for crash testing). Checkpoints `record` at
+/// every round boundary.
+#[allow(clippy::too_many_arguments)]
+fn synthesize_rounds(
+    mds: &Mds,
+    mut logic: SwitchingLogic,
+    seeds: &[Option<Vec<f64>>],
+    config: &SwitchSynthConfig,
+    mut rounds: usize,
+    mut queries: u64,
+    mut meter: BudgetMeter,
+    kill_at: Option<usize>,
+    record: &mut GuardSearchJournal,
+) -> Option<SwitchSynthesis> {
+    assert_eq!(logic.guards.len(), mds.transitions.len());
     assert_eq!(seeds.len(), mds.transitions.len());
-    let mut logic = initial;
-    let mut queries = 0u64;
-    let mut rounds = 0;
+    record.grid = config.grid.precision.to_bits();
+    record.budget = config.budget;
+    record.checkpoint(&logic.guards, rounds, queries, &meter.receipt());
     let mut converged = false;
-    let mut meter = BudgetMeter::new(config.budget);
     let mut exhausted = None;
     'rounds: while rounds < config.max_rounds {
+        if kill_at == Some(rounds) {
+            return None;
+        }
         // One step per fixpoint round; a refused charge ends synthesis
         // with the guards refined so far (learning only shrinks, so each
         // partial guard is still inside its initial overapproximation).
@@ -143,6 +269,7 @@ pub fn synthesize_switching(
                 break 'rounds;
             }
         }
+        record.checkpoint(&logic.guards, rounds, queries, &meter.receipt());
         if !changed {
             converged = true;
             break;
@@ -171,13 +298,13 @@ pub fn synthesize_switching(
             mds.transitions[t].name
         );
     }
-    SwitchSynthesis {
+    Some(SwitchSynthesis {
         logic,
         rounds,
         converged,
         oracle_queries: queries,
         exhausted,
-    }
+    })
 }
 
 /// A-posteriori validation of synthesized logic (paper Sec. 5.3: when the
@@ -490,6 +617,153 @@ mod tests {
         assert_eq!(a.rounds, u.rounds);
         assert_eq!(a.oracle_queries, u.oracle_queries);
         assert_eq!(a.logic.guards, u.logic.guards);
+    }
+
+    #[test]
+    fn killed_and_resumed_synthesis_reaches_the_identical_guards() {
+        let mds = thermostat();
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let seeds = vec![Some(vec![22.0]), Some(vec![22.0])];
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            ..SwitchSynthConfig::default()
+        };
+        let clean = synthesize_switching(&mds, initial.clone(), &seeds, &cfg);
+        assert!(clean.converged);
+        assert!(clean.rounds >= 2, "workload too easy: {}", clean.rounds);
+        let bits = |g: &HyperBox| -> Vec<(u64, u64)> {
+            g.lo.iter()
+                .zip(&g.hi)
+                .map(|(l, h)| (l.to_bits(), h.to_bits()))
+                .collect()
+        };
+        for k in 0..clean.rounds {
+            let (out, journal) =
+                synthesize_switching_journaled(&mds, initial.clone(), &seeds, &cfg, Some(k));
+            assert!(out.is_none(), "kill at {k} did not kill");
+            assert_eq!(journal.rounds, k);
+            // The journal survives its wire format.
+            let journal = GuardSearchJournal::parse(&journal.serialize()).expect("round trip");
+            let resumed =
+                synthesize_switching_resume(&mds, &seeds, &cfg, &journal).expect("resume");
+            assert_eq!(resumed.converged, clean.converged, "kill at {k}");
+            assert_eq!(resumed.rounds, clean.rounds, "kill at {k}");
+            assert_eq!(resumed.oracle_queries, clean.oracle_queries, "kill at {k}");
+            assert_eq!(resumed.exhausted, clean.exhausted, "kill at {k}");
+            for (r, c) in resumed.logic.guards.iter().zip(&clean.logic.guards) {
+                assert_eq!(bits(r), bits(c), "guard bits diverged after kill at {k}");
+            }
+        }
+        // A kill point past the fixpoint never fires.
+        let (out, _) = synthesize_switching_journaled(
+            &mds,
+            initial.clone(),
+            &seeds,
+            &cfg,
+            Some(clean.rounds + 1),
+        );
+        let full = out.expect("run past the fixpoint completes");
+        assert_eq!(full.rounds, clean.rounds);
+        assert_eq!(full.logic.guards, clean.logic.guards);
+    }
+
+    #[test]
+    fn resume_pays_against_the_journaled_budget_account() {
+        let mds = thermostat();
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let seeds = vec![Some(vec![22.0]), Some(vec![22.0])];
+        // Probe the fixpoint depth, then set a step budget one short of
+        // it so the clean run provably exhausts.
+        let probe_cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            budget: Budget::UNLIMITED,
+            ..SwitchSynthConfig::default()
+        };
+        let probe = synthesize_switching(&mds, initial.clone(), &seeds, &probe_cfg);
+        assert!(probe.converged && probe.rounds >= 2);
+        let starve = probe.rounds as u64 - 1;
+        let cfg = SwitchSynthConfig {
+            budget: Budget::with_steps(starve),
+            ..probe_cfg
+        };
+        let clean = synthesize_switching(&mds, initial.clone(), &seeds, &cfg);
+        assert_eq!(clean.rounds as u64, starve);
+        assert_eq!(
+            clean.exhausted,
+            Some(Exhausted::Steps {
+                limit: starve,
+                spent: starve
+            })
+        );
+        // Resume after one completed round: the restored meter has one
+        // step left, not a fresh budget of two.
+        let (out, journal) = synthesize_switching_journaled(&mds, initial, &seeds, &cfg, Some(1));
+        assert!(out.is_none());
+        let resumed = synthesize_switching_resume(&mds, &seeds, &cfg, &journal).expect("resume");
+        assert_eq!(resumed.rounds, clean.rounds);
+        assert_eq!(resumed.exhausted, clean.exhausted);
+        assert_eq!(resumed.oracle_queries, clean.oracle_queries);
+        assert_eq!(resumed.logic.guards, clean.logic.guards);
+    }
+
+    #[test]
+    fn tampered_journals_are_rejected_not_replayed() {
+        let mds = thermostat();
+        let initial = SwitchingLogic {
+            guards: vec![
+                HyperBox::new(vec![0.0], vec![50.0]),
+                HyperBox::new(vec![0.0], vec![50.0]),
+            ],
+        };
+        let seeds = vec![Some(vec![22.0]), Some(vec![22.0])];
+        let cfg = SwitchSynthConfig {
+            grid: Grid::new(0.1),
+            ..SwitchSynthConfig::default()
+        };
+        let (_, journal) = synthesize_switching_journaled(&mds, initial, &seeds, &cfg, Some(1));
+        // Claiming an extra round without paying for it skews the ledger.
+        let mut forged = journal.clone();
+        forged.rounds += 1;
+        assert!(matches!(
+            synthesize_switching_resume(&mds, &seeds, &cfg, &forged),
+            Err(JournalError::Divergence { .. })
+        ));
+        // A journal recorded under a different grid or budget is refused.
+        let coarse = SwitchSynthConfig {
+            grid: Grid::new(0.5),
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            synthesize_switching_resume(&mds, &seeds, &coarse, &journal),
+            Err(JournalError::Mismatch { field: "grid" })
+        ));
+        let capped = SwitchSynthConfig {
+            budget: Budget::with_fuel(10),
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            synthesize_switching_resume(&mds, &seeds, &capped, &journal),
+            Err(JournalError::Mismatch { field: "budget" })
+        ));
+        // A journal for a different system shape is refused.
+        let mut dropped = journal.clone();
+        dropped.guards.pop();
+        assert!(matches!(
+            synthesize_switching_resume(&mds, &seeds, &cfg, &dropped),
+            Err(JournalError::Mismatch {
+                field: "transition count"
+            })
+        ));
     }
 
     #[test]

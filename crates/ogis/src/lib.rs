@@ -49,12 +49,16 @@
 pub mod benchmarks;
 mod component;
 mod instance;
+mod journal;
 mod synth;
 
 pub use component::{ComponentLibrary, FnOracle, IoOracle, Op, SynthProgram};
 pub use instance::{run_instance, DistinguishingInputLearner, OgisError, SmtSynthesisEngine};
+pub use journal::CegisJournal;
 pub use synth::{
-    synthesize, synthesize_portfolio, synthesize_portfolio_with_faults, synthesize_with_cache,
-    verify_against_oracle, ParallelSynthesisConfig, ParallelSynthesisOutcome, SynthesisConfig,
-    SynthesisOutcome, SynthesisStats, VerificationResult,
+    synthesize, synthesize_journaled, synthesize_portfolio, synthesize_portfolio_supervised,
+    synthesize_portfolio_with_faults, synthesize_resume, synthesize_with_cache,
+    verify_against_oracle, ParallelSynthesisConfig, ParallelSynthesisOutcome,
+    SupervisedSynthesisOutcome, SynthesisConfig, SynthesisOutcome, SynthesisStats,
+    VerificationResult,
 };

@@ -11,8 +11,10 @@
 //! terminates."
 
 use crate::component::{ComponentLibrary, IoOracle, Op, SynthProgram};
+use crate::journal::CegisJournal;
 use sciduction::budget::{Budget, BudgetMeter, Exhausted, Verdict};
 use sciduction::exec::{CacheStats, ExecError, FaultKind, FaultPlan, Portfolio, StopFlag};
+use sciduction::recover::{retry_site, Attempt, EntrantLog, JournalError, RetryPolicy, Supervisor};
 use sciduction_rng::rngs::StdRng;
 use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
 use sciduction_smt::{BvValue, CheckResult, SmtQueryCache, Solver, TermId};
@@ -456,53 +458,215 @@ fn synthesize_run(
     cache: Option<Arc<SmtQueryCache>>,
     stop: Option<&StopFlag>,
 ) -> Option<(SynthesisOutcome, SynthesisStats)> {
+    let mut record = CegisJournal::default();
+    synthesize_core(library, oracle, config, cache, stop, &[], None, &mut record)
+        .expect("an empty replay tape cannot diverge")
+}
+
+/// [`synthesize`] with checkpoint journaling: the run records every
+/// accumulated example into the returned [`CegisJournal`], and — when
+/// `kill_at` is `Some(k)` — dies right before loop iteration `k` runs
+/// (modeling a crash mid-synthesis), returning `None` for the outcome
+/// and the journal checkpointed so far. Feed that journal to
+/// [`synthesize_resume`] to finish the run.
+pub fn synthesize_journaled(
+    library: &ComponentLibrary,
+    oracle: &mut dyn IoOracle,
+    config: &SynthesisConfig,
+    kill_at: Option<usize>,
+) -> (Option<(SynthesisOutcome, SynthesisStats)>, CegisJournal) {
+    let mut record = CegisJournal::default();
+    let outcome = synthesize_core(
+        library,
+        oracle,
+        config,
+        None,
+        None,
+        &[],
+        kill_at,
+        &mut record,
+    )
+    .expect("an empty replay tape cannot diverge");
+    (outcome, record)
+}
+
+/// Resumes a killed synthesis run from its [`CegisJournal`].
+///
+/// Resumption is *replay*: the loop re-runs from the start, consuming
+/// the journal's recorded oracle answers instead of querying `oracle`
+/// for the journaled prefix — while verifying that every replayed input
+/// (seed example or distinguishing input) is exactly what the journal
+/// recorded. The SMT side is a pure function of the example sequence, so
+/// a resumed run reaches the bit-identical artifact an uninterrupted run
+/// would have; any disagreement means the journal does not describe this
+/// `(library, config)` run and is rejected as [`JournalError::Divergence`]
+/// (the `REC001` condition).
+///
+/// # Errors
+///
+/// [`JournalError::Mismatch`] when the journal's configuration echo
+/// disagrees with `library`/`config`; [`JournalError::Divergence`] when
+/// replay contradicts the recorded history.
+pub fn synthesize_resume(
+    library: &ComponentLibrary,
+    oracle: &mut dyn IoOracle,
+    config: &SynthesisConfig,
+    journal: &CegisJournal,
+) -> Result<(SynthesisOutcome, SynthesisStats), JournalError> {
+    journal.check()?;
+    if journal.seed != config.seed {
+        return Err(JournalError::Mismatch { field: "seed" });
+    }
+    if journal.width != library.width {
+        return Err(JournalError::Mismatch { field: "width" });
+    }
+    if journal.num_inputs != library.num_inputs {
+        return Err(JournalError::Mismatch {
+            field: "input arity",
+        });
+    }
+    if journal.num_outputs != library.num_outputs {
+        return Err(JournalError::Mismatch {
+            field: "output arity",
+        });
+    }
+    if journal.initial_examples != config.initial_examples.max(1) {
+        return Err(JournalError::Mismatch {
+            field: "initial example count",
+        });
+    }
+    let mut record = CegisJournal::default();
+    let outcome = synthesize_core(
+        library,
+        oracle,
+        config,
+        None,
+        None,
+        &journal.examples,
+        None,
+        &mut record,
+    )?;
+    Ok(outcome.expect("a resume without a stop flag runs to an outcome"))
+}
+
+/// The journaling/replaying synthesis core. `tape` is the recorded
+/// example prefix to replay (empty for a fresh run); `kill_at` simulates
+/// a crash before that loop iteration; `record` receives the journal of
+/// everything this run accumulated.
+#[allow(clippy::too_many_arguments)]
+fn synthesize_core(
+    library: &ComponentLibrary,
+    oracle: &mut dyn IoOracle,
+    config: &SynthesisConfig,
+    cache: Option<Arc<SmtQueryCache>>,
+    stop: Option<&StopFlag>,
+    tape: &[(Vec<BvValue>, Vec<BvValue>)],
+    kill_at: Option<usize>,
+    record: &mut CegisJournal,
+) -> Result<Option<(SynthesisOutcome, SynthesisStats)>, JournalError> {
+    record.seed = config.seed;
+    record.width = library.width;
+    record.num_inputs = library.num_inputs;
+    record.num_outputs = library.num_outputs;
+    record.initial_examples = config.initial_examples.max(1);
+    record.iterations = 0;
+    record.examples.clear();
+    let mut cursor = 0usize;
+    // Consumes the next tape entry for the replayed input `inputs`, or
+    // queries the live oracle past the end of the tape. A tape entry
+    // whose input differs from the replayed one is the REC001 condition.
+    fn answer(
+        tape: &[(Vec<BvValue>, Vec<BvValue>)],
+        cursor: &mut usize,
+        oracle: &mut dyn IoOracle,
+        inputs: &[BvValue],
+        what: &str,
+    ) -> Result<Vec<BvValue>, JournalError> {
+        let outputs = match tape.get(*cursor) {
+            Some((recorded_in, recorded_out)) => {
+                if recorded_in != inputs {
+                    return Err(JournalError::Divergence {
+                        at: *cursor,
+                        detail: format!(
+                            "replayed {what} {inputs:?} differs from recorded {recorded_in:?}"
+                        ),
+                    });
+                }
+                recorded_out.clone()
+            }
+            None => oracle.query(inputs),
+        };
+        *cursor += 1;
+        Ok(outputs)
+    }
+
     let mut enc = Encoding::new(library, cache, config.budget);
     let mut rng = StdRng::seed_from_u64(config.seed);
     for _ in 0..config.initial_examples.max(1) {
         let inputs: Vec<BvValue> = (0..library.num_inputs)
             .map(|_| BvValue::new(rng.random(), library.width))
             .collect();
-        let outputs = oracle.query(&inputs);
+        let outputs = answer(tape, &mut cursor, oracle, &inputs, "seed example")?;
         enc.stats.oracle_queries += 1;
+        record.examples.push((inputs.clone(), outputs.clone()));
         enc.add_example(inputs, outputs);
     }
     for iteration in 1..=config.max_iterations {
+        if kill_at == Some(iteration) {
+            // The simulated crash: the journal holds everything up to
+            // (excluding) this iteration.
+            return Ok(None);
+        }
         if stop.is_some_and(|s| s.is_stopped()) {
-            return None;
+            return Ok(None);
         }
         match enc.find_candidate() {
             Err(cause) => {
                 let stats = enc.stats;
-                return Some((
+                return Ok(Some((
                     SynthesisOutcome::BudgetExhausted {
                         iterations: iteration - 1,
                         cause,
                     },
                     stats,
-                ));
+                )));
             }
             Ok(None) => {
+                if cursor < tape.len() {
+                    return Err(JournalError::Divergence {
+                        at: cursor,
+                        detail: "replay reached infeasibility with recorded examples left over"
+                            .into(),
+                    });
+                }
+                record.iterations = iteration;
                 let stats = enc.stats;
-                return Some((
+                return Ok(Some((
                     SynthesisOutcome::Infeasible {
                         iterations: iteration,
                         examples: enc.examples,
                     },
                     stats,
-                ));
+                )));
             }
             Ok(Some(candidate)) => match enc.find_distinguishing(&candidate) {
                 Err(cause) => {
                     let stats = enc.stats;
-                    return Some((
+                    return Ok(Some((
                         SynthesisOutcome::BudgetExhausted {
                             iterations: iteration - 1,
                             cause,
                         },
                         stats,
-                    ));
+                    )));
                 }
                 Ok(None) => {
+                    if cursor < tape.len() {
+                        return Err(JournalError::Divergence {
+                            at: cursor,
+                            detail: "replay converged with recorded examples left over".into(),
+                        });
+                    }
                     // Certificate check: the SMT encoding claims the decoded
                     // program reproduces every accumulated example; re-run
                     // the program concretely to confirm before handing it
@@ -515,27 +679,30 @@ fn synthesize_run(
                              with a recorded example (encoding or decode bug)"
                         );
                     }
+                    record.iterations = iteration;
                     let stats = enc.stats;
-                    return Some((
+                    return Ok(Some((
                         SynthesisOutcome::Synthesized {
                             program: candidate,
                             iterations: iteration,
                             examples: enc.examples,
                         },
                         stats,
-                    ));
+                    )));
                 }
                 Ok(Some(x)) => {
-                    let y = oracle.query(&x);
+                    let y = answer(tape, &mut cursor, oracle, &x, "distinguishing input")?;
                     enc.stats.oracle_queries += 1;
                     enc.stats.distinguishing_inputs += 1;
+                    record.examples.push((x.clone(), y.clone()));
+                    record.iterations = iteration;
                     enc.add_example(x, y);
                 }
             },
         }
     }
     let stats = enc.stats;
-    Some((
+    Ok(Some((
         SynthesisOutcome::BudgetExhausted {
             iterations: config.max_iterations,
             cause: Exhausted::Steps {
@@ -544,7 +711,7 @@ fn synthesize_run(
             },
         },
         stats,
-    ))
+    )))
 }
 
 /// Parallel-synthesis parameters.
@@ -769,6 +936,139 @@ where
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The outcome of a *supervised* synthesis race: like
+/// [`ParallelSynthesisOutcome`], plus the per-member supervision logs
+/// the `REC` lints audit.
+#[derive(Clone, Debug)]
+pub struct SupervisedSynthesisOutcome {
+    /// The winning member's outcome; when no member answered, a
+    /// [`SynthesisOutcome::BudgetExhausted`] with the race's parked cause.
+    pub outcome: SynthesisOutcome,
+    /// The winning member's counters.
+    pub stats: SynthesisStats,
+    /// Index of the winning member; `None` when no member answered.
+    pub winner: Option<usize>,
+    /// Shared SMT query cache counters at the end of the race.
+    pub cache: CacheStats,
+    /// Per-member supervision logs, indexed like the members.
+    pub logs: Vec<Option<EntrantLog>>,
+    /// The retry policy the race ran under.
+    pub policy: RetryPolicy,
+}
+
+/// [`synthesize_portfolio_with_faults`] under supervision: every member
+/// runs inside `catch_unwind` with deterministic retry and a circuit
+/// breaker, and injected faults (worker death, spurious cancellation,
+/// forged budget exhaustion) are re-rolled per attempt at fresh
+/// [`retry_site`]s — so under any fault seed a supervised race with
+/// remaining budget completes with the clean outcome. Honest budget
+/// exhaustion is never retried. Each attempt restarts its member's loop
+/// from scratch (sharing the SMT query cache, so repeated work is
+/// mostly hits).
+pub fn synthesize_portfolio_supervised<O, F>(
+    library: &ComponentLibrary,
+    make_oracle: F,
+    config: &SynthesisConfig,
+    par: &ParallelSynthesisConfig,
+    policy: RetryPolicy,
+    plan: Option<Arc<FaultPlan>>,
+) -> SupervisedSynthesisOutcome
+where
+    O: IoOracle,
+    F: Fn(usize) -> O + Sync,
+{
+    let members = par.members.max(1);
+    let mut cache = if par.cache_capacity == 0 {
+        SmtQueryCache::new()
+    } else {
+        SmtQueryCache::bounded(par.cache_capacity)
+    };
+    if let Some(p) = plan.as_ref() {
+        cache = cache.with_fault_plan(Arc::clone(p));
+    }
+    let cache = Arc::new(cache);
+    let plan_seed = plan.as_ref().map(|p| p.seed());
+
+    let parent = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+    let entrants: Vec<_> = (0..members)
+        .map(|i| {
+            let member_config = if i == 0 {
+                *config
+            } else {
+                let mut stream = parent.fork(i as u64);
+                SynthesisConfig {
+                    seed: stream.random(),
+                    ..*config
+                }
+            };
+            let cache = Arc::clone(&cache);
+            let make_oracle = &make_oracle;
+            let plan = plan.clone();
+            move |stop: &StopFlag, attempt: u32| {
+                // Per-attempt budget-exhaustion injection: a retry
+                // re-rolls the decision at its own site.
+                let site = retry_site(i as u64, attempt);
+                if let Some(p) = plan.as_deref() {
+                    if p.fires(FaultKind::BudgetExhaustion, site) {
+                        return Attempt::Faulted(Exhausted::Injected {
+                            seed: plan_seed.expect("injection implies a plan"),
+                            kind: FaultKind::BudgetExhaustion,
+                            site,
+                        });
+                    }
+                }
+                let mut oracle = make_oracle(i);
+                match synthesize_run(
+                    library,
+                    &mut oracle,
+                    &member_config,
+                    Some(Arc::clone(&cache)),
+                    Some(stop),
+                ) {
+                    Some((SynthesisOutcome::BudgetExhausted { cause, .. }, _)) => {
+                        // Honest exhaustion: must lose the race and must
+                        // not be retried.
+                        Attempt::GaveUp(Some(cause))
+                    }
+                    Some(answer) => Attempt::Answer(answer),
+                    None => Attempt::GaveUp(None),
+                }
+            }
+        })
+        .collect();
+
+    let mut supervisor = Supervisor::new(par.threads, policy);
+    if let Some(p) = plan.as_ref() {
+        supervisor = supervisor.with_fault_plan(Arc::clone(p));
+    }
+    let race = supervisor.race(entrants);
+    let cause = race.verdict_cause();
+    match race.win {
+        Some(win) => {
+            let (outcome, stats) = win.value;
+            SupervisedSynthesisOutcome {
+                outcome,
+                stats,
+                winner: Some(win.winner),
+                cache: cache.stats(),
+                logs: race.logs,
+                policy: race.policy,
+            }
+        }
+        None => SupervisedSynthesisOutcome {
+            outcome: SynthesisOutcome::BudgetExhausted {
+                iterations: 0,
+                cause: cause.unwrap_or(Exhausted::Cancelled),
+            },
+            stats: SynthesisStats::default(),
+            winner: None,
+            cache: cache.stats(),
+            logs: race.logs,
+            policy: race.policy,
+        },
+    }
 }
 
 /// Post-hoc check of the synthesized program against the oracle — the
@@ -1079,6 +1379,138 @@ mod tests {
                 "threads={threads}: {:?}",
                 out.outcome
             );
+        }
+    }
+
+    #[test]
+    fn killed_and_resumed_synthesis_reaches_the_identical_artifact() {
+        let lib = ComponentLibrary::new(vec![Op::Xor, Op::Xor, Op::Xor], 2, 2, 8);
+        let config = SynthesisConfig::default();
+        let swap = || FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
+        let (clean, clean_stats) = synthesize(&lib, &mut swap(), &config);
+        let SynthesisOutcome::Synthesized {
+            program: clean_program,
+            iterations: clean_iterations,
+            examples: clean_examples,
+        } = clean
+        else {
+            panic!("swap must synthesize: {clean:?}");
+        };
+        for k in 1..=clean_iterations {
+            let (dead, journal) = synthesize_journaled(&lib, &mut swap(), &config, Some(k));
+            assert!(dead.is_none(), "kill at {k} must not produce an outcome");
+            assert_eq!(journal.iterations, k - 1);
+            // Round-trip the wire format, as a real process restart would.
+            let journal = CegisJournal::parse(&journal.serialize()).expect("wire round-trip");
+            let (resumed, stats) =
+                synthesize_resume(&lib, &mut swap(), &config, &journal).expect("honest journal");
+            let SynthesisOutcome::Synthesized {
+                program,
+                iterations,
+                examples,
+            } = resumed
+            else {
+                panic!("resume from {k} lost the answer");
+            };
+            assert_eq!(program.lines, clean_program.lines, "kill at {k}");
+            assert_eq!(program.outputs, clean_program.outputs, "kill at {k}");
+            assert_eq!(iterations, clean_iterations, "kill at {k}");
+            assert_eq!(examples, clean_examples, "kill at {k}");
+            assert_eq!(stats.smt_checks, clean_stats.smt_checks, "kill at {k}");
+            assert_eq!(stats.oracle_queries, clean_stats.oracle_queries);
+        }
+    }
+
+    #[test]
+    fn journaled_run_without_a_kill_matches_plain_synthesis() {
+        let lib = ComponentLibrary::new(vec![Op::Add], 1, 1, 8);
+        let config = SynthesisConfig::default();
+        let double = || FnOracle::new("double", |xs: &[BvValue]| vec![xs[0].add(xs[0])]);
+        let (plain, _) = synthesize(&lib, &mut double(), &config);
+        let (journaled, journal) = synthesize_journaled(&lib, &mut double(), &config, None);
+        let (journaled, _) = journaled.expect("no kill: runs to the outcome");
+        match (plain, journaled) {
+            (
+                SynthesisOutcome::Synthesized { program: a, .. },
+                SynthesisOutcome::Synthesized { program: b, .. },
+            ) => {
+                assert_eq!(a.lines, b.lines);
+                assert_eq!(a.outputs, b.outputs);
+            }
+            (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+        // The completed journal replays to the same artifact too.
+        assert!(journal.check().is_ok());
+        let (resumed, _) =
+            synthesize_resume(&lib, &mut double(), &config, &journal).expect("honest journal");
+        assert!(matches!(resumed, SynthesisOutcome::Synthesized { .. }));
+    }
+
+    #[test]
+    fn tampered_journal_is_rejected_not_replayed() {
+        let lib = ComponentLibrary::new(vec![Op::Xor, Op::Xor, Op::Xor], 2, 2, 8);
+        let config = SynthesisConfig::default();
+        let swap = || FnOracle::new("swap", |xs: &[BvValue]| vec![xs[1], xs[0]]);
+        let (_, journal) = synthesize_journaled(&lib, &mut swap(), &config, Some(2));
+        assert!(!journal.examples.is_empty());
+        // Flip a recorded input: replay must detect the divergence
+        // (REC001) instead of silently synthesizing from forged history.
+        let mut forged = journal.clone();
+        let old = forged.examples[0].0[0];
+        forged.examples[0].0[0] = BvValue::new(old.as_u64() ^ 1, old.width());
+        let err = synthesize_resume(&lib, &mut swap(), &config, &forged).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Divergence { at: 0, .. }),
+            "{err}"
+        );
+        // A journal from a different seed is refused outright.
+        let other_config = SynthesisConfig {
+            seed: config.seed + 1,
+            ..config
+        };
+        let err = synthesize_resume(&lib, &mut swap(), &other_config, &journal).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Mismatch { field: "seed" }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn supervised_portfolio_outlives_lethal_fault_plans() {
+        let lib = ComponentLibrary::new(vec![Op::Add], 1, 1, 8);
+        let config = SynthesisConfig::default();
+        for kind in [
+            FaultKind::WorkerDeath,
+            FaultKind::SpuriousCancel,
+            FaultKind::BudgetExhaustion,
+        ] {
+            for seed in 1..=2u64 {
+                for threads in [1, 4] {
+                    let par = ParallelSynthesisConfig {
+                        members: 4,
+                        threads,
+                        cache_capacity: 0,
+                    };
+                    let plan = Arc::new(FaultPlan::targeting(seed, kind));
+                    let out = synthesize_portfolio_supervised(
+                        &lib,
+                        |_i| FnOracle::new("double", |xs: &[BvValue]| vec![xs[0].add(xs[0])]),
+                        &config,
+                        &par,
+                        RetryPolicy::new(seed, 3),
+                        Some(plan),
+                    );
+                    let SynthesisOutcome::Synthesized { program, .. } = out.outcome else {
+                        panic!(
+                            "kind={kind:?} seed={seed} threads={threads}: {:?}",
+                            out.outcome
+                        );
+                    };
+                    for x in 0..=255u64 {
+                        assert_eq!(program.eval(&[bv(x, 8)])[0].as_u64(), (2 * x) & 0xFF);
+                    }
+                }
+            }
         }
     }
 

@@ -16,6 +16,7 @@
 use crate::{Cnf, Lit, SolveResult, Solver, SolverConfig, Var};
 use sciduction::budget::{Budget, Exhausted, Verdict};
 use sciduction::exec::{ExecError, FaultKind, FaultPlan, Portfolio, StopFlag};
+use sciduction::recover::{retry_site, Attempt, EntrantLog, RetryPolicy, Supervisor};
 use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
 use std::sync::{Arc, Mutex};
 
@@ -258,6 +259,126 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// The outcome of a *supervised* portfolio race: like
+/// [`PortfolioOutcome`], plus the per-member supervision logs the `REC`
+/// lints audit. Supervised members do not park their solvers — each
+/// attempt rebuilds a fresh one, which is what makes retrying sound.
+#[derive(Debug)]
+pub struct SupervisedPortfolioOutcome {
+    /// The three-valued verdict; `Unknown` only when every member failed
+    /// beyond recovery (honest exhaustion, or retries spent).
+    pub verdict: Verdict<SolveResult>,
+    /// Index of the winning member; `None` when no member answered.
+    pub winner: Option<usize>,
+    /// The winner's model (empty on UNSAT or `Unknown`).
+    pub model: Vec<bool>,
+    /// The winner's failed-assumption set (empty on SAT or `Unknown`).
+    pub failed_assumptions: Vec<Lit>,
+    /// Per-member supervision logs (retry charges, breaker history,
+    /// caught panics), indexed like the members.
+    pub logs: Vec<Option<EntrantLog>>,
+    /// The retry policy the race ran under.
+    pub policy: RetryPolicy,
+}
+
+/// [`solve_portfolio_with_faults`] under supervision: every member runs
+/// inside `catch_unwind` panic isolation with deterministic retry and a
+/// circuit breaker (see `sciduction::recover`).
+///
+/// Recovery contract: an *injected* fault (worker death, spurious
+/// cancellation, forged budget exhaustion) is retried at a fresh
+/// [`retry_site`], so under any fault seed the race completes with the
+/// clean verdict whenever budget remains. *Honest* exhaustion (the real
+/// budget binding) is not retried — the supervised verdict under a tight
+/// budget equals the unsupervised one. Each attempt rebuilds its solver
+/// from scratch, so a retried member searches exactly as an
+/// uninterrupted first attempt would.
+pub fn solve_portfolio_supervised(
+    cnf: &Cnf,
+    assumptions: &[Lit],
+    config: &PortfolioConfig,
+    policy: RetryPolicy,
+    plan: Option<Arc<FaultPlan>>,
+) -> SupervisedPortfolioOutcome {
+    let members = config.members.max(1);
+    let configs = diversified_configs(members, config.seed);
+    let entrants: Vec<_> = configs
+        .into_iter()
+        .enumerate()
+        .map(|(i, member_config)| {
+            let assumptions = assumptions.to_vec();
+            let budget = config.budget;
+            let plan = plan.clone();
+            move |stop: &StopFlag, attempt: u32| {
+                // Per-attempt budget-exhaustion injection: each retry
+                // re-rolls the decision at its own site, so an injected
+                // exhaustion costs a retry, not the answer.
+                let site = retry_site(i as u64, attempt);
+                if let Some(p) = plan.as_deref() {
+                    if p.fires(FaultKind::BudgetExhaustion, site) {
+                        return Attempt::Faulted(Exhausted::Injected {
+                            seed: p.seed(),
+                            kind: FaultKind::BudgetExhaustion,
+                            site,
+                        });
+                    }
+                }
+                // A fresh solver per attempt: retried members restart
+                // from a clean clause database.
+                let mut solver = Solver::with_config(member_config);
+                let vars: Vec<Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
+                for cl in &cnf.clauses {
+                    let lits: Vec<Lit> = cl
+                        .iter()
+                        .map(|&v| Lit::new(vars[(v.unsigned_abs() - 1) as usize], v < 0))
+                        .collect();
+                    solver.add_clause(lits);
+                }
+                solver.set_stop_flag(stop.handle());
+                match solver.solve_bounded_interruptible(&assumptions, &budget) {
+                    Some(Verdict::Known(r)) => {
+                        Attempt::Answer((r, solver.model(), solver.failed_assumptions().to_vec()))
+                    }
+                    // Honest exhaustion: the budget is genuinely spent,
+                    // retrying would only re-spend it.
+                    Some(Verdict::Unknown(cause)) => Attempt::GaveUp(Some(cause)),
+                    // Cancelled: lost the race (or an injected cancel,
+                    // which the supervisor converts to a retryable fault).
+                    None => Attempt::GaveUp(None),
+                }
+            }
+        })
+        .collect();
+
+    let mut supervisor = Supervisor::new(config.threads, policy);
+    if let Some(p) = plan.as_ref() {
+        supervisor = supervisor.with_fault_plan(Arc::clone(p));
+    }
+    let race = supervisor.race(entrants);
+    let cause = race.verdict_cause();
+    match race.win {
+        Some(win) => {
+            let (result, model, failed_assumptions) = win.value;
+            SupervisedPortfolioOutcome {
+                verdict: Verdict::Known(result),
+                winner: Some(win.winner),
+                model,
+                failed_assumptions,
+                logs: race.logs,
+                policy: race.policy,
+            }
+        }
+        None => SupervisedPortfolioOutcome {
+            verdict: Verdict::Unknown(cause.unwrap_or(Exhausted::Cancelled)),
+            winner: None,
+            model: Vec::new(),
+            failed_assumptions: Vec::new(),
+            logs: race.logs,
+            policy: race.policy,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +537,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn supervised_portfolio_outlives_lethal_fault_plans() {
+        use sciduction::recover::RetryPolicy;
+        // Plans that kill every member's first attempt turn the faulted
+        // portfolio Unknown; the supervised one retries at fresh sites
+        // and must still deliver the clean UNSAT verdict.
+        let cnf = pigeonhole(5, 4);
+        for kind in [
+            FaultKind::WorkerDeath,
+            FaultKind::SpuriousCancel,
+            FaultKind::BudgetExhaustion,
+        ] {
+            for seed in 1..=3u64 {
+                for threads in [1, 4] {
+                    let config = PortfolioConfig {
+                        threads,
+                        ..PortfolioConfig::default()
+                    };
+                    let plan = Arc::new(FaultPlan::targeting(seed, kind));
+                    let policy = RetryPolicy::new(seed, 3);
+                    let out = solve_portfolio_supervised(&cnf, &[], &config, policy, Some(plan));
+                    assert_eq!(
+                        out.verdict,
+                        Verdict::Known(SolveResult::Unsat),
+                        "kind={kind:?} seed={seed} threads={threads}"
+                    );
+                    assert!(out.winner.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_portfolio_parks_honest_exhaustion_without_retrying() {
+        use sciduction::recover::RetryPolicy;
+        // A one-conflict budget is honest exhaustion: supervision must
+        // report it (certified), not burn retries re-spending it.
+        let cnf = pigeonhole(5, 4);
+        let config = PortfolioConfig {
+            threads: 1,
+            budget: Budget::with_conflicts(1),
+            ..PortfolioConfig::default()
+        };
+        let out = solve_portfolio_supervised(&cnf, &[], &config, RetryPolicy::new(7, 3), None);
+        let cause = out
+            .verdict
+            .unknown_cause()
+            .expect("1 conflict cannot refute php(5,4)");
+        assert!(matches!(cause, Exhausted::Conflicts { limit: 1, .. }));
+        let log = out.logs[0].as_ref().expect("member 0 started");
+        assert_eq!(log.attempts, 1, "honest exhaustion must not retry");
+        assert!(log.retries.is_empty());
     }
 
     #[test]
