@@ -45,7 +45,26 @@ for retries in 1 3 5; do
     cargo test --release -p sciduction-suite --test recovery_vs_clean -q
 done
 
-echo "==> scilint (cross-layer artifact validation, incl. recovery suite)"
-cargo run --release -p sciduction-analysis --bin scilint
+echo "==> scilint (cross-layer artifact validation, incl. recovery+proof suites)"
+for threads in 1 4; do
+  echo "    SCIDUCTION_THREADS=$threads"
+  SCIDUCTION_THREADS=$threads \
+    cargo run --release -p sciduction-analysis --bin scilint
+done
+
+echo "==> proof certification: tier-1 workload proofs replayed by scicheck"
+for threads in 1 4; do
+  echo "    SCIDUCTION_THREADS=$threads"
+  SCIDUCTION_THREADS=$threads \
+    cargo test --release -p sciduction-suite --test proof_certification -q
+done
+SCIDUCTION_THREADS=4 cargo run --release -p sciduction-bench --bin solver_bench
+for cnf in target/proofs/*.cnf; do
+  cargo run --release -q -p sciduction-proof --bin scicheck -- \
+    "$cnf" "${cnf%.cnf}.drat"
+done
+for cert in target/proofs/*.scicert; do
+  cargo run --release -q -p sciduction-proof --bin scicheck -- --cert "$cert"
+done
 
 echo "CI OK"

@@ -6,6 +6,7 @@
 //! scilint            run every pass over every bundled instance
 //! scilint --codes    print the lint-code registry and exit
 //! scilint --verbose  also print warnings and per-suite progress
+//! scilint --json     emit every diagnostic as a JSON report on stdout
 //! ```
 
 use sciduction::exec::{FaultKind, FaultPlan, QueryCache};
@@ -13,8 +14,9 @@ use sciduction::recover::{RetryPolicy, DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER
 use sciduction::Verdict;
 use sciduction_analysis::passes::{
     audit_cache_stats, audit_cegis_journal, audit_entrant_log, audit_guard_journal,
-    audit_measurement_journal, BasisValidator, DagValidator, IrValidator, PortfolioValidator,
-    SatValidator, SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
+    audit_measurement_journal, audit_sat_proof, audit_smt_certificate, BasisValidator,
+    DagValidator, IrValidator, PortfolioValidator, SatValidator, SwitchingLogicValidator,
+    SynthProgramValidator, TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, unroll, BasisConfig, Dag, SmtOracle};
@@ -28,6 +30,7 @@ use sciduction_ogis::{
     benchmarks, synthesize, synthesize_journaled, ComponentLibrary, IoOracle, SynthesisConfig,
     SynthesisOutcome,
 };
+use sciduction_proof::SmtCertificate;
 use sciduction_sat::{
     solve_portfolio, solve_portfolio_supervised, Cnf, Lit, PortfolioConfig, SolveResult,
     Solver as SatSolver, Var,
@@ -388,21 +391,152 @@ fn lint_recovery(report: &mut Report) {
     audit_guard_journal(&journal, "recovery", report);
 }
 
+fn lint_proof(report: &mut Report) {
+    // SAT: a pigeonhole refutation raced by a proof-logging portfolio at
+    // the configured thread count; the winner's DRAT log must replay
+    // through the independent checker (PRF001–PRF003).
+    let (n, m) = (5usize, 4usize);
+    let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+    let mut clauses: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..m).map(|j| var(i, j)).collect())
+        .collect();
+    for i1 in 0..n {
+        for i2 in (i1 + 1)..n {
+            for j in 0..m {
+                clauses.push(vec![-var(i1, j), -var(i2, j)]);
+            }
+        }
+    }
+    let cnf = Cnf {
+        num_vars: n * m,
+        clauses,
+    };
+    let config = PortfolioConfig {
+        proof: true,
+        ..PortfolioConfig::default()
+    };
+    match solve_portfolio(&cnf, &[], &config) {
+        Ok(outcome) => {
+            if outcome.verdict != Verdict::Known(SolveResult::Unsat) {
+                report.error(
+                    codes::PRF001,
+                    "proof",
+                    "pigeonhole(5,4)",
+                    format!("expected certified UNSAT, got {:?}", outcome.verdict),
+                );
+            } else {
+                match (&outcome.proof, &outcome.proof_cnf) {
+                    (Some(proof), Some(pcnf)) => {
+                        audit_sat_proof(pcnf, proof, "pigeonhole(5,4)", "proof", report);
+                    }
+                    _ => report.error(
+                        codes::PRF002,
+                        "proof",
+                        "pigeonhole(5,4)",
+                        "certified UNSAT race produced no proof",
+                    ),
+                }
+            }
+        }
+        Err(e) => report.error(
+            codes::PRF001,
+            "proof",
+            "pigeonhole(5,4)",
+            format!("portfolio member panicked: {e}"),
+        ),
+    }
+
+    // SMT: a certifying solver refutes a contradictory bit-vector query;
+    // the end-to-end certificate (blasted CNF + assumption units +
+    // blasting map + proof) must replay through the checker, and its
+    // `scicert v1` text form must round-trip exactly (PRF004 guards the
+    // blasting map).
+    let mut smt = SmtSolver::certifying();
+    let (e1, e2);
+    {
+        let p = smt.terms_mut();
+        let x = p.var("x", 8);
+        let k3 = p.bv(3, 8);
+        let prod = p.bv_mul(x, k3);
+        let k5 = p.bv(5, 8);
+        let k9 = p.bv(9, 8);
+        e1 = p.eq(prod, k5);
+        e2 = p.eq(prod, k9);
+    }
+    smt.assert_term(e1);
+    smt.assert_term(e2);
+    if smt.check() != sciduction_smt::CheckResult::Unsat {
+        report.error(
+            codes::PRF001,
+            "proof",
+            "mul-contradiction",
+            "expected UNSAT from contradictory equations",
+        );
+        return;
+    }
+    match smt.unsat_certificate() {
+        Some(cert) => {
+            audit_smt_certificate(&cert, "mul-contradiction", "proof", report);
+            match SmtCertificate::parse(&cert.to_text()) {
+                Ok(reparsed) if reparsed == cert => {}
+                Ok(_) => report.error(
+                    codes::PRF004,
+                    "proof",
+                    "mul-contradiction",
+                    "scicert text round trip is lossy",
+                ),
+                Err(e) => report.error(
+                    codes::PRF001,
+                    "proof",
+                    "mul-contradiction",
+                    format!("scicert text does not re-parse: {e}"),
+                ),
+            }
+        }
+        None => report.error(
+            codes::PRF002,
+            "proof",
+            "mul-contradiction",
+            "certifying solver returned no certificate for a computed UNSAT",
+        ),
+    }
+}
+
+/// Minimal JSON string escaping for the `--json` report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args
-        .iter()
-        .find(|a| !matches!(a.as_str(), "--codes" | "--verbose" | "-v" | "--help" | "-h"))
-    {
+    if let Some(bad) = args.iter().find(|a| {
+        !matches!(
+            a.as_str(),
+            "--codes" | "--verbose" | "-v" | "--json" | "--help" | "-h"
+        )
+    }) {
         eprintln!("scilint: unknown argument '{bad}'");
-        eprintln!("usage: scilint [--codes] [--verbose|-v] [--help|-h]");
+        eprintln!("usage: scilint [--codes] [--verbose|-v] [--json] [--help|-h]");
         return ExitCode::FAILURE;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("scilint — cross-layer artifact validation over the bundled instances");
-        println!("usage: scilint [--codes] [--verbose|-v]");
+        println!("usage: scilint [--codes] [--verbose|-v] [--json]");
         println!("  --codes       print the lint-code registry and exit");
         println!("  --verbose/-v  print every diagnostic and per-suite counts");
+        println!("  --json        emit every diagnostic as a JSON report on stdout");
         println!("exits nonzero if any error-severity diagnostic is produced");
         return ExitCode::SUCCESS;
     }
@@ -420,9 +554,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let json = args.iter().any(|a| a == "--json");
 
     type Suite = (&'static str, fn(&mut Report));
-    let suites: [Suite; 8] = [
+    let suites: [Suite; 9] = [
         ("ir", lint_ir),
         ("cfg", lint_cfg),
         ("smt", lint_smt),
@@ -431,13 +566,14 @@ fn main() -> ExitCode {
         ("ogis", lint_ogis),
         ("hybrid", lint_hybrid),
         ("recovery", lint_recovery),
+        ("proof", lint_proof),
     ];
 
     let mut report = Report::new();
     for (name, run) in suites {
         let before = report.diagnostics().len();
         run(&mut report);
-        if verbose {
+        if verbose && !json {
             println!(
                 "suite {name:<7} {} diagnostic(s)",
                 report.diagnostics().len() - before
@@ -445,18 +581,48 @@ fn main() -> ExitCode {
         }
     }
 
-    for d in report.diagnostics() {
-        if d.severity == Severity::Error || verbose {
-            println!("{d}");
-        }
-    }
     let errors = report.count(Severity::Error);
-    println!(
-        "scilint: {} error(s), {} warning(s) across {} suites",
-        errors,
-        report.count(Severity::Warning),
-        suites.len()
-    );
+    if json {
+        // Machine-readable report: every diagnostic, regardless of
+        // severity, as `{code, severity, layer, artifact, message}`.
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in report.diagnostics().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"code\": \"{}\", \"severity\": \"{}\", \"layer\": \"{}\", \
+                 \"artifact\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(d.code),
+                d.severity,
+                json_escape(d.pass),
+                json_escape(&d.location),
+                json_escape(&d.message)
+            ));
+        }
+        if !report.diagnostics().is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"errors\": {},\n  \"warnings\": {},\n  \"suites\": {}\n}}",
+            errors,
+            report.count(Severity::Warning),
+            suites.len()
+        ));
+        println!("{out}");
+    } else {
+        for d in report.diagnostics() {
+            if d.severity == Severity::Error || verbose {
+                println!("{d}");
+            }
+        }
+        println!(
+            "scilint: {} error(s), {} warning(s) across {} suites",
+            errors,
+            report.count(Severity::Warning),
+            suites.len()
+        );
+    }
     if errors > 0 {
         ExitCode::FAILURE
     } else {

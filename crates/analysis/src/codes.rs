@@ -113,6 +113,19 @@ pub const FLT001: &str = "FLT001";
 /// degrade Known to Unknown, never change a Known answer).
 pub const FLT002: &str = "FLT002";
 
+/// A claimed refutation fails DRAT replay: a step is not RUP, or the
+/// proof/CNF text is malformed.
+pub const PRF001: &str = "PRF001";
+/// A claimed refutation never derives the empty clause (truncated or
+/// dropped final step).
+pub const PRF002: &str = "PRF002";
+/// A proof deletes a clause that is not in the live database (forged
+/// deletion).
+pub const PRF003: &str = "PRF003";
+/// An SMT certificate's blasting map or assumption set is inconsistent
+/// with its CNF (stale or tampered map).
+pub const PRF004: &str = "PRF004";
+
 /// A checkpoint journal diverges from its run: structural
 /// self-consistency fails, the wire format does not round-trip, or a
 /// replayed prefix disagrees with what the journal recorded.
@@ -203,6 +216,22 @@ pub const ALL: &[(&str, &str)] = &[
     (
         FLT002,
         "faulted verdict flips a clean verdict (must be identical or unknown)",
+    ),
+    (
+        PRF001,
+        "refutation fails DRAT replay (non-RUP step or malformed proof)",
+    ),
+    (
+        PRF002,
+        "refutation never derives the empty clause (truncated proof)",
+    ),
+    (
+        PRF003,
+        "proof deletes a clause that is not live (forged deletion)",
+    ),
+    (
+        PRF004,
+        "certificate blasting map inconsistent with its CNF (stale map)",
     ),
     (
         REC001,

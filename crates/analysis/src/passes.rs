@@ -14,6 +14,9 @@ use sciduction_gametime::MeasurementJournal;
 use sciduction_hybrid::{GuardSearchJournal, HyperBox, HyperboxGuards, Mds, SwitchingLogic};
 use sciduction_ir::{Function, Operand, Terminator};
 use sciduction_ogis::{CegisJournal, ComponentLibrary, SynthProgram};
+use sciduction_proof::{
+    check_certificate, check_drat, CheckError, CnfFormula, Proof, SmtCertificate,
+};
 use sciduction_sat::{Cnf, Lit, PortfolioOutcome, SolveResult, Solver as SatSolver};
 use sciduction_smt::{BvValue, Sort, Term, TermPool};
 use std::collections::HashMap;
@@ -1142,6 +1145,51 @@ pub fn audit_guard_journal(journal: &GuardSearchJournal, pass: &'static str, rep
         pass,
         report,
     );
+}
+
+// ---------------------------------------------------------------------------
+// Proof certification (PRF001–PRF004)
+// ---------------------------------------------------------------------------
+
+/// Maps a proof-checker rejection to its stable lint code.
+fn proof_error_code(e: &CheckError) -> &'static str {
+    match e {
+        CheckError::NoEmptyClause => codes::PRF002,
+        CheckError::ForgedDeletion { .. } => codes::PRF003,
+        CheckError::BlastingMap(_) => codes::PRF004,
+        CheckError::Dimacs(_) | CheckError::Malformed { .. } | CheckError::NotRup { .. } => {
+            codes::PRF001
+        }
+    }
+}
+
+/// Replays a claimed SAT refutation through the independent forward
+/// RUP/DRAT checker (`PRF001`–`PRF003`). `location` names the instance the
+/// proof claims to refute.
+pub fn audit_sat_proof(
+    cnf: &CnfFormula,
+    proof: &Proof,
+    location: &str,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    if let Err(e) = check_drat(cnf, proof) {
+        report.error(proof_error_code(&e), pass, location, e.to_string());
+    }
+}
+
+/// Replays an end-to-end SMT `unsat` certificate — blasting-map
+/// validation, assumption units, DRAT replay — through the independent
+/// checker (`PRF001`–`PRF004`).
+pub fn audit_smt_certificate(
+    cert: &SmtCertificate,
+    location: &str,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    if let Err(e) = check_certificate(cert) {
+        report.error(proof_error_code(&e), pass, location, e.to_string());
+    }
 }
 
 fn audit_round_trip<J, E>(

@@ -12,9 +12,9 @@ use sciduction::{Budget, BudgetReceipt, Exhausted, Verdict};
 use sciduction_analysis::passes::{
     audit_breaker_log, audit_budget_receipt, audit_cache_stats, audit_cegis_journal, audit_clauses,
     audit_edge_graph, audit_entrant_log, audit_fault_plan, audit_fault_verdicts,
-    audit_guard_journal, audit_measurement_journal, audit_retry_schedule, certify_model,
-    BasisValidator, DagValidator, IrValidator, PortfolioValidator, SwitchingLogicValidator,
-    SynthProgramValidator, TermPoolValidator,
+    audit_guard_journal, audit_measurement_journal, audit_retry_schedule, audit_sat_proof,
+    audit_smt_certificate, certify_model, BasisValidator, DagValidator, IrValidator,
+    PortfolioValidator, SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, BasisConfig, Dag, SmtOracle};
@@ -24,8 +24,9 @@ use sciduction_hybrid::{
 };
 use sciduction_ir::{programs, BinOp, Block, BlockId, Function, Instr, Operand, Reg, Terminator};
 use sciduction_ogis::{CegisJournal, ComponentLibrary, Op, SynthProgram};
+use sciduction_proof::{CnfFormula, Proof, ProofStep, SmtCertificate};
 use sciduction_sat::{solve_portfolio, Cnf, Lit, PortfolioConfig, SolveResult, Var};
-use sciduction_smt::{BvValue, Sort, Term, TermId, TermPool};
+use sciduction_smt::{BvValue, CheckResult, Solver as SmtSolver, Sort, Term, TermId, TermPool};
 use std::sync::Arc;
 
 fn lit(i: usize, neg: bool) -> Lit {
@@ -1084,7 +1085,137 @@ fn bud002_faulted_cause_needs_no_receipt() {
         model: Vec::new(),
         failed_assumptions: Vec::new(),
         solvers: Vec::new(),
+        proof: None,
+        proof_cnf: None,
     };
     let r = PortfolioValidator::new(&cnf, &[], &outcome).run();
     assert!(!r.has_errors(), "{r}");
+}
+
+// -------------------------------------------------------------------------
+// Proof certification (PRF)
+// -------------------------------------------------------------------------
+
+/// A pigeonhole refutation produced by a proof-logging portfolio race: the
+/// canonical well-formed (CNF, proof) pair to corrupt from.
+fn certified_refutation() -> (CnfFormula, Proof) {
+    let (n, m) = (4usize, 3usize);
+    let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+    let mut clauses: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..m).map(|j| var(i, j)).collect())
+        .collect();
+    for i1 in 0..n {
+        for i2 in (i1 + 1)..n {
+            for j in 0..m {
+                clauses.push(vec![-var(i1, j), -var(i2, j)]);
+            }
+        }
+    }
+    let cnf = Cnf {
+        num_vars: n * m,
+        clauses,
+    };
+    let config = PortfolioConfig {
+        threads: 1,
+        proof: true,
+        ..PortfolioConfig::default()
+    };
+    let out = solve_portfolio(&cnf, &[], &config).expect("no member panics");
+    assert_eq!(out.verdict, Verdict::Known(SolveResult::Unsat));
+    (out.proof_cnf.unwrap(), out.proof.unwrap())
+}
+
+/// A contradictory bit-vector query refuted by a certifying SMT solver:
+/// the canonical well-formed certificate to corrupt from.
+fn certified_smt_refutation() -> SmtCertificate {
+    let mut s = SmtSolver::certifying();
+    let (e1, e2);
+    {
+        let p = s.terms_mut();
+        let x = p.var("x", 8);
+        let k3 = p.bv(3, 8);
+        let prod = p.bv_mul(x, k3);
+        let k5 = p.bv(5, 8);
+        let k9 = p.bv(9, 8);
+        e1 = p.eq(prod, k5);
+        e2 = p.eq(prod, k9);
+    }
+    s.assert_term(e1);
+    s.assert_term(e2);
+    assert_eq!(s.check(), CheckResult::Unsat);
+    s.unsat_certificate().expect("computed unsat must certify")
+}
+
+#[test]
+fn prf_clean_negatives() {
+    let (cnf, proof) = certified_refutation();
+    let mut r = Report::new();
+    audit_sat_proof(&cnf, &proof, "pigeonhole(4,3)", "proof", &mut r);
+    assert!(r.is_clean(), "{r}");
+
+    let cert = certified_smt_refutation();
+    let mut r = Report::new();
+    audit_smt_certificate(&cert, "mul-contradiction", "proof", &mut r);
+    assert!(r.is_clean(), "{r}");
+}
+
+#[test]
+fn prf002_dropped_final_step() {
+    // Dropping the terminal empty-clause addition leaves every remaining
+    // step RUP-valid but the refutation incomplete.
+    let (cnf, mut proof) = certified_refutation();
+    assert!(proof.steps.pop().unwrap().lits().is_empty());
+    let mut r = Report::new();
+    audit_sat_proof(&cnf, &proof, "pigeonhole(4,3)", "proof", &mut r);
+    assert!(r.has_code(codes::PRF002), "{r}");
+    assert!(!r.has_code(codes::PRF001), "{r}");
+}
+
+#[test]
+fn prf001_permuted_steps() {
+    // Moving the empty clause to the front asserts a refutation before any
+    // supporting lemma exists: the very first step fails its RUP check.
+    let (cnf, mut proof) = certified_refutation();
+    let last = proof.steps.pop().unwrap();
+    proof.steps.insert(0, last);
+    let mut r = Report::new();
+    audit_sat_proof(&cnf, &proof, "pigeonhole(4,3)", "proof", &mut r);
+    assert!(r.has_code(codes::PRF001), "{r}");
+}
+
+#[test]
+fn prf003_forged_deletion() {
+    // Deleting a clause that is neither an original nor a prior addition
+    // is a forgery, caught even though deletions never weaken a proof.
+    let (cnf, mut proof) = certified_refutation();
+    proof
+        .steps
+        .insert(0, ProofStep::Delete(vec![1, -2, 3, -4, 5]));
+    let mut r = Report::new();
+    audit_sat_proof(&cnf, &proof, "pigeonhole(4,3)", "proof", &mut r);
+    assert!(r.has_code(codes::PRF003), "{r}");
+}
+
+#[test]
+fn prf004_stale_blasting_map() {
+    // A blasting-map entry pointing outside the CNF's variable range means
+    // the map belongs to a different (older or newer) blasted formula.
+    let cert = certified_smt_refutation();
+    assert!(!cert.blasting.is_empty());
+
+    let mut stale = cert.clone();
+    let n = stale.cnf.num_vars as i64;
+    stale.blasting[0].lits[0] = n + 7;
+    let mut r = Report::new();
+    audit_smt_certificate(&stale, "mul-contradiction", "proof", &mut r);
+    assert!(r.has_code(codes::PRF004), "{r}");
+
+    // A duplicated entry is equally stale: two generations of the same
+    // variable cannot both be current.
+    let mut dup = cert.clone();
+    let entry = dup.blasting[0].clone();
+    dup.blasting.push(entry);
+    let mut r = Report::new();
+    audit_smt_certificate(&dup, "mul-contradiction", "proof", &mut r);
+    assert!(r.has_code(codes::PRF004), "{r}");
 }

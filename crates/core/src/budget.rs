@@ -283,6 +283,19 @@ impl<T> Verdict<T> {
     }
 }
 
+/// The one canonical rendering of a three-valued answer, shared by every
+/// layer (SAT, SMT, OGIS, GameTime): the definite answer's own display,
+/// or `unknown: <cause>` with the certified exhaustion cause — never a
+/// bare `unknown` that hides *why* the engine stopped.
+impl<T: fmt::Display> fmt::Display for Verdict<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Known(t) => write!(f, "{t}"),
+            Verdict::Unknown(cause) => write!(f, "unknown: {cause}"),
+        }
+    }
+}
+
 /// The accountant an engine threads through its inner loop.
 ///
 /// Charge semantics: a charge that would cross its limit is refused —
@@ -636,6 +649,25 @@ mod tests {
         assert!(!unknown.is_known());
         assert_eq!(unknown.map(|n| n * 2), Verdict::Unknown(cause));
         assert_eq!(unknown.unknown_cause(), Some(cause));
+    }
+
+    #[test]
+    fn verdict_display_always_carries_the_cause() {
+        let known: Verdict<&str> = Verdict::Known("unsat");
+        assert_eq!(format!("{known}"), "unsat");
+        let unknown: Verdict<&str> = Verdict::Unknown(Exhausted::Fuel {
+            limit: 10,
+            spent: 10,
+        });
+        assert_eq!(
+            format!("{unknown}"),
+            "unknown: fuel budget exhausted (10/10)"
+        );
+        let cancelled: Verdict<&str> = Verdict::Unknown(Exhausted::Cancelled);
+        assert_eq!(
+            format!("{cancelled}"),
+            "unknown: cancelled before answering"
+        );
     }
 
     #[test]

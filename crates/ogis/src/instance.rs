@@ -14,8 +14,9 @@ pub enum OgisError {
     /// The component library cannot express any program consistent with
     /// the oracle's answers.
     Infeasible,
-    /// The iteration budget ran out.
-    BudgetExhausted,
+    /// The resource budget ran out, with the cause certified by the meter
+    /// that refused the charge.
+    BudgetExhausted(sciduction::Exhausted),
 }
 
 impl fmt::Display for OgisError {
@@ -24,7 +25,9 @@ impl fmt::Display for OgisError {
             OgisError::Infeasible => {
                 write!(f, "component library insufficient (infeasibility reported)")
             }
-            OgisError::BudgetExhausted => write!(f, "iteration budget exhausted"),
+            OgisError::BudgetExhausted(cause) => {
+                write!(f, "synthesis budget exhausted: {cause}")
+            }
         }
     }
 }
@@ -81,7 +84,9 @@ impl<O: IoOracle> InductiveEngine<SmtSynthesisEngine> for DistinguishingInputLea
         match outcome {
             SynthesisOutcome::Synthesized { program, .. } => Ok(program),
             SynthesisOutcome::Infeasible { .. } => Err(OgisError::Infeasible),
-            SynthesisOutcome::BudgetExhausted { .. } => Err(OgisError::BudgetExhausted),
+            SynthesisOutcome::BudgetExhausted { cause, .. } => {
+                Err(OgisError::BudgetExhausted(cause))
+            }
         }
     }
 
@@ -162,5 +167,15 @@ mod tests {
         let oracle = FnOracle::new("mul3", |xs: &[BvValue]| vec![xs[0].mul(BvValue::new(3, 8))]);
         let err = run_instance(lib, oracle, SynthesisConfig::default());
         assert!(matches!(err, Err(OgisError::Infeasible)));
+    }
+
+    #[test]
+    fn exhaustion_error_displays_its_certified_cause() {
+        let cause = sciduction::Exhausted::Steps { limit: 3, spent: 3 };
+        let err = OgisError::BudgetExhausted(cause);
+        assert_eq!(
+            err.to_string(),
+            "synthesis budget exhausted: step budget exhausted (3/3)"
+        );
     }
 }

@@ -1,0 +1,117 @@
+//! `scicheck` — standalone validation of sciduction proof artifacts.
+//!
+//! Two modes:
+//!
+//! * `scicheck <formula.cnf> <proof.drat>` replays a DRAT proof of
+//!   unsatisfiability against a DIMACS formula.
+//! * `scicheck --cert <certificate.scicert>` checks a bit-blasted SMT
+//!   certificate end-to-end (blasting map, assumptions, proof).
+//!
+//! Prints `s VERIFIED` and exits 0 on acceptance; prints `s REJECTED` with a
+//! reason and exits 1 otherwise; exits 2 on usage or I/O errors. The binary
+//! builds with no dependency on the solver crates.
+
+use sciduction_proof::{check_certificate, check_drat, parse_dimacs, Proof, SmtCertificate};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: scicheck <formula.cnf> <proof.drat>
+       scicheck --cert <certificate.scicert>
+
+Validates sciduction proof artifacts with an independent forward RUP/DRAT
+checker. Exit status: 0 verified, 1 rejected, 2 usage or I/O error.
+
+options:
+  --cert FILE   check an SMT certificate (scicert v1) end-to-end
+  -q, --quiet   suppress the verdict line (exit status only)
+  -h, --help    show this help";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quiet = false;
+    let mut cert: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "-q" | "--quiet" => quiet = true,
+            "--cert" => match it.next() {
+                Some(f) => cert = Some(f),
+                None => {
+                    eprintln!("scicheck: --cert needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("scicheck: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let outcome = match (cert, positional.as_slice()) {
+        (Some(path), []) => check_cert_file(&path),
+        (None, [cnf, proof]) => check_drat_files(cnf, proof),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match outcome {
+        Ok(Ok(stats)) => {
+            if !quiet {
+                println!(
+                    "s VERIFIED ({} steps: {} additions, {} deletions; {} root propagations)",
+                    stats.steps, stats.additions, stats.deletions, stats.propagations
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Err(reason)) => {
+            if !quiet {
+                println!("s REJECTED");
+            }
+            eprintln!("scicheck: {reason}");
+            ExitCode::FAILURE
+        }
+        Err(io) => {
+            eprintln!("scicheck: {io}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+type Verdict = Result<sciduction_proof::CheckOutcome, String>;
+
+fn check_drat_files(cnf_path: &str, proof_path: &str) -> Result<Verdict, String> {
+    let cnf_text = read(cnf_path)?;
+    let proof_text = read(proof_path)?;
+    let cnf = match parse_dimacs(&cnf_text) {
+        Ok(c) => c,
+        Err(e) => return Ok(Err(format!("{cnf_path}: {e}"))),
+    };
+    let proof = match Proof::parse_drat(&proof_text) {
+        Ok(p) => p,
+        Err(e) => return Ok(Err(format!("{proof_path}: {e}"))),
+    };
+    Ok(check_drat(&cnf, &proof).map_err(|e| format!("{proof_path}: {e}")))
+}
+
+fn check_cert_file(path: &str) -> Result<Verdict, String> {
+    let text = read(path)?;
+    let cert = match SmtCertificate::parse(&text) {
+        Ok(c) => c,
+        Err(e) => return Ok(Err(format!("{path}: {e}"))),
+    };
+    Ok(check_certificate(&cert).map_err(|e| format!("{path}: {e}")))
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}

@@ -1,0 +1,314 @@
+//! End-to-end certificates for bit-blasted SMT `unsat` verdicts.
+//!
+//! An SMT refutation bottoms out in a SAT refutation of the blasted CNF under
+//! the assumption literals active at the failing check. The certificate
+//! bundles everything an independent checker needs:
+//!
+//! * the blasted CNF exactly as the solver received it (original clauses,
+//!   pre-simplification),
+//! * the assumption literals (scope activation literals plus the blasted
+//!   Boolean roots of the asserted terms),
+//! * the blasting map from SMT term names to SAT literals (so a reader can
+//!   relate the propositional refutation back to the word-level query), and
+//! * the DRAT proof.
+//!
+//! Checking re-derives nothing from the solver: the map is validated against
+//! the CNF header, assumption literals become unit clauses, and the proof is
+//! replayed by the forward RUP checker.
+
+use crate::checker::{check_drat, CheckError, CheckOutcome};
+use crate::dimacs::CnfFormula;
+use crate::format::Proof;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One entry of the blasting map: an SMT variable and the SAT literals that
+/// encode it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlastEntry {
+    /// The SMT-level variable name.
+    pub name: String,
+    /// Bit-vector width, or `None` for a Boolean variable.
+    pub width: Option<u32>,
+    /// The encoding literals, least-significant bit first (exactly one for a
+    /// Boolean).
+    pub lits: Vec<i64>,
+}
+
+/// A self-contained certificate for a bit-blasted `unsat`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SmtCertificate {
+    /// The blasted CNF.
+    pub cnf: CnfFormula,
+    /// Assumption literals active at the failing check.
+    pub assumptions: Vec<i64>,
+    /// The term-to-literal blasting map.
+    pub blasting: Vec<BlastEntry>,
+    /// The clausal proof of unsatisfiability.
+    pub proof: Proof,
+}
+
+impl SmtCertificate {
+    /// Serializes to the line-oriented `scicert v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("scicert v1\n");
+        for e in &self.blasting {
+            match e.width {
+                None => out.push_str(&format!("blast {} bool {}\n", e.name, e.lits[0])),
+                Some(w) => {
+                    out.push_str(&format!("blast {} bv {w}", e.name));
+                    for l in &e.lits {
+                        out.push_str(&format!(" {l}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        for a in &self.assumptions {
+            out.push_str(&format!("assume {a}\n"));
+        }
+        out.push_str(&self.cnf.to_dimacs());
+        out.push_str("proof\n");
+        out.push_str(&self.proof.to_drat());
+        out
+    }
+
+    /// Parses the `scicert v1` text format.
+    pub fn parse(text: &str) -> Result<SmtCertificate, CertParseError> {
+        let err = |line: usize, reason: String| CertParseError { line, reason };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l.trim() == "scicert v1" => {}
+            _ => return Err(err(1, "expected `scicert v1` magic line".into())),
+        }
+        let mut blasting = Vec::new();
+        let mut assumptions = Vec::new();
+        let mut cnf_text = String::new();
+        let mut proof_text = String::new();
+        let mut in_proof = false;
+        for (lineno, raw) in lines {
+            let line = raw.trim();
+            if in_proof {
+                proof_text.push_str(raw);
+                proof_text.push('\n');
+                continue;
+            }
+            if line == "proof" {
+                in_proof = true;
+            } else if let Some(rest) = line.strip_prefix("blast ") {
+                blasting.push(parse_blast(rest).map_err(|r| err(lineno + 1, r))?);
+            } else if let Some(rest) = line.strip_prefix("assume ") {
+                for tok in rest.split_whitespace() {
+                    let l: i64 = tok
+                        .parse()
+                        .map_err(|_| err(lineno + 1, format!("bad assumption literal `{tok}`")))?;
+                    assumptions.push(l);
+                }
+            } else {
+                cnf_text.push_str(raw);
+                cnf_text.push('\n');
+            }
+        }
+        if !in_proof {
+            return Err(err(0, "missing `proof` section".into()));
+        }
+        let cnf = crate::dimacs::parse_dimacs(&cnf_text)
+            .map_err(|e| err(0, format!("embedded CNF: {e}")))?;
+        let proof = Proof::parse_drat(&proof_text).map_err(|e| err(0, e.to_string()))?;
+        Ok(SmtCertificate {
+            cnf,
+            assumptions,
+            blasting,
+            proof,
+        })
+    }
+}
+
+fn parse_blast(rest: &str) -> Result<BlastEntry, String> {
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    if toks.len() < 3 {
+        return Err("blast entry needs `<name> <sort> <lits…>`".into());
+    }
+    let name = toks[0].to_string();
+    let lits: Result<Vec<i64>, _> = toks[2..].iter().map(|t| t.parse::<i64>()).collect();
+    let lits = lits.map_err(|_| "bad literal in blast entry".to_string())?;
+    match toks[1] {
+        "bool" => {
+            if lits.len() != 1 {
+                return Err(format!(
+                    "bool blast entry `{name}` must have exactly one literal"
+                ));
+            }
+            Ok(BlastEntry {
+                name,
+                width: None,
+                lits,
+            })
+        }
+        "bv" => {
+            let width: u32 = toks[2]
+                .parse()
+                .map_err(|_| "bad bit-vector width".to_string())?;
+            Ok(BlastEntry {
+                name,
+                width: Some(width),
+                lits: lits[1..].to_vec(),
+            })
+        }
+        other => Err(format!("unknown blast sort `{other}`")),
+    }
+}
+
+/// A syntax error in certificate text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CertParseError {
+    /// 1-based line number (0 when the error is not tied to a line).
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for CertParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "certificate: {}", self.reason)
+        } else {
+            write!(f, "certificate line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for CertParseError {}
+
+/// Checks an SMT certificate end-to-end: validates the blasting map against
+/// the CNF, turns the assumptions into unit clauses, and replays the proof.
+pub fn check_certificate(cert: &SmtCertificate) -> Result<CheckOutcome, CheckError> {
+    let n = cert.cnf.num_vars;
+    let mut seen = HashSet::new();
+    for e in &cert.blasting {
+        if !seen.insert(e.name.as_str()) {
+            return Err(CheckError::BlastingMap(format!(
+                "duplicate entry for variable `{}`",
+                e.name
+            )));
+        }
+        let expected = e.width.map_or(1, |w| w as usize);
+        if e.width == Some(0) || e.lits.len() != expected {
+            return Err(CheckError::BlastingMap(format!(
+                "variable `{}` declares width {} but has {} literals",
+                e.name,
+                e.width.map_or(1, |w| w as usize),
+                e.lits.len()
+            )));
+        }
+        for &l in &e.lits {
+            if l == 0 || l.unsigned_abs() as usize > n {
+                return Err(CheckError::BlastingMap(format!(
+                    "variable `{}` maps to literal {l}, outside the CNF's {n} variables",
+                    e.name
+                )));
+            }
+        }
+    }
+    for &a in &cert.assumptions {
+        if a == 0 || a.unsigned_abs() as usize > n {
+            return Err(CheckError::BlastingMap(format!(
+                "assumption literal {a} outside the CNF's {n} variables"
+            )));
+        }
+    }
+    let mut cnf = cert.cnf.clone();
+    for &a in &cert.assumptions {
+        cnf.clauses.push(vec![a]);
+    }
+    check_drat(&cnf, &cert.proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ProofStep;
+
+    fn sample() -> SmtCertificate {
+        // CNF: (¬1∨2) ∧ (¬2); assumption 1 makes it unsat by propagation.
+        SmtCertificate {
+            cnf: CnfFormula {
+                num_vars: 2,
+                clauses: vec![vec![-1, 2], vec![-2]],
+            },
+            assumptions: vec![1],
+            blasting: vec![
+                BlastEntry {
+                    name: "x".into(),
+                    width: None,
+                    lits: vec![1],
+                },
+                BlastEntry {
+                    name: "y".into(),
+                    width: Some(2),
+                    lits: vec![1, 2],
+                },
+            ],
+            proof: Proof {
+                steps: vec![ProofStep::Add(vec![-1]), ProofStep::Add(vec![])],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let cert = sample();
+        let parsed = SmtCertificate::parse(&cert.to_text()).unwrap();
+        assert_eq!(parsed, cert);
+    }
+
+    #[test]
+    fn checks_end_to_end() {
+        assert!(check_certificate(&sample()).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_blast_name() {
+        let mut cert = sample();
+        cert.blasting.push(BlastEntry {
+            name: "x".into(),
+            width: None,
+            lits: vec![2],
+        });
+        assert!(matches!(
+            check_certificate(&cert).unwrap_err(),
+            CheckError::BlastingMap(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_blast_literal() {
+        let mut cert = sample();
+        cert.blasting[0].lits = vec![9];
+        assert!(matches!(
+            check_certificate(&cert).unwrap_err(),
+            CheckError::BlastingMap(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let mut cert = sample();
+        cert.blasting[1].width = Some(3);
+        assert!(matches!(
+            check_certificate(&cert).unwrap_err(),
+            CheckError::BlastingMap(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(SmtCertificate::parse("nope\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_proof_section() {
+        let text = "scicert v1\np cnf 1 1\n1 0\n";
+        assert!(SmtCertificate::parse(text).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal, independent DIMACS CNF parser.
+//!
+//! The checker deliberately does **not** reuse `sciduction_sat::dimacs`: the
+//! trusted core must re-read the formula with its own eyes, so a parser bug
+//! in the solver stack cannot hide a bogus proof.
+
+use crate::checker::CheckError;
+
+/// A parsed CNF formula in DIMACS literal convention.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CnfFormula {
+    /// Declared number of variables (literals range over `1..=num_vars`).
+    pub num_vars: usize,
+    /// The clauses, each a list of non-zero DIMACS literals.
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl CnfFormula {
+    /// Serializes back to DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                out.push_str(&l.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+/// Parses DIMACS CNF text. Comment lines (`c …`) are skipped; a `p cnf V C`
+/// header is required; exactly `C` zero-terminated clauses must follow, with
+/// every literal in `1..=V` in absolute value.
+pub fn parse_dimacs(text: &str) -> Result<CnfFormula, CheckError> {
+    let bad = |msg: String| CheckError::Dimacs(msg);
+    let mut header: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<i64>> = Vec::new();
+    let mut current: Vec<i64> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            if header.is_some() {
+                return Err(bad(format!("line {}: duplicate header", lineno + 1)));
+            }
+            let mut toks = line.split_whitespace();
+            let (p, cnf) = (toks.next(), toks.next());
+            let vars = toks.next().and_then(|t| t.parse::<usize>().ok());
+            let num_clauses = toks.next().and_then(|t| t.parse::<usize>().ok());
+            match (p, cnf, vars, num_clauses, toks.next()) {
+                (Some("p"), Some("cnf"), Some(v), Some(c), None) => header = Some((v, c)),
+                _ => return Err(bad(format!("line {}: malformed header", lineno + 1))),
+            }
+            continue;
+        }
+        let (num_vars, _) =
+            header.ok_or_else(|| bad(format!("line {}: clause before header", lineno + 1)))?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| bad(format!("line {}: bad literal `{tok}`", lineno + 1)))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if v.unsigned_abs() as usize > num_vars {
+                    return Err(bad(format!(
+                        "line {}: literal {v} out of range (header declares {num_vars} vars)",
+                        lineno + 1
+                    )));
+                }
+                current.push(v);
+            }
+        }
+    }
+    let (num_vars, declared) = header.ok_or_else(|| bad("missing `p cnf` header".into()))?;
+    if !current.is_empty() {
+        return Err(bad("final clause not terminated by 0".into()));
+    }
+    if clauses.len() != declared {
+        return Err(bad(format!(
+            "header declares {declared} clauses but {} found",
+            clauses.len()
+        )));
+    }
+    Ok(CnfFormula { num_vars, clauses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses, vec![vec![1, -2], vec![3]]);
+        assert_eq!(parse_dimacs(&cnf.to_dimacs()).unwrap(), cnf);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse_dimacs("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        assert!(parse_dimacs("p cnf 2 1\n3 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_clause_count_mismatch() {
+        assert!(parse_dimacs("p cnf 2 2\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        assert!(parse_dimacs("p cnf 2 1\n1 2\n").is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! The DRAT-style clausal proof format.
+//!
+//! A proof is a sequence of clause *additions* (each must be RUP with respect
+//! to the clauses alive at that point) and clause *deletions* (each must name
+//! a clause actually alive). Literals use the DIMACS convention: variable `i`
+//! (1-based) positive is `i`, negated is `-i`; `0` terminates a clause.
+
+use std::fmt;
+
+/// One step of a clausal proof.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProofStep {
+    /// Add a clause (a learnt clause, a failed-assumption clause, or the
+    /// empty clause that certifies refutation).
+    Add(Vec<i64>),
+    /// Delete a clause previously alive in the clause database.
+    Delete(Vec<i64>),
+}
+
+impl ProofStep {
+    /// The literals of the step's clause.
+    pub fn lits(&self) -> &[i64] {
+        match self {
+            ProofStep::Add(c) | ProofStep::Delete(c) => c,
+        }
+    }
+
+    /// True if this step adds the empty clause.
+    pub fn is_empty_add(&self) -> bool {
+        matches!(self, ProofStep::Add(c) if c.is_empty())
+    }
+}
+
+/// A clausal proof: the ordered step list.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Proof {
+    /// The steps, in emission order.
+    pub steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// An empty proof.
+    pub fn new() -> Self {
+        Proof::default()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the proof has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Serializes to DRAT text: one step per line, additions as bare literal
+    /// lists, deletions prefixed with `d`, each terminated by `0`.
+    pub fn to_drat(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            match step {
+                ProofStep::Add(c) => push_clause_line(&mut out, "", c),
+                ProofStep::Delete(c) => push_clause_line(&mut out, "d ", c),
+            }
+        }
+        out
+    }
+
+    /// Parses DRAT text produced by [`Proof::to_drat`] (or any conventional
+    /// DRAT emitter). Lines starting with `c` are comments; blank lines are
+    /// skipped. A step may span multiple whitespace-separated tokens but must
+    /// end with `0` on the same line.
+    pub fn parse_drat(text: &str) -> Result<Proof, ProofParseError> {
+        let mut steps = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            let (delete, rest) = match line.strip_prefix('d') {
+                Some(rest) if rest.starts_with(char::is_whitespace) || rest.is_empty() => {
+                    (true, rest)
+                }
+                _ => (false, line),
+            };
+            let mut lits = Vec::new();
+            let mut terminated = false;
+            for tok in rest.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|_| ProofParseError {
+                    line: lineno + 1,
+                    reason: format!("bad literal token `{tok}`"),
+                })?;
+                if v == 0 {
+                    terminated = true;
+                    break;
+                }
+                lits.push(v);
+            }
+            if !terminated {
+                return Err(ProofParseError {
+                    line: lineno + 1,
+                    reason: "proof step not terminated by 0".into(),
+                });
+            }
+            steps.push(if delete {
+                ProofStep::Delete(lits)
+            } else {
+                ProofStep::Add(lits)
+            });
+        }
+        Ok(Proof { steps })
+    }
+}
+
+fn push_clause_line(out: &mut String, prefix: &str, lits: &[i64]) {
+    out.push_str(prefix);
+    for l in lits {
+        out.push_str(&l.to_string());
+        out.push(' ');
+    }
+    out.push_str("0\n");
+}
+
+/// A syntax error in DRAT proof text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProofParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ProofParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proof line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ProofParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drat_round_trip() {
+        let proof = Proof {
+            steps: vec![
+                ProofStep::Add(vec![1, -2, 3]),
+                ProofStep::Delete(vec![1, -2, 3]),
+                ProofStep::Add(vec![]),
+            ],
+        };
+        let text = proof.to_drat();
+        assert_eq!(text, "1 -2 3 0\nd 1 -2 3 0\n0\n");
+        assert_eq!(Proof::parse_drat(&text).unwrap(), proof);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let p = Proof::parse_drat("c hello\n\n1 0\nc bye\nd 1 0\n").unwrap();
+        assert_eq!(
+            p.steps,
+            vec![ProofStep::Add(vec![1]), ProofStep::Delete(vec![1])]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_step() {
+        let err = Proof::parse_drat("1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_token() {
+        assert!(Proof::parse_drat("1 x 0\n").is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Seeded mutation fuzzing of the proof checker: every original proof is
+//! accepted, every mutant is rejected — zero false accepts.
+//!
+//! Each mutant applies `k` random mutations drawn from classes that are
+//! *invalid by construction* (so rejection is guaranteed, not merely
+//! likely), against UNSAT-by-construction instances whose CNFs contain no
+//! unit clauses (so no literal is root-propagated before the proof
+//! replays — the precondition the mutation classes rely on):
+//!
+//! * **drop-empty** — remove the last empty-clause addition: the
+//!   refutation is never completed;
+//! * **forge-deletion** — insert a deletion of a clause that is neither an
+//!   original nor any addition of the (current, possibly already mutated)
+//!   proof;
+//! * **fresh-unit-front** — insert a unit addition at step 0: invalid only
+//!   for instances where no single literal propagates to a conflict (true
+//!   of pigeonhole, whose clauses never become unit under one assumption;
+//!   false of binary-clause XOR rings, so the class is gated per
+//!   instance);
+//! * **empty-to-front** — move the terminal empty clause to step 0: a
+//!   refutation asserted before its supporting lemmas fails its RUP
+//!   check.
+
+use sciduction_proof::{check_drat, CnfFormula, Proof, ProofStep};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_sat::{Lit, SolveResult, Solver, Var};
+use std::collections::HashSet;
+
+/// Pigeonhole principle PHP(n, m): n pigeons into m holes, UNSAT for
+/// n > m. Every clause has at least two literals.
+fn pigeonhole(n: usize, m: usize) -> CnfFormula {
+    let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+    let mut clauses: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..m).map(|j| var(i, j)).collect())
+        .collect();
+    for i1 in 0..n {
+        for i2 in (i1 + 1)..n {
+            for j in 0..m {
+                clauses.push(vec![-var(i1, j), -var(i2, j)]);
+            }
+        }
+    }
+    CnfFormula {
+        num_vars: n * m,
+        clauses,
+    }
+}
+
+/// An odd XOR cycle: x_i ⊕ x_{i+1} = 1 around a ring of odd length n.
+/// The constraints sum to n ≡ 1 (mod 2) but the left sides cancel, so the
+/// ring is UNSAT. Every clause has exactly two literals.
+fn xor_cycle(n: usize) -> CnfFormula {
+    assert!(n % 2 == 1);
+    let mut clauses = Vec::new();
+    for i in 0..n {
+        let a = (i + 1) as i64;
+        let b = ((i + 1) % n + 1) as i64;
+        clauses.push(vec![a, b]);
+        clauses.push(vec![-a, -b]);
+    }
+    CnfFormula {
+        num_vars: n,
+        clauses,
+    }
+}
+
+/// Solves `cnf` with proof logging on and returns the emitted refutation.
+fn refute(cnf: &CnfFormula) -> Proof {
+    let mut s = Solver::new();
+    s.enable_proof_logging();
+    let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+    for cl in &cnf.clauses {
+        let lits: Vec<Lit> = cl
+            .iter()
+            .map(|&v| Lit::new(vars[(v.unsigned_abs() - 1) as usize], v < 0))
+            .collect();
+        s.add_clause(lits);
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    s.unsat_proof().expect("unsat must carry a proof")
+}
+
+/// The sorted-deduped key identifying a clause for deletion matching.
+fn key(lits: &[i64]) -> Vec<i64> {
+    let mut k = lits.to_vec();
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+/// Applies one guaranteed-invalid mutation, chosen by `class`, to `proof`.
+/// Returns a short label for failure messages.
+fn mutate(cnf: &CnfFormula, proof: &mut Proof, class: u8, rng: &mut StdRng) -> &'static str {
+    match class % 4 {
+        0 => {
+            // drop-empty: remove the last empty-clause addition.
+            if let Some(pos) = proof.steps.iter().rposition(ProofStep::is_empty_add) {
+                proof.steps.remove(pos);
+            }
+            "drop-empty"
+        }
+        1 => {
+            // forge-deletion: a clause absent from originals and additions.
+            let mut live: HashSet<Vec<i64>> = cnf.clauses.iter().map(|c| key(c)).collect();
+            for s in &proof.steps {
+                if let ProofStep::Add(lits) = s {
+                    live.insert(key(lits));
+                }
+            }
+            let forged = loop {
+                let len = rng.random_range(2..=4usize);
+                let mut lits: Vec<i64> = (0..len)
+                    .map(|_| {
+                        let v = rng.random_range(1..=cnf.num_vars as i64);
+                        if rng.random_bool(0.5) {
+                            v
+                        } else {
+                            -v
+                        }
+                    })
+                    .collect();
+                lits.sort_unstable();
+                lits.dedup();
+                if lits.len() >= 2 && !live.contains(&lits) {
+                    break lits;
+                }
+            };
+            let pos = rng.random_range(0..=proof.steps.len());
+            proof.steps.insert(pos, ProofStep::Delete(forged));
+            "forge-deletion"
+        }
+        2 => {
+            // fresh-unit-front: no unit is RUP before any lemma exists.
+            let v = rng.random_range(1..=cnf.num_vars as i64);
+            let lit = if rng.random_bool(0.5) { v } else { -v };
+            proof.steps.insert(0, ProofStep::Add(vec![lit]));
+            "fresh-unit-front"
+        }
+        _ => {
+            // empty-to-front: refutation before its supporting lemmas.
+            if let Some(pos) = proof.steps.iter().rposition(ProofStep::is_empty_add) {
+                let step = proof.steps.remove(pos);
+                proof.steps.insert(0, step);
+            }
+            "empty-to-front"
+        }
+    }
+}
+
+#[test]
+fn originals_accepted_mutants_rejected() {
+    // The third flag marks instances where fresh-unit-front is guaranteed
+    // invalid (no single assumed literal propagates to a conflict). XOR
+    // rings fail that: the ring is UNSAT, so every unit is RUP.
+    let instances = [
+        ("pigeonhole(4,3)", pigeonhole(4, 3), true),
+        ("pigeonhole(5,4)", pigeonhole(5, 4), true),
+        ("xor_cycle(9)", xor_cycle(9), false),
+    ];
+    let mutants_per_instance = 32;
+    let mut false_accepts = Vec::new();
+    for (inst_id, (name, cnf, unit_safe)) in instances.iter().enumerate() {
+        // Instances with root units would void the mutation guarantees.
+        assert!(cnf.clauses.iter().all(|c| c.len() >= 2), "{name}");
+        let proof = refute(cnf);
+        check_drat(cnf, &proof).unwrap_or_else(|e| panic!("{name}: original rejected: {e}"));
+
+        let classes: &[u8] = if *unit_safe {
+            &[0, 1, 2, 3]
+        } else {
+            &[0, 1, 3]
+        };
+        let root = StdRng::seed_from_u64(0xD1AC_5EED ^ inst_id as u64);
+        for m in 0..mutants_per_instance {
+            let mut rng = root.fork(m);
+            let mut mutant = proof.clone();
+            let k = 1 + rng.random_range(0..3u32);
+            let mut labels = Vec::new();
+            for _ in 0..k {
+                let class = classes[rng.random_range(0..classes.len())];
+                labels.push(mutate(cnf, &mut mutant, class, &mut rng));
+            }
+            if check_drat(cnf, &mutant).is_ok() {
+                false_accepts.push(format!("{name} mutant #{m} ({})", labels.join("+")));
+            }
+        }
+    }
+    assert!(
+        false_accepts.is_empty(),
+        "checker accepted {} corrupted proofs:\n{}",
+        false_accepts.len(),
+        false_accepts.join("\n")
+    );
+}
+
+#[test]
+fn single_class_mutants_map_to_their_documented_rejections() {
+    use sciduction_proof::CheckError;
+    let cnf = pigeonhole(4, 3);
+    let proof = refute(&cnf);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let mut dropped = proof.clone();
+    mutate(&cnf, &mut dropped, 0, &mut rng);
+    assert!(matches!(
+        check_drat(&cnf, &dropped).unwrap_err(),
+        CheckError::NoEmptyClause
+    ));
+
+    let mut forged = proof.clone();
+    mutate(&cnf, &mut forged, 1, &mut rng);
+    assert!(matches!(
+        check_drat(&cnf, &forged).unwrap_err(),
+        CheckError::ForgedDeletion { .. }
+    ));
+
+    let mut unit = proof.clone();
+    mutate(&cnf, &mut unit, 2, &mut rng);
+    assert!(matches!(
+        check_drat(&cnf, &unit).unwrap_err(),
+        CheckError::NotRup { .. }
+    ));
+
+    let mut permuted = proof;
+    mutate(&cnf, &mut permuted, 3, &mut rng);
+    assert!(matches!(
+        check_drat(&cnf, &permuted).unwrap_err(),
+        CheckError::NotRup { .. }
+    ));
+}

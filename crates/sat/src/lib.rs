@@ -39,6 +39,7 @@
 mod clause;
 pub mod dimacs;
 pub mod portfolio;
+pub mod proof;
 mod solver;
 mod types;
 

@@ -17,6 +17,7 @@ use crate::{Cnf, Lit, SolveResult, Solver, SolverConfig, Var};
 use sciduction::budget::{Budget, Exhausted, Verdict};
 use sciduction::exec::{ExecError, FaultKind, FaultPlan, Portfolio, StopFlag};
 use sciduction::recover::{retry_site, Attempt, EntrantLog, RetryPolicy, Supervisor};
+use sciduction_proof::{CnfFormula, Proof};
 use sciduction_rng::{Rng, SeedableRng, Xoshiro256PlusPlus};
 use std::sync::{Arc, Mutex};
 
@@ -36,6 +37,14 @@ pub struct PortfolioConfig {
     /// away), the race reports [`Verdict::Unknown`] instead of an answer.
     /// Defaults to the `SCIDUCTION_BUDGET` knob via [`Budget::from_env`].
     pub budget: Budget,
+    /// Enable DRAT proof logging on every member. The *winner's* proof is
+    /// the one certified (exposed through [`PortfolioOutcome::proof`]);
+    /// losers keep their entrant logs on their parked solvers. Because each
+    /// member's search is deterministic and the winner is selected
+    /// deterministically, the certified proof is thread-count invariant.
+    /// Ignored by [`solve_portfolio_supervised`], whose per-attempt solvers
+    /// are dropped before the outcome is assembled.
+    pub proof: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -45,6 +54,7 @@ impl Default for PortfolioConfig {
             seed: 0x5C1D_0C71,
             threads: sciduction::exec::configured_threads(),
             budget: Budget::from_env(),
+            proof: false,
         }
     }
 }
@@ -69,6 +79,14 @@ pub struct PortfolioOutcome {
     /// order; members the scheduler never started are `None`. Each ran
     /// member carries a [`Solver::budget_receipt`] the `BUD` lints audit.
     pub solvers: Vec<Option<Solver>>,
+    /// The winning member's DRAT proof, present exactly when
+    /// [`PortfolioConfig::proof`] was set and the verdict is
+    /// `Known(Unsat)`. Checkable against [`PortfolioOutcome::proof_cnf`]
+    /// (plus one unit clause per assumption, if any were supplied).
+    pub proof: Option<Proof>,
+    /// The certificate CNF matching [`PortfolioOutcome::proof`]: the
+    /// formula exactly as the members received it.
+    pub proof_cnf: Option<CnfFormula>,
 }
 
 /// The diversified member configurations for an `n`-member portfolio.
@@ -137,6 +155,9 @@ pub fn solve_portfolio_with_faults(
         .enumerate()
         .map(|(i, cfg)| {
             let mut s = Solver::with_config(cfg);
+            if config.proof {
+                s.enable_proof_logging();
+            }
             let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
             for cl in &cnf.clauses {
                 let lits: Vec<Lit> = cl
@@ -218,12 +239,22 @@ pub fn solve_portfolio_with_faults(
     Ok(match win {
         Some(win) => {
             let (result, model, failed_assumptions) = win.value;
+            let (proof, proof_cnf) = if result == SolveResult::Unsat {
+                match solvers[win.winner].as_ref() {
+                    Some(s) => (s.unsat_proof(), s.proof_cnf()),
+                    None => (None, None),
+                }
+            } else {
+                (None, None)
+            };
             PortfolioOutcome {
                 verdict: Verdict::Known(result),
                 winner: Some(win.winner),
                 model,
                 failed_assumptions,
                 solvers,
+                proof,
+                proof_cnf,
             }
         }
         None => {
@@ -250,6 +281,8 @@ pub fn solve_portfolio_with_faults(
                 model: Vec::new(),
                 failed_assumptions: Vec::new(),
                 solvers,
+                proof: None,
+                proof_cnf: None,
             }
         }
     })

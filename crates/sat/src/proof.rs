@@ -1,0 +1,106 @@
+//! DRAT proof emission from the CDCL engine.
+//!
+//! When logging is enabled (on a *fresh* solver, before any clause is
+//! added), the solver records:
+//!
+//! * every clause the caller adds, exactly as supplied (pre-simplification) —
+//!   together these reconstruct the certificate CNF, which the solver's own
+//!   database cannot (it simplifies against the level-0 trail, keeps units on
+//!   the trail, and drops satisfied clauses);
+//! * every learnt clause (including learnt units) as a DRAT addition;
+//! * every learnt clause removed by database reduction as a DRAT deletion;
+//! * the empty clause when the formula itself is refuted at the top level.
+//!
+//! The log deliberately contains only *formula-implied* steps: in CDCL,
+//! assumptions enter as decisions, so learnt clauses never depend on them
+//! and remain valid across incremental `solve` calls. A refutation **under
+//! assumptions** is completed per solve by [`crate::Solver::unsat_proof`],
+//! which appends the failed-assumption clause ¬(a₁ ∧ … ∧ aₖ) and the empty
+//! clause — steps that hold only when the assumptions are part of the
+//! checked formula (the certificate turns them into unit clauses).
+//!
+//! Proof emission is budget-charged: during search, each logged step costs
+//! one *fuel* unit through the same [`sciduction::budget::BudgetMeter`] that
+//! meters decisions, so certified solving is visible in (and bounded by) the
+//! budget receipt. Under [`sciduction::budget::Budget::UNLIMITED`] the
+//! charges never refuse and search behaves bit-for-bit as with logging off.
+
+use crate::types::Lit;
+use sciduction_proof::{CnfFormula, Proof, ProofStep};
+
+/// Converts a solver literal to the DIMACS convention used by proofs.
+#[inline]
+pub(crate) fn lit_to_dimacs(l: Lit) -> i64 {
+    let v = (l.var().index() + 1) as i64;
+    if l.is_negative() {
+        -v
+    } else {
+        v
+    }
+}
+
+/// The in-solver proof sink. See the module docs for what is recorded.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ProofLog {
+    /// Clauses added by the caller, pre-simplification.
+    originals: Vec<Vec<i64>>,
+    /// Formula-implied DRAT steps emitted so far.
+    steps: Vec<ProofStep>,
+    /// Steps emitted since the last budget sync (see `take_pending_charges`).
+    pending_charges: u64,
+}
+
+impl ProofLog {
+    pub(crate) fn log_original(&mut self, lits: &[Lit]) {
+        self.originals
+            .push(lits.iter().copied().map(lit_to_dimacs).collect());
+    }
+
+    pub(crate) fn log_add(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Add(
+            lits.iter().copied().map(lit_to_dimacs).collect(),
+        ));
+        self.pending_charges += 1;
+    }
+
+    pub(crate) fn log_delete(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Delete(
+            lits.iter().copied().map(lit_to_dimacs).collect(),
+        ));
+        self.pending_charges += 1;
+    }
+
+    pub(crate) fn log_empty(&mut self) {
+        self.steps.push(ProofStep::Add(Vec::new()));
+        self.pending_charges += 1;
+    }
+
+    /// Number of steps emitted since the previous call; the search loop
+    /// drains this into fuel charges so logging is metered.
+    pub(crate) fn take_pending_charges(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_charges)
+    }
+
+    pub(crate) fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub(crate) fn ends_refuted(&self) -> bool {
+        self.steps.last().is_some_and(ProofStep::is_empty_add)
+    }
+
+    /// The certificate CNF: every clause the caller ever added, over the
+    /// solver's full variable range.
+    pub(crate) fn cnf(&self, num_vars: usize) -> CnfFormula {
+        CnfFormula {
+            num_vars,
+            clauses: self.originals.clone(),
+        }
+    }
+
+    pub(crate) fn proof(&self) -> Proof {
+        Proof {
+            steps: self.steps.to_vec(),
+        }
+    }
+}

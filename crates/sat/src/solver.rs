@@ -9,8 +9,10 @@
 //! SMT layer uses to implement push/pop.
 
 use crate::clause::{Clause, ClauseDb, ClauseRef};
+use crate::proof::{lit_to_dimacs, ProofLog};
 use crate::types::{LBool, Lit, Var};
 use sciduction::budget::{Budget, BudgetMeter, BudgetReceipt, Exhausted, Verdict};
+use sciduction_proof::{CnfFormula, Proof, ProofStep};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -24,6 +26,18 @@ pub enum SolveResult {
     /// When assumptions were supplied, [`Solver::failed_assumptions`] holds
     /// a subset sufficient for unsatisfiability.
     Unsat,
+}
+
+/// Lower-case answer text; composes with the canonical
+/// [`Verdict`](sciduction::budget::Verdict) display, which appends the
+/// exhaustion cause on `Unknown`.
+impl std::fmt::Display for SolveResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveResult::Sat => write!(f, "sat"),
+            SolveResult::Unsat => write!(f, "unsat"),
+        }
+    }
 }
 
 /// Aggregate search statistics, exposed for benchmarks and ablations.
@@ -137,6 +151,9 @@ pub struct Solver {
     /// The statement of account of the most recent solve call, for audits
     /// (lints `BUD001`–`BUD003`) and exhaustion-cause certification.
     last_receipt: Option<BudgetReceipt>,
+    /// DRAT proof sink; `None` unless [`Solver::enable_proof_logging`] was
+    /// called on the fresh solver.
+    proof: Option<ProofLog>,
 }
 
 impl Default for Solver {
@@ -176,7 +193,70 @@ impl Solver {
             model: Vec::new(),
             stop: None,
             last_receipt: None,
+            proof: None,
         }
+    }
+
+    /// Turns on DRAT proof logging. Must be called on a *fresh* solver —
+    /// before any clause has been added — so the certificate CNF covers the
+    /// whole formula. See [`crate::proof`] for exactly what is recorded and
+    /// how emission is budget-charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if clauses have already been added.
+    pub fn enable_proof_logging(&mut self) {
+        assert!(
+            self.db.live() == 0 && self.trail.is_empty() && !self.unsat,
+            "proof logging must be enabled before any clause is added"
+        );
+        self.proof = Some(ProofLog::default());
+    }
+
+    /// True if this solver records a DRAT proof.
+    pub fn proof_logging_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Number of proof steps emitted so far (0 when logging is off).
+    pub fn proof_steps(&self) -> usize {
+        self.proof.as_ref().map_or(0, ProofLog::num_steps)
+    }
+
+    /// The certificate CNF: every clause ever added, exactly as supplied
+    /// (pre-simplification), over the solver's full variable range. `None`
+    /// when logging is off.
+    pub fn proof_cnf(&self) -> Option<CnfFormula> {
+        Some(self.proof.as_ref()?.cnf(self.num_vars()))
+    }
+
+    /// The DRAT proof certifying the most recent `Unsat` answer, or `None`
+    /// when logging is off or the last solve did not refute.
+    ///
+    /// For a top-level refutation this is the accumulated log (it already
+    /// ends in the empty clause). For a refutation *under assumptions* the
+    /// failed-assumption clause ¬(a₁ ∧ … ∧ aₖ) and the empty clause are
+    /// appended; such a proof checks against the certificate CNF extended
+    /// with one unit clause per assumption (see
+    /// [`sciduction_proof::SmtCertificate`]), not against the CNF alone.
+    pub fn unsat_proof(&self) -> Option<Proof> {
+        let log = self.proof.as_ref()?;
+        if self.unsat {
+            debug_assert!(
+                log.ends_refuted(),
+                "top-level unsat must log the empty clause"
+            );
+            return Some(log.proof());
+        }
+        if !self.failed.is_empty() {
+            let mut p = log.proof();
+            p.steps.push(ProofStep::Add(
+                self.failed.iter().map(|&a| lit_to_dimacs(!a)).collect(),
+            ));
+            p.steps.push(ProofStep::Add(Vec::new()));
+            return Some(p);
+        }
+        None
     }
 
     /// Creates a fresh variable.
@@ -246,6 +326,12 @@ impl Solver {
         }
         cl.sort_unstable();
         cl.dedup();
+        if let Some(pl) = &mut self.proof {
+            // Record the clause pre-simplification: the checker re-derives
+            // the level-0 consequences itself, so the certificate CNF must
+            // carry the clause as asserted, not as stored.
+            pl.log_original(&cl);
+        }
         // Tautology / level-0 simplification.
         let mut simplified = Vec::with_capacity(cl.len());
         for (i, &l) in cl.iter().enumerate() {
@@ -261,12 +347,18 @@ impl Solver {
         match simplified.len() {
             0 => {
                 self.unsat = true;
+                if let Some(pl) = &mut self.proof {
+                    pl.log_empty();
+                }
                 false
             }
             1 => {
                 self.enqueue(simplified[0], None);
                 if self.propagate().is_some() {
                     self.unsat = true;
+                    if let Some(pl) = &mut self.proof {
+                        pl.log_empty();
+                    }
                     false
                 } else {
                     true
@@ -824,6 +916,12 @@ impl Solver {
             if locked[i] || c.lits.len() == 2 || c.lbd <= 2 {
                 continue;
             }
+            if self.proof.is_some() {
+                let lits = self.db.get(learnt[i]).lits.clone();
+                if let Some(pl) = &mut self.proof {
+                    pl.log_delete(&lits);
+                }
+            }
             self.db.delete(learnt[i]);
             removed += 1;
         }
@@ -867,9 +965,15 @@ impl Solver {
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
                     self.unsat = true;
+                    if let Some(pl) = &mut self.proof {
+                        pl.log_empty();
+                    }
                     return SearchOutcome::Unsat;
                 }
                 let (learnt, bt_level) = self.analyze(confl);
+                if let Some(pl) = &mut self.proof {
+                    pl.log_add(&learnt);
+                }
                 // Never backtrack below the assumption levels we still need;
                 // but correctness requires the asserting literal be
                 // enqueueable, so backtrack to bt_level and re-establish
@@ -889,6 +993,18 @@ impl Solver {
                 if self.config.reduce_db && self.db.num_learnt as f64 > *max_learnts {
                     self.reduce_db();
                     *max_learnts *= 1.1;
+                }
+                // Proof emission is metered: one fuel unit per step logged
+                // since the last conflict (the learnt addition plus any
+                // reduction deletions). Under an unlimited budget the
+                // charges never refuse, so search is unchanged by logging.
+                if let Some(pl) = &mut self.proof {
+                    let pending = pl.take_pending_charges();
+                    if pending > 0 {
+                        if let Err(cause) = meter.charge_fuel_batch(pending) {
+                            return SearchOutcome::Exhausted(cause);
+                        }
+                    }
                 }
             } else {
                 if conflicts_here >= conflict_budget {
@@ -1084,6 +1200,20 @@ mod tests {
 
     fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
         (0..n).map(|_| Lit::positive(s.new_var())).collect()
+    }
+
+    #[test]
+    fn verdicts_display_through_the_canonical_impl() {
+        assert_eq!(format!("{}", SolveResult::Sat), "sat");
+        assert_eq!(format!("{}", SolveResult::Unsat), "unsat");
+        assert_eq!(format!("{}", Verdict::Known(SolveResult::Unsat)), "unsat");
+        // Two free variables force a decision, which the empty fuel
+        // budget refuses.
+        let mut s = Solver::new();
+        let l = lits(&mut s, 2);
+        s.add_clause([l[0], l[1]]);
+        let v = s.solve_bounded(&[], &Budget::with_fuel(0));
+        assert_eq!(format!("{v}"), "unknown: fuel budget exhausted (0/0)");
     }
 
     #[test]

@@ -76,6 +76,7 @@ fn soak(races: usize, seed: u64) {
             seed: seed ^ round as u64,
             threads: 4,
             budget: Budget::with_conflicts(200_000),
+            ..PortfolioConfig::default()
         };
         let out = solve_portfolio(&cnf, &[], &config).expect("no member may panic in a clean race");
         let expect = reference_verdict(&cnf);

@@ -1,0 +1,223 @@
+//! Proof emission from the CDCL engine, validated by the independent
+//! checker: every UNSAT verdict must yield a proof `sciduction-proof`
+//! accepts, with and without assumptions, sequentially and in portfolio
+//! races at several thread counts.
+
+use sciduction::budget::{Budget, Verdict};
+use sciduction_proof::{check_certificate, check_drat, Proof, SmtCertificate};
+use sciduction_sat::{
+    solve_portfolio, Cnf, Lit, PortfolioConfig, SolveResult, Solver, SolverConfig, Var,
+};
+
+fn pigeonhole(n: usize, m: usize) -> Cnf {
+    let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+    let mut clauses: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..m).map(|j| var(i, j)).collect())
+        .collect();
+    for i1 in 0..n {
+        for i2 in (i1 + 1)..n {
+            for j in 0..m {
+                clauses.push(vec![-var(i1, j), -var(i2, j)]);
+            }
+        }
+    }
+    Cnf {
+        num_vars: n * m,
+        clauses,
+    }
+}
+
+fn certifying_solver(cnf: &Cnf, config: SolverConfig) -> Solver {
+    let mut s = Solver::with_config(config);
+    s.enable_proof_logging();
+    let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+    for cl in &cnf.clauses {
+        let lits: Vec<Lit> = cl
+            .iter()
+            .map(|&v| Lit::new(vars[(v.unsigned_abs() - 1) as usize], v < 0))
+            .collect();
+        s.add_clause(lits);
+    }
+    s
+}
+
+/// Checks `proof` against `solver`'s certificate CNF, with `assumptions`
+/// (DIMACS literals) as extra unit clauses.
+fn assert_proof_checks(solver: &Solver, proof: &Proof, assumptions: &[i64]) {
+    let mut cnf = solver.proof_cnf().expect("logging enabled");
+    for &a in assumptions {
+        cnf.clauses.push(vec![a]);
+    }
+    let outcome = check_drat(&cnf, proof).expect("emitted proof must check");
+    assert!(outcome.additions > 0, "refutation needs at least one step");
+}
+
+#[test]
+fn top_level_refutation_emits_checkable_proof() {
+    let cnf = pigeonhole(5, 4);
+    let mut s = certifying_solver(&cnf, SolverConfig::default());
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let proof = s.unsat_proof().expect("unsat must carry a proof");
+    assert!(proof.steps.last().unwrap().lits().is_empty());
+    assert_proof_checks(&s, &proof, &[]);
+}
+
+#[test]
+fn refutation_under_assumptions_checks_with_assumption_units() {
+    // (¬a ∨ ¬b) with assumptions a, b.
+    let mut s = Solver::new();
+    s.enable_proof_logging();
+    let a = Lit::positive(s.new_var());
+    let b = Lit::positive(s.new_var());
+    s.add_clause([!a, !b]);
+    assert_eq!(s.solve_with_assumptions(&[a, b]), SolveResult::Unsat);
+    let proof = s
+        .unsat_proof()
+        .expect("assumption-unsat must carry a proof");
+    assert_proof_checks(&s, &proof, &[1, 2]);
+    // Sanity: the proof must NOT check without the assumption units — the
+    // formula alone is satisfiable.
+    let cnf = s.proof_cnf().unwrap();
+    assert!(check_drat(&cnf, &proof).is_err());
+}
+
+#[test]
+fn sat_answers_carry_no_proof() {
+    let cnf = pigeonhole(4, 4);
+    let mut s = certifying_solver(&cnf, SolverConfig::default());
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.unsat_proof().is_none());
+}
+
+#[test]
+fn trivial_top_level_conflict_logs_the_empty_clause() {
+    let mut s = Solver::new();
+    s.enable_proof_logging();
+    let x = Lit::positive(s.new_var());
+    assert!(s.add_clause([x]));
+    assert!(!s.add_clause([!x]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let proof = s.unsat_proof().unwrap();
+    assert_proof_checks(&s, &proof, &[]);
+}
+
+#[test]
+fn incremental_solves_extend_one_valid_proof() {
+    // First check: unsat under assumptions. Second check: unsat outright
+    // after more clauses. Each extraction must check in its own context.
+    let mut s = Solver::new();
+    s.enable_proof_logging();
+    let a = Lit::positive(s.new_var());
+    let b = Lit::positive(s.new_var());
+    s.add_clause([!a, b]);
+    s.add_clause([!b]);
+    assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Unsat);
+    let p1 = s.unsat_proof().unwrap();
+    assert_proof_checks(&s, &p1, &[1]);
+
+    assert!(matches!(s.solve(), SolveResult::Sat));
+    assert!(s.unsat_proof().is_none(), "SAT clears the refutation");
+
+    s.add_clause([a]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let p2 = s.unsat_proof().unwrap();
+    assert_proof_checks(&s, &p2, &[]);
+}
+
+#[test]
+fn logging_does_not_change_search_under_unlimited_budget() {
+    let cnf = pigeonhole(5, 4);
+    let mut plain = {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+        for cl in &cnf.clauses {
+            let lits: Vec<Lit> = cl
+                .iter()
+                .map(|&v| Lit::new(vars[(v.unsigned_abs() - 1) as usize], v < 0))
+                .collect();
+            s.add_clause(lits);
+        }
+        s
+    };
+    let mut logged = certifying_solver(&cnf, SolverConfig::default());
+    assert_eq!(plain.solve(), SolveResult::Unsat);
+    assert_eq!(logged.solve(), SolveResult::Unsat);
+    let (sp, sl) = (plain.stats(), logged.stats());
+    assert_eq!(sp.decisions, sl.decisions);
+    assert_eq!(sp.conflicts, sl.conflicts);
+    assert_eq!(sp.propagations, sl.propagations);
+    assert_eq!(sp.restarts, sl.restarts);
+}
+
+#[test]
+fn proof_emission_is_metered_as_fuel() {
+    let cnf = pigeonhole(5, 4);
+    let mut logged = certifying_solver(&cnf, SolverConfig::default());
+    assert_eq!(
+        logged.solve_bounded(&[], &Budget::UNLIMITED),
+        Verdict::Known(SolveResult::Unsat)
+    );
+    let receipt = *logged.budget_receipt().unwrap();
+    assert!(receipt.coherent());
+    // Fuel = decisions + charged proof steps: strictly more than decisions
+    // alone, and bounded by the full step count (the terminal empty-clause
+    // step is emitted on the way out of search and is not metered).
+    assert!(receipt.fuel > logged.stats().decisions);
+    assert!(receipt.fuel <= logged.stats().decisions + logged.proof_steps() as u64);
+
+    // A tight fuel budget must now exhaust earlier than the unlogged run.
+    let mut tight = certifying_solver(&cnf, SolverConfig::default());
+    if let Verdict::Unknown(cause) = tight.solve_bounded(&[], &Budget::with_fuel(5)) {
+        let r = tight.budget_receipt().unwrap();
+        assert!(r.certifies(&cause));
+    }
+}
+
+#[test]
+fn portfolio_winner_proof_checks_at_every_thread_count() {
+    let cnf = pigeonhole(5, 4);
+    for threads in [1, 2, 4] {
+        let config = PortfolioConfig {
+            threads,
+            proof: true,
+            ..PortfolioConfig::default()
+        };
+        let out = solve_portfolio(&cnf, &[], &config).unwrap();
+        assert_eq!(out.verdict, Verdict::Known(SolveResult::Unsat));
+        let proof = out.proof.as_ref().expect("certified unsat carries a proof");
+        let pcnf = out.proof_cnf.as_ref().expect("and its certificate CNF");
+        check_drat(pcnf, proof).unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+        // Losers keep their entrant logs.
+        for s in out.solvers.iter().flatten() {
+            assert!(s.proof_logging_enabled());
+        }
+    }
+}
+
+#[test]
+fn portfolio_assumption_refutation_builds_a_certificate() {
+    let cnf = Cnf {
+        num_vars: 2,
+        clauses: vec![vec![-1, -2]],
+    };
+    let assumptions = [
+        Lit::positive(Var::from_index(0)),
+        Lit::positive(Var::from_index(1)),
+    ];
+    for threads in [1, 4] {
+        let config = PortfolioConfig {
+            threads,
+            proof: true,
+            ..PortfolioConfig::default()
+        };
+        let out = solve_portfolio(&cnf, &assumptions, &config).unwrap();
+        assert_eq!(out.verdict, Verdict::Known(SolveResult::Unsat));
+        let cert = SmtCertificate {
+            cnf: out.proof_cnf.clone().unwrap(),
+            assumptions: vec![1, 2],
+            blasting: Vec::new(),
+            proof: out.proof.clone().unwrap(),
+        };
+        check_certificate(&cert).unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+    }
+}

@@ -6,8 +6,10 @@ use crate::term::{Sort, Term, TermId, TermPool, Value};
 use crate::value::BvValue;
 use sciduction::budget::{Budget, BudgetReceipt, Verdict};
 use sciduction::exec::QueryCache;
+use sciduction_proof::{BlastEntry, SmtCertificate};
 use sciduction_sat::{Lit, SolveResult, Solver as SatSolver};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Result of a satisfiability check.
@@ -17,6 +19,18 @@ pub enum CheckResult {
     Sat,
     /// The asserted formulas are unsatisfiable.
     Unsat,
+}
+
+/// Lower-case answer text; composes with the canonical
+/// [`Verdict`](sciduction::budget::Verdict) display, which appends the
+/// exhaustion cause on `Unknown`.
+impl fmt::Display for CheckResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckResult::Sat => write!(f, "sat"),
+            CheckResult::Unsat => write!(f, "unsat"),
+        }
+    }
 }
 
 /// A shared, concurrency-safe memo table for SMT queries, keyed by the
@@ -79,6 +93,11 @@ pub struct Solver {
     num_checks: u64,
     /// Optional shared query memo table; see [`Solver::attach_cache`].
     cache: Option<Arc<SmtQueryCache>>,
+    /// DIMACS units (scope activations plus blasted assumptions) of the
+    /// most recent `Unsat` answer *computed* by a certifying SAT core;
+    /// `None` after a Sat/Unknown answer or a cache adoption (a cache hit
+    /// produces no fresh proof). See [`Solver::unsat_certificate`].
+    unsat_lits: Option<Vec<i64>>,
 }
 
 impl Default for Solver {
@@ -90,7 +109,24 @@ impl Default for Solver {
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
+        Self::build(SatSolver::new())
+    }
+
+    /// Creates an empty *certifying* solver: its SAT core logs DRAT proofs,
+    /// so every `Unsat` answer it computes can be packaged as a
+    /// self-contained [`SmtCertificate`] via [`Solver::unsat_certificate`]
+    /// and replayed by the independent `sciduction-proof` checker.
+    ///
+    /// Logging must begin before the bit-blaster seeds the CNF (its
+    /// true-literal unit clause is part of the certificate formula), which
+    /// is why certification is a construction-time choice.
+    pub fn certifying() -> Self {
         let mut sat = SatSolver::new();
+        sat.enable_proof_logging();
+        Self::build(sat)
+    }
+
+    fn build(mut sat: SatSolver) -> Self {
         let blaster = BitBlaster::new(&mut sat);
         Solver {
             pool: TermPool::new(),
@@ -102,7 +138,13 @@ impl Solver {
             model: None,
             num_checks: 0,
             cache: None,
+            unsat_lits: None,
         }
+    }
+
+    /// Whether this solver was built with [`Solver::certifying`].
+    pub fn is_certifying(&self) -> bool {
+        self.sat.proof_logging_enabled()
     }
 
     /// Attaches a shared query memo table. Every subsequent `check*` call
@@ -236,6 +278,7 @@ impl Solver {
         budget: &Budget,
     ) -> Verdict<CheckResult> {
         self.num_checks += 1;
+        self.unsat_lits = None;
         let Some(cache) = self.cache.clone() else {
             return self.check_uncached(assumptions, budget);
         };
@@ -258,6 +301,45 @@ impl Solver {
         self.sat.budget_receipt()
     }
 
+    /// The end-to-end certificate of the most recent `Unsat` answer:
+    /// the blasted CNF (original clauses, pre-simplification), the
+    /// assumption/activation units of the failing query, the blasting map
+    /// from term names to SAT literals, and the SAT core's DRAT proof.
+    ///
+    /// `None` unless this solver [is certifying](Solver::certifying) and
+    /// the last `check*` call computed `Unsat` itself — answers adopted
+    /// from an attached query cache carry no fresh proof and yield `None`.
+    pub fn unsat_certificate(&self) -> Option<SmtCertificate> {
+        let assumptions = self.unsat_lits.clone()?;
+        let cnf = self.sat.proof_cnf()?;
+        let proof = self.sat.unsat_proof()?;
+        let mut blasting = Vec::new();
+        for &v in &self.blasted_vars {
+            let Term::Var(name, _) = self.pool.term(v) else {
+                continue;
+            };
+            let entry = match self.pool.sort(v) {
+                Sort::Bool => self.blaster.bool_lit(v).map(|l| BlastEntry {
+                    name: name.clone(),
+                    width: None,
+                    lits: vec![lit_dimacs(l)],
+                }),
+                Sort::BitVec(w) => self.blaster.var_lits(v).map(|ls| BlastEntry {
+                    name: name.clone(),
+                    width: Some(w),
+                    lits: ls.iter().map(|&l| lit_dimacs(l)).collect(),
+                }),
+            };
+            blasting.extend(entry);
+        }
+        Some(SmtCertificate {
+            cnf,
+            assumptions,
+            blasting,
+            proof,
+        })
+    }
+
     fn check_uncached(&mut self, assumptions: &[TermId], budget: &Budget) -> Verdict<CheckResult> {
         let mut lits: Vec<Lit> = self.scopes.clone();
         for &t in assumptions {
@@ -275,6 +357,9 @@ impl Solver {
             }
             Verdict::Known(SolveResult::Unsat) => {
                 self.model = None;
+                self.unsat_lits = self
+                    .is_certifying()
+                    .then(|| lits.iter().map(|&l| lit_dimacs(l)).collect());
                 Verdict::Known(CheckResult::Unsat)
             }
             Verdict::Unknown(cause) => {
@@ -467,6 +552,17 @@ impl Solver {
     }
 }
 
+/// Converts a SAT literal to the DIMACS convention used by certificates.
+#[inline]
+fn lit_dimacs(l: Lit) -> i64 {
+    let v = (l.var().index() + 1) as i64;
+    if l.is_negative() {
+        -v
+    } else {
+        v
+    }
+}
+
 /// Pretty-prints a term for diagnostics (SMT-LIB-flavoured, best effort).
 pub fn render_term(pool: &TermPool, id: TermId) -> String {
     match pool.term(id) {
@@ -512,6 +608,29 @@ pub fn render_term(pool: &TermPool, id: TermId) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verdicts_display_through_the_canonical_impl() {
+        assert_eq!(format!("{}", CheckResult::Sat), "sat");
+        assert_eq!(format!("{}", Verdict::Known(CheckResult::Unsat)), "unsat");
+        // Factoring 221 = x·y with x,y ≠ 1 cannot be settled by unit
+        // propagation alone, so the empty fuel budget refuses the first
+        // SAT decision.
+        let mut s = Solver::new();
+        let x = s.terms_mut().var("x", 8);
+        let y = s.terms_mut().var("y", 8);
+        let prod = s.terms_mut().bv_mul(x, y);
+        let k = s.terms_mut().bv(221, 8);
+        let one = s.terms_mut().bv(1, 8);
+        let c1 = s.terms_mut().eq(prod, k);
+        let c2 = s.terms_mut().neq(x, one);
+        let c3 = s.terms_mut().neq(y, one);
+        for c in [c1, c2, c3] {
+            s.assert_term(c);
+        }
+        let v = s.check_bounded(&Budget::with_fuel(0));
+        assert_eq!(format!("{v}"), "unknown: fuel budget exhausted (0/0)");
+    }
 
     #[test]
     fn simple_equation() {

@@ -1,0 +1,158 @@
+//! End-to-end certification of SMT `unsat` verdicts: the certifying solver
+//! packages the blasted CNF, assumption units, blasting map, and DRAT proof
+//! into an [`SmtCertificate`] that the independent `sciduction-proof`
+//! checker accepts — with no access to the solver that produced it.
+
+use sciduction::budget::{Budget, Verdict};
+use sciduction_proof::{check_certificate, CheckError, SmtCertificate};
+use sciduction_smt::{CheckResult, SmtQueryCache, Solver};
+use std::sync::Arc;
+
+/// x·3 = 100 ∧ x·3 ≠ 100 rendered as two contradictory equations — a small
+/// but non-trivial unsat query exercising the multiplier encoding.
+fn assert_contradictory_product(s: &mut Solver) {
+    let p = s.terms_mut();
+    let x = p.var("x", 8);
+    let k3 = p.bv(3, 8);
+    let k5 = p.bv(5, 8);
+    let prod = p.bv_mul(x, k3);
+    let e1 = p.eq(prod, k5);
+    let x4 = p.bv_mul(x, k3);
+    let k9 = p.bv(9, 8);
+    let e2 = p.eq(x4, k9);
+    s.assert_term(e1);
+    s.assert_term(e2);
+}
+
+#[test]
+fn unsat_check_yields_checkable_certificate() {
+    let mut s = Solver::certifying();
+    assert!(s.is_certifying());
+    assert_contradictory_product(&mut s);
+    assert_eq!(s.check(), CheckResult::Unsat);
+    let cert = s.unsat_certificate().expect("computed unsat must certify");
+    assert!(cert
+        .blasting
+        .iter()
+        .any(|e| e.name == "x" && e.width == Some(8) && e.lits.len() == 8));
+    let outcome = check_certificate(&cert).expect("certificate must check");
+    assert!(outcome.additions > 0);
+}
+
+#[test]
+fn certificate_round_trips_through_scicert_text() {
+    let mut s = Solver::certifying();
+    assert_contradictory_product(&mut s);
+    assert_eq!(s.check(), CheckResult::Unsat);
+    let cert = s.unsat_certificate().unwrap();
+    let reparsed = SmtCertificate::parse(&cert.to_text()).unwrap();
+    assert_eq!(reparsed, cert);
+    check_certificate(&reparsed).unwrap();
+}
+
+#[test]
+fn sat_and_non_certifying_answers_yield_no_certificate() {
+    let mut plain = Solver::new();
+    assert_contradictory_product(&mut plain);
+    assert_eq!(plain.check(), CheckResult::Unsat);
+    assert!(!plain.is_certifying());
+    assert!(plain.unsat_certificate().is_none());
+
+    let mut s = Solver::certifying();
+    let p = s.terms_mut();
+    let x = p.var("x", 4);
+    let k = p.bv(7, 4);
+    let eq = p.eq(x, k);
+    s.assert_term(eq);
+    assert_eq!(s.check(), CheckResult::Sat);
+    assert!(s.unsat_certificate().is_none());
+}
+
+#[test]
+fn scoped_and_assumed_unsat_certifies_via_activation_units() {
+    let mut s = Solver::certifying();
+    let (x, lo, hi);
+    {
+        let p = s.terms_mut();
+        x = p.var("x", 8);
+        let k10 = p.bv(10, 8);
+        let k20 = p.bv(20, 8);
+        lo = p.bv_ult(x, k10);
+        hi = p.bv_ugt(x, k20);
+    }
+    s.push();
+    s.assert_term(lo);
+    assert_eq!(s.check_assuming(&[hi]), CheckResult::Unsat);
+    let cert = s.unsat_certificate().expect("scoped unsat must certify");
+    assert!(
+        !cert.assumptions.is_empty(),
+        "activation/assumption units must be recorded"
+    );
+    check_certificate(&cert).unwrap();
+    // The refutation depends on those units: without them the blasted CNF
+    // alone is satisfiable, so the proof must not check.
+    let bare = SmtCertificate {
+        assumptions: Vec::new(),
+        ..cert
+    };
+    assert!(check_certificate(&bare).is_err());
+
+    // After popping the scope the solver is usable and Sat again.
+    s.pop();
+    assert_eq!(s.check(), CheckResult::Sat);
+    assert!(s.unsat_certificate().is_none());
+}
+
+#[test]
+fn cache_adopted_unsat_carries_no_fresh_proof() {
+    let cache = Arc::new(SmtQueryCache::new());
+    let mut first = Solver::certifying();
+    first.attach_cache(Arc::clone(&cache));
+    assert_contradictory_product(&mut first);
+    assert_eq!(first.check(), CheckResult::Unsat);
+    assert!(first.unsat_certificate().is_some());
+
+    let mut second = Solver::certifying();
+    second.attach_cache(cache);
+    assert_contradictory_product(&mut second);
+    assert_eq!(second.check(), CheckResult::Unsat);
+    assert!(
+        second.unsat_certificate().is_none(),
+        "a memoized answer has no proof behind it"
+    );
+}
+
+#[test]
+fn exhausted_check_yields_no_certificate() {
+    let mut s = Solver::certifying();
+    assert_contradictory_product(&mut s);
+    if let Verdict::Unknown(_) = s.check_bounded(&Budget::with_fuel(1)) {
+        assert!(s.unsat_certificate().is_none());
+    }
+}
+
+#[test]
+fn tampered_blasting_map_is_rejected() {
+    let mut s = Solver::certifying();
+    assert_contradictory_product(&mut s);
+    assert_eq!(s.check(), CheckResult::Unsat);
+    let cert = s.unsat_certificate().unwrap();
+
+    // Stale map: an entry pointing at a literal outside the CNF.
+    let mut stale = cert.clone();
+    let n = stale.cnf.num_vars as i64;
+    stale.blasting[0].lits[0] = n + 1;
+    assert!(matches!(
+        check_certificate(&stale).unwrap_err(),
+        CheckError::BlastingMap(_)
+    ));
+
+    // Duplicated variable name.
+    let mut dup = cert.clone();
+    let entry = dup.blasting[0].clone();
+    dup.blasting.push(entry);
+    assert!(matches!(
+        check_certificate(&dup).unwrap_err(),
+        CheckError::BlastingMap(_)
+    ));
+}
