@@ -35,8 +35,8 @@ for fault_seed in 1 2 3 4; do
   done
 done
 
-echo "==> portfolio soak (10k races, release only)"
-cargo test --release -p sciduction-sat --test portfolio_stress -q -- --ignored
+echo "==> portfolio soak (10k races via SCIDUCTION_SOAK, release only)"
+SCIDUCTION_SOAK=10000 cargo test --release -p sciduction-sat --test portfolio_stress -q
 
 echo "==> recovery sweep: supervised faults + kill-and-resume bit identity"
 for retries in 1 3 5; do
@@ -66,5 +66,33 @@ done
 for cert in target/proofs/*.scicert; do
   cargo run --release -q -p sciduction-proof --bin scicheck -- --cert "$cert"
 done
+
+echo "==> server conformance: served verdicts vs direct library calls"
+cargo test --release -p sciduction-suite --test server_vs_lib -q
+
+echo "==> server protocol fuzz: >1000 malformed frames, zero panics"
+cargo test --release -p sciduction-server -q
+
+echo "==> server smoke: loadgen at two concurrency levels + cert replay"
+rm -rf target/scid-server/proofs
+cargo run --release -p sciduction-bench --bin loadgen -- --conns 4,16 --requests 32
+test -s BENCH_server.json || { echo "BENCH_server.json missing or empty" >&2; exit 1; }
+served_certs=0
+for cert in target/scid-server/proofs/*.scicert; do
+  [ -e "$cert" ] || continue
+  cargo run --release -q -p sciduction-proof --bin scicheck -- --cert "$cert"
+  served_certs=$((served_certs + 1))
+done
+for cnf in target/scid-server/proofs/*.cnf; do
+  [ -e "$cnf" ] || continue
+  cargo run --release -q -p sciduction-proof --bin scicheck -- \
+    "$cnf" "${cnf%.cnf}.drat"
+  served_certs=$((served_certs + 1))
+done
+if [ "$served_certs" -eq 0 ]; then
+  echo "server smoke produced no certificates to replay" >&2
+  exit 1
+fi
+echo "    replayed $served_certs served certificate(s) through scicheck"
 
 echo "CI OK"

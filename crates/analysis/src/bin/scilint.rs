@@ -3,10 +3,12 @@
 //! error-severity diagnostic is found.
 //!
 //! ```text
-//! scilint            run every pass over every bundled instance
-//! scilint --codes    print the lint-code registry and exit
-//! scilint --verbose  also print warnings and per-suite progress
-//! scilint --json     emit every diagnostic as a JSON report on stdout
+//! scilint              run every pass over every bundled instance
+//! scilint --codes      print the lint-code registry and exit
+//! scilint --verbose    also print warnings and per-suite progress
+//! scilint --json       emit every diagnostic as a JSON report on stdout
+//! scilint --suite S    run only the named suite(s); repeatable, or a
+//!                      comma-separated list
 //! ```
 
 use sciduction::exec::{FaultKind, FaultPlan, QueryCache};
@@ -520,7 +522,29 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--suite` takes a value, so peel flag/value pairs off before the
+    // unknown-argument scan sees the suite names.
+    let mut args: Vec<String> = Vec::new();
+    let mut suite_filter: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--suite" {
+            match it.next() {
+                Some(v) => suite_filter.extend(
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                ),
+                None => {
+                    eprintln!("scilint: --suite needs a suite name");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     if let Some(bad) = args.iter().find(|a| {
         !matches!(
             a.as_str(),
@@ -528,15 +552,16 @@ fn main() -> ExitCode {
         )
     }) {
         eprintln!("scilint: unknown argument '{bad}'");
-        eprintln!("usage: scilint [--codes] [--verbose|-v] [--json] [--help|-h]");
+        eprintln!("usage: scilint [--codes] [--verbose|-v] [--json] [--suite NAME] [--help|-h]");
         return ExitCode::FAILURE;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("scilint — cross-layer artifact validation over the bundled instances");
-        println!("usage: scilint [--codes] [--verbose|-v] [--json]");
+        println!("usage: scilint [--codes] [--verbose|-v] [--json] [--suite NAME]");
         println!("  --codes       print the lint-code registry and exit");
         println!("  --verbose/-v  print every diagnostic and per-suite counts");
         println!("  --json        emit every diagnostic as a JSON report on stdout");
+        println!("  --suite NAME  run only the named suite; repeat or comma-separate for more");
         println!("exits nonzero if any error-severity diagnostic is produced");
         return ExitCode::SUCCESS;
     }
@@ -568,9 +593,24 @@ fn main() -> ExitCode {
         ("recovery", lint_recovery),
         ("proof", lint_proof),
     ];
+    if let Some(bad) = suite_filter
+        .iter()
+        .find(|want| !suites.iter().any(|(name, _)| name == want))
+    {
+        let known: Vec<&str> = suites.iter().map(|(name, _)| *name).collect();
+        eprintln!(
+            "scilint: unknown suite '{bad}' (known suites: {})",
+            known.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let selected: Vec<Suite> = suites
+        .into_iter()
+        .filter(|(name, _)| suite_filter.is_empty() || suite_filter.iter().any(|w| w == name))
+        .collect();
 
     let mut report = Report::new();
-    for (name, run) in suites {
+    for &(name, run) in &selected {
         let before = report.diagnostics().len();
         run(&mut report);
         if verbose && !json {
@@ -607,7 +647,7 @@ fn main() -> ExitCode {
             "],\n  \"errors\": {},\n  \"warnings\": {},\n  \"suites\": {}\n}}",
             errors,
             report.count(Severity::Warning),
-            suites.len()
+            selected.len()
         ));
         println!("{out}");
     } else {
@@ -620,7 +660,7 @@ fn main() -> ExitCode {
             "scilint: {} error(s), {} warning(s) across {} suites",
             errors,
             report.count(Severity::Warning),
-            suites.len()
+            selected.len()
         );
     }
     if errors > 0 {

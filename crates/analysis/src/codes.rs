@@ -137,6 +137,17 @@ pub const REC002: &str = "REC002";
 /// schedule derived from the policy seed, or a retry was recorded for
 /// attempt 0 (first tries are never retries).
 pub const REC003: &str = "REC003";
+/// A server protocol transcript is malformed: a job was served without
+/// being admitted, a (tenant, id) pair appears twice, or a served
+/// receipt fails its own coherence check.
+pub const SRV001: &str = "SRV001";
+/// A served verdict diverges from direct re-execution of the same job
+/// through the library — the server-never-changes-verdicts invariant.
+pub const SRV002: &str = "SRV002";
+/// Admission accounting incoherent: a tenant account receipt fails
+/// coherence, or the per-job receipts it settled do not sum to the
+/// account's counters.
+pub const SRV003: &str = "SRV003";
 
 /// Every registered code with its one-line description, for `scilint
 /// --codes` and the docs table.
@@ -244,6 +255,18 @@ pub const ALL: &[(&str, &str)] = &[
     (
         REC003,
         "retry charge off the deterministic backoff schedule",
+    ),
+    (
+        SRV001,
+        "server transcript malformed (unadmitted serve, duplicate id, bad receipt)",
+    ),
+    (
+        SRV002,
+        "served verdict diverges from direct library re-execution",
+    ),
+    (
+        SRV003,
+        "tenant admission accounting incoherent with served receipts",
     ),
 ];
 

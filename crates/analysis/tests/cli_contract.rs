@@ -1,0 +1,121 @@
+//! Contract tests for the `scilint` command-line interface.
+//!
+//! Downstream tooling (ci.sh, editor integrations) shells out to `scilint`
+//! and parses its output, so the JSON schema, the `--codes` listing format,
+//! and the exit-code conventions are load-bearing. These tests pin them.
+
+use sciduction::json::{self, Value};
+use std::process::{Command, Output};
+
+fn scilint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scilint"))
+        .args(args)
+        .output()
+        .expect("scilint binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("scilint stdout is UTF-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("scilint stderr is UTF-8")
+}
+
+#[test]
+fn codes_listing_is_code_two_spaces_description() {
+    let out = scilint(&["--codes"]);
+    assert!(out.status.success(), "--codes exits 0");
+    let text = stdout(&out);
+    assert!(!text.trim().is_empty(), "--codes prints the registry");
+    for line in text.lines() {
+        let (code, desc) = line
+            .split_once("  ")
+            .unwrap_or_else(|| panic!("line {line:?} is not `CODE  description`"));
+        assert!(
+            code.len() >= 4 && code.chars().all(|c| c.is_ascii_alphanumeric()),
+            "code {code:?} looks like a registry code"
+        );
+        assert!(!desc.trim().is_empty(), "description present for {code}");
+    }
+    // The server audit passes registered by the batch front door must be in
+    // the registry the CLI advertises.
+    for code in ["SRV001", "SRV002", "SRV003"] {
+        assert!(
+            text.lines().any(|l| l.starts_with(code)),
+            "--codes lists {code}"
+        );
+    }
+}
+
+#[test]
+fn json_report_schema_is_pinned() {
+    let out = scilint(&["--json", "--suite", "sat"]);
+    assert!(out.status.success(), "sat suite is clean: {}", stderr(&out));
+    let report = json::parse(&stdout(&out)).expect("--json output parses as JSON");
+    let obj = report.as_obj().expect("report is an object");
+    let top: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(top, ["diagnostics", "errors", "warnings", "suites"]);
+    assert!(report.get("errors").and_then(Value::as_u64).is_some());
+    assert!(report.get("warnings").and_then(Value::as_u64).is_some());
+    assert_eq!(report.get("suites").and_then(Value::as_u64), Some(1));
+    let diags = report
+        .get("diagnostics")
+        .and_then(Value::as_arr)
+        .expect("diagnostics is an array");
+    for d in diags {
+        for key in ["code", "severity", "layer", "artifact", "message"] {
+            assert!(
+                d.get(key).and_then(Value::as_str).is_some(),
+                "diagnostic field {key} is a string: {d:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_filter_counts_only_selected_suites() {
+    let out = scilint(&["--json", "--suite", "sat,ir"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let report = json::parse(&stdout(&out)).expect("json parses");
+    assert_eq!(report.get("suites").and_then(Value::as_u64), Some(2));
+
+    let repeated = scilint(&["--json", "--suite", "sat", "--suite", "ir"]);
+    assert!(repeated.status.success());
+    let report = json::parse(&stdout(&repeated)).expect("json parses");
+    assert_eq!(report.get("suites").and_then(Value::as_u64), Some(2));
+}
+
+#[test]
+fn unknown_suite_name_is_an_error_listing_known_suites() {
+    let out = scilint(&["--suite", "warp"]);
+    assert!(!out.status.success(), "unknown suite exits nonzero");
+    let err = stderr(&out);
+    assert!(err.contains("unknown suite 'warp'"), "{err}");
+    for name in ["ir", "cfg", "smt", "sat", "portfolio", "proof"] {
+        assert!(err.contains(name), "error lists known suite {name}: {err}");
+    }
+
+    let dangling = scilint(&["--suite"]);
+    assert!(!dangling.status.success(), "--suite without a value fails");
+    assert!(stderr(&dangling).contains("--suite needs a suite name"));
+}
+
+#[test]
+fn unknown_argument_is_rejected_with_usage() {
+    let out = scilint(&["--frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown argument '--frobnicate'"), "{err}");
+    assert!(err.contains("usage: scilint"), "{err}");
+}
+
+#[test]
+fn help_mentions_every_flag_and_exits_zero() {
+    let out = scilint(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for flag in ["--codes", "--verbose", "--json", "--suite"] {
+        assert!(text.contains(flag), "--help documents {flag}");
+    }
+}

@@ -1,0 +1,556 @@
+//! `loadgen` — closed-loop load generator and latency benchmark for
+//! `scid-server`, with a built-in conformance diff.
+//!
+//! Run with `cargo run --release -p sciduction-bench --bin loadgen`.
+//!
+//! Starts an in-process server, replays a pool of fig6/fig8/fig10
+//! workloads (plus random 3-SAT instances, a certifying job, and seeded
+//! fault storms) from N concurrent connections at two or more
+//! concurrency levels, and records p50/p99 latency and throughput into
+//! `BENCH_server.json` at the repository root.
+//!
+//! Every served verdict is diffed against a direct library call computed
+//! before the run; any divergence — or any worker panic — is a nonzero
+//! exit, so CI can gate on "the server never changes answers under
+//! load". Certificate artifacts land under `target/scid-server/proofs/`
+//! for independent replay through `scicheck`.
+
+use sciduction::exec::FaultPlan;
+use sciduction::json::{self, Value};
+use sciduction::Budget;
+use sciduction_bench::print_table;
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_sat::{solve_portfolio_with_faults, Cnf, PortfolioConfig};
+use sciduction_server::{Client, Server, ServerConfig};
+use sciduction_smt::Solver as SmtSolver;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+const USAGE: &str = "\
+usage: loadgen [options]
+
+Replays fig6/fig8/fig10 workloads against an in-process scid-server,
+diffs every served verdict against a direct library call, and writes
+p50/p99 latency and throughput to BENCH_server.json.
+
+options:
+  --conns A,B,...   concurrency levels to run (default 4,16)
+  --requests N      requests per connection per level (default 32)
+  --workers N       server worker threads (default 4)
+  --out PATH        output file (default <repo>/BENCH_server.json)
+  -h, --help        show this help";
+
+/// One pre-built job with its independently computed expected verdict.
+struct PoolEntry {
+    family: &'static str,
+    job: Value,
+    expected: String,
+}
+
+/// A finished request: pool index, served verdict, latency.
+struct Sample {
+    pool_idx: usize,
+    verdict: Result<String, String>,
+    latency_ms: f64,
+}
+
+fn fig_job(name: &str, threads: usize, fault_seed: Option<u64>, proof: bool) -> Value {
+    let mut fields = vec![
+        ("kind", Value::Str("fig".into())),
+        ("name", Value::Str(name.into())),
+        ("threads", Value::Int(threads as i64)),
+        ("proof", Value::Bool(proof)),
+    ];
+    if let Some(s) = fault_seed {
+        fields.push(("fault_seed", Value::Int(s as i64)));
+    }
+    json::obj(fields)
+}
+
+fn sat_job(cnf: &Cnf, threads: usize) -> Value {
+    let clauses = Value::Arr(
+        cnf.clauses
+            .iter()
+            .map(|cl| Value::Arr(cl.iter().map(|&l| Value::Int(l)).collect()))
+            .collect(),
+    );
+    json::obj(vec![
+        ("kind", Value::Str("sat".into())),
+        ("num_vars", Value::Int(cnf.num_vars as i64)),
+        ("clauses", clauses),
+        ("threads", Value::Int(threads as i64)),
+    ])
+}
+
+fn random_3sat(rng: &mut StdRng) -> Cnf {
+    let num_vars = rng.random_range(12..30u64) as usize;
+    let ratio = 3.3 + rng.random_range(0..16u64) as f64 / 10.0;
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = rng.random_range(0..num_vars as u64) as i64 + 1;
+                    if rng.random::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+/// The direct library verdict for a fig workload (no server, no shared
+/// cache) — the reference every served answer is diffed against.
+fn direct_fig_verdict(name: &str, threads: usize, fault_seed: Option<u64>) -> String {
+    if name == "fig10_mode_exclusion" {
+        let n = 7;
+        let m = 6;
+        let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+        let mut clauses: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..m).map(|j| var(i, j)).collect())
+            .collect();
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                for j in 0..m {
+                    clauses.push(vec![-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        let cnf = Cnf {
+            num_vars: n * m,
+            clauses,
+        };
+        return direct_sat_verdict(&cnf, threads, fault_seed);
+    }
+    let mut s = SmtSolver::new();
+    let terms: Vec<_> = match name {
+        "fig6_crc8_infeasible_path" | "fig6_crc8_feasible_path" => {
+            use sciduction_cfg::{path_formula, unroll, Dag};
+            let f = sciduction_ir::programs::crc8();
+            let dag = Dag::build(unroll(&f, 8)).expect("crc8 unrolls");
+            let paths = dag.enumerate_paths(1000);
+            let path = if name == "fig6_crc8_infeasible_path" {
+                paths.iter().min_by_key(|p| p.edges.len())
+            } else {
+                paths.iter().max_by_key(|p| p.edges.len())
+            }
+            .expect("crc8 has paths");
+            path_formula(&mut s, &dag, path).constraints
+        }
+        "fig8_p1_equiv_w8" => {
+            let p = s.terms_mut();
+            let x = p.var("x", 8);
+            let one = p.bv(1, 8);
+            let zero = p.bv(0, 8);
+            let xm1 = p.bv_sub(x, one);
+            let spec = p.bv_and(x, xm1);
+            let negx = p.bv_sub(zero, x);
+            let iso = p.bv_and(x, negx);
+            let cand = p.bv_sub(x, iso);
+            vec![p.neq(spec, cand)]
+        }
+        "fig8_p2_equiv_w8" => {
+            let p = s.terms_mut();
+            let x = p.var("x", 8);
+            let k45 = p.bv(45, 8);
+            let spec = p.bv_mul(x, k45);
+            let s5 = p.bv(5, 8);
+            let s3 = p.bv(3, 8);
+            let s2 = p.bv(2, 8);
+            let t5 = p.bv_shl(x, s5);
+            let t3 = p.bv_shl(x, s3);
+            let t2 = p.bv_shl(x, s2);
+            let sum = p.bv_add(t5, t3);
+            let sum = p.bv_add(sum, t2);
+            let cand = p.bv_add(sum, x);
+            vec![p.neq(spec, cand)]
+        }
+        other => panic!("unknown workload {other}"),
+    };
+    for t in terms {
+        s.assert_term(t);
+    }
+    s.check_bounded(&Budget::UNLIMITED).to_string()
+}
+
+fn direct_sat_verdict(cnf: &Cnf, threads: usize, fault_seed: Option<u64>) -> String {
+    let config = PortfolioConfig {
+        threads,
+        budget: Budget::UNLIMITED,
+        ..PortfolioConfig::default()
+    };
+    let plan = fault_seed.map(|s| Arc::new(FaultPlan::new(s)));
+    solve_portfolio_with_faults(cnf, &[], &config, plan)
+        .expect("portfolio degrades, never errors")
+        .verdict
+        .to_string()
+}
+
+/// The replayed mix: every fig workload at several thread counts, one
+/// certifying job, seeded fault storms, and random 3-SAT instances.
+fn build_pool() -> Vec<PoolEntry> {
+    let mut pool = Vec::new();
+    let fig_names = [
+        "fig6_crc8_infeasible_path",
+        "fig6_crc8_feasible_path",
+        "fig8_p1_equiv_w8",
+        "fig8_p2_equiv_w8",
+        "fig10_mode_exclusion",
+    ];
+    for (i, name) in fig_names.iter().enumerate() {
+        for threads in [1usize, 2, 4] {
+            pool.push(PoolEntry {
+                family: if name.starts_with("fig6") {
+                    "fig6"
+                } else if name.starts_with("fig8") {
+                    "fig8"
+                } else {
+                    "fig10"
+                },
+                job: fig_job(name, threads, None, false),
+                expected: direct_fig_verdict(name, threads, None),
+            });
+        }
+        // One storm-seeded variant per workload (PR-3 fault plans ride
+        // the wire; the verdict must still match the direct faulted run).
+        let seed = 0x10AD_0001 + i as u64;
+        pool.push(PoolEntry {
+            family: "faulted",
+            job: fig_job(name, 2, Some(seed), false),
+            expected: direct_fig_verdict(name, 2, Some(seed)),
+        });
+    }
+    // A certifying job: exercises proof emission + artifact writing under
+    // load, and leaves scicert files for CI to replay through scicheck.
+    pool.push(PoolEntry {
+        family: "certified",
+        job: fig_job("fig8_p1_equiv_w8", 1, None, true),
+        expected: "unsat".into(),
+    });
+    let mut rng = StdRng::seed_from_u64(0x10AD_3547);
+    for _ in 0..8 {
+        let cnf = random_3sat(&mut rng);
+        let expected = direct_sat_verdict(&cnf, 2, None);
+        pool.push(PoolEntry {
+            family: "sat3",
+            job: sat_job(&cnf, 2),
+            expected,
+        });
+    }
+    pool
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// One concurrency level's aggregated results.
+struct LevelResult {
+    conns: usize,
+    requests: usize,
+    wall_ms: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    families: Vec<(String, usize, f64, f64)>,
+    mismatches: Vec<String>,
+}
+
+fn run_level(
+    server: &Server,
+    pool: &[PoolEntry],
+    conns: usize,
+    requests: usize,
+) -> Result<LevelResult, String> {
+    let t0 = Instant::now();
+    let mut all: Vec<Sample> = Vec::new();
+    let results: Vec<Result<Vec<Sample>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || -> Result<Vec<Sample>, String> {
+                    let mut client = Client::connect(server.addr(), Duration::from_secs(300))
+                        .map_err(|e| format!("conn {c}: connect: {e}"))?;
+                    let tenant = format!("conn-{c}");
+                    let mut samples = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        let pool_idx = (c * requests + r) % pool.len();
+                        let t = Instant::now();
+                        let resp = client
+                            .request(&tenant, pool[pool_idx].job.clone())
+                            .map_err(|e| format!("conn {c} req {r}: {e}"))?;
+                        let latency_ms = t.elapsed().as_secs_f64() * 1e3;
+                        let verdict = if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+                            Ok(resp
+                                .get("verdict")
+                                .and_then(Value::as_str)
+                                .unwrap_or("")
+                                .to_string())
+                        } else {
+                            Err(resp.to_string())
+                        };
+                        samples.push(Sample {
+                            pool_idx,
+                            verdict,
+                            latency_ms,
+                        });
+                    }
+                    Ok(samples)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for r in results {
+        all.extend(r?);
+    }
+
+    // Conformance diff, outside the timed region.
+    let mut mismatches = Vec::new();
+    for s in &all {
+        let entry = &pool[s.pool_idx];
+        match &s.verdict {
+            Ok(v) if *v == entry.expected => {}
+            Ok(v) => mismatches.push(format!(
+                "{} (pool {}): served {:?}, library says {:?}",
+                entry.family, s.pool_idx, v, entry.expected
+            )),
+            Err(frame) => mismatches.push(format!(
+                "{} (pool {}): error frame {}",
+                entry.family, s.pool_idx, frame
+            )),
+        }
+    }
+
+    let mut lat: Vec<f64> = all.iter().map(|s| s.latency_ms).collect();
+    lat.sort_by(f64::total_cmp);
+    let mut families: Vec<(String, usize, f64, f64)> = Vec::new();
+    for family in ["fig6", "fig8", "fig10", "faulted", "certified", "sat3"] {
+        let mut fam: Vec<f64> = all
+            .iter()
+            .filter(|s| pool[s.pool_idx].family == family)
+            .map(|s| s.latency_ms)
+            .collect();
+        if fam.is_empty() {
+            continue;
+        }
+        fam.sort_by(f64::total_cmp);
+        families.push((
+            family.to_string(),
+            fam.len(),
+            percentile(&fam, 0.50),
+            percentile(&fam, 0.99),
+        ));
+    }
+    Ok(LevelResult {
+        conns,
+        requests: all.len(),
+        wall_ms,
+        throughput_rps: all.len() as f64 / (wall_ms / 1e3),
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        families,
+        mismatches,
+    })
+}
+
+fn results_json(levels: &[LevelResult], workers: usize, pool_size: usize) -> Value {
+    let level_values: Vec<Value> = levels
+        .iter()
+        .map(|l| {
+            json::obj(vec![
+                ("conns", Value::Int(l.conns as i64)),
+                ("requests", Value::Int(l.requests as i64)),
+                ("wall_ms", Value::Float(l.wall_ms)),
+                ("throughput_rps", Value::Float(l.throughput_rps)),
+                ("p50_ms", Value::Float(l.p50_ms)),
+                ("p99_ms", Value::Float(l.p99_ms)),
+                (
+                    "families",
+                    Value::Arr(
+                        l.families
+                            .iter()
+                            .map(|(name, n, p50, p99)| {
+                                json::obj(vec![
+                                    ("family", Value::Str(name.clone())),
+                                    ("requests", Value::Int(*n as i64)),
+                                    ("p50_ms", Value::Float(*p50)),
+                                    ("p99_ms", Value::Float(*p99)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("mismatches", Value::Int(l.mismatches.len() as i64)),
+            ])
+        })
+        .collect();
+    json::obj(vec![
+        ("schema", Value::Str("sciduction-server-bench/v1".into())),
+        (
+            "command",
+            Value::Str("cargo run --release -p sciduction-bench --bin loadgen".into()),
+        ),
+        (
+            "timing",
+            Value::Str(
+                "closed-loop request latency over a fixed workload pool, milliseconds".into(),
+            ),
+        ),
+        ("workers", Value::Int(workers as i64)),
+        ("pool_size", Value::Int(pool_size as i64)),
+        ("levels", Value::Arr(level_values)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let mut conns_levels: Vec<usize> = vec![4, 16];
+    let mut requests = 32usize;
+    let mut workers = 4usize;
+    let mut out = repo_root().join("BENCH_server.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs an argument"))
+        };
+        let result: Result<(), String> = match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--conns" => take("--conns").and_then(|v| {
+                v.split(',')
+                    .map(|p| p.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+                    .collect::<Option<Vec<_>>>()
+                    .filter(|l| !l.is_empty())
+                    .map(|l| conns_levels = l)
+                    .ok_or_else(|| format!("--conns: not a list of positive integers: {v}"))
+            }),
+            "--requests" => take("--requests").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| requests = n)
+                    .ok_or_else(|| format!("--requests: not a positive integer: {v}"))
+            }),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| workers = n)
+                    .ok_or_else(|| format!("--workers: not a positive integer: {v}"))
+            }),
+            "--out" => take("--out").map(|v| out = PathBuf::from(v)),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("loadgen: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    println!("== loadgen: building the workload pool and its library reference verdicts ==");
+    let pool = build_pool();
+    println!("pool: {} jobs", pool.len());
+
+    let proofs = repo_root().join("target/scid-server/proofs");
+    let server = match Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        tenant_budget: Budget::UNLIMITED,
+        proofs_dir: Some(proofs.clone()),
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: cannot start server: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("server: {} ({} workers)", server.addr(), workers);
+
+    let mut levels = Vec::new();
+    let mut failed = false;
+    for &conns in &conns_levels {
+        match run_level(&server, &pool, conns, requests) {
+            Ok(level) => {
+                for m in &level.mismatches {
+                    eprintln!("loadgen: CONFORMANCE MISMATCH: {m}");
+                    failed = true;
+                }
+                levels.push(level);
+            }
+            Err(e) => {
+                eprintln!("loadgen: level {conns} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if server.internal_errors() > 0 {
+        eprintln!(
+            "loadgen: {} worker panic(s) under load",
+            server.internal_errors()
+        );
+        failed = true;
+    }
+
+    let table: Vec<Vec<String>> = levels
+        .iter()
+        .map(|l| {
+            vec![
+                l.conns.to_string(),
+                l.requests.to_string(),
+                format!("{:.1}", l.wall_ms),
+                format!("{:.1}", l.throughput_rps),
+                format!("{:.3}", l.p50_ms),
+                format!("{:.3}", l.p99_ms),
+                l.mismatches.len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "conns",
+            "requests",
+            "wall_ms",
+            "rps",
+            "p50_ms",
+            "p99_ms",
+            "mismatches",
+        ],
+        &table,
+    );
+
+    let json_text = format!("{}\n", results_json(&levels, workers, pool.len()));
+    if let Err(e) = fs::write(&out, json_text) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("\nresults written to {}", out.display());
+    println!("certificates written to {}", proofs.display());
+    if failed {
+        eprintln!("loadgen: FAILED — served verdicts diverged or workers panicked");
+        return ExitCode::FAILURE;
+    }
+    println!("conformance: every served verdict matched the direct library call");
+    ExitCode::SUCCESS
+}

@@ -55,20 +55,62 @@ fn proofs_dir() -> PathBuf {
     dir
 }
 
-/// Median wall-clock milliseconds of `iters` runs of `f`.
-fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..iters)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
+/// Discarded warmup runs before any sample is taken (first runs pay for
+/// page faults, lazy allocation, and branch-predictor training, which
+/// used to show up as nonsense overhead on microsecond-scale queries).
+const WARMUP_ITERS: usize = 3;
 
-const TIMING_ITERS: usize = 5;
+/// Timed samples per workload; the median of 31 is robust to the odd
+/// scheduler preemption in a way the old median-of-5 was not.
+const TIMING_SAMPLES: usize = 31;
+
+/// Paired median per-run wall-clock milliseconds of `off` and `on` over
+/// [`TIMING_SAMPLES`] interleaved samples each, after [`WARMUP_ITERS`]
+/// warmup runs of both.
+///
+/// The two variants are sampled alternately (off, on, off, on, …) so
+/// slow environmental drift — CPU frequency ramp-up, thermal throttling,
+/// allocator arena growth — hits both equally instead of biasing
+/// whichever variant is measured second. Sub-millisecond workloads are
+/// batched: each sample times enough back-to-back repetitions to cross
+/// ~10 ms of wall clock, so timer granularity and scheduler noise stop
+/// dominating queries that finish in microseconds (the old
+/// measure-all-of-off-then-all-of-on single-run sampling reported a −40%
+/// "proof overhead" on `fig6_crc8_infeasible_path` for exactly these
+/// reasons).
+fn paired_median_ms(mut off: impl FnMut(), mut on: impl FnMut()) -> (f64, f64) {
+    for _ in 0..WARMUP_ITERS {
+        off();
+        on();
+    }
+    let reps_for = |pilot_ms: f64| {
+        if pilot_ms >= 1.0 {
+            1
+        } else {
+            ((10.0 / pilot_ms.max(1e-6)).ceil() as usize).min(20_000)
+        }
+    };
+    let sample = |f: &mut dyn FnMut(), reps: usize| {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+    };
+    let reps_off = reps_for(sample(&mut off, 1));
+    let reps_on = reps_for(sample(&mut on, 1));
+    let mut samples_off = Vec::with_capacity(TIMING_SAMPLES);
+    let mut samples_on = Vec::with_capacity(TIMING_SAMPLES);
+    for _ in 0..TIMING_SAMPLES {
+        samples_off.push(sample(&mut off, reps_off));
+        samples_on.push(sample(&mut on, reps_on));
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    (median(samples_off), median(samples_on))
+}
 
 /// Benchmarks an SMT query: `build` emits terms into the pool and returns
 /// the assertions. The query runs on a plain solver (proof logging off)
@@ -90,12 +132,14 @@ fn bench_smt_query(
         assert_eq!(s.check(), expected, "{name}");
         s
     };
-    let proof_off_ms = median_ms(TIMING_ITERS, || {
-        run(false);
-    });
-    let proof_on_ms = median_ms(TIMING_ITERS, || {
-        run(true);
-    });
+    let (proof_off_ms, proof_on_ms) = paired_median_ms(
+        || {
+            run(false);
+        },
+        || {
+            run(true);
+        },
+    );
 
     let s = run(true);
     let stats = s.sat_stats();
@@ -231,12 +275,14 @@ fn fig10_rows() -> Vec<Row> {
                 );
                 out
             };
-            let proof_off_ms = median_ms(TIMING_ITERS, || {
-                solve(false);
-            });
-            let proof_on_ms = median_ms(TIMING_ITERS, || {
-                solve(true);
-            });
+            let (proof_off_ms, proof_on_ms) = paired_median_ms(
+                || {
+                    solve(false);
+                },
+                || {
+                    solve(true);
+                },
+            );
 
             let out = solve(true);
             let proof = out.proof.expect("unsat portfolio with proof on");
@@ -302,7 +348,7 @@ fn write_json(rows: &[Row]) -> PathBuf {
         ));
     }
     let json = format!(
-        "{{\n  \"schema\": \"sciduction-solver-bench/v1\",\n  \"command\": \"cargo run --release -p sciduction-bench --bin solver_bench\",\n  \"timing\": \"median of {TIMING_ITERS} runs, milliseconds\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"sciduction-solver-bench/v1\",\n  \"command\": \"cargo run --release -p sciduction-bench --bin solver_bench\",\n  \"timing\": \"median of {TIMING_SAMPLES} interleaved off/on samples after {WARMUP_ITERS} warmup runs, per-run milliseconds; sub-millisecond workloads batched to >=10ms per sample\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let path = repo_root().join("BENCH_solver.json");

@@ -392,6 +392,36 @@ impl BudgetMeter {
         self.tick(1)
     }
 
+    /// Charges `n` SAT conflicts at once (e.g. a whole job's receipt
+    /// settled against a tenant account); refusal semantics as
+    /// [`BudgetMeter::charge_step_batch`].
+    pub fn charge_conflict_batch(&mut self, n: u64) -> Result<(), Exhausted> {
+        let remaining = self.budget.conflicts.saturating_sub(self.conflicts);
+        if n > remaining {
+            self.conflicts += remaining;
+            self.clock += remaining;
+            let c = Exhausted::Conflicts {
+                limit: self.budget.conflicts,
+                spent: self.conflicts,
+            };
+            self.cause = Some(c);
+            return Err(c);
+        }
+        self.conflicts += n;
+        self.tick(n)
+    }
+
+    /// Settles a finished job's [`BudgetReceipt`] against this meter:
+    /// conflicts, steps, and fuel are batch-charged in that order, so a
+    /// tenant account accumulates exactly what its jobs spent and refuses
+    /// (with a certified cause) once any dimension would overrun. Used by
+    /// `scid-server` admission control.
+    pub fn charge_receipt(&mut self, receipt: &BudgetReceipt) -> Result<(), Exhausted> {
+        self.charge_conflict_batch(receipt.conflicts)?;
+        self.charge_step_batch(receipt.steps)?;
+        self.charge_fuel_batch(receipt.fuel)
+    }
+
     /// Charges one engine step.
     pub fn charge_step(&mut self) -> Result<(), Exhausted> {
         self.charge_step_batch(1)
@@ -591,6 +621,59 @@ mod tests {
         assert!(r.certifies(&c));
         assert_eq!(r.steps, 10);
         assert_eq!(r.clock, 10);
+    }
+
+    #[test]
+    fn receipts_settle_against_a_tenant_account() {
+        let mut job = BudgetMeter::new(Budget::UNLIMITED);
+        job.charge_conflict_batch(3).unwrap();
+        job.charge_step_batch(4).unwrap();
+        job.charge_fuel_batch(2).unwrap();
+        let paid = job.receipt();
+
+        let mut account = BudgetMeter::new(Budget {
+            conflicts: 10,
+            steps: 10,
+            fuel: 10,
+            ..Budget::UNLIMITED
+        });
+        account.charge_receipt(&paid).unwrap();
+        let r = account.receipt();
+        assert!(r.coherent());
+        assert_eq!((r.conflicts, r.steps, r.fuel), (3, 4, 2));
+
+        // Two more identical jobs overrun the step cap first (3×4 > 10);
+        // the refusal lands exactly on the limit and is certified.
+        account.charge_receipt(&paid).unwrap();
+        let cause = account.charge_receipt(&paid).unwrap_err();
+        assert_eq!(
+            cause,
+            Exhausted::Steps {
+                limit: 10,
+                spent: 10
+            }
+        );
+        let r = account.receipt();
+        assert!(r.coherent() && r.certifies(&cause));
+        // The third job's conflicts were charged before the step refusal,
+        // and its fuel never was.
+        assert_eq!((r.conflicts, r.fuel), (9, 4));
+        // A refused account stays refused (sticky cause).
+        assert_eq!(account.cause(), Some(cause));
+    }
+
+    #[test]
+    fn conflict_batch_matches_single_charge_semantics() {
+        let mut single = BudgetMeter::new(Budget::with_conflicts(3));
+        let mut batch = BudgetMeter::new(Budget::with_conflicts(3));
+        for _ in 0..3 {
+            single.charge_conflict().unwrap();
+            batch.charge_conflict_batch(1).unwrap();
+        }
+        let c1 = single.charge_conflict().unwrap_err();
+        let c2 = batch.charge_conflict_batch(1).unwrap_err();
+        assert_eq!(c1, c2);
+        assert_eq!(single.receipt(), batch.receipt());
     }
 
     #[test]

@@ -874,6 +874,114 @@ impl<K: Hash + Eq, V> Drop for PendingClaim<'_, K, V> {
     }
 }
 
+/// A blocking multi-producer multi-consumer queue that round-robins
+/// across lanes keyed by `K`, so no key can starve the others however
+/// bursty its producer is. `scid-server` keys lanes by tenant: a client
+/// that floods 1000 jobs still alternates with a client that sent one.
+///
+/// `pop` blocks until an item is available or the queue is closed;
+/// `close` wakes every blocked consumer, which then drain the remaining
+/// items before seeing `None`.
+pub struct FairQueue<K: Eq + Hash + Clone, T> {
+    state: Mutex<FairQueueState<K, T>>,
+    available: Condvar,
+}
+
+struct FairQueueState<K, T> {
+    lanes: HashMap<K, VecDeque<T>>,
+    /// Keys with non-empty lanes, in service order; the front key serves
+    /// one item and rotates to the back.
+    rotation: VecDeque<K>,
+    len: usize,
+    closed: bool,
+}
+
+impl<K: Eq + Hash + Clone, T> FairQueue<K, T> {
+    /// An open queue with no lanes yet.
+    pub fn new() -> Self {
+        FairQueue {
+            state: Mutex::new(FairQueueState {
+                lanes: HashMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item on `key`'s lane. Returns `false` (dropping the
+    /// item) if the queue is already closed.
+    pub fn push(&self, key: K, item: T) -> bool {
+        let mut state = lock_ignoring_poison(&self.state);
+        if state.closed {
+            return false;
+        }
+        let lane = state.lanes.entry(key.clone()).or_default();
+        let was_empty = lane.is_empty();
+        lane.push_back(item);
+        if was_empty {
+            state.rotation.push_back(key);
+        }
+        state.len += 1;
+        drop(state);
+        self.available.notify_one();
+        true
+    }
+
+    /// Dequeues the next item in round-robin key order, blocking while
+    /// the queue is open and empty. Returns `None` once the queue is
+    /// closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = lock_ignoring_poison(&self.state);
+        loop {
+            if let Some(key) = state.rotation.pop_front() {
+                let lane = state.lanes.get_mut(&key).expect("rotation keys have lanes");
+                let item = lane.pop_front().expect("rotation lanes are non-empty");
+                if lane.is_empty() {
+                    state.lanes.remove(&key);
+                } else {
+                    state.rotation.push_back(key);
+                }
+                state.len -= 1;
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the queue: further pushes are refused, blocked consumers
+    /// wake, and `pop` returns `None` once the backlog drains.
+    pub fn close(&self) {
+        let mut state = lock_ignoring_poison(&self.state);
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Items currently queued across all lanes.
+    pub fn len(&self) -> usize {
+        lock_ignoring_poison(&self.state).len
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, T> Default for FairQueue<K, T> {
+    fn default() -> Self {
+        FairQueue::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1198,5 +1306,63 @@ mod tests {
             calls.load(Ordering::Relaxed) > 1,
             "some lookups must have been forced to miss"
         );
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_keys() {
+        let q: FairQueue<&str, u32> = FairQueue::new();
+        // A bursty tenant enqueues a pile before a quiet one shows up.
+        for i in 0..4 {
+            assert!(q.push("burst", i));
+        }
+        assert!(q.push("quiet", 100));
+        assert_eq!(q.len(), 5);
+        // The quiet tenant is served second, not fifth.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(100));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fair_queue_close_drains_then_ends() {
+        let q: FairQueue<u8, u8> = FairQueue::new();
+        q.push(1, 10);
+        q.push(2, 20);
+        q.close();
+        assert!(!q.push(1, 30), "pushes after close are refused");
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed+empty stays terminal");
+    }
+
+    #[test]
+    fn fair_queue_blocked_consumers_wake_on_push_and_close() {
+        let q: Arc<FairQueue<u8, u32>> = Arc::new(FairQueue::new());
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100u32 {
+            assert!(q.push((i % 3) as u8, i));
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer must not panic"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>(), "every item served once");
     }
 }

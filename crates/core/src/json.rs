@@ -1,0 +1,595 @@
+//! A minimal, zero-dependency JSON reader/writer for the service layer.
+//!
+//! The workspace's wire protocol (`scid-server`, DESIGN.md §4.17) and its
+//! machine-readable tool outputs (`scilint --json`, `BENCH_*.json`) need
+//! JSON both ways, and the no-external-deps rule means we carry our own.
+//! The dialect is deliberately small and strict:
+//!
+//! * UTF-8 text only; invalid UTF-8 is a parse error, never a panic.
+//! * Integers that fit an `i64` parse as [`Value::Int`]; everything else
+//!   numeric parses as [`Value::Float`]. Writers therefore round-trip
+//!   seeds, budgets, and counters up to `i64::MAX` exactly.
+//! * Nesting depth is capped ([`MAX_DEPTH`]) so adversarial input (the
+//!   protocol fuzz suite feeds this parser directly) exhausts neither the
+//!   stack nor the heap.
+//! * Objects preserve key order and allow duplicate keys on input (last
+//!   one wins for [`Value::get`]), which keeps the parser total on the
+//!   sloppy frames a fuzzer sends.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`parse`]. Deeper input is a parse
+/// error — never a stack overflow.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that is an exact integer in `i64` range.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (last binding wins); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as a `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the value as compact JSON (no whitespace). The output of
+/// [`fmt::Display`] always reparses to an equal value, except that
+/// non-finite floats (which JSON cannot carry) render as `null`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats, so
+                    // the token stays a float on re-parse.
+                    write!(f, "{x:?}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Value::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Value::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document, requiring the whole input to be consumed
+/// (trailing whitespace excepted).
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+/// Parses one JSON document from raw bytes, rejecting invalid UTF-8 as a
+/// parse error (the protocol framer hands this arbitrary wire bytes).
+pub fn parse_bytes(bytes: &[u8]) -> Result<Value, ParseError> {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => parse(text),
+        Err(e) => Err(ParseError {
+            message: format!("invalid UTF-8: {e}"),
+            offset: e.valid_up_to(),
+        }),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected byte 0x{b:02x}"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes up to the next quote/escape.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is known-valid UTF-8 and we only stopped on
+                // ASCII delimiters, so the run is a valid str slice.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("scanned run of a valid UTF-8 input"),
+                );
+            }
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape_char()?);
+                }
+                Some(b) => return Err(self.err(format!("raw control byte 0x{b:02x} in string"))),
+            }
+        }
+    }
+
+    fn escape_char(&mut self) -> Result<char, ParseError> {
+        let c = match self.peek() {
+            None => return Err(self.err("unterminated escape")),
+            Some(b'"') => '"',
+            Some(b'\\') => '\\',
+            Some(b'/') => '/',
+            Some(b'b') => '\u{8}',
+            Some(b'f') => '\u{c}',
+            Some(b'n') => '\n',
+            Some(b'r') => '\r',
+            Some(b't') => '\t',
+            Some(b'u') => {
+                self.pos += 1;
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require the low half immediately.
+                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err("lone low surrogate"));
+                } else {
+                    hi
+                };
+                return char::from_u32(code).ok_or_else(|| self.err("invalid codepoint"));
+            }
+            Some(b) => return Err(self.err(format!("bad escape '\\{}'", b as char))),
+        };
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digit_run()?;
+        if int_digits > 1
+            && self.bytes[if self.bytes[start] == b'-' {
+                start + 1
+            } else {
+                start
+            }] == b'0'
+        {
+            return Err(self.err("leading zero"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digit_run()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digit_run()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if integral {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::Float(x)),
+            Err(_) => Err(ParseError {
+                message: format!("malformed number '{text}'"),
+                offset: start,
+            }),
+        }
+    }
+
+    fn digit_run(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a digit"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+/// Convenience builder: an object from rendered fields, preserving order.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let text = v.to_string();
+        assert_eq!(&parse(&text).unwrap(), v, "rendered: {text}");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("0").unwrap(), Value::Int(0));
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(
+            parse("9223372036854775807").unwrap(),
+            Value::Int(i64::MAX),
+            "i64::MAX stays integral"
+        );
+        // One past i64::MAX degrades to a float instead of erroring.
+        assert!(matches!(
+            parse("9223372036854775808").unwrap(),
+            Value::Float(_)
+        ));
+        assert_eq!(
+            parse("\"hi\\n\\\"there\\\"\"").unwrap(),
+            Value::Str("hi\n\"there\"".into())
+        );
+        assert_eq!(
+            parse("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Value::Str("é😀".into())
+        );
+    }
+
+    #[test]
+    fn parses_containers_and_lookup() {
+        let v = parse(r#"{"id": 3, "job": {"kind": "sat", "clauses": [[1,-2],[2]]}, "id": 4}"#)
+            .unwrap();
+        assert_eq!(v.get("id"), Some(&Value::Int(4)), "last binding wins");
+        let job = v.get("job").unwrap();
+        assert_eq!(job.get("kind").unwrap().as_str(), Some("sat"));
+        let clauses = job.get("clauses").unwrap().as_arr().unwrap();
+        assert_eq!(clauses[0].as_arr().unwrap()[1], Value::Int(-2));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs_gracefully() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "+1",
+            "01",
+            "1.",
+            "\"abc",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "\"\\udc00x\"",
+            "{\"a\":1,}",
+            "[],[]",
+            "1 2",
+            "\u{1}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+        assert!(parse_bytes(&[0xff, 0xfe, b'{']).is_err(), "invalid UTF-8");
+    }
+
+    #[test]
+    fn depth_limit_is_an_error_not_a_crash() {
+        let deep = "[".repeat(MAX_DEPTH + 10) + &"]".repeat(MAX_DEPTH + 10);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // At the limit itself, parsing succeeds.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn rendering_roundtrips() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Int(-123456789));
+        roundtrip(&Value::Float(0.25));
+        roundtrip(&Value::Str("line\nbreak \"quoted\" \\slash\u{7f}".into()));
+        roundtrip(&obj(vec![
+            ("id", Value::Int(1)),
+            ("tenant", Value::Str("alice".into())),
+            (
+                "clauses",
+                Value::Arr(vec![Value::Arr(vec![Value::Int(1), Value::Int(-2)])]),
+            ),
+            ("cause", Value::Null),
+            ("float", Value::Float(2.0)),
+        ]));
+        assert_eq!(Value::Float(2.0).to_string(), "2.0", "stays a float token");
+        assert_eq!(Value::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn control_bytes_in_strings_are_rejected_raw_but_accepted_escaped() {
+        assert!(parse("\"a\u{0}b\"").is_err());
+        assert_eq!(
+            parse("\"a\\u0000b\"").unwrap(),
+            Value::Str("a\u{0}b".into())
+        );
+    }
+}

@@ -96,6 +96,7 @@ mod engines;
 pub mod exec;
 mod hypothesis;
 pub mod invariants;
+pub mod json;
 pub mod lstar;
 pub mod recover;
 pub mod teaching;

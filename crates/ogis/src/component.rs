@@ -319,6 +319,22 @@ pub trait IoOracle {
     }
 }
 
+/// Boxed oracles forward, so call sites can pick a benchmark oracle by
+/// name at runtime (`scid-server` synthesis jobs do).
+impl<O: IoOracle + ?Sized> IoOracle for Box<O> {
+    fn query(&mut self, inputs: &[BvValue]) -> Vec<BvValue> {
+        (**self).query(inputs)
+    }
+
+    fn queries(&self) -> u64 {
+        (**self).queries()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
 /// An oracle wrapping a Rust closure (used for the paper's obfuscated
 /// benchmark programs).
 pub struct FnOracle<F> {

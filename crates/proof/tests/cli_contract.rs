@@ -1,0 +1,142 @@
+//! Contract tests for the `scicheck` command-line interface.
+//!
+//! ci.sh and the server smoke stage replay served certificates through
+//! `scicheck` and branch on its exit status, so the 0/1/2 convention and the
+//! `s VERIFIED` / `s REJECTED` verdict lines are part of the public surface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// The canonical tiny refutation: x and not-x, closed by the empty clause.
+const REFUTABLE_CNF: &str = "p cnf 1 2\n1 0\n-1 0\n";
+const EMPTY_CLAUSE_PROOF: &str = "0\n";
+/// A satisfiable formula the empty-clause proof cannot close.
+const SATISFIABLE_CNF: &str = "p cnf 1 1\n1 0\n";
+
+fn scicheck(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scicheck"))
+        .args(args)
+        .output()
+        .expect("scicheck binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("scicheck stdout is UTF-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("scicheck stderr is UTF-8")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("scicheck exits, not signalled")
+}
+
+/// Writes `contents` into a uniquely named file under the target temp dir and
+/// returns its path as a string.
+fn scratch_file(name: &str, contents: &str) -> String {
+    let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&path).expect("tmpdir exists");
+    path.push(name);
+    std::fs::write(&path, contents).expect("scratch file written");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn valid_refutation_verifies_with_exit_zero() {
+    let cnf = scratch_file("ok.cnf", REFUTABLE_CNF);
+    let drat = scratch_file("ok.drat", EMPTY_CLAUSE_PROOF);
+    let out = scicheck(&[&cnf, &drat]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).starts_with("s VERIFIED"),
+        "verdict line: {}",
+        stdout(&out)
+    );
+
+    let quiet = scicheck(&["--quiet", &cnf, &drat]);
+    assert_eq!(exit_code(&quiet), 0);
+    assert!(
+        stdout(&quiet).is_empty(),
+        "--quiet suppresses the verdict line"
+    );
+}
+
+#[test]
+fn bogus_proof_is_rejected_with_exit_one() {
+    let cnf = scratch_file("sat.cnf", SATISFIABLE_CNF);
+    let drat = scratch_file("sat.drat", EMPTY_CLAUSE_PROOF);
+    let out = scicheck(&[&cnf, &drat]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(
+        stdout(&out).starts_with("s REJECTED"),
+        "verdict line: {}",
+        stdout(&out)
+    );
+    assert!(
+        !stderr(&out).trim().is_empty(),
+        "rejection carries a reason on stderr"
+    );
+
+    let quiet = scicheck(&["-q", &cnf, &drat]);
+    assert_eq!(exit_code(&quiet), 1);
+    assert!(stdout(&quiet).is_empty(), "-q suppresses `s REJECTED` too");
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    let no_args = scicheck(&[]);
+    assert_eq!(exit_code(&no_args), 2, "no arguments is a usage error");
+    assert!(stderr(&no_args).contains("usage: scicheck"));
+
+    let cnf = scratch_file("lonely.cnf", REFUTABLE_CNF);
+    let one_arg = scicheck(&[&cnf]);
+    assert_eq!(exit_code(&one_arg), 2, "one positional is a usage error");
+
+    let missing = scicheck(&[&cnf, "/nonexistent/proof.drat"]);
+    assert_eq!(exit_code(&missing), 2, "unreadable proof is an I/O error");
+    assert!(stderr(&missing).contains("cannot read"));
+
+    let unknown = scicheck(&["--warp"]);
+    assert_eq!(exit_code(&unknown), 2, "unknown option is a usage error");
+
+    let dangling = scicheck(&["--cert"]);
+    assert_eq!(exit_code(&dangling), 2, "--cert without a file");
+}
+
+#[test]
+fn cert_mode_checks_scicert_files_end_to_end() {
+    // A hand-built scicert v1: one Boolean term blasted to literal 1, the
+    // refutable CNF, and the empty-clause DRAT proof.
+    let good = format!("scicert v1\nblast flag bool 1\n{REFUTABLE_CNF}proof\n{EMPTY_CLAUSE_PROOF}");
+    let path = scratch_file("good.scicert", &good);
+    let out = scicheck(&["--cert", &path]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stdout(&out).starts_with("s VERIFIED"));
+
+    // Same shape over the satisfiable CNF: the checker must reject it.
+    let bad =
+        format!("scicert v1\nblast flag bool 1\n{SATISFIABLE_CNF}proof\n{EMPTY_CLAUSE_PROOF}");
+    let path = scratch_file("bad.scicert", &bad);
+    let out = scicheck(&["--cert", &path]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(stdout(&out).starts_with("s REJECTED"));
+
+    // Garbage that fails to parse as a certificate is a rejection (the
+    // artifact is readable but not valid), not an I/O error.
+    let path = scratch_file("garbage.scicert", "not a certificate\n");
+    let out = scicheck(&["--cert", &path]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(stderr(&out).contains("scicert"), "{}", stderr(&out));
+}
+
+#[test]
+fn help_exits_zero_and_documents_both_modes() {
+    for flag in ["--help", "-h"] {
+        let out = scicheck(&[flag]);
+        assert_eq!(exit_code(&out), 0);
+        let text = stdout(&out);
+        assert!(text.contains("--cert"), "help documents cert mode");
+        assert!(text.contains("proof.drat"), "help documents DRAT mode");
+    }
+}

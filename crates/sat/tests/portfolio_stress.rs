@@ -167,3 +167,23 @@ fn portfolio_race_under_assumptions_matches_sequential() {
 fn portfolio_races_never_lose_answers_10k() {
     soak(10_000, 0x50A_50A);
 }
+
+/// Env-sized variant of the big soak: `SCIDUCTION_SOAK=<races>` picks the
+/// race count (capped at 100k), unset or `0` skips. Lets CI run a bounded
+/// soak without the all-or-nothing `--ignored` hammer, and lets a developer
+/// dial the intensity when bisecting a race.
+#[test]
+fn portfolio_races_soak_sized_by_env() {
+    let races = match std::env::var("SCIDUCTION_SOAK") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.min(100_000),
+            Err(_) => panic!("SCIDUCTION_SOAK must be a race count, got {v:?}"),
+        },
+        Err(_) => 0,
+    };
+    if races == 0 {
+        eprintln!("portfolio_races_soak_sized_by_env: SCIDUCTION_SOAK unset, skipping");
+        return;
+    }
+    soak(races, 0x50A_50A);
+}

@@ -1,0 +1,237 @@
+//! SRV audit passes over server protocol transcripts.
+//!
+//! The server keeps an append-only transcript of every admitted job and
+//! what was served for it, plus the per-tenant admission accounts. These
+//! passes re-check that record after the fact:
+//!
+//! * `SRV001` — transcript well-formedness: every served job was
+//!   admitted, no (tenant, id) pair is recorded twice, served receipts
+//!   cohere.
+//! * `SRV002` — the served verdict matches a direct re-execution of the
+//!   same spec through the library (the server-never-changes-verdicts
+//!   invariant, checked from the record alone).
+//! * `SRV003` — admission accounting: each tenant account's counters
+//!   equal the sum of the receipts settled against it, and the account
+//!   receipt coheres.
+//!
+//! The passes produce a [`sciduction_analysis::Report`], so their
+//! findings render exactly like every other lint family (including
+//! through `scilint --json`-shaped output on the server's `audit` job).
+
+use crate::jobs::Engine;
+use crate::server::TranscriptEntry;
+use sciduction::BudgetReceipt;
+use sciduction_analysis::codes::{SRV001, SRV002, SRV003};
+use sciduction_analysis::Report;
+use std::collections::HashMap;
+
+/// `SRV001`: structural checks on the transcript itself.
+pub fn audit_transcript(entries: &[TranscriptEntry], pass: &'static str, report: &mut Report) {
+    let mut seen: HashMap<(String, u64), usize> = HashMap::new();
+    for (i, e) in entries.iter().enumerate() {
+        let loc = format!("{}#{} ({})", e.tenant, e.id, e.spec.label());
+        if let Some(prev) = seen.insert((e.tenant.clone(), e.id), i) {
+            report.error(
+                SRV001,
+                pass,
+                loc.clone(),
+                format!("(tenant, id) already recorded at transcript entry {prev}"),
+            );
+        }
+        if let Some(served) = &e.served {
+            if !e.admitted {
+                report.error(SRV001, pass, loc.clone(), "served but never admitted");
+            }
+            if !served.receipt.coherent() {
+                report.error(
+                    SRV001,
+                    pass,
+                    loc.clone(),
+                    "served receipt fails its coherence check",
+                );
+            }
+            if served.verdict.is_empty() {
+                report.error(SRV001, pass, loc, "served verdict is empty");
+            }
+        }
+    }
+}
+
+/// `SRV002`: re-executes every served job through a fresh [`Engine`] and
+/// compares verdict strings byte-for-byte. Thread counts and fault seeds
+/// travel inside the spec, so the re-execution sees exactly the same
+/// configuration the server did. Re-running is as expensive as serving
+/// was; callers sample or snapshot accordingly.
+pub fn audit_served_verdicts(entries: &[TranscriptEntry], pass: &'static str, report: &mut Report) {
+    let engine = Engine::new(None);
+    for e in entries {
+        let Some(served) = &e.served else { continue };
+        let loc = format!("{}#{} ({})", e.tenant, e.id, e.spec.label());
+        match engine.execute("srv002-replay", &e.spec) {
+            Ok(direct) => {
+                if direct.verdict != served.verdict {
+                    report.error(
+                        SRV002,
+                        pass,
+                        loc,
+                        format!(
+                            "served verdict {:?} but direct re-execution says {:?}",
+                            served.verdict, direct.verdict
+                        ),
+                    );
+                }
+            }
+            Err(err) => report.error(
+                SRV002,
+                pass,
+                loc,
+                format!("served a verdict but re-execution fails: {err}"),
+            ),
+        }
+    }
+}
+
+/// `SRV003`: checks each tenant's account receipt against the sum of the
+/// served receipts recorded for that tenant. `accounts` maps tenant →
+/// account receipt (what the admission meter reports).
+pub fn audit_admission_accounts(
+    entries: &[TranscriptEntry],
+    accounts: &HashMap<String, BudgetReceipt>,
+    pass: &'static str,
+    report: &mut Report,
+) {
+    let mut sums: HashMap<&str, (u64, u64, u64)> = HashMap::new();
+    for e in entries {
+        if let Some(served) = &e.served {
+            if !served.settled {
+                continue; // refused settlements are not in the account
+            }
+            let s = sums.entry(e.tenant.as_str()).or_default();
+            s.0 += served.receipt.conflicts;
+            s.1 += served.receipt.steps;
+            s.2 += served.receipt.fuel;
+        }
+    }
+    for (tenant, account) in accounts {
+        if !account.coherent() {
+            report.error(
+                SRV003,
+                pass,
+                tenant.clone(),
+                "tenant account receipt fails its coherence check",
+            );
+            continue;
+        }
+        let (c, s, f) = sums.get(tenant.as_str()).copied().unwrap_or_default();
+        // The account may hold *more* than the fully-settled sum: the
+        // refusing settlement consumed headroom up to the limit. Holding
+        // less than what was settled is impossible for an honest meter.
+        if account.conflicts < c || account.steps < s || account.fuel < f {
+            report.error(
+                SRV003,
+                pass,
+                tenant.clone(),
+                format!(
+                    "account holds ({}, {}, {}) but settled receipts sum to ({c}, {s}, {f})",
+                    account.conflicts, account.steps, account.fuel
+                ),
+            );
+        }
+    }
+    for tenant in sums.keys() {
+        if !accounts.contains_key(*tenant) {
+            report.error(
+                SRV003,
+                pass,
+                tenant.to_string(),
+                "receipts were settled for a tenant with no account",
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{FigJob, JobCommon, JobSpec};
+    use crate::server::ServedRecord;
+    use sciduction::{Budget, BudgetMeter};
+
+    fn served_entry(tenant: &str, id: u64, verdict: &str) -> TranscriptEntry {
+        let mut meter = BudgetMeter::new(Budget::UNLIMITED);
+        meter.charge_step_batch(2).unwrap();
+        TranscriptEntry {
+            id,
+            tenant: tenant.to_string(),
+            spec: JobSpec::Fig(FigJob {
+                name: "fig8_p1_equiv_w8".into(),
+                proof: false,
+                common: JobCommon {
+                    threads: 1,
+                    ..JobCommon::default()
+                },
+            }),
+            admitted: true,
+            served: Some(ServedRecord {
+                verdict: verdict.to_string(),
+                receipt: meter.receipt(),
+                settled: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn clean_transcripts_stay_clean_and_corrupt_ones_are_flagged() {
+        let entries = vec![served_entry("a", 1, "unsat"), served_entry("b", 1, "unsat")];
+        let mut accounts = HashMap::new();
+        for t in ["a", "b"] {
+            let mut m = BudgetMeter::new(Budget::UNLIMITED);
+            m.charge_step_batch(2).unwrap();
+            accounts.insert(t.to_string(), m.receipt());
+        }
+        let mut report = Report::new();
+        audit_transcript(&entries, "test", &mut report);
+        audit_admission_accounts(&entries, &accounts, "test", &mut report);
+        assert!(report.is_clean(), "{report:?}");
+
+        // Same (tenant, id) twice → SRV001.
+        let dup = vec![served_entry("a", 1, "unsat"), served_entry("a", 1, "unsat")];
+        let mut report = Report::new();
+        audit_transcript(&dup, "test", &mut report);
+        assert!(report.has_code(SRV001), "{report:?}");
+
+        // Served without admission → SRV001.
+        let mut ghost = served_entry("a", 2, "unsat");
+        ghost.admitted = false;
+        let mut report = Report::new();
+        audit_transcript(&[ghost], "test", &mut report);
+        assert!(report.has_code(SRV001));
+
+        // Account short of its settled receipts → SRV003.
+        let mut report = Report::new();
+        let mut short = HashMap::new();
+        short.insert(
+            "a".to_string(),
+            BudgetMeter::new(Budget::UNLIMITED).receipt(),
+        );
+        short.insert(
+            "b".to_string(),
+            *accounts.get("b").expect("b has an account"),
+        );
+        audit_admission_accounts(&entries, &short, "test", &mut report);
+        assert!(report.has_code(SRV003), "{report:?}");
+    }
+
+    #[test]
+    fn verdict_divergence_is_flagged_and_agreement_is_not() {
+        let honest = vec![served_entry("a", 1, "unsat")];
+        let mut report = Report::new();
+        audit_served_verdicts(&honest, "test", &mut report);
+        assert!(report.is_clean(), "{report:?}");
+
+        let forged = vec![served_entry("a", 2, "sat")];
+        let mut report = Report::new();
+        audit_served_verdicts(&forged, "test", &mut report);
+        assert!(report.has_code(SRV002), "{report:?}");
+    }
+}

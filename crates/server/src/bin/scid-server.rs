@@ -1,0 +1,85 @@
+//! `scid-server` — serve sciduction verification/synthesis jobs over a
+//! line-delimited JSON protocol.
+//!
+//! ```text
+//! scid-server [--addr HOST:PORT] [--workers N] [--tenant-budget N]
+//!             [--proofs-dir DIR]
+//! ```
+//!
+//! See DESIGN.md §4.17 for the wire protocol. The process serves until
+//! killed; `--tenant-budget N` caps every tenant's account at a logical
+//! deadline of `N` charges (default: unlimited).
+
+use sciduction::Budget;
+use sciduction_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: scid-server [options]
+
+Serves sciduction verification/synthesis jobs over line-delimited JSON.
+
+options:
+  --addr HOST:PORT    bind address (default 127.0.0.1:7171; port 0 = any)
+  --workers N         worker threads (default 4)
+  --tenant-budget N   per-tenant admission budget, as a logical-clock
+                      deadline (default unlimited)
+  --proofs-dir DIR    directory for served certificate artifacts
+                      (default target/scid-server/proofs)
+  -h, --help          show this help";
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".into(),
+        workers: 4,
+        tenant_budget: Budget::UNLIMITED,
+        proofs_dir: Some("target/scid-server/proofs".into()),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs an argument"))
+        };
+        let result: Result<(), String> = match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => take("--addr").map(|v| config.addr = v),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| config.workers = n)
+                    .ok_or_else(|| format!("--workers: not a positive integer: {v}"))
+            }),
+            "--tenant-budget" => take("--tenant-budget").and_then(|v| {
+                v.parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| config.tenant_budget = Budget::with_deadline(n))
+                    .ok_or_else(|| format!("--tenant-budget: not a positive integer: {v}"))
+            }),
+            "--proofs-dir" => take("--proofs-dir").map(|v| config.proofs_dir = Some(v.into())),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("scid-server: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scid-server: cannot start: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("scid-server listening on {}", server.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,116 @@
+//! A small blocking client for the wire protocol, used by the
+//! conformance suite, the fuzz harness, and `loadgen`.
+
+use crate::protocol::MAX_FRAME;
+use sciduction::json::{self, Value};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A connected protocol client issuing one request at a time.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+/// A client-side failure: transport trouble or an unparsable response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server's response line did not parse or correlate.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O: {e}"),
+            ClientError::Protocol(m) => write!(f, "client protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects with a generous read timeout (a response that takes this
+    /// long means a hung worker — exactly what the fuzz suite must never
+    /// observe).
+    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends raw bytes as-is (fuzzing hook; no newline appended).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line and parses it. `Ok(None)` on clean EOF.
+    pub fn read_response(&mut self) -> Result<Option<Value>, ClientError> {
+        let mut line = Vec::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .by_ref()
+                .take(MAX_FRAME as u64 * 2)
+                .read_until(b'\n', &mut line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.iter().all(|b| b.is_ascii_whitespace()) {
+                continue;
+            }
+            let v = json::parse_bytes(line.strip_suffix(b"\n").unwrap_or(&line))
+                .map_err(|e| ClientError::Protocol(format!("unparsable response: {e}")))?;
+            return Ok(Some(v));
+        }
+    }
+
+    /// Sends one `job` for `tenant` and waits for the response with the
+    /// matching id (other ids — e.g. stale completions after a timeout —
+    /// are skipped).
+    pub fn request(&mut self, tenant: &str, job: Value) -> Result<Value, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = json::obj(vec![
+            ("id", Value::Int(id as i64)),
+            ("tenant", Value::Str(tenant.into())),
+            ("job", job),
+        ])
+        .to_string();
+        self.send_raw(frame.as_bytes())?;
+        self.send_raw(b"\n")?;
+        loop {
+            match self.read_response()? {
+                None => {
+                    return Err(ClientError::Protocol(
+                        "connection closed before the response arrived".into(),
+                    ))
+                }
+                Some(v) => {
+                    if v.get("id").and_then(Value::as_u64) == Some(id) {
+                        return Ok(v);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `sciduction-server` — the batch service front door for the sciduction
+//! stack (DESIGN.md §4.17).
+//!
+//! The paper's pitch is that an ⟨H, I, D⟩ instance is a *servable*
+//! oracle: a verification or synthesis query goes in, a certified
+//! verdict comes out. This crate is that front door: a std-only TCP
+//! server speaking a line-delimited JSON protocol, scheduling jobs
+//! fairly across tenants onto a worker pool, enforcing per-tenant
+//! admission budgets, sharing one SMT query cache across all jobs, and
+//! serving every verdict with its [`BudgetReceipt`] and (for certified
+//! unsat answers) an on-disk `scicert`/DRAT certificate reference.
+//!
+//! The load-bearing invariant — held by the differential conformance
+//! suite (`tests/server_vs_lib.rs`) and re-checkable after the fact by
+//! the `SRV002` audit pass — is that **the server never changes
+//! verdicts**: the string served over the wire is byte-identical to what
+//! a direct library call with the same spec produces, at every thread
+//! count and under every fault seed.
+//!
+//! [`BudgetReceipt`]: sciduction::BudgetReceipt
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use jobs::{Engine, FigJob, JobCommon, JobOutput, JobSpec, SatJob, SynthJob};
+pub use protocol::{ErrorCode, Frame, FrameReader, Request, MAX_FRAME};
+pub use server::{ServedRecord, Server, ServerConfig, TranscriptEntry};

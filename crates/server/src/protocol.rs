@@ -1,0 +1,354 @@
+//! The `scid-server` wire protocol: line-delimited JSON frames.
+//!
+//! One request per line, one response line per request (DESIGN.md §4.17).
+//! A request is `{"id": <u64>, "tenant": <string>, "job": {...}}`; the
+//! server answers either a done frame (`"ok": true` plus the verdict,
+//! receipt, and certificate reference) or a structured error frame
+//! (`"ok": false` plus a stable [`ErrorCode`]). Malformed input of any
+//! shape — bad UTF-8, bad JSON, wrong field types, oversized frames —
+//! produces an error frame, never a dropped connection or a panic; the
+//! protocol fuzz suite holds the framer to that.
+
+use sciduction::json::{self, Value};
+use sciduction::BudgetReceipt;
+use std::io::{self, Read};
+
+/// Hard cap on a single frame (request line), in bytes. A line that grows
+/// past this without a newline is answered with [`ErrorCode::Oversize`]
+/// and discarded up to the next newline, so the connection survives.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Stable protocol error codes, the machine-readable half of every error
+/// frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// The frame is not a well-formed request (bad UTF-8/JSON/fields).
+    Proto,
+    /// The request parsed but names an unknown or ill-parameterized job.
+    Job,
+    /// Admission control refused the tenant (budget account exhausted).
+    Admit,
+    /// The frame exceeded [`MAX_FRAME`] bytes without a newline.
+    Oversize,
+    /// The server failed internally (a worker panicked, or is stopping).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Proto => "EPROTO",
+            ErrorCode::Job => "EJOB",
+            ErrorCode::Admit => "EADMIT",
+            ErrorCode::Oversize => "EOVERSIZE",
+            ErrorCode::Internal => "EINTERNAL",
+        }
+    }
+}
+
+/// A parsed request envelope: the job payload stays a [`Value`] for
+/// `jobs::JobSpec::from_json` to interpret.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The tenant this job is billed to (admission-control key).
+    pub tenant: String,
+    /// The job payload.
+    pub job: Value,
+}
+
+/// Parses a request frame. On failure the error carries the client id if
+/// one could be recovered, so the error frame still correlates.
+pub fn parse_request(bytes: &[u8]) -> Result<Request, (Option<u64>, String)> {
+    let v = json::parse_bytes(bytes).map_err(|e| (None, format!("bad JSON: {e}")))?;
+    let id = v.get("id").and_then(Value::as_u64);
+    let obj_err = |msg: &str| (id, msg.to_string());
+    if v.as_obj().is_none() {
+        return Err(obj_err("request must be a JSON object"));
+    }
+    let id = match v.get("id") {
+        Some(Value::Int(n)) if *n >= 0 => *n as u64,
+        Some(_) => return Err(obj_err("\"id\" must be a non-negative integer")),
+        None => return Err(obj_err("request needs an \"id\" field")),
+    };
+    let tenant = match v.get("tenant") {
+        Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+        Some(_) => return Err((Some(id), "\"tenant\" must be a non-empty string".into())),
+        None => "anon".to_string(),
+    };
+    let job = match v.get("job") {
+        Some(j @ Value::Obj(_)) => j.clone(),
+        Some(_) => return Err((Some(id), "\"job\" must be a JSON object".into())),
+        None => return Err((Some(id), "request needs a \"job\" field".into())),
+    };
+    Ok(Request { id, tenant, job })
+}
+
+/// Renders an error frame (without the trailing newline).
+pub fn render_error(id: Option<u64>, code: ErrorCode, message: &str) -> String {
+    let id_v = match id {
+        Some(n) if n <= i64::MAX as u64 => Value::Int(n as i64),
+        _ => Value::Null,
+    };
+    json::obj(vec![
+        ("id", id_v),
+        ("ok", Value::Bool(false)),
+        ("code", Value::Str(code.as_str().into())),
+        ("message", Value::Str(message.into())),
+    ])
+    .to_string()
+}
+
+/// Renders a done frame (without the trailing newline).
+pub fn render_done(
+    id: u64,
+    verdict: &str,
+    receipt: &BudgetReceipt,
+    certificate: Option<&Value>,
+    detail: &[(String, Value)],
+) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Value::Int(id as i64)),
+        ("ok".to_string(), Value::Bool(true)),
+        ("verdict".to_string(), Value::Str(verdict.into())),
+        ("receipt".to_string(), receipt_json(receipt)),
+        (
+            "certificate".to_string(),
+            certificate.cloned().unwrap_or(Value::Null),
+        ),
+    ];
+    if !detail.is_empty() {
+        fields.push(("detail".to_string(), Value::Obj(detail.to_vec())));
+    }
+    Value::Obj(fields).to_string()
+}
+
+/// A `u64` counter as JSON; `u64::MAX` (the unlimited sentinel) and other
+/// values past `i64` range render as `null`.
+fn u64_json(n: u64) -> Value {
+    if n <= i64::MAX as u64 {
+        Value::Int(n as i64)
+    } else {
+        Value::Null
+    }
+}
+
+/// A [`BudgetReceipt`] as a JSON object (limits render `null` when
+/// unlimited; the cause renders through its canonical `Display`).
+pub fn receipt_json(r: &BudgetReceipt) -> Value {
+    json::obj(vec![
+        (
+            "budget",
+            json::obj(vec![
+                ("conflicts", u64_json(r.budget.conflicts)),
+                ("steps", u64_json(r.budget.steps)),
+                ("fuel", u64_json(r.budget.fuel)),
+                ("deadline", u64_json(r.budget.deadline)),
+            ]),
+        ),
+        ("conflicts", u64_json(r.conflicts)),
+        ("steps", u64_json(r.steps)),
+        ("fuel", u64_json(r.fuel)),
+        ("clock", u64_json(r.clock)),
+        (
+            "cause",
+            match r.cause {
+                Some(c) => Value::Str(c.to_string()),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// One framing event from a connection.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete line (newline stripped, trailing `\r` tolerated).
+    Line(Vec<u8>),
+    /// The line under construction exceeded [`MAX_FRAME`]; input has been
+    /// discarded up to (and including) the next newline.
+    Oversize,
+    /// A read timed out with no complete line; the caller should poll its
+    /// stop condition and come back.
+    Idle,
+    /// End of stream at a frame boundary (any half-built frame at EOF is
+    /// reported as one final [`Frame::Line`] first).
+    Eof,
+}
+
+/// An incremental line framer over a (possibly timeout-equipped) byte
+/// stream. Tolerates half frames split across arbitrarily many reads and
+/// resynchronizes after oversized lines.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline (resume point).
+    scanned: usize,
+    /// Discarding an oversized line until its terminating newline.
+    discarding: bool,
+    eof: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            scanned: 0,
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    /// Returns the next framing event, reading more bytes as needed.
+    /// I/O errors other than timeouts propagate.
+    pub fn next_frame(&mut self) -> io::Result<Frame> {
+        loop {
+            // Serve anything already buffered first.
+            if let Some(nl) = self.buf[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| self.scanned + p)
+            {
+                let mut line: Vec<u8> = self.buf.drain(..=nl).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(Frame::Oversize);
+                }
+                if line.len() > MAX_FRAME {
+                    return Ok(Frame::Oversize);
+                }
+                if line.is_empty() {
+                    continue; // blank keep-alive lines are not frames
+                }
+                return Ok(Frame::Line(line));
+            }
+            self.scanned = self.buf.len();
+            if self.discarding {
+                self.buf.clear();
+                self.scanned = 0;
+            } else if self.buf.len() > MAX_FRAME {
+                self.buf.clear();
+                self.scanned = 0;
+                self.discarding = true;
+            }
+            if self.eof {
+                if self.discarding {
+                    self.discarding = false;
+                    self.buf.clear();
+                    self.scanned = 0;
+                    return Ok(Frame::Oversize);
+                }
+                if self.buf.is_empty() {
+                    return Ok(Frame::Eof);
+                }
+                // A final unterminated line still gets parsed (and will
+                // produce a protocol error if it is half a frame).
+                let line = std::mem::take(&mut self.buf);
+                self.scanned = 0;
+                if line.len() > MAX_FRAME {
+                    return Ok(Frame::Oversize);
+                }
+                return Ok(Frame::Line(line));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Frame::Idle)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(input: &[u8]) -> Vec<String> {
+        let mut fr = FrameReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            match fr.next_frame().unwrap() {
+                Frame::Line(l) => out.push(format!("line:{}", String::from_utf8_lossy(&l))),
+                Frame::Oversize => out.push("oversize".into()),
+                Frame::Idle => unreachable!("slices never block"),
+                Frame::Eof => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_tolerates_crlf_and_blanks() {
+        assert_eq!(
+            frames(b"a\r\n\n\nbc\nfinal"),
+            vec!["line:a", "line:bc", "line:final"]
+        );
+    }
+
+    #[test]
+    fn oversize_lines_resynchronize() {
+        let mut input = vec![b'x'; MAX_FRAME + 100];
+        input.extend_from_slice(b"\nok\n");
+        assert_eq!(frames(&input), vec!["oversize", "line:ok"]);
+        // Oversize garbage with no newline before EOF is also reported.
+        let silent = vec![b'y'; MAX_FRAME + 1];
+        let got = frames(&silent);
+        assert_eq!(got, vec!["oversize"]);
+    }
+
+    #[test]
+    fn request_parsing_rejects_bad_envelopes_with_recovered_ids() {
+        let ok = parse_request(br#"{"id": 7, "tenant": "t", "job": {"kind": "stats"}}"#).unwrap();
+        assert_eq!((ok.id, ok.tenant.as_str()), (7, "t"));
+        let defaulted = parse_request(br#"{"id": 1, "job": {}}"#).unwrap();
+        assert_eq!(defaulted.tenant, "anon");
+        assert_eq!(parse_request(b"[1,2]").unwrap_err().0, None);
+        assert_eq!(parse_request(b"{nope").unwrap_err().0, None);
+        // The id is recovered even when another field is broken.
+        let (id, msg) = parse_request(br#"{"id": 9, "tenant": 3, "job": {}}"#).unwrap_err();
+        assert_eq!(id, Some(9));
+        assert!(msg.contains("tenant"));
+        let (id, _) = parse_request(br#"{"id": 5, "job": "nope"}"#).unwrap_err();
+        assert_eq!(id, Some(5));
+        assert!(parse_request(br#"{"id": -3, "job": {}}"#).is_err());
+    }
+
+    #[test]
+    fn error_frames_roundtrip_through_the_parser() {
+        let text = render_error(Some(3), ErrorCode::Proto, "bad \"JSON\"\nline");
+        let v = sciduction::json::parse(&text).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("EPROTO"));
+        let text = render_error(None, ErrorCode::Oversize, "too big");
+        let v = sciduction::json::parse(&text).unwrap();
+        assert_eq!(v.get("id"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn receipts_render_unlimited_as_null() {
+        let meter = sciduction::BudgetMeter::new(sciduction::Budget::with_steps(10));
+        let v = receipt_json(&meter.receipt());
+        assert_eq!(
+            v.get("budget").unwrap().get("steps").unwrap().as_i64(),
+            Some(10)
+        );
+        assert_eq!(v.get("budget").unwrap().get("fuel"), Some(&Value::Null));
+        assert_eq!(v.get("cause"), Some(&Value::Null));
+    }
+}

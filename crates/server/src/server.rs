@@ -1,0 +1,494 @@
+//! The serving loop: TCP accept, per-connection framing, fair scheduling
+//! onto a worker pool, admission control, and response writing.
+//!
+//! Threading model (std-only, DESIGN.md §4.17): one accept thread, one
+//! reader thread per connection, and N worker threads popping a
+//! [`FairQueue`] keyed by tenant. Workers execute jobs through one shared
+//! [`Engine`] (so the SMT query cache spans jobs and connections) with
+//! every execution wrapped in `catch_unwind`: a panicking job produces an
+//! `EINTERNAL` error frame, never a dead worker. Responses are written
+//! under a per-connection mutex and correlated by client-chosen id, so a
+//! connection may pipeline requests and receive completions out of order.
+
+use crate::jobs::{Engine, JobSpec};
+use crate::protocol::{parse_request, render_done, render_error, ErrorCode, Frame, FrameReader};
+use sciduction::exec::{panic_message, FairQueue};
+use sciduction::json::{self, Value};
+use sciduction::{Budget, BudgetMeter, BudgetReceipt};
+use sciduction_analysis::{Report, Severity};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use `127.0.0.1:0` to let the OS pick a port.
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Per-tenant admission budget: each tenant's account meters the
+    /// receipts of its finished jobs against this cap and refuses new
+    /// jobs (with `EADMIT`) once exhausted.
+    pub tenant_budget: Budget,
+    /// Where certificate artifacts are written (`None` disables files).
+    pub proofs_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            tenant_budget: Budget::UNLIMITED,
+            proofs_dir: None,
+        }
+    }
+}
+
+/// What was served for one admitted job (the transcript's record).
+#[derive(Clone, Debug)]
+pub struct ServedRecord {
+    /// The canonical verdict string sent to the client.
+    pub verdict: String,
+    /// The receipt sent to the client.
+    pub receipt: BudgetReceipt,
+    /// Whether the receipt was settled into the tenant account (false
+    /// when settlement itself was refused at the account limit).
+    pub settled: bool,
+}
+
+/// One admitted job in the server's append-only protocol transcript.
+#[derive(Clone, Debug)]
+pub struct TranscriptEntry {
+    /// Client-chosen id.
+    pub id: u64,
+    /// Billed tenant.
+    pub tenant: String,
+    /// The parsed job (re-executable: thread counts and fault seeds ride
+    /// inside, which is what lets `SRV002` replay it).
+    pub spec: JobSpec,
+    /// Whether admission control accepted the job.
+    pub admitted: bool,
+    /// Filled in when a worker finishes the job.
+    pub served: Option<ServedRecord>,
+}
+
+/// Monotonic service counters, all relaxed (they are reporting, not
+/// synchronization).
+#[derive(Debug, Default)]
+struct Counters {
+    jobs_admitted: AtomicU64,
+    jobs_served: AtomicU64,
+    protocol_errors: AtomicU64,
+    job_errors: AtomicU64,
+    internal_errors: AtomicU64,
+    admission_refusals: AtomicU64,
+}
+
+struct Shared {
+    engine: Engine,
+    queue: FairQueue<String, QueuedJob>,
+    stopping: AtomicBool,
+    tenant_budget: Budget,
+    tenants: Mutex<HashMap<String, BudgetMeter>>,
+    transcript: Mutex<Vec<TranscriptEntry>>,
+    counters: Counters,
+    job_seq: AtomicU64,
+}
+
+struct QueuedJob {
+    id: u64,
+    tenant: String,
+    spec: JobSpec,
+    /// Index of this job's transcript entry.
+    transcript_idx: usize,
+    conn: Arc<Mutex<TcpStream>>,
+}
+
+/// A running `scid-server` instance. Dropping it stops the threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &config.proofs_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Engine::new(config.proofs_dir.clone()),
+            queue: FairQueue::new(),
+            stopping: AtomicBool::new(false),
+            tenant_budget: config.tenant_budget,
+            tenants: Mutex::new(HashMap::new()),
+            transcript: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+            job_seq: AtomicU64::new(0),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the protocol transcript.
+    pub fn transcript(&self) -> Vec<TranscriptEntry> {
+        lock(&self.shared.transcript).clone()
+    }
+
+    /// A snapshot of the tenant admission accounts.
+    pub fn accounts(&self) -> HashMap<String, BudgetReceipt> {
+        lock(&self.shared.tenants)
+            .iter()
+            .map(|(t, m)| (t.clone(), m.receipt()))
+            .collect()
+    }
+
+    /// Total internal errors served so far (the fuzz suite pins this 0).
+    pub fn internal_errors(&self) -> u64 {
+        self.shared.counters.internal_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains the queue, and joins every thread.
+    pub fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        // Responses are small single lines; Nagle would stall every
+        // request/response roundtrip on a delayed ACK.
+        let _ = stream.set_nodelay(true);
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+/// Sends one response line; a dead peer is not an error (the job already
+/// ran, the client just did not wait for the answer).
+fn send_line(conn: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut stream = lock(conn);
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // A finite read timeout keeps the reader responsive to shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Mutex::new(stream));
+    let mut frames = FrameReader::new(reader);
+    loop {
+        match frames.next_frame() {
+            Ok(Frame::Idle) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(Frame::Eof) | Err(_) => return,
+            Ok(Frame::Oversize) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                send_line(
+                    &conn,
+                    &render_error(
+                        None,
+                        ErrorCode::Oversize,
+                        &format!(
+                            "frame exceeds {} bytes; discarded to next newline",
+                            crate::protocol::MAX_FRAME
+                        ),
+                    ),
+                );
+            }
+            Ok(Frame::Line(bytes)) => handle_frame(&bytes, &conn, shared),
+        }
+    }
+}
+
+fn handle_frame(bytes: &[u8], conn: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) {
+    let req = match parse_request(bytes) {
+        Ok(r) => r,
+        Err((id, msg)) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            send_line(conn, &render_error(id, ErrorCode::Proto, &msg));
+            return;
+        }
+    };
+    let spec = match JobSpec::from_json(&req.job) {
+        Ok(s) => s,
+        Err(msg) => {
+            shared.counters.job_errors.fetch_add(1, Ordering::Relaxed);
+            send_line(conn, &render_error(Some(req.id), ErrorCode::Job, &msg));
+            return;
+        }
+    };
+    match spec {
+        JobSpec::Stats => send_line(conn, &render_done_stats(req.id, shared)),
+        JobSpec::Audit => send_line(conn, &render_done_audit(req.id, shared)),
+        spec => {
+            debug_assert!(spec.is_compute());
+            // Admission: an exhausted tenant account refuses the job
+            // before any compute is spent on it.
+            {
+                let mut tenants = lock(&shared.tenants);
+                let meter = tenants
+                    .entry(req.tenant.clone())
+                    .or_insert_with(|| BudgetMeter::new(shared.tenant_budget));
+                if let Some(cause) = meter.cause() {
+                    drop(tenants);
+                    shared
+                        .counters
+                        .admission_refusals
+                        .fetch_add(1, Ordering::Relaxed);
+                    send_line(
+                        conn,
+                        &render_error(
+                            Some(req.id),
+                            ErrorCode::Admit,
+                            &format!("tenant {:?} refused: {cause}", req.tenant),
+                        ),
+                    );
+                    return;
+                }
+            }
+            let transcript_idx = {
+                let mut transcript = lock(&shared.transcript);
+                transcript.push(TranscriptEntry {
+                    id: req.id,
+                    tenant: req.tenant.clone(),
+                    spec: spec.clone(),
+                    admitted: true,
+                    served: None,
+                });
+                transcript.len() - 1
+            };
+            shared
+                .counters
+                .jobs_admitted
+                .fetch_add(1, Ordering::Relaxed);
+            let queued = QueuedJob {
+                id: req.id,
+                tenant: req.tenant,
+                spec,
+                transcript_idx,
+                conn: Arc::clone(conn),
+            };
+            if !shared.queue.push(queued.tenant.clone(), queued) {
+                send_line(
+                    conn,
+                    &render_error(Some(req.id), ErrorCode::Internal, "server is stopping"),
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        // Artifact names carry a server-unique sequence number, so two
+        // tenants reusing the same id cannot clobber each other's files.
+        let seq = shared.job_seq.fetch_add(1, Ordering::Relaxed);
+        let tag = format!("job-{seq}-{}", job.id);
+        let result = catch_unwind(AssertUnwindSafe(|| shared.engine.execute(&tag, &job.spec)));
+        match result {
+            Ok(Ok(output)) => {
+                // Settle what the job spent against the tenant account.
+                let settled = {
+                    let mut tenants = lock(&shared.tenants);
+                    let meter = tenants
+                        .entry(job.tenant.clone())
+                        .or_insert_with(|| BudgetMeter::new(shared.tenant_budget));
+                    meter.charge_receipt(&output.receipt).is_ok()
+                };
+                {
+                    let mut transcript = lock(&shared.transcript);
+                    transcript[job.transcript_idx].served = Some(ServedRecord {
+                        verdict: output.verdict.clone(),
+                        receipt: output.receipt,
+                        settled,
+                    });
+                }
+                shared.counters.jobs_served.fetch_add(1, Ordering::Relaxed);
+                send_line(
+                    &job.conn,
+                    &render_done(
+                        job.id,
+                        &output.verdict,
+                        &output.receipt,
+                        output.certificate.as_ref(),
+                        &output.detail,
+                    ),
+                );
+            }
+            Ok(Err(err)) => {
+                shared.counters.job_errors.fetch_add(1, Ordering::Relaxed);
+                send_line(
+                    &job.conn,
+                    &render_error(Some(job.id), ErrorCode::Job, &err.to_string()),
+                );
+            }
+            Err(payload) => {
+                shared
+                    .counters
+                    .internal_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                send_line(
+                    &job.conn,
+                    &render_error(
+                        Some(job.id),
+                        ErrorCode::Internal,
+                        &format!("job panicked: {}", panic_message(payload.as_ref())),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn render_done_stats(id: u64, shared: &Arc<Shared>) -> String {
+    let cache = shared.engine.smt_cache().stats();
+    let c = &shared.counters;
+    let counter = |a: &AtomicU64| Value::Int(a.load(Ordering::Relaxed) as i64);
+    let receipt = BudgetMeter::new(Budget::UNLIMITED).receipt();
+    let detail = vec![
+        ("jobs_admitted".to_string(), counter(&c.jobs_admitted)),
+        ("jobs_served".to_string(), counter(&c.jobs_served)),
+        ("protocol_errors".to_string(), counter(&c.protocol_errors)),
+        ("job_errors".to_string(), counter(&c.job_errors)),
+        ("internal_errors".to_string(), counter(&c.internal_errors)),
+        (
+            "admission_refusals".to_string(),
+            counter(&c.admission_refusals),
+        ),
+        (
+            "queue_depth".to_string(),
+            Value::Int(shared.queue.len() as i64),
+        ),
+        (
+            "tenants".to_string(),
+            Value::Int(lock(&shared.tenants).len() as i64),
+        ),
+        (
+            "smt_cache".to_string(),
+            json::obj(vec![
+                ("hits", Value::Int(cache.hits as i64)),
+                ("misses", Value::Int(cache.misses as i64)),
+                ("insertions", Value::Int(cache.insertions as i64)),
+                ("evictions", Value::Int(cache.evictions as i64)),
+            ]),
+        ),
+    ];
+    render_done(id, "stats", &receipt, None, &detail)
+}
+
+fn render_done_audit(id: u64, shared: &Arc<Shared>) -> String {
+    let entries = lock(&shared.transcript).clone();
+    let accounts: HashMap<String, BudgetReceipt> = lock(&shared.tenants)
+        .iter()
+        .map(|(t, m)| (t.clone(), m.receipt()))
+        .collect();
+    let mut report = Report::new();
+    crate::audit::audit_transcript(&entries, "server_audit", &mut report);
+    crate::audit::audit_admission_accounts(&entries, &accounts, "server_audit", &mut report);
+    let diags: Vec<Value> = report
+        .diagnostics()
+        .iter()
+        .map(|d| {
+            json::obj(vec![
+                ("code", Value::Str(d.code.into())),
+                ("severity", Value::Str(d.severity.to_string())),
+                ("pass", Value::Str(d.pass.into())),
+                ("artifact", Value::Str(d.location.clone())),
+                ("message", Value::Str(d.message.clone())),
+            ])
+        })
+        .collect();
+    let verdict = if report.has_errors() {
+        "dirty"
+    } else {
+        "clean"
+    };
+    let detail = vec![
+        ("diagnostics".to_string(), Value::Arr(diags)),
+        (
+            "errors".to_string(),
+            Value::Int(report.count(Severity::Error) as i64),
+        ),
+        (
+            "warnings".to_string(),
+            Value::Int(report.count(Severity::Warning) as i64),
+        ),
+        ("entries".to_string(), Value::Int(entries.len() as i64)),
+    ];
+    let receipt = BudgetMeter::new(Budget::UNLIMITED).receipt();
+    render_done(id, verdict, &receipt, None, &detail)
+}

@@ -1,0 +1,496 @@
+//! Protocol fuzz suite: well over a thousand seeded malformed frames —
+//! random bytes, bad UTF-8, truncated and mutated requests, oversized
+//! payloads, pathologically deep JSON, half-frames split across writes,
+//! and abrupt disconnects — against a live server.
+//!
+//! The contract under fire: **every** complete frame is answered with a
+//! structured response (an error frame with a stable code, or a done
+//! frame if the mutation happened to leave the request valid), no worker
+//! ever panics (`internal_errors` stays 0), and no connection ever hangs
+//! (every read here runs under a timeout, so a hung worker fails the
+//! test instead of wedging it).
+
+use sciduction::json::{self, Value};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_server::{Client, Server, ServerConfig, MAX_FRAME};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Generous per-read timeout: a response slower than this is a hang.
+const READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn start_server() -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server binds")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(server.addr(), READ_TIMEOUT).expect("client connects")
+}
+
+/// Sends one frame (newline appended) and demands a structured response:
+/// parseable JSON with a boolean `ok`, and on errors one of the stable
+/// codes. Returns the response for extra assertions.
+fn roundtrip(client: &mut Client, frame: &[u8], tag: &str) -> Value {
+    let mut line = frame.to_vec();
+    line.push(b'\n');
+    client
+        .send_raw(&line)
+        .unwrap_or_else(|e| panic!("{tag}: send failed: {e}"));
+    let resp = client
+        .read_response()
+        .unwrap_or_else(|e| panic!("{tag}: unstructured response or hang: {e}"))
+        .unwrap_or_else(|| panic!("{tag}: server closed the connection"));
+    match resp.get("ok").and_then(Value::as_bool) {
+        Some(true) => {}
+        Some(false) => {
+            let code = resp.get("code").and_then(Value::as_str).unwrap_or("");
+            assert!(
+                ["EPROTO", "EJOB", "EADMIT", "EOVERSIZE", "EINTERNAL"].contains(&code),
+                "{tag}: unknown error code in {resp}"
+            );
+            assert_ne!(
+                code, "EINTERNAL",
+                "{tag}: malformed input crashed a worker: {resp}"
+            );
+            assert!(
+                resp.get("message").and_then(Value::as_str).is_some(),
+                "{tag}: error frame without a message: {resp}"
+            );
+        }
+        None => panic!("{tag}: response without a boolean \"ok\": {resp}"),
+    }
+    resp
+}
+
+/// After any amount of abuse, the server must still serve a real job and
+/// report zero internal errors.
+fn assert_still_serving(server: &Server) {
+    let mut client = connect(server);
+    let job = json::obj(vec![
+        ("kind", Value::Str("fig".into())),
+        ("name", Value::Str("fig8_p1_equiv_w8".into())),
+        ("threads", Value::Int(1)),
+    ]);
+    let resp = client.request("survivor", job).expect("post-fuzz job");
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp}"
+    );
+    assert_eq!(resp.get("verdict").and_then(Value::as_str), Some("unsat"));
+
+    let stats = client
+        .request(
+            "survivor",
+            json::obj(vec![("kind", Value::Str("stats".into()))]),
+        )
+        .expect("post-fuzz stats");
+    let internal = stats
+        .get("detail")
+        .and_then(|d| d.get("internal_errors"))
+        .and_then(Value::as_u64);
+    assert_eq!(
+        internal,
+        Some(0),
+        "workers panicked during the fuzz run: {stats}"
+    );
+    assert_eq!(server.internal_errors(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Random byte frames (including invalid UTF-8)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_byte_frames_get_structured_errors() {
+    let server = start_server();
+    let mut rng = StdRng::seed_from_u64(0xF022_0001);
+    let mut client = connect(&server);
+    for case in 0..512 {
+        // Rotate connections so one poisoned stream cannot mask later
+        // failures (and so accept/connection teardown gets exercised).
+        if case % 16 == 0 {
+            client = connect(&server);
+        }
+        let len = rng.random_range(1..200u64) as usize;
+        let mut frame: Vec<u8> = (0..len).map(|_| rng.random::<u64>() as u8).collect();
+        // One frame per line: newline bytes would split the case in two.
+        frame.retain(|&b| b != b'\n' && b != b'\r');
+        if frame.is_empty() || frame.iter().all(|b| b.is_ascii_whitespace()) {
+            continue; // blank keep-alive lines are not frames
+        }
+        roundtrip(&mut client, &frame, &format!("random bytes case {case}"));
+    }
+    assert_still_serving(&server);
+}
+
+// ---------------------------------------------------------------------------
+// Truncations and single-byte mutations of valid requests
+// ---------------------------------------------------------------------------
+
+/// A pool of valid, *cheap* request frames to truncate and mutate.
+fn valid_frames() -> Vec<String> {
+    vec![
+        r#"{"id":1,"tenant":"fuzz","job":{"kind":"stats"}}"#.into(),
+        r#"{"id":2,"tenant":"fuzz","job":{"kind":"audit"}}"#.into(),
+        r#"{"id":3,"job":{"kind":"sat","num_vars":2,"clauses":[[1,-2],[2]],"threads":1}}"#.into(),
+        r#"{"id":4,"tenant":"fuzz","job":{"kind":"sat","num_vars":1,"clauses":[[1],[-1]],"threads":1,"budget":{"conflicts":100}}}"#.into(),
+        r#"{"id":5,"tenant":"fuzz","job":{"kind":"fig","name":"fig8_p1_equiv_w8","threads":1,"fault_seed":3}}"#.into(),
+    ]
+}
+
+#[test]
+fn truncated_and_mutated_requests_get_structured_responses() {
+    let server = start_server();
+    let mut rng = StdRng::seed_from_u64(0xF022_0002);
+    let pool = valid_frames();
+    let mut client = connect(&server);
+    for case in 0..512 {
+        if case % 16 == 0 {
+            client = connect(&server);
+        }
+        let base = pool[rng.random_range(0..pool.len() as u64) as usize].as_bytes();
+        let mut frame = base.to_vec();
+        if case % 2 == 0 {
+            // Truncate to a strict prefix: never valid JSON.
+            let cut = rng.random_range(1..frame.len() as u64) as usize;
+            frame.truncate(cut);
+            let resp = roundtrip(&mut client, &frame, &format!("truncation case {case}"));
+            assert_eq!(
+                resp.get("ok").and_then(Value::as_bool),
+                Some(false),
+                "truncation case {case}: a strict prefix cannot be served: {resp}"
+            );
+        } else {
+            // Flip one byte; the result may or may not stay valid, but the
+            // response must stay structured either way.
+            let at = rng.random_range(0..frame.len() as u64) as usize;
+            frame[at] = rng.random::<u64>() as u8;
+            frame.retain(|&b| b != b'\n' && b != b'\r');
+            if frame.is_empty() || frame.iter().all(|b| b.is_ascii_whitespace()) {
+                continue;
+            }
+            roundtrip(&mut client, &frame, &format!("mutation case {case}"));
+        }
+    }
+    assert_still_serving(&server);
+}
+
+// ---------------------------------------------------------------------------
+// Bad job parameters: valid envelope, hostile payload
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hostile_job_payloads_are_ejob_not_panics() {
+    let server = start_server();
+    let mut client = connect(&server);
+    let cases: Vec<(&str, String)> = vec![
+        ("unknown kind", r#"{"kind":"warp"}"#.into()),
+        ("missing kind", r#"{"name":"fig8_p1_equiv_w8"}"#.into()),
+        (
+            "sat without clauses",
+            r#"{"kind":"sat","num_vars":5}"#.into(),
+        ),
+        (
+            "zero literal",
+            r#"{"kind":"sat","num_vars":2,"clauses":[[0]]}"#.into(),
+        ),
+        (
+            "literal out of range",
+            r#"{"kind":"sat","num_vars":2,"clauses":[[7]]}"#.into(),
+        ),
+        (
+            "huge num_vars",
+            r#"{"kind":"sat","num_vars":100001,"clauses":[]}"#.into(),
+        ),
+        (
+            "threads zero",
+            r#"{"kind":"fig","name":"fig8_p1_equiv_w8","threads":0}"#.into(),
+        ),
+        (
+            "threads huge",
+            r#"{"kind":"fig","name":"fig8_p1_equiv_w8","threads":65}"#.into(),
+        ),
+        ("unknown fig", r#"{"kind":"fig","name":"fig99"}"#.into()),
+        (
+            "fig name not a string",
+            r#"{"kind":"fig","name":12}"#.into(),
+        ),
+        (
+            "unknown synth",
+            r#"{"kind":"synth","name":"mystery"}"#.into(),
+        ),
+        (
+            "zero budget",
+            r#"{"kind":"fig","name":"fig8_p1_equiv_w8","budget":{"steps":0}}"#.into(),
+        ),
+        (
+            "budget not an object",
+            r#"{"kind":"fig","name":"fig8_p1_equiv_w8","budget":7}"#.into(),
+        ),
+        (
+            "negative fault seed",
+            r#"{"kind":"fig","name":"fig8_p1_equiv_w8","fault_seed":-1}"#.into(),
+        ),
+        (
+            "proof not a bool",
+            r#"{"kind":"fig","name":"fig8_p1_equiv_w8","proof":"yes"}"#.into(),
+        ),
+        (
+            "clause not an array",
+            r#"{"kind":"sat","num_vars":1,"clauses":[1]}"#.into(),
+        ),
+    ];
+    for (i, (tag, job)) in cases.iter().enumerate() {
+        let frame = format!(r#"{{"id":{i},"tenant":"hostile","job":{job}}}"#);
+        let resp = roundtrip(&mut client, frame.as_bytes(), tag);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "{tag}: {resp}"
+        );
+        assert_eq!(
+            resp.get("code").and_then(Value::as_str),
+            Some("EJOB"),
+            "{tag}: {resp}"
+        );
+        assert_eq!(
+            resp.get("id").and_then(Value::as_u64),
+            Some(i as u64),
+            "{tag}"
+        );
+    }
+
+    // Envelope-level damage is EPROTO, with the id recovered when it can be.
+    for (tag, frame, want_id) in [
+        ("array envelope", r#"[1,2,3]"#, None),
+        ("string envelope", r#""hello""#, None),
+        ("missing job", r#"{"id":9}"#, Some(9)),
+        ("job not an object", r#"{"id":10,"job":[]}"#, Some(10)),
+        (
+            "tenant not a string",
+            r#"{"id":11,"tenant":4,"job":{"kind":"stats"}}"#,
+            Some(11),
+        ),
+        (
+            "empty tenant",
+            r#"{"id":12,"tenant":"","job":{"kind":"stats"}}"#,
+            Some(12),
+        ),
+        ("negative id", r#"{"id":-3,"job":{"kind":"stats"}}"#, None),
+        (
+            "fractional id",
+            r#"{"id":1.5,"job":{"kind":"stats"}}"#,
+            None,
+        ),
+    ] {
+        let resp = roundtrip(&mut client, frame.as_bytes(), tag);
+        assert_eq!(
+            resp.get("code").and_then(Value::as_str),
+            Some("EPROTO"),
+            "{tag}: {resp}"
+        );
+        assert_eq!(
+            resp.get("id").and_then(Value::as_u64),
+            want_id,
+            "{tag}: {resp}"
+        );
+    }
+    assert_still_serving(&server);
+}
+
+// ---------------------------------------------------------------------------
+// Oversized frames and pathological nesting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversize_frames_resynchronize_and_deep_nesting_is_rejected_flat() {
+    let server = start_server();
+    let mut rng = StdRng::seed_from_u64(0xF022_0003);
+    let mut client = connect(&server);
+
+    for case in 0..4 {
+        let extra = rng.random_range(1..4096u64) as usize;
+        let frame = vec![b'x'; MAX_FRAME + extra];
+        let resp = roundtrip(&mut client, &frame, &format!("oversize case {case}"));
+        assert_eq!(
+            resp.get("code").and_then(Value::as_str),
+            Some("EOVERSIZE"),
+            "oversize case {case}: {resp}"
+        );
+        // The very next frame on the same connection is served normally:
+        // the framer resynchronized at the newline.
+        let resp = roundtrip(
+            &mut client,
+            br#"{"id":1,"job":{"kind":"stats"}}"#,
+            "post-oversize stats",
+        );
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{resp}"
+        );
+    }
+
+    // Deep nesting must die in the parser's depth limit (EPROTO), not in
+    // a recursion-induced stack overflow (which would be a dead worker).
+    for depth in [65usize, 256, 4096] {
+        let mut frame = String::from(r#"{"id":1,"job":"#);
+        frame.push_str(&"[".repeat(depth));
+        frame.push_str(&"]".repeat(depth));
+        frame.push('}');
+        let resp = roundtrip(
+            &mut client,
+            frame.as_bytes(),
+            &format!("nesting depth {depth}"),
+        );
+        assert_eq!(
+            resp.get("code").and_then(Value::as_str),
+            Some("EPROTO"),
+            "depth {depth}: {resp}"
+        );
+    }
+    assert_still_serving(&server);
+}
+
+// ---------------------------------------------------------------------------
+// Half-frames split across writes: slow senders are not errors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn half_frames_across_arbitrary_write_boundaries_are_served() {
+    let server = start_server();
+    let mut rng = StdRng::seed_from_u64(0xF022_0004);
+    let pool = valid_frames();
+    let mut client = connect(&server);
+    for case in 0..100 {
+        if case % 16 == 0 {
+            client = connect(&server);
+        }
+        let mut line = pool[rng.random_range(0..pool.len() as u64) as usize]
+            .as_bytes()
+            .to_vec();
+        line.push(b'\n');
+        // Split into up to four chunks at random boundaries, with a pause
+        // between writes so the server's read timeout fires mid-frame
+        // (exercising the Idle path) at least some of the time.
+        let cuts = rng.random_range(1..4u64) as usize;
+        let mut points: Vec<usize> = (0..cuts)
+            .map(|_| rng.random_range(1..line.len() as u64) as usize)
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut start = 0;
+        for &p in &points {
+            client.send_raw(&line[start..p]).expect("partial write");
+            if case % 10 == 0 {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            start = p;
+        }
+        client.send_raw(&line[start..]).expect("final write");
+        let resp = client
+            .read_response()
+            .unwrap_or_else(|e| panic!("half-frame case {case}: {e}"))
+            .unwrap_or_else(|| panic!("half-frame case {case}: connection closed"));
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "half-frame case {case}: a reassembled valid frame must be served: {resp}"
+        );
+    }
+    assert_still_serving(&server);
+}
+
+// ---------------------------------------------------------------------------
+// Abrupt disconnects: mid-frame, mid-response, and before reading
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abrupt_disconnects_never_wedge_the_server() {
+    let server = start_server();
+    let mut rng = StdRng::seed_from_u64(0xF022_0005);
+    for case in 0..48 {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut stream = stream;
+        match case % 3 {
+            0 => {
+                // Drop mid-frame: an unterminated half request.
+                let frame = br#"{"id":1,"tenant":"ghost","job":{"kind":"#;
+                let cut = rng.random_range(1..frame.len() as u64) as usize;
+                let _ = stream.write_all(&frame[..cut]);
+            }
+            1 => {
+                // Send a complete compute job, then vanish before the
+                // response: the worker writes into a dead socket.
+                let _ = stream.write_all(
+                    b"{\"id\":2,\"tenant\":\"ghost\",\"job\":{\"kind\":\"sat\",\"num_vars\":1,\"clauses\":[[1],[-1]],\"threads\":1}}\n",
+                );
+            }
+            _ => {
+                // Connect and say nothing at all.
+            }
+        }
+        drop(stream);
+    }
+    // Give the last ghost job a moment to drain, then prove liveness.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_still_serving(&server);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining: many requests in one write, answered per-frame
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pipelined_batches_are_answered_frame_for_frame() {
+    let server = start_server();
+    let mut client = connect(&server);
+    // 64 frames in a single write: alternating valid stats requests and
+    // malformed garbage. Every frame gets exactly one response, and ids
+    // let us check none was dropped or duplicated.
+    let mut batch = Vec::new();
+    let mut expected_ids = Vec::new();
+    for i in 0..64u64 {
+        if i % 2 == 0 {
+            batch.extend_from_slice(
+                format!("{{\"id\":{i},\"job\":{{\"kind\":\"stats\"}}}}\n").as_bytes(),
+            );
+        } else {
+            // Valid envelope, hostile payload: the id still correlates.
+            batch.extend_from_slice(
+                format!("{{\"id\":{i},\"job\":{{\"kind\":\"warp\"}}}}\n").as_bytes(),
+            );
+        }
+        expected_ids.push(i);
+    }
+    client.send_raw(&batch).expect("batch write");
+    let mut got_ids = Vec::new();
+    for _ in 0..64 {
+        let resp = client
+            .read_response()
+            .expect("structured response")
+            .expect("connection stays open");
+        got_ids.push(
+            resp.get("id")
+                .and_then(Value::as_u64)
+                .expect("correlated id"),
+        );
+        let ok = resp.get("ok").and_then(Value::as_bool).expect("ok flag");
+        let id = *got_ids.last().unwrap();
+        assert_eq!(
+            ok,
+            id % 2 == 0,
+            "frame {id} answered with the wrong polarity: {resp}"
+        );
+    }
+    got_ids.sort_unstable();
+    assert_eq!(got_ids, expected_ids, "responses dropped or duplicated");
+    assert_still_serving(&server);
+}

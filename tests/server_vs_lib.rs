@@ -1,0 +1,699 @@
+//! Differential conformance suite for `scid-server`: the verdict served
+//! over the wire must be **bit-identical** to the one a direct library
+//! call produces for the same workload, thread count, and fault seed.
+//!
+//! The contract, per job kind:
+//!
+//! * **Fig workloads** — the fig6/fig8/fig10 tier-1 queries, crossed
+//!   with `threads ∈ {1, 2, 4}` and PR-3 fault seeds, must serve exactly
+//!   the string an independently constructed solver renders. The direct
+//!   side here deliberately attaches *no shared cache*: the server's
+//!   engine-wide query cache must never change an answer, only its cost.
+//! * **Raw CNF jobs** — portfolio verdicts are unique, so served and
+//!   direct strings must match exactly over a seeded rng corpus (models
+//!   are not unique and are not served, so there is nothing else to
+//!   compare).
+//! * **Certificates** — every unsat answer served with `proof: true`
+//!   references on-disk artifacts that must replay through the
+//!   *independent* `sciduction-proof` checkers, not the emitting solver.
+//! * **Synthesis** — at `threads = 1` the portfolio is bit-reproducible,
+//!   so the served program text must equal the sequential library
+//!   call's; at higher thread counts a different member may win, so only
+//!   the verdict string is pinned.
+//! * **Accounting** — tenant admission settles served receipts and
+//!   refuses exhausted tenants with `EADMIT` *before* compute; the
+//!   server's own SRV lint passes must come back clean afterwards.
+
+use sciduction::exec::FaultPlan;
+use sciduction::json::{self, Value};
+use sciduction::Budget;
+use sciduction_analysis::Report;
+use sciduction_ogis::{benchmarks, synthesize_with_cache, SynthesisConfig, SynthesisOutcome};
+use sciduction_proof::{check_certificate, check_drat, parse_dimacs, Proof, SmtCertificate};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_sat::{solve_portfolio_with_faults, Cnf, PortfolioConfig};
+use sciduction_server::{Client, Server, ServerConfig};
+use sciduction_smt::{SmtQueryCache, Solver as SmtSolver, TermId};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Thread counts every workload is served at (trimmed in debug builds,
+/// where the full cross is needlessly slow for tier-1).
+fn thread_counts() -> &'static [usize] {
+    if cfg!(debug_assertions) {
+        &[1, 2]
+    } else {
+        &[1, 2, 4]
+    }
+}
+
+/// PR-3 fault seeds the matrix runs under (`None` = clean).
+fn fault_seeds() -> &'static [Option<u64>] {
+    if cfg!(debug_assertions) {
+        &[None, Some(0xFA01), Some(0xFA02)]
+    } else {
+        &[None, Some(0xFA01), Some(0xFA02), Some(0xFA03), Some(0xFA04)]
+    }
+}
+
+const FIG_NAMES: [&str; 5] = [
+    "fig6_crc8_infeasible_path",
+    "fig6_crc8_feasible_path",
+    "fig8_p1_equiv_w8",
+    "fig8_p2_equiv_w8",
+    "fig10_mode_exclusion",
+];
+
+/// The clean (un-faulted) verdict every fig workload must serve.
+fn expected_clean(name: &str) -> &'static str {
+    match name {
+        "fig6_crc8_feasible_path" => "sat",
+        _ => "unsat",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness helpers
+// ---------------------------------------------------------------------------
+
+fn start_server(config: ServerConfig) -> Server {
+    Server::start(config).expect("server binds on a loopback port")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(server.addr(), Duration::from_secs(300)).expect("client connects")
+}
+
+fn fig_job(name: &str, threads: usize, fault_seed: Option<u64>, proof: bool) -> Value {
+    let mut fields = vec![
+        ("kind", Value::Str("fig".into())),
+        ("name", Value::Str(name.into())),
+        ("threads", Value::Int(threads as i64)),
+        ("proof", Value::Bool(proof)),
+    ];
+    if let Some(s) = fault_seed {
+        fields.push(("fault_seed", Value::Int(s as i64)));
+    }
+    json::obj(fields)
+}
+
+fn sat_job(cnf: &Cnf, threads: usize, fault_seed: Option<u64>, proof: bool) -> Value {
+    let clauses = Value::Arr(
+        cnf.clauses
+            .iter()
+            .map(|cl| Value::Arr(cl.iter().map(|&l| Value::Int(l)).collect()))
+            .collect(),
+    );
+    let mut fields = vec![
+        ("kind", Value::Str("sat".into())),
+        ("num_vars", Value::Int(cnf.num_vars as i64)),
+        ("clauses", clauses),
+        ("threads", Value::Int(threads as i64)),
+        ("proof", Value::Bool(proof)),
+    ];
+    if let Some(s) = fault_seed {
+        fields.push(("fault_seed", Value::Int(s as i64)));
+    }
+    json::obj(fields)
+}
+
+fn synth_job(name: &str, width: u32, seed: u64, threads: usize) -> Value {
+    json::obj(vec![
+        ("kind", Value::Str("synth".into())),
+        ("name", Value::Str(name.into())),
+        ("width", Value::Int(width as i64)),
+        ("seed", Value::Int(seed as i64)),
+        ("max_iterations", Value::Int(64)),
+        ("threads", Value::Int(threads as i64)),
+    ])
+}
+
+fn served_verdict(resp: &Value, tag: &str) -> String {
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{tag}: expected a done frame, got {resp}"
+    );
+    resp.get("verdict")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("{tag}: done frame without a verdict: {resp}"))
+        .to_string()
+}
+
+fn detail_str(resp: &Value, key: &str) -> Option<String> {
+    resp.get("detail")?.get(key)?.as_str().map(str::to_string)
+}
+
+// ---------------------------------------------------------------------------
+// Direct library pipelines (written independently of `crates/server`)
+// ---------------------------------------------------------------------------
+
+/// The fig10 pigeonhole instance (7 modes, 6 exclusive actuation slots),
+/// reconstructed here so the comparison does not lean on server code.
+fn mode_exclusion(n: usize, m: usize) -> Cnf {
+    let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+    let mut clauses: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..m).map(|j| var(i, j)).collect())
+        .collect();
+    for i1 in 0..n {
+        for i2 in (i1 + 1)..n {
+            for j in 0..m {
+                clauses.push(vec![-var(i1, j), -var(i2, j)]);
+            }
+        }
+    }
+    Cnf {
+        num_vars: n * m,
+        clauses,
+    }
+}
+
+/// Rebuilds the named fig6/fig8 SMT query — the same constructions
+/// `solver_bench` and `proof_certification` use.
+fn fig_query(s: &mut SmtSolver, name: &str) -> Vec<TermId> {
+    match name {
+        "fig6_crc8_infeasible_path" | "fig6_crc8_feasible_path" => {
+            use sciduction_cfg::{path_formula, unroll, Dag};
+            let f = sciduction_ir::programs::crc8();
+            let dag = Dag::build(unroll(&f, 8)).expect("crc8 unrolls");
+            let paths = dag.enumerate_paths(1000);
+            let path = if name == "fig6_crc8_infeasible_path" {
+                paths.iter().min_by_key(|p| p.edges.len())
+            } else {
+                paths.iter().max_by_key(|p| p.edges.len())
+            }
+            .expect("crc8 DAG has paths");
+            path_formula(s, &dag, path).constraints
+        }
+        "fig8_p1_equiv_w8" => {
+            let p = s.terms_mut();
+            let x = p.var("x", 8);
+            let one = p.bv(1, 8);
+            let zero = p.bv(0, 8);
+            let xm1 = p.bv_sub(x, one);
+            let spec = p.bv_and(x, xm1);
+            let negx = p.bv_sub(zero, x);
+            let iso = p.bv_and(x, negx);
+            let cand = p.bv_sub(x, iso);
+            vec![p.neq(spec, cand)]
+        }
+        "fig8_p2_equiv_w8" => {
+            let p = s.terms_mut();
+            let x = p.var("x", 8);
+            let k45 = p.bv(45, 8);
+            let spec = p.bv_mul(x, k45);
+            let s5 = p.bv(5, 8);
+            let s3 = p.bv(3, 8);
+            let s2 = p.bv(2, 8);
+            let t5 = p.bv_shl(x, s5);
+            let t3 = p.bv_shl(x, s3);
+            let t2 = p.bv_shl(x, s2);
+            let sum = p.bv_add(t5, t3);
+            let sum = p.bv_add(sum, t2);
+            let cand = p.bv_add(sum, x);
+            vec![p.neq(spec, cand)]
+        }
+        other => panic!("no SMT query for workload {other:?}"),
+    }
+}
+
+/// The direct library verdict for a fig workload: a fresh solver (or
+/// portfolio) with the job's exact thread count and fault seed, and no
+/// shared state whatsoever.
+fn direct_fig_verdict(name: &str, threads: usize, fault_seed: Option<u64>, proof: bool) -> String {
+    if name == "fig10_mode_exclusion" {
+        return direct_sat_verdict(&mode_exclusion(7, 6), threads, fault_seed, proof);
+    }
+    let mut s = if proof {
+        SmtSolver::certifying()
+    } else {
+        SmtSolver::new()
+    };
+    if !proof {
+        if let Some(seed) = fault_seed {
+            s.attach_cache(Arc::new(
+                SmtQueryCache::new().with_fault_plan(Arc::new(FaultPlan::new(seed))),
+            ));
+        }
+    }
+    for t in fig_query(&mut s, name) {
+        s.assert_term(t);
+    }
+    s.check_bounded(&Budget::UNLIMITED).to_string()
+}
+
+fn direct_sat_verdict(cnf: &Cnf, threads: usize, fault_seed: Option<u64>, proof: bool) -> String {
+    let config = PortfolioConfig {
+        threads,
+        proof,
+        budget: Budget::UNLIMITED,
+        ..PortfolioConfig::default()
+    };
+    let plan = fault_seed.map(|s| Arc::new(FaultPlan::new(s)));
+    solve_portfolio_with_faults(cnf, &[], &config, plan)
+        .expect("portfolio degrades under faults, never errors")
+        .verdict
+        .to_string()
+}
+
+fn random_3sat(rng: &mut StdRng) -> Cnf {
+    let num_vars = rng.random_range(12..32u64) as usize;
+    let ratio = 3.2 + rng.random_range(0..18u64) as f64 / 10.0; // 3.2 .. 4.9
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = rng.random_range(0..num_vars as u64) as i64 + 1;
+                    if rng.random::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+fn proofs_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scid-server-conformance-{tag}"));
+    std::fs::create_dir_all(&dir).expect("temp proofs dir");
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// 1. The fig matrix: served == direct at every (workload, threads, seed)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_fig_verdicts_match_direct_library_calls() {
+    let server = start_server(ServerConfig {
+        workers: 3,
+        ..ServerConfig::default()
+    });
+
+    let mut combos = Vec::new();
+    for name in FIG_NAMES {
+        for &threads in thread_counts() {
+            for &seed in fault_seeds() {
+                combos.push((name, threads, seed));
+            }
+        }
+    }
+
+    // Three concurrent clients, three tenants: the fair queue interleaves
+    // them, and every served verdict must still match its direct twin.
+    let shards: Vec<Vec<_>> = (0..3)
+        .map(|k| combos.iter().skip(k).step_by(3).copied().collect())
+        .collect();
+    std::thread::scope(|scope| {
+        for (k, shard) in shards.into_iter().enumerate() {
+            let server = &server;
+            scope.spawn(move || {
+                let mut client = connect(server);
+                let tenant = format!("tenant-{k}");
+                for (name, threads, seed) in shard {
+                    let tag = format!("{name}, {threads} thread(s), seed {seed:?}");
+                    let resp = client
+                        .request(&tenant, fig_job(name, threads, seed, false))
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    let served = served_verdict(&resp, &tag);
+                    let direct = direct_fig_verdict(name, threads, seed, false);
+                    assert_eq!(served, direct, "{tag}: served verdict diverges");
+                    if seed.is_none() {
+                        assert_eq!(served, expected_clean(name), "{tag}: wrong clean verdict");
+                    }
+                }
+            });
+        }
+    });
+
+    // The server's own introspection agrees: everything admitted was
+    // served, nothing panicked, and the SRV transcript audit is clean.
+    let mut client = connect(&server);
+    let stats = client
+        .request(
+            "auditor",
+            json::obj(vec![("kind", Value::Str("stats".into()))]),
+        )
+        .expect("stats");
+    let count = |key: &str| {
+        stats
+            .get("detail")
+            .and_then(|d| d.get(key))
+            .and_then(Value::as_u64)
+    };
+    assert_eq!(count("internal_errors"), Some(0));
+    assert_eq!(count("jobs_admitted"), Some(combos.len() as u64));
+    assert_eq!(count("jobs_served"), Some(combos.len() as u64));
+
+    let audit = client
+        .request(
+            "auditor",
+            json::obj(vec![("kind", Value::Str("audit".into()))]),
+        )
+        .expect("audit");
+    assert_eq!(
+        served_verdict(&audit, "audit"),
+        "clean",
+        "SRV transcript audit found problems: {audit}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Served certificates replay through the independent checkers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_certificates_replay_through_independent_checkers() {
+    let dir = proofs_dir("certs");
+    let server = start_server(ServerConfig {
+        workers: 2,
+        proofs_dir: Some(dir),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&server);
+
+    // Unsat SMT workloads serve scicert references.
+    for name in [
+        "fig6_crc8_infeasible_path",
+        "fig8_p1_equiv_w8",
+        "fig8_p2_equiv_w8",
+    ] {
+        let resp = client
+            .request("prover", fig_job(name, 1, None, true))
+            .expect("certifying fig job");
+        assert_eq!(served_verdict(&resp, name), "unsat");
+        let cert = resp.get("certificate").unwrap_or(&Value::Null);
+        assert_eq!(
+            cert.get("kind").and_then(Value::as_str),
+            Some("scicert"),
+            "{name}"
+        );
+        let path = cert.get("path").and_then(Value::as_str).expect("cert path");
+        let text = std::fs::read_to_string(path).expect("served scicert exists");
+        let parsed = SmtCertificate::parse(&text).expect("served scicert parses");
+        check_certificate(&parsed)
+            .unwrap_or_else(|e| panic!("{name}: served certificate rejected: {e}"));
+    }
+
+    // Unsat SAT workloads (fig10 and a raw pigeonhole CNF) serve DRAT
+    // cnf+proof pairs.
+    let raw = mode_exclusion(5, 4);
+    for (tag, resp) in [
+        (
+            "fig10_mode_exclusion",
+            client
+                .request("prover", fig_job("fig10_mode_exclusion", 2, None, true))
+                .expect("certifying fig10"),
+        ),
+        (
+            "raw pigeonhole CNF",
+            client
+                .request("prover", sat_job(&raw, 2, None, true))
+                .expect("certifying raw sat job"),
+        ),
+    ] {
+        assert_eq!(served_verdict(&resp, tag), "unsat", "{tag}");
+        let cert = resp.get("certificate").unwrap_or(&Value::Null);
+        assert_eq!(
+            cert.get("kind").and_then(Value::as_str),
+            Some("drat"),
+            "{tag}"
+        );
+        let cnf_path = cert.get("cnf").and_then(Value::as_str).expect("cnf path");
+        let drat_path = cert
+            .get("proof")
+            .and_then(Value::as_str)
+            .expect("drat path");
+        let cnf = parse_dimacs(&std::fs::read_to_string(cnf_path).expect("served cnf exists"))
+            .expect("served cnf parses");
+        let proof =
+            Proof::parse_drat(&std::fs::read_to_string(drat_path).expect("served drat exists"))
+                .expect("served drat parses");
+        check_drat(&cnf, &proof).unwrap_or_else(|e| panic!("{tag}: served proof rejected: {e}"));
+    }
+
+    // A satisfiable workload served with `proof: true` answers "sat" and
+    // references no certificate (there is nothing to refute).
+    let resp = client
+        .request("prover", fig_job("fig6_crc8_feasible_path", 1, None, true))
+        .expect("feasible certifying job");
+    assert_eq!(served_verdict(&resp, "feasible fig6"), "sat");
+    assert_eq!(resp.get("certificate"), Some(&Value::Null));
+}
+
+// ---------------------------------------------------------------------------
+// 3. Raw CNF jobs over an rng corpus
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_raw_sat_jobs_agree_with_the_portfolio() {
+    let server = start_server(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&server);
+    let mut rng = StdRng::seed_from_u64(0x5EB_D1FF);
+    let instances = if cfg!(debug_assertions) { 6 } else { 16 };
+    let (mut sat, mut unsat) = (0u32, 0u32);
+    for instance in 0..instances {
+        let cnf = random_3sat(&mut rng);
+        // Every instance is also replayed under one fault seed: the
+        // served faulted verdict must equal the direct faulted verdict.
+        let fault = Some(instance as u64 + 1);
+        for &threads in thread_counts() {
+            for seed in [None, fault] {
+                let tag = format!("instance {instance}, {threads} thread(s), seed {seed:?}");
+                let resp = client
+                    .request("sat-corpus", sat_job(&cnf, threads, seed, false))
+                    .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                let served = served_verdict(&resp, &tag);
+                let direct = direct_sat_verdict(&cnf, threads, seed, false);
+                assert_eq!(served, direct, "{tag}: served verdict diverges");
+                if seed.is_none() {
+                    match served.as_str() {
+                        "sat" => sat += 1,
+                        "unsat" => unsat += 1,
+                        other => panic!("{tag}: clean run answered {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        sat > 0 && unsat > 0,
+        "corpus must straddle the phase transition (sat {sat}, unsat {unsat})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 4. Synthesis jobs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_synth_programs_match_the_sequential_library_at_one_thread() {
+    let server = start_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&server);
+    let width = if cfg!(debug_assertions) { 3 } else { 4 };
+    for name in [
+        "p1_xor_chain",
+        "turn_off_rightmost_one",
+        "isolate_rightmost_one",
+        "average_floor",
+    ] {
+        let resp = client
+            .request("synth", synth_job(name, width, 7, 1))
+            .expect("synth job");
+        let tag = format!("synth {name} w{width}");
+        assert_eq!(served_verdict(&resp, &tag), "synthesized", "{tag}");
+        let served_program = detail_str(&resp, "program")
+            .unwrap_or_else(|| panic!("{tag}: no program text in {resp}"));
+
+        let (lib, mut oracle): (_, Box<dyn sciduction_ogis::IoOracle>) = match name {
+            "p1_xor_chain" => {
+                let (l, o) = benchmarks::p1_with_width(width);
+                (l, Box::new(o))
+            }
+            "turn_off_rightmost_one" => {
+                let (l, o) = benchmarks::extra::turn_off_rightmost_one(width);
+                (l, Box::new(o))
+            }
+            "isolate_rightmost_one" => {
+                let (l, o) = benchmarks::extra::isolate_rightmost_one(width);
+                (l, Box::new(o))
+            }
+            _ => {
+                let (l, o) = benchmarks::extra::average_floor(width);
+                (l, Box::new(o))
+            }
+        };
+        let config = SynthesisConfig {
+            max_iterations: 64,
+            seed: 7,
+            budget: Budget::UNLIMITED,
+            ..SynthesisConfig::default()
+        };
+        let (direct, _) = synthesize_with_cache(&lib, &mut oracle, &config, None);
+        match direct {
+            SynthesisOutcome::Synthesized { program, .. } => {
+                assert_eq!(
+                    served_program,
+                    program.to_string(),
+                    "{tag}: served program text diverges from the sequential library"
+                );
+            }
+            other => panic!("{tag}: direct synthesis failed: {other:?}"),
+        }
+    }
+
+    // At higher thread counts a different member may win the race, so
+    // only the verdict (feasibility) is pinned — plus that a program was
+    // actually served.
+    for threads in [2usize, 4] {
+        let resp = client
+            .request(
+                "synth",
+                synth_job("turn_off_rightmost_one", width, 7, threads),
+            )
+            .expect("parallel synth job");
+        let tag = format!("parallel synth at {threads} threads");
+        assert_eq!(served_verdict(&resp, &tag), "synthesized", "{tag}");
+        assert!(detail_str(&resp, "program").is_some(), "{tag}: no program");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Admission control: settle, then refuse, per tenant
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tenant_admission_settles_receipts_and_refuses_over_the_wire() {
+    // Measure what one job costs *over the wire* (a raw CNF job at one
+    // thread is cache-free and bit-reproducible), then size the tenant
+    // budget to exactly two of them: jobs 1-2 settle, job 3 runs but
+    // cannot settle, job 4 is refused before any compute.
+    let cnf = mode_exclusion(4, 3);
+    let job = || sat_job(&cnf, 1, None, false);
+    let probe_server = start_server(ServerConfig::default());
+    let probe = connect(&probe_server)
+        .request("probe", job())
+        .expect("probe job");
+    let receipt = probe.get("receipt").expect("done frames carry receipts");
+    let spend = |key: &str| receipt.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let (conflicts, steps, fuel) = (spend("conflicts"), spend("steps"), spend("fuel"));
+    assert!(
+        conflicts + steps + fuel >= 1,
+        "the probe job must spend something: {probe}"
+    );
+    drop(probe_server);
+
+    let cap = |n: u64| if n > 0 { 2 * n } else { u64::MAX };
+    let server = start_server(ServerConfig {
+        workers: 1,
+        tenant_budget: Budget {
+            conflicts: cap(conflicts),
+            steps: cap(steps),
+            fuel: cap(fuel),
+            ..Budget::UNLIMITED
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&server);
+
+    for i in 1..=3 {
+        let resp = client.request("capped", job()).expect("capped job");
+        assert_eq!(served_verdict(&resp, &format!("capped job {i}")), "unsat");
+    }
+    // Job 3 overran the account: its settlement was refused, the meter is
+    // now exhausted, and the next job bounces at admission.
+    let refused = client.request("capped", job()).expect("refused job");
+    assert_eq!(refused.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(refused.get("code").and_then(Value::as_str), Some("EADMIT"));
+    let msg = refused.get("message").and_then(Value::as_str).unwrap_or("");
+    assert!(msg.contains("capped"), "refusal names the tenant: {msg}");
+
+    // A fresh tenant is unaffected by its neighbor's exhaustion.
+    let resp = client.request("fresh", job()).expect("fresh tenant job");
+    assert_eq!(served_verdict(&resp, "fresh tenant"), "unsat");
+
+    // The account holds exactly the settled receipts (jobs 1-2), and the
+    // transcript records job 3 as served-but-unsettled.
+    let accounts = server.accounts();
+    let account = accounts
+        .get("capped")
+        .expect("capped tenant has an account");
+    assert_eq!(
+        (account.conflicts, account.steps, account.fuel),
+        (2 * conflicts, 2 * steps, 2 * fuel),
+        "the account must hold exactly the two settled receipts"
+    );
+    let transcript = server.transcript();
+    let capped: Vec<_> = transcript.iter().filter(|e| e.tenant == "capped").collect();
+    assert_eq!(
+        capped.len(),
+        3,
+        "the refused job never reaches the transcript"
+    );
+    let settled: Vec<bool> = capped
+        .iter()
+        .map(|e| e.served.as_ref().expect("all admitted jobs served").settled)
+        .collect();
+    assert_eq!(settled, [true, true, false]);
+
+    // The SRV accounting audit accepts this history: an account may hold
+    // *more* than its settled receipts (refusals burn headroom), never
+    // less.
+    let audit = client
+        .request(
+            "auditor",
+            json::obj(vec![("kind", Value::Str("audit".into()))]),
+        )
+        .expect("audit");
+    assert_eq!(served_verdict(&audit, "audit"), "clean", "{audit}");
+}
+
+// ---------------------------------------------------------------------------
+// 6. SRV002: the transcript replays bit-identically through a fresh engine
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transcript_replays_bit_identically_through_the_srv002_audit() {
+    let server = start_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&server);
+    let jobs = vec![
+        fig_job("fig8_p1_equiv_w8", 1, None, false),
+        fig_job("fig8_p2_equiv_w8", 1, Some(0xFA01), false),
+        fig_job("fig10_mode_exclusion", 2, None, false),
+        synth_job("turn_off_rightmost_one", 3, 7, 1),
+    ];
+    for job in jobs {
+        let resp = client.request("replay", job).expect("job served");
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{resp}"
+        );
+    }
+
+    // The SRV002 pass re-executes every transcript entry on a *fresh*
+    // engine (empty cache, new solver state) and flags any divergence.
+    let transcript = server.transcript();
+    assert_eq!(transcript.len(), 4);
+    let mut report = Report::new();
+    sciduction_server::audit::audit_served_verdicts(&transcript, "conformance", &mut report);
+    assert!(
+        report.is_clean(),
+        "served verdicts do not replay bit-identically: {report}"
+    );
+}
