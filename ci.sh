@@ -95,4 +95,20 @@ if [ "$served_certs" -eq 0 ]; then
 fi
 echo "    replayed $served_certs served certificate(s) through scicheck"
 
+echo "==> crash recovery: kill-anywhere matrix + SIGKILL smoke + cert replay"
+cargo test --release -p sciduction-suite --test crash_recovery -q
+rm -rf target/scid-server/crash-state target/scid-server/crash-proofs
+cargo run --release -p sciduction-bench --bin crash_smoke
+crash_certs=0
+for cert in target/scid-server/crash-proofs/*.scicert; do
+  [ -e "$cert" ] || continue
+  cargo run --release -q -p sciduction-proof --bin scicheck -- --cert "$cert"
+  crash_certs=$((crash_certs + 1))
+done
+if [ "$crash_certs" -eq 0 ]; then
+  echo "crash smoke produced no certificates to replay" >&2
+  exit 1
+fi
+echo "    replayed $crash_certs certificate(s) served across a SIGKILL restart"
+
 echo "CI OK"

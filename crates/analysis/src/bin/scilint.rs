@@ -393,6 +393,153 @@ fn lint_recovery(report: &mut Report) {
     audit_guard_journal(&journal, "recovery", report);
 }
 
+fn lint_durability(report: &mut Report) {
+    use sciduction::persist::{RecordLog, HEADER_LEN};
+    use sciduction_analysis::passes::audit_record_log;
+
+    const GENERATION: u64 = 7;
+    let dir = std::env::temp_dir().join(format!("scilint-durability-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let payloads: Vec<Vec<u8>> = (0..24u8).map(|i| vec![i; (i as usize % 7) + 1]).collect();
+
+    // A healthy log written through the real writer must audit clean and
+    // surface exactly the appended records.
+    let path = dir.join("healthy.log");
+    let _ = std::fs::remove_file(&path);
+    match RecordLog::open(&path, GENERATION) {
+        Ok((mut log, recovery)) => {
+            if recovery.reset || !recovery.records.is_empty() {
+                report.error(
+                    codes::DUR001,
+                    "durability",
+                    "fresh-log",
+                    "fresh log reported prior records or a reset",
+                );
+            }
+            for p in &payloads {
+                match log.append(p) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => report.error(
+                        codes::DUR001,
+                        "durability",
+                        "healthy-append",
+                        "fault-free append did not report durable",
+                    ),
+                }
+            }
+            let _ = log.sync();
+        }
+        Err(e) => {
+            report.error(
+                codes::DUR001,
+                "durability",
+                "healthy-open",
+                format!("cannot open record log: {e}"),
+            );
+            return;
+        }
+    }
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            report.error(
+                codes::DUR001,
+                "durability",
+                "healthy-read",
+                format!("cannot read log back: {e}"),
+            );
+            return;
+        }
+    };
+    let scan = audit_record_log(&bytes, GENERATION, "durability", report);
+    if scan.records != payloads {
+        report.error(
+            codes::DUR001,
+            "durability",
+            "healthy-replay",
+            "scanned records differ from the appended records",
+        );
+    }
+
+    // Seeded torn/short/killed writers: recovery must surface exactly the
+    // records `append` reported durable — never more, never fewer.
+    for kind in sciduction::exec::FaultKind::DURABILITY {
+        for seed in [3u64, 11] {
+            let path = dir.join(format!("faulted-{kind}-{seed}.log"));
+            let _ = std::fs::remove_file(&path);
+            let (log, _) = match RecordLog::open(&path, GENERATION) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    report.error(
+                        codes::DUR001,
+                        "durability",
+                        format!("{kind}/{seed}"),
+                        format!("cannot open record log: {e}"),
+                    );
+                    continue;
+                }
+            };
+            let mut log = log.with_fault_plan(Arc::new(FaultPlan::targeting(seed, kind)));
+            let mut durable: Vec<Vec<u8>> = Vec::new();
+            for p in &payloads {
+                if log.append(p).unwrap_or(false) {
+                    durable.push(p.clone());
+                }
+            }
+            drop(log);
+            match RecordLog::open(&path, GENERATION) {
+                Ok((_, recovery)) => {
+                    if recovery.records != durable {
+                        report.error(
+                            codes::DUR001,
+                            "durability",
+                            format!("{kind}/{seed}"),
+                            format!(
+                                "recovered {} record(s) but the writer reported {} durable",
+                                recovery.records.len(),
+                                durable.len()
+                            ),
+                        );
+                    }
+                }
+                Err(e) => report.error(
+                    codes::DUR001,
+                    "durability",
+                    format!("{kind}/{seed}"),
+                    format!("cannot reopen faulted log: {e}"),
+                ),
+            }
+        }
+    }
+
+    // Negative controls into a scratch report: corruption the audit fails
+    // to flag is itself a lint failure.
+    let mut scratch = Report::new();
+    let mut flipped = bytes.clone();
+    flipped[HEADER_LEN + 4] ^= 0xFF; // first frame's CRC field
+    audit_record_log(&flipped, GENERATION, "durability", &mut scratch);
+    if !scratch.has_code(codes::DUR001) {
+        report.error(
+            codes::DUR001,
+            "durability",
+            "flipped-crc",
+            "a flipped frame CRC was not flagged",
+        );
+    }
+    let mut scratch = Report::new();
+    audit_record_log(&bytes, GENERATION + 1, "durability", &mut scratch);
+    if !scratch.has_code(codes::DUR002) {
+        report.error(
+            codes::DUR002,
+            "durability",
+            "stale-generation",
+            "a stale log generation was not flagged",
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn lint_proof(report: &mut Report) {
     // SAT: a pigeonhole refutation raced by a proof-logging portfolio at
     // the configured thread count; the winner's DRAT log must replay
@@ -582,7 +729,7 @@ fn main() -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
 
     type Suite = (&'static str, fn(&mut Report));
-    let suites: [Suite; 9] = [
+    let suites: [Suite; 10] = [
         ("ir", lint_ir),
         ("cfg", lint_cfg),
         ("smt", lint_smt),
@@ -591,6 +738,7 @@ fn main() -> ExitCode {
         ("ogis", lint_ogis),
         ("hybrid", lint_hybrid),
         ("recovery", lint_recovery),
+        ("durability", lint_durability),
         ("proof", lint_proof),
     ];
     if let Some(bad) = suite_filter

@@ -149,6 +149,20 @@ pub const SRV002: &str = "SRV002";
 /// account's counters.
 pub const SRV003: &str = "SRV003";
 
+/// A durable record log is structurally corrupt *past recovery's reach*:
+/// a frame surfaced by replay fails its CRC, claims an impossible
+/// length, or (for typed logs) carries an undecodable payload.
+/// Recovery truncates torn tails silently; this code fires only when
+/// corruption would otherwise be *served*.
+pub const DUR001: &str = "DUR001";
+/// A record log's generation header does not match the reader's: a
+/// stale on-disk format that must be reset, never misread.
+pub const DUR002: &str = "DUR002";
+/// A job WAL violates the admit/settle/respond state machine: a
+/// settlement without an admission (forged), a duplicate settlement
+/// (double charge), or a response without a settlement.
+pub const DUR003: &str = "DUR003";
+
 /// Every registered code with its one-line description, for `scilint
 /// --codes` and the docs table.
 pub const ALL: &[(&str, &str)] = &[
@@ -267,6 +281,18 @@ pub const ALL: &[(&str, &str)] = &[
     (
         SRV003,
         "tenant admission accounting incoherent with served receipts",
+    ),
+    (
+        DUR001,
+        "record log frame corrupt past recovery (bad CRC/length/payload)",
+    ),
+    (
+        DUR002,
+        "record log generation stale (format reset required)",
+    ),
+    (
+        DUR003,
+        "job WAL breaks admit/settle/respond (forged or double-charged)",
     ),
 ];
 

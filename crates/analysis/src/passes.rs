@@ -1096,6 +1096,65 @@ pub fn audit_entrant_log(
     audit_retry_schedule(policy, log, pass, report);
 }
 
+/// Audits the raw bytes of a durable record log (DESIGN.md §4.18).
+///
+/// * `DUR001` — structural corruption: a missing/forged header, a frame
+///   whose CRC fails, a truncated frame, or an impossible frame length.
+///   Recovery *truncates* such tails silently to keep serving; the audit
+///   exists to surface them after the fact, because an artifact handed
+///   to the linter is being asserted intact, and trusting a corrupt
+///   frame would serve garbage.
+/// * `DUR002` — the generation header does not match the reader's
+///   expected format generation: a stale log that must be reset, never
+///   misread under the wrong layout.
+///
+/// Returns the scan so callers can audit the surfaced record payloads
+/// (the server's WAL recovery decodes them and reports undecodable ones
+/// as `DUR001` at that layer).
+pub fn audit_record_log(
+    bytes: &[u8],
+    expected_generation: u64,
+    pass: &'static str,
+    report: &mut Report,
+) -> sciduction::persist::LogScan {
+    use sciduction::persist::Corruption;
+    let scan = sciduction::persist::scan(bytes);
+    if let Some(c) = scan.corruption {
+        let site = match c {
+            Corruption::TruncatedHeader | Corruption::BadMagic | Corruption::BadHeaderCrc => {
+                "header".to_string()
+            }
+            Corruption::TruncatedFrame { offset }
+            | Corruption::BadFrameCrc { offset }
+            | Corruption::OversizedFrame { offset, .. } => format!("offset#{offset}"),
+        };
+        report.error(
+            codes::DUR001,
+            pass,
+            site,
+            format!(
+                "{c}; {} of {} bytes survive as a valid prefix ({} records)",
+                scan.valid_len,
+                bytes.len(),
+                scan.records.len()
+            ),
+        );
+    }
+    if let Some(generation) = scan.generation {
+        if generation != expected_generation {
+            report.error(
+                codes::DUR002,
+                pass,
+                "header",
+                format!(
+                    "log generation {generation} does not match expected {expected_generation}"
+                ),
+            );
+        }
+    }
+    scan
+}
+
 /// Audits a [`CegisJournal`] (`REC001`): structural self-consistency plus
 /// an exact wire-format round trip.
 pub fn audit_cegis_journal(journal: &CegisJournal, pass: &'static str, report: &mut Report) {

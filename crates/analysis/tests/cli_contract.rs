@@ -40,7 +40,7 @@ fn codes_listing_is_code_two_spaces_description() {
     }
     // The server audit passes registered by the batch front door must be in
     // the registry the CLI advertises.
-    for code in ["SRV001", "SRV002", "SRV003"] {
+    for code in ["SRV001", "SRV002", "SRV003", "DUR001", "DUR002", "DUR003"] {
         assert!(
             text.lines().any(|l| l.starts_with(code)),
             "--codes lists {code}"
@@ -92,7 +92,15 @@ fn unknown_suite_name_is_an_error_listing_known_suites() {
     assert!(!out.status.success(), "unknown suite exits nonzero");
     let err = stderr(&out);
     assert!(err.contains("unknown suite 'warp'"), "{err}");
-    for name in ["ir", "cfg", "smt", "sat", "portfolio", "proof"] {
+    for name in [
+        "ir",
+        "cfg",
+        "smt",
+        "sat",
+        "portfolio",
+        "durability",
+        "proof",
+    ] {
         assert!(err.contains(name), "error lists known suite {name}: {err}");
     }
 

@@ -1219,3 +1219,132 @@ fn prf004_stale_blasting_map() {
     audit_smt_certificate(&dup, "mul-contradiction", "proof", &mut r);
     assert!(r.has_code(codes::PRF004), "{r}");
 }
+
+// -------------------------------------------------------------------------
+// Durable record logs and the job WAL (DUR)
+// -------------------------------------------------------------------------
+
+/// A well-formed three-record log rendered purely (no filesystem): the
+/// canonical healthy artifact the DUR corruptions start from.
+fn healthy_log(generation: u64) -> (Vec<u8>, Vec<Vec<u8>>) {
+    use sciduction::persist::{encode_frame, encode_header};
+    let payloads: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], vec![0xA5; 300]];
+    let mut bytes = encode_header(generation).to_vec();
+    for p in &payloads {
+        bytes.extend_from_slice(&encode_frame(p));
+    }
+    (bytes, payloads)
+}
+
+#[test]
+fn dur_clean_log_audits_clean_and_surfaces_every_record() {
+    let (bytes, payloads) = healthy_log(3);
+    let mut r = Report::new();
+    let scan = sciduction_analysis::passes::audit_record_log(&bytes, 3, "durability", &mut r);
+    assert!(!r.has_errors(), "{r}");
+    assert_eq!(scan.records, payloads);
+    assert_eq!(scan.valid_len, bytes.len());
+}
+
+#[test]
+fn dur001_flipped_frame_crc() {
+    use sciduction::persist::HEADER_LEN;
+    let (mut bytes, _) = healthy_log(3);
+    bytes[HEADER_LEN + 4] ^= 0x01; // first frame's CRC field
+    let mut r = Report::new();
+    let scan = sciduction_analysis::passes::audit_record_log(&bytes, 3, "durability", &mut r);
+    assert!(r.has_code(codes::DUR001), "{r}");
+    // Nothing after the corrupt frame is surfaced: a bad CRC ends the
+    // valid prefix right there.
+    assert!(scan.records.is_empty());
+    assert_eq!(scan.valid_len, HEADER_LEN);
+}
+
+#[test]
+fn dur001_truncated_tail() {
+    let (bytes, payloads) = healthy_log(3);
+    let cut = &bytes[..bytes.len() - 100]; // mid-way through the last frame
+    let mut r = Report::new();
+    let scan = sciduction_analysis::passes::audit_record_log(cut, 3, "durability", &mut r);
+    assert!(r.has_code(codes::DUR001), "{r}");
+    assert_eq!(
+        scan.records,
+        payloads[..2].to_vec(),
+        "clean prefix survives"
+    );
+}
+
+#[test]
+fn dur002_stale_generation() {
+    let (bytes, _) = healthy_log(3);
+    let mut r = Report::new();
+    sciduction_analysis::passes::audit_record_log(&bytes, 4, "durability", &mut r);
+    assert!(r.has_code(codes::DUR002), "{r}");
+    assert!(!r.has_code(codes::DUR001), "structure itself is sound: {r}");
+}
+
+/// A minimal executable spec for WAL records.
+fn wal_fig_spec() -> sciduction_server::JobSpec {
+    sciduction_server::JobSpec::Fig(sciduction_server::FigJob {
+        name: "fig8_p1_equiv_w8".into(),
+        proof: false,
+        common: sciduction_server::JobCommon::default(),
+    })
+}
+
+fn wal_receipt(steps: u64) -> BudgetReceipt {
+    let mut m = sciduction::BudgetMeter::new(Budget::UNLIMITED);
+    m.charge_step_batch(steps).unwrap();
+    m.receipt()
+}
+
+#[test]
+fn dur003_forged_settlement_is_refused() {
+    use sciduction_server::journal::replay;
+    use sciduction_server::WalRecord;
+    // A settlement for a job that was never admitted: forged.
+    let records = vec![WalRecord::Settle {
+        seq: 9,
+        verdict: "unsat".into(),
+        receipt: wal_receipt(5),
+        settled: true,
+    }];
+    let mut r = Report::new();
+    let replayed = replay(&records, Budget::UNLIMITED, "recovery", &mut r);
+    assert!(r.has_code(codes::DUR003), "{r}");
+    assert!(replayed.entries.is_empty(), "a forged job is never served");
+}
+
+#[test]
+fn dur003_double_charge_is_refused_and_clean_journal_is_not() {
+    use sciduction_server::journal::replay;
+    use sciduction_server::WalRecord;
+    let admit = WalRecord::Admit {
+        seq: 0,
+        tenant: "acme".into(),
+        id: 7,
+        spec: wal_fig_spec(),
+    };
+    let settle = WalRecord::Settle {
+        seq: 0,
+        verdict: "unsat".into(),
+        receipt: wal_receipt(5),
+        settled: true,
+    };
+
+    // Clean: admit → settle → respond replays without diagnostics and
+    // charges the tenant exactly once.
+    let clean = vec![admit.clone(), settle.clone(), WalRecord::Respond { seq: 0 }];
+    let mut r = Report::new();
+    let replayed = replay(&clean, Budget::UNLIMITED, "recovery", &mut r);
+    assert!(!r.has_errors(), "{r}");
+    assert_eq!(replayed.entries.len(), 1);
+    assert_eq!(replayed.accounts["acme"].receipt().steps, 5);
+
+    // Corrupt: a second settlement of the same sequence number is a
+    // double charge.
+    let double = vec![admit, settle.clone(), settle];
+    let mut r = Report::new();
+    replay(&double, Budget::UNLIMITED, "recovery", &mut r);
+    assert!(r.has_code(codes::DUR003), "{r}");
+}

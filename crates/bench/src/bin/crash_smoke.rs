@@ -1,0 +1,309 @@
+//! `crash_smoke` — out-of-process kill-anywhere smoke test for
+//! `scid-server`'s durability tier (DESIGN.md §4.18).
+//!
+//! Run with `cargo run --release -p sciduction-bench --bin crash_smoke`
+//! (the release `scid-server` binary must already be built).
+//!
+//! Spawns a real `scid-server` child process against a fresh
+//! `--state-dir`, serves a batch of fig workloads, **SIGKILLs the child
+//! mid-batch**, restarts it against the surviving bytes, and re-serves
+//! the full batch plus a certifying job. Every verdict served before
+//! the kill and after the restart must be bit-identical to a cold
+//! direct-library run; the restarted server must come up at all (its
+//! recovery pass refuses corrupt state); and the certificate artifacts
+//! land under the proofs directory for ci.sh to replay through the
+//! independent `scicheck` checker.
+
+use sciduction::json::{self, Value};
+use sciduction::Budget;
+use sciduction_sat::{solve_portfolio, Cnf, PortfolioConfig};
+use sciduction_server::Client;
+use sciduction_smt::{Solver as SmtSolver, TermId};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+const USAGE: &str = "\
+usage: crash_smoke [options]
+
+SIGKILLs a real scid-server child mid-batch, restarts it against the
+surviving --state-dir, and diffs every served verdict against a direct
+library call.
+
+options:
+  --server PATH     scid-server binary (default target/release/scid-server)
+  --state-dir DIR   durable state dir (default target/scid-server/crash-state)
+  --proofs-dir DIR  certificate dir (default target/scid-server/crash-proofs)
+  -h, --help        show this help";
+
+const FIG_NAMES: [&str; 5] = [
+    "fig6_crc8_infeasible_path",
+    "fig6_crc8_feasible_path",
+    "fig8_p1_equiv_w8",
+    "fig8_p2_equiv_w8",
+    "fig10_mode_exclusion",
+];
+
+// ---------------------------------------------------------------------------
+// The cold direct-library reference
+// ---------------------------------------------------------------------------
+
+fn mode_exclusion(n: usize, m: usize) -> Cnf {
+    let var = |i: usize, j: usize| (i * m + j + 1) as i64;
+    let mut clauses: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..m).map(|j| var(i, j)).collect())
+        .collect();
+    for i1 in 0..n {
+        for i2 in (i1 + 1)..n {
+            for j in 0..m {
+                clauses.push(vec![-var(i1, j), -var(i2, j)]);
+            }
+        }
+    }
+    Cnf {
+        num_vars: n * m,
+        clauses,
+    }
+}
+
+fn fig_query(s: &mut SmtSolver, name: &str) -> Vec<TermId> {
+    match name {
+        "fig6_crc8_infeasible_path" | "fig6_crc8_feasible_path" => {
+            use sciduction_cfg::{path_formula, unroll, Dag};
+            let f = sciduction_ir::programs::crc8();
+            let dag = Dag::build(unroll(&f, 8)).expect("crc8 unrolls");
+            let paths = dag.enumerate_paths(1000);
+            let path = if name == "fig6_crc8_infeasible_path" {
+                paths.iter().min_by_key(|p| p.edges.len())
+            } else {
+                paths.iter().max_by_key(|p| p.edges.len())
+            }
+            .expect("crc8 DAG has paths");
+            path_formula(s, &dag, path).constraints
+        }
+        "fig8_p1_equiv_w8" => {
+            let p = s.terms_mut();
+            let x = p.var("x", 8);
+            let one = p.bv(1, 8);
+            let zero = p.bv(0, 8);
+            let xm1 = p.bv_sub(x, one);
+            let spec = p.bv_and(x, xm1);
+            let negx = p.bv_sub(zero, x);
+            let iso = p.bv_and(x, negx);
+            let cand = p.bv_sub(x, iso);
+            vec![p.neq(spec, cand)]
+        }
+        "fig8_p2_equiv_w8" => {
+            let p = s.terms_mut();
+            let x = p.var("x", 8);
+            let k45 = p.bv(45, 8);
+            let spec = p.bv_mul(x, k45);
+            let s5 = p.bv(5, 8);
+            let s3 = p.bv(3, 8);
+            let s2 = p.bv(2, 8);
+            let t5 = p.bv_shl(x, s5);
+            let t3 = p.bv_shl(x, s3);
+            let t2 = p.bv_shl(x, s2);
+            let sum = p.bv_add(t5, t3);
+            let sum = p.bv_add(sum, t2);
+            let cand = p.bv_add(sum, x);
+            vec![p.neq(spec, cand)]
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+fn direct_verdict(name: &str) -> String {
+    if name == "fig10_mode_exclusion" {
+        let outcome = solve_portfolio(&mode_exclusion(7, 6), &[], &PortfolioConfig::default())
+            .expect("portfolio degrades, never errors");
+        return outcome.verdict.to_string();
+    }
+    let mut s = SmtSolver::new();
+    for t in fig_query(&mut s, name) {
+        s.assert_term(t);
+    }
+    s.check_bounded(&Budget::UNLIMITED).to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Child-process harness
+// ---------------------------------------------------------------------------
+
+fn fig_job(name: &str, proof: bool) -> Value {
+    json::obj(vec![
+        ("kind", Value::Str("fig".into())),
+        ("name", Value::Str(name.into())),
+        ("threads", Value::Int(2)),
+        ("proof", Value::Bool(proof)),
+    ])
+}
+
+/// Spawns a `scid-server` child and parses the bound address from its
+/// "scid-server listening on ADDR" banner line.
+fn spawn_server(
+    server_bin: &Path,
+    state_dir: &Path,
+    proofs_dir: &Path,
+) -> Result<(Child, SocketAddr), String> {
+    let mut child = Command::new(server_bin)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg("2")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .arg("--proofs-dir")
+        .arg(proofs_dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", server_bin.display()))?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    let mut reader = std::io::BufReader::new(stdout);
+    if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("server exited before printing its banner (recovery refused?)".into());
+    }
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .and_then(|a| a.parse::<SocketAddr>().ok())
+        .ok_or_else(|| format!("unparseable banner line {line:?}"))?;
+    Ok((child, addr))
+}
+
+fn sigkill(child: &mut Child) {
+    let _ = child.kill(); // SIGKILL on unix — no shutdown handler runs
+    let _ = child.wait();
+}
+
+/// Serves `rounds` rounds of the fig batch, diffing each verdict against
+/// the reference. Returns how many were served.
+fn serve_rounds(
+    client: &mut Client,
+    expected: &[(&str, String)],
+    rounds: usize,
+    tag: &str,
+) -> Result<usize, String> {
+    let mut served = 0usize;
+    for round in 0..rounds {
+        for (name, want) in expected {
+            let resp = client
+                .request("crash-smoke", fig_job(name, false))
+                .map_err(|e| format!("{tag}: round {round} {name}: {e}"))?;
+            let got = resp.get("verdict").and_then(Value::as_str).unwrap_or("");
+            if resp.get("ok").and_then(Value::as_bool) != Some(true) || got != want {
+                return Err(format!(
+                    "{tag}: {name}: served {resp} but the library says {want:?}"
+                ));
+            }
+            served += 1;
+        }
+    }
+    Ok(served)
+}
+
+fn run(server_bin: &Path, state_dir: &Path, proofs_dir: &Path) -> Result<(), String> {
+    let _ = std::fs::remove_dir_all(state_dir);
+    let _ = std::fs::remove_dir_all(proofs_dir);
+
+    println!("== crash_smoke: computing the direct-library reference verdicts ==");
+    let expected: Vec<(&str, String)> = FIG_NAMES
+        .iter()
+        .map(|name| (*name, direct_verdict(name)))
+        .collect();
+
+    // Phase A: a fresh server, one full round served and verified, then
+    // SIGKILL — no shutdown handler, no final sync; whatever bytes made
+    // it to disk are what recovery gets.
+    println!("== phase A: serve one round, then SIGKILL mid-batch ==");
+    let (mut child, addr) = spawn_server(server_bin, state_dir, proofs_dir)?;
+    let mut client =
+        Client::connect(addr, Duration::from_secs(300)).map_err(|e| format!("connect: {e}"))?;
+    let served = serve_rounds(&mut client, &expected, 1, "phase A")?;
+    sigkill(&mut child);
+    drop(client);
+    println!("served {served} verdict(s), then killed pid mid-batch");
+
+    // Phase B: restart against the surviving bytes. Recovery (replay +
+    // SRV/DUR audits) must accept the state dir, re-serve the full
+    // batch bit-identically, and emit a certificate for scicheck.
+    println!("== phase B: restart against the surviving --state-dir ==");
+    let (mut child, addr) = spawn_server(server_bin, state_dir, proofs_dir)
+        .map_err(|e| format!("restart after SIGKILL: {e}"))?;
+    let mut client =
+        Client::connect(addr, Duration::from_secs(300)).map_err(|e| format!("reconnect: {e}"))?;
+    let served = serve_rounds(&mut client, &expected, 2, "phase B")?;
+    let resp = client
+        .request("crash-smoke", fig_job("fig8_p1_equiv_w8", true))
+        .map_err(|e| format!("phase B: certifying job: {e}"))?;
+    if resp.get("ok").and_then(Value::as_bool) != Some(true)
+        || !matches!(resp.get("certificate"), Some(Value::Obj(_)))
+    {
+        return Err(format!(
+            "phase B: certifying job served no certificate: {resp}"
+        ));
+    }
+    sigkill(&mut child);
+    drop(client);
+    println!("served {served} verdict(s) + 1 certificate after recovery");
+    println!(
+        "certificates for scicheck replay under {}",
+        proofs_dir.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut server_bin = root.join("target/release/scid-server");
+    let mut state_dir = root.join("target/scid-server/crash-state");
+    let mut proofs_dir = root.join("target/scid-server/crash-proofs");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs an argument"))
+        };
+        let result: Result<(), String> = match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--server" => take("--server").map(|v| server_bin = PathBuf::from(v)),
+            "--state-dir" => take("--state-dir").map(|v| state_dir = PathBuf::from(v)),
+            "--proofs-dir" => take("--proofs-dir").map(|v| proofs_dir = PathBuf::from(v)),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("crash_smoke: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    if !server_bin.exists() {
+        eprintln!(
+            "crash_smoke: {} not built (run `cargo build --release -p sciduction-server` first)",
+            server_bin.display()
+        );
+        return ExitCode::from(2);
+    }
+    match run(&server_bin, &state_dir, &proofs_dir) {
+        Ok(()) => {
+            println!("crash_smoke: OK — kill-anywhere recovery served bit-identical verdicts");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("crash_smoke: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

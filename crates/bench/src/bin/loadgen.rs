@@ -252,6 +252,80 @@ fn build_pool() -> Vec<PoolEntry> {
     pool
 }
 
+/// Cold-vs-warm restart benchmark (DESIGN.md §4.18): serve a
+/// deterministic fig subset against a fresh `--state-dir`, stop the
+/// server, restart it against the now-populated directory, and serve
+/// the identical jobs again. The warm run's SMT queries replay from the
+/// persistent cache tier (re-certified on adoption, never trusted), so
+/// the cold/warm latency delta is the durability tier's payoff.
+struct WarmStart {
+    requests: usize,
+    cold_p50_ms: f64,
+    cold_p99_ms: f64,
+    warm_p50_ms: f64,
+    warm_p99_ms: f64,
+    mismatches: usize,
+}
+
+fn run_state_pass(
+    state_dir: &std::path::Path,
+    pool: &[&PoolEntry],
+    workers: usize,
+    rounds: usize,
+) -> Result<(Vec<f64>, usize), String> {
+    let mut server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        state_dir: Some(state_dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("start with state dir: {e}"))?;
+    let mut lat = Vec::new();
+    let mut mismatches = 0usize;
+    {
+        let mut client = Client::connect(server.addr(), Duration::from_secs(300))
+            .map_err(|e| format!("connect: {e}"))?;
+        for _ in 0..rounds {
+            for entry in pool {
+                let t = Instant::now();
+                let resp = client
+                    .request("warm-start", entry.job.clone())
+                    .map_err(|e| format!("request: {e}"))?;
+                lat.push(t.elapsed().as_secs_f64() * 1e3);
+                let served = resp.get("verdict").and_then(Value::as_str).unwrap_or("");
+                if resp.get("ok").and_then(Value::as_bool) != Some(true) || served != entry.expected
+                {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    server.stop();
+    Ok((lat, mismatches))
+}
+
+fn run_warm_start(pool: &[PoolEntry], workers: usize) -> Result<WarmStart, String> {
+    let state_dir = repo_root().join("target/scid-server/loadgen-state");
+    let _ = fs::remove_dir_all(&state_dir);
+    let subset: Vec<&PoolEntry> = pool
+        .iter()
+        .filter(|e| matches!(e.family, "fig6" | "fig8" | "fig10"))
+        .collect();
+    let rounds = 2;
+    let (mut cold, m1) = run_state_pass(&state_dir, &subset, workers, rounds)?;
+    let (mut warm, m2) = run_state_pass(&state_dir, &subset, workers, rounds)?;
+    cold.sort_by(f64::total_cmp);
+    warm.sort_by(f64::total_cmp);
+    Ok(WarmStart {
+        requests: cold.len(),
+        cold_p50_ms: percentile(&cold, 0.50),
+        cold_p99_ms: percentile(&cold, 0.99),
+        warm_p50_ms: percentile(&warm, 0.50),
+        warm_p99_ms: percentile(&warm, 0.99),
+        mismatches: m1 + m2,
+    })
+}
+
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
@@ -373,7 +447,12 @@ fn run_level(
     })
 }
 
-fn results_json(levels: &[LevelResult], workers: usize, pool_size: usize) -> Value {
+fn results_json(
+    levels: &[LevelResult],
+    warm: &WarmStart,
+    workers: usize,
+    pool_size: usize,
+) -> Value {
     let level_values: Vec<Value> = levels
         .iter()
         .map(|l| {
@@ -419,6 +498,17 @@ fn results_json(levels: &[LevelResult], workers: usize, pool_size: usize) -> Val
         ("workers", Value::Int(workers as i64)),
         ("pool_size", Value::Int(pool_size as i64)),
         ("levels", Value::Arr(level_values)),
+        (
+            "warm_start",
+            json::obj(vec![
+                ("requests", Value::Int(warm.requests as i64)),
+                ("cold_p50_ms", Value::Float(warm.cold_p50_ms)),
+                ("cold_p99_ms", Value::Float(warm.cold_p99_ms)),
+                ("warm_p50_ms", Value::Float(warm.warm_p50_ms)),
+                ("warm_p99_ms", Value::Float(warm.warm_p99_ms)),
+                ("mismatches", Value::Int(warm.mismatches as i64)),
+            ]),
+        ),
     ])
 }
 
@@ -479,6 +569,7 @@ fn main() -> ExitCode {
         workers,
         tenant_budget: Budget::UNLIMITED,
         proofs_dir: Some(proofs.clone()),
+        ..ServerConfig::default()
     }) {
         Ok(s) => s,
         Err(e) => {
@@ -513,6 +604,30 @@ fn main() -> ExitCode {
         failed = true;
     }
 
+    println!("\n== warm start: cold vs restarted --state-dir ==");
+    let warm = match run_warm_start(&pool, workers) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("loadgen: warm-start pass failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cold  p50 {:.3} ms  p99 {:.3} ms   ({} requests)",
+        warm.cold_p50_ms, warm.cold_p99_ms, warm.requests
+    );
+    println!(
+        "warm  p50 {:.3} ms  p99 {:.3} ms   (restart against populated state dir)",
+        warm.warm_p50_ms, warm.warm_p99_ms
+    );
+    if warm.mismatches > 0 {
+        eprintln!(
+            "loadgen: CONFORMANCE MISMATCH: {} warm-start verdict(s) diverged",
+            warm.mismatches
+        );
+        failed = true;
+    }
+
     let table: Vec<Vec<String>> = levels
         .iter()
         .map(|l| {
@@ -540,7 +655,7 @@ fn main() -> ExitCode {
         &table,
     );
 
-    let json_text = format!("{}\n", results_json(&levels, workers, pool.len()));
+    let json_text = format!("{}\n", results_json(&levels, &warm, workers, pool.len()));
     if let Err(e) = fs::write(&out, json_text) {
         eprintln!("loadgen: cannot write {}: {e}", out.display());
         return ExitCode::from(2);

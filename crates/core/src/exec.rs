@@ -53,23 +53,50 @@ pub enum FaultKind {
     /// A domain engine is handed an already-exhausted budget, so it must
     /// report `Unknown` with a certified `Injected` cause.
     BudgetExhaustion,
+    /// A durable-log append is torn mid-frame: the frame's bytes land on
+    /// disk corrupted and the writer dies (`sciduction::persist`). The
+    /// reader must truncate the torn tail on recovery, never surface it.
+    TornWrite,
+    /// A durable-log append is cut short: only a prefix of the frame
+    /// reaches disk before the writer dies. Recovery truncates it.
+    ShortWrite,
+    /// The durable-log writer is killed at a frame boundary: this append
+    /// and every later one are silently lost, but the prefix stays valid.
+    ProcessKill,
 }
 
 impl FaultKind {
     /// Every kind, in a fixed order (used by test matrices).
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::WorkerDeath,
         FaultKind::SpuriousCancel,
         FaultKind::CacheMissStorm,
         FaultKind::BudgetExhaustion,
+        FaultKind::TornWrite,
+        FaultKind::ShortWrite,
+        FaultKind::ProcessKill,
+    ];
+
+    /// The durability kinds that end a `RecordLog` writer's life
+    /// (`sciduction::persist`), in a fixed order for test matrices.
+    pub const DURABILITY: [FaultKind; 3] = [
+        FaultKind::TornWrite,
+        FaultKind::ShortWrite,
+        FaultKind::ProcessKill,
     ];
 
     fn index(self) -> usize {
+        // Indices are part of the decision function (`FaultPlan::decides`
+        // forks the seed by index), so existing kinds keep their slots
+        // forever and new kinds only ever append.
         match self {
             FaultKind::WorkerDeath => 0,
             FaultKind::SpuriousCancel => 1,
             FaultKind::CacheMissStorm => 2,
             FaultKind::BudgetExhaustion => 3,
+            FaultKind::TornWrite => 4,
+            FaultKind::ShortWrite => 5,
+            FaultKind::ProcessKill => 6,
         }
     }
 }
@@ -81,6 +108,9 @@ impl fmt::Display for FaultKind {
             FaultKind::SpuriousCancel => "spurious-cancel",
             FaultKind::CacheMissStorm => "cache-miss-storm",
             FaultKind::BudgetExhaustion => "budget-exhaustion",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::ShortWrite => "short-write",
+            FaultKind::ProcessKill => "process-kill",
         };
         write!(f, "{name}")
     }
@@ -108,7 +138,7 @@ pub struct FaultEvent {
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    kinds: [bool; 4],
+    kinds: [bool; 7],
     log: Mutex<Vec<FaultEvent>>,
 }
 
@@ -117,7 +147,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
-            kinds: [true; 4],
+            kinds: [true; 7],
             log: Mutex::new(Vec::new()),
         }
     }
@@ -125,7 +155,7 @@ impl FaultPlan {
     /// A plan injecting only `kind` — the rest of the matrix stays
     /// clean, which is what the per-kind differential fault tests need.
     pub fn targeting(seed: u64, kind: FaultKind) -> Self {
-        let mut kinds = [false; 4];
+        let mut kinds = [false; 7];
         kinds[kind.index()] = true;
         FaultPlan {
             seed,
@@ -662,7 +692,17 @@ pub struct QueryCache<K, V> {
     /// differ per process and break fault reproducibility).
     lookups: AtomicU64,
     plan: Option<Arc<FaultPlan>>,
+    /// Write-behind hook, called once per *genuinely new* insertion
+    /// (outside every shard lock). `sciduction::persist` uses it to
+    /// append entries to a [`DiskCacheTier`]; attach it only after disk
+    /// replay so replayed entries are not re-appended.
+    ///
+    /// [`DiskCacheTier`]: crate::persist::DiskCacheTier
+    write_behind: Mutex<Option<WriteBehind<K, V>>>,
 }
+
+/// The boxed write-behind callback of a [`QueryCache`].
+type WriteBehind<K, V> = Box<dyn Fn(&K, &V) + Send + Sync>;
 
 const CACHE_SHARDS: usize = 16;
 
@@ -714,6 +754,7 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
             evictions: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             plan: None,
+            write_behind: Mutex::new(None),
         }
     }
 
@@ -759,6 +800,16 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
         }
     }
 
+    /// Attaches a write-behind hook, called once per genuinely new
+    /// insertion (losing racers and re-insertions never fire it). The
+    /// hook runs outside every shard lock, after the value is already
+    /// published, so it may be arbitrarily slow without serializing
+    /// readers — and a crash mid-hook can only lose the *disk* copy of
+    /// an entry the in-memory cache already serves correctly.
+    pub fn set_write_behind(&self, hook: impl Fn(&K, &V) + Send + Sync + 'static) {
+        *lock_ignoring_poison(&self.write_behind) = Some(Box::new(hook));
+    }
+
     /// Binds `key` to `value` unless already bound, returning the value
     /// the cache now holds (first writer wins).
     pub fn insert(&self, key: K, value: V) -> V {
@@ -773,8 +824,12 @@ impl<K: Hash + Eq + Clone, V: Clone> QueryCache<K, V> {
             }
         }
         shard.order.push_back(key.clone());
-        shard.map.insert(key, value.clone());
+        shard.map.insert(key.clone(), value.clone());
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        drop(shard);
+        if let Some(hook) = lock_ignoring_poison(&self.write_behind).as_ref() {
+            hook(&key, &value);
+        }
         value
     }
 
@@ -885,6 +940,23 @@ impl<K: Hash + Eq, V> Drop for PendingClaim<'_, K, V> {
 pub struct FairQueue<K: Eq + Hash + Clone, T> {
     state: Mutex<FairQueueState<K, T>>,
     available: Condvar,
+    /// Total queued-item bound enforced by [`FairQueue::offer`]
+    /// (0 = unbounded). Saturation is *shedding*, not blocking: the
+    /// caller gets its item back and answers `EBUSY` instead of letting
+    /// an unbounded backlog hide overload behind latency.
+    capacity: usize,
+}
+
+/// The outcome of a non-blocking [`FairQueue::offer`].
+#[derive(Debug)]
+pub enum Offer<T> {
+    /// The item was enqueued.
+    Accepted,
+    /// The queue is at capacity; the item is handed back for structured
+    /// shedding (the `EBUSY` path in `scid-server`).
+    Saturated(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
 }
 
 struct FairQueueState<K, T> {
@@ -897,8 +969,15 @@ struct FairQueueState<K, T> {
 }
 
 impl<K: Eq + Hash + Clone, T> FairQueue<K, T> {
-    /// An open queue with no lanes yet.
+    /// An open, unbounded queue with no lanes yet.
     pub fn new() -> Self {
+        FairQueue::bounded(0)
+    }
+
+    /// An open queue bounded to `capacity` total queued items across all
+    /// lanes (`0` = unbounded). Over-capacity offers are shed, never
+    /// blocked — see [`FairQueue::offer`].
+    pub fn bounded(capacity: usize) -> Self {
         FairQueue {
             state: Mutex::new(FairQueueState {
                 lanes: HashMap::new(),
@@ -907,15 +986,26 @@ impl<K: Eq + Hash + Clone, T> FairQueue<K, T> {
                 closed: false,
             }),
             available: Condvar::new(),
+            capacity,
         }
     }
 
     /// Enqueues an item on `key`'s lane. Returns `false` (dropping the
-    /// item) if the queue is already closed.
+    /// item) if the queue is closed or saturated; use [`FairQueue::offer`]
+    /// to distinguish the two and recover the item.
     pub fn push(&self, key: K, item: T) -> bool {
+        matches!(self.offer(key, item), Offer::Accepted)
+    }
+
+    /// Enqueues an item on `key`'s lane without blocking, returning the
+    /// item when the queue refuses it (closed, or at its capacity bound).
+    pub fn offer(&self, key: K, item: T) -> Offer<T> {
         let mut state = lock_ignoring_poison(&self.state);
         if state.closed {
-            return false;
+            return Offer::Closed(item);
+        }
+        if self.capacity > 0 && state.len >= self.capacity {
+            return Offer::Saturated(item);
         }
         let lane = state.lanes.entry(key.clone()).or_default();
         let was_empty = lane.is_empty();
@@ -926,7 +1016,7 @@ impl<K: Eq + Hash + Clone, T> FairQueue<K, T> {
         state.len += 1;
         drop(state);
         self.available.notify_one();
-        true
+        Offer::Accepted
     }
 
     /// Dequeues the next item in round-robin key order, blocking while
@@ -1306,6 +1396,140 @@ mod tests {
             calls.load(Ordering::Relaxed) > 1,
             "some lookups must have been forced to miss"
         );
+    }
+
+    #[test]
+    fn fault_kind_indices_are_stable() {
+        // The fork index is part of the pure decision function: changing
+        // an existing kind's slot would silently re-roll every recorded
+        // fault matrix. Pin the full mapping.
+        let expected: [(FaultKind, usize); 7] = [
+            (FaultKind::WorkerDeath, 0),
+            (FaultKind::SpuriousCancel, 1),
+            (FaultKind::CacheMissStorm, 2),
+            (FaultKind::BudgetExhaustion, 3),
+            (FaultKind::TornWrite, 4),
+            (FaultKind::ShortWrite, 5),
+            (FaultKind::ProcessKill, 6),
+        ];
+        assert_eq!(FaultKind::ALL.map(|k| k), expected.map(|(k, _)| k));
+        for (kind, idx) in expected {
+            assert_eq!(kind.index(), idx, "{kind} moved slots");
+        }
+    }
+
+    #[test]
+    fn single_flight_computes_once_per_key_under_fault_seeds() {
+        // Storm-forced misses bypass the claim by design, so they may
+        // recompute — but per (seed, key) the set of storm sites is
+        // deterministic, and concurrent *genuine* misses must still
+        // produce exactly one claimed computation and a coherent value.
+        for seed in 1..=4u64 {
+            let plan = Arc::new(FaultPlan::targeting(seed, FaultKind::CacheMissStorm));
+            let cache: QueryCache<u32, u32> = QueryCache::new().with_fault_plan(plan);
+            let calls = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for key in 0..16u32 {
+                            let v = cache.get_or_insert_with(&key, || {
+                                calls.fetch_add(1, Ordering::Relaxed);
+                                key * key
+                            });
+                            assert_eq!(v, key * key, "seed {seed}: wrong value for {key}");
+                        }
+                    });
+                }
+            });
+            // First-writer-wins: whatever raced, the published values
+            // are correct and at least one compute ran per key. These
+            // lookups are themselves storm sites, so a miss is allowed —
+            // a wrong value never is.
+            for key in 0..16u32 {
+                if let Some(got) = cache.get(&key) {
+                    assert_eq!(got, key * key, "seed {seed}");
+                }
+            }
+            assert!(calls.load(Ordering::Relaxed) >= 16, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bounded_cache_eviction_under_fault_seeds_never_corrupts() {
+        for seed in 1..=4u64 {
+            let plan = Arc::new(FaultPlan::targeting(seed, FaultKind::CacheMissStorm));
+            let cache: QueryCache<u32, u32> = QueryCache::bounded(32).with_fault_plan(plan);
+            let cache = &cache;
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    s.spawn(move || {
+                        for i in 0..256u32 {
+                            let key = (t * 256 + i) % 96;
+                            let v = cache.get_or_insert_with(&key, || key + 1000);
+                            assert_eq!(v, key + 1000, "seed {seed}");
+                            // A lookup under storms and eviction may miss,
+                            // but can never yield another key's value.
+                            if let Some(got) = cache.get(&key) {
+                                assert_eq!(got, key + 1000, "seed {seed}");
+                            }
+                        }
+                    });
+                }
+            });
+            assert!(cache.len() <= 32, "seed {seed}: bound violated");
+            let stats = cache.stats();
+            assert_eq!(
+                stats.evictions,
+                stats.insertions - cache.len() as u64,
+                "seed {seed}: eviction accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn write_behind_fires_once_per_new_key_and_not_for_racers() {
+        let cache: Arc<QueryCache<u32, u32>> = Arc::new(QueryCache::new());
+        let appended = Arc::new(Mutex::new(Vec::<(u32, u32)>::new()));
+        let sink = Arc::clone(&appended);
+        cache.set_write_behind(move |&k, &v| lock_ignoring_poison(&sink).push((k, v)));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for key in 0..32u32 {
+                        cache.get_or_insert_with(&key, || key * 2);
+                    }
+                });
+            }
+        });
+        let mut log = lock_ignoring_poison(&appended).clone();
+        log.sort_unstable();
+        assert_eq!(
+            log,
+            (0..32u32).map(|k| (k, k * 2)).collect::<Vec<_>>(),
+            "exactly one write-behind per distinct key"
+        );
+    }
+
+    #[test]
+    fn fair_queue_offer_sheds_at_capacity_and_recovers_after_pop() {
+        let q: FairQueue<&str, u32> = FairQueue::bounded(2);
+        assert!(matches!(q.offer("a", 1), Offer::Accepted));
+        assert!(matches!(q.offer("b", 2), Offer::Accepted));
+        match q.offer("a", 3) {
+            Offer::Saturated(item) => assert_eq!(item, 3, "shed items come back"),
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        assert!(!q.push("a", 3), "push reports saturation as refusal");
+        assert_eq!(q.pop(), Some(1));
+        assert!(matches!(q.offer("a", 3), Offer::Accepted));
+        q.close();
+        match q.offer("a", 4) {
+            Offer::Closed(item) => assert_eq!(item, 4),
+            other => panic!("expected closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

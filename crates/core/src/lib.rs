@@ -98,6 +98,7 @@ mod hypothesis;
 pub mod invariants;
 pub mod json;
 pub mod lstar;
+pub mod persist;
 pub mod recover;
 pub mod teaching;
 

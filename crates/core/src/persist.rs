@@ -1,0 +1,676 @@
+//! Crash-safe append-only persistence: checksummed record logs and the
+//! disk tier behind [`QueryCache`](crate::exec::QueryCache).
+//!
+//! The durability layer is std-only and deliberately small (DESIGN.md
+//! §4.18). A [`RecordLog`] is a single file: a 20-byte generation header
+//! followed by length-prefixed frames, each carrying an in-repo CRC32 of
+//! its payload. Recovery is sequential replay on open — no mmap, no
+//! index: the valid prefix is kept, and the first torn, short, or
+//! corrupt frame truncates the tail *silently* (a crashed writer must
+//! never surface a corrupt record, only lose its unflushed suffix).
+//!
+//! Writer failures are exercised by the PR-3 seeded fault matrix:
+//! [`FaultKind::TornWrite`], [`FaultKind::ShortWrite`], and
+//! [`FaultKind::ProcessKill`] each end the writer's life at a
+//! deterministic append ordinal, modeling a SIGKILL at (respectively)
+//! mid-frame with garbage, mid-frame cleanly, and a frame boundary.
+//!
+//! Trust note: nothing read back from disk is trusted beyond framing.
+//! The CRC gates *integrity*, not *validity* — cached SMT answers
+//! replayed through [`DiskCacheTier`] re-enter the solver's
+//! certify-on-reuse path exactly like memory hits, so a stale or forged
+//! record can cost recomputation, never a wrong verdict.
+
+use crate::exec::{lock_ignoring_poison, FaultKind, FaultPlan};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The 8-byte magic opening every record log.
+pub const MAGIC: [u8; 8] = *b"SCIDLOG1";
+
+/// Header length: magic + generation (u64 LE) + CRC32 of the first 16
+/// bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Per-frame overhead: payload length (u32 LE) + payload CRC32 (u32 LE).
+pub const FRAME_HEADER: usize = 8;
+
+/// Hard cap on a single record's payload. A corrupt length field must
+/// never make the reader allocate unbounded memory.
+pub const MAX_RECORD: u64 = 16 << 20;
+
+/// CRC32 (IEEE 802.3, reflected) of `bytes` — the checksum every frame
+/// and header carries. Implemented in-repo: the workspace has no
+/// external dependencies to lean on.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Encodes a log header for `generation`.
+pub fn encode_header(generation: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(&MAGIC);
+    h[8..16].copy_from_slice(&generation.to_le_bytes());
+    let crc = crc32(&h[..16]);
+    h[16..20].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Encodes one frame (length, CRC, payload) for `payload`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(FRAME_HEADER + payload.len());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&crc32(payload).to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// The first structural defect a [`scan`] found, at byte granularity.
+/// Recovery truncates at it; the `DUR001`/`DUR002` audits report it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Corruption {
+    /// Fewer than [`HEADER_LEN`] bytes.
+    TruncatedHeader,
+    /// The magic bytes are wrong — not a record log at all.
+    BadMagic,
+    /// The header checksum does not cover the magic + generation bytes.
+    BadHeaderCrc,
+    /// A frame header or payload runs past end-of-file.
+    TruncatedFrame {
+        /// Byte offset of the offending frame.
+        offset: usize,
+    },
+    /// A frame's payload fails its CRC.
+    BadFrameCrc {
+        /// Byte offset of the offending frame.
+        offset: usize,
+    },
+    /// A frame claims a payload longer than [`MAX_RECORD`].
+    OversizedFrame {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// The claimed payload length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for Corruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corruption::TruncatedHeader => write!(f, "truncated header"),
+            Corruption::BadMagic => write!(f, "bad magic (not a record log)"),
+            Corruption::BadHeaderCrc => write!(f, "header fails its CRC"),
+            Corruption::TruncatedFrame { offset } => {
+                write!(f, "frame at byte {offset} runs past end of file")
+            }
+            Corruption::BadFrameCrc { offset } => {
+                write!(f, "frame at byte {offset} fails its payload CRC")
+            }
+            Corruption::OversizedFrame { offset, len } => {
+                write!(f, "frame at byte {offset} claims {len} payload bytes")
+            }
+        }
+    }
+}
+
+/// The result of a pure, allocation-bounded [`scan`] over log bytes.
+#[derive(Clone, Debug)]
+pub struct LogScan {
+    /// The header's generation, when the header itself is valid.
+    pub generation: Option<u64>,
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of valid prefix (header + whole valid frames). Recovery
+    /// truncates the file to this length.
+    pub valid_len: usize,
+    /// The defect that ended the scan, if the log is not clean.
+    pub corruption: Option<Corruption>,
+}
+
+/// Scans raw log bytes: parses the header, then replays frames until
+/// end-of-file or the first defect. Pure — shared by [`RecordLog::open`]
+/// and the `audit_record_log` lint pass, so the recovery the server
+/// performs is byte-for-byte the recovery the auditor re-derives.
+pub fn scan(bytes: &[u8]) -> LogScan {
+    let mut out = LogScan {
+        generation: None,
+        records: Vec::new(),
+        valid_len: 0,
+        corruption: None,
+    };
+    if bytes.len() < HEADER_LEN {
+        out.corruption = Some(Corruption::TruncatedHeader);
+        return out;
+    }
+    if bytes[..8] != MAGIC {
+        out.corruption = Some(Corruption::BadMagic);
+        return out;
+    }
+    let stored = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if crc32(&bytes[..16]) != stored {
+        out.corruption = Some(Corruption::BadHeaderCrc);
+        return out;
+    }
+    out.generation = Some(u64::from_le_bytes(
+        bytes[8..16].try_into().expect("8 bytes"),
+    ));
+    out.valid_len = HEADER_LEN;
+    let mut off = HEADER_LEN;
+    while off < bytes.len() {
+        if bytes.len() - off < FRAME_HEADER {
+            out.corruption = Some(Corruption::TruncatedFrame { offset: off });
+            return out;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        if len as u64 > MAX_RECORD {
+            out.corruption = Some(Corruption::OversizedFrame {
+                offset: off,
+                len: len as u64,
+            });
+            return out;
+        }
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        if bytes.len() - off - FRAME_HEADER < len {
+            out.corruption = Some(Corruption::TruncatedFrame { offset: off });
+            return out;
+        }
+        let payload = &bytes[off + FRAME_HEADER..off + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            out.corruption = Some(Corruption::BadFrameCrc { offset: off });
+            return out;
+        }
+        out.records.push(payload.to_vec());
+        off += FRAME_HEADER + len;
+        out.valid_len = off;
+    }
+    out
+}
+
+/// What [`RecordLog::open`] recovered from an existing file.
+#[derive(Clone, Debug)]
+pub struct Recovery {
+    /// Every durable record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn/short/corrupt tail dropped on open (0 for a clean
+    /// log). Truncation is silent by contract; this count exists so
+    /// callers can *report* recovery without ever consuming bad bytes.
+    pub truncated_bytes: u64,
+    /// The log was restarted from scratch: the header was missing,
+    /// corrupt, or carried a different generation (stale format).
+    pub reset: bool,
+}
+
+/// An append-only, CRC-framed, crash-recovering record log.
+///
+/// `open` never fails on a corrupt log — it keeps the valid prefix and
+/// truncates the rest, because every suffix of the file is exactly what
+/// a kill-anywhere crash can destroy. With a [`FaultPlan`] attached, the
+/// seeded durability faults end the writer's life mid-append; the
+/// in-process service keeps running (appends turn into no-ops reported
+/// as non-durable) and the next `open` recovers the durable prefix.
+#[derive(Debug)]
+pub struct RecordLog {
+    file: File,
+    path: PathBuf,
+    /// Monotone append ordinal: the deterministic fault site.
+    appends: u64,
+    dead: bool,
+    plan: Option<Arc<FaultPlan>>,
+}
+
+impl RecordLog {
+    /// Opens (creating if missing) the log at `path`, recovering its
+    /// valid prefix. A header carrying a different `generation` marks a
+    /// stale format: the log is reset rather than misread.
+    pub fn open(path: impl AsRef<Path>, generation: u64) -> io::Result<(RecordLog, Recovery)> {
+        let path = path.as_ref().to_path_buf();
+        let existing = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let recovery;
+        if existing.is_empty() {
+            file.set_len(0)?;
+            file.write_all(&encode_header(generation))?;
+            recovery = Recovery {
+                records: Vec::new(),
+                truncated_bytes: 0,
+                reset: false,
+            };
+        } else {
+            let scanned = scan(&existing);
+            if scanned.generation != Some(generation) {
+                // Missing/corrupt header or stale generation: restart.
+                file.set_len(0)?;
+                file.write_all(&encode_header(generation))?;
+                recovery = Recovery {
+                    records: Vec::new(),
+                    truncated_bytes: existing.len() as u64,
+                    reset: true,
+                };
+            } else {
+                file.set_len(scanned.valid_len as u64)?;
+                file.seek(SeekFrom::End(0))?;
+                recovery = Recovery {
+                    truncated_bytes: (existing.len() - scanned.valid_len) as u64,
+                    records: scanned.records,
+                    reset: false,
+                };
+            }
+        }
+        Ok((
+            RecordLog {
+                file,
+                path,
+                appends: 0,
+                dead: false,
+                plan: None,
+            },
+            recovery,
+        ))
+    }
+
+    /// Attaches a seeded fault plan: the durability kinds then decide,
+    /// per append ordinal, whether this writer dies at that site.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The file this log writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether an injected durability fault has ended this writer's
+    /// life. A dead writer drops appends silently — exactly what a
+    /// killed process does — and only a fresh [`RecordLog::open`]
+    /// (modeling restart) sees the durable prefix again.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Appends one record. Returns whether the record is durable:
+    /// `Ok(false)` means an injected fault killed the writer at (or
+    /// before) this append and the record — like everything after it —
+    /// is lost. Real I/O errors propagate.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<bool> {
+        let site = self.appends;
+        self.appends += 1;
+        if self.dead {
+            return Ok(false);
+        }
+        if payload.len() as u64 > MAX_RECORD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("record of {} bytes exceeds MAX_RECORD", payload.len()),
+            ));
+        }
+        let frame = encode_frame(payload);
+        if let Some(plan) = self.plan.clone() {
+            if plan.fires(FaultKind::ProcessKill, site) {
+                // Killed at the frame boundary: nothing of this frame
+                // (or any later one) reaches disk.
+                self.dead = true;
+                return Ok(false);
+            }
+            if plan.fires(FaultKind::TornWrite, site) {
+                // Torn: the full frame length lands, but the payload
+                // bytes are garbage. The CRC is what catches this.
+                let mut torn = frame;
+                for b in torn.iter_mut().skip(FRAME_HEADER) {
+                    *b ^= 0x5A;
+                }
+                if payload.is_empty() {
+                    torn[4] ^= 0x5A; // no payload to tear: tear the CRC
+                }
+                self.file.write_all(&torn)?;
+                self.dead = true;
+                return Ok(false);
+            }
+            if plan.fires(FaultKind::ShortWrite, site) {
+                // Short: a strict prefix of the frame reaches disk.
+                let cut = (FRAME_HEADER + payload.len() / 2).min(frame.len() - 1);
+                self.file.write_all(&frame[..cut])?;
+                self.dead = true;
+                return Ok(false);
+            }
+        }
+        self.file.write_all(&frame)?;
+        Ok(true)
+    }
+
+    /// Forces written frames to the OS (durability barrier for tests
+    /// and checkpoints; appends do not sync implicitly).
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// What [`DiskCacheTier::open`] replayed from disk.
+#[derive(Clone, Debug)]
+pub struct CacheRecovery {
+    /// Every durable `(key, value)` pair, in append order. Callers load
+    /// these into the in-memory cache *before* attaching write-behind,
+    /// so replayed entries are not re-appended; duplicates (a key
+    /// evicted and later recomputed) resolve first-writer-wins exactly
+    /// like concurrent inserts do.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Torn/short/corrupt tail bytes dropped on open.
+    pub truncated_bytes: u64,
+    /// The log was reset (missing/corrupt header or stale generation).
+    pub reset: bool,
+}
+
+/// The write-behind disk tier behind a `QueryCache`: an append-only
+/// [`RecordLog`] of `(key, value)` byte pairs.
+///
+/// The tier is byte-oriented on purpose — the core crate cannot name
+/// domain value types (e.g. the SMT crate's cached models), and an
+/// undecodable value must degrade to a cache miss, not an error. The
+/// certify-on-reuse discipline lives one layer up: disk entries are
+/// loaded into the in-memory cache, whose hits the owning solver
+/// re-certifies before adoption.
+#[derive(Debug)]
+pub struct DiskCacheTier {
+    log: Mutex<RecordLog>,
+}
+
+impl DiskCacheTier {
+    /// Opens the tier at `path`, replaying every durable entry.
+    pub fn open(
+        path: impl AsRef<Path>,
+        generation: u64,
+    ) -> io::Result<(DiskCacheTier, CacheRecovery)> {
+        let (log, recovery) = RecordLog::open(path, generation)?;
+        let entries = recovery
+            .records
+            .iter()
+            .filter_map(|r| decode_kv(r))
+            .collect();
+        Ok((
+            DiskCacheTier {
+                log: Mutex::new(log),
+            },
+            CacheRecovery {
+                entries,
+                truncated_bytes: recovery.truncated_bytes,
+                reset: recovery.reset,
+            },
+        ))
+    }
+
+    /// Attaches a seeded fault plan to the underlying writer.
+    pub fn with_fault_plan(self, plan: Arc<FaultPlan>) -> Self {
+        let log = self.log.into_inner().unwrap_or_else(|p| p.into_inner());
+        DiskCacheTier {
+            log: Mutex::new(log.with_fault_plan(plan)),
+        }
+    }
+
+    /// Appends one `(key, value)` entry; returns whether it is durable.
+    /// I/O failures are absorbed as non-durable — the disk tier is an
+    /// accelerator, and losing it must never fail the in-memory path.
+    pub fn append(&self, key: &[u8], value: &[u8]) -> bool {
+        let payload = encode_kv(key, value);
+        lock_ignoring_poison(&self.log)
+            .append(&payload)
+            .unwrap_or(false)
+    }
+
+    /// Whether an injected durability fault has killed the writer.
+    pub fn is_dead(&self) -> bool {
+        lock_ignoring_poison(&self.log).is_dead()
+    }
+
+    /// Forces appended entries to the OS.
+    pub fn sync(&self) -> io::Result<()> {
+        lock_ignoring_poison(&self.log).sync()
+    }
+}
+
+fn encode_kv(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4 + key.len() + value.len());
+    p.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    p.extend_from_slice(key);
+    p.extend_from_slice(value);
+    p
+}
+
+fn decode_kv(payload: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let klen = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    if payload.len() - 4 < klen {
+        return None;
+    }
+    Some((payload[4..4 + klen].to_vec(), payload[4 + klen..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> PathBuf {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sciduction-persist-{}-{name}-{n}.log",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_and_reopen_preserve_records() {
+        let path = tmp("roundtrip");
+        let records: Vec<Vec<u8>> = (0..50u8)
+            .map(|i| (0..i).map(|b| b.wrapping_mul(7)).collect())
+            .collect();
+        {
+            let (mut log, rec) = RecordLog::open(&path, 1).unwrap();
+            assert!(rec.records.is_empty() && !rec.reset);
+            for r in &records {
+                assert!(log.append(r).unwrap());
+            }
+        }
+        let (_, rec) = RecordLog::open(&path, 1).unwrap();
+        assert_eq!(rec.records, records);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert!(!rec.reset);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_at_every_byte_offset_recovers_a_clean_prefix() {
+        let path = tmp("kill-anywhere");
+        let records: Vec<Vec<u8>> = (1..8u8).map(|i| vec![i; i as usize * 3]).collect();
+        {
+            let (mut log, _) = RecordLog::open(&path, 1).unwrap();
+            for r in &records {
+                log.append(r).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            let cut_path = tmp("kill-cut");
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            let (_, rec) = RecordLog::open(&cut_path, 1).unwrap();
+            // The recovered records are exactly a prefix of what was
+            // appended — never garbage, never out of order.
+            assert!(
+                rec.records.len() <= records.len(),
+                "cut {cut}: too many records"
+            );
+            assert_eq!(
+                rec.records,
+                records[..rec.records.len()],
+                "cut {cut}: not a clean prefix"
+            );
+            // After recovery the file itself scans clean.
+            let scanned = scan(&std::fs::read(&cut_path).unwrap());
+            assert_eq!(scanned.corruption, None, "cut {cut}: dirty after recovery");
+            std::fs::remove_file(&cut_path).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_generation_resets_instead_of_misreading() {
+        let path = tmp("generation");
+        {
+            let (mut log, _) = RecordLog::open(&path, 1).unwrap();
+            log.append(b"old-world-record").unwrap();
+        }
+        let (mut log, rec) = RecordLog::open(&path, 2).unwrap();
+        assert!(rec.reset, "generation bump must reset");
+        assert!(rec.records.is_empty());
+        assert!(rec.truncated_bytes > 0);
+        log.append(b"new-world-record").unwrap();
+        drop(log);
+        let (_, rec) = RecordLog::open(&path, 2).unwrap();
+        assert_eq!(rec.records, vec![b"new-world-record".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_writer_deaths_lose_exactly_the_reported_suffix() {
+        for kind in FaultKind::DURABILITY {
+            for seed in 1..=6u64 {
+                let path = tmp("faulted");
+                let mut durable = Vec::new();
+                {
+                    let plan = Arc::new(FaultPlan::targeting(seed, kind));
+                    let (log, _) = RecordLog::open(&path, 1).unwrap();
+                    let mut log = log.with_fault_plan(plan);
+                    for i in 0..32u32 {
+                        let payload = i.to_le_bytes().to_vec();
+                        if log.append(&payload).unwrap() {
+                            durable.push(payload);
+                        }
+                    }
+                    // The kinds fire with probability ~1/4 per site, so
+                    // 32 sites virtually guarantee a death; if this seed
+                    // happens to spare the writer, everything is durable.
+                    if !log.is_dead() {
+                        assert_eq!(durable.len(), 32);
+                    }
+                }
+                let (_, rec) = RecordLog::open(&path, 1).unwrap();
+                assert_eq!(
+                    rec.records, durable,
+                    "{kind} seed {seed}: recovered records != reported-durable records"
+                );
+                // Recovery is silent: the reopened file scans clean.
+                let scanned = scan(&std::fs::read(&path).unwrap());
+                assert_eq!(scanned.corruption, None, "{kind} seed {seed}");
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn disk_cache_tier_replays_kv_pairs_first_writer_wins_upstream() {
+        let path = tmp("tier");
+        {
+            let (tier, rec) = DiskCacheTier::open(&path, 7).unwrap();
+            assert!(rec.entries.is_empty());
+            assert!(tier.append(b"k1", b"v1"));
+            assert!(tier.append(b"k2", b"v2"));
+            assert!(tier.append(b"k1", b"v1-again"));
+            tier.sync().unwrap();
+        }
+        let (_, rec) = DiskCacheTier::open(&path, 7).unwrap();
+        assert_eq!(
+            rec.entries,
+            vec![
+                (b"k1".to_vec(), b"v1".to_vec()),
+                (b"k2".to_vec(), b"v2".to_vec()),
+                (b"k1".to_vec(), b"v1-again".to_vec()),
+            ],
+            "replay preserves append order; the cache's first-writer-wins \
+             insert keeps v1 for k1"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_frames_are_scanned_not_served() {
+        let mut bytes = encode_header(3).to_vec();
+        bytes.extend_from_slice(&encode_frame(b"alpha"));
+        bytes.extend_from_slice(&encode_frame(b"beta"));
+        let clean = scan(&bytes);
+        assert_eq!(clean.generation, Some(3));
+        assert_eq!(clean.records.len(), 2);
+        assert_eq!(clean.corruption, None);
+        assert_eq!(clean.valid_len, bytes.len());
+
+        // Flip one payload byte of the second frame: its CRC fails, the
+        // first record survives.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let s = scan(&flipped);
+        assert_eq!(s.records, vec![b"alpha".to_vec()]);
+        assert!(matches!(s.corruption, Some(Corruption::BadFrameCrc { .. })));
+
+        // Oversized length field.
+        let mut oversized = encode_header(3).to_vec();
+        oversized.extend_from_slice(&(u32::MAX).to_le_bytes());
+        oversized.extend_from_slice(&[0; 12]);
+        assert!(matches!(
+            scan(&oversized).corruption,
+            Some(Corruption::OversizedFrame { .. })
+        ));
+
+        // Wrong magic.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(scan(&bad_magic).corruption, Some(Corruption::BadMagic));
+
+        // Header CRC flip.
+        let mut bad_hdr = bytes;
+        bad_hdr[17] ^= 0xFF;
+        assert_eq!(scan(&bad_hdr).corruption, Some(Corruption::BadHeaderCrc));
+    }
+}

@@ -38,21 +38,42 @@ pub fn audit_transcript(entries: &[TranscriptEntry], pass: &'static str, report:
                 format!("(tenant, id) already recorded at transcript entry {prev}"),
             );
         }
-        if let Some(served) = &e.served {
-            if !e.admitted {
-                report.error(SRV001, pass, loc.clone(), "served but never admitted");
-            }
-            if !served.receipt.coherent() {
-                report.error(
-                    SRV001,
-                    pass,
-                    loc.clone(),
-                    "served receipt fails its coherence check",
-                );
-            }
-            if served.verdict.is_empty() {
-                report.error(SRV001, pass, loc, "served verdict is empty");
-            }
+        audit_entry(e, loc, pass, report);
+    }
+}
+
+/// Like [`audit_transcript`], for a WAL-recovered transcript spanning
+/// multiple server runs. Every per-entry check applies unchanged, but
+/// (tenant, id) uniqueness does not: clients legitimately reuse their
+/// correlation ids across restarts, and in the journal identity is the
+/// server-assigned sequence number — whose uniqueness the replay itself
+/// enforces as `DUR003`.
+pub fn audit_recovered_transcript(
+    entries: &[TranscriptEntry],
+    pass: &'static str,
+    report: &mut Report,
+) {
+    for e in entries {
+        let loc = format!("{}#{} ({})", e.tenant, e.id, e.spec.label());
+        audit_entry(e, loc, pass, report);
+    }
+}
+
+fn audit_entry(e: &TranscriptEntry, loc: String, pass: &'static str, report: &mut Report) {
+    if let Some(served) = &e.served {
+        if !e.admitted {
+            report.error(SRV001, pass, loc.clone(), "served but never admitted");
+        }
+        if !served.receipt.coherent() {
+            report.error(
+                SRV001,
+                pass,
+                loc.clone(),
+                "served receipt fails its coherence check",
+            );
+        }
+        if served.verdict.is_empty() {
+            report.error(SRV001, pass, loc, "served verdict is empty");
         }
     }
 }

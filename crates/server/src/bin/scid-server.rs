@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! scid-server [--addr HOST:PORT] [--workers N] [--tenant-budget N]
-//!             [--proofs-dir DIR]
+//!             [--proofs-dir DIR] [--state-dir DIR] [--queue-depth N]
+//!             [--job-budget N]
 //! ```
 //!
-//! See DESIGN.md §4.17 for the wire protocol. The process serves until
-//! killed; `--tenant-budget N` caps every tenant's account at a logical
-//! deadline of `N` charges (default: unlimited).
+//! See DESIGN.md §4.17 for the wire protocol and §4.18 for durability.
+//! The process serves until killed; `--tenant-budget N` caps every
+//! tenant's account at a logical deadline of `N` charges (default:
+//! unlimited). With `--state-dir`, the query cache and the job journal
+//! survive a kill at any byte offset: the next start replays them, runs
+//! the SRV/DUR audits, and refuses to serve from corrupt state.
 
 use sciduction::Budget;
 use sciduction_server::{Server, ServerConfig};
@@ -26,14 +30,20 @@ options:
                       deadline (default unlimited)
   --proofs-dir DIR    directory for served certificate artifacts
                       (default target/scid-server/proofs)
+  --state-dir DIR     durable state (query-cache tier + job WAL); restart
+                      recovers and re-audits it before serving (default
+                      none: state dies with the process)
+  --queue-depth N     bound the fair queue; at capacity jobs are shed
+                      with EBUSY, nothing charged (default unbounded)
+  --job-budget N      per-job logical-clock deadline, clamped onto every
+                      job's own budget (default unlimited)
   -h, --help          show this help";
 
 fn main() -> ExitCode {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7171".into(),
-        workers: 4,
-        tenant_budget: Budget::UNLIMITED,
         proofs_dir: Some("target/scid-server/proofs".into()),
+        ..ServerConfig::default()
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,6 +72,20 @@ fn main() -> ExitCode {
                     .ok_or_else(|| format!("--tenant-budget: not a positive integer: {v}"))
             }),
             "--proofs-dir" => take("--proofs-dir").map(|v| config.proofs_dir = Some(v.into())),
+            "--state-dir" => take("--state-dir").map(|v| config.state_dir = Some(v.into())),
+            "--queue-depth" => take("--queue-depth").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .map(|n| config.queue_depth = n)
+                    .ok_or_else(|| format!("--queue-depth: not a non-negative integer: {v}"))
+            }),
+            "--job-budget" => take("--job-budget").and_then(|v| {
+                v.parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| config.job_budget = Budget::with_deadline(n))
+                    .ok_or_else(|| format!("--job-budget: not a positive integer: {v}"))
+            }),
             other => Err(format!("unknown option `{other}`")),
         };
         if let Err(msg) = result {

@@ -137,6 +137,86 @@ impl JobSpec {
         }
     }
 
+    /// Renders this spec back to the `"job"` JSON object shape
+    /// [`JobSpec::from_json`] parses — the round-trip is exact, which is
+    /// what lets the job WAL persist admitted specs and lets `SRV002`
+    /// re-execute them after a restart. Defaults (library thread count,
+    /// unlimited budget dimensions, no fault seed) are omitted.
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let mut push = |k: &str, v: Value| fields.push((k.to_string(), v));
+        match self {
+            JobSpec::Sat(j) => {
+                push("kind", Value::Str("sat".into()));
+                push("num_vars", Value::Int(j.num_vars as i64));
+                push(
+                    "clauses",
+                    Value::Arr(
+                        j.clauses
+                            .iter()
+                            .map(|cl| Value::Arr(cl.iter().map(|&l| Value::Int(l)).collect()))
+                            .collect(),
+                    ),
+                );
+                if j.proof {
+                    push("proof", Value::Bool(true));
+                }
+                common_to_json(&j.common, &mut fields);
+            }
+            JobSpec::Fig(j) => {
+                push("kind", Value::Str("fig".into()));
+                push("name", Value::Str(j.name.clone()));
+                if j.proof {
+                    push("proof", Value::Bool(true));
+                }
+                common_to_json(&j.common, &mut fields);
+            }
+            JobSpec::Synth(j) => {
+                push("kind", Value::Str("synth".into()));
+                push("name", Value::Str(j.name.clone()));
+                push("width", Value::Int(j.width as i64));
+                push("seed", Value::Int(j.seed as i64));
+                push("max_iterations", Value::Int(j.max_iterations as i64));
+                common_to_json(&j.common, &mut fields);
+            }
+            JobSpec::Audit => push("kind", Value::Str("audit".into())),
+            JobSpec::Stats => push("kind", Value::Str("stats".into())),
+        }
+        Value::Obj(fields)
+    }
+
+    /// Returns this spec with its budget clamped dimension-wise to `cap`
+    /// (per-request deadline and resource ceilings from the server
+    /// configuration). The clamped spec is what gets executed, recorded,
+    /// and re-executed by `SRV002`, so replay sees the same limits the
+    /// worker did. Introspection kinds are returned unchanged.
+    pub fn clamped(&self, cap: Budget) -> JobSpec {
+        let clamp = |common: &JobCommon| JobCommon {
+            budget: Budget {
+                conflicts: common.budget.conflicts.min(cap.conflicts),
+                steps: common.budget.steps.min(cap.steps),
+                fuel: common.budget.fuel.min(cap.fuel),
+                deadline: common.budget.deadline.min(cap.deadline),
+            },
+            ..common.clone()
+        };
+        match self {
+            JobSpec::Sat(j) => JobSpec::Sat(SatJob {
+                common: clamp(&j.common),
+                ..j.clone()
+            }),
+            JobSpec::Fig(j) => JobSpec::Fig(FigJob {
+                common: clamp(&j.common),
+                ..j.clone()
+            }),
+            JobSpec::Synth(j) => JobSpec::Synth(SynthJob {
+                common: clamp(&j.common),
+                ..j.clone()
+            }),
+            introspection => introspection.clone(),
+        }
+    }
+
     /// Parses the `"job"` object of a request. Errors are [`ErrorCode::Job`]
     /// material: the envelope was fine, the payload is not.
     ///
@@ -156,6 +236,33 @@ impl JobSpec {
                 "unknown job kind {other:?} (expected sat|fig|synth|audit|stats)"
             )),
         }
+    }
+}
+
+/// Renders the shared knobs, omitting defaults so the output parses back
+/// through [`parse_common`] unchanged. Budget dimensions past `i64::MAX`
+/// cannot ride the wire's integer type and are omitted too — the parser
+/// could never have produced them, so this loses nothing round-trippable.
+fn common_to_json(common: &JobCommon, fields: &mut Vec<(String, Value)>) {
+    if common.threads != 0 {
+        fields.push(("threads".to_string(), Value::Int(common.threads as i64)));
+    }
+    if let Some(seed) = common.fault_seed {
+        fields.push(("fault_seed".to_string(), Value::Int(seed as i64)));
+    }
+    let dims = [
+        ("conflicts", common.budget.conflicts),
+        ("steps", common.budget.steps),
+        ("fuel", common.budget.fuel),
+        ("deadline", common.budget.deadline),
+    ];
+    let bounded: Vec<(&str, Value)> = dims
+        .iter()
+        .filter(|(_, v)| *v <= i64::MAX as u64)
+        .map(|&(k, v)| (k, Value::Int(v as i64)))
+        .collect();
+    if !bounded.is_empty() {
+        fields.push(("budget".to_string(), json::obj(bounded)));
     }
 }
 
@@ -324,8 +431,17 @@ impl Engine {
     /// are disabled when `None`; proof-requesting jobs still verify their
     /// proofs in memory, they just serve no file reference).
     pub fn new(proofs_dir: Option<PathBuf>) -> Self {
+        Engine::with_cache(proofs_dir, Arc::new(SmtQueryCache::new()))
+    }
+
+    /// An engine over a caller-provided query cache — the durability
+    /// layer's entry point: the server preloads the cache from its disk
+    /// tier (and attaches write-behind) before handing it over. Cache
+    /// contents are never trusted into verdicts: hits pass the solver's
+    /// certify-on-reuse adoption regardless of where they came from.
+    pub fn with_cache(proofs_dir: Option<PathBuf>, smt_cache: Arc<SmtQueryCache>) -> Self {
         Engine {
-            smt_cache: Arc::new(SmtQueryCache::new()),
+            smt_cache,
             proofs_dir,
         }
     }
@@ -713,6 +829,47 @@ mod tests {
             let err = parse(bad).unwrap_err();
             assert!(err.contains(needle), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn spec_json_roundtrips_and_budget_clamps_dimension_wise() {
+        let specs = [
+            parse(r#"{"kind":"sat","num_vars":2,"clauses":[[1,-2],[2]],"proof":true}"#).unwrap(),
+            parse(
+                r#"{"kind":"fig","name":"fig8_p1_equiv_w8","threads":2,"fault_seed":3,
+                    "budget":{"conflicts":100,"deadline":50}}"#,
+            )
+            .unwrap(),
+            parse(r#"{"kind":"synth","name":"p1_xor_chain","width":5,"seed":9}"#).unwrap(),
+            JobSpec::Audit,
+            JobSpec::Stats,
+        ];
+        for spec in &specs {
+            let back = JobSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(&back, spec, "{}", spec.label());
+        }
+
+        let fig = &specs[1];
+        let clamped = fig.clamped(Budget {
+            conflicts: 500, // above the job's own 100: the job's wins
+            steps: u64::MAX,
+            fuel: 7,
+            deadline: 10, // below the job's 50: the cap wins
+        });
+        match &clamped {
+            JobSpec::Fig(j) => {
+                assert_eq!(j.common.budget.conflicts, 100);
+                assert_eq!(j.common.budget.steps, u64::MAX);
+                assert_eq!(j.common.budget.fuel, 7);
+                assert_eq!(j.common.budget.deadline, 10);
+                assert_eq!(j.common.threads, 2, "non-budget knobs untouched");
+            }
+            other => panic!("clamp changed the kind: {other:?}"),
+        }
+        // The clamped spec still round-trips (WAL replay integrity).
+        assert_eq!(JobSpec::from_json(&clamped.to_json()).unwrap(), clamped);
+        // An unlimited cap is the identity.
+        assert_eq!(&fig.clamped(Budget::UNLIMITED), fig);
     }
 
     #[test]

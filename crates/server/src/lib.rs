@@ -24,10 +24,12 @@
 pub mod audit;
 pub mod client;
 pub mod jobs;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError};
 pub use jobs::{Engine, FigJob, JobCommon, JobOutput, JobSpec, SatJob, SynthJob};
+pub use journal::{Wal, WalRecord, WAL_GENERATION};
 pub use protocol::{ErrorCode, Frame, FrameReader, Request, MAX_FRAME};
 pub use server::{ServedRecord, Server, ServerConfig, TranscriptEntry};

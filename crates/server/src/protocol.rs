@@ -32,6 +32,10 @@ pub enum ErrorCode {
     Oversize,
     /// The server failed internally (a worker panicked, or is stopping).
     Internal,
+    /// The server shed the job under overload: the bounded fair queue is
+    /// at capacity. Nothing was charged; the client should back off and
+    /// resubmit.
+    Busy,
 }
 
 impl ErrorCode {
@@ -43,6 +47,7 @@ impl ErrorCode {
             ErrorCode::Admit => "EADMIT",
             ErrorCode::Oversize => "EOVERSIZE",
             ErrorCode::Internal => "EINTERNAL",
+            ErrorCode::Busy => "EBUSY",
         }
     }
 }
@@ -88,17 +93,34 @@ pub fn parse_request(bytes: &[u8]) -> Result<Request, (Option<u64>, String)> {
 
 /// Renders an error frame (without the trailing newline).
 pub fn render_error(id: Option<u64>, code: ErrorCode, message: &str) -> String {
+    render_error_detail(id, code, message, &[])
+}
+
+/// Renders an error frame carrying machine-readable `detail` fields —
+/// the offending tenant and job for `EADMIT`/`EINTERNAL`/`EBUSY`, so
+/// diagnosing a refusal does not require pulling the transcript. An
+/// empty `detail` omits the field entirely (identical to
+/// [`render_error`]).
+pub fn render_error_detail(
+    id: Option<u64>,
+    code: ErrorCode,
+    message: &str,
+    detail: &[(String, Value)],
+) -> String {
     let id_v = match id {
         Some(n) if n <= i64::MAX as u64 => Value::Int(n as i64),
         _ => Value::Null,
     };
-    json::obj(vec![
-        ("id", id_v),
-        ("ok", Value::Bool(false)),
-        ("code", Value::Str(code.as_str().into())),
-        ("message", Value::Str(message.into())),
-    ])
-    .to_string()
+    let mut fields = vec![
+        ("id".to_string(), id_v),
+        ("ok".to_string(), Value::Bool(false)),
+        ("code".to_string(), Value::Str(code.as_str().into())),
+        ("message".to_string(), Value::Str(message.into())),
+    ];
+    if !detail.is_empty() {
+        fields.push(("detail".to_string(), Value::Obj(detail.to_vec())));
+    }
+    Value::Obj(fields).to_string()
 }
 
 /// Renders a done frame (without the trailing newline).
@@ -338,6 +360,27 @@ mod tests {
         let text = render_error(None, ErrorCode::Oversize, "too big");
         let v = sciduction::json::parse(&text).unwrap();
         assert_eq!(v.get("id"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn detailed_error_frames_carry_tenant_and_job() {
+        let text = render_error_detail(
+            Some(4),
+            ErrorCode::Busy,
+            "queue full",
+            &[
+                ("tenant".to_string(), Value::Str("acme".into())),
+                ("job".to_string(), Value::Int(4)),
+            ],
+        );
+        let v = sciduction::json::parse(&text).unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("EBUSY"));
+        let detail = v.get("detail").expect("detail object");
+        assert_eq!(detail.get("tenant").and_then(Value::as_str), Some("acme"));
+        assert_eq!(detail.get("job").and_then(Value::as_u64), Some(4));
+        // No detail → no detail key (backward-compatible frames).
+        let plain = render_error(Some(4), ErrorCode::Busy, "queue full");
+        assert_eq!(sciduction::json::parse(&plain).unwrap().get("detail"), None);
     }
 
     #[test]

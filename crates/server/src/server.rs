@@ -11,11 +11,16 @@
 //! connection may pipeline requests and receive completions out of order.
 
 use crate::jobs::{Engine, JobSpec};
-use crate::protocol::{parse_request, render_done, render_error, ErrorCode, Frame, FrameReader};
-use sciduction::exec::{panic_message, FairQueue};
+use crate::journal::{self, Wal, WalRecord};
+use crate::protocol::{
+    parse_request, render_done, render_error, render_error_detail, ErrorCode, Frame, FrameReader,
+};
+use sciduction::exec::{panic_message, FairQueue, FaultPlan, Offer};
 use sciduction::json::{self, Value};
+use sciduction::persist::DiskCacheTier;
 use sciduction::{Budget, BudgetMeter, BudgetReceipt};
 use sciduction_analysis::{Report, Severity};
+use sciduction_smt::SmtQueryCache;
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,6 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// On-disk generation of the query-cache tier (`cache.log` in the state
+/// dir); bump on any entry-format change so stale tiers reset.
+pub const CACHE_GENERATION: u64 = 1;
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -39,6 +48,27 @@ pub struct ServerConfig {
     pub tenant_budget: Budget,
     /// Where certificate artifacts are written (`None` disables files).
     pub proofs_dir: Option<PathBuf>,
+    /// Durable state directory (query-cache tier + job WAL). `None`
+    /// keeps the pre-durability behavior: everything dies with the
+    /// process. With a state dir, startup runs a recovery pass (replay,
+    /// then the SRV/DUR audits) and **refuses to serve** from a corrupt
+    /// or forged journal.
+    pub state_dir: Option<PathBuf>,
+    /// Bound on the fair queue's total depth; `0` = unbounded. At
+    /// capacity new jobs are shed with `EBUSY` (nothing charged).
+    pub queue_depth: usize,
+    /// Per-job resource ceiling, applied as a dimension-wise `min` with
+    /// each job's own budget (the logical-clock `deadline` dimension is
+    /// the per-request deadline). The clamped spec is what's executed
+    /// and recorded, so replay and `SRV002` see the real limits.
+    pub job_budget: Budget,
+    /// Write timeout on client sockets, so one stalled reader cannot
+    /// wedge a worker mid-response. `None` = block forever.
+    pub write_timeout: Option<Duration>,
+    /// Seeded durability fault plan driving the cache-tier and WAL
+    /// writers (`TornWrite`/`ShortWrite`/`ProcessKill` sites). Test-only
+    /// in spirit; `None` in production.
+    pub durability_faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +78,11 @@ impl Default for ServerConfig {
             workers: 4,
             tenant_budget: Budget::UNLIMITED,
             proofs_dir: None,
+            state_dir: None,
+            queue_depth: 0,
+            job_budget: Budget::UNLIMITED,
+            write_timeout: Some(Duration::from_secs(10)),
+            durability_faults: None,
         }
     }
 }
@@ -86,6 +121,7 @@ pub struct TranscriptEntry {
 struct Counters {
     jobs_admitted: AtomicU64,
     jobs_served: AtomicU64,
+    jobs_shed: AtomicU64,
     protocol_errors: AtomicU64,
     job_errors: AtomicU64,
     internal_errors: AtomicU64,
@@ -95,15 +131,31 @@ struct Counters {
 struct Shared {
     engine: Engine,
     queue: FairQueue<String, QueuedJob>,
+    queue_depth: usize,
     stopping: AtomicBool,
     tenant_budget: Budget,
+    job_budget: Budget,
+    write_timeout: Option<Duration>,
     tenants: Mutex<HashMap<String, BudgetMeter>>,
     transcript: Mutex<Vec<TranscriptEntry>>,
+    /// Transcript entries replayed from the job WAL at startup. Kept
+    /// separate from the live transcript: clients may legitimately reuse
+    /// (tenant, id) pairs across restarts, which `SRV001` would flag as
+    /// duplicates inside one transcript.
+    recovered: Vec<TranscriptEntry>,
+    /// The job WAL (`state_dir` only).
+    wal: Option<Wal>,
+    /// The query-cache disk tier handle (`state_dir` only) — held for
+    /// shutdown sync; writes flow through the cache's write-behind hook.
+    disk_tier: Option<Arc<DiskCacheTier>>,
     counters: Counters,
     job_seq: AtomicU64,
 }
 
 struct QueuedJob {
+    /// Server-unique sequence number, assigned at admission (it keys the
+    /// WAL's admit/settle/respond records and names artifact files).
+    seq: u64,
     id: u64,
     tenant: String,
     spec: JobSpec,
@@ -120,23 +172,138 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// What the state-dir recovery pass rebuilt (internal to [`Server::start`]).
+struct Recovered {
+    engine: Engine,
+    wal: Option<Wal>,
+    disk_tier: Option<Arc<DiskCacheTier>>,
+    tenants: HashMap<String, BudgetMeter>,
+    entries: Vec<TranscriptEntry>,
+    next_seq: u64,
+}
+
+/// Opens the state dir, replays the WAL and cache tier, and runs the
+/// SRV/DUR audits over everything recovered — *before* the listener
+/// accepts a single connection. Any audit error refuses startup: serving
+/// from a corrupt or forged journal could double-charge a tenant or
+/// surface a corrupt record, and both are worse than staying down.
+fn recover_state(config: &ServerConfig) -> std::io::Result<Recovered> {
+    let Some(dir) = &config.state_dir else {
+        return Ok(Recovered {
+            engine: Engine::new(config.proofs_dir.clone()),
+            wal: None,
+            disk_tier: None,
+            tenants: HashMap::new(),
+            entries: Vec::new(),
+            next_seq: 0,
+        });
+    };
+    std::fs::create_dir_all(dir)?;
+
+    // Query-cache tier: replay durable entries into a fresh shared
+    // cache, then attach write-behind. Disk hits re-enter through the
+    // solver's certify-on-reuse path like any memory hit — the tier
+    // extends the cache's *lifetime*, never its trust.
+    let (tier, _cache_rec) = DiskCacheTier::open(dir.join("cache.log"), CACHE_GENERATION)?;
+    let tier = match &config.durability_faults {
+        Some(plan) => tier.with_fault_plan(Arc::clone(plan)),
+        None => tier,
+    };
+    let cache = Arc::new(SmtQueryCache::new());
+    let tier = sciduction_smt::attach_disk_tier(&cache, tier, &_cache_rec.entries);
+    let engine = Engine::with_cache(config.proofs_dir.clone(), cache);
+
+    // Job WAL: decode, replay the admit/settle/respond state machine,
+    // and audit the result exactly like a live transcript.
+    let (wal, wal_rec) = Wal::open(dir.join("jobs.wal"))?;
+    let wal = match &config.durability_faults {
+        Some(plan) => wal.with_fault_plan(Arc::clone(plan)),
+        None => wal,
+    };
+    let mut report = Report::new();
+    let records = journal::decode_records(&wal_rec.records, "recovery", &mut report);
+    let replayed = journal::replay(&records, config.tenant_budget, "recovery", &mut report);
+    crate::audit::audit_recovered_transcript(&replayed.entries, "recovery", &mut report);
+    let accounts: HashMap<String, BudgetReceipt> = replayed
+        .accounts
+        .iter()
+        .map(|(t, m)| (t.clone(), m.receipt()))
+        .collect();
+    crate::audit::audit_admission_accounts(&replayed.entries, &accounts, "recovery", &mut report);
+    crate::audit::audit_served_verdicts(&replayed.entries, "recovery", &mut report);
+    if report.has_errors() {
+        let mut reasons: Vec<String> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .take(4)
+            .map(|d| format!("{} {}: {}", d.code, d.location, d.message))
+            .collect();
+        if report.count(Severity::Error) > reasons.len() {
+            reasons.push(format!("… {} errors total", report.count(Severity::Error)));
+        }
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "refusing to serve from corrupt state dir {}: {}",
+                dir.display(),
+                reasons.join("; ")
+            ),
+        ));
+    }
+    // In-flight jobs at the crash are refused deterministically: shed
+    // them in the journal so the next restart sees them closed, never
+    // silently re-run. (The client got no response and resubmits.) The
+    // in-memory entries flip to un-admitted to match the records just
+    // written — an orphan is exactly an admitted entry with no serve.
+    let mut entries = replayed.entries;
+    if !replayed.orphaned.is_empty() {
+        for seq in &replayed.orphaned {
+            wal.record(&WalRecord::Shed { seq: *seq });
+        }
+        for e in entries.iter_mut() {
+            if e.admitted && e.served.is_none() {
+                e.admitted = false;
+            }
+        }
+    }
+    Ok(Recovered {
+        engine,
+        wal: Some(wal),
+        disk_tier: Some(tier),
+        tenants: replayed.accounts,
+        entries,
+        next_seq: replayed.next_seq,
+    })
+}
+
 impl Server {
-    /// Binds, spawns the accept loop and worker pool, and returns.
+    /// Binds, spawns the accept loop and worker pool, and returns. With
+    /// a `state_dir` configured, recovery (replay + SRV/DUR audits) runs
+    /// first and a corrupt journal refuses startup with
+    /// [`std::io::ErrorKind::InvalidData`].
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         if let Some(dir) = &config.proofs_dir {
             std::fs::create_dir_all(dir)?;
         }
+        let recovered = recover_state(&config)?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine: Engine::new(config.proofs_dir.clone()),
-            queue: FairQueue::new(),
+            engine: recovered.engine,
+            queue: FairQueue::bounded(config.queue_depth),
+            queue_depth: config.queue_depth,
             stopping: AtomicBool::new(false),
             tenant_budget: config.tenant_budget,
-            tenants: Mutex::new(HashMap::new()),
+            job_budget: config.job_budget,
+            write_timeout: config.write_timeout,
+            tenants: Mutex::new(recovered.tenants),
             transcript: Mutex::new(Vec::new()),
+            recovered: recovered.entries,
+            wal: recovered.wal,
+            disk_tier: recovered.disk_tier,
             counters: Counters::default(),
-            job_seq: AtomicU64::new(0),
+            job_seq: AtomicU64::new(recovered.next_seq),
         });
 
         let workers = (0..config.workers.max(1))
@@ -161,9 +328,18 @@ impl Server {
         self.addr
     }
 
-    /// A snapshot of the protocol transcript.
+    /// A snapshot of the protocol transcript (this run only; see
+    /// [`Server::recovered_transcript`] for what the WAL replayed).
     pub fn transcript(&self) -> Vec<TranscriptEntry> {
         lock(&self.shared.transcript).clone()
+    }
+
+    /// The transcript entries recovered from the job WAL at startup
+    /// (empty without a `state_dir`). Kept apart from the live
+    /// transcript because clients may reuse (tenant, id) pairs across
+    /// restarts.
+    pub fn recovered_transcript(&self) -> &[TranscriptEntry] {
+        &self.shared.recovered
     }
 
     /// A snapshot of the tenant admission accounts.
@@ -191,6 +367,14 @@ impl Server {
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
+        // Durability barrier on clean shutdown (crash-killed processes
+        // never reach this; recovery handles their torn tails).
+        if let Some(wal) = &self.shared.wal {
+            let _ = wal.sync();
+        }
+        if let Some(tier) = &self.shared.disk_tier {
+            let _ = tier.sync();
+        }
     }
 }
 
@@ -215,6 +399,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         // Responses are small single lines; Nagle would stall every
         // request/response roundtrip on a delayed ACK.
         let _ = stream.set_nodelay(true);
+        // A slow (or stalled) reader must not wedge the worker writing
+        // its response: time the write out and drop the line (the job
+        // already ran and is settled; the client just loses the answer,
+        // exactly as if it had disconnected).
+        let _ = stream.set_write_timeout(shared.write_timeout);
         if shared.stopping.load(Ordering::SeqCst) {
             return;
         }
@@ -296,6 +485,11 @@ fn handle_frame(bytes: &[u8], conn: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>
         JobSpec::Audit => send_line(conn, &render_done_audit(req.id, shared)),
         spec => {
             debug_assert!(spec.is_compute());
+            // Per-request ceilings (including the logical-clock
+            // deadline) come from the server's job budget; the clamped
+            // spec is what's executed AND recorded, so WAL replay and
+            // SRV002 see the same limits the worker did.
+            let spec = spec.clamped(shared.job_budget);
             // Admission: an exhausted tenant account refuses the job
             // before any compute is spent on it.
             {
@@ -311,15 +505,20 @@ fn handle_frame(bytes: &[u8], conn: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>
                         .fetch_add(1, Ordering::Relaxed);
                     send_line(
                         conn,
-                        &render_error(
+                        &render_error_detail(
                             Some(req.id),
                             ErrorCode::Admit,
                             &format!("tenant {:?} refused: {cause}", req.tenant),
+                            &offender_detail(&req.tenant, req.id),
                         ),
                     );
                     return;
                 }
             }
+            // Sequence and journal the admission *before* the queue
+            // offer: the WAL state machine requires every settle/shed
+            // to follow its admit, whatever the worker races do.
+            let seq = shared.job_seq.fetch_add(1, Ordering::Relaxed);
             let transcript_idx = {
                 let mut transcript = lock(&shared.transcript);
                 transcript.push(TranscriptEntry {
@@ -335,29 +534,91 @@ fn handle_frame(bytes: &[u8], conn: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>
                 .counters
                 .jobs_admitted
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(wal) = &shared.wal {
+                wal.record(&WalRecord::Admit {
+                    seq,
+                    tenant: req.tenant.clone(),
+                    id: req.id,
+                    spec: spec.clone(),
+                });
+            }
             let queued = QueuedJob {
+                seq,
                 id: req.id,
                 tenant: req.tenant,
                 spec,
                 transcript_idx,
                 conn: Arc::clone(conn),
             };
-            if !shared.queue.push(queued.tenant.clone(), queued) {
-                send_line(
-                    conn,
-                    &render_error(Some(req.id), ErrorCode::Internal, "server is stopping"),
-                );
+            match shared.queue.offer(queued.tenant.clone(), queued) {
+                Offer::Accepted => {}
+                Offer::Saturated(job) => {
+                    // Overload shedding: structured EBUSY, nothing
+                    // charged, the journal closes the job.
+                    shed_job(shared, &job);
+                    shared.counters.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                    send_line(
+                        conn,
+                        &render_error_detail(
+                            Some(job.id),
+                            ErrorCode::Busy,
+                            &format!(
+                                "queue at capacity ({}); job shed, nothing charged — back \
+                                 off and resubmit",
+                                shared.queue_depth
+                            ),
+                            &offender_detail(&job.tenant, job.id),
+                        ),
+                    );
+                }
+                Offer::Closed(job) => {
+                    shed_job(shared, &job);
+                    send_line(
+                        conn,
+                        &render_error_detail(
+                            Some(job.id),
+                            ErrorCode::Internal,
+                            "server is stopping",
+                            &offender_detail(&job.tenant, job.id),
+                        ),
+                    );
+                }
             }
         }
     }
 }
 
+/// The machine-readable offender fields for `EADMIT`/`EBUSY`/`EINTERNAL`
+/// error frames, so diagnosis needs no transcript pull.
+fn offender_detail(tenant: &str, id: u64) -> Vec<(String, Value)> {
+    vec![
+        ("tenant".to_string(), Value::Str(tenant.to_string())),
+        (
+            "job".to_string(),
+            if id <= i64::MAX as u64 {
+                Value::Int(id as i64)
+            } else {
+                Value::Null
+            },
+        ),
+    ]
+}
+
+/// Closes a job that will never settle: journal a shed record and mark
+/// its transcript entry unadmitted (it is not chargeable work).
+fn shed_job(shared: &Arc<Shared>, job: &QueuedJob) {
+    if let Some(wal) = &shared.wal {
+        wal.record(&WalRecord::Shed { seq: job.seq });
+    }
+    lock(&shared.transcript)[job.transcript_idx].admitted = false;
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        // Artifact names carry a server-unique sequence number, so two
-        // tenants reusing the same id cannot clobber each other's files.
-        let seq = shared.job_seq.fetch_add(1, Ordering::Relaxed);
-        let tag = format!("job-{seq}-{}", job.id);
+        // Artifact names carry the admission-assigned sequence number,
+        // so two tenants reusing the same id cannot clobber each
+        // other's files (and the tag matches the job's WAL records).
+        let tag = format!("job-{}-{}", job.seq, job.id);
         let result = catch_unwind(AssertUnwindSafe(|| shared.engine.execute(&tag, &job.spec)));
         match result {
             Ok(Ok(output)) => {
@@ -369,6 +630,18 @@ fn worker_loop(shared: &Arc<Shared>) {
                         .or_insert_with(|| BudgetMeter::new(shared.tenant_budget));
                     meter.charge_receipt(&output.receipt).is_ok()
                 };
+                // Journal the settlement before the response leaves:
+                // a crash between the two re-serves on replay rather
+                // than double-charges (the settle is durable, the
+                // respond may not be).
+                if let Some(wal) = &shared.wal {
+                    wal.record(&WalRecord::Settle {
+                        seq: job.seq,
+                        verdict: output.verdict.clone(),
+                        receipt: output.receipt,
+                        settled,
+                    });
+                }
                 {
                     let mut transcript = lock(&shared.transcript);
                     transcript[job.transcript_idx].served = Some(ServedRecord {
@@ -388,8 +661,12 @@ fn worker_loop(shared: &Arc<Shared>) {
                         &output.detail,
                     ),
                 );
+                if let Some(wal) = &shared.wal {
+                    wal.record(&WalRecord::Respond { seq: job.seq });
+                }
             }
             Ok(Err(err)) => {
+                shed_job(shared, &job);
                 shared.counters.job_errors.fetch_add(1, Ordering::Relaxed);
                 send_line(
                     &job.conn,
@@ -397,16 +674,18 @@ fn worker_loop(shared: &Arc<Shared>) {
                 );
             }
             Err(payload) => {
+                shed_job(shared, &job);
                 shared
                     .counters
                     .internal_errors
                     .fetch_add(1, Ordering::Relaxed);
                 send_line(
                     &job.conn,
-                    &render_error(
+                    &render_error_detail(
                         Some(job.id),
                         ErrorCode::Internal,
                         &format!("job panicked: {}", panic_message(payload.as_ref())),
+                        &offender_detail(&job.tenant, job.id),
                     ),
                 );
             }
@@ -422,6 +701,7 @@ fn render_done_stats(id: u64, shared: &Arc<Shared>) -> String {
     let detail = vec![
         ("jobs_admitted".to_string(), counter(&c.jobs_admitted)),
         ("jobs_served".to_string(), counter(&c.jobs_served)),
+        ("jobs_shed".to_string(), counter(&c.jobs_shed)),
         ("protocol_errors".to_string(), counter(&c.protocol_errors)),
         ("job_errors".to_string(), counter(&c.job_errors)),
         ("internal_errors".to_string(), counter(&c.internal_errors)),

@@ -53,6 +53,9 @@ mod solver;
 mod term;
 mod value;
 
-pub use solver::{render_term, CachedQuery, CheckResult, SmtQueryCache, Solver};
+pub use solver::{
+    attach_disk_tier, decode_query_key, encode_query_key, render_term, CachedQuery, CheckResult,
+    SmtQueryCache, Solver,
+};
 pub use term::{BvBinOp, BvCmpOp, Sort, Term, TermId, TermPool, Value};
 pub use value::BvValue;

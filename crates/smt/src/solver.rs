@@ -49,6 +49,135 @@ pub struct CachedQuery {
     model: Vec<(String, Value)>,
 }
 
+impl CachedQuery {
+    /// Serializes this entry for the disk cache tier. The format is
+    /// private to the tier: one verdict byte, then `(name, value)` pairs
+    /// with length-prefixed names and tagged values.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![u8::from(self.sat)];
+        for (name, value) in &self.model {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            match value {
+                Value::Bool(b) => out.push(u8::from(*b)),
+                Value::Bv(bv) => {
+                    out.push(2);
+                    out.push(bv.width() as u8);
+                    out.extend_from_slice(&bv.as_u64().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a disk-tier entry; `None` on any malformation. A
+    /// frame that passed its CRC but does not decode is simply not
+    /// loaded — an undecodable cache entry degrades to a miss, never to
+    /// an error (and a *decodable but stale* one is caught downstream by
+    /// re-certification on adoption).
+    pub fn from_bytes(bytes: &[u8]) -> Option<CachedQuery> {
+        let (&sat, mut rest) = bytes.split_first()?;
+        if sat > 1 {
+            return None;
+        }
+        let mut model = Vec::new();
+        while !rest.is_empty() {
+            if rest.len() < 4 {
+                return None;
+            }
+            let name_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            rest = &rest[4..];
+            if rest.len() <= name_len {
+                return None;
+            }
+            let name = std::str::from_utf8(&rest[..name_len]).ok()?.to_string();
+            let tag = rest[name_len];
+            rest = &rest[name_len + 1..];
+            let value = match tag {
+                0 => Value::Bool(false),
+                1 => Value::Bool(true),
+                2 => {
+                    if rest.len() < 9 {
+                        return None;
+                    }
+                    let width = rest[0] as u32;
+                    if !(1..=64).contains(&width) {
+                        return None;
+                    }
+                    let bits = u64::from_le_bytes(rest[1..9].try_into().expect("8 bytes"));
+                    if width < 64 && bits >> width != 0 {
+                        return None; // non-canonical: bits outside the width
+                    }
+                    rest = &rest[9..];
+                    Value::Bv(BvValue::new(bits, width))
+                }
+                _ => return None,
+            };
+            model.push((name, value));
+        }
+        Some(CachedQuery {
+            sat: sat == 1,
+            model,
+        })
+    }
+}
+
+/// Encodes an [`SmtQueryCache`] key (the canonical assertion-multiset
+/// serialization) as little-endian bytes for the disk tier.
+pub fn encode_query_key(key: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() * 8);
+    for word in key {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a disk-tier key back into cache-key words; `None` if the byte
+/// length is not a multiple of 8.
+pub fn decode_query_key(bytes: &[u8]) -> Option<Vec<u64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect(),
+    )
+}
+
+/// Wires a [`DiskCacheTier`](sciduction::persist::DiskCacheTier) behind a
+/// shared [`SmtQueryCache`]: replays the tier's recovered entries into the
+/// in-memory cache (undecodable entries are skipped; duplicate keys
+/// resolve first-writer-wins like any concurrent insert), *then* attaches
+/// the write-behind hook so only genuinely new answers are appended —
+/// replayed entries are never re-written. Returns the shared tier handle.
+///
+/// Nothing loaded here is trusted: a disk hit surfaces as an ordinary
+/// memory hit and goes through the solver's certify-on-reuse adoption
+/// path before it can influence a verdict.
+pub fn attach_disk_tier(
+    cache: &Arc<SmtQueryCache>,
+    tier: sciduction::persist::DiskCacheTier,
+    entries: &[(Vec<u8>, Vec<u8>)],
+) -> Arc<sciduction::persist::DiskCacheTier> {
+    for (key_bytes, value_bytes) in entries {
+        let (Some(key), Some(value)) = (
+            decode_query_key(key_bytes),
+            CachedQuery::from_bytes(value_bytes),
+        ) else {
+            continue;
+        };
+        cache.insert(key, value);
+    }
+    let tier = Arc::new(tier);
+    let sink = Arc::clone(&tier);
+    cache.set_write_behind(move |key, value| {
+        sink.append(&encode_query_key(key), &value.to_bytes());
+    });
+    tier
+}
+
 /// An incremental SMT solver for quantifier-free bit-vector logic.
 ///
 /// The solver owns a [`TermPool`]; build terms through [`Solver::terms_mut`]
@@ -608,6 +737,96 @@ pub fn render_term(pool: &TermPool, id: TermId) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cached_query_codec_roundtrips_and_rejects_garbage() {
+        let entries = vec![
+            CachedQuery {
+                sat: false,
+                model: Vec::new(),
+            },
+            CachedQuery {
+                sat: true,
+                model: vec![
+                    ("x".into(), Value::Bv(BvValue::new(0xDEAD, 16))),
+                    ("flag".into(), Value::Bool(true)),
+                    ("".into(), Value::Bool(false)),
+                    ("wide".into(), Value::Bv(BvValue::new(u64::MAX, 64))),
+                ],
+            },
+        ];
+        for q in &entries {
+            let back = CachedQuery::from_bytes(&q.to_bytes()).expect("roundtrip");
+            assert_eq!(back.sat, q.sat);
+            assert_eq!(back.model, q.model);
+        }
+        // Malformed inputs degrade to a miss, never panic.
+        for bad in [
+            &b""[..],
+            &b"\x02"[..],                                  // bad verdict byte
+            &b"\x01\xFF\xFF\xFF\xFF"[..],                  // absurd name length
+            &b"\x01\x01\x00\x00\x00x\x02\x00"[..],         // zero bv width
+            &b"\x01\x01\x00\x00\x00x\x02\x08\x00\x01"[..], // truncated bv bits
+        ] {
+            assert!(CachedQuery::from_bytes(bad).is_none(), "{bad:?}");
+        }
+        // Non-canonical bits outside the stated width are rejected too.
+        let mut forged = CachedQuery {
+            sat: true,
+            model: vec![("x".into(), Value::Bv(BvValue::new(1, 8)))],
+        }
+        .to_bytes();
+        let last = forged.len() - 1;
+        forged[last] = 0xFF; // sets bits ≥ width 8
+        assert!(CachedQuery::from_bytes(&forged).is_none());
+    }
+
+    #[test]
+    fn query_key_codec_roundtrips() {
+        let key = vec![0u64, 1, u64::MAX, 0x0123_4567_89AB_CDEF];
+        assert_eq!(decode_query_key(&encode_query_key(&key)), Some(key));
+        assert_eq!(decode_query_key(&[1, 2, 3]), None);
+        assert_eq!(decode_query_key(&[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn disk_tier_feeds_the_memory_cache_and_receives_new_answers() {
+        let path = std::env::temp_dir().join(format!(
+            "sciduction-smt-tier-{}-{:x}.log",
+            std::process::id(),
+            &path_nonce() // distinct per test invocation
+        ));
+        let hot = CachedQuery {
+            sat: true,
+            model: vec![("x".into(), Value::Bv(BvValue::new(7, 8)))],
+        };
+        {
+            let (tier, rec) = sciduction::persist::DiskCacheTier::open(&path, 1).unwrap();
+            let cache = Arc::new(SmtQueryCache::new());
+            let tier = attach_disk_tier(&cache, tier, &rec.entries);
+            cache.insert(vec![1, 2, 3], hot.clone());
+            tier.sync().unwrap();
+        }
+        // A fresh process replays the entry; attaching write-behind after
+        // the replay means nothing is re-appended.
+        let (tier, rec) = sciduction::persist::DiskCacheTier::open(&path, 1).unwrap();
+        assert_eq!(rec.entries.len(), 1);
+        let cache = Arc::new(SmtQueryCache::new());
+        let _tier = attach_disk_tier(&cache, tier, &rec.entries);
+        let got = cache.get(&vec![1, 2, 3]).expect("replayed entry");
+        assert_eq!(got.sat, hot.sat);
+        assert_eq!(got.model, hot.model);
+        drop(_tier);
+        let (_, rec) = sciduction::persist::DiskCacheTier::open(&path, 1).unwrap();
+        assert_eq!(rec.entries.len(), 1, "replay must not re-append");
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn path_nonce() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        N.fetch_add(1, Ordering::Relaxed)
+    }
 
     #[test]
     fn verdicts_display_through_the_canonical_impl() {
