@@ -74,8 +74,10 @@ echo "==> server protocol fuzz: >1000 malformed frames, zero panics"
 cargo test --release -p sciduction-server -q
 
 echo "==> server smoke: loadgen at two concurrency levels + cert replay"
+# Subprocess-spawning stages run under `timeout`: a wedged child fails
+# the stage fast instead of hanging CI until an external reaper notices.
 rm -rf target/scid-server/proofs
-cargo run --release -p sciduction-bench --bin loadgen -- --conns 4,16 --requests 32
+timeout 600 cargo run --release -p sciduction-bench --bin loadgen -- --conns 4,16 --requests 32
 test -s BENCH_server.json || { echo "BENCH_server.json missing or empty" >&2; exit 1; }
 served_certs=0
 for cert in target/scid-server/proofs/*.scicert; do
@@ -98,7 +100,7 @@ echo "    replayed $served_certs served certificate(s) through scicheck"
 echo "==> crash recovery: kill-anywhere matrix + SIGKILL smoke + cert replay"
 cargo test --release -p sciduction-suite --test crash_recovery -q
 rm -rf target/scid-server/crash-state target/scid-server/crash-proofs
-cargo run --release -p sciduction-bench --bin crash_smoke
+timeout 600 cargo run --release -p sciduction-bench --bin crash_smoke
 crash_certs=0
 for cert in target/scid-server/crash-proofs/*.scicert; do
   [ -e "$cert" ] || continue
@@ -110,5 +112,25 @@ if [ "$crash_certs" -eq 0 ]; then
   exit 1
 fi
 echo "    replayed $crash_certs certificate(s) served across a SIGKILL restart"
+
+echo "==> shard isolation: differential suite (both modes) + chaos smoke + overhead"
+timeout 900 cargo test --release -p sciduction-suite --test shard_vs_inproc -q
+rm -rf target/scid-server/shard-proofs
+timeout 600 cargo run --release -p sciduction-bench --bin shard_chaos
+shard_certs=0
+for cert in target/scid-server/shard-proofs/*.scicert; do
+  [ -e "$cert" ] || continue
+  cargo run --release -q -p sciduction-proof --bin scicheck -- --cert "$cert"
+  shard_certs=$((shard_certs + 1))
+done
+if [ "$shard_certs" -eq 0 ]; then
+  echo "shard chaos produced no certificates to replay" >&2
+  exit 1
+fi
+grep -q '"shard_overhead"' BENCH_server.json || {
+  echo "BENCH_server.json is missing the shard_overhead section" >&2
+  exit 1
+}
+echo "    replayed $shard_certs certificate(s) served under shard chaos"
 
 echo "CI OK"

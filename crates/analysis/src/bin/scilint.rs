@@ -12,13 +12,18 @@
 //! ```
 
 use sciduction::exec::{FaultKind, FaultPlan, QueryCache};
-use sciduction::recover::{RetryPolicy, DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER_THRESHOLD};
+use sciduction::recover::{
+    retry_site, RetryPolicy, DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER_THRESHOLD,
+};
+use sciduction::shard::{
+    race_shards, run_worker, ShardAnswer, ShardCommand, ShardConfig, ShardEvent,
+};
 use sciduction::Verdict;
 use sciduction_analysis::passes::{
     audit_cache_stats, audit_cegis_journal, audit_entrant_log, audit_guard_journal,
-    audit_measurement_journal, audit_sat_proof, audit_smt_certificate, BasisValidator,
-    DagValidator, IrValidator, PortfolioValidator, SatValidator, SwitchingLogicValidator,
-    SynthProgramValidator, TermPoolValidator,
+    audit_measurement_journal, audit_sat_proof, audit_shard_log, audit_smt_certificate,
+    BasisValidator, DagValidator, IrValidator, PortfolioValidator, SatValidator,
+    SwitchingLogicValidator, SynthProgramValidator, TermPoolValidator,
 };
 use sciduction_analysis::{codes, Report, Severity, Validator};
 use sciduction_cfg::{extract_basis, unroll, BasisConfig, Dag, SmtOracle};
@@ -540,6 +545,190 @@ fn lint_durability(report: &mut Report) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The hidden argv flag that flips `scilint` into a shard *echo worker*
+/// for the supervision suite (the analysis crate cannot depend on the
+/// server, so the suite self-execs its own binary as the worker; the
+/// worker just echoes the request payload, which is all the supervision
+/// lints need — they audit the race, not the answer).
+const SHARD_ECHO_WORKER: &str = "--shard-echo-worker";
+
+fn lint_supervision(report: &mut Report) {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            report.error(
+                codes::SUP001,
+                "supervision",
+                "self-exec",
+                format!("cannot resolve own executable: {e}"),
+            );
+            return;
+        }
+    };
+    let echo = |payload: &[u8]| ShardCommand {
+        program: exe.clone(),
+        args: vec![SHARD_ECHO_WORKER.to_string()],
+        payload: payload.to_vec(),
+    };
+
+    // A clean two-shard race must answer with the echoed payload and
+    // leave a log that replays clean through SUP001–SUP003.
+    let config = ShardConfig::new(RetryPolicy::new(21, 2));
+    let race = race_shards(&[echo(b"alpha"), echo(b"alpha")], &config);
+    match (&race.winner, &race.answer) {
+        (Some(_), Some(ShardAnswer::Result(p))) if p == b"alpha" => {}
+        other => report.error(
+            codes::SUP003,
+            "supervision",
+            "clean-race",
+            format!("clean echo race did not answer with its payload: {other:?}"),
+        ),
+    }
+    audit_shard_log(&race, "supervision", report);
+
+    // The hung-shard path, deterministically: a seed whose pure fault
+    // plan hangs attempt 0 of shard 0 (kill must not preempt it) and
+    // leaves attempt 1 clean. The watchdog must reap the hang, charge
+    // the kill as fuel, and the restarted attempt still answers.
+    let clean_site = |seed: u64, site: u64| {
+        FaultKind::SHARD
+            .iter()
+            .all(|&k| !FaultPlan::decides(seed, k, site))
+    };
+    let hang_seed = (0..20_000u64).find(|&s| {
+        let s0 = retry_site(0, 0);
+        !FaultPlan::decides(s, FaultKind::ShardKill, s0)
+            && FaultPlan::decides(s, FaultKind::ShardHang, s0)
+            && clean_site(s, retry_site(0, 1))
+    });
+    match hang_seed {
+        Some(seed) => {
+            let config = ShardConfig {
+                retry: RetryPolicy::new(seed, 1),
+                heartbeat_timeout: std::time::Duration::from_millis(300),
+                poll_interval: std::time::Duration::from_millis(10),
+                fault_seed: Some(seed),
+            };
+            let race = race_shards(&[echo(b"hung")], &config);
+            audit_shard_log(&race, "supervision", report);
+            if !matches!(&race.answer, Some(ShardAnswer::Result(p)) if p == b"hung") {
+                report.error(
+                    codes::SUP003,
+                    "supervision",
+                    "hung-shard",
+                    format!(
+                        "restart after a watchdog kill lost the answer: {:?} / {:?}",
+                        race.answer, race.cause
+                    ),
+                );
+            }
+            let charged = race
+                .log
+                .events
+                .iter()
+                .any(|e| matches!(e, ShardEvent::WatchdogCharged { .. }));
+            if !charged || race.receipt.fuel == 0 {
+                report.error(
+                    codes::SUP002,
+                    "supervision",
+                    "hung-shard",
+                    "watchdog kill was not charged to the budget",
+                );
+            }
+        }
+        None => report.error(
+            codes::SUP001,
+            "supervision",
+            "hung-shard",
+            "no seed hangs shard 0 attempt 0 cleanly (fault plan changed?)",
+        ),
+    }
+
+    // Seeded chaos: whatever mix of kill/hang/garbage the plan picks,
+    // the race must settle as the clean answer or certified degradation,
+    // and every log must replay clean.
+    for seed in 1..=4u64 {
+        let config = ShardConfig {
+            retry: RetryPolicy::new(seed, 2),
+            heartbeat_timeout: std::time::Duration::from_millis(300),
+            poll_interval: std::time::Duration::from_millis(10),
+            fault_seed: Some(seed),
+        };
+        let race = race_shards(&[echo(b"beta"), echo(b"beta")], &config);
+        audit_shard_log(&race, "supervision", report);
+        match (&race.answer, race.cause) {
+            (Some(ShardAnswer::Result(p)), None) if p == b"beta" => {}
+            (None, Some(cause)) if race.receipt.certifies(&cause) => {}
+            other => report.error(
+                codes::SUP003,
+                "supervision",
+                format!("chaos-seed-{seed}"),
+                format!("chaos race settled dishonestly: {other:?}"),
+            ),
+        }
+    }
+
+    // Negative controls: corrupted supervision artifacts the lints fail
+    // to flag are themselves lint failures. Base artifact: a race whose
+    // worker binary does not exist (real deaths, retries, and charges —
+    // no subprocesses spent).
+    let base = race_shards(
+        &[ShardCommand {
+            program: "/nonexistent/scilint-shard-worker".into(),
+            args: Vec::new(),
+            payload: b"x".to_vec(),
+        }],
+        &ShardConfig::new(RetryPolicy::new(11, 1)),
+    );
+    audit_shard_log(&base, "supervision", report);
+
+    let mut forged = base.clone();
+    for e in &mut forged.log.events {
+        if let ShardEvent::Retried { charge, .. } = e {
+            *charge += 1;
+        }
+    }
+    let mut scratch = Report::new();
+    audit_shard_log(&forged, "supervision", &mut scratch);
+    if !scratch.has_code(codes::SUP002) {
+        report.error(
+            codes::SUP002,
+            "supervision",
+            "forged-charge",
+            "a forged retry charge was not flagged",
+        );
+    }
+
+    let mut doubled = base.clone();
+    doubled.log.events.push(ShardEvent::Won {
+        shard: 0,
+        attempt: 0,
+    });
+    let mut scratch = Report::new();
+    audit_shard_log(&doubled, "supervision", &mut scratch);
+    if !scratch.has_code(codes::SUP001) {
+        report.error(
+            codes::SUP001,
+            "supervision",
+            "forged-win",
+            "a win forged into a degraded log was not flagged",
+        );
+    }
+
+    let mut flipped = base;
+    flipped.cause = Some(sciduction::Exhausted::Cancelled);
+    let mut scratch = Report::new();
+    audit_shard_log(&flipped, "supervision", &mut scratch);
+    if !scratch.has_code(codes::SUP003) {
+        report.error(
+            codes::SUP003,
+            "supervision",
+            "flipped-cause",
+            "a flipped degradation cause was not flagged",
+        );
+    }
+}
+
 fn lint_proof(report: &mut Report) {
     // SAT: a pigeonhole refutation raced by a proof-logging portfolio at
     // the configured thread count; the winner's DRAT log must replay
@@ -669,6 +858,16 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() -> ExitCode {
+    // Echo-worker dispatch for the supervision suite, before any flag
+    // parsing (the supervisor self-execs this binary with the flag in
+    // first position).
+    if std::env::args().nth(1).as_deref() == Some(SHARD_ECHO_WORKER) {
+        let mut input = std::io::stdin();
+        return match run_worker(&mut input, std::io::stdout(), |p| Ok(p.to_vec())) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(_) => ExitCode::from(3),
+        };
+    }
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // `--suite` takes a value, so peel flag/value pairs off before the
     // unknown-argument scan sees the suite names.
@@ -729,7 +928,7 @@ fn main() -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
 
     type Suite = (&'static str, fn(&mut Report));
-    let suites: [Suite; 10] = [
+    let suites: [Suite; 11] = [
         ("ir", lint_ir),
         ("cfg", lint_cfg),
         ("smt", lint_smt),
@@ -739,6 +938,7 @@ fn main() -> ExitCode {
         ("hybrid", lint_hybrid),
         ("recovery", lint_recovery),
         ("durability", lint_durability),
+        ("supervision", lint_supervision),
         ("proof", lint_proof),
     ];
     if let Some(bad) = suite_filter

@@ -163,6 +163,23 @@ pub const DUR002: &str = "DUR002";
 /// (double charge), or a response without a settlement.
 pub const DUR003: &str = "DUR003";
 
+/// A shard supervision log is structurally malformed: a death, win, or
+/// kill recorded for an attempt that was never spawned, attempt numbers
+/// that skip, more than one terminal event for a shard, a duplicate
+/// winner, or a race that records both a winner and a degradation.
+pub const SUP001: &str = "SUP001";
+/// A shard supervision charge is off the books: a retry charge differs
+/// from the deterministic backoff schedule derived from the policy
+/// seed, a watchdog charge differs from the fixed kill charge, or the
+/// supervision receipt's fuel does not equal the sum of the recorded
+/// charges (supervision charges nothing else).
+pub const SUP002: &str = "SUP002";
+/// A shard race settled dishonestly: the winner/answer/cause fields
+/// disagree with the event log, a degradation cause is uncertified by
+/// the supervision receipt, or a give-up is unjustified by the recorded
+/// deaths (fewer deaths than the retry policy demands).
+pub const SUP003: &str = "SUP003";
+
 /// Every registered code with its one-line description, for `scilint
 /// --codes` and the docs table.
 pub const ALL: &[(&str, &str)] = &[
@@ -293,6 +310,18 @@ pub const ALL: &[(&str, &str)] = &[
     (
         DUR003,
         "job WAL breaks admit/settle/respond (forged or double-charged)",
+    ),
+    (
+        SUP001,
+        "shard supervision log malformed (unspawned death/win, double winner)",
+    ),
+    (
+        SUP002,
+        "shard supervision charge off the deterministic schedule",
+    ),
+    (
+        SUP003,
+        "shard race settlement dishonest (unjustified give-up or uncertified cause)",
     ),
 ];
 

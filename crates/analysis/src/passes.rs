@@ -8,6 +8,7 @@
 use crate::{codes, Report, Validator};
 use sciduction::exec::{CacheStats, FaultPlan};
 use sciduction::recover::{replay_breaker, EntrantLog, RetryPolicy};
+use sciduction::shard::{ShardDeath, ShardEvent, ShardRace};
 use sciduction::{BudgetReceipt, Exhausted, Verdict};
 use sciduction_cfg::{Basis, Dag, RankTracker};
 use sciduction_gametime::MeasurementJournal;
@@ -1207,6 +1208,338 @@ pub fn audit_guard_journal(journal: &GuardSearchJournal, pass: &'static str, rep
 }
 
 // ---------------------------------------------------------------------------
+// Shard supervision (SUP001–SUP003)
+// ---------------------------------------------------------------------------
+
+/// Replays a [`ShardRace`]'s supervision log like a certificate
+/// (DESIGN.md §4.19).
+///
+/// * `SUP001` — structure: every death/win/kill names a spawned
+///   attempt, attempts per shard are contiguous from 0, each shard has
+///   at most one terminal event (gave-up, won, or killed-by-winner),
+///   and the race records at most one winner or one degradation, never
+///   both.
+/// * `SUP002` — charges: each retry charge re-derives from
+///   [`RetryPolicy::backoff`] under the log's seed, each watchdog
+///   charge equals [`WATCHDOG_KILL_CHARGE`], and the supervision
+///   receipt meters *exactly* the sum of the recorded charges as fuel
+///   (supervision charges nothing else, so `clock == fuel` too).
+/// * `SUP003` — settlement: the `winner`/`answer`/`cause` fields agree
+///   with the log, a degradation cause is certified by the receipt and
+///   matches a recorded give-up, and a retries-exhausted give-up is
+///   justified by exactly `max_retries + 1` recorded deaths.
+pub fn audit_shard_log(race: &ShardRace, pass: &'static str, report: &mut Report) {
+    use std::collections::HashSet;
+    let log = &race.log;
+    let mut spawned: HashSet<(u64, u32)> = HashSet::new();
+    let mut next_attempt: HashMap<u64, u32> = HashMap::new();
+    let mut deaths: HashMap<u64, u32> = HashMap::new();
+    let mut hung: HashSet<(u64, u32)> = HashSet::new();
+    let mut terminal: HashMap<u64, &'static str> = HashMap::new();
+    let mut winner: Option<(u64, u32)> = None;
+    let mut degraded: Option<Exhausted> = None;
+    let mut gave_up: Vec<(u64, u32, Exhausted)> = Vec::new();
+    let mut retry_fuel = 0u64;
+    let mut watchdog_fuel = 0u64;
+    let site = |shard: u64| format!("shard#{shard}");
+
+    let require_spawned = |shard: u64,
+                           attempt: u32,
+                           what: &str,
+                           spawned: &HashSet<(u64, u32)>,
+                           report: &mut Report| {
+        if !spawned.contains(&(shard, attempt)) {
+            report.error(
+                codes::SUP001,
+                pass,
+                site(shard),
+                format!("{what} recorded for attempt {attempt}, which was never spawned"),
+            );
+        }
+    };
+    let require_open =
+        |shard: u64, what: &str, terminal: &HashMap<u64, &'static str>, report: &mut Report| {
+            if let Some(prev) = terminal.get(&shard) {
+                report.error(
+                    codes::SUP001,
+                    pass,
+                    site(shard),
+                    format!("{what} recorded after the shard already settled ({prev})"),
+                );
+            }
+        };
+
+    for ev in &log.events {
+        if degraded.is_some() {
+            report.error(
+                codes::SUP001,
+                pass,
+                "race".to_string(),
+                format!("event {ev:?} recorded after the race degraded"),
+            );
+        }
+        match ev {
+            ShardEvent::Spawned { shard, attempt } => {
+                let expected = next_attempt.entry(*shard).or_insert(0);
+                if *attempt != *expected {
+                    report.error(
+                        codes::SUP001,
+                        pass,
+                        site(*shard),
+                        format!("spawned attempt {attempt} but expected attempt {expected}"),
+                    );
+                }
+                *expected = attempt + 1;
+                require_open(*shard, "a spawn", &terminal, report);
+                spawned.insert((*shard, *attempt));
+            }
+            ShardEvent::Died {
+                shard,
+                attempt,
+                reason,
+            } => {
+                require_spawned(*shard, *attempt, "a death", &spawned, report);
+                require_open(*shard, "a death", &terminal, report);
+                *deaths.entry(*shard).or_insert(0) += 1;
+                if matches!(reason, ShardDeath::Hung) {
+                    hung.insert((*shard, *attempt));
+                }
+            }
+            ShardEvent::Retried {
+                shard,
+                attempt,
+                charge,
+            } => {
+                if *attempt == 0 {
+                    report.error(
+                        codes::SUP002,
+                        pass,
+                        site(*shard),
+                        "retry charge recorded for attempt 0 (first tries are never retries)",
+                    );
+                }
+                let expected = RetryPolicy::backoff(log.seed, *shard, *attempt);
+                if *charge != expected {
+                    report.error(
+                        codes::SUP002,
+                        pass,
+                        site(*shard),
+                        format!(
+                            "attempt {attempt} paid {charge} but the schedule derives {expected}"
+                        ),
+                    );
+                }
+                if *attempt > log.max_retries {
+                    report.error(
+                        codes::SUP001,
+                        pass,
+                        site(*shard),
+                        format!(
+                            "retry for attempt {attempt} exceeds the policy cap {}",
+                            log.max_retries
+                        ),
+                    );
+                }
+                retry_fuel += charge;
+            }
+            ShardEvent::WatchdogCharged {
+                shard,
+                attempt,
+                charge,
+            } => {
+                if !hung.contains(&(*shard, *attempt)) {
+                    report.error(
+                        codes::SUP002,
+                        pass,
+                        site(*shard),
+                        format!("watchdog charge for attempt {attempt}, which never hung"),
+                    );
+                }
+                if *charge != sciduction::shard::WATCHDOG_KILL_CHARGE {
+                    report.error(
+                        codes::SUP002,
+                        pass,
+                        site(*shard),
+                        format!(
+                            "watchdog charged {charge}, not the fixed kill charge {}",
+                            sciduction::shard::WATCHDOG_KILL_CHARGE
+                        ),
+                    );
+                }
+                watchdog_fuel += charge;
+            }
+            ShardEvent::GaveUp {
+                shard,
+                attempts,
+                cause,
+            } => {
+                require_open(*shard, "a give-up", &terminal, report);
+                terminal.insert(*shard, "gave up");
+                gave_up.push((*shard, *attempts, *cause));
+            }
+            ShardEvent::Won { shard, attempt } => {
+                require_spawned(*shard, *attempt, "a win", &spawned, report);
+                require_open(*shard, "a win", &terminal, report);
+                terminal.insert(*shard, "won");
+                if let Some((prev, _)) = winner {
+                    report.error(
+                        codes::SUP001,
+                        pass,
+                        site(*shard),
+                        format!("second winner recorded (shard#{prev} already won)"),
+                    );
+                }
+                winner = Some((*shard, *attempt));
+            }
+            ShardEvent::KilledByWinner { shard, attempt } => {
+                require_spawned(*shard, *attempt, "a kill-on-winner", &spawned, report);
+                require_open(*shard, "a kill-on-winner", &terminal, report);
+                terminal.insert(*shard, "killed by winner");
+                if winner.is_none() {
+                    report.error(
+                        codes::SUP001,
+                        pass,
+                        site(*shard),
+                        "killed-by-winner recorded before any winner",
+                    );
+                }
+            }
+            ShardEvent::Degraded { cause } => {
+                if winner.is_some() {
+                    report.error(
+                        codes::SUP001,
+                        pass,
+                        "race".to_string(),
+                        "race records both a winner and a degradation",
+                    );
+                }
+                degraded = Some(*cause);
+            }
+        }
+    }
+
+    // SUP002: the supervision meter charges fuel through exactly two
+    // paths (paid retries, charged watchdog kills) and nothing else.
+    let charged = retry_fuel + watchdog_fuel;
+    if race.receipt.fuel != charged {
+        report.error(
+            codes::SUP002,
+            pass,
+            "race".to_string(),
+            format!(
+                "receipt meters {} fuel but the log records {charged} in charges",
+                race.receipt.fuel
+            ),
+        );
+    }
+    if race.receipt.clock != race.receipt.fuel || !race.receipt.coherent() {
+        report.error(
+            codes::SUP002,
+            pass,
+            "race".to_string(),
+            "supervision receipt incoherent (it must meter only fuel)",
+        );
+    }
+
+    // SUP003: the race's settlement agrees with its own log.
+    match (race.winner, &race.answer, race.cause) {
+        (Some(idx), Some(_), None) => match winner {
+            Some((shard, _)) if shard == idx as u64 => {}
+            Some((shard, _)) => report.error(
+                codes::SUP003,
+                pass,
+                "race".to_string(),
+                format!("race names shard#{idx} the winner but the log records shard#{shard}"),
+            ),
+            None => report.error(
+                codes::SUP003,
+                pass,
+                "race".to_string(),
+                format!("race names shard#{idx} the winner but the log records no win"),
+            ),
+        },
+        (None, None, Some(cause)) => {
+            if !race.receipt.certifies(&cause) {
+                report.error(
+                    codes::SUP003,
+                    pass,
+                    "race".to_string(),
+                    format!("degradation cause {cause:?} is not certified by the receipt"),
+                );
+            }
+            match degraded {
+                Some(logged) if logged == cause => {}
+                Some(logged) => report.error(
+                    codes::SUP003,
+                    pass,
+                    "race".to_string(),
+                    format!("race cause {cause:?} but the log degraded with {logged:?}"),
+                ),
+                None => report.error(
+                    codes::SUP003,
+                    pass,
+                    "race".to_string(),
+                    "race settled degraded but the log records no degradation",
+                ),
+            }
+            if !gave_up.is_empty() && !gave_up.iter().any(|(_, _, parked)| *parked == cause) {
+                report.error(
+                    codes::SUP003,
+                    pass,
+                    "race".to_string(),
+                    format!("degradation cause {cause:?} matches no recorded give-up"),
+                );
+            }
+        }
+        (w, a, c) => report.error(
+            codes::SUP003,
+            pass,
+            "race".to_string(),
+            format!(
+                "settlement fields disagree: winner={w:?} answer={} cause={c:?}",
+                if a.is_some() { "some" } else { "none" }
+            ),
+        ),
+    }
+
+    // A retries-exhausted give-up must be justified by the deaths: the
+    // policy demands max_retries + 1 failed attempts before giving up.
+    for (shard, attempts, cause) in &gave_up {
+        let died = deaths.get(shard).copied().unwrap_or(0);
+        if died != *attempts {
+            report.error(
+                codes::SUP003,
+                pass,
+                site(*shard),
+                format!("gave up after {attempts} attempts but the log records {died} deaths"),
+            );
+        }
+        if let Exhausted::Faulted { site: s } = cause {
+            if *s != *shard {
+                report.error(
+                    codes::SUP003,
+                    pass,
+                    site(*shard),
+                    format!("retries-exhausted cause names site {s}, not the shard itself"),
+                );
+            }
+            if *attempts != log.max_retries + 1 {
+                report.error(
+                    codes::SUP003,
+                    pass,
+                    site(*shard),
+                    format!(
+                        "gave up as retries-exhausted after {attempts} attempts under a \
+                         max_retries={} policy",
+                        log.max_retries
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Proof certification (PRF001–PRF004)
 // ---------------------------------------------------------------------------
 
@@ -1816,5 +2149,177 @@ impl Validator for SynthProgramValidator<'_> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod shard_audit_tests {
+    use super::*;
+    use crate::codes;
+    use sciduction::shard::{ShardAnswer, ShardLog, ShardRace};
+    use sciduction::{Budget, BudgetMeter, Exhausted};
+
+    /// A hand-built clean single-shard win: spawn, win, nothing charged.
+    fn clean_win() -> ShardRace {
+        ShardRace {
+            winner: Some(0),
+            answer: Some(ShardAnswer::Result(b"ok".to_vec())),
+            cause: None,
+            receipt: BudgetMeter::new(Budget::UNLIMITED).receipt(),
+            log: ShardLog {
+                seed: 7,
+                max_retries: 1,
+                events: vec![
+                    ShardEvent::Spawned {
+                        shard: 0,
+                        attempt: 0,
+                    },
+                    ShardEvent::Won {
+                        shard: 0,
+                        attempt: 0,
+                    },
+                ],
+            },
+        }
+    }
+
+    /// A hand-built honest degradation: one shard, one paid retry, both
+    /// attempts die, give up with the retries-exhausted cause.
+    fn honest_degradation() -> ShardRace {
+        let seed = 7u64;
+        let charge = RetryPolicy::backoff(seed, 0, 1);
+        let mut meter = BudgetMeter::new(Budget::UNLIMITED);
+        meter.charge_fuel_batch(charge).expect("unlimited");
+        let cause = Exhausted::Faulted { site: 0 };
+        ShardRace {
+            winner: None,
+            answer: None,
+            cause: Some(cause),
+            receipt: meter.receipt(),
+            log: ShardLog {
+                seed,
+                max_retries: 1,
+                events: vec![
+                    ShardEvent::Spawned {
+                        shard: 0,
+                        attempt: 0,
+                    },
+                    ShardEvent::Died {
+                        shard: 0,
+                        attempt: 0,
+                        reason: ShardDeath::Exited { code: None },
+                    },
+                    ShardEvent::Retried {
+                        shard: 0,
+                        attempt: 1,
+                        charge,
+                    },
+                    ShardEvent::Spawned {
+                        shard: 0,
+                        attempt: 1,
+                    },
+                    ShardEvent::Died {
+                        shard: 0,
+                        attempt: 1,
+                        reason: ShardDeath::Exited { code: Some(134) },
+                    },
+                    ShardEvent::GaveUp {
+                        shard: 0,
+                        attempts: 2,
+                        cause,
+                    },
+                    ShardEvent::Degraded { cause },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn honest_races_audit_clean() {
+        for race in [clean_win(), honest_degradation()] {
+            let mut report = Report::new();
+            audit_shard_log(&race, "test", &mut report);
+            assert!(report.is_clean(), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn forged_retry_charge_is_sup002() {
+        let mut race = honest_degradation();
+        for ev in &mut race.log.events {
+            if let ShardEvent::Retried { charge, .. } = ev {
+                *charge += 1;
+            }
+        }
+        let mut report = Report::new();
+        audit_shard_log(&race, "test", &mut report);
+        assert!(report.has_code(codes::SUP002), "{report:?}");
+    }
+
+    #[test]
+    fn receipt_fuel_off_the_log_is_sup002() {
+        let mut race = clean_win();
+        race.receipt.fuel = 3;
+        race.receipt.clock = 3;
+        let mut report = Report::new();
+        audit_shard_log(&race, "test", &mut report);
+        assert!(report.has_code(codes::SUP002), "{report:?}");
+    }
+
+    #[test]
+    fn watchdog_charge_without_a_hang_is_sup002() {
+        let mut race = clean_win();
+        race.log.events.insert(
+            1,
+            ShardEvent::WatchdogCharged {
+                shard: 0,
+                attempt: 0,
+                charge: sciduction::shard::WATCHDOG_KILL_CHARGE,
+            },
+        );
+        race.receipt.fuel = sciduction::shard::WATCHDOG_KILL_CHARGE;
+        race.receipt.clock = race.receipt.fuel;
+        let mut report = Report::new();
+        audit_shard_log(&race, "test", &mut report);
+        assert!(report.has_code(codes::SUP002), "{report:?}");
+    }
+
+    #[test]
+    fn unspawned_win_and_double_winner_are_sup001() {
+        let mut race = clean_win();
+        race.log.events[1] = ShardEvent::Won {
+            shard: 0,
+            attempt: 5,
+        };
+        let mut report = Report::new();
+        audit_shard_log(&race, "test", &mut report);
+        assert!(report.has_code(codes::SUP001), "{report:?}");
+
+        let mut race = honest_degradation();
+        race.log.events.push(ShardEvent::Won {
+            shard: 0,
+            attempt: 0,
+        });
+        let mut report = Report::new();
+        audit_shard_log(&race, "test", &mut report);
+        assert!(report.has_code(codes::SUP001), "{report:?}");
+    }
+
+    #[test]
+    fn flipped_degradation_cause_is_sup003() {
+        let mut race = honest_degradation();
+        race.cause = Some(Exhausted::Cancelled);
+        let mut report = Report::new();
+        audit_shard_log(&race, "test", &mut report);
+        assert!(report.has_code(codes::SUP003), "{report:?}");
+    }
+
+    #[test]
+    fn winner_disagreeing_with_the_log_is_sup003() {
+        let mut race = clean_win();
+        race.winner = Some(2);
+        let mut report = Report::new();
+        audit_shard_log(&race, "test", &mut report);
+        assert!(report.has_code(codes::SUP003), "{report:?}");
     }
 }

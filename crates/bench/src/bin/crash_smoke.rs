@@ -42,6 +42,9 @@ options:
   --proofs-dir DIR  certificate dir (default target/scid-server/crash-proofs)
   -h, --help        show this help";
 
+/// How long a just-spawned child gets to start accepting connections.
+const STARTUP_WAIT: Duration = Duration::from_secs(30);
+
 const FIG_NAMES: [&str; 5] = [
     "fig6_crc8_infeasible_path",
     "fig6_crc8_feasible_path",
@@ -227,8 +230,10 @@ fn run(server_bin: &Path, state_dir: &Path, proofs_dir: &Path) -> Result<(), Str
     // it to disk are what recovery gets.
     println!("== phase A: serve one round, then SIGKILL mid-batch ==");
     let (mut child, addr) = spawn_server(server_bin, state_dir, proofs_dir)?;
-    let mut client =
-        Client::connect(addr, Duration::from_secs(300)).map_err(|e| format!("connect: {e}"))?;
+    // Bounded-retry poll, not a fixed sleep: a slow machine stretches
+    // the wait, a fast one pays nothing, and a hung child still fails.
+    let mut client = Client::connect_retry(addr, Duration::from_secs(300), STARTUP_WAIT)
+        .map_err(|e| format!("connect: {e}"))?;
     let served = serve_rounds(&mut client, &expected, 1, "phase A")?;
     sigkill(&mut child);
     drop(client);
@@ -240,8 +245,8 @@ fn run(server_bin: &Path, state_dir: &Path, proofs_dir: &Path) -> Result<(), Str
     println!("== phase B: restart against the surviving --state-dir ==");
     let (mut child, addr) = spawn_server(server_bin, state_dir, proofs_dir)
         .map_err(|e| format!("restart after SIGKILL: {e}"))?;
-    let mut client =
-        Client::connect(addr, Duration::from_secs(300)).map_err(|e| format!("reconnect: {e}"))?;
+    let mut client = Client::connect_retry(addr, Duration::from_secs(300), STARTUP_WAIT)
+        .map_err(|e| format!("reconnect: {e}"))?;
     let served = serve_rounds(&mut client, &expected, 2, "phase B")?;
     let resp = client
         .request("crash-smoke", fig_job("fig8_p1_equiv_w8", true))

@@ -1,0 +1,465 @@
+//! `shard_chaos` — shard-isolation overhead benchmark and external
+//! kill/stop chaos smoke for `scid-server --isolation process`
+//! (DESIGN.md §4.19).
+//!
+//! Run with `cargo run --release -p sciduction-bench --bin shard_chaos`
+//! (the release `scid-server` binary must already be built for the
+//! chaos phase).
+//!
+//! **Overhead phase** — serves an identical fig workload against two
+//! in-process servers, one per isolation mode, and merges the p50/p99
+//! comparison into `BENCH_server.json` as a `shard_overhead` section
+//! (read-modify-write: the loadgen sections are preserved). Every
+//! served verdict is diffed against a direct `Engine` run.
+//!
+//! **Chaos phase** — spawns a real `scid-server --isolation process`
+//! child, then SIGKILLs and SIGSTOPs its shard-worker subprocesses at
+//! random while jobs are in flight. The server must survive every
+//! schedule, every response must be the clean verdict or a certified
+//! `unknown: …` degradation (never a flipped answer, never a dropped
+//! connection), and a calm certifying job afterwards must leave a
+//! certificate under the proofs dir for ci.sh to replay through the
+//! independent `scicheck` checker.
+
+use sciduction::json::{self, Value};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_server::{
+    Client, Engine, FigJob, Isolation, JobCommon, JobSpec, Server, ServerConfig, ShardIsolation,
+    SHARD_WORKER_FLAG,
+};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+const USAGE: &str = "\
+usage: shard_chaos [options]
+
+Measures process-isolation overhead (merged into BENCH_server.json as
+`shard_overhead`) and SIGKILL/SIGSTOPs live shard workers under a real
+`scid-server --isolation process` child, asserting the server survives
+with clean-or-certified-unknown verdicts only.
+
+options:
+  --server PATH     scid-server binary (default target/release/scid-server)
+  --proofs-dir DIR  certificate dir for the chaos child
+                    (default target/scid-server/shard-proofs)
+  --requests N      requests per isolation mode in the overhead phase
+                    (default 24)
+  --out PATH        benchmark file to merge into
+                    (default <repo>/BENCH_server.json)
+  -h, --help        show this help";
+
+/// The workload both phases serve: small enough to keep the chaos loop
+/// tight, deterministic at one thread so the clean verdict is pinned.
+const WORKLOAD: &str = "fig8_p1_equiv_w8";
+
+fn fig_spec(name: &str, proof: bool) -> JobSpec {
+    JobSpec::Fig(FigJob {
+        name: name.into(),
+        proof,
+        common: JobCommon {
+            threads: 1,
+            ..JobCommon::default()
+        },
+    })
+}
+
+fn fig_job(name: &str, proof: bool) -> Value {
+    json::obj(vec![
+        ("kind", Value::Str("fig".into())),
+        ("name", Value::Str(name.into())),
+        ("threads", Value::Int(1)),
+        ("proof", Value::Bool(proof)),
+    ])
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+// ---------------------------------------------------------------------------
+// Overhead phase: in-process vs process isolation, same workload
+// ---------------------------------------------------------------------------
+
+struct ModeResult {
+    p50_ms: f64,
+    p99_ms: f64,
+    mismatches: usize,
+}
+
+fn run_mode(isolation: Isolation, expected: &str, requests: usize) -> Result<ModeResult, String> {
+    let mut server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        isolation,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("start: {e}"))?;
+    let mut lat = Vec::with_capacity(requests);
+    let mut mismatches = 0usize;
+    {
+        let mut client = Client::connect(server.addr(), Duration::from_secs(300))
+            .map_err(|e| format!("connect: {e}"))?;
+        for _ in 0..requests {
+            let t = Instant::now();
+            let resp = client
+                .request("shard-bench", fig_job(WORKLOAD, false))
+                .map_err(|e| format!("request: {e}"))?;
+            lat.push(t.elapsed().as_secs_f64() * 1e3);
+            let served = resp.get("verdict").and_then(Value::as_str).unwrap_or("");
+            if resp.get("ok").and_then(Value::as_bool) != Some(true) || served != expected {
+                mismatches += 1;
+            }
+        }
+    }
+    server.stop();
+    lat.sort_by(f64::total_cmp);
+    Ok(ModeResult {
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        mismatches,
+    })
+}
+
+/// Merges a `shard_overhead` section into the loadgen benchmark file,
+/// preserving every other section. A missing or unparseable file gets
+/// a fresh skeleton so the two binaries can run in either order.
+fn merge_overhead(out: &Path, inproc: &ModeResult, process: &ModeResult, requests: usize) {
+    let mut fields = std::fs::read(out)
+        .ok()
+        .and_then(|bytes| json::parse_bytes(&bytes).ok())
+        .and_then(|v| match v {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            vec![(
+                "schema".to_string(),
+                Value::Str("sciduction-server-bench/v1".into()),
+            )]
+        });
+    fields.retain(|(k, _)| k != "shard_overhead");
+    fields.push((
+        "shard_overhead".to_string(),
+        json::obj(vec![
+            ("workload", Value::Str(WORKLOAD.into())),
+            ("requests_per_mode", Value::Int(requests as i64)),
+            ("inproc_p50_ms", Value::Float(inproc.p50_ms)),
+            ("inproc_p99_ms", Value::Float(inproc.p99_ms)),
+            ("process_p50_ms", Value::Float(process.p50_ms)),
+            ("process_p99_ms", Value::Float(process.p99_ms)),
+            (
+                "p50_overhead_ms",
+                Value::Float(process.p50_ms - inproc.p50_ms),
+            ),
+        ]),
+    ));
+    let text = format!("{}\n", Value::Obj(fields));
+    if let Err(e) = std::fs::write(out, text) {
+        eprintln!("shard_chaos: cannot write {}: {e}", out.display());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos phase: external kill/stop against a real child server
+// ---------------------------------------------------------------------------
+
+/// Spawns the chaos child and parses its banner (crash_smoke idiom).
+fn spawn_server(server_bin: &Path, proofs_dir: &Path) -> Result<(Child, SocketAddr), String> {
+    let mut child = Command::new(server_bin)
+        .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(["--isolation", "process", "--shards", "2"])
+        .args(["--shard-timeout-ms", "800"])
+        .arg("--proofs-dir")
+        .arg(proofs_dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", server_bin.display()))?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    let mut reader = std::io::BufReader::new(stdout);
+    if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("server exited before printing its banner".into());
+    }
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .and_then(|a| a.parse::<SocketAddr>().ok())
+        .ok_or_else(|| format!("unparseable banner line {line:?}"))?;
+    Ok((child, addr))
+}
+
+/// Shard-worker children of `parent`, found by scanning `/proc` for
+/// processes whose stat ppid matches and whose cmdline carries the
+/// worker flag. No libc: the stat ppid is the second whitespace field
+/// after the last `)` of the comm.
+fn worker_pids(parent: u32) -> Vec<u32> {
+    let mut pids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return pids;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        let Some(tail) = stat.rsplit(')').next() else {
+            continue;
+        };
+        let ppid = tail.split_whitespace().nth(1);
+        if ppid != Some(&parent.to_string()) {
+            continue;
+        }
+        let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        if String::from_utf8_lossy(&cmdline).contains(SHARD_WORKER_FLAG) {
+            pids.push(pid);
+        }
+    }
+    pids
+}
+
+fn signal(pid: u32, sig: &str) {
+    let _ = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -{sig} {pid} 2>/dev/null"))
+        .status();
+}
+
+struct ChaosOutcome {
+    served: usize,
+    degraded: usize,
+    signals_sent: usize,
+}
+
+fn run_chaos(server_bin: &Path, proofs_dir: &Path, expected: &str) -> Result<ChaosOutcome, String> {
+    let _ = std::fs::remove_dir_all(proofs_dir);
+    let (mut child, addr) = spawn_server(server_bin, proofs_dir)?;
+    let server_pid = child.id();
+    let stop = AtomicBool::new(false);
+    let jobs = 40usize;
+
+    let outcome = std::thread::scope(|scope| -> Result<ChaosOutcome, String> {
+        let chaos = scope.spawn(|| {
+            let mut rng = StdRng::seed_from_u64(0x5C1D_C4A0);
+            let mut sent = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+                let pids = worker_pids(server_pid);
+                if pids.is_empty() {
+                    continue;
+                }
+                let pid = pids[rng.random_range(0..pids.len() as u64) as usize];
+                let sig = if rng.random::<bool>() { "KILL" } else { "STOP" };
+                signal(pid, sig);
+                sent += 1;
+            }
+            sent
+        });
+
+        let run = || -> Result<(usize, usize), String> {
+            let mut client =
+                Client::connect_retry(addr, Duration::from_secs(300), Duration::from_secs(30))
+                    .map_err(|e| format!("connect: {e}"))?;
+            let mut degraded = 0usize;
+            for i in 0..jobs {
+                let resp = client
+                    .request("chaos", fig_job(WORKLOAD, false))
+                    .map_err(|e| format!("job {i}: {e}"))?;
+                let verdict = resp.get("verdict").and_then(Value::as_str).unwrap_or("");
+                if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+                    return Err(format!("job {i}: error frame {resp}"));
+                }
+                if verdict.starts_with("unknown: ") {
+                    degraded += 1;
+                } else if verdict != expected {
+                    return Err(format!(
+                        "job {i}: chaos flipped the verdict: served {verdict:?}, \
+                         library says {expected:?}"
+                    ));
+                }
+            }
+            Ok((jobs, degraded))
+        };
+        let result = run();
+        stop.store(true, Ordering::Relaxed);
+        let signals_sent = chaos.join().unwrap_or(0);
+        let (served, degraded) = result?;
+        Ok(ChaosOutcome {
+            served,
+            degraded,
+            signals_sent,
+        })
+    });
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(e);
+        }
+    };
+
+    // The whole point: shard deaths never propagate to the server.
+    match child.try_wait() {
+        Ok(None) => {}
+        status => {
+            return Err(format!(
+                "server died under shard chaos (wait status {status:?})"
+            ));
+        }
+    }
+
+    // Calm certifying job after the storm: full service restored, and a
+    // certificate lands under the proofs dir for scicheck replay.
+    let mut client = Client::connect(addr, Duration::from_secs(300))
+        .map_err(|e| format!("post-chaos connect: {e}"))?;
+    let resp = client
+        .request("chaos", fig_job(WORKLOAD, true))
+        .map_err(|e| format!("post-chaos certifying job: {e}"))?;
+    let ok = resp.get("ok").and_then(Value::as_bool) == Some(true)
+        && resp.get("verdict").and_then(Value::as_str) == Some(expected)
+        && matches!(resp.get("certificate"), Some(Value::Obj(_)));
+    let _ = child.kill();
+    let _ = child.wait();
+    if !ok {
+        return Err(format!("post-chaos certifying job degraded: {resp}"));
+    }
+    Ok(outcome)
+}
+
+fn main() -> ExitCode {
+    // Worker-mode dispatch: the overhead phase's in-process supervisor
+    // self-execs this binary, exactly like `scid-server` does.
+    if std::env::args().nth(1).as_deref() == Some(SHARD_WORKER_FLAG) {
+        return sciduction_server::shard_worker_main();
+    }
+    let root = repo_root();
+    let mut server_bin = root.join("target/release/scid-server");
+    let mut proofs_dir = root.join("target/scid-server/shard-proofs");
+    let mut out = root.join("BENCH_server.json");
+    let mut requests = 24usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs an argument"))
+        };
+        let result: Result<(), String> = match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--server" => take("--server").map(|v| server_bin = PathBuf::from(v)),
+            "--proofs-dir" => take("--proofs-dir").map(|v| proofs_dir = PathBuf::from(v)),
+            "--out" => take("--out").map(|v| out = PathBuf::from(v)),
+            "--requests" => take("--requests").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| requests = n)
+                    .ok_or_else(|| format!("--requests: not a positive integer: {v}"))
+            }),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("shard_chaos: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    println!("== shard_chaos: direct-library reference verdict ==");
+    let expected = match Engine::new(None).execute("shard-chaos-ref", &fig_spec(WORKLOAD, false)) {
+        Ok(out) => out.verdict,
+        Err(e) => {
+            eprintln!("shard_chaos: reference run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{WORKLOAD} => {expected}");
+
+    println!("== overhead: in-process vs process isolation ({requests} requests each) ==");
+    let inproc = match run_mode(Isolation::InProcess, &expected, requests) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("shard_chaos: in-process mode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let process = match run_mode(
+        Isolation::Process(ShardIsolation::default()),
+        &expected,
+        requests,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("shard_chaos: process mode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "inproc   p50 {:.3} ms  p99 {:.3} ms",
+        inproc.p50_ms, inproc.p99_ms
+    );
+    println!(
+        "process  p50 {:.3} ms  p99 {:.3} ms  (overhead p50 {:+.3} ms)",
+        process.p50_ms,
+        process.p99_ms,
+        process.p50_ms - inproc.p50_ms
+    );
+    if inproc.mismatches + process.mismatches > 0 {
+        eprintln!(
+            "shard_chaos: CONFORMANCE MISMATCH: {} verdict(s) diverged in the overhead phase",
+            inproc.mismatches + process.mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    merge_overhead(&out, &inproc, &process, requests);
+    println!("shard_overhead merged into {}", out.display());
+
+    println!("== chaos: SIGKILL/SIGSTOP live shard workers under a real child server ==");
+    if !server_bin.exists() {
+        eprintln!(
+            "shard_chaos: {} not built (run `cargo build --release -p sciduction-server` first)",
+            server_bin.display()
+        );
+        return ExitCode::from(2);
+    }
+    match run_chaos(&server_bin, &proofs_dir, &expected) {
+        Ok(o) => {
+            println!(
+                "served {} job(s) through {} worker signal(s); {} settled as certified unknowns",
+                o.served, o.signals_sent, o.degraded
+            );
+            println!(
+                "certificates for scicheck replay under {}",
+                proofs_dir.display()
+            );
+            println!("shard_chaos: OK — the server outlived every shard it lost");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shard_chaos: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -63,11 +63,23 @@ pub enum FaultKind {
     /// The durable-log writer is killed at a frame boundary: this append
     /// and every later one are silently lost, but the prefix stays valid.
     ProcessKill,
+    /// A shard subprocess (`sciduction::shard`) aborts before answering:
+    /// the supervisor observes an exit with no result frame and restarts
+    /// it under the retry policy.
+    ShardKill,
+    /// A shard subprocess wedges (a SIGSTOP-style stall): it stops
+    /// heartbeating and never answers, so the watchdog must kill it at
+    /// the deadline and charge the kill to the job's budget.
+    ShardHang,
+    /// A shard subprocess emits a corrupt result frame: the supervisor
+    /// refuses the frame and treats the shard as dead (a garbling shard
+    /// is a dead shard — its bytes are never surfaced).
+    ShardGarbage,
 }
 
 impl FaultKind {
     /// Every kind, in a fixed order (used by test matrices).
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::WorkerDeath,
         FaultKind::SpuriousCancel,
         FaultKind::CacheMissStorm,
@@ -75,6 +87,9 @@ impl FaultKind {
         FaultKind::TornWrite,
         FaultKind::ShortWrite,
         FaultKind::ProcessKill,
+        FaultKind::ShardKill,
+        FaultKind::ShardHang,
+        FaultKind::ShardGarbage,
     ];
 
     /// The durability kinds that end a `RecordLog` writer's life
@@ -83,6 +98,14 @@ impl FaultKind {
         FaultKind::TornWrite,
         FaultKind::ShortWrite,
         FaultKind::ProcessKill,
+    ];
+
+    /// The shard-level kinds a `sciduction::shard` worker self-injects
+    /// (`crash / hang / garble`), in a fixed order for test matrices.
+    pub const SHARD: [FaultKind; 3] = [
+        FaultKind::ShardKill,
+        FaultKind::ShardHang,
+        FaultKind::ShardGarbage,
     ];
 
     fn index(self) -> usize {
@@ -97,6 +120,9 @@ impl FaultKind {
             FaultKind::TornWrite => 4,
             FaultKind::ShortWrite => 5,
             FaultKind::ProcessKill => 6,
+            FaultKind::ShardKill => 7,
+            FaultKind::ShardHang => 8,
+            FaultKind::ShardGarbage => 9,
         }
     }
 }
@@ -111,6 +137,9 @@ impl fmt::Display for FaultKind {
             FaultKind::TornWrite => "torn-write",
             FaultKind::ShortWrite => "short-write",
             FaultKind::ProcessKill => "process-kill",
+            FaultKind::ShardKill => "shard-kill",
+            FaultKind::ShardHang => "shard-hang",
+            FaultKind::ShardGarbage => "shard-garbage",
         };
         write!(f, "{name}")
     }
@@ -138,7 +167,7 @@ pub struct FaultEvent {
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    kinds: [bool; 7],
+    kinds: [bool; 10],
     log: Mutex<Vec<FaultEvent>>,
 }
 
@@ -147,7 +176,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
-            kinds: [true; 7],
+            kinds: [true; 10],
             log: Mutex::new(Vec::new()),
         }
     }
@@ -155,7 +184,7 @@ impl FaultPlan {
     /// A plan injecting only `kind` — the rest of the matrix stays
     /// clean, which is what the per-kind differential fault tests need.
     pub fn targeting(seed: u64, kind: FaultKind) -> Self {
-        let mut kinds = [false; 7];
+        let mut kinds = [false; 10];
         kinds[kind.index()] = true;
         FaultPlan {
             seed,
@@ -1403,7 +1432,7 @@ mod tests {
         // The fork index is part of the pure decision function: changing
         // an existing kind's slot would silently re-roll every recorded
         // fault matrix. Pin the full mapping.
-        let expected: [(FaultKind, usize); 7] = [
+        let expected: [(FaultKind, usize); 10] = [
             (FaultKind::WorkerDeath, 0),
             (FaultKind::SpuriousCancel, 1),
             (FaultKind::CacheMissStorm, 2),
@@ -1411,6 +1440,9 @@ mod tests {
             (FaultKind::TornWrite, 4),
             (FaultKind::ShortWrite, 5),
             (FaultKind::ProcessKill, 6),
+            (FaultKind::ShardKill, 7),
+            (FaultKind::ShardHang, 8),
+            (FaultKind::ShardGarbage, 9),
         ];
         assert_eq!(FaultKind::ALL.map(|k| k), expected.map(|(k, _)| k));
         for (kind, idx) in expected {

@@ -100,6 +100,7 @@ pub mod json;
 pub mod lstar;
 pub mod persist;
 pub mod recover;
+pub mod shard;
 pub mod teaching;
 
 pub use budget::{
@@ -116,4 +117,8 @@ pub use recover::{
     parse_retries, replay_breaker, retry_site, Attempt, BreakerEvent, BreakerOp, BreakerState,
     CircuitBreaker, EntrantLog, JournalError, PanicNote, RetryEvent, RetryPolicy, SupervisedRace,
     Supervisor, RETRIES_ENV,
+};
+pub use shard::{
+    race_shards, read_frame, run_worker, write_frame, ShardAnswer, ShardCommand, ShardConfig,
+    ShardDeath, ShardEvent, ShardLog, ShardRace, ShardReply, ShardRequest, WATCHDOG_KILL_CHARGE,
 };

@@ -19,7 +19,7 @@
 //! through `scilint --json`-shaped output on the server's `audit` job).
 
 use crate::jobs::Engine;
-use crate::server::TranscriptEntry;
+use crate::server::{ServedRecord, TranscriptEntry};
 use sciduction::BudgetReceipt;
 use sciduction_analysis::codes::{SRV001, SRV002, SRV003};
 use sciduction_analysis::Report;
@@ -91,6 +91,16 @@ pub fn audit_served_verdicts(entries: &[TranscriptEntry], pass: &'static str, re
         match engine.execute("srv002-replay", &e.spec) {
             Ok(direct) => {
                 if direct.verdict != served.verdict {
+                    if certified_degradation(served) {
+                        // Process-isolation degradation (§4.19): every
+                        // shard of the job died, and the supervisor
+                        // settled as the canonical `unknown: …` with the
+                        // cause parked in a coherent receipt that
+                        // certifies it. A weaker answer than the direct
+                        // run is the documented contract; a *different*
+                        // definite verdict still errors below.
+                        continue;
+                    }
                     report.error(
                         SRV002,
                         pass,
@@ -110,6 +120,19 @@ pub fn audit_served_verdicts(entries: &[TranscriptEntry], pass: &'static str, re
             ),
         }
     }
+}
+
+/// Whether a served record is an honest §4.19 degradation settlement:
+/// the verdict is exactly the canonical rendering of the cause parked in
+/// its own receipt, and that receipt both coheres and certifies the
+/// cause. Nothing weaker is tolerated by `SRV002`.
+fn certified_degradation(served: &ServedRecord) -> bool {
+    let Some(cause) = &served.receipt.cause else {
+        return false;
+    };
+    served.verdict == format!("unknown: {cause}")
+        && served.receipt.coherent()
+        && served.receipt.certifies(cause)
 }
 
 /// `SRV003`: checks each tenant's account receipt against the sum of the

@@ -4,19 +4,27 @@
 //! ```text
 //! scid-server [--addr HOST:PORT] [--workers N] [--tenant-budget N]
 //!             [--proofs-dir DIR] [--state-dir DIR] [--queue-depth N]
-//!             [--job-budget N]
+//!             [--job-budget N] [--isolation process|inproc] [--shards N]
+//!             [--shard-timeout-ms N] [--shard-faults SEED]
+//! scid-server --shard-worker
 //! ```
 //!
-//! See DESIGN.md §4.17 for the wire protocol and §4.18 for durability.
-//! The process serves until killed; `--tenant-budget N` caps every
-//! tenant's account at a logical deadline of `N` charges (default:
-//! unlimited). With `--state-dir`, the query cache and the job journal
-//! survive a kill at any byte offset: the next start replays them, runs
-//! the SRV/DUR audits, and refuses to serve from corrupt state.
+//! See DESIGN.md §4.17 for the wire protocol, §4.18 for durability, and
+//! §4.19 for process isolation. The process serves until killed;
+//! `--tenant-budget N` caps every tenant's account at a logical deadline
+//! of `N` charges (default: unlimited). With `--state-dir`, the query
+//! cache and the job journal survive a kill at any byte offset: the next
+//! start replays them, runs the SRV/DUR audits, and refuses to serve
+//! from corrupt state. With `--isolation process`, each compute job runs
+//! as a supervised race of `--shard-worker` subprocesses (self-exec of
+//! this binary), so a crashing or wedged job costs one subprocess, never
+//! the server.
 
 use sciduction::Budget;
+use sciduction_server::shard_exec::{Isolation, ShardIsolation, SHARD_WORKER_FLAG};
 use sciduction_server::{Server, ServerConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: scid-server [options]
@@ -37,14 +45,31 @@ options:
                       with EBUSY, nothing charged (default unbounded)
   --job-budget N      per-job logical-clock deadline, clamped onto every
                       job's own budget (default unlimited)
+  --isolation MODE    `inproc` (default) runs jobs in worker threads;
+                      `process` races each job across crash-contained
+                      `--shard-worker` subprocesses with a watchdog
+  --shards N          subprocesses raced per job under `process` (default 2)
+  --shard-timeout-ms N
+                      watchdog deadline: a shard silent this long is
+                      killed and the kill charged to the job (default 5000)
+  --shard-faults SEED shard-level fault seed for chaos testing
+                      (self-injected kill/hang/garbage; default none)
+  --shard-worker      run as a shard worker (internal; must be first arg)
   -h, --help          show this help";
 
 fn main() -> ExitCode {
+    // Worker-mode dispatch happens before any flag parsing: the
+    // supervisor self-execs this binary with the flag in first position.
+    if std::env::args().nth(1).as_deref() == Some(SHARD_WORKER_FLAG) {
+        return sciduction_server::shard_worker_main();
+    }
     let mut config = ServerConfig {
         addr: "127.0.0.1:7171".into(),
         proofs_dir: Some("target/scid-server/proofs".into()),
         ..ServerConfig::default()
     };
+    let mut shard = ShardIsolation::default();
+    let mut process_isolation = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut take = |what: &str| {
@@ -86,12 +111,46 @@ fn main() -> ExitCode {
                     .map(|n| config.job_budget = Budget::with_deadline(n))
                     .ok_or_else(|| format!("--job-budget: not a positive integer: {v}"))
             }),
+            "--isolation" => take("--isolation").and_then(|v| match v.as_str() {
+                "process" => {
+                    process_isolation = true;
+                    Ok(())
+                }
+                "inproc" => {
+                    process_isolation = false;
+                    Ok(())
+                }
+                other => Err(format!("--isolation: expected process|inproc, got {other}")),
+            }),
+            "--shards" => take("--shards").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| shard.shards = n)
+                    .ok_or_else(|| format!("--shards: not a positive integer: {v}"))
+            }),
+            "--shard-timeout-ms" => take("--shard-timeout-ms").and_then(|v| {
+                v.parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| shard.heartbeat_timeout = Duration::from_millis(n))
+                    .ok_or_else(|| format!("--shard-timeout-ms: not a positive integer: {v}"))
+            }),
+            "--shard-faults" => take("--shard-faults").and_then(|v| {
+                v.parse::<u64>()
+                    .ok()
+                    .map(|n| shard.fault_seed = Some(n))
+                    .ok_or_else(|| format!("--shard-faults: not an integer seed: {v}"))
+            }),
             other => Err(format!("unknown option `{other}`")),
         };
         if let Err(msg) = result {
             eprintln!("scid-server: {msg}\n{USAGE}");
             return ExitCode::from(2);
         }
+    }
+    if process_isolation {
+        config.isolation = Isolation::Process(shard);
     }
 
     let server = match Server::start(config) {

@@ -56,6 +56,27 @@ impl Client {
         })
     }
 
+    /// Connects to a just-spawned server, polling the port with bounded
+    /// retry instead of failing on the first refusal. Out-of-process
+    /// harnesses (`crash_smoke`, `shard_chaos`) use this so a slow
+    /// machine's startup lag can't flake a CI stage: the connect races
+    /// the child's bind, not a fixed sleep. Gives up with the last error
+    /// once `startup_wait` has elapsed.
+    pub fn connect_retry(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        startup_wait: Duration,
+    ) -> io::Result<Client> {
+        let deadline = std::time::Instant::now() + startup_wait;
+        loop {
+            match Client::connect(addr, read_timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
     /// Sends raw bytes as-is (fuzzing hook; no newline appended).
     pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.writer.write_all(bytes)?;

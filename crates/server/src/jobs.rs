@@ -126,6 +126,17 @@ impl JobSpec {
         matches!(self, JobSpec::Sat(_) | JobSpec::Fig(_) | JobSpec::Synth(_))
     }
 
+    /// The shared knobs of a compute job (`None` for the introspection
+    /// kinds, which carry none).
+    pub fn common(&self) -> Option<&JobCommon> {
+        match self {
+            JobSpec::Sat(j) => Some(&j.common),
+            JobSpec::Fig(j) => Some(&j.common),
+            JobSpec::Synth(j) => Some(&j.common),
+            JobSpec::Audit | JobSpec::Stats => None,
+        }
+    }
+
     /// A short label for transcripts and logs.
     pub fn label(&self) -> String {
         match self {

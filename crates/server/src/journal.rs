@@ -186,7 +186,7 @@ fn parse_u64_field(v: &Value, key: &str) -> Result<u64, String> {
 /// a decimal string, the cause structurally encoded (the wire protocol's
 /// `receipt_json` flattens the cause to display text and `null`s
 /// unrepresentable numbers, which cannot replay).
-fn receipt_lossless(r: &BudgetReceipt) -> Value {
+pub(crate) fn receipt_lossless(r: &BudgetReceipt) -> Value {
     json::obj(vec![
         (
             "budget",
@@ -247,7 +247,7 @@ fn cause_lossless(c: &Exhausted) -> Value {
     }
 }
 
-fn parse_receipt(v: &Value) -> Result<BudgetReceipt, String> {
+pub(crate) fn parse_receipt(v: &Value) -> Result<BudgetReceipt, String> {
     let b = v.get("budget").ok_or("receipt needs a \"budget\"")?;
     Ok(BudgetReceipt {
         budget: Budget {

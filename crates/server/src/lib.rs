@@ -27,9 +27,13 @@ pub mod jobs;
 pub mod journal;
 pub mod protocol;
 pub mod server;
+pub mod shard_exec;
 
 pub use client::{Client, ClientError};
 pub use jobs::{Engine, FigJob, JobCommon, JobOutput, JobSpec, SatJob, SynthJob};
 pub use journal::{Wal, WalRecord, WAL_GENERATION};
 pub use protocol::{ErrorCode, Frame, FrameReader, Request, MAX_FRAME};
 pub use server::{ServedRecord, Server, ServerConfig, TranscriptEntry};
+pub use shard_exec::{
+    run_sharded, shard_worker_main, Isolation, ShardExecError, ShardIsolation, SHARD_WORKER_FLAG,
+};

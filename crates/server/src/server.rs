@@ -15,6 +15,7 @@ use crate::journal::{self, Wal, WalRecord};
 use crate::protocol::{
     parse_request, render_done, render_error, render_error_detail, ErrorCode, Frame, FrameReader,
 };
+use crate::shard_exec::{run_sharded, Isolation, ShardExecError};
 use sciduction::exec::{panic_message, FairQueue, FaultPlan, Offer};
 use sciduction::json::{self, Value};
 use sciduction::persist::DiskCacheTier;
@@ -69,6 +70,11 @@ pub struct ServerConfig {
     /// writers (`TornWrite`/`ShortWrite`/`ProcessKill` sites). Test-only
     /// in spirit; `None` in production.
     pub durability_faults: Option<Arc<FaultPlan>>,
+    /// How workers execute compute jobs (DESIGN.md §4.19):
+    /// [`Isolation::InProcess`] runs them in the worker thread;
+    /// [`Isolation::Process`] races them as crash-contained
+    /// subprocesses, so the per-job blast radius is one subprocess.
+    pub isolation: Isolation,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +89,7 @@ impl Default for ServerConfig {
             job_budget: Budget::UNLIMITED,
             write_timeout: Some(Duration::from_secs(10)),
             durability_faults: None,
+            isolation: Isolation::InProcess,
         }
     }
 }
@@ -150,6 +157,10 @@ struct Shared {
     disk_tier: Option<Arc<DiskCacheTier>>,
     counters: Counters,
     job_seq: AtomicU64,
+    isolation: Isolation,
+    /// Copy of the served certificate directory, for shard-mode
+    /// publication (workers stage under `proofs_dir/pending/`).
+    proofs_dir: Option<PathBuf>,
 }
 
 struct QueuedJob {
@@ -304,6 +315,8 @@ impl Server {
             disk_tier: recovered.disk_tier,
             counters: Counters::default(),
             job_seq: AtomicU64::new(recovered.next_seq),
+            isolation: config.isolation.clone(),
+            proofs_dir: config.proofs_dir.clone(),
         });
 
         let workers = (0..config.workers.max(1))
@@ -619,7 +632,15 @@ fn worker_loop(shared: &Arc<Shared>) {
         // so two tenants reusing the same id cannot clobber each
         // other's files (and the tag matches the job's WAL records).
         let tag = format!("job-{}-{}", job.seq, job.id);
-        let result = catch_unwind(AssertUnwindSafe(|| shared.engine.execute(&tag, &job.spec)));
+        let result = catch_unwind(AssertUnwindSafe(|| match &shared.isolation {
+            Isolation::InProcess => shared
+                .engine
+                .execute(&tag, &job.spec)
+                .map_err(ShardExecError::Job),
+            Isolation::Process(iso) => {
+                run_sharded(&tag, &job.spec, iso, shared.proofs_dir.as_deref())
+            }
+        }));
         match result {
             Ok(Ok(output)) => {
                 // Settle what the job spent against the tenant account.
@@ -665,12 +686,40 @@ fn worker_loop(shared: &Arc<Shared>) {
                     wal.record(&WalRecord::Respond { seq: job.seq });
                 }
             }
-            Ok(Err(err)) => {
+            Ok(Err(ShardExecError::Job(err))) => {
                 shed_job(shared, &job);
                 shared.counters.job_errors.fetch_add(1, Ordering::Relaxed);
                 send_line(
                     &job.conn,
                     &render_error(Some(job.id), ErrorCode::Job, &err.to_string()),
+                );
+            }
+            Ok(Err(ShardExecError::Infra { shard, reason })) => {
+                // The shard-failure detail payload: which subprocess the
+                // supervisor blames, under process isolation. The server
+                // itself is fine — that is the whole point.
+                shed_job(shared, &job);
+                shared
+                    .counters
+                    .internal_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut detail = offender_detail(&job.tenant, job.id);
+                detail.push(("isolation".to_string(), Value::Str("process".into())));
+                detail.push((
+                    "shard".to_string(),
+                    match shard {
+                        Some(s) if s <= i64::MAX as u64 => Value::Int(s as i64),
+                        _ => Value::Null,
+                    },
+                ));
+                send_line(
+                    &job.conn,
+                    &render_error_detail(
+                        Some(job.id),
+                        ErrorCode::Internal,
+                        &format!("shard execution failed: {reason}"),
+                        &detail,
+                    ),
                 );
             }
             Err(payload) => {

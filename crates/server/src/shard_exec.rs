@@ -1,0 +1,505 @@
+//! Process isolation for compute jobs (DESIGN.md §4.19): the server
+//! half of `sciduction::shard`.
+//!
+//! With `--isolation process`, a worker thread does not execute a job in
+//! its own address space. It races `shards` copies of the job as
+//! supervised subprocesses (`scid-server --shard-worker`, speaking the
+//! `RecordLog` frame encoding over stdin/stdout), takes the first
+//! result, and SIGKILLs the rest. A shard that crashes, garbles a
+//! frame, or stops heartbeating is killed and restarted under the
+//! deterministic [`RetryPolicy`] with every backoff and watchdog kill
+//! charged against the *job's own budget*; when every shard is lost the
+//! job settles as the canonical `unknown: …` verdict with a certified
+//! supervision receipt — the per-job blast radius is one subprocess,
+//! never the server.
+//!
+//! Trust note (TCB): a shard's result payload re-enters the exact same
+//! checks an in-process result passes through — the worker itself runs
+//! the full [`Engine`] (certificates are verified *inside* the worker
+//! before the result frame is written), the supervision log is replayed
+//! by [`audit_shard_log`] after every race, and `SRV002` re-executes
+//! served specs from the transcript. Process isolation adds a failure
+//! domain, not a trusted party.
+//!
+//! [`audit_shard_log`]: sciduction_analysis::passes::audit_shard_log
+//! [`RetryPolicy`]: sciduction::recover::RetryPolicy
+
+use crate::jobs::{Engine, JobError, JobOutput, JobSpec};
+use crate::journal::{parse_receipt, receipt_lossless};
+use sciduction::json::{self, Value};
+use sciduction::recover::RetryPolicy;
+use sciduction::shard::{
+    race_shards, run_worker, ShardAnswer, ShardCommand, ShardConfig, ShardEvent,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+};
+use sciduction_analysis::{Report, Severity};
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// The argv flag that flips `scid-server` into shard-worker mode. It
+/// must be the **first** argument; the binary dispatches on it before
+/// any other flag parsing.
+pub const SHARD_WORKER_FLAG: &str = "--shard-worker";
+
+/// The message prefix a worker uses when the job panicked inside it —
+/// the supervisor maps such answers to `EINTERNAL` (like an in-process
+/// panic) instead of `EJOB`.
+const PANIC_PREFIX: &str = "job panicked: ";
+
+/// How compute jobs are executed.
+#[derive(Clone, Debug)]
+pub enum Isolation {
+    /// In the worker thread's own address space (the pre-§4.19
+    /// behavior; a wedged or aborting job takes the process).
+    InProcess,
+    /// As a supervised race of crash-contained subprocesses.
+    Process(ShardIsolation),
+}
+
+/// Parameters for process-isolated execution.
+#[derive(Clone, Debug)]
+pub struct ShardIsolation {
+    /// The worker command (program, args). `None` self-execs the
+    /// current binary with [`SHARD_WORKER_FLAG`] — the production
+    /// default; tests point this at a dedicated worker binary.
+    pub worker: Option<(PathBuf, Vec<String>)>,
+    /// Subprocesses raced per job (at least 1).
+    pub shards: usize,
+    /// Watchdog deadline: a shard silent this long is killed and the
+    /// kill charged to the job's budget.
+    pub heartbeat_timeout: Duration,
+    /// Seed of the deterministic restart-backoff schedule.
+    pub retry_seed: u64,
+    /// Restart cap per shard (attempt 0 is free).
+    pub max_retries: u32,
+    /// Shard-level fault seed forwarded to workers for self-injection
+    /// (`ShardKill`/`ShardHang`/`ShardGarbage`); `None` in production.
+    pub fault_seed: Option<u64>,
+}
+
+impl Default for ShardIsolation {
+    fn default() -> Self {
+        ShardIsolation {
+            worker: None,
+            shards: 2,
+            heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
+            retry_seed: 0x5D,
+            max_retries: RetryPolicy::from_env(0).max_retries,
+            fault_seed: None,
+        }
+    }
+}
+
+/// Why a process-isolated execution could not produce a [`JobOutput`].
+#[derive(Clone, Debug)]
+pub enum ShardExecError {
+    /// The job itself failed deterministically (the winning worker
+    /// reported an engine error) — served as `EJOB`, exactly like an
+    /// in-process [`JobError`].
+    Job(JobError),
+    /// The supervision infrastructure failed (a worker panicked, a
+    /// result payload did not decode, a certificate could not be
+    /// published, or the supervision log failed its own audit) — served
+    /// as `EINTERNAL` with the shard-failure detail payload.
+    Infra {
+        /// The shard the failure is attributed to, when known.
+        shard: Option<u64>,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl From<JobError> for ShardExecError {
+    fn from(e: JobError) -> Self {
+        ShardExecError::Job(e)
+    }
+}
+
+fn infra(shard: Option<u64>, reason: impl Into<String>) -> ShardExecError {
+    ShardExecError::Infra {
+        shard,
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// The entry point of `scid-server --shard-worker`: speak the shard
+/// protocol over stdin/stdout, execute the one job in the request
+/// payload through a fresh [`Engine`], and answer with a result frame.
+/// Exit code 0 on a completed protocol run, 3 on a protocol failure
+/// (either way the supervisor judges by frames, not exit codes).
+pub fn shard_worker_main() -> ExitCode {
+    let mut input = std::io::stdin();
+    let output = std::io::stdout();
+    match run_worker(&mut input, output, |payload| {
+        execute_worker_payload(payload)
+    }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard-worker: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// Parses a worker request payload (`{"tag", "proofs_dir", "job"}`),
+/// runs it, and renders the result payload. A panic inside the engine is
+/// contained here and reported as an error answer with [`PANIC_PREFIX`].
+fn execute_worker_payload(payload: &[u8]) -> Result<Vec<u8>, String> {
+    let v = json::parse_bytes(payload).map_err(|e| format!("request payload: {e}"))?;
+    let tag = v
+        .get("tag")
+        .and_then(Value::as_str)
+        .ok_or("request payload needs a string \"tag\"")?
+        .to_string();
+    let proofs_dir: Option<PathBuf> = match v.get("proofs_dir") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(s)) => Some(s.into()),
+        Some(other) => return Err(format!("\"proofs_dir\" must be a string, got {other}")),
+    };
+    let spec = JobSpec::from_json(v.get("job").ok_or("request payload needs a \"job\"")?)
+        .map_err(|e| format!("request job: {e}"))?;
+
+    let engine = Engine::new(proofs_dir);
+    let result = catch_unwind(AssertUnwindSafe(|| engine.execute(&tag, &spec)));
+    let output = match result {
+        Ok(Ok(output)) => output,
+        Ok(Err(err)) => return Err(err.to_string()),
+        Err(panic) => {
+            return Err(format!(
+                "{PANIC_PREFIX}{}",
+                sciduction::exec::panic_message(panic.as_ref())
+            ))
+        }
+    };
+    Ok(render_result(&output).to_string().into_bytes())
+}
+
+/// Renders a [`JobOutput`] as the worker result payload. The receipt
+/// rides losslessly (the WAL encoding) and the detail pairs ride as
+/// `[key, value]` arrays so their order survives.
+fn render_result(out: &JobOutput) -> Value {
+    json::obj(vec![
+        ("verdict", Value::Str(out.verdict.clone())),
+        ("receipt", receipt_lossless(&out.receipt)),
+        (
+            "certificate",
+            out.certificate.clone().unwrap_or(Value::Null),
+        ),
+        (
+            "detail",
+            Value::Arr(
+                out.detail
+                    .iter()
+                    .map(|(k, v)| Value::Arr(vec![Value::Str(k.clone()), v.clone()]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a worker result payload back into a [`JobOutput`].
+fn parse_result(bytes: &[u8]) -> Result<JobOutput, String> {
+    let v = json::parse_bytes(bytes).map_err(|e| format!("result payload: {e}"))?;
+    let verdict = v
+        .get("verdict")
+        .and_then(Value::as_str)
+        .ok_or("result needs a string \"verdict\"")?
+        .to_string();
+    let receipt = parse_receipt(v.get("receipt").ok_or("result needs a \"receipt\"")?)?;
+    let certificate = match v.get("certificate") {
+        None | Some(Value::Null) => None,
+        Some(c) => Some(c.clone()),
+    };
+    let mut detail = Vec::new();
+    if let Some(pairs) = v.get("detail").and_then(Value::as_arr) {
+        for (i, pair) in pairs.iter().enumerate() {
+            let kv = pair
+                .as_arr()
+                .filter(|kv| kv.len() == 2)
+                .ok_or(format!("detail[{i}] must be a [key, value] pair"))?;
+            let key = kv[0]
+                .as_str()
+                .ok_or(format!("detail[{i}] key must be a string"))?;
+            detail.push((key.to_string(), kv[1].clone()));
+        }
+    }
+    Ok(JobOutput {
+        verdict,
+        receipt,
+        certificate,
+        detail,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+/// Executes one compute job as a supervised subprocess race.
+///
+/// `proofs_dir` is the *served* certificate directory: workers write
+/// their artifacts into a `pending/` staging subdirectory, and only the
+/// winner's files are renamed into `proofs_dir` — a SIGKILLed loser can
+/// therefore never leave a torn certificate where replay tooling globs.
+pub fn run_sharded(
+    tag: &str,
+    spec: &JobSpec,
+    iso: &ShardIsolation,
+    proofs_dir: Option<&Path>,
+) -> Result<JobOutput, ShardExecError> {
+    let common = spec
+        .common()
+        .ok_or_else(|| infra(None, "introspection jobs are never sharded"))?;
+    let (program, args) = match &iso.worker {
+        Some((program, args)) => (program.clone(), args.clone()),
+        None => (
+            std::env::current_exe()
+                .map_err(|e| infra(None, format!("cannot resolve own executable: {e}")))?,
+            vec![SHARD_WORKER_FLAG.to_string()],
+        ),
+    };
+    let pending = match proofs_dir {
+        Some(dir) => {
+            let pending = dir.join("pending");
+            fs::create_dir_all(&pending)
+                .map_err(|e| infra(None, format!("cannot create staging dir: {e}")))?;
+            Some(pending)
+        }
+        None => None,
+    };
+
+    let commands: Vec<ShardCommand> = (0..iso.shards.max(1))
+        .map(|i| {
+            let payload = json::obj(vec![
+                ("tag", Value::Str(format!("{tag}-s{i}"))),
+                (
+                    "proofs_dir",
+                    match &pending {
+                        Some(p) => Value::Str(p.display().to_string()),
+                        None => Value::Null,
+                    },
+                ),
+                ("job", spec.to_json()),
+            ]);
+            ShardCommand {
+                program: program.clone(),
+                args: args.clone(),
+                payload: payload.to_string().into_bytes(),
+            }
+        })
+        .collect();
+
+    let retry = RetryPolicy {
+        seed: iso.retry_seed,
+        max_retries: iso.max_retries,
+        budget: common.budget,
+    };
+    let config = ShardConfig {
+        retry,
+        heartbeat_timeout: iso.heartbeat_timeout,
+        poll_interval: sciduction::shard::DEFAULT_POLL_INTERVAL,
+        fault_seed: iso.fault_seed,
+    };
+    let race = race_shards(&commands, &config);
+
+    // Replay the supervision log like a certificate before trusting the
+    // settlement: a supervisor that mischarged or settled dishonestly is
+    // an infrastructure failure, not a servable verdict.
+    let mut report = Report::new();
+    sciduction_analysis::passes::audit_shard_log(&race, "shard_exec", &mut report);
+    if report.has_errors() {
+        let first = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(|d| format!("{} {}: {}", d.code, d.location, d.message))
+            .unwrap_or_else(|| "unknown audit error".into());
+        return Err(infra(
+            race.winner.map(|w| w as u64),
+            format!("supervision log failed its audit: {first}"),
+        ));
+    }
+
+    let deaths = race
+        .log
+        .events
+        .iter()
+        .filter(|e| matches!(e, ShardEvent::Died { .. }))
+        .count();
+    match (race.winner, race.answer) {
+        (Some(winner), Some(ShardAnswer::Result(bytes))) => {
+            let mut output = parse_result(&bytes).map_err(|e| infra(Some(winner as u64), e))?;
+            if let Some(cert) = output.certificate.take() {
+                output.certificate = Some(publish_certificate(cert, proofs_dir, winner)?);
+            }
+            output
+                .detail
+                .push(("isolation".to_string(), Value::Str("process".into())));
+            output
+                .detail
+                .push(("shard".to_string(), Value::Int(winner as i64)));
+            if race.receipt.fuel > 0 {
+                // Restarts / watchdog kills happened on the way to this
+                // answer; surface what supervision spent of the job's
+                // budget (the winner's own receipt is served untouched,
+                // bit-identical to an in-process run).
+                output.detail.push((
+                    "supervision_fuel".to_string(),
+                    Value::Int(race.receipt.fuel.min(i64::MAX as u64) as i64),
+                ));
+            }
+            Ok(output)
+        }
+        (Some(winner), Some(ShardAnswer::Error(message))) => {
+            if let Some(reason) = message.strip_prefix(PANIC_PREFIX) {
+                // The worker contained an engine panic; serve it the way
+                // the in-process path serves panics.
+                Err(infra(
+                    Some(winner as u64),
+                    format!("{PANIC_PREFIX}{reason}"),
+                ))
+            } else {
+                Err(ShardExecError::Job(JobError(message)))
+            }
+        }
+        (_, _) => {
+            // Graceful degradation: every shard died past its retries.
+            // The supervision receipt (with the cause parked into it) is
+            // the served receipt, so the tenant is charged for what the
+            // chaos cost and `SRV002` can recognize the settlement as
+            // certified degradation.
+            let cause = race
+                .cause
+                .ok_or_else(|| infra(None, "race settled with neither answer nor cause"))?;
+            let mut receipt = race.receipt;
+            receipt.cause = Some(cause);
+            Ok(JobOutput {
+                verdict: format!("unknown: {cause}"),
+                receipt,
+                certificate: None,
+                detail: vec![
+                    ("isolation".to_string(), Value::Str("process".into())),
+                    ("degraded".to_string(), Value::Bool(true)),
+                    ("shard_deaths".to_string(), Value::Int(deaths as i64)),
+                ],
+            })
+        }
+    }
+}
+
+/// Moves the winner's staged certificate artifacts from `pending/` into
+/// the served proofs directory (atomic renames — replay tooling never
+/// sees a partial file) and rewrites the served paths accordingly.
+fn publish_certificate(
+    cert: Value,
+    proofs_dir: Option<&Path>,
+    winner: usize,
+) -> Result<Value, ShardExecError> {
+    let Some(dir) = proofs_dir else {
+        return Ok(cert);
+    };
+    let Some(fields) = cert.as_obj() else {
+        return Err(infra(
+            Some(winner as u64),
+            "certificate reference is not an object",
+        ));
+    };
+    let mut published = Vec::with_capacity(fields.len());
+    for (key, value) in fields {
+        let value = match (key.as_str(), value) {
+            ("cnf" | "proof" | "path", Value::Str(staged)) => {
+                let staged = PathBuf::from(staged);
+                let name = staged.file_name().ok_or_else(|| {
+                    infra(Some(winner as u64), "staged certificate path has no name")
+                })?;
+                let served = dir.join(name);
+                fs::rename(&staged, &served).map_err(|e| {
+                    infra(
+                        Some(winner as u64),
+                        format!("cannot publish {}: {e}", staged.display()),
+                    )
+                })?;
+                Value::Str(served.display().to_string())
+            }
+            _ => value.clone(),
+        };
+        published.push((key.clone(), value));
+    }
+    Ok(Value::Obj(published))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{FigJob, JobCommon};
+    use sciduction::{Budget, BudgetMeter};
+
+    #[test]
+    fn result_payload_round_trips() {
+        let mut meter = BudgetMeter::new(Budget::with_fuel(10));
+        meter.charge_fuel_batch(3).unwrap();
+        let out = JobOutput {
+            verdict: "unsat".into(),
+            receipt: meter.receipt(),
+            certificate: Some(json::obj(vec![
+                ("kind", Value::Str("scicert".into())),
+                ("path", Value::Str("/tmp/x.scicert".into())),
+            ])),
+            detail: vec![
+                ("workload".to_string(), Value::Str("fig8".into())),
+                ("winner".to_string(), Value::Int(2)),
+            ],
+        };
+        let back = parse_result(&render_result(&out).to_string().into_bytes()).unwrap();
+        assert_eq!(back.verdict, out.verdict);
+        assert_eq!(back.receipt, out.receipt);
+        assert_eq!(back.certificate, out.certificate);
+        assert_eq!(back.detail, out.detail);
+
+        let plain = JobOutput {
+            verdict: "sat".into(),
+            receipt: BudgetMeter::new(Budget::UNLIMITED).receipt(),
+            certificate: None,
+            detail: Vec::new(),
+        };
+        let back = parse_result(&render_result(&plain).to_string().into_bytes()).unwrap();
+        assert!(back.certificate.is_none());
+        assert!(back.detail.is_empty());
+        assert!(parse_result(b"not json").is_err());
+        assert!(parse_result(b"{\"verdict\":\"sat\"}").is_err());
+    }
+
+    #[test]
+    fn unreachable_worker_degrades_with_certified_unknown() {
+        let iso = ShardIsolation {
+            worker: Some((PathBuf::from("/nonexistent/shard-worker"), Vec::new())),
+            shards: 2,
+            max_retries: 1,
+            ..ShardIsolation::default()
+        };
+        let spec = JobSpec::Fig(FigJob {
+            name: "fig8_p1_equiv_w8".into(),
+            proof: false,
+            common: JobCommon {
+                threads: 1,
+                ..JobCommon::default()
+            },
+        });
+        let out = run_sharded("t-degrade", &spec, &iso, None).expect("degrades, not errors");
+        let cause = out.receipt.cause.expect("cause parked into the receipt");
+        assert_eq!(out.verdict, format!("unknown: {cause}"));
+        assert!(out.receipt.coherent());
+        assert!(out.receipt.certifies(&cause));
+        assert!(out
+            .detail
+            .iter()
+            .any(|(k, v)| k == "degraded" && *v == Value::Bool(true)));
+    }
+}

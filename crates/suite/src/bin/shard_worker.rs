@@ -1,0 +1,15 @@
+//! `shard-worker` — a standalone shard worker for the differential
+//! suite (`tests/shard_vs_inproc.rs`).
+//!
+//! Production uses `scid-server --shard-worker` (the supervisor
+//! self-execs the serving binary); tests point [`ShardIsolation::worker`]
+//! at this binary instead, located via `CARGO_BIN_EXE_shard-worker`, so
+//! the suite does not depend on which binary the harness built first.
+//! Both run the identical [`shard_worker_main`] protocol loop.
+//!
+//! [`ShardIsolation::worker`]: sciduction_server::ShardIsolation
+//! [`shard_worker_main`]: sciduction_server::shard_worker_main
+
+fn main() -> std::process::ExitCode {
+    sciduction_server::shard_worker_main()
+}

@@ -1,0 +1,522 @@
+//! Differential suite for process isolation (DESIGN.md §4.19): a job
+//! executed as a supervised race of `shard-worker` subprocesses must
+//! settle **bit-identically** to the same spec run in-process — same
+//! verdict string, and at one thread (where the engine is
+//! bit-reproducible) the same receipt and detail too.
+//!
+//! The contract, per stage:
+//!
+//! * **Fig matrix** — figs 6/8/10 × library fault seeds × thread counts:
+//!   shard-mode verdicts equal in-process verdicts everywhere. Library
+//!   fault seeds ride *inside* the spec (both sides see them); shard
+//!   fault seeds are a separate axis tested below.
+//! * **Shard-fault chaos** — under seeded kill/hang/garbage
+//!   self-injection, no schedule flips a verdict: every race settles as
+//!   the clean in-process answer or as a certified `unknown: …`
+//!   degradation, never anything else.
+//! * **Hung shard** — a shard that stops heartbeating is killed at the
+//!   watchdog deadline, the kill is charged as supervision fuel, and
+//!   the restarted attempt still returns the clean verdict.
+//! * **External chaos** — SIGKILL/SIGSTOP of live workers under a
+//!   process-isolation server never kills the server, and every served
+//!   certificate-free verdict is clean-or-certified-unknown.
+
+use sciduction::exec::{FaultKind, FaultPlan};
+use sciduction::json::Value;
+use sciduction::recover::retry_site;
+use sciduction_proof::{check_certificate, check_drat, parse_dimacs, Proof, SmtCertificate};
+use sciduction_rng::rngs::StdRng;
+use sciduction_rng::{Rng, SeedableRng};
+use sciduction_server::shard_exec::Isolation;
+use sciduction_server::{
+    run_sharded, Client, Engine, FigJob, JobCommon, JobOutput, JobSpec, Server, ServerConfig,
+    ShardIsolation, SynthJob,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The dedicated worker binary the suite points supervision at.
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_shard-worker"))
+}
+
+fn thread_counts() -> &'static [usize] {
+    if cfg!(debug_assertions) {
+        &[1, 2]
+    } else {
+        &[1, 2, 4]
+    }
+}
+
+fn fault_seeds() -> &'static [Option<u64>] {
+    if cfg!(debug_assertions) {
+        &[None, Some(0xFA01)]
+    } else {
+        &[None, Some(0xFA01), Some(0xFA02), Some(0xFA03), Some(0xFA04)]
+    }
+}
+
+const FIG_NAMES: [&str; 5] = [
+    "fig6_crc8_infeasible_path",
+    "fig6_crc8_feasible_path",
+    "fig8_p1_equiv_w8",
+    "fig8_p2_equiv_w8",
+    "fig10_mode_exclusion",
+];
+
+fn expected_clean(name: &str) -> &'static str {
+    match name {
+        "fig6_crc8_feasible_path" => "sat",
+        _ => "unsat",
+    }
+}
+
+fn fig_spec(name: &str, threads: usize, fault_seed: Option<u64>, proof: bool) -> JobSpec {
+    JobSpec::Fig(FigJob {
+        name: name.into(),
+        proof,
+        common: JobCommon {
+            threads,
+            fault_seed,
+            ..JobCommon::default()
+        },
+    })
+}
+
+/// A test isolation config: the dedicated worker binary, no shard
+/// faults, default watchdog.
+fn isolation(shards: usize) -> ShardIsolation {
+    ShardIsolation {
+        worker: Some((worker_bin(), Vec::new())),
+        shards,
+        heartbeat_timeout: Duration::from_secs(10),
+        retry_seed: 0x5D,
+        max_retries: 2,
+        fault_seed: None,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shard-vs-inproc-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The supervision keys `run_sharded` appends to a winner's detail.
+fn strip_supervision_detail(out: &JobOutput) -> Vec<(String, Value)> {
+    out.detail
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "isolation" | "shard" | "supervision_fuel"))
+        .cloned()
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Bit-identity: the fig matrix, shard-mode vs in-process
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_fig_matrix_is_bit_identical_to_in_process() {
+    let iso = isolation(2);
+    for name in FIG_NAMES {
+        for &threads in thread_counts() {
+            for &seed in fault_seeds() {
+                let tag = format!("{name}-t{threads}-s{seed:?}");
+                let spec = fig_spec(name, threads, seed, false);
+                // A fresh engine per combo: every worker subprocess gets
+                // a cold cache, so the direct twin must too, or receipt
+                // costs would diverge.
+                let direct = Engine::new(None)
+                    .execute(&tag, &spec)
+                    .unwrap_or_else(|e| panic!("{tag}: direct: {e}"));
+                let sharded = run_sharded(&tag, &spec, &iso, None)
+                    .unwrap_or_else(|e| panic!("{tag}: sharded: {e:?}"));
+                assert_eq!(
+                    sharded.verdict, direct.verdict,
+                    "{tag}: shard-mode verdict diverges"
+                );
+                if seed.is_none() {
+                    assert_eq!(sharded.verdict, expected_clean(name), "{tag}");
+                }
+                if threads == 1 {
+                    // The engine is bit-reproducible sequentially: the
+                    // winner's receipt and detail must ride through the
+                    // wire protocol untouched.
+                    assert_eq!(sharded.receipt, direct.receipt, "{tag}: receipt diverges");
+                    assert_eq!(
+                        strip_supervision_detail(&sharded),
+                        direct.detail,
+                        "{tag}: detail diverges"
+                    );
+                }
+                assert!(
+                    sharded
+                        .detail
+                        .iter()
+                        .any(|(k, v)| k == "isolation" && *v == Value::Str("process".into())),
+                    "{tag}: shard-mode output must be marked"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Synthesis at one thread (bit-reproducible) rides the wire intact
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_synth_matches_in_process_at_one_thread() {
+    let engine = Engine::new(None);
+    let iso = isolation(2);
+    let spec = JobSpec::Synth(SynthJob {
+        name: "turn_off_rightmost_one".into(),
+        width: 3,
+        seed: 7,
+        max_iterations: 64,
+        common: JobCommon {
+            threads: 1,
+            ..JobCommon::default()
+        },
+    });
+    let direct = engine.execute("synth-direct", &spec).expect("direct synth");
+    let sharded = run_sharded("synth-shard", &spec, &iso, None).expect("sharded synth");
+    assert_eq!(sharded.verdict, direct.verdict);
+    assert_eq!(sharded.receipt, direct.receipt);
+    assert_eq!(strip_supervision_detail(&sharded), direct.detail);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Certificates from a winning shard replay through independent checkers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_certificates_replay_through_independent_checkers() {
+    let dir = temp_dir("certs");
+    let iso = isolation(2);
+
+    let spec = fig_spec("fig8_p1_equiv_w8", 1, None, true);
+    let out = run_sharded("cert-smt", &spec, &iso, Some(&dir)).expect("certifying fig8");
+    assert_eq!(out.verdict, "unsat");
+    let cert = out.certificate.expect("unsat smt job serves a scicert");
+    assert_eq!(cert.get("kind").and_then(Value::as_str), Some("scicert"));
+    let path = cert.get("path").and_then(Value::as_str).expect("cert path");
+    assert!(
+        path.starts_with(dir.to_str().unwrap()) && !path.contains("pending"),
+        "certificate must be published out of the staging dir: {path}"
+    );
+    let text = std::fs::read_to_string(path).expect("published scicert exists");
+    let parsed = SmtCertificate::parse(&text).expect("scicert parses");
+    check_certificate(&parsed).expect("independent checker accepts the shard's certificate");
+
+    let spec = fig_spec("fig10_mode_exclusion", 2, None, true);
+    let out = run_sharded("cert-drat", &spec, &iso, Some(&dir)).expect("certifying fig10");
+    assert_eq!(out.verdict, "unsat");
+    let cert = out.certificate.expect("unsat sat job serves a drat pair");
+    assert_eq!(cert.get("kind").and_then(Value::as_str), Some("drat"));
+    let cnf_path = cert.get("cnf").and_then(Value::as_str).expect("cnf path");
+    let drat_path = cert
+        .get("proof")
+        .and_then(Value::as_str)
+        .expect("drat path");
+    let cnf =
+        parse_dimacs(&std::fs::read_to_string(cnf_path).expect("cnf exists")).expect("cnf parses");
+    let proof = Proof::parse_drat(&std::fs::read_to_string(drat_path).expect("drat exists"))
+        .expect("drat parses");
+    check_drat(&cnf, &proof).expect("independent checker accepts the shard's proof");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Shard-fault schedules never flip a verdict
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_fault_schedules_never_flip_verdicts() {
+    let engine = Engine::new(None);
+    let spec = fig_spec("fig8_p1_equiv_w8", 1, None, false);
+    let direct = engine.execute("flip-direct", &spec).expect("direct");
+    for seed in 1..=4u64 {
+        let iso = ShardIsolation {
+            fault_seed: Some(seed),
+            heartbeat_timeout: Duration::from_millis(500),
+            retry_seed: seed,
+            ..isolation(2)
+        };
+        let tag = format!("shard-fault-{seed}");
+        let out = run_sharded(&tag, &spec, &iso, None)
+            .unwrap_or_else(|e| panic!("{tag}: shard faults must degrade, not error: {e:?}"));
+        if out.verdict == direct.verdict {
+            continue;
+        }
+        // Anything else must be an honest certified degradation.
+        let cause = out
+            .receipt
+            .cause
+            .unwrap_or_else(|| panic!("{tag}: divergent verdict {:?} with no cause", out.verdict));
+        assert_eq!(
+            out.verdict,
+            format!("unknown: {cause}"),
+            "{tag}: a shard-fault schedule flipped the verdict"
+        );
+        assert!(out.receipt.coherent(), "{tag}");
+        assert!(out.receipt.certifies(&cause), "{tag}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. The hung-shard path: watchdog kill, budget charge, clean verdict
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hung_shard_is_killed_charged_and_the_race_still_answers() {
+    // A seed whose pure plan hangs shard 0's first attempt (kill must
+    // not preempt it) and leaves the retry clean: the watchdog has to
+    // reap the wedge, charge it, and the restart must still answer.
+    let clean_site = |seed: u64, site: u64| {
+        FaultKind::SHARD
+            .iter()
+            .all(|&k| !FaultPlan::decides(seed, k, site))
+    };
+    let seed = (0..20_000u64)
+        .find(|&s| {
+            let s0 = retry_site(0, 0);
+            !FaultPlan::decides(s, FaultKind::ShardKill, s0)
+                && FaultPlan::decides(s, FaultKind::ShardHang, s0)
+                && clean_site(s, retry_site(0, 1))
+        })
+        .expect("some seed hangs attempt 0 cleanly");
+    let iso = ShardIsolation {
+        shards: 1,
+        fault_seed: Some(seed),
+        heartbeat_timeout: Duration::from_millis(400),
+        retry_seed: seed,
+        max_retries: 1,
+        ..isolation(1)
+    };
+    let engine = Engine::new(None);
+    let spec = fig_spec("fig8_p1_equiv_w8", 1, None, false);
+    let direct = engine.execute("hung-direct", &spec).expect("direct");
+    let out = run_sharded("hung-shard", &spec, &iso, None).expect("race answers");
+    assert_eq!(out.verdict, direct.verdict, "restart lost the verdict");
+    assert_eq!(
+        out.receipt, direct.receipt,
+        "the served receipt is the winner's own, untouched"
+    );
+    // The watchdog kill (and the retry backoff) were charged against
+    // the job's budget; run_sharded surfaces the supervision spend.
+    let supervision_fuel = out
+        .detail
+        .iter()
+        .find(|(k, _)| k == "supervision_fuel")
+        .and_then(|(_, v)| v.as_u64())
+        .expect("a watchdog kill must surface supervision fuel");
+    assert!(
+        supervision_fuel >= 1,
+        "the kill is charged like a retry: {supervision_fuel}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 6. External chaos: SIGKILL/SIGSTOP never kill the server
+// ---------------------------------------------------------------------------
+
+/// PIDs of live shard workers spawned by this process.
+fn worker_pids() -> Vec<u32> {
+    let me = std::process::id();
+    let mut pids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return pids;
+    };
+    for entry in entries.flatten() {
+        let Some(pid) = entry
+            .file_name()
+            .to_str()
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // Field 4 of /proc/pid/stat (after the parenthesized comm) is
+        // the ppid.
+        let ppid = stat
+            .rsplit(')')
+            .next()
+            .and_then(|rest| rest.split_whitespace().nth(1))
+            .and_then(|f| f.parse::<u32>().ok());
+        if ppid != Some(me) {
+            continue;
+        }
+        let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        // Only this test's workers carry the marker argument — the
+        // other tests in this binary run concurrently and their races
+        // must not be caught in the chaos.
+        if String::from_utf8_lossy(&cmdline).contains("chaos-marker") {
+            pids.push(pid);
+        }
+    }
+    pids
+}
+
+fn signal(pid: u32, sig: &str) {
+    let _ = std::process::Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -{sig} {pid} 2>/dev/null"))
+        .status();
+}
+
+#[test]
+fn external_kill_and_stop_chaos_never_kills_the_server() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        isolation: Isolation::Process(ShardIsolation {
+            heartbeat_timeout: Duration::from_millis(600),
+            // The worker ignores argv; the marker only exists so the
+            // chaos loop can recognize its own victims in /proc.
+            worker: Some((worker_bin(), vec!["chaos-marker".to_string()])),
+            ..isolation(2)
+        }),
+        ..ServerConfig::default()
+    })
+    .expect("server starts under process isolation");
+    let addr = server.addr();
+
+    let jobs = if cfg!(debug_assertions) { 6 } else { 10 };
+    let chaos_done = std::sync::atomic::AtomicBool::new(false);
+    let verdicts = std::thread::scope(|scope| {
+        let chaos_done = &chaos_done;
+        // Chaos: SIGKILL or SIGSTOP a random live worker every so often.
+        scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xC4A05);
+            while !chaos_done.load(std::sync::atomic::Ordering::SeqCst) {
+                let pids = worker_pids();
+                if !pids.is_empty() {
+                    let pid = pids[rng.random_range(0..pids.len() as u64) as usize];
+                    let sig = if rng.random::<bool>() { "KILL" } else { "STOP" };
+                    signal(pid, sig);
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        });
+
+        let mut client = Client::connect(addr, Duration::from_secs(300)).expect("client connects");
+        let mut verdicts = Vec::new();
+        for i in 0..jobs {
+            let job = sciduction::json::obj(vec![
+                ("kind", Value::Str("fig".into())),
+                ("name", Value::Str("fig8_p1_equiv_w8".into())),
+                ("threads", Value::Int(1)),
+            ]);
+            let resp = client
+                .request("chaos", job)
+                .unwrap_or_else(|e| panic!("chaos job {i}: connection died: {e}"));
+            assert_eq!(
+                resp.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "chaos job {i}: shard faults must degrade, never error: {resp}"
+            );
+            verdicts.push(
+                resp.get("verdict")
+                    .and_then(Value::as_str)
+                    .expect("verdict")
+                    .to_string(),
+            );
+        }
+        chaos_done.store(true, std::sync::atomic::Ordering::SeqCst);
+        verdicts
+    });
+
+    for (i, v) in verdicts.iter().enumerate() {
+        assert!(
+            v == "unsat" || v.starts_with("unknown: "),
+            "chaos job {i}: served {v:?} — a chaos schedule flipped the verdict"
+        );
+    }
+
+    // Leftover STOPped workers must not leak past the race: every shard
+    // either won, was killed, or was reaped by the watchdog.
+    for pid in worker_pids() {
+        signal(pid, "KILL");
+    }
+
+    // The server survived the whole campaign: a calm job still serves
+    // the clean verdict, and the transcript replays through SRV002
+    // (degradations recognized as certified, nothing flipped).
+    let mut client = Client::connect(addr, Duration::from_secs(300)).expect("reconnect");
+    let calm = client
+        .request(
+            "calm",
+            sciduction::json::obj(vec![
+                ("kind", Value::Str("fig".into())),
+                ("name", Value::Str("fig8_p1_equiv_w8".into())),
+                ("threads", Value::Int(1)),
+            ]),
+        )
+        .expect("calm job after chaos");
+    assert_eq!(calm.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        calm.get("verdict").and_then(Value::as_str),
+        Some("unsat"),
+        "the server must serve clean verdicts once the chaos stops"
+    );
+
+    let transcript = server.transcript();
+    let mut report = sciduction_analysis::Report::new();
+    sciduction_server::audit::audit_served_verdicts(&transcript, "chaos", &mut report);
+    assert!(
+        report.is_clean(),
+        "chaos-era transcript fails SRV002: {report}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 7. Server-level process isolation serves the same matrix as in-process
+// ---------------------------------------------------------------------------
+
+#[test]
+fn process_isolation_server_matches_in_process_server() {
+    let inproc = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("in-process server");
+    let process = Server::start(ServerConfig {
+        workers: 2,
+        isolation: Isolation::Process(isolation(2)),
+        ..ServerConfig::default()
+    })
+    .expect("process-isolation server");
+
+    let mut a = Client::connect(inproc.addr(), Duration::from_secs(300)).expect("client a");
+    let mut b = Client::connect(process.addr(), Duration::from_secs(300)).expect("client b");
+    for name in FIG_NAMES {
+        let job = || {
+            sciduction::json::obj(vec![
+                ("kind", Value::Str("fig".into())),
+                ("name", Value::Str(name.into())),
+                ("threads", Value::Int(1)),
+            ])
+        };
+        let ra = a.request("matrix", job()).expect("in-process serve");
+        let rb = b.request("matrix", job()).expect("process-mode serve");
+        let va = ra.get("verdict").and_then(Value::as_str);
+        let vb = rb.get("verdict").and_then(Value::as_str);
+        assert_eq!(va, vb, "{name}: isolation modes diverge");
+        assert_eq!(va, Some(expected_clean(name)), "{name}");
+        // Receipts are compared at the `run_sharded` level (fresh
+        // engines on both sides); here the in-process server's shared
+        // query cache may legitimately change costs, so only the
+        // verdict and the marker are pinned.
+        assert_eq!(
+            rb.get("detail").and_then(|d| d.get("isolation")),
+            Some(&Value::Str("process".into())),
+            "{name}: process-mode responses carry the isolation marker"
+        );
+    }
+    assert_eq!(process.internal_errors(), 0);
+}
